@@ -1,0 +1,92 @@
+//! Experiment E2: per-row cost of the Figure 2 certification functions.
+//!
+//! Each benchmark certifies a program made (almost) entirely of one
+//! statement form, isolating the cost of that row's `mod`/`flow`/`cert`
+//! computation. The paper's table has seven rows; `skip` is our
+//! harmless extension.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use secflow_core::{certify, StaticBinding};
+use secflow_lang::builder::{e, s, ProgramBuilder};
+use secflow_lang::Program;
+use secflow_lattice::TwoPointScheme;
+
+const N: usize = 1000;
+
+fn row_assign() -> Program {
+    let mut b = ProgramBuilder::new();
+    let x = b.data("x");
+    b.finish(s::seq(
+        (0..N).map(|_| s::assign(x, e::add(e::var(x), e::konst(1)))),
+    ))
+}
+
+fn row_if() -> Program {
+    let mut b = ProgramBuilder::new();
+    let x = b.data("x");
+    b.finish(s::seq((0..N).map(|_| {
+        s::if_else(
+            e::eq(e::var(x), e::konst(0)),
+            s::assign(x, e::konst(1)),
+            s::assign(x, e::konst(2)),
+        )
+    })))
+}
+
+fn row_while() -> Program {
+    let mut b = ProgramBuilder::new();
+    let x = b.data("x");
+    b.finish(s::seq((0..N).map(|_| {
+        s::while_do(
+            e::gt(e::var(x), e::konst(0)),
+            s::assign(x, e::sub(e::var(x), e::konst(1))),
+        )
+    })))
+}
+
+fn row_cobegin() -> Program {
+    let mut b = ProgramBuilder::new();
+    let x = b.data("x");
+    let y = b.data("y");
+    b.finish(s::seq((0..N / 2).map(|_| {
+        s::cobegin([s::assign(x, e::konst(1)), s::assign(y, e::konst(2))])
+    })))
+}
+
+fn row_wait_signal() -> Program {
+    let mut b = ProgramBuilder::new();
+    let sem = b.sem("s", 0);
+    b.finish(s::seq(
+        (0..N / 2).flat_map(|_| [s::signal(sem), s::wait(sem)]),
+    ))
+}
+
+fn row_skip() -> Program {
+    let mut b = ProgramBuilder::new();
+    let _ = b.data("x");
+    b.finish(s::seq((0..N).map(|_| s::skip())))
+}
+
+fn bench_rows(c: &mut Criterion) {
+    let rows: [(&str, Program); 6] = [
+        ("assign", row_assign()),
+        ("if", row_if()),
+        ("while", row_while()),
+        ("cobegin", row_cobegin()),
+        ("wait_signal", row_wait_signal()),
+        ("skip", row_skip()),
+    ];
+    let mut group = c.benchmark_group("fig2_rows");
+    for (name, program) in rows {
+        let binding = StaticBinding::uniform(&program.symbols, &TwoPointScheme);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(certify(&program, &binding).certified()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rows);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Experiment E3: Figure 3 end to end, plus the k-bit channel.
+//!
+//! Measures everything the reproduction does with Figure 3: CFM and
+//! baseline certification, binding inference, exhaustive exploration,
+//! a concrete run, and the k-bit generalization's transmission cost as
+//! k grows (linear in k: each bit is one constant-size handshake round).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use secflow_core::{certify, denning_certify, infer_binding};
+use secflow_lattice::{TwoPoint, TwoPointScheme};
+use secflow_runtime::{explore, run, ExploreLimits, Machine, RoundRobin};
+use secflow_workload::{fig3_baseline_gap_binding, fig3_program, kbit_channel};
+
+fn bench_fig3(c: &mut Criterion) {
+    let program = fig3_program();
+    let binding = fig3_baseline_gap_binding(&program);
+    let mut group = c.benchmark_group("fig3");
+
+    group.bench_function("certify_cfm", |b| {
+        b.iter(|| black_box(certify(&program, &binding).certified()));
+    });
+    group.bench_function("certify_baseline", |b| {
+        b.iter(|| black_box(denning_certify(&program, &binding).certified()));
+    });
+    group.bench_function("infer_binding", |b| {
+        b.iter(|| {
+            black_box(
+                infer_binding(
+                    &program,
+                    &TwoPointScheme,
+                    [(program.var("x"), TwoPoint::High)],
+                )
+                .unwrap(),
+            )
+        });
+    });
+    group.bench_function("explore_all_interleavings", |b| {
+        b.iter(|| {
+            black_box(explore(
+                &program,
+                &[(program.var("x"), 1)],
+                ExploreLimits::default(),
+            ))
+        });
+    });
+    group.bench_function("single_run", |b| {
+        b.iter(|| {
+            let mut m = Machine::with_inputs(&program, &[(program.var("x"), 1)]);
+            run(&mut m, &mut RoundRobin::new(), 10_000);
+            black_box(m.get(program.var("y")))
+        });
+    });
+    group.finish();
+}
+
+fn bench_kbit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kbit_channel");
+    for k in [1u32, 2, 4, 8, 16] {
+        let program = kbit_channel(k);
+        let x = (1i64 << k) - 1;
+        group.bench_with_input(BenchmarkId::from_parameter(k), &program, |b, p| {
+            b.iter(|| {
+                let mut m = Machine::with_inputs(p, &[(p.var("x"), x)]);
+                run(&mut m, &mut RoundRobin::new(), 1_000_000);
+                black_box(m.get(p.var("y")))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3, bench_kbit);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Runtime substrate benchmarks: interpreter step throughput, scheduler
+//! overhead, and exploration scaling.
+//!
+//! Not a paper figure, but the substrate all empirical experiments stand
+//! on; recorded so regressions in the machine don't silently distort the
+//! E3/E9/E10 measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use secflow_lang::parse;
+use secflow_runtime::{explore, run, ExploreLimits, Machine, RandomSched, RoundRobin};
+use secflow_workload::{loop_heavy, sync_heavy};
+
+fn bench_step_throughput(c: &mut Criterion) {
+    // A countdown loop: (guard + body-seq + assign ×2) per iteration.
+    let program = parse(
+        "var n, acc : integer;
+         while n > 0 do begin acc := acc + n; n := n - 1 end",
+    )
+    .unwrap();
+    let n = program.var("n");
+    let mut group = c.benchmark_group("interp/steps");
+    for &iters in &[1_000i64, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(iters as u64 * 4));
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
+            b.iter(|| {
+                let mut m = Machine::with_inputs(&program, &[(n, iters)]);
+                let out = run(&mut m, &mut RoundRobin::new(), usize::MAX);
+                black_box((out.terminated(), m.steps()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let program = sync_heavy(64);
+    let mut group = c.benchmark_group("interp/scheduler");
+    group.bench_function("round_robin", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&program);
+            black_box(run(&mut m, &mut RoundRobin::new(), 1_000_000).terminated())
+        });
+    });
+    group.bench_function("seeded_random", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&program);
+            black_box(run(&mut m, &mut RandomSched::new(7), 1_000_000).terminated())
+        });
+    });
+    group.finish();
+}
+
+fn bench_explore_scaling(c: &mut Criterion) {
+    // State-space growth with ping-pong rounds (sequenced by semaphores,
+    // so growth is linear rather than exponential).
+    let mut group = c.benchmark_group("interp/explore_rounds");
+    group.sample_size(10);
+    for &rounds in &[2usize, 4, 8, 16] {
+        let program = sync_heavy(rounds);
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &program, |b, p| {
+            b.iter(|| black_box(explore(p, &[], ExploreLimits::default()).states));
+        });
+    }
+    group.finish();
+}
+
+fn bench_loop_program_run(c: &mut Criterion) {
+    let program = loop_heavy(100);
+    let inputs: Vec<_> = (0..100)
+        .map(|i| (program.var(&format!("c{i}")), 5i64))
+        .collect();
+    c.bench_function("interp/loop_heavy_100x5", |b| {
+        b.iter(|| {
+            let mut m = Machine::with_inputs(&program, &inputs);
+            black_box(run(&mut m, &mut RoundRobin::new(), usize::MAX).terminated())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_step_throughput, bench_schedulers, bench_explore_scaling, bench_loop_program_run
+}
+criterion_main!(benches);

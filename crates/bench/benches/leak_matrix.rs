@@ -1,0 +1,92 @@
+//! Experiment E10: cost of the three verdict procedures on the leak
+//! matrix programs — static CFM certification, one dynamic-monitor run,
+//! and the exhaustive noninterference ground truth.
+//!
+//! The shape the paper implies: certification is microseconds and
+//! schedule-independent; a monitor run costs an execution; ground truth
+//! costs the whole interleaving space. That ordering (and the orders of
+//! magnitude between the columns) is the quantitative argument for
+//! compile-time certification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use secflow_core::{certify, StaticBinding};
+use secflow_lang::parse;
+use secflow_lattice::{TwoPoint, TwoPointScheme};
+use secflow_runtime::{check_binary_secret, ExploreLimits, Machine, RoundRobin, TaintMonitor};
+
+const CASES: &[(&str, &str)] = &[
+    ("direct", "var h, l : integer; l := h"),
+    ("implicit", "var h, l : integer; if h = 0 then l := 1"),
+    (
+        "loop_term",
+        "var h, l : integer; begin while h # 0 do h := 0; l := 1 end",
+    ),
+    (
+        "sync",
+        "var h, l : integer; sem : semaphore;
+         cobegin if h = 0 then signal(sem) || begin wait(sem); l := 0 end coend",
+    ),
+    ("dead_store", "var h, l : integer; begin h := 0; l := h end"),
+];
+
+fn bench_static(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leak_matrix/cfm");
+    for (name, src) in CASES {
+        let program = parse(src).unwrap();
+        let binding = StaticBinding::uniform(&program.symbols, &TwoPointScheme)
+            .with(program.var("h"), TwoPoint::High);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, p| {
+            b.iter(|| black_box(certify(p, &binding).certified()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leak_matrix/monitor_run");
+    for (name, src) in CASES {
+        let program = parse(src).unwrap();
+        let h = program.var("h");
+        let labels: Vec<TwoPoint> = program
+            .symbols
+            .iter()
+            .map(|(id, _)| {
+                if id == h {
+                    TwoPoint::High
+                } else {
+                    TwoPoint::Low
+                }
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, p| {
+            b.iter(|| {
+                let machine = Machine::with_inputs(p, &[(h, 0)]);
+                let mut mon = TaintMonitor::new(machine, labels.clone(), TwoPoint::Low);
+                mon.run(&mut RoundRobin::new(), 10_000);
+                black_box(mon.labels().to_vec())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ground_truth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leak_matrix/ground_truth");
+    group.sample_size(10);
+    for (name, src) in CASES {
+        let program = parse(src).unwrap();
+        let h = program.var("h");
+        let l = program.var("l");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, p| {
+            b.iter(|| {
+                black_box(check_binary_secret(p, h, &[l], ExploreLimits::default()).interferes)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_static, bench_monitor, bench_ground_truth);
+criterion_main!(benches);

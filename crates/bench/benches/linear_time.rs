@@ -1,0 +1,101 @@
+//! Experiment E7: the §6 linear-time claim.
+//!
+//! "The increase in power has been achieved without the loss of
+//! computational efficiency; both mechanisms can be computed in time
+//! proportional to the length of the program, once the program has been
+//! parsed."
+//!
+//! Sweeps CFM and the Denning baseline over doubling program sizes in
+//! four families, each stressing a different Figure 2 row. Criterion's
+//! throughput mode reports time/statement; the series is linear iff that
+//! number is flat across the sweep (see EXPERIMENTS.md for recorded
+//! values).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use secflow_core::{certify, certify_quadratic, denning_certify, StaticBinding};
+use secflow_lang::Program;
+use secflow_lattice::TwoPointScheme;
+use secflow_workload::{branchy, loop_heavy, sequential_chain, sync_heavy};
+
+const SIZES: &[usize] = &[256, 512, 1024, 2048, 4096, 8192];
+
+fn family(name: &str, size: usize) -> Program {
+    match name {
+        "chain" => sequential_chain(size, 8),
+        "loops" => loop_heavy(size / 3),
+        "sync" => sync_heavy(size / 7),
+        "branchy" => branchy((size.ilog2() as usize).max(4)),
+        _ => unreachable!(),
+    }
+}
+
+fn bench_mechanism(c: &mut Criterion) {
+    for fam in ["chain", "loops", "sync", "branchy"] {
+        let mut group = c.benchmark_group(format!("cfm_linear/{fam}"));
+        for &size in SIZES {
+            let program = family(fam, size);
+            let stmts = program.statement_count();
+            let binding = StaticBinding::uniform(&program.symbols, &TwoPointScheme);
+            group.throughput(Throughput::Elements(stmts as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(stmts), &program, |b, p| {
+                b.iter(|| black_box(certify(p, &binding).certified()));
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("denning_linear/chain");
+    for &size in SIZES {
+        let program = sequential_chain(size, 8);
+        let stmts = program.statement_count();
+        let binding = StaticBinding::uniform(&program.symbols, &TwoPointScheme);
+        group.throughput(Throughput::Elements(stmts as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(stmts), &program, |b, p| {
+            b.iter(|| black_box(denning_certify(p, &binding).certified()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_parsing_for_scale(c: &mut Criterion) {
+    // The claim is "once the program has been parsed"; record parsing
+    // cost separately so the two are not conflated.
+    use secflow_lang::{parse, print_program};
+    let mut group = c.benchmark_group("parse_linear/chain");
+    for &size in &[256usize, 1024, 4096] {
+        let text = print_program(&sequential_chain(size, 8));
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &text, |b, t| {
+            b.iter(|| black_box(parse(t).unwrap().statement_count()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_quadratic_ablation(c: &mut Criterion) {
+    // The ablation arm: the literal pairwise Figure 2 composition check.
+    // Its time/statement grows with size; the production series is flat.
+    let mut group = c.benchmark_group("cfm_quadratic_ablation/chain");
+    group.sample_size(10);
+    for &size in &[256usize, 512, 1024, 2048, 4096] {
+        let program = sequential_chain(size, 8);
+        let stmts = program.statement_count();
+        let binding = StaticBinding::uniform(&program.symbols, &TwoPointScheme);
+        group.throughput(Throughput::Elements(stmts as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(stmts), &program, |b, p| {
+            b.iter(|| black_box(certify_quadratic(p, &binding)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mechanism, bench_baseline, bench_parsing_for_scale, bench_quadratic_ablation
+}
+criterion_main!(benches);

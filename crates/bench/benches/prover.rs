@@ -1,0 +1,66 @@
+//! Experiment E5: cost of the Theorem 1 constructive prover and the
+//! independent checker, versus program size.
+//!
+//! The §6 claim covers "both mechanisms"; proof *construction* is also
+//! near-linear (the builder computes flows bottom-up), while checking a
+//! `cobegin` pays the quadratic interference-freedom obligation — the
+//! series here make that split visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use secflow_core::StaticBinding;
+use secflow_lattice::{Extended, TwoPointScheme};
+use secflow_logic::{build_proof, check_proof};
+use secflow_workload::{sequential_chain, sync_heavy};
+
+fn bench_builder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prover/build_chain");
+    for &size in &[128usize, 256, 512, 1024, 2048] {
+        let program = sequential_chain(size, 8);
+        let binding = StaticBinding::uniform(&program.symbols, &TwoPointScheme);
+        group.throughput(Throughput::Elements(program.statement_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &program, |b, p| {
+            b.iter(|| black_box(build_proof(p, &binding, Extended::Nil, Extended::Nil).size()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prover/check_chain");
+    for &size in &[128usize, 256, 512, 1024] {
+        let program = sequential_chain(size, 8);
+        let binding = StaticBinding::uniform(&program.symbols, &TwoPointScheme);
+        let proof = build_proof(&program, &binding, Extended::Nil, Extended::Nil);
+        group.throughput(Throughput::Elements(program.statement_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &proof, |b, proof| {
+            b.iter(|| black_box(check_proof(&program.body, proof).is_ok()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_checker_concurrent(c: &mut Criterion) {
+    // Interference freedom is O(|assertions| × |atomic actions|): expect
+    // super-linear growth here, unlike certification itself.
+    let mut group = c.benchmark_group("prover/check_sync");
+    group.sample_size(10);
+    for &rounds in &[4usize, 8, 16, 32] {
+        let program = sync_heavy(rounds);
+        let binding = StaticBinding::uniform(&program.symbols, &TwoPointScheme);
+        let proof = build_proof(&program, &binding, Extended::Nil, Extended::Nil);
+        group.throughput(Throughput::Elements(program.statement_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &proof, |b, proof| {
+            b.iter(|| black_box(check_proof(&program.body, proof).is_ok()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_builder, bench_checker, bench_checker_concurrent
+}
+criterion_main!(benches);

@@ -1,0 +1,772 @@
+//! `secflow` — certify, prove, run, explore, leak-test and repair
+//! information-flow properties of parallel programs.
+//!
+//! ```text
+//! secflow certify <file> --class x=high --class y=low [--default low] [--baseline]
+//! secflow prove   <file> --class … [--default …]
+//! secflow run     <file> [--input x=3] [--seed N] [--fuel N] [--trace]
+//! secflow explore <file> [--input x=3] [--max-states N]
+//! secflow leaktest <file> --secret x [--observe y,z] [--values 0,1]
+//! secflow infer   <file> --pin x=high [--pin y=low] [--lattice linear:4]
+//! secflow fig3    [--x N]
+//! ```
+//!
+//! Classes are `low`/`high` for the default two-point lattice, or `0..n-1`
+//! with `--lattice linear:n`.
+
+use std::collections::BTreeMap;
+use std::fmt::Display;
+use std::process::ExitCode;
+
+use secflow_core::{
+    certify, check_atomicity, denning_certify, infer_binding, FlowGraph, StaticBinding,
+};
+use secflow_lang::{parse, print_program, Program, VarId};
+use secflow_lattice::{Extended, Lattice, Linear, LinearScheme, Scheme, TwoPoint, TwoPointScheme};
+use secflow_logic::{check_proof, parse_proof, prove, render_proof, write_proof};
+use secflow_runtime::{
+    check_noninterference, explore, run_traced, ExploreLimits, Machine, RandomSched, RoundRobin,
+};
+use secflow_workload::{fig3_baseline_gap_binding, fig3_program, FIG3_SOURCE};
+
+const USAGE: &str = "\
+secflow — information flow control for parallel programs (Reitman, SOSP 1979)
+
+USAGE:
+  secflow certify <file> [--class name=CLASS]... [--default CLASS]
+                         [--lattice two|linear:N] [--baseline]
+  secflow prove   <file> [--class name=CLASS]... [--default CLASS]
+                         [--lattice two|linear:N] [--emit proof.sfp]
+  secflow checkproof <file> <-- via --proof> --proof proof.sfp
+  secflow run     <file> [--input name=VALUE]... [--seed N] [--fuel N] [--trace]
+  secflow explore <file> [--input name=VALUE]... [--max-states N]
+  secflow leaktest <file> --secret NAME [--observe a,b,c] [--values 0,1]
+  secflow infer   <file> [--pin name=CLASS]... [--lattice two|linear:N]
+  secflow flows   <file> [--class name=CLASS]... [--dot]
+  secflow atomicity <file>
+  secflow fig3    [--x VALUE]
+
+CLASSES: low | high (two-point, default), or 0..N-1 with --lattice linear:N
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        print!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "certify" => cmd_certify(rest),
+        "prove" => cmd_prove(rest),
+        "checkproof" => cmd_checkproof(rest),
+        "run" => cmd_run(rest),
+        "explore" => cmd_explore(rest),
+        "leaktest" => cmd_leaktest(rest),
+        "infer" => cmd_infer(rest),
+        "flows" => cmd_flows(rest),
+        "atomicity" => cmd_atomicity(rest),
+        "fig3" => cmd_fig3(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`; try `secflow help`")),
+    }
+}
+
+// ---- option parsing -----------------------------------------------------
+
+struct Opts {
+    file: Option<String>,
+    flags: BTreeMap<String, Vec<String>>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut file = None;
+    let mut flags: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let takes_value = !matches!(name, "baseline" | "trace" | "dot");
+            if takes_value {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.entry(name.to_string()).or_default().push(v.clone());
+            } else {
+                flags
+                    .entry(name.to_string())
+                    .or_default()
+                    .push(String::new());
+            }
+        } else if file.is_none() {
+            file = Some(a.clone());
+        } else {
+            return Err(format!("unexpected argument `{a}`"));
+        }
+        i += 1;
+    }
+    Ok(Opts { file, flags })
+}
+
+impl Opts {
+    fn file(&self) -> Result<&str, String> {
+        self.file.as_deref().ok_or_else(|| "missing <file>".into())
+    }
+
+    fn values(&self, name: &str) -> &[String] {
+        self.flags.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+fn load_program(path: &str) -> Result<(Program, String), String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let program = parse(&source).map_err(|d| d.render(&source))?;
+    Ok((program, source))
+}
+
+fn parse_pairs<'a>(
+    program: &Program,
+    specs: impl IntoIterator<Item = &'a String>,
+) -> Result<Vec<(VarId, String)>, String> {
+    let mut out = Vec::new();
+    for spec in specs {
+        let (name, value) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("expected name=value, got `{spec}`"))?;
+        let id = program
+            .symbols
+            .lookup(name)
+            .ok_or_else(|| format!("`{name}` is not declared"))?;
+        out.push((id, value.to_string()));
+    }
+    Ok(out)
+}
+
+// ---- lattice dispatch ---------------------------------------------------
+
+/// Runs `f` with the scheme selected by `--lattice` (monomorphized per
+/// scheme; classes arrive pre-parsed).
+fn with_scheme<R>(
+    opts: &Opts,
+    f: impl FnOnce(&dyn SchemeOps) -> Result<R, String>,
+) -> Result<R, String> {
+    match opts.value("lattice").unwrap_or("two") {
+        "two" => f(&TwoOps),
+        spec => {
+            let n = spec
+                .strip_prefix("linear:")
+                .and_then(|s| s.parse::<u32>().ok())
+                .ok_or_else(|| format!("bad --lattice `{spec}` (two | linear:N)"))?;
+            let scheme =
+                LinearScheme::new(n).ok_or_else(|| "linear lattice needs N >= 1".to_string())?;
+            f(&LinearOps { scheme })
+        }
+    }
+}
+
+/// Object-safe operations over a chosen scheme (the CLI needs exactly
+/// these: build a binding, certify, prove, infer).
+trait SchemeOps {
+    fn certify_report(
+        &self,
+        program: &Program,
+        source: &str,
+        classes: &[(VarId, String)],
+        default: Option<&str>,
+        baseline: bool,
+    ) -> Result<(bool, String), String>;
+
+    fn prove_report(
+        &self,
+        program: &Program,
+        classes: &[(VarId, String)],
+        default: Option<&str>,
+        emit: Option<&str>,
+    ) -> Result<(bool, String), String>;
+
+    fn checkproof_report(
+        &self,
+        program: &Program,
+        proof_text: &str,
+    ) -> Result<(bool, String), String>;
+
+    fn infer_report(
+        &self,
+        program: &Program,
+        pins: &[(VarId, String)],
+    ) -> Result<(bool, String), String>;
+}
+
+fn build_binding<S: Scheme>(
+    program: &Program,
+    scheme: &S,
+    classes: &[(VarId, String)],
+    default: Option<&str>,
+    parse_class: impl Fn(&str) -> Result<S::Elem, String>,
+) -> Result<StaticBinding<S::Elem>, String>
+where
+    S::Elem: Lattice,
+{
+    let base = match default {
+        Some(c) => parse_class(c)?,
+        None => scheme.low(),
+    };
+    let mut binding = StaticBinding::constant(&program.symbols, scheme, base);
+    for (id, class) in classes {
+        binding.set(*id, parse_class(class)?);
+    }
+    Ok(binding)
+}
+
+fn certify_impl<S: Scheme>(
+    program: &Program,
+    source: &str,
+    scheme: &S,
+    classes: &[(VarId, String)],
+    default: Option<&str>,
+    baseline: bool,
+    parse_class: impl Fn(&str) -> Result<S::Elem, String>,
+) -> Result<(bool, String), String>
+where
+    S::Elem: Lattice + Display,
+{
+    let binding = build_binding(program, scheme, classes, default, parse_class)?;
+    let report = if baseline {
+        denning_certify(program, &binding)
+    } else {
+        certify(program, &binding)
+    };
+    let mut out = String::new();
+    out.push_str(&binding.render(program));
+    out.push_str(&report.render(source));
+    Ok((report.certified(), out))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn prove_impl<S: Scheme>(
+    program: &Program,
+    scheme: &S,
+    classes: &[(VarId, String)],
+    default: Option<&str>,
+    emit: Option<&str>,
+    parse_class: impl Fn(&str) -> Result<S::Elem, String>,
+    show_class: impl Fn(&S::Elem) -> String,
+) -> Result<(bool, String), String>
+where
+    S::Elem: Lattice + Display,
+{
+    let binding = build_binding(program, scheme, classes, default, parse_class)?;
+    match prove(program, &binding, Extended::Nil, Extended::Nil) {
+        Ok(proof) => {
+            check_proof(&program.body, &proof).map_err(|e| e.to_string())?;
+            let mut out = format!(
+                "completely invariant flow proof found ({} nodes):\n{}",
+                proof.size(),
+                render_proof(&proof, &program.symbols)
+            );
+            if let Some(path) = emit {
+                let text = write_proof(&proof, &program.symbols, &|l| show_class(l));
+                std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                out.push_str(&format!("proof written to {path}\n"));
+            }
+            Ok((true, out))
+        }
+        Err(e) => Ok((false, format!("no completely invariant proof: {e}\n"))),
+    }
+}
+
+fn checkproof_impl<L: Lattice + Display>(
+    program: &Program,
+    proof_text: &str,
+    parse_lit: impl Fn(&str) -> Option<L>,
+) -> Result<(bool, String), String> {
+    let proof =
+        parse_proof(proof_text, &program.symbols, &|s| parse_lit(s)).map_err(|e| e.to_string())?;
+    match check_proof(&program.body, &proof) {
+        Ok(()) => Ok((true, format!("proof checks ({} nodes)\n", proof.size()))),
+        Err(e) => Ok((false, format!("proof REJECTED: {e}\n"))),
+    }
+}
+
+fn infer_impl<S: Scheme>(
+    program: &Program,
+    scheme: &S,
+    pins: &[(VarId, String)],
+    parse_class: impl Fn(&str) -> Result<S::Elem, String>,
+) -> Result<(bool, String), String>
+where
+    S::Elem: Lattice + Display,
+{
+    let mut parsed = Vec::new();
+    for (id, c) in pins {
+        parsed.push((*id, parse_class(c)?));
+    }
+    match infer_binding(program, scheme, parsed) {
+        Ok(binding) => Ok((
+            true,
+            format!("least certifying binding:\n{}", binding.render(program)),
+        )),
+        Err(unsat) => Ok((
+            false,
+            format!(
+                "no certifying binding: {} is pinned at {} but needs {}\nflow chain: {}\n",
+                program.symbols.name(unsat.var),
+                unsat.pinned,
+                unsat.required,
+                unsat.render_path(program)
+            ),
+        )),
+    }
+}
+
+struct TwoOps;
+
+fn parse_two(s: &str) -> Result<TwoPoint, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "low" | "l" => Ok(TwoPoint::Low),
+        "high" | "h" => Ok(TwoPoint::High),
+        other => Err(format!("unknown class `{other}` (low | high)")),
+    }
+}
+
+impl SchemeOps for TwoOps {
+    fn certify_report(
+        &self,
+        program: &Program,
+        source: &str,
+        classes: &[(VarId, String)],
+        default: Option<&str>,
+        baseline: bool,
+    ) -> Result<(bool, String), String> {
+        certify_impl(
+            program,
+            source,
+            &TwoPointScheme,
+            classes,
+            default,
+            baseline,
+            parse_two,
+        )
+    }
+
+    fn prove_report(
+        &self,
+        program: &Program,
+        classes: &[(VarId, String)],
+        default: Option<&str>,
+        emit: Option<&str>,
+    ) -> Result<(bool, String), String> {
+        prove_impl(
+            program,
+            &TwoPointScheme,
+            classes,
+            default,
+            emit,
+            parse_two,
+            |l| match l {
+                TwoPoint::Low => "low".to_string(),
+                TwoPoint::High => "high".to_string(),
+            },
+        )
+    }
+
+    fn checkproof_report(
+        &self,
+        program: &Program,
+        proof_text: &str,
+    ) -> Result<(bool, String), String> {
+        checkproof_impl(program, proof_text, |s| parse_two(s).ok())
+    }
+
+    fn infer_report(
+        &self,
+        program: &Program,
+        pins: &[(VarId, String)],
+    ) -> Result<(bool, String), String> {
+        infer_impl(program, &TwoPointScheme, pins, parse_two)
+    }
+}
+
+struct LinearOps {
+    scheme: LinearScheme,
+}
+
+impl LinearOps {
+    fn parse(&self, s: &str) -> Result<Linear, String> {
+        let k: u32 = s
+            .trim_start_matches(['L', 'l'])
+            .parse()
+            .map_err(|_| format!("unknown class `{s}` (0..{})", self.scheme.levels() - 1))?;
+        self.scheme
+            .level(k)
+            .ok_or_else(|| format!("level {k} out of range (0..{})", self.scheme.levels() - 1))
+    }
+}
+
+impl SchemeOps for LinearOps {
+    fn certify_report(
+        &self,
+        program: &Program,
+        source: &str,
+        classes: &[(VarId, String)],
+        default: Option<&str>,
+        baseline: bool,
+    ) -> Result<(bool, String), String> {
+        certify_impl(
+            program,
+            source,
+            &self.scheme,
+            classes,
+            default,
+            baseline,
+            |s| self.parse(s),
+        )
+    }
+
+    fn prove_report(
+        &self,
+        program: &Program,
+        classes: &[(VarId, String)],
+        default: Option<&str>,
+        emit: Option<&str>,
+    ) -> Result<(bool, String), String> {
+        prove_impl(
+            program,
+            &self.scheme,
+            classes,
+            default,
+            emit,
+            |s| self.parse(s),
+            |l| l.0.to_string(),
+        )
+    }
+
+    fn checkproof_report(
+        &self,
+        program: &Program,
+        proof_text: &str,
+    ) -> Result<(bool, String), String> {
+        checkproof_impl(program, proof_text, |s| self.parse(s).ok())
+    }
+
+    fn infer_report(
+        &self,
+        program: &Program,
+        pins: &[(VarId, String)],
+    ) -> Result<(bool, String), String> {
+        infer_impl(program, &self.scheme, pins, |s| self.parse(s))
+    }
+}
+
+// ---- commands -----------------------------------------------------------
+
+fn cmd_certify(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let (program, source) = load_program(opts.file()?)?;
+    let classes = parse_pairs(&program, opts.values("class"))?;
+    let (ok, report) = with_scheme(&opts, |ops| {
+        ops.certify_report(
+            &program,
+            &source,
+            &classes,
+            opts.value("default"),
+            opts.has("baseline"),
+        )
+    })?;
+    print!("{report}");
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_prove(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let (program, _) = load_program(opts.file()?)?;
+    let classes = parse_pairs(&program, opts.values("class"))?;
+    let (ok, report) = with_scheme(&opts, |ops| {
+        ops.prove_report(
+            &program,
+            &classes,
+            opts.value("default"),
+            opts.value("emit"),
+        )
+    })?;
+    print!("{report}");
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_checkproof(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let (program, _) = load_program(opts.file()?)?;
+    let proof_path = opts.value("proof").ok_or("missing --proof <file>")?;
+    let proof_text = std::fs::read_to_string(proof_path)
+        .map_err(|e| format!("cannot read `{proof_path}`: {e}"))?;
+    let (ok, report) = with_scheme(&opts, |ops| ops.checkproof_report(&program, &proof_text))?;
+    print!("{report}");
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn parse_inputs(program: &Program, opts: &Opts) -> Result<Vec<(VarId, i64)>, String> {
+    parse_pairs(program, opts.values("input"))?
+        .into_iter()
+        .map(|(id, v)| {
+            v.parse::<i64>()
+                .map(|n| (id, n))
+                .map_err(|_| format!("bad integer `{v}`"))
+        })
+        .collect()
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let (program, _) = load_program(opts.file()?)?;
+    let inputs = parse_inputs(&program, &opts)?;
+    let fuel: usize = opts.value("fuel").map_or(Ok(1_000_000), |v| {
+        v.parse().map_err(|_| "bad --fuel".to_string())
+    })?;
+    let mut machine = Machine::with_inputs(&program, &inputs);
+    let trace = match opts.value("seed") {
+        Some(seed) => {
+            let seed: u64 = seed.parse().map_err(|_| "bad --seed")?;
+            run_traced(&mut machine, &mut RandomSched::new(seed), fuel)
+        }
+        None => run_traced(&mut machine, &mut RoundRobin::new(), fuel),
+    };
+    if opts.has("trace") {
+        print!("{}", trace.render(&program));
+    }
+    println!("outcome: {:?}", trace.outcome);
+    for (id, info) in program.symbols.iter() {
+        println!("{} = {}", info.name, machine.get(id));
+    }
+    Ok(if trace.outcome.terminated() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_explore(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let (program, _) = load_program(opts.file()?)?;
+    let inputs = parse_inputs(&program, &opts)?;
+    let mut limits = ExploreLimits::default();
+    if let Some(ms) = opts.value("max-states") {
+        limits.max_states = ms.parse().map_err(|_| "bad --max-states")?;
+    }
+    let report = explore(&program, &inputs, limits);
+    println!(
+        "states: {}   terminal outcomes: {}   deadlocks: {}   faults: {}   truncated: {}",
+        report.states,
+        report.outcomes.len(),
+        report.deadlocks,
+        report.faults,
+        report.truncated
+    );
+    let names: Vec<&str> = program
+        .symbols
+        .iter()
+        .map(|(_, v)| v.name.as_str())
+        .collect();
+    for store in report.outcomes.iter().take(20) {
+        let pairs: Vec<String> = names
+            .iter()
+            .zip(store)
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect();
+        println!("  {}", pairs.join(" "));
+    }
+    if report.outcomes.len() > 20 {
+        println!("  ... {} more", report.outcomes.len() - 20);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_leaktest(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let (program, _) = load_program(opts.file()?)?;
+    let secret_name = opts.value("secret").ok_or("missing --secret")?;
+    let secret = program
+        .symbols
+        .lookup(secret_name)
+        .ok_or_else(|| format!("`{secret_name}` is not declared"))?;
+    let low_vars: Vec<VarId> = match opts.value("observe") {
+        Some(list) => list
+            .split(',')
+            .map(|n| {
+                program
+                    .symbols
+                    .lookup(n.trim())
+                    .ok_or_else(|| format!("`{n}` is not declared"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => program
+            .symbols
+            .data_vars()
+            .into_iter()
+            .filter(|v| *v != secret)
+            .collect(),
+    };
+    let values: Vec<i64> = match opts.value("values") {
+        Some(list) => list
+            .split(',')
+            .map(|v| v.trim().parse().map_err(|_| format!("bad value `{v}`")))
+            .collect::<Result<_, _>>()?,
+        None => vec![0, 1],
+    };
+    let variants: Vec<Vec<(VarId, i64)>> = values.iter().map(|v| vec![(secret, *v)]).collect();
+    let report = check_noninterference(&program, &variants, &low_vars, ExploreLimits::default());
+    if report.truncated {
+        println!("warning: exploration truncated; verdict is a lower bound");
+    }
+    match report.witness {
+        Some(w) => {
+            println!("INTERFERES: secret `{secret_name}` is observable");
+            println!(
+                "  {secret_name}={} -> outcomes {:?} deadlock={} fault={}",
+                w.inputs_a[0].1,
+                w.observed_a.low_outcomes,
+                w.observed_a.can_deadlock,
+                w.observed_a.can_fault
+            );
+            println!(
+                "  {secret_name}={} -> outcomes {:?} deadlock={} fault={}",
+                w.inputs_b[0].1,
+                w.observed_b.low_outcomes,
+                w.observed_b.can_deadlock,
+                w.observed_b.can_fault
+            );
+            Ok(ExitCode::FAILURE)
+        }
+        None => {
+            println!(
+                "no interference observed across {} secret values",
+                values.len()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
+fn cmd_infer(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let (program, _) = load_program(opts.file()?)?;
+    let pins = parse_pairs(&program, opts.values("pin"))?;
+    let (ok, report) = with_scheme(&opts, |ops| ops.infer_report(&program, &pins))?;
+    print!("{report}");
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_flows(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let (program, _) = load_program(opts.file()?)?;
+    let graph = FlowGraph::of(&program);
+    if opts.has("dot") {
+        let classes = parse_pairs(&program, opts.values("class"))?;
+        if classes.is_empty() && opts.value("default").is_none() {
+            print!("{}", graph.to_dot::<TwoPoint>(&program, None));
+        } else {
+            let binding = build_binding(
+                &program,
+                &TwoPointScheme,
+                &classes,
+                opts.value("default"),
+                parse_two,
+            )?;
+            print!("{}", graph.to_dot(&program, Some(&binding)));
+        }
+    } else {
+        print!("{}", graph.render(&program));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_atomicity(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let (program, source) = load_program(opts.file()?)?;
+    let report = check_atomicity(&program);
+    print!("{}", report.render(&source));
+    Ok(if report.single_reference() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_fig3(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let x: i64 = opts
+        .value("x")
+        .map_or(Ok(0), |v| v.parse().map_err(|_| "bad --x".to_string()))?;
+    let program = fig3_program();
+    println!("--- Figure 3 (Reitman, SOSP 1979) ---");
+    print!("{FIG3_SOURCE}");
+    println!("--- certification under the baseline-gap binding ---");
+    let binding = fig3_baseline_gap_binding(&program);
+    print!("{}", binding.render(&program));
+    let cfm = certify(&program, &binding);
+    let base = denning_certify(&program, &binding);
+    println!(
+        "CFM:      {}",
+        if cfm.certified() {
+            "certified"
+        } else {
+            "REJECTED"
+        }
+    );
+    println!(
+        "Dennings: {}",
+        if base.certified() {
+            "certified"
+        } else {
+            "REJECTED"
+        }
+    );
+    println!("--- execution with x = {x} ---");
+    let mut machine = Machine::with_inputs(&program, &[(program.var("x"), x)]);
+    let trace = run_traced(&mut machine, &mut RoundRobin::new(), 100_000);
+    println!("outcome: {:?}", trace.outcome);
+    println!("y = {} (x was {})", machine.get(program.var("y")), x);
+    println!("--- pretty-printed AST round-trip ---");
+    print!("{}", print_program(&program));
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,344 @@
+//! End-to-end tests of the `secflow` binary: every subcommand, exit
+//! codes, and report shapes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn secflow(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_secflow"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_program(name: &str, source: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("secflow-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, source).unwrap();
+    path
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+const LEAKY: &str = "var h, l : integer; l := h";
+const SAFE: &str = "var h, l : integer; l := 7";
+const SYNC: &str = "var h, l : integer; sem : semaphore;
+cobegin if h = 0 then signal(sem) || begin wait(sem); l := 0 end coend";
+
+#[test]
+fn help_prints_usage() {
+    let out = secflow(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = secflow(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stdout(&out).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_is_an_error() {
+    let out = secflow(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn certify_rejects_leak_with_exit_1() {
+    let p = write_program("leaky.sfl", LEAKY);
+    let out = secflow(&["certify", p.to_str().unwrap(), "--class", "h=high"]);
+    assert_eq!(out.status.code(), Some(1));
+    let s = stdout(&out);
+    assert!(s.contains("NOT certified"), "{s}");
+    assert!(s.contains("direct flow"), "{s}");
+}
+
+#[test]
+fn certify_accepts_safe_program_with_exit_0() {
+    let p = write_program("safe.sfl", SAFE);
+    let out = secflow(&["certify", p.to_str().unwrap(), "--class", "h=high"]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("certified"));
+}
+
+#[test]
+fn certify_baseline_misses_the_sync_channel() {
+    let p = write_program("sync.sfl", SYNC);
+    // Semaphore High so the local guard check passes in both mechanisms.
+    let args_common = ["--class", "h=high", "--class", "sem=high"];
+    let cfm = secflow(&[&["certify", p.to_str().unwrap()], &args_common[..]].concat());
+    assert_eq!(cfm.status.code(), Some(1), "CFM rejects");
+    let base = secflow(
+        &[
+            &["certify", p.to_str().unwrap(), "--baseline"],
+            &args_common[..],
+        ]
+        .concat(),
+    );
+    assert!(base.status.success(), "baseline certifies");
+}
+
+#[test]
+fn certify_with_linear_lattice() {
+    let p = write_program("linear.sfl", "var a, b : integer; b := a");
+    let ok = secflow(&[
+        "certify",
+        p.to_str().unwrap(),
+        "--lattice",
+        "linear:4",
+        "--class",
+        "a=1",
+        "--class",
+        "b=3",
+    ]);
+    assert!(ok.status.success(), "{}", stdout(&ok));
+    let bad = secflow(&[
+        "certify",
+        p.to_str().unwrap(),
+        "--lattice",
+        "linear:4",
+        "--class",
+        "a=3",
+        "--class",
+        "b=1",
+    ]);
+    assert_eq!(bad.status.code(), Some(1));
+}
+
+#[test]
+fn prove_emits_a_proof_for_certified_programs() {
+    let p = write_program("provable.sfl", "var h, l : integer; l := 7");
+    let out = secflow(&["prove", p.to_str().unwrap(), "--class", "h=high"]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    let s = stdout(&out);
+    assert!(s.contains("completely invariant flow proof"), "{s}");
+    assert!(s.contains("assignment axiom"), "{s}");
+}
+
+#[test]
+fn prove_refuses_uncertified_programs() {
+    let p = write_program("unprovable.sfl", LEAKY);
+    let out = secflow(&["prove", p.to_str().unwrap(), "--class", "h=high"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("no completely invariant proof"));
+}
+
+#[test]
+fn run_executes_and_prints_finals() {
+    let p = write_program(
+        "runme.sfl",
+        "var x, y : integer; begin y := x * 2; x := 0 end",
+    );
+    let out = secflow(&["run", p.to_str().unwrap(), "--input", "x=21"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("y = 42"), "{s}");
+    assert!(s.contains("Terminated"), "{s}");
+}
+
+#[test]
+fn run_reports_deadlock_with_exit_1() {
+    let p = write_program("dead.sfl", "var s : semaphore; wait(s)");
+    let out = secflow(&["run", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("Deadlocked"));
+}
+
+#[test]
+fn run_with_trace_lists_steps() {
+    let p = write_program("traced.sfl", "var x : integer; x := 1");
+    let out = secflow(&["run", p.to_str().unwrap(), "--trace"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("P0"), "{}", stdout(&out));
+}
+
+#[test]
+fn explore_counts_outcomes() {
+    let p = write_program(
+        "race.sfl",
+        "var x : integer; cobegin x := 1 || x := 2 coend",
+    );
+    let out = secflow(&["explore", p.to_str().unwrap()]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("terminal outcomes: 2"), "{s}");
+    assert!(s.contains("x=1"), "{s}");
+    assert!(s.contains("x=2"), "{s}");
+}
+
+#[test]
+fn leaktest_finds_interference() {
+    let p = write_program("leak2.sfl", LEAKY);
+    let out = secflow(&["leaktest", p.to_str().unwrap(), "--secret", "h"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("INTERFERES"));
+}
+
+#[test]
+fn leaktest_passes_safe_programs() {
+    let p = write_program("safe2.sfl", SAFE);
+    let out = secflow(&["leaktest", p.to_str().unwrap(), "--secret", "h"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("no interference"));
+}
+
+#[test]
+fn infer_prints_least_binding() {
+    let p = write_program(
+        "infer.sfl",
+        "var a, b, c : integer; begin b := a; c := b end",
+    );
+    let out = secflow(&["infer", p.to_str().unwrap(), "--pin", "a=high"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("b: High"), "{s}");
+    assert!(s.contains("c: High"), "{s}");
+}
+
+#[test]
+fn infer_reports_unsatisfiable_pins() {
+    let p = write_program("unsat.sfl", LEAKY);
+    let out = secflow(&[
+        "infer",
+        p.to_str().unwrap(),
+        "--pin",
+        "h=high",
+        "--pin",
+        "l=low",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("no certifying binding"));
+}
+
+#[test]
+fn fig3_demo_runs() {
+    let out = secflow(&["fig3", "--x", "0"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("CFM:      REJECTED"), "{s}");
+    assert!(s.contains("Dennings: certified"), "{s}");
+    assert!(s.contains("y = 1 (x was 0)"), "{s}");
+}
+
+#[test]
+fn prove_emit_then_checkproof_round_trips() {
+    let dir = std::env::temp_dir().join("secflow-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_program("emitme.sfl", SYNC);
+    let proof_path = dir.join("emitted.sfp");
+    let out = secflow(&[
+        "prove",
+        prog.to_str().unwrap(),
+        "--default",
+        "high",
+        "--emit",
+        proof_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(proof_path.exists());
+
+    // The emitted proof re-checks.
+    let out = secflow(&[
+        "checkproof",
+        prog.to_str().unwrap(),
+        "--proof",
+        proof_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("proof checks"));
+
+    // Tampering is caught by the checker.
+    let text = std::fs::read_to_string(&proof_path).unwrap();
+    let tampered_path = dir.join("tampered.sfp");
+    std::fs::write(&tampered_path, text.replacen("high", "low", 1)).unwrap();
+    let out = secflow(&[
+        "checkproof",
+        prog.to_str().unwrap(),
+        "--proof",
+        tampered_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stdout(&out).contains("REJECTED"));
+}
+
+#[test]
+fn checkproof_reports_syntax_errors() {
+    let prog = write_program("cps.sfl", SAFE);
+    let dir = std::env::temp_dir().join("secflow-cli-tests");
+    let bad = dir.join("bad.sfp");
+    std::fs::write(&bad, "garbage {").unwrap();
+    let out = secflow(&[
+        "checkproof",
+        prog.to_str().unwrap(),
+        "--proof",
+        bad.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("syntax error"));
+}
+
+#[test]
+fn flows_lists_constraints() {
+    let p = write_program("flows.sfl", SYNC);
+    let out = secflow(&["flows", p.to_str().unwrap()]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("h -> sem"), "{s}");
+    assert!(s.contains("sem -> l"), "{s}");
+}
+
+#[test]
+fn flows_dot_highlights_violations() {
+    let p = write_program("flows2.sfl", SYNC);
+    let out = secflow(&["flows", p.to_str().unwrap(), "--dot", "--class", "h=high"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("digraph"), "{s}");
+    assert!(s.contains("color=red"), "{s}");
+}
+
+#[test]
+fn atomicity_flags_racy_increments() {
+    let p = write_program(
+        "racy.sfl",
+        "var x : integer; cobegin x := x + 1 || x := x + 1 coend",
+    );
+    let out = secflow(&["atomicity", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stdout(&out).contains("shared variables"),
+        "{}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn atomicity_passes_single_reference_programs() {
+    let p = write_program("clean.sfl", SYNC);
+    let out = secflow(&["atomicity", p.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("at most one"));
+}
+
+#[test]
+fn parse_errors_render_with_carets() {
+    let p = write_program("bad.sfl", "var x : integer; x := ");
+    let out = secflow(&["certify", p.to_str().unwrap(), "--default", "low"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("expected an expression"), "{err}");
+}
+
+#[test]
+fn undeclared_class_name_is_an_error() {
+    let p = write_program("missing.sfl", SAFE);
+    let out = secflow(&["certify", p.to_str().unwrap(), "--class", "ghost=high"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not declared"));
+}

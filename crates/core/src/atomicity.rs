@@ -1,0 +1,345 @@
+//! The §2.0 atomicity side-condition.
+//!
+//! The paper assumes "each assignment and expression must be executed or
+//! evaluated as an indivisible action", then remarks (citing Owicki &
+//! Gries): *"this requirement may be eliminated if every expression and
+//! assignment statement makes at most one reference to a variable that
+//! can be changed in another process"* — real hardware only gives
+//! per-memory-reference atomicity, and the single-shared-reference
+//! condition is what makes the coarse model faithful.
+//!
+//! This module checks that condition syntactically. For every `cobegin`,
+//! a variable is *foreign-writable* for process `i` when a sibling
+//! process may modify it; an action of process `i` violates the condition
+//! when it makes two or more references to foreign-writable variables
+//! (counting the assignment target as a reference when the target itself
+//! is foreign-writable, since the read-modify-write of `x := x + 1` is
+//! then racy). Programs that pass can be run soundly on
+//! per-reference-atomic hardware; for programs that fail, the
+//! interpreter's expression-level atomicity is a modelling assumption the
+//! report makes explicit.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use secflow_lang::span::LineIndex;
+use secflow_lang::{Expr, Program, Span, Stmt, VarId};
+
+/// One violation of the single-shared-reference condition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AtomicityViolation {
+    /// The offending assignment or guard.
+    pub span: Span,
+    /// The foreign-writable variables it references (≥ 2, or 1 plus a
+    /// foreign-writable assignment target).
+    pub shared_refs: Vec<VarId>,
+    /// Rendered description.
+    pub message: String,
+}
+
+impl fmt::Display for AtomicityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at {})", self.message, self.span)
+    }
+}
+
+/// The outcome of the §2.0 atomicity check.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AtomicityReport {
+    /// Every action referencing more than one foreign-writable variable.
+    pub violations: Vec<AtomicityViolation>,
+}
+
+impl AtomicityReport {
+    /// `true` iff the coarse atomicity model is justified for this
+    /// program on per-reference-atomic hardware.
+    pub fn single_reference(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the report against program source.
+    pub fn render(&self, source: &str) -> String {
+        if self.single_reference() {
+            return "every action makes at most one shared-variable reference\n".into();
+        }
+        let idx = LineIndex::new(source);
+        let mut out = format!(
+            "{} multi-shared-reference action(s):\n",
+            self.violations.len()
+        );
+        for v in &self.violations {
+            let (line, col) = idx.line_col(v.span.start);
+            out.push_str(&format!("  line {line}, col {col}: {}\n", v.message));
+        }
+        out
+    }
+}
+
+/// Checks the §2.0 single-shared-reference condition for a program.
+///
+/// # Examples
+///
+/// ```
+/// use secflow_core::check_atomicity;
+/// use secflow_lang::parse;
+///
+/// // `x := x + 1` in both processes: the increment is a racy
+/// // read-modify-write of a shared variable.
+/// let racy = parse(
+///     "var x : integer; cobegin x := x + 1 || x := x + 1 coend",
+/// )
+/// .unwrap();
+/// assert!(!check_atomicity(&racy).single_reference());
+///
+/// // The same increments guarded by a mutex still *reference* the shared
+/// // variable twice, but a handoff through distinct variables passes:
+/// let clean = parse(
+///     "var a, b : integer; s : semaphore;
+///      cobegin begin a := 1; signal(s) end || begin wait(s); b := a end coend",
+/// )
+/// .unwrap();
+/// assert!(check_atomicity(&clean).single_reference());
+/// ```
+pub fn check_atomicity(program: &Program) -> AtomicityReport {
+    let mut report = AtomicityReport::default();
+    walk(&program.body, program, &mut report);
+    report
+}
+
+fn walk(stmt: &Stmt, program: &Program, report: &mut AtomicityReport) {
+    if let Stmt::Cobegin { branches, .. } = stmt {
+        // Variables each branch may modify.
+        let writes: Vec<BTreeSet<VarId>> = branches
+            .iter()
+            .map(|b| b.modified_vars().into_iter().collect())
+            .collect();
+        for (i, branch) in branches.iter().enumerate() {
+            // Foreign-writable for branch i: anything a sibling writes.
+            let foreign: BTreeSet<VarId> = writes
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .flat_map(|(_, w)| w.iter().copied())
+                .collect();
+            check_branch(branch, &foreign, program, report);
+        }
+    }
+    // Recurse for nested cobegins (each nesting level re-derives its own
+    // foreign sets; outer levels already covered inner branches as whole
+    // statements).
+    match stmt {
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            walk(then_branch, program, report);
+            if let Some(e) = else_branch {
+                walk(e, program, report);
+            }
+        }
+        Stmt::While { body, .. } => walk(body, program, report),
+        Stmt::Seq { stmts, .. } => stmts.iter().for_each(|s| walk(s, program, report)),
+        Stmt::Cobegin { branches, .. } => branches.iter().for_each(|s| walk(s, program, report)),
+        _ => {}
+    }
+}
+
+fn shared_refs_in_expr(expr: &Expr, foreign: &BTreeSet<VarId>) -> Vec<VarId> {
+    let mut refs = Vec::new();
+    expr.for_each_var(&mut |v| {
+        if foreign.contains(&v) {
+            refs.push(v); // with repetition: x + x is two references
+        }
+    });
+    refs
+}
+
+fn check_branch(
+    stmt: &Stmt,
+    foreign: &BTreeSet<VarId>,
+    program: &Program,
+    report: &mut AtomicityReport,
+) {
+    let mut record = |span: Span, refs: Vec<VarId>, what: &str| {
+        if refs.len() >= 2 {
+            let names: Vec<&str> = refs.iter().map(|v| program.symbols.name(*v)).collect();
+            report.violations.push(AtomicityViolation {
+                span,
+                message: format!(
+                    "{what} references {} shared variables ({}); per-reference \
+                     atomicity would admit interleavings the model hides",
+                    refs.len(),
+                    names.join(", ")
+                ),
+                shared_refs: refs,
+            });
+        }
+    };
+    match stmt {
+        Stmt::Assign { var, expr, span } => {
+            let mut refs = shared_refs_in_expr(expr, foreign);
+            // A foreign-writable target makes the write part of a
+            // read-modify-write race whenever the rhs also touches shared
+            // state.
+            if foreign.contains(var) {
+                refs.push(*var);
+            }
+            record(*span, refs, "assignment");
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            span,
+        } => {
+            record(*span, shared_refs_in_expr(cond, foreign), "guard");
+            check_branch(then_branch, foreign, program, report);
+            if let Some(e) = else_branch {
+                check_branch(e, foreign, program, report);
+            }
+        }
+        Stmt::While { cond, body, span } => {
+            record(*span, shared_refs_in_expr(cond, foreign), "guard");
+            check_branch(body, foreign, program, report);
+        }
+        Stmt::Seq { stmts, .. } => stmts
+            .iter()
+            .for_each(|s| check_branch(s, foreign, program, report)),
+        // A nested cobegin is re-analyzed by `walk` with its own foreign
+        // sets; its branches are opaque here.
+        Stmt::Cobegin { .. } | Stmt::Skip(_) | Stmt::Wait { .. } | Stmt::Signal { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_lang::parse;
+
+    #[test]
+    fn sequential_programs_trivially_pass() {
+        let p = parse("var x, y : integer; begin x := y + y; y := x * x end").unwrap();
+        assert!(check_atomicity(&p).single_reference());
+    }
+
+    #[test]
+    fn read_modify_write_race_is_flagged() {
+        let p = parse("var x : integer; cobegin x := x + 1 || x := x + 1 coend").unwrap();
+        let r = check_atomicity(&p);
+        assert_eq!(r.violations.len(), 2, "both increments are racy");
+        assert!(r.render("").contains("assignment references 2"));
+    }
+
+    #[test]
+    fn single_shared_read_passes() {
+        // y := x reads one shared variable: per-reference atomic ≡ coarse.
+        let p = parse("var x, y : integer; cobegin x := 5 || y := x coend").unwrap();
+        assert!(check_atomicity(&p).single_reference());
+    }
+
+    #[test]
+    fn two_shared_reads_in_one_expression_fail() {
+        let p = parse(
+            "var x, y, z : integer;
+             cobegin begin x := 1; y := 2 end || z := x + y coend",
+        )
+        .unwrap();
+        let r = check_atomicity(&p);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].shared_refs.len(), 2);
+    }
+
+    #[test]
+    fn double_reference_to_one_shared_variable_fails() {
+        // x * x is two references to x (it can change in between).
+        let p = parse("var x, y : integer; cobegin x := 1 || y := x * x coend").unwrap();
+        let r = check_atomicity(&p);
+        assert_eq!(r.violations.len(), 1);
+    }
+
+    #[test]
+    fn guards_are_checked_too() {
+        let p = parse(
+            "var x, y, l : integer;
+             cobegin begin x := 1; y := 1 end || if x = y then l := 1 coend",
+        )
+        .unwrap();
+        let r = check_atomicity(&p);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("guard"));
+    }
+
+    #[test]
+    fn variables_private_to_a_process_do_not_count() {
+        // Each process hammers its own variable: no sharing at all.
+        let p = parse(
+            "var a, b : integer;
+             cobegin a := a + a * a || b := b + b * b coend",
+        )
+        .unwrap();
+        assert!(check_atomicity(&p).single_reference());
+    }
+
+    #[test]
+    fn read_only_shared_variables_do_not_count() {
+        // Both processes read c, nobody writes it: not foreign-writable.
+        let p = parse(
+            "var c, a, b : integer;
+             cobegin a := c + c || b := c * c coend",
+        )
+        .unwrap();
+        assert!(check_atomicity(&p).single_reference());
+    }
+
+    #[test]
+    fn fig3_satisfies_the_papers_own_condition() {
+        // The paper's flagship example obeys its §2.0 remark: every
+        // action touches at most one variable another process can change.
+        let p = secflow_lang::parse(secflow_fig3_source()).unwrap();
+        assert!(check_atomicity(&p).single_reference());
+    }
+
+    fn secflow_fig3_source() -> &'static str {
+        "var x, y, m : integer;
+         modify, modified, read, done : semaphore initially(0);
+         cobegin
+           begin
+             m := 0;
+             if x = 0 then begin signal(modify); wait(modified) end;
+             signal(read); wait(done);
+             if x # 0 then begin signal(modify); wait(modified) end
+           end
+         || begin wait(modify); m := 1; signal(modified) end
+         || begin wait(read); y := m; signal(done) end
+         coend"
+    }
+
+    #[test]
+    fn nested_cobegin_uses_inner_foreign_sets() {
+        // In the inner cobegin, p and q are mutually foreign; q := p + p
+        // is a double shared read even though the outer sibling only
+        // touches r.
+        let p = parse(
+            "var p, q, r : integer;
+             cobegin
+               cobegin p := 1 || q := p + p coend
+             ||
+               r := 2
+             coend",
+        )
+        .unwrap();
+        let rep = check_atomicity(&p);
+        assert_eq!(rep.violations.len(), 1);
+        assert_eq!(rep.violations[0].shared_refs.len(), 2);
+    }
+
+    #[test]
+    fn render_mentions_locations() {
+        let src = "var x : integer; cobegin x := x + 1 || x := 0 coend";
+        let p = parse(src).unwrap();
+        let r = check_atomicity(&p);
+        let text = r.render(src);
+        assert!(text.contains("line 1"), "{text}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Static bindings: the fixed association of variables to security classes.
+//!
+//! Definition 3 of the paper: a *static binding* `sbind` maps every
+//! variable, constant and expression of a program to a security class; the
+//! binding of a constant is `low` and the binding of `e1 op e2` is
+//! `sbind(e1) ⊕ sbind(e2)`. Only the variable classes are free — this
+//! module stores those densely by [`VarId`] and derives expression classes.
+
+use secflow_lang::{Expr, Program, SymbolTable, VarId};
+use secflow_lattice::{Lattice, Scheme};
+
+/// A static binding for a given program's variables.
+///
+/// # Examples
+///
+/// ```
+/// use secflow_core::StaticBinding;
+/// use secflow_lang::parse;
+/// use secflow_lattice::{TwoPoint, TwoPointScheme};
+///
+/// let p = parse("var x, y : integer; y := x").unwrap();
+/// let sbind = StaticBinding::uniform(&p.symbols, &TwoPointScheme)
+///     .with(p.var("x"), TwoPoint::High);
+/// assert_eq!(*sbind.class(p.var("x")), TwoPoint::High);
+/// assert_eq!(*sbind.class(p.var("y")), TwoPoint::Low);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StaticBinding<L> {
+    classes: Vec<L>,
+    low: L,
+}
+
+impl<L: Lattice> StaticBinding<L> {
+    /// Binds every declared name to `scheme.low()`.
+    pub fn uniform<S: Scheme<Elem = L>>(symbols: &SymbolTable, scheme: &S) -> Self {
+        Self::constant(symbols, scheme, scheme.low())
+    }
+
+    /// Binds every declared name to `class`.
+    pub fn constant<S: Scheme<Elem = L>>(symbols: &SymbolTable, scheme: &S, class: L) -> Self {
+        StaticBinding {
+            classes: vec![class; symbols.len()],
+            low: scheme.low(),
+        }
+    }
+
+    /// Builds a binding from `(name, class)` pairs, defaulting the rest to
+    /// `scheme.low()`.
+    ///
+    /// Returns `Err(name)` for the first pair naming an undeclared
+    /// variable.
+    pub fn from_pairs<'a, S: Scheme<Elem = L>>(
+        symbols: &SymbolTable,
+        scheme: &S,
+        pairs: impl IntoIterator<Item = (&'a str, L)>,
+    ) -> Result<Self, String> {
+        let mut b = Self::uniform(symbols, scheme);
+        for (name, class) in pairs {
+            let id = symbols.lookup(name).ok_or_else(|| name.to_string())?;
+            b.set(id, class);
+        }
+        Ok(b)
+    }
+
+    /// Sets the class of one variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range for the program this binding was
+    /// built for.
+    pub fn set(&mut self, var: VarId, class: L) {
+        self.classes[var.index()] = class;
+    }
+
+    /// Builder-style [`set`](Self::set).
+    pub fn with(mut self, var: VarId, class: L) -> Self {
+        self.set(var, class);
+        self
+    }
+
+    /// The class bound to `var`.
+    pub fn class(&self, var: VarId) -> &L {
+        &self.classes[var.index()]
+    }
+
+    /// The class of constants (the scheme's `low`).
+    pub fn low(&self) -> &L {
+        &self.low
+    }
+
+    /// The class of an expression: `low` joined with the classes of every
+    /// variable read (Definition 3).
+    pub fn expr_class(&self, expr: &Expr) -> L {
+        let mut acc = self.low.clone();
+        expr.for_each_var(&mut |v| acc = acc.join(self.class(v)));
+        acc
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// `true` iff the program declared no names.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Iterates over `(var, class)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &L)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (VarId(i as u32), l))
+    }
+
+    /// Renders the binding as `name: class` lines using `program`'s names.
+    pub fn render(&self, program: &Program) -> String {
+        let mut out = String::new();
+        for (id, info) in program.symbols.iter() {
+            out.push_str(&format!("{}: {}\n", info.name, self.class(id)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_lang::parse;
+    use secflow_lattice::{TwoPoint, TwoPointScheme};
+
+    fn program() -> Program {
+        parse("var x, y, z : integer; s : semaphore; y := x + z").unwrap()
+    }
+
+    #[test]
+    fn uniform_is_all_low() {
+        let p = program();
+        let b = StaticBinding::uniform(&p.symbols, &TwoPointScheme);
+        for (_, c) in b.iter() {
+            assert_eq!(*c, TwoPoint::Low);
+        }
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn from_pairs_sets_named_classes() {
+        let p = program();
+        let b = StaticBinding::from_pairs(
+            &p.symbols,
+            &TwoPointScheme,
+            [("x", TwoPoint::High), ("s", TwoPoint::High)],
+        )
+        .unwrap();
+        assert_eq!(*b.class(p.var("x")), TwoPoint::High);
+        assert_eq!(*b.class(p.var("y")), TwoPoint::Low);
+        assert_eq!(*b.class(p.var("s")), TwoPoint::High);
+    }
+
+    #[test]
+    fn from_pairs_rejects_unknown_names() {
+        let p = program();
+        let err = StaticBinding::from_pairs(&p.symbols, &TwoPointScheme, [("w", TwoPoint::High)])
+            .unwrap_err();
+        assert_eq!(err, "w");
+    }
+
+    #[test]
+    fn expr_class_joins_variable_classes() {
+        let p = program();
+        let b =
+            StaticBinding::uniform(&p.symbols, &TwoPointScheme).with(p.var("z"), TwoPoint::High);
+        match &p.body {
+            secflow_lang::Stmt::Assign { expr, .. } => {
+                assert_eq!(b.expr_class(expr), TwoPoint::High);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn expr_class_of_constant_is_low() {
+        let p = parse("var x : integer; x := 7").unwrap();
+        let b = StaticBinding::constant(&p.symbols, &TwoPointScheme, TwoPoint::High);
+        match &p.body {
+            secflow_lang::Stmt::Assign { expr, .. } => {
+                assert_eq!(b.expr_class(expr), TwoPoint::Low);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn render_lists_every_name() {
+        let p = program();
+        let b = StaticBinding::uniform(&p.symbols, &TwoPointScheme);
+        let r = b.render(&p);
+        for name in ["x", "y", "z", "s"] {
+            assert!(r.contains(&format!("{name}: Low")), "{r}");
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The Denning–Denning baseline mechanism (CACM 1977), as characterized in
+//! §4.1 of the paper.
+//!
+//! The original certification mechanism checks *direct* flows
+//! (`sbind(e) ≤ sbind(x)` at assignments) and *local indirect* flows
+//! (`sbind(e) ≤ mod(S)` at alternation and iteration guards), but
+//! **disregards global flows**: it assumes statement relationships are
+//! fully captured by nesting, so conditional non-termination and semaphore
+//! synchronization leak past it. The paper's §4.1: "Global flows are
+//! disregarded by the Dennings' mechanism. … This mechanism is applicable
+//! only to sequential programs that are guaranteed to terminate for all
+//! inputs."
+//!
+//! We extend it to the concurrent syntax in the weakest defensible way
+//! (it must *parse* the same programs to serve as a baseline): semaphores
+//! are treated as ordinary modified variables and `wait`/`signal` certify
+//! unconditionally, exactly as in CFM, but no `flow` function exists, so
+//! the iteration and composition global checks are absent. The
+//! `fig3_channel` benchmark and the E3/E10 experiments quantify what this
+//! baseline misses.
+
+use secflow_lang::{print_expr, Program, Stmt, SymbolTable};
+use secflow_lattice::{Extended, Lattice};
+
+use crate::binding::StaticBinding;
+use crate::report::{CertReport, CheckRule, ModClass, Violation};
+
+/// Runs the Denning–Denning baseline over a whole program.
+///
+/// The returned report uses the same [`CertReport`] shape as
+/// [`crate::certify`]; its `flow` is always `nil` because the baseline does
+/// not track global flows.
+///
+/// # Examples
+///
+/// The baseline accepts the §4.2 composition `begin wait(sem); y := 1 end`
+/// that CFM rejects:
+///
+/// ```
+/// use secflow_core::{certify, denning_certify, StaticBinding};
+/// use secflow_lang::parse;
+/// use secflow_lattice::{TwoPoint, TwoPointScheme};
+///
+/// let p = parse("var y : integer; sem : semaphore; begin wait(sem); y := 1 end").unwrap();
+/// let b = StaticBinding::uniform(&p.symbols, &TwoPointScheme)
+///     .with(p.var("sem"), TwoPoint::High);
+/// assert!(denning_certify(&p, &b).certified()); // misses the global flow
+/// assert!(!certify(&p, &b).certified()); // CFM catches it
+/// ```
+pub fn denning_certify<L: Lattice>(program: &Program, sbind: &StaticBinding<L>) -> CertReport<L> {
+    let mut cx = Cx {
+        symbols: &program.symbols,
+        sbind,
+        violations: Vec::new(),
+        checks: 0,
+    };
+    let mod_class = cx.analyze(&program.body);
+    CertReport {
+        violations: cx.violations,
+        mod_class,
+        flow: Extended::Nil,
+        checks: cx.checks,
+    }
+}
+
+struct Cx<'a, L> {
+    symbols: &'a SymbolTable,
+    sbind: &'a StaticBinding<L>,
+    violations: Vec<Violation<L>>,
+    checks: usize,
+}
+
+impl<L: Lattice> Cx<'_, L> {
+    fn check(
+        &mut self,
+        rule: CheckRule,
+        stmt: &Stmt,
+        found: L,
+        limit: &ModClass<L>,
+        message: impl FnOnce() -> String,
+    ) {
+        self.checks += 1;
+        let found = Extended::Elem(found);
+        if !limit.bounds(&found) {
+            self.violations.push(Violation {
+                rule,
+                span: stmt.span(),
+                found,
+                limit: limit.clone(),
+                message: message(),
+            });
+        }
+    }
+
+    fn analyze(&mut self, stmt: &Stmt) -> ModClass<L> {
+        match stmt {
+            Stmt::Skip(_) => ModClass::Top,
+            Stmt::Assign { var, expr, .. } => {
+                let target = ModClass::Class(self.sbind.class(*var).clone());
+                let e_class = self.sbind.expr_class(expr);
+                self.check(CheckRule::AssignDirect, stmt, e_class, &target, || {
+                    format!(
+                        "`{}` flows directly into `{}`",
+                        print_expr(expr, self.symbols),
+                        self.symbols.name(*var)
+                    )
+                });
+                target
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let m1 = self.analyze(then_branch);
+                let m2 = match else_branch {
+                    Some(e) => self.analyze(e),
+                    None => ModClass::Top,
+                };
+                let m = m1.meet(&m2);
+                let e_class = self.sbind.expr_class(cond);
+                self.check(CheckRule::IfLocal, stmt, e_class, &m, || {
+                    format!(
+                        "guard `{}` flows locally into the branches",
+                        print_expr(cond, self.symbols)
+                    )
+                });
+                m
+            }
+            Stmt::While { cond, body, .. } => {
+                let m = self.analyze(body);
+                // Local check only: the guard flows into the body. The
+                // *global* flow out of the loop (conditional termination)
+                // is the part the baseline misses.
+                let e_class = self.sbind.expr_class(cond);
+                self.check(CheckRule::IfLocal, stmt, e_class, &m, || {
+                    format!(
+                        "guard `{}` flows locally into the loop body",
+                        print_expr(cond, self.symbols)
+                    )
+                });
+                m
+            }
+            Stmt::Seq { stmts, .. }
+            | Stmt::Cobegin {
+                branches: stmts, ..
+            } => {
+                let mut m = ModClass::Top;
+                for s in stmts {
+                    m = m.meet(&self.analyze(s));
+                }
+                m
+            }
+            Stmt::Wait { sem, .. } | Stmt::Signal { sem, .. } => {
+                ModClass::Class(self.sbind.class(*sem).clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfm::certify;
+    use secflow_lang::parse;
+    use secflow_lattice::{TwoPoint, TwoPointScheme};
+
+    fn setup(src: &str, highs: &[&str]) -> (Program, StaticBinding<TwoPoint>) {
+        let p = parse(src).unwrap();
+        // Ignore names not declared in this particular source, so shared
+        // high-sets can be swept across several programs.
+        let pairs: Vec<_> = highs
+            .iter()
+            .filter(|n| p.symbols.lookup(n).is_some())
+            .map(|n| (*n, TwoPoint::High))
+            .collect();
+        let b = StaticBinding::from_pairs(&p.symbols, &TwoPointScheme, pairs).unwrap();
+        (p, b)
+    }
+
+    #[test]
+    fn baseline_catches_direct_flows() {
+        let (p, b) = setup("var x, y : integer; y := x", &["x"]);
+        assert!(!denning_certify(&p, &b).certified());
+    }
+
+    #[test]
+    fn baseline_catches_local_indirect_flows() {
+        let (p, b) = setup("var x, y : integer; if x = 0 then y := 1", &["x"]);
+        assert!(!denning_certify(&p, &b).certified());
+        let (p, b) = setup("var x, y : integer; while x # 0 do y := 1", &["x"]);
+        assert!(!denning_certify(&p, &b).certified());
+    }
+
+    #[test]
+    fn baseline_misses_loop_termination_flow() {
+        // §2.2's global-flow example: z := 1 after a High-guarded loop.
+        let (p, b) = setup(
+            "var x, y, z : integer; begin while x # 0 do y := 1; z := 1 end",
+            &["x", "y"],
+        );
+        assert!(
+            denning_certify(&p, &b).certified(),
+            "baseline is blind here"
+        );
+        assert!(!certify(&p, &b).certified(), "CFM sees the global flow");
+    }
+
+    #[test]
+    fn baseline_misses_synchronization_flow() {
+        let (p, b) = setup(
+            "var x, y : integer; sem : semaphore;
+             cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend",
+            &["x", "sem"],
+        );
+        assert!(denning_certify(&p, &b).certified());
+        assert!(!certify(&p, &b).certified());
+    }
+
+    #[test]
+    fn baseline_misses_loop_wait_flow() {
+        let (p, b) = setup(
+            "var y : integer; sem : semaphore;
+             while true do begin y := y + 1; wait(sem) end",
+            &["sem"],
+        );
+        assert!(denning_certify(&p, &b).certified());
+        assert!(!certify(&p, &b).certified());
+    }
+
+    #[test]
+    fn baseline_agrees_with_cfm_on_flow_free_programs() {
+        // With no loops and no semaphores, every flow is direct or local,
+        // so the two mechanisms coincide.
+        let srcs = [
+            "var x, y : integer; y := x",
+            "var x, y : integer; if x = 0 then y := 1 else y := 2",
+            "var x, y, z : integer; begin x := 1; if z = 0 then y := x end",
+        ];
+        for src in srcs {
+            for highs in [&[][..], &["x"][..], &["x", "y"][..], &["z"][..]] {
+                let (p, b) = setup(src, highs);
+                assert_eq!(
+                    denning_certify(&p, &b).certified(),
+                    certify(&p, &b).certified(),
+                    "{src} with {highs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cfm_accepts_whenever_baseline_and_no_global_flows() {
+        // CFM is strictly more conservative: anything it certifies, the
+        // baseline certifies too.
+        let srcs = [
+            "var x, y : integer; s : semaphore; begin wait(s); y := x; signal(s) end",
+            "var x : integer; while x > 0 do x := x - 1",
+            "var a, b : integer; s : semaphore; cobegin wait(s) || a := b coend",
+        ];
+        for src in srcs {
+            for highs in [&[][..], &["x"][..], &["s"][..], &["a", "s"][..]] {
+                let (p, b) = setup(src, highs);
+                if certify(&p, &b).certified() {
+                    assert!(
+                        denning_certify(&p, &b).certified(),
+                        "CFM certified but baseline rejected: {src} with {highs:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The flow-constraint graph, as data and as Graphviz DOT.
+//!
+//! The atomic constraints of [`crate::constraints`] form a directed graph
+//! over the program's variables: an edge `a → b` means Figure 2 requires
+//! `sbind(a) ≤ sbind(b)`. The graph is the whole story of a static
+//! binding's feasibility — a binding certifies iff every edge respects
+//! the order — so rendering it (with violated edges highlighted) is the
+//! fastest way to see *why* a policy fails. `secflow flows` exposes this
+//! on the command line.
+
+use std::fmt::Write as _;
+
+use secflow_lang::{Program, VarId, VarKind};
+use secflow_lattice::Lattice;
+
+use crate::binding::StaticBinding;
+use crate::infer::constraints;
+
+/// A rendered summary of the constraint graph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FlowGraph {
+    /// `(from, to)` pairs in deterministic order.
+    pub edges: Vec<(VarId, VarId)>,
+}
+
+impl FlowGraph {
+    /// Builds the graph for `program`.
+    pub fn of(program: &Program) -> Self {
+        FlowGraph {
+            edges: constraints(program)
+                .into_iter()
+                .map(|c| (c.from, c.to))
+                .collect(),
+        }
+    }
+
+    /// Variables reachable from `start` along constraint edges
+    /// (including `start`): everything the policy must classify at or
+    /// above `start`'s class.
+    pub fn reachable(&self, start: VarId) -> Vec<VarId> {
+        let mut seen = vec![start];
+        let mut frontier = vec![start];
+        while let Some(v) = frontier.pop() {
+            for (a, b) in &self.edges {
+                if *a == v && !seen.contains(b) {
+                    seen.push(*b);
+                    frontier.push(*b);
+                }
+            }
+        }
+        seen.sort();
+        seen
+    }
+
+    /// Renders the edge list with names, one `a -> b` per line.
+    pub fn render(&self, program: &Program) -> String {
+        let mut out = String::new();
+        for (a, b) in &self.edges {
+            let _ = writeln!(
+                out,
+                "{} -> {}",
+                program.symbols.name(*a),
+                program.symbols.name(*b)
+            );
+        }
+        out
+    }
+
+    /// Renders Graphviz DOT. With a binding, nodes are labelled with
+    /// their classes and violated edges (`sbind(from) ≰ sbind(to)`) are
+    /// drawn red and bold.
+    pub fn to_dot<L: Lattice + std::fmt::Display>(
+        &self,
+        program: &Program,
+        binding: Option<&StaticBinding<L>>,
+    ) -> String {
+        let mut out = String::from("digraph flows {\n  rankdir=LR;\n");
+        for (id, info) in program.symbols.iter() {
+            let shape = match info.kind {
+                VarKind::Data => "ellipse",
+                VarKind::Semaphore => "diamond",
+            };
+            let label = match binding {
+                Some(b) => format!("{}\\n{}", info.name, b.class(id)),
+                None => info.name.clone(),
+            };
+            let _ = writeln!(out, "  v{} [label=\"{label}\", shape={shape}];", id.0);
+        }
+        for (a, b) in &self.edges {
+            let violated = binding
+                .map(|bd| !bd.class(*a).leq(bd.class(*b)))
+                .unwrap_or(false);
+            let attrs = if violated {
+                " [color=red, penwidth=2.0]"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  v{} -> v{}{attrs};", a.0, b.0);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_lang::parse;
+    use secflow_lattice::{TwoPoint, TwoPointScheme};
+
+    fn sync_program() -> Program {
+        parse(
+            "var x, y : integer; sem : semaphore;
+             cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn edges_match_constraints() {
+        let p = sync_program();
+        let g = FlowGraph::of(&p);
+        assert!(g.edges.contains(&(p.var("x"), p.var("sem"))));
+        assert!(g.edges.contains(&(p.var("sem"), p.var("y"))));
+    }
+
+    #[test]
+    fn reachability_transits_the_chain() {
+        let p = sync_program();
+        let g = FlowGraph::of(&p);
+        let r = g.reachable(p.var("x"));
+        assert!(r.contains(&p.var("sem")));
+        assert!(r.contains(&p.var("y")));
+        // y is a sink: nothing downstream.
+        assert_eq!(g.reachable(p.var("y")), vec![p.var("y")]);
+    }
+
+    #[test]
+    fn render_uses_names() {
+        let p = sync_program();
+        let text = FlowGraph::of(&p).render(&p);
+        assert!(text.contains("x -> sem"), "{text}");
+        assert!(text.contains("sem -> y"), "{text}");
+    }
+
+    #[test]
+    fn dot_marks_violations() {
+        let p = sync_program();
+        let b =
+            StaticBinding::uniform(&p.symbols, &TwoPointScheme).with(p.var("x"), TwoPoint::High);
+        let dot = FlowGraph::of(&p).to_dot(&p, Some(&b));
+        assert!(dot.starts_with("digraph"), "{dot}");
+        assert!(dot.contains("color=red"), "the x->sem edge is violated");
+        assert!(dot.contains("shape=diamond"), "semaphores are diamonds");
+        assert!(dot.contains("High"), "classes are in the labels");
+    }
+
+    #[test]
+    fn dot_without_binding_has_no_violations() {
+        let p = sync_program();
+        let dot = FlowGraph::of(&p).to_dot::<TwoPoint>(&p, None);
+        assert!(!dot.contains("color=red"));
+        assert!(dot.contains("label=\"x\""));
+    }
+}

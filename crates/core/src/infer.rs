@@ -1,0 +1,387 @@
+//! Least-restrictive binding inference.
+//!
+//! Every CFM check in Figure 2 has the form `join(…sbind(u)…) ≤ mod(S)`,
+//! and `mod(S)` is a meet of variable bindings, so each check decomposes
+//! into *atomic constraints* `sbind(u) ≤ sbind(v)`. Given a program, a
+//! lattice, and classes for some *pinned* variables (typically the inputs
+//! and outputs the policy cares about), this module computes the least
+//! binding of the remaining variables that certifies the program — or
+//! proves that none exists by exhibiting an unsatisfiable pinned pair.
+//!
+//! This answers the practical question the paper's §4.3 works out by hand
+//! for Figure 3: the three conditions `sbind(x) ≤ sbind(modify)`,
+//! `sbind(modify) ≤ sbind(m)` and `sbind(m) ≤ sbind(y)` are exactly the
+//! constraint chain the solver discovers, and their composition
+//! `sbind(x) ≤ sbind(y)` is the unsatisfiable pin when `x` is High and
+//! `y` Low.
+
+use std::collections::BTreeSet;
+
+use secflow_lang::{Program, Stmt, VarId};
+use secflow_lattice::{Lattice, Scheme};
+
+use crate::binding::StaticBinding;
+use crate::cfm::certify;
+
+/// An atomic flow constraint `sbind(from) ≤ sbind(to)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Constraint {
+    /// Source variable.
+    pub from: VarId,
+    /// Destination variable.
+    pub to: VarId,
+}
+
+/// Why no certifying binding exists.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Unsatisfiable<L> {
+    /// The pinned variable whose class would have to rise.
+    pub var: VarId,
+    /// Its pinned class.
+    pub pinned: L,
+    /// The least class the constraints force on it.
+    pub required: L,
+    /// A witness chain of flow constraints ending at [`var`](Self::var):
+    /// each adjacent pair is an atomic `sbind(a) ≤ sbind(b)` constraint,
+    /// and the first element is a pinned variable whose class started the
+    /// escalation — for Figure 3 this is the paper's
+    /// `x → modify → m → y` chain.
+    pub path: Vec<VarId>,
+}
+
+impl<L: std::fmt::Display> Unsatisfiable<L> {
+    /// Renders the witness chain with source names.
+    pub fn render_path(&self, program: &Program) -> String {
+        self.path
+            .iter()
+            .map(|v| program.symbols.name(*v))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+impl<L: std::fmt::Display> std::fmt::Display for Unsatisfiable<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "variable #{} is pinned at {} but the program forces at least {}",
+            self.var.0, self.pinned, self.required
+        )
+    }
+}
+
+/// Extracts the atomic constraint set of a program.
+///
+/// The constraints are exactly those whose conjunction is equivalent to
+/// `cert(S)` for *every* binding: `u ≤ v` appears iff Figure 2 requires
+/// `sbind(u) ≤ sbind(v)`.
+pub fn constraints(program: &Program) -> Vec<Constraint> {
+    let mut set = BTreeSet::new();
+    // `flow sources` of a statement: variables whose bindings join into
+    // flow(S). `mod targets`: variables whose bindings meet into mod(S).
+    collect(&program.body, &mut set);
+    set.into_iter().collect()
+}
+
+/// Returns (mod-targets, flow-sources) of `stmt`, adding constraints.
+fn collect(stmt: &Stmt, out: &mut BTreeSet<Constraint>) -> (Vec<VarId>, Vec<VarId>) {
+    match stmt {
+        Stmt::Skip(_) => (vec![], vec![]),
+        Stmt::Assign { var, expr, .. } => {
+            for u in expr.vars() {
+                out.insert(Constraint { from: u, to: *var });
+            }
+            (vec![*var], vec![])
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let (mut m1, mut f1) = collect(then_branch, out);
+            if let Some(e) = else_branch {
+                let (m2, f2) = collect(e, out);
+                m1.extend(m2);
+                f1.extend(f2);
+            }
+            let guard_vars = cond.vars();
+            for u in &guard_vars {
+                for v in &m1 {
+                    out.insert(Constraint { from: *u, to: *v });
+                }
+            }
+            // flow(S) folds in the guard iff a branch has a global flow.
+            if !f1.is_empty() {
+                f1.extend(guard_vars);
+            }
+            (m1, f1)
+        }
+        Stmt::While { cond, body, .. } => {
+            let (m, mut f) = collect(body, out);
+            f.extend(cond.vars());
+            // flow(S) ≤ mod(S): every flow source bounds every body target.
+            for u in &f {
+                for v in &m {
+                    out.insert(Constraint { from: *u, to: *v });
+                }
+            }
+            (m, f)
+        }
+        Stmt::Seq { stmts, .. } => {
+            let mut m_all = Vec::new();
+            let mut f_prefix: Vec<VarId> = Vec::new();
+            for s in stmts {
+                let (mi, fi) = collect(s, out);
+                for u in &f_prefix {
+                    for v in &mi {
+                        out.insert(Constraint { from: *u, to: *v });
+                    }
+                }
+                m_all.extend(mi);
+                f_prefix.extend(fi);
+            }
+            (m_all, f_prefix)
+        }
+        Stmt::Cobegin { branches, .. } => {
+            let mut m_all = Vec::new();
+            let mut f_all = Vec::new();
+            for s in branches {
+                let (mi, fi) = collect(s, out);
+                m_all.extend(mi);
+                f_all.extend(fi);
+            }
+            (m_all, f_all)
+        }
+        Stmt::Wait { sem, .. } => (vec![*sem], vec![*sem]),
+        Stmt::Signal { sem, .. } => (vec![*sem], vec![]),
+    }
+}
+
+/// Infers the least binding certifying `program`, subject to `pins`.
+///
+/// Unpinned variables start at `scheme.low()` and are raised along the
+/// constraint graph to a least fixpoint; pinned variables are fixed, and a
+/// constraint forcing one above its pin is reported as [`Unsatisfiable`].
+///
+/// The result, when `Ok`, always satisfies `certify(program, &binding)`
+/// (property-tested in this module and in `tests/theorems.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use secflow_core::{certify, infer_binding};
+/// use secflow_lang::parse;
+/// use secflow_lattice::{TwoPoint, TwoPointScheme};
+///
+/// let p = parse(
+///     "var x, y : integer; sem : semaphore;
+///      cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend",
+/// )
+/// .unwrap();
+/// // Pin the secret input High; everything downstream must rise.
+/// let b = infer_binding(&p, &TwoPointScheme, [(p.var("x"), TwoPoint::High)]).unwrap();
+/// assert_eq!(*b.class(p.var("sem")), TwoPoint::High);
+/// assert_eq!(*b.class(p.var("y")), TwoPoint::High);
+/// assert!(certify(&p, &b).certified());
+///
+/// // Pinning the output Low as well is unsatisfiable.
+/// let err = infer_binding(
+///     &p,
+///     &TwoPointScheme,
+///     [(p.var("x"), TwoPoint::High), (p.var("y"), TwoPoint::Low)],
+/// )
+/// .unwrap_err();
+/// assert_eq!(err.var, p.var("y"));
+/// ```
+pub fn infer_binding<L: Lattice, S: Scheme<Elem = L>>(
+    program: &Program,
+    scheme: &S,
+    pins: impl IntoIterator<Item = (VarId, L)>,
+) -> Result<StaticBinding<L>, Unsatisfiable<L>> {
+    let cs = constraints(program);
+    let n = program.symbols.len();
+    let mut class: Vec<L> = vec![scheme.low(); n];
+    let mut pinned: Vec<Option<L>> = vec![None; n];
+    // Provenance: which constraint source last raised each variable, for
+    // the unsatisfiability witness chain.
+    let mut reason: Vec<Option<VarId>> = vec![None; n];
+    for (v, l) in pins {
+        class[v.index()] = l.clone();
+        pinned[v.index()] = Some(l);
+    }
+
+    // Least-fixpoint propagation. Finite lattice + monotone updates:
+    // terminates in at most (lattice height × |constraints|) rounds.
+    loop {
+        let mut changed = false;
+        for c in &cs {
+            let need = class[c.from.index()].clone();
+            let have = &class[c.to.index()];
+            if !need.leq(have) {
+                let raised = have.join(&need);
+                if let Some(pin) = &pinned[c.to.index()] {
+                    if !raised.leq(pin) {
+                        // Walk the provenance chain back to a pinned (or
+                        // seed) variable for the witness.
+                        let mut path = vec![c.to, c.from];
+                        let mut cur = c.from;
+                        while let Some(prev) = reason[cur.index()] {
+                            if path.contains(&prev) {
+                                break; // provenance cycle safety
+                            }
+                            path.push(prev);
+                            cur = prev;
+                        }
+                        path.reverse();
+                        return Err(Unsatisfiable {
+                            var: c.to,
+                            pinned: pin.clone(),
+                            required: raised,
+                            path,
+                        });
+                    }
+                }
+                class[c.to.index()] = raised;
+                reason[c.to.index()] = Some(c.from);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut binding = StaticBinding::uniform(&program.symbols, scheme);
+    for (i, l) in class.into_iter().enumerate() {
+        binding.set(VarId(i as u32), l);
+    }
+    debug_assert!(certify(program, &binding).certified());
+    Ok(binding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_lang::parse;
+    use secflow_lattice::{Linear, LinearScheme, TwoPoint, TwoPointScheme};
+
+    #[test]
+    fn constraints_of_assignment() {
+        let p = parse("var x, y : integer; y := x").unwrap();
+        let cs = constraints(&p);
+        assert_eq!(
+            cs,
+            vec![Constraint {
+                from: p.var("x"),
+                to: p.var("y")
+            }]
+        );
+    }
+
+    #[test]
+    fn constraints_of_fig3_chain() {
+        // §4.3's three hand-derived conditions appear as constraints.
+        let p = parse(
+            "var x, y, m : integer;
+             modify, modified, read, done : semaphore initially(0);
+             cobegin
+               begin
+                 m := 0;
+                 if x # 0 then begin signal(modify); wait(modified) end;
+                 signal(read); wait(done);
+                 if x = 0 then begin signal(modify); wait(modified) end;
+                 wait(done)
+               end
+             || begin wait(modify); m := 1; signal(modified) end
+             || begin wait(read); y := m; signal(done) end
+             coend",
+        )
+        .unwrap();
+        let cs = constraints(&p);
+        let has = |a: &str, b: &str| {
+            cs.contains(&Constraint {
+                from: p.var(a),
+                to: p.var(b),
+            })
+        };
+        assert!(has("x", "modify"), "condition 1 of §4.3");
+        assert!(has("modify", "m"), "condition 2 of §4.3");
+        assert!(has("m", "y"), "condition 3 of §4.3");
+    }
+
+    #[test]
+    fn inference_finds_least_binding() {
+        let p = parse("var a, b, c : integer; begin b := a; c := b end").unwrap();
+        let s = LinearScheme::new(4).unwrap();
+        let binding = infer_binding(&p, &s, [(p.var("a"), Linear(2))]).unwrap();
+        assert_eq!(*binding.class(p.var("b")), Linear(2));
+        assert_eq!(*binding.class(p.var("c")), Linear(2));
+        assert!(certify(&p, &binding).certified());
+    }
+
+    #[test]
+    fn inference_leaves_unconstrained_vars_low() {
+        let p = parse("var a, b, free : integer; b := a").unwrap();
+        let binding = infer_binding(&p, &TwoPointScheme, [(p.var("a"), TwoPoint::High)]).unwrap();
+        assert_eq!(*binding.class(p.var("free")), TwoPoint::Low);
+    }
+
+    #[test]
+    fn unsatisfiable_pin_is_reported() {
+        let p = parse("var a, b : integer; b := a").unwrap();
+        let err = infer_binding(
+            &p,
+            &TwoPointScheme,
+            [(p.var("a"), TwoPoint::High), (p.var("b"), TwoPoint::Low)],
+        )
+        .unwrap_err();
+        assert_eq!(err.var, p.var("b"));
+        assert_eq!(err.pinned, TwoPoint::Low);
+        assert_eq!(err.required, TwoPoint::High);
+        assert!(err.to_string().contains("pinned"));
+        assert_eq!(err.path, vec![p.var("a"), p.var("b")]);
+        assert_eq!(err.render_path(&p), "a -> b");
+    }
+
+    #[test]
+    fn inference_handles_loops() {
+        // while (h # 0) do l := 1 : the loop guard flows globally into l.
+        let p = parse("var h, l : integer; while h # 0 do l := 1").unwrap();
+        let binding = infer_binding(&p, &TwoPointScheme, [(p.var("h"), TwoPoint::High)]).unwrap();
+        assert_eq!(*binding.class(p.var("l")), TwoPoint::High);
+    }
+
+    #[test]
+    fn inference_handles_seq_after_wait() {
+        let p = parse("var y : integer; s : semaphore; begin wait(s); y := 1 end").unwrap();
+        let binding = infer_binding(&p, &TwoPointScheme, [(p.var("s"), TwoPoint::High)]).unwrap();
+        assert_eq!(*binding.class(p.var("y")), TwoPoint::High);
+    }
+
+    #[test]
+    fn inferred_binding_always_certifies() {
+        let srcs = [
+            "var a, b, c : integer; s, t : semaphore;
+             begin if a = 0 then signal(s); cobegin begin wait(s); b := 1 end || c := a coend end",
+            "var x, y : integer; while x > 0 do begin x := x - 1; y := y + x end",
+            "var p, q : integer; s : semaphore;
+             cobegin begin wait(s); p := q end || begin q := 1; signal(s) end coend",
+        ];
+        for src in srcs {
+            let p = parse(src).unwrap();
+            let first = p.symbols.iter().next().unwrap().0;
+            let b = infer_binding(&p, &TwoPointScheme, [(first, TwoPoint::High)]).unwrap();
+            assert!(certify(&p, &b).certified(), "{src}");
+        }
+    }
+
+    #[test]
+    fn no_pins_means_all_low() {
+        let p = parse("var a, b : integer; b := a").unwrap();
+        let binding = infer_binding(&p, &TwoPointScheme, []).unwrap();
+        for (_, c) in binding.iter() {
+            assert_eq!(*c, TwoPoint::Low);
+        }
+    }
+}

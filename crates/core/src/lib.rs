@@ -1,0 +1,65 @@
+//! The Concurrent Flow Mechanism (CFM): compile-time certification of
+//! information flow in parallel programs.
+//!
+//! This crate is the primary contribution of *Reitman, "A Mechanism for
+//! Information Control in Parallel Systems", SOSP 1979*: an extension of
+//! the Denning–Denning certification mechanism to programs with
+//! `cobegin/coend` concurrency, semaphore synchronization and possibly
+//! non-terminating loops.
+//!
+//! - [`StaticBinding`] fixes each variable's security class (Definition 3);
+//! - [`certify`] runs the Figure 2 analysis — `mod(S)`, `flow(S)` and the
+//!   certification checks — in one linear pass, returning a [`CertReport`]
+//!   that explains every violation;
+//! - [`denning_certify`] is the sequential baseline of §4.1, blind to
+//!   global flows, kept for comparison;
+//! - [`Policy`] maps source-level names to classes and re-checks programs;
+//! - [`infer_binding`] computes the least binding certifying a program
+//!   given pinned input/output classes, or a proof that none exists.
+//!
+//! # Quick start
+//!
+//! ```
+//! use secflow_core::{certify, StaticBinding};
+//! use secflow_lang::parse;
+//! use secflow_lattice::{TwoPoint, TwoPointScheme};
+//!
+//! // The §2.2 synchronization channel: x flows to y through a semaphore.
+//! let p = parse(
+//!     "var x, y : integer; sem : semaphore;
+//!      cobegin
+//!        if x = 0 then signal(sem)
+//!      ||
+//!        begin wait(sem); y := 0 end
+//!      coend",
+//! )
+//! .unwrap();
+//!
+//! let secret_x = StaticBinding::uniform(&p.symbols, &TwoPointScheme)
+//!     .with(p.var("x"), TwoPoint::High);
+//! let report = certify(&p, &secret_x);
+//! assert!(!report.certified()); // the covert channel is caught
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atomicity;
+mod binding;
+mod cfm;
+mod denning;
+mod graph;
+mod infer;
+mod policy;
+mod reference;
+mod report;
+
+pub use atomicity::{check_atomicity, AtomicityReport, AtomicityViolation};
+pub use binding::StaticBinding;
+pub use cfm::{certify, mod_flow};
+pub use denning::denning_certify;
+pub use graph::FlowGraph;
+pub use infer::{constraints, infer_binding, Constraint, Unsatisfiable};
+pub use policy::{Policy, PolicyError};
+pub use reference::certify_quadratic;
+pub use report::{CertReport, CheckRule, ModClass, Violation};

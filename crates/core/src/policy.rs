@@ -1,0 +1,218 @@
+//! Information policies: named class assignments checked against programs.
+//!
+//! §2.3 of the paper: "An *information policy* is used to indicate which of
+//! these flows are acceptable." For static systems the policy *is* the
+//! static binding; this module provides the user-facing layer that maps
+//! source-level names to classes, validates them against a parsed program,
+//! and answers "may information flow from `a` to `b`?" queries.
+
+use std::collections::BTreeMap;
+
+use secflow_lang::Program;
+use secflow_lattice::{Lattice, Scheme};
+
+use crate::binding::StaticBinding;
+use crate::cfm::certify;
+use crate::report::CertReport;
+
+/// A named, program-independent security policy.
+///
+/// # Examples
+///
+/// ```
+/// use secflow_core::Policy;
+/// use secflow_lang::parse;
+/// use secflow_lattice::{TwoPoint, TwoPointScheme};
+///
+/// let p = parse("var secret, public : integer; public := secret").unwrap();
+/// let policy = Policy::new(TwoPointScheme)
+///     .classify("secret", TwoPoint::High)
+///     .classify("public", TwoPoint::Low);
+/// let outcome = policy.check(&p).unwrap();
+/// assert!(!outcome.certified());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Policy<S: Scheme> {
+    scheme: S,
+    classes: BTreeMap<String, S::Elem>,
+    default: Option<S::Elem>,
+}
+
+/// A problem found while binding a policy to a program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PolicyError {
+    /// The policy classifies a name the program does not declare.
+    UnknownName(String),
+    /// The program declares a name the policy does not classify and no
+    /// default class was given.
+    UnclassifiedName(String),
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::UnknownName(n) => {
+                write!(
+                    f,
+                    "policy classifies `{n}`, which the program does not declare"
+                )
+            }
+            PolicyError::UnclassifiedName(n) => {
+                write!(
+                    f,
+                    "program declares `{n}`, which the policy does not classify"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+impl<S: Scheme> Policy<S>
+where
+    S::Elem: Lattice,
+{
+    /// Creates an empty policy over `scheme`.
+    pub fn new(scheme: S) -> Self {
+        Policy {
+            scheme,
+            classes: BTreeMap::new(),
+            default: None,
+        }
+    }
+
+    /// Assigns `class` to `name` (builder style; later calls override).
+    pub fn classify(mut self, name: &str, class: S::Elem) -> Self {
+        self.classes.insert(name.to_string(), class);
+        self
+    }
+
+    /// Classifies every otherwise-unmentioned name as `class`.
+    pub fn default_class(mut self, class: S::Elem) -> Self {
+        self.default = Some(class);
+        self
+    }
+
+    /// The scheme this policy is expressed over.
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// `true` iff the policy permits information to flow from class `a` to
+    /// class `b` (i.e. `a ≤ b`).
+    pub fn permits_flow(&self, a: &S::Elem, b: &S::Elem) -> bool {
+        a.leq(b)
+    }
+
+    /// The class assigned to `name`, if any.
+    pub fn class_of(&self, name: &str) -> Option<&S::Elem> {
+        self.classes.get(name)
+    }
+
+    /// Builds the static binding this policy induces on `program`.
+    ///
+    /// # Errors
+    ///
+    /// - [`PolicyError::UnknownName`] if the policy mentions an undeclared
+    ///   name (a misspelled policy should not silently pass);
+    /// - [`PolicyError::UnclassifiedName`] if a declared name has no class
+    ///   and no [`default_class`](Self::default_class) was set.
+    pub fn bind(&self, program: &Program) -> Result<StaticBinding<S::Elem>, PolicyError> {
+        for name in self.classes.keys() {
+            if program.symbols.lookup(name).is_none() {
+                return Err(PolicyError::UnknownName(name.clone()));
+            }
+        }
+        let mut binding = match &self.default {
+            Some(d) => StaticBinding::constant(&program.symbols, &self.scheme, d.clone()),
+            None => StaticBinding::uniform(&program.symbols, &self.scheme),
+        };
+        for (id, info) in program.symbols.iter() {
+            match self.classes.get(&info.name) {
+                Some(c) => binding.set(id, c.clone()),
+                None if self.default.is_some() => {}
+                None => return Err(PolicyError::UnclassifiedName(info.name.clone())),
+            }
+        }
+        Ok(binding)
+    }
+
+    /// Binds the policy to `program` and runs CFM.
+    pub fn check(&self, program: &Program) -> Result<CertReport<S::Elem>, PolicyError> {
+        let binding = self.bind(program)?;
+        Ok(certify(program, &binding))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_lang::parse;
+    use secflow_lattice::{Linear, LinearScheme, TwoPoint, TwoPointScheme};
+
+    #[test]
+    fn policy_binds_and_checks() {
+        let p = parse("var a, b : integer; b := a").unwrap();
+        let pol = Policy::new(TwoPointScheme)
+            .classify("a", TwoPoint::Low)
+            .classify("b", TwoPoint::High);
+        assert!(pol.check(&p).unwrap().certified());
+    }
+
+    #[test]
+    fn unknown_name_is_rejected() {
+        let p = parse("var a : integer; a := 1").unwrap();
+        let pol = Policy::new(TwoPointScheme)
+            .classify("a", TwoPoint::Low)
+            .classify("ghost", TwoPoint::High);
+        assert_eq!(
+            pol.bind(&p).unwrap_err(),
+            PolicyError::UnknownName("ghost".into())
+        );
+    }
+
+    #[test]
+    fn unclassified_name_without_default_is_rejected() {
+        let p = parse("var a, b : integer; a := 1").unwrap();
+        let pol = Policy::new(TwoPointScheme).classify("a", TwoPoint::Low);
+        assert_eq!(
+            pol.bind(&p).unwrap_err(),
+            PolicyError::UnclassifiedName("b".into())
+        );
+    }
+
+    #[test]
+    fn default_class_fills_gaps() {
+        let p = parse("var a, b : integer; b := a").unwrap();
+        let pol = Policy::new(TwoPointScheme)
+            .classify("a", TwoPoint::High)
+            .default_class(TwoPoint::High);
+        let binding = pol.bind(&p).unwrap();
+        assert_eq!(*binding.class(p.var("b")), TwoPoint::High);
+        assert!(pol.check(&p).unwrap().certified());
+    }
+
+    #[test]
+    fn permits_flow_is_the_lattice_order() {
+        let pol = Policy::new(LinearScheme::new(3).unwrap());
+        assert!(pol.permits_flow(&Linear(0), &Linear(2)));
+        assert!(!pol.permits_flow(&Linear(2), &Linear(1)));
+    }
+
+    #[test]
+    fn later_classify_overrides() {
+        let pol = Policy::new(TwoPointScheme)
+            .classify("a", TwoPoint::Low)
+            .classify("a", TwoPoint::High);
+        assert_eq!(pol.class_of("a"), Some(&TwoPoint::High));
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = PolicyError::UnknownName("zz".into());
+        assert!(e.to_string().contains("zz"));
+        let e = PolicyError::UnclassifiedName("q".into());
+        assert!(e.to_string().contains('q'));
+    }
+}

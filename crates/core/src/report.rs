@@ -1,0 +1,215 @@
+//! Certification reports: every Figure 2 check, with explanations.
+
+use std::fmt;
+
+use secflow_lang::span::LineIndex;
+use secflow_lang::Span;
+use secflow_lattice::{Extended, Lattice};
+
+/// The greatest lower bound of the classes of variables a statement may
+/// modify — `mod(S)` of Definition 5a.
+///
+/// A statement that modifies nothing (only `skip`s) has `mod(S) = ⊤`, the
+/// meet over the empty set; [`ModClass::Top`] represents that without
+/// needing a `high` element at hand, and makes the vacuous checks
+/// `x ≤ mod(S)` pass as the paper intends.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ModClass<L> {
+    /// No variable is modified: the meet over the empty set.
+    Top,
+    /// The meet of the modified variables' bindings.
+    Class(L),
+}
+
+impl<L: Lattice> ModClass<L> {
+    /// Meet of two `mod` values (`Top` is the identity).
+    pub fn meet(&self, other: &Self) -> Self {
+        match (self, other) {
+            (ModClass::Top, x) | (x, ModClass::Top) => x.clone(),
+            (ModClass::Class(a), ModClass::Class(b)) => ModClass::Class(a.meet(b)),
+        }
+    }
+
+    /// Folds in one more modified variable.
+    pub fn meet_class(&self, class: &L) -> Self {
+        self.meet(&ModClass::Class(class.clone()))
+    }
+
+    /// `true` iff `bound ≤ self` — i.e. the check `bound ≤ mod(S)` passes.
+    ///
+    /// `Top` bounds everything; a `nil` bound is below everything.
+    pub fn bounds(&self, bound: &Extended<L>) -> bool {
+        match (bound, self) {
+            (Extended::Nil, _) => true,
+            (_, ModClass::Top) => true,
+            (Extended::Elem(b), ModClass::Class(m)) => b.leq(m),
+        }
+    }
+
+    /// The underlying class, or `None` for `Top`.
+    pub fn as_class(&self) -> Option<&L> {
+        match self {
+            ModClass::Top => None,
+            ModClass::Class(l) => Some(l),
+        }
+    }
+}
+
+impl<L: fmt::Display> fmt::Display for ModClass<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModClass::Top => write!(f, "⊤"),
+            ModClass::Class(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// Which Figure 2 certification check a violation comes from.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CheckRule {
+    /// `sbind(e) ≤ sbind(x)` for `x := e` — a direct flow.
+    AssignDirect,
+    /// `sbind(e) ≤ mod(S)` for `if e …` — a local indirect flow.
+    IfLocal,
+    /// `flow(S) ≤ mod(S)` for `while e do S1` — a global flow within the
+    /// loop (also covers the local flow from `e`, since
+    /// `sbind(e) ≤ flow(S)`).
+    WhileGlobal,
+    /// `flow(Sj) ≤ mod(Si)` for `j < i` in `begin S1; …; Sn end` — a
+    /// global flow across sequential composition.
+    SeqGlobal,
+}
+
+impl CheckRule {
+    /// Short name used in rendered reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckRule::AssignDirect => "assignment (direct flow)",
+            CheckRule::IfLocal => "alternation (local flow)",
+            CheckRule::WhileGlobal => "iteration (global flow)",
+            CheckRule::SeqGlobal => "composition (global flow)",
+        }
+    }
+}
+
+impl fmt::Display for CheckRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One violated certification check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation<L> {
+    /// The Figure 2 row that generated the check.
+    pub rule: CheckRule,
+    /// The source span of the offending statement.
+    pub span: Span,
+    /// The left side of the failed inequality (the flowing class).
+    pub found: Extended<L>,
+    /// The right side of the failed inequality (the bound it exceeded).
+    pub limit: ModClass<L>,
+    /// A rendered, human-readable explanation (with variable names).
+    pub message: String,
+}
+
+impl<L: fmt::Display> fmt::Display for Violation<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} (requires {} ≤ {})",
+            self.rule, self.message, self.found, self.limit
+        )
+    }
+}
+
+/// The result of running the Concurrent Flow Mechanism over a program.
+///
+/// `cert(S)` of Definition 5c is [`certified`](Self::certified); unlike
+/// the paper's boolean, the report retains *every* failed check so that a
+/// rejected program can be explained and repaired.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CertReport<L> {
+    /// All violated checks, in source order.
+    pub violations: Vec<Violation<L>>,
+    /// `mod(S)` of the whole program body.
+    pub mod_class: ModClass<L>,
+    /// `flow(S)` of the whole program body (`nil` = no global flow).
+    pub flow: Extended<L>,
+    /// Total number of lattice checks evaluated (certified or not).
+    pub checks: usize,
+}
+
+impl<L: Lattice> CertReport<L> {
+    /// `true` iff the program is certified with respect to the binding.
+    pub fn certified(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the full report against the program source.
+    pub fn render(&self, source: &str) -> String {
+        if self.certified() {
+            return format!(
+                "certified: mod = {}, flow = {}, {} checks\n",
+                self.mod_class, self.flow, self.checks
+            );
+        }
+        let idx = LineIndex::new(source);
+        let mut out = format!(
+            "NOT certified: {} violation(s), mod = {}, flow = {}\n",
+            self.violations.len(),
+            self.mod_class,
+            self.flow
+        );
+        for v in &self.violations {
+            let (line, col) = idx.line_col(v.span.start);
+            out.push_str(&format!(
+                "  [{}] line {line}, col {col}: {} — needs {} ≤ {}\n",
+                v.rule.name(),
+                v.message,
+                v.found,
+                v.limit
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_lattice::TwoPoint;
+
+    #[test]
+    fn mod_top_is_meet_identity() {
+        let a: ModClass<TwoPoint> = ModClass::Class(TwoPoint::Low);
+        assert_eq!(ModClass::Top.meet(&a), a);
+        assert_eq!(a.meet(&ModClass::Top), a);
+        assert_eq!(
+            ModClass::Class(TwoPoint::High).meet(&a),
+            ModClass::Class(TwoPoint::Low)
+        );
+    }
+
+    #[test]
+    fn bounds_handles_nil_and_top() {
+        let top: ModClass<TwoPoint> = ModClass::Top;
+        let low = ModClass::Class(TwoPoint::Low);
+        assert!(top.bounds(&Extended::Elem(TwoPoint::High)));
+        assert!(low.bounds(&Extended::Nil));
+        assert!(low.bounds(&Extended::Elem(TwoPoint::Low)));
+        assert!(!low.bounds(&Extended::Elem(TwoPoint::High)));
+    }
+
+    #[test]
+    fn display_of_mod() {
+        assert_eq!(ModClass::<TwoPoint>::Top.to_string(), "⊤");
+        assert_eq!(ModClass::Class(TwoPoint::High).to_string(), "High");
+    }
+
+    #[test]
+    fn rule_names_are_informative() {
+        assert!(CheckRule::SeqGlobal.name().contains("composition"));
+        assert!(CheckRule::AssignDirect.to_string().contains("direct"));
+    }
+}

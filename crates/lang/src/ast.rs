@@ -1,0 +1,638 @@
+//! Abstract syntax of the simple parallel language (paper §2.0).
+//!
+//! The language has exactly the statement forms of the paper: assignment,
+//! alternation, iteration, composition, concurrency (`cobegin … coend`) and
+//! semaphore synchronization (`wait`/`signal`), plus an explicit `skip`.
+//! Boolean literals are desugared to the integers `1`/`0`; a condition is
+//! "true" when it evaluates to a non-zero value.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::diag::{Diagnostic, ErrorCode};
+use crate::span::Span;
+
+/// A compact identifier for a declared variable or semaphore.
+///
+/// `VarId`s index into the program's [`SymbolTable`]; analyses use them as
+/// dense array indices, which keeps the Concurrent Flow Mechanism linear in
+/// the program length.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Whether a name denotes a data variable or a semaphore.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VarKind {
+    /// An integer (or boolean) program variable.
+    Data,
+    /// A counting semaphore operated on by `wait`/`signal` only.
+    Semaphore,
+}
+
+impl fmt::Display for VarKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarKind::Data => write!(f, "variable"),
+            VarKind::Semaphore => write!(f, "semaphore"),
+        }
+    }
+}
+
+/// Declaration-site information about a name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VarInfo {
+    /// Source name.
+    pub name: String,
+    /// Data variable or semaphore.
+    pub kind: VarKind,
+    /// Initial value (semaphores: initial count, default 0; data: 0).
+    pub init: i64,
+    /// Where the name was declared.
+    pub decl_span: Span,
+}
+
+/// The table of declared names of a program.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SymbolTable {
+    vars: Vec<VarInfo>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Declares a new name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::DuplicateDeclaration`] when `name` is already
+    /// declared, with a note pointing at the first declaration.
+    pub fn declare(
+        &mut self,
+        name: &str,
+        kind: VarKind,
+        init: i64,
+        decl_span: Span,
+    ) -> Result<VarId, Diagnostic> {
+        if let Some(&existing) = self.by_name.get(name) {
+            let first = self.vars[existing.index()].decl_span;
+            return Err(Diagnostic::error(
+                ErrorCode::DuplicateDeclaration,
+                format!("`{name}` is declared more than once"),
+                decl_span,
+            )
+            .with_note("first declared here", first));
+        }
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarInfo {
+            name: name.to_string(),
+            kind,
+            init,
+            decl_span,
+        });
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Looks a name up.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Declaration info for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this table.
+    pub fn info(&self, id: VarId) -> &VarInfo {
+        &self.vars[id.index()]
+    }
+
+    /// The source name of `id`.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.info(id).name
+    }
+
+    /// The kind of `id`.
+    pub fn kind(&self, id: VarId) -> VarKind {
+        self.info(id).kind
+    }
+
+    /// Number of declared names.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// `true` iff nothing is declared.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterates over `(id, info)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &VarInfo)> {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VarId(i as u32), v))
+    }
+
+    /// Ids of all data variables.
+    pub fn data_vars(&self) -> Vec<VarId> {
+        self.iter()
+            .filter(|(_, v)| v.kind == VarKind::Data)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of all semaphores.
+    pub fn semaphores(&self) -> Vec<VarId> {
+        self.iter()
+            .filter(|(_, v)| v.kind == VarKind::Semaphore)
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Boolean negation `not e` (non-zero ↦ 0, zero ↦ 1).
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Neg => write!(f, "-"),
+            UnOp::Not => write!(f, "not"),
+        }
+    }
+}
+
+/// Binary operators. All operate on integers; comparisons and logical
+/// operators yield `1` (true) or `0` (false).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating; division by zero is a runtime fault)
+    Div,
+    /// `%` (remainder; zero divisor is a runtime fault)
+    Mod,
+    /// `=`
+    Eq,
+    /// `#` (not equal)
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and` (both non-zero)
+    And,
+    /// `or` (either non-zero)
+    Or,
+}
+
+impl BinOp {
+    /// Binding power used by the pretty-printer and parser; higher binds
+    /// tighter.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+            BinOp::Add | BinOp::Sub => 4,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 5,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "#",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Expressions.
+///
+/// Per §2.1, the security class of a constant is `low` and the class of
+/// `e1 op e2` is `class(e1) ⊕ class(e2)` for every operator; the analyses
+/// therefore only need the variables occurring in an expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// An integer constant.
+    Const(i64, Span),
+    /// A variable read.
+    Var(VarId, Span),
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        arg: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Const(_, s) | Expr::Var(_, s) => *s,
+            Expr::Unary { span, .. } | Expr::Binary { span, .. } => *span,
+        }
+    }
+
+    /// Calls `f` on every variable read in the expression (with
+    /// repetition, in left-to-right order).
+    pub fn for_each_var(&self, f: &mut impl FnMut(VarId)) {
+        match self {
+            Expr::Const(..) => {}
+            Expr::Var(v, _) => f(*v),
+            Expr::Unary { arg, .. } => arg.for_each_var(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.for_each_var(f);
+                rhs.for_each_var(f);
+            }
+        }
+    }
+
+    /// The distinct variables read by the expression, in first-occurrence
+    /// order.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut seen = Vec::new();
+        self.for_each_var(&mut |v| {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        });
+        seen
+    }
+
+    /// Number of AST nodes in the expression.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Const(..) | Expr::Var(..) => 1,
+            Expr::Unary { arg, .. } => 1 + arg.node_count(),
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.node_count() + rhs.node_count(),
+        }
+    }
+}
+
+/// Statements — exactly the forms of paper §2.0 plus `skip`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Stmt {
+    /// The empty statement.
+    Skip(Span),
+    /// `x := e`
+    Assign {
+        /// Variable assigned to.
+        var: VarId,
+        /// Assigned expression.
+        expr: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `if e then S1 [else S2]` — a missing `else` behaves as `skip`.
+    If {
+        /// The guard.
+        cond: Expr,
+        /// The `then` branch.
+        then_branch: Box<Stmt>,
+        /// The optional `else` branch.
+        else_branch: Option<Box<Stmt>>,
+        /// Source location.
+        span: Span,
+    },
+    /// `while e do S`
+    While {
+        /// The guard.
+        cond: Expr,
+        /// The loop body.
+        body: Box<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `begin S1; …; Sn end`
+    Seq {
+        /// The component statements, in order.
+        stmts: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `cobegin S1 || … || Sn coend`
+    Cobegin {
+        /// The concurrent processes.
+        branches: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `wait(sem)` — indivisibly blocks until the semaphore is positive,
+    /// then decrements it.
+    Wait {
+        /// The semaphore.
+        sem: VarId,
+        /// Source location.
+        span: Span,
+    },
+    /// `signal(sem)` — indivisibly increments the semaphore.
+    Signal {
+        /// The semaphore.
+        sem: VarId,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The source span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Skip(s) => *s,
+            Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::Seq { span, .. }
+            | Stmt::Cobegin { span, .. }
+            | Stmt::Wait { span, .. }
+            | Stmt::Signal { span, .. } => *span,
+        }
+    }
+
+    /// Pre-order walk over this statement and all nested statements.
+    pub fn walk(&self, f: &mut impl FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::Skip(_) | Stmt::Assign { .. } | Stmt::Wait { .. } | Stmt::Signal { .. } => {}
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                then_branch.walk(f);
+                if let Some(e) = else_branch {
+                    e.walk(f);
+                }
+            }
+            Stmt::While { body, .. } => body.walk(f),
+            Stmt::Seq { stmts, .. } => stmts.iter().for_each(|s| s.walk(f)),
+            Stmt::Cobegin { branches, .. } => branches.iter().for_each(|s| s.walk(f)),
+        }
+    }
+
+    /// Number of statement nodes (the paper's "length of the program").
+    pub fn statement_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+
+    /// Calls `f` on every variable *potentially modified* by the statement:
+    /// assignment targets and the semaphores of `wait`/`signal` (the paper
+    /// treats semaphore operations as modifications of the semaphore).
+    pub fn for_each_modified(&self, f: &mut impl FnMut(VarId)) {
+        self.walk(&mut |s| match s {
+            Stmt::Assign { var, .. } => f(*var),
+            Stmt::Wait { sem, .. } | Stmt::Signal { sem, .. } => f(*sem),
+            _ => {}
+        });
+    }
+
+    /// The distinct variables potentially modified, in first-occurrence
+    /// order.
+    pub fn modified_vars(&self) -> Vec<VarId> {
+        let mut seen = Vec::new();
+        self.for_each_modified(&mut |v| {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        });
+        seen
+    }
+
+    /// Calls `f` on every variable *read* by the statement (guards and
+    /// right-hand sides).
+    pub fn for_each_read(&self, f: &mut impl FnMut(VarId)) {
+        self.walk(&mut |s| match s {
+            Stmt::Assign { expr, .. } => expr.for_each_var(f),
+            Stmt::If { cond, .. } | Stmt::While { cond, .. } => cond.for_each_var(f),
+            _ => {}
+        });
+    }
+
+    /// `true` iff the statement contains any `cobegin`, `wait` or `signal`
+    /// (i.e. uses the concurrent fragment of the language).
+    pub fn is_concurrent(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |s| {
+            if matches!(
+                s,
+                Stmt::Cobegin { .. } | Stmt::Wait { .. } | Stmt::Signal { .. }
+            ) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+/// A complete program: declarations plus a body statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    /// Declared names.
+    pub symbols: SymbolTable,
+    /// The program body.
+    pub body: Stmt,
+}
+
+impl Program {
+    /// Creates a program from parts.
+    pub fn new(symbols: SymbolTable, body: Stmt) -> Self {
+        Program { symbols, body }
+    }
+
+    /// Number of statement nodes in the body.
+    pub fn statement_count(&self) -> usize {
+        self.body.statement_count()
+    }
+
+    /// Looks up a variable id by name — convenient in tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is not declared.
+    pub fn var(&self, name: &str) -> VarId {
+        self.symbols
+            .lookup(name)
+            .unwrap_or_else(|| panic!("no variable named `{name}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> Span {
+        Span::DUMMY
+    }
+
+    #[test]
+    fn symbol_table_declares_and_looks_up() {
+        let mut t = SymbolTable::new();
+        let x = t.declare("x", VarKind::Data, 0, sp()).unwrap();
+        let s = t.declare("s", VarKind::Semaphore, 1, sp()).unwrap();
+        assert_eq!(t.lookup("x"), Some(x));
+        assert_eq!(t.lookup("s"), Some(s));
+        assert_eq!(t.lookup("nope"), None);
+        assert_eq!(t.kind(x), VarKind::Data);
+        assert_eq!(t.kind(s), VarKind::Semaphore);
+        assert_eq!(t.info(s).init, 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_declaration_is_an_error() {
+        let mut t = SymbolTable::new();
+        t.declare("x", VarKind::Data, 0, sp()).unwrap();
+        let err = t.declare("x", VarKind::Semaphore, 0, sp()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::DuplicateDeclaration);
+        assert_eq!(err.notes.len(), 1);
+    }
+
+    #[test]
+    fn data_vars_and_semaphores_partition() {
+        let mut t = SymbolTable::new();
+        let x = t.declare("x", VarKind::Data, 0, sp()).unwrap();
+        let s = t.declare("s", VarKind::Semaphore, 0, sp()).unwrap();
+        let y = t.declare("y", VarKind::Data, 0, sp()).unwrap();
+        assert_eq!(t.data_vars(), vec![x, y]);
+        assert_eq!(t.semaphores(), vec![s]);
+    }
+
+    #[test]
+    fn expr_vars_dedup_in_order() {
+        let x = VarId(0);
+        let y = VarId(1);
+        // x + (y * x)
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Var(x, sp())),
+            rhs: Box::new(Expr::Binary {
+                op: BinOp::Mul,
+                lhs: Box::new(Expr::Var(y, sp())),
+                rhs: Box::new(Expr::Var(x, sp())),
+                span: sp(),
+            }),
+            span: sp(),
+        };
+        assert_eq!(e.vars(), vec![x, y]);
+        assert_eq!(e.node_count(), 5);
+    }
+
+    #[test]
+    fn modified_vars_of_nested_statement() {
+        let x = VarId(0);
+        let s = VarId(1);
+        let stmt = Stmt::Seq {
+            stmts: vec![
+                Stmt::Assign {
+                    var: x,
+                    expr: Expr::Const(1, sp()),
+                    span: sp(),
+                },
+                Stmt::Wait { sem: s, span: sp() },
+                Stmt::Assign {
+                    var: x,
+                    expr: Expr::Const(2, sp()),
+                    span: sp(),
+                },
+            ],
+            span: sp(),
+        };
+        assert_eq!(stmt.modified_vars(), vec![x, s]);
+        assert_eq!(stmt.statement_count(), 4);
+        assert!(stmt.is_concurrent());
+    }
+
+    #[test]
+    fn skip_modifies_nothing() {
+        let s = Stmt::Skip(sp());
+        assert!(s.modified_vars().is_empty());
+        assert_eq!(s.statement_count(), 1);
+        assert!(!s.is_concurrent());
+    }
+
+    #[test]
+    fn reads_come_from_guards_and_rhs() {
+        let x = VarId(0);
+        let y = VarId(1);
+        let stmt = Stmt::If {
+            cond: Expr::Var(x, sp()),
+            then_branch: Box::new(Stmt::Assign {
+                var: y,
+                expr: Expr::Var(y, sp()),
+                span: sp(),
+            }),
+            else_branch: None,
+            span: sp(),
+        };
+        let mut reads = Vec::new();
+        stmt.for_each_read(&mut |v| reads.push(v));
+        assert_eq!(reads, vec![x, y]);
+    }
+
+    #[test]
+    fn precedence_orders_operators() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Eq.precedence());
+        assert!(BinOp::Eq.precedence() > BinOp::And.precedence());
+        assert!(BinOp::And.precedence() > BinOp::Or.precedence());
+    }
+}

@@ -1,0 +1,357 @@
+//! Fluent programmatic construction of programs (no source text needed).
+//!
+//! The workload generators and many tests build ASTs directly; this module
+//! gives them a compact, panic-on-misuse API. All nodes carry
+//! [`Span::DUMMY`].
+//!
+//! # Examples
+//!
+//! ```
+//! use secflow_lang::builder::{ProgramBuilder, e, s};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let x = b.data("x");
+//! let sem = b.sem("lock", 1);
+//! let prog = b.finish(s::seq([
+//!     s::wait(sem),
+//!     s::assign(x, e::add(e::var(x), e::konst(1))),
+//!     s::signal(sem),
+//! ]));
+//! assert_eq!(prog.statement_count(), 4);
+//! ```
+
+use crate::ast::{Expr, Program, Stmt, SymbolTable, VarId, VarKind};
+use crate::span::Span;
+
+/// Builds a [`Program`] by declaring names and then supplying a body.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    symbols: SymbolTable,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Declares a data variable (initial value 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    pub fn data(&mut self, name: &str) -> VarId {
+        self.symbols
+            .declare(name, VarKind::Data, 0, Span::DUMMY)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Declares a data variable with an initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    pub fn data_init(&mut self, name: &str, init: i64) -> VarId {
+        self.symbols
+            .declare(name, VarKind::Data, init, Span::DUMMY)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Declares a semaphore with initial count `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names or a negative count.
+    pub fn sem(&mut self, name: &str, init: i64) -> VarId {
+        assert!(init >= 0, "semaphore initial count must be non-negative");
+        self.symbols
+            .declare(name, VarKind::Semaphore, init, Span::DUMMY)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Read-only access to the symbol table under construction.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Finishes the program with `body`.
+    pub fn finish(self, body: Stmt) -> Program {
+        Program::new(self.symbols, body)
+    }
+}
+
+/// Expression constructors.
+pub mod e {
+    use super::*;
+    use crate::ast::{BinOp, UnOp};
+
+    /// An integer constant.
+    pub fn konst(n: i64) -> Expr {
+        Expr::Const(n, Span::DUMMY)
+    }
+
+    /// A variable read.
+    pub fn var(v: VarId) -> Expr {
+        Expr::Var(v, Span::DUMMY)
+    }
+
+    fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(l),
+            rhs: Box::new(r),
+            span: Span::DUMMY,
+        }
+    }
+
+    /// `l + r`
+    pub fn add(l: Expr, r: Expr) -> Expr {
+        bin(BinOp::Add, l, r)
+    }
+
+    /// `l - r`
+    pub fn sub(l: Expr, r: Expr) -> Expr {
+        bin(BinOp::Sub, l, r)
+    }
+
+    /// `l * r`
+    pub fn mul(l: Expr, r: Expr) -> Expr {
+        bin(BinOp::Mul, l, r)
+    }
+
+    /// `l / r`
+    pub fn div(l: Expr, r: Expr) -> Expr {
+        bin(BinOp::Div, l, r)
+    }
+
+    /// `l % r`
+    pub fn rem(l: Expr, r: Expr) -> Expr {
+        bin(BinOp::Mod, l, r)
+    }
+
+    /// `l = r`
+    pub fn eq(l: Expr, r: Expr) -> Expr {
+        bin(BinOp::Eq, l, r)
+    }
+
+    /// `l # r`
+    pub fn ne(l: Expr, r: Expr) -> Expr {
+        bin(BinOp::Ne, l, r)
+    }
+
+    /// `l < r`
+    pub fn lt(l: Expr, r: Expr) -> Expr {
+        bin(BinOp::Lt, l, r)
+    }
+
+    /// `l <= r`
+    pub fn le(l: Expr, r: Expr) -> Expr {
+        bin(BinOp::Le, l, r)
+    }
+
+    /// `l > r`
+    pub fn gt(l: Expr, r: Expr) -> Expr {
+        bin(BinOp::Gt, l, r)
+    }
+
+    /// `l >= r`
+    pub fn ge(l: Expr, r: Expr) -> Expr {
+        bin(BinOp::Ge, l, r)
+    }
+
+    /// `l and r`
+    pub fn and(l: Expr, r: Expr) -> Expr {
+        bin(BinOp::And, l, r)
+    }
+
+    /// `l or r`
+    pub fn or(l: Expr, r: Expr) -> Expr {
+        bin(BinOp::Or, l, r)
+    }
+
+    /// `-x`
+    pub fn neg(x: Expr) -> Expr {
+        Expr::Unary {
+            op: UnOp::Neg,
+            arg: Box::new(x),
+            span: Span::DUMMY,
+        }
+    }
+
+    /// `not x`
+    pub fn not(x: Expr) -> Expr {
+        Expr::Unary {
+            op: UnOp::Not,
+            arg: Box::new(x),
+            span: Span::DUMMY,
+        }
+    }
+}
+
+/// Statement constructors.
+pub mod s {
+    use super::*;
+
+    /// `skip`
+    pub fn skip() -> Stmt {
+        Stmt::Skip(Span::DUMMY)
+    }
+
+    /// `var := expr`
+    pub fn assign(var: VarId, expr: Expr) -> Stmt {
+        Stmt::Assign {
+            var,
+            expr,
+            span: Span::DUMMY,
+        }
+    }
+
+    /// `if cond then then_branch else else_branch`
+    pub fn if_else(cond: Expr, then_branch: Stmt, else_branch: Stmt) -> Stmt {
+        Stmt::If {
+            cond,
+            then_branch: Box::new(then_branch),
+            else_branch: Some(Box::new(else_branch)),
+            span: Span::DUMMY,
+        }
+    }
+
+    /// One-armed `if cond then then_branch`.
+    pub fn if_then(cond: Expr, then_branch: Stmt) -> Stmt {
+        Stmt::If {
+            cond,
+            then_branch: Box::new(then_branch),
+            else_branch: None,
+            span: Span::DUMMY,
+        }
+    }
+
+    /// `while cond do body`
+    pub fn while_do(cond: Expr, body: Stmt) -> Stmt {
+        Stmt::While {
+            cond,
+            body: Box::new(body),
+            span: Span::DUMMY,
+        }
+    }
+
+    /// `begin … end`
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty statement list; use [`skip`] instead.
+    pub fn seq(stmts: impl IntoIterator<Item = Stmt>) -> Stmt {
+        let stmts: Vec<Stmt> = stmts.into_iter().collect();
+        assert!(!stmts.is_empty(), "empty begin/end; use skip()");
+        Stmt::Seq {
+            stmts,
+            span: Span::DUMMY,
+        }
+    }
+
+    /// `cobegin … coend`
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two branches.
+    pub fn cobegin(branches: impl IntoIterator<Item = Stmt>) -> Stmt {
+        let branches: Vec<Stmt> = branches.into_iter().collect();
+        assert!(branches.len() >= 2, "cobegin needs at least two processes");
+        Stmt::Cobegin {
+            branches,
+            span: Span::DUMMY,
+        }
+    }
+
+    /// `wait(sem)`
+    pub fn wait(sem: VarId) -> Stmt {
+        Stmt::Wait {
+            sem,
+            span: Span::DUMMY,
+        }
+    }
+
+    /// `signal(sem)`
+    pub fn signal(sem: VarId) -> Stmt {
+        Stmt::Signal {
+            sem,
+            span: Span::DUMMY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_program;
+
+    #[test]
+    fn builds_and_prints() {
+        let mut b = ProgramBuilder::new();
+        let x = b.data("x");
+        let y = b.data("y");
+        let p = b.finish(s::if_else(
+            e::eq(e::var(x), e::konst(0)),
+            s::assign(y, e::konst(1)),
+            s::assign(y, e::konst(2)),
+        ));
+        let text = print_program(&p);
+        assert!(text.contains("if x = 0 then"));
+        let reparsed = crate::parse(&text).unwrap();
+        assert_eq!(reparsed.statement_count(), p.statement_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "declared more than once")]
+    fn duplicate_name_panics() {
+        let mut b = ProgramBuilder::new();
+        b.data("x");
+        b.data("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_branch_cobegin_panics() {
+        let _ = s::cobegin([s::skip()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_seq_panics() {
+        let _ = s::seq([]);
+    }
+
+    #[test]
+    fn data_init_sets_initial_value() {
+        let mut b = ProgramBuilder::new();
+        let x = b.data_init("x", 7);
+        let p = b.finish(s::skip());
+        assert_eq!(p.symbols.info(x).init, 7);
+    }
+
+    #[test]
+    fn expression_helpers_cover_all_operators() {
+        let mut b = ProgramBuilder::new();
+        let x = b.data("x");
+        let all = [
+            e::add(e::var(x), e::konst(1)),
+            e::sub(e::var(x), e::konst(1)),
+            e::mul(e::var(x), e::konst(1)),
+            e::div(e::var(x), e::konst(1)),
+            e::rem(e::var(x), e::konst(1)),
+            e::eq(e::var(x), e::konst(1)),
+            e::ne(e::var(x), e::konst(1)),
+            e::lt(e::var(x), e::konst(1)),
+            e::le(e::var(x), e::konst(1)),
+            e::gt(e::var(x), e::konst(1)),
+            e::ge(e::var(x), e::konst(1)),
+            e::and(e::var(x), e::konst(1)),
+            e::or(e::var(x), e::konst(1)),
+            e::neg(e::var(x)),
+            e::not(e::var(x)),
+        ];
+        for expr in all {
+            assert!(expr.node_count() >= 2);
+        }
+    }
+}

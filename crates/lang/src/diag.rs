@@ -1,0 +1,190 @@
+//! Diagnostics: structured errors with source locations and rendering.
+
+use std::fmt;
+
+use crate::span::{LineIndex, Span};
+
+/// Stable machine-readable error codes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ErrorCode {
+    /// A character the lexer does not recognize.
+    UnknownCharacter,
+    /// An integer literal that does not fit in `i64`.
+    IntegerOverflow,
+    /// The parser found a token it did not expect.
+    UnexpectedToken,
+    /// A name was declared twice.
+    DuplicateDeclaration,
+    /// A name was used without being declared.
+    UndeclaredIdentifier,
+    /// A semaphore was used where a data variable is required, or vice
+    /// versa.
+    KindMismatch,
+    /// A `cobegin` with fewer than two processes, an empty `begin`, etc.
+    MalformedStatement,
+    /// A semaphore initial value outside `0..=i64::MAX`.
+    BadSemaphoreInit,
+}
+
+impl ErrorCode {
+    /// The stable `E`-prefixed code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::UnknownCharacter => "E0001",
+            ErrorCode::IntegerOverflow => "E0002",
+            ErrorCode::UnexpectedToken => "E0101",
+            ErrorCode::DuplicateDeclaration => "E0201",
+            ErrorCode::UndeclaredIdentifier => "E0202",
+            ErrorCode::KindMismatch => "E0203",
+            ErrorCode::MalformedStatement => "E0102",
+            ErrorCode::BadSemaphoreInit => "E0204",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// A diagnostic: an error (or note) tied to a source span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable message.
+    pub message: String,
+    /// Primary source location.
+    pub span: Span,
+    /// Secondary notes (e.g. "first declared here").
+    pub notes: Vec<(String, Span)>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(code: ErrorCode, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            code,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attaches a secondary note.
+    pub fn with_note(mut self, message: impl Into<String>, span: Span) -> Self {
+        self.notes.push((message.into(), span));
+        self
+    }
+
+    /// Renders the diagnostic against its source text, with a caret line.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use secflow_lang::diag::{Diagnostic, ErrorCode};
+    /// use secflow_lang::span::Span;
+    ///
+    /// let d = Diagnostic::error(ErrorCode::UnexpectedToken, "expected `;`", Span::new(5, 6));
+    /// let rendered = d.render("begin x end");
+    /// assert!(rendered.contains("error[E0101]"));
+    /// assert!(rendered.contains('^'));
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let idx = LineIndex::new(source);
+        let mut out = format!("error[{}]: {}\n", self.code, self.message);
+        render_snippet(&mut out, source, &idx, self.span);
+        for (msg, span) in &self.notes {
+            out.push_str(&format!("note: {msg}\n"));
+            render_snippet(&mut out, source, &idx, *span);
+        }
+        out
+    }
+}
+
+fn render_snippet(out: &mut String, source: &str, idx: &LineIndex, span: Span) {
+    let (line, col) = idx.line_col(span.start);
+    out.push_str(&format!("  --> line {line}, column {col}\n"));
+    if let Some((start, end)) = idx.line_range(line) {
+        let text = &source[start as usize..end as usize];
+        out.push_str(&format!("   | {text}\n"));
+        let caret_len =
+            (span.len().max(1) as usize).min(text.len().saturating_sub(col as usize - 1).max(1));
+        out.push_str("   | ");
+        out.push_str(&" ".repeat(col as usize - 1));
+        out.push_str(&"^".repeat(caret_len));
+        out.push('\n');
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error[{}]: {} (at {})",
+            self.code, self.message, self.span
+        )
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(ErrorCode::UnexpectedToken.as_str(), "E0101");
+        assert_eq!(ErrorCode::UndeclaredIdentifier.to_string(), "E0202");
+    }
+
+    #[test]
+    fn render_points_at_the_offender() {
+        let src = "x := y + z";
+        let d = Diagnostic::error(
+            ErrorCode::UndeclaredIdentifier,
+            "`z` is not declared",
+            Span::new(9, 10),
+        );
+        let r = d.render(src);
+        assert!(r.contains("line 1, column 10"), "{r}");
+        assert!(r.contains("x := y + z"));
+        assert!(r.lines().last().unwrap().trim_end().ends_with('^'));
+    }
+
+    #[test]
+    fn render_multiline_source() {
+        let src = "begin\n  x := 1;\n  oops\nend";
+        let d = Diagnostic::error(
+            ErrorCode::UnexpectedToken,
+            "what is oops",
+            Span::new(18, 22),
+        );
+        let r = d.render(src);
+        assert!(r.contains("line 3"), "{r}");
+        assert!(r.contains("oops"));
+    }
+
+    #[test]
+    fn notes_are_rendered_after_the_error() {
+        let src = "var x : integer; var x : integer; skip";
+        let d = Diagnostic::error(
+            ErrorCode::DuplicateDeclaration,
+            "`x` declared twice",
+            Span::new(21, 22),
+        )
+        .with_note("first declared here", Span::new(4, 5));
+        let r = d.render(src);
+        let err_pos = r.find("error[").unwrap();
+        let note_pos = r.find("note:").unwrap();
+        assert!(err_pos < note_pos);
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        let d = Diagnostic::error(ErrorCode::KindMismatch, "boom", Span::new(1, 2));
+        assert_eq!(d.to_string(), "error[E0203]: boom (at 1..2)");
+    }
+}

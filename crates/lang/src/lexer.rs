@@ -1,0 +1,373 @@
+//! The lexer: source text → token stream.
+
+use crate::diag::{Diagnostic, ErrorCode};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lexes `source` into a token vector ending with an [`TokenKind::Eof`]
+/// token.
+///
+/// Comments run from `--` or `//` to end of line. Whitespace separates
+/// tokens and is otherwise insignificant.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for unknown characters, malformed operators,
+/// and integer literals that overflow `i64`.
+///
+/// # Examples
+///
+/// ```
+/// use secflow_lang::lexer::lex;
+/// use secflow_lang::token::TokenKind;
+///
+/// let tokens = lex("x := x + 1").unwrap();
+/// assert_eq!(tokens.len(), 6); // x, :=, x, +, 1, <eof>
+/// assert_eq!(tokens[1].kind, TokenKind::Assign);
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(source: &'s str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn span_from(&self, start: usize) -> Span {
+        Span::new(start as u32, self.pos as u32)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        let span = self.span_from(start);
+        self.tokens.push(Token::new(kind, span));
+    }
+
+    fn error(&self, code: ErrorCode, msg: String, start: usize) -> Diagnostic {
+        Diagnostic::error(code, msg, self.span_from(start))
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
+        while let Some(b) = self.peek() {
+            let start = self.pos;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'-' if self.peek2() == Some(b'-') => self.skip_line_comment(),
+                b'/' if self.peek2() == Some(b'/') => self.skip_line_comment(),
+                b'0'..=b'9' => self.lex_int(start)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_word(start),
+                b':' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::Assign, start);
+                    } else {
+                        self.push(TokenKind::Colon, start);
+                    }
+                }
+                b';' => {
+                    self.bump();
+                    self.push(TokenKind::Semi, start);
+                }
+                b',' => {
+                    self.bump();
+                    self.push(TokenKind::Comma, start);
+                }
+                b'(' => {
+                    self.bump();
+                    self.push(TokenKind::LParen, start);
+                }
+                b')' => {
+                    self.bump();
+                    self.push(TokenKind::RParen, start);
+                }
+                b'|' => {
+                    self.bump();
+                    if self.peek() == Some(b'|') {
+                        self.bump();
+                        self.push(TokenKind::Parallel, start);
+                    } else {
+                        return Err(self.error(
+                            ErrorCode::UnknownCharacter,
+                            "expected `||` (a single `|` is not a token)".to_string(),
+                            start,
+                        ));
+                    }
+                }
+                b'+' => {
+                    self.bump();
+                    self.push(TokenKind::Plus, start);
+                }
+                b'-' => {
+                    self.bump();
+                    self.push(TokenKind::Minus, start);
+                }
+                b'*' => {
+                    self.bump();
+                    self.push(TokenKind::Star, start);
+                }
+                b'/' => {
+                    self.bump();
+                    self.push(TokenKind::Slash, start);
+                }
+                b'%' => {
+                    self.bump();
+                    self.push(TokenKind::Percent, start);
+                }
+                b'=' => {
+                    self.bump();
+                    self.push(TokenKind::Eq, start);
+                }
+                b'#' => {
+                    self.bump();
+                    self.push(TokenKind::Ne, start);
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::Ne, start);
+                    } else {
+                        return Err(self.error(
+                            ErrorCode::UnknownCharacter,
+                            "expected `!=` (a single `!` is not a token)".to_string(),
+                            start,
+                        ));
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            self.push(TokenKind::Le, start);
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            self.push(TokenKind::Ne, start);
+                        }
+                        _ => self.push(TokenKind::Lt, start),
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::Ge, start);
+                    } else {
+                        self.push(TokenKind::Gt, start);
+                    }
+                }
+                other => {
+                    self.bump();
+                    return Err(self.error(
+                        ErrorCode::UnknownCharacter,
+                        format!("unknown character `{}`", other as char),
+                        start,
+                    ));
+                }
+            }
+        }
+        let eof = Span::new(self.pos as u32, self.pos as u32);
+        self.tokens.push(Token::new(TokenKind::Eof, eof));
+        Ok(self.tokens)
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn lex_int(&mut self, start: usize) -> Result<(), Diagnostic> {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits are ascii");
+        match text.parse::<i64>() {
+            Ok(n) => {
+                self.push(TokenKind::Int(n), start);
+                Ok(())
+            }
+            Err(_) => Err(self.error(
+                ErrorCode::IntegerOverflow,
+                format!("integer literal `{text}` does not fit in 64 bits"),
+                start,
+            )),
+        }
+    }
+
+    fn lex_word(&mut self, start: usize) {
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("idents are ascii");
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+        self.push(kind, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_assignment() {
+        assert_eq!(
+            kinds("x := 42"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(42),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_and_parallel_bars() {
+        assert_eq!(
+            kinds("cobegin skip || skip coend"),
+            vec![
+                TokenKind::Cobegin,
+                TokenKind::Skip,
+                TokenKind::Parallel,
+                TokenKind::Skip,
+                TokenKind::Coend,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_and_friends_mean_not_equal() {
+        assert_eq!(kinds("x # 0")[1], TokenKind::Ne);
+        assert_eq!(kinds("x <> 0")[1], TokenKind::Ne);
+        assert_eq!(kinds("x != 0")[1], TokenKind::Ne);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= ="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("x -- the rest is ignored\n:= 1 // also ignored"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comment_minus_minus_vs_minus() {
+        assert_eq!(
+            kinds("1 - 2"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Minus,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let tokens = lex("ab := 7").unwrap();
+        assert_eq!(tokens[0].span, Span::new(0, 2));
+        assert_eq!(tokens[1].span, Span::new(3, 5));
+        assert_eq!(tokens[2].span, Span::new(6, 7));
+    }
+
+    #[test]
+    fn single_bar_is_an_error() {
+        let err = lex("a | b").unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownCharacter);
+    }
+
+    #[test]
+    fn single_bang_is_an_error() {
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn unknown_character_is_reported() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.message.contains('$'));
+    }
+
+    #[test]
+    fn huge_literal_overflows() {
+        let err = lex("99999999999999999999").unwrap_err();
+        assert_eq!(err.code, ErrorCode::IntegerOverflow);
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn identifiers_may_contain_digits_and_underscores() {
+        assert_eq!(
+            kinds("sem_1 x2"),
+            vec![
+                TokenKind::Ident("sem_1".into()),
+                TokenKind::Ident("x2".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

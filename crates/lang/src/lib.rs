@@ -1,0 +1,53 @@
+//! Front-end for the simple parallel language of Reitman (SOSP 1979).
+//!
+//! The paper (§2.0) defines a minimal imperative language whose statements
+//! are assignment, alternation (`if`), iteration (`while`), composition
+//! (`begin … end`), concurrency (`cobegin S1 || … || Sn coend`) and the
+//! indivisible semaphore operations `wait(sem)` / `signal(sem)`. This crate
+//! provides everything needed to work with that language as data:
+//!
+//! - [`lexer`] and [`parser`] turn source text into a [`Program`]
+//!   (declaration table + statement tree) with full source [`span`]s and
+//!   structured [`diag`]nostics;
+//! - [`ast`] is the typed syntax tree shared by every analysis in the
+//!   workspace;
+//! - [`printer`] renders ASTs back to parseable concrete syntax;
+//! - [`builder`] constructs ASTs programmatically (used by the workload
+//!   generators);
+//! - [`metrics`] measures program "length" for the linear-time benchmark.
+//!
+//! # Examples
+//!
+//! ```
+//! use secflow_lang::parse;
+//!
+//! let program = parse(
+//!     "var x, y : integer; sem : semaphore initially(0);
+//!      cobegin
+//!        begin if x = 0 then signal(sem) end
+//!      ||
+//!        begin wait(sem); y := 0 end
+//!      coend",
+//! )
+//! .unwrap();
+//! assert!(program.body.is_concurrent());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builder;
+pub mod diag;
+pub mod lexer;
+pub mod metrics;
+pub mod parser;
+pub mod printer;
+pub mod span;
+pub mod token;
+
+pub use ast::{BinOp, Expr, Program, Stmt, SymbolTable, UnOp, VarId, VarInfo, VarKind};
+pub use diag::{Diagnostic, ErrorCode};
+pub use parser::{parse, parse_expr};
+pub use printer::{print_expr, print_program, print_stmt};
+pub use span::Span;

@@ -1,0 +1,164 @@
+//! Structural program metrics used by the benchmark harness.
+//!
+//! The paper's §6 claim is that CFM "can be computed in time proportional
+//! to the length of the program, once the program has been parsed". The
+//! benchmark harness needs a well-defined notion of *length*; this module
+//! provides it, along with companion metrics used to characterize workload
+//! families.
+
+use crate::ast::{Program, Stmt};
+
+/// Structural metrics of a program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Metrics {
+    /// Statement nodes (the paper's "length").
+    pub statements: usize,
+    /// Expression nodes (constants, variables, operators).
+    pub expr_nodes: usize,
+    /// Maximum statement nesting depth.
+    pub max_depth: usize,
+    /// Number of `cobegin` statements.
+    pub cobegins: usize,
+    /// Maximum number of processes in any single `cobegin`.
+    pub max_width: usize,
+    /// Number of `wait` statements.
+    pub waits: usize,
+    /// Number of `signal` statements.
+    pub signals: usize,
+    /// Number of `while` statements.
+    pub loops: usize,
+    /// Number of `if` statements.
+    pub branches: usize,
+    /// Number of assignments.
+    pub assignments: usize,
+    /// Declared names (data variables + semaphores).
+    pub names: usize,
+}
+
+impl Metrics {
+    /// Total AST node count: statements plus expression nodes.
+    pub fn total_nodes(&self) -> usize {
+        self.statements + self.expr_nodes
+    }
+
+    /// `true` iff the program uses the concurrent fragment.
+    pub fn is_concurrent(&self) -> bool {
+        self.cobegins > 0 || self.waits > 0 || self.signals > 0
+    }
+}
+
+/// Computes [`Metrics`] for a program.
+///
+/// # Examples
+///
+/// ```
+/// use secflow_lang::{metrics::measure, parse};
+///
+/// let p = parse("var x : integer; while x < 3 do x := x + 1").unwrap();
+/// let m = measure(&p);
+/// assert_eq!(m.statements, 2);
+/// assert_eq!(m.loops, 1);
+/// assert_eq!(m.assignments, 1);
+/// assert!(!m.is_concurrent());
+/// ```
+pub fn measure(program: &Program) -> Metrics {
+    let mut m = Metrics {
+        names: program.symbols.len(),
+        ..Metrics::default()
+    };
+    visit(&program.body, 1, &mut m);
+    m
+}
+
+fn visit(stmt: &Stmt, depth: usize, m: &mut Metrics) {
+    m.statements += 1;
+    m.max_depth = m.max_depth.max(depth);
+    match stmt {
+        Stmt::Skip(_) => {}
+        Stmt::Assign { expr, .. } => {
+            m.assignments += 1;
+            m.expr_nodes += expr.node_count();
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            m.branches += 1;
+            m.expr_nodes += cond.node_count();
+            visit(then_branch, depth + 1, m);
+            if let Some(e) = else_branch {
+                visit(e, depth + 1, m);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            m.loops += 1;
+            m.expr_nodes += cond.node_count();
+            visit(body, depth + 1, m);
+        }
+        Stmt::Seq { stmts, .. } => {
+            for s in stmts {
+                visit(s, depth + 1, m);
+            }
+        }
+        Stmt::Cobegin { branches, .. } => {
+            m.cobegins += 1;
+            m.max_width = m.max_width.max(branches.len());
+            for s in branches {
+                visit(s, depth + 1, m);
+            }
+        }
+        Stmt::Wait { .. } => m.waits += 1,
+        Stmt::Signal { .. } => m.signals += 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn measures_sequential_program() {
+        let p =
+            parse("var x, y : integer; begin x := 1; if x = 0 then y := x else skip end").unwrap();
+        let m = measure(&p);
+        assert_eq!(m.statements, 5); // seq, assign, if, assign, skip
+        assert_eq!(m.branches, 1);
+        assert_eq!(m.assignments, 2);
+        assert_eq!(m.names, 2);
+        assert_eq!(m.max_depth, 3);
+        assert!(!m.is_concurrent());
+    }
+
+    #[test]
+    fn measures_concurrency() {
+        let p = parse(
+            "var s : semaphore; x, y : integer;
+             cobegin begin wait(s); x := 1 end || begin y := 2; signal(s) end || skip coend",
+        )
+        .unwrap();
+        let m = measure(&p);
+        assert_eq!(m.cobegins, 1);
+        assert_eq!(m.max_width, 3);
+        assert_eq!(m.waits, 1);
+        assert_eq!(m.signals, 1);
+        assert!(m.is_concurrent());
+    }
+
+    #[test]
+    fn expression_nodes_counted() {
+        let p = parse("var x : integer; x := (x + 1) * (x - 2)").unwrap();
+        let m = measure(&p);
+        // (x+1)*(x-2): mul, add, sub, x, 1, x, 2 = 7 nodes.
+        assert_eq!(m.expr_nodes, 7);
+        assert_eq!(m.total_nodes(), 8);
+    }
+
+    #[test]
+    fn statement_count_matches_ast_helper() {
+        let p = parse("var x : integer; begin x := 1; x := 2; begin x := 3; skip end end").unwrap();
+        assert_eq!(measure(&p).statements, p.statement_count());
+    }
+}

@@ -1,0 +1,331 @@
+//! Pretty-printer: AST → concrete syntax that re-parses to the same AST.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Expr, Program, Stmt, SymbolTable};
+
+/// Renders a whole program, declarations first.
+///
+/// The output is valid input for [`crate::parse`], and round-trips: parsing
+/// the output yields a structurally identical program (modulo spans).
+///
+/// # Examples
+///
+/// ```
+/// use secflow_lang::{parse, print_program};
+///
+/// let src = "var x : integer; while x < 3 do x := x + 1";
+/// let p = parse(src).unwrap();
+/// let printed = print_program(&p);
+/// let q = parse(&printed).unwrap();
+/// assert_eq!(p.body.statement_count(), q.body.statement_count());
+/// ```
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    print_decls(&mut out, &program.symbols);
+    print_stmt_at(&mut out, &program.body, &program.symbols, 0);
+    out.push('\n');
+    out
+}
+
+/// Renders a statement against a symbol table.
+pub fn print_stmt(stmt: &Stmt, symbols: &SymbolTable) -> String {
+    let mut out = String::new();
+    print_stmt_at(&mut out, stmt, symbols, 0);
+    out
+}
+
+/// Renders an expression against a symbol table.
+pub fn print_expr(expr: &Expr, symbols: &SymbolTable) -> String {
+    let mut out = String::new();
+    print_expr_prec(&mut out, expr, symbols, 0);
+    out
+}
+
+fn print_decls(out: &mut String, symbols: &SymbolTable) {
+    let data = symbols.data_vars();
+    let sems = symbols.semaphores();
+    if data.is_empty() && sems.is_empty() {
+        return;
+    }
+    out.push_str("var ");
+    if !data.is_empty() {
+        let names: Vec<&str> = data.iter().map(|&v| symbols.name(v)).collect();
+        let _ = write!(out, "{} : integer;", names.join(", "));
+        if !sems.is_empty() {
+            out.push_str("\n    ");
+        }
+    }
+    // Group semaphores by initial value so `initially` clauses stay exact.
+    let mut remaining: Vec<_> = sems.clone();
+    while !remaining.is_empty() {
+        let init = symbols.info(remaining[0]).init;
+        let (group, rest): (Vec<_>, Vec<_>) = remaining
+            .into_iter()
+            .partition(|&v| symbols.info(v).init == init);
+        let names: Vec<&str> = group.iter().map(|&v| symbols.name(v)).collect();
+        let _ = write!(out, "{} : semaphore initially({init});", names.join(", "));
+        remaining = rest;
+        if !remaining.is_empty() {
+            out.push_str("\n    ");
+        }
+    }
+    out.push('\n');
+}
+
+/// `true` iff the statement's concrete syntax ends in a position that
+/// would bind a following `else` (an else-less `if`, or a construct whose
+/// trailing sub-statement does).
+fn captures_following_else(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::If {
+            else_branch: None, ..
+        } => true,
+        Stmt::If {
+            else_branch: Some(e),
+            ..
+        } => captures_following_else(e),
+        Stmt::While { body, .. } => captures_following_else(body),
+        // begin/end and cobegin/coend close themselves.
+        _ => false,
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_stmt_at(out: &mut String, stmt: &Stmt, symbols: &SymbolTable, depth: usize) {
+    match stmt {
+        Stmt::Skip(_) => {
+            indent(out, depth);
+            out.push_str("skip");
+        }
+        Stmt::Assign { var, expr, .. } => {
+            indent(out, depth);
+            let _ = write!(out, "{} := ", symbols.name(*var));
+            print_expr_prec(out, expr, symbols, 0);
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            indent(out, depth);
+            out.push_str("if ");
+            print_expr_prec(out, cond, symbols, 0);
+            out.push_str(" then\n");
+            // Dangling-else protection: a then-branch whose trailing
+            // statement position is open (an `if` or `while`) would
+            // capture our `else` on re-parse, so brace it. The parser
+            // collapses single-statement begin/end, keeping the round
+            // trip structure-exact.
+            if else_branch.is_some() && captures_following_else(then_branch) {
+                indent(out, depth + 1);
+                out.push_str("begin\n");
+                print_stmt_at(out, then_branch, symbols, depth + 2);
+                out.push('\n');
+                indent(out, depth + 1);
+                out.push_str("end");
+            } else {
+                print_stmt_at(out, then_branch, symbols, depth + 1);
+            }
+            if let Some(e) = else_branch {
+                out.push('\n');
+                indent(out, depth);
+                out.push_str("else\n");
+                print_stmt_at(out, e, symbols, depth + 1);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            indent(out, depth);
+            out.push_str("while ");
+            print_expr_prec(out, cond, symbols, 0);
+            out.push_str(" do\n");
+            print_stmt_at(out, body, symbols, depth + 1);
+        }
+        Stmt::Seq { stmts, .. } => {
+            indent(out, depth);
+            out.push_str("begin\n");
+            for (i, s) in stmts.iter().enumerate() {
+                print_stmt_at(out, s, symbols, depth + 1);
+                if i + 1 < stmts.len() {
+                    out.push(';');
+                }
+                out.push('\n');
+            }
+            indent(out, depth);
+            out.push_str("end");
+        }
+        Stmt::Cobegin { branches, .. } => {
+            indent(out, depth);
+            out.push_str("cobegin\n");
+            for (i, s) in branches.iter().enumerate() {
+                print_stmt_at(out, s, symbols, depth + 1);
+                out.push('\n');
+                if i + 1 < branches.len() {
+                    indent(out, depth);
+                    out.push_str("||\n");
+                }
+            }
+            indent(out, depth);
+            out.push_str("coend");
+        }
+        Stmt::Wait { sem, .. } => {
+            indent(out, depth);
+            let _ = write!(out, "wait({})", symbols.name(*sem));
+        }
+        Stmt::Signal { sem, .. } => {
+            indent(out, depth);
+            let _ = write!(out, "signal({})", symbols.name(*sem));
+        }
+    }
+}
+
+fn print_expr_prec(out: &mut String, expr: &Expr, symbols: &SymbolTable, min_prec: u8) {
+    match expr {
+        Expr::Const(n, _) => {
+            let _ = write!(out, "{n}");
+        }
+        Expr::Var(v, _) => {
+            out.push_str(symbols.name(*v));
+        }
+        Expr::Unary { op, arg, .. } => {
+            match op {
+                crate::ast::UnOp::Neg => out.push('-'),
+                crate::ast::UnOp::Not => out.push_str("not "),
+            }
+            // Unary binds tighter than any binary operator.
+            match **arg {
+                Expr::Binary { .. } => {
+                    out.push('(');
+                    print_expr_prec(out, arg, symbols, 0);
+                    out.push(')');
+                }
+                _ => print_expr_prec(out, arg, symbols, u8::MAX),
+            }
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            use crate::ast::BinOp::*;
+            let prec = op.precedence();
+            let need_parens = prec < min_prec;
+            if need_parens {
+                out.push('(');
+            }
+            // Comparisons are non-associative in the grammar, so a
+            // comparison operand of a comparison must be parenthesized on
+            // BOTH sides; left-associative operators only need it on the
+            // right.
+            let non_assoc = matches!(op, Eq | Ne | Lt | Le | Gt | Ge);
+            let lhs_min = if non_assoc { prec + 1 } else { prec };
+            print_expr_prec(out, lhs, symbols, lhs_min);
+            let _ = write!(out, " {op} ");
+            print_expr_prec(out, rhs, symbols, prec + 1);
+            if need_parens {
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    /// Strips spans by comparing printed forms, which is the practical
+    /// structural-equality check used across the test-suite.
+    fn round_trip(src: &str) {
+        let p = parse(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+        let printed = print_program(&p);
+        let q = parse(&printed).unwrap_or_else(|e| panic!("re-parse failed:\n{printed}\n{e}"));
+        let reprinted = print_program(&q);
+        assert_eq!(printed, reprinted, "printer is not a fixpoint for:\n{src}");
+    }
+
+    #[test]
+    fn round_trips_simple_statements() {
+        round_trip("var x : integer; x := 1");
+        round_trip("var x : integer; skip");
+        round_trip("var s : semaphore initially(3); wait(s)");
+        round_trip("var s : semaphore; signal(s)");
+    }
+
+    #[test]
+    fn round_trips_control_flow() {
+        round_trip("var x, y : integer; if x = 0 then y := 1 else y := 2");
+        round_trip("var x : integer; while x < 10 do x := x + 1");
+        round_trip("var x : integer; begin x := 1; x := 2; x := 3 end");
+    }
+
+    #[test]
+    fn round_trips_concurrency() {
+        round_trip("var x, y : integer; cobegin x := 1 || y := 2 coend");
+        round_trip(
+            "var x : integer; s : semaphore initially(1);
+             cobegin begin wait(s); x := 1; signal(s) end || begin wait(s); x := 2; signal(s) end coend",
+        );
+    }
+
+    #[test]
+    fn round_trips_expression_precedence() {
+        round_trip("var x, y : integer; x := (x + y) * 2");
+        round_trip("var x, y : integer; x := x + y * 2");
+        round_trip("var x, y : integer; x := x - (y - 1)");
+        round_trip("var x, y : integer; x := x - y - 1");
+        round_trip("var x, y : integer; if not (x = y) and (x < 1 or y > 1) then skip");
+        round_trip("var x : integer; x := -(x + 1)");
+        round_trip("var x : integer; x := -x");
+    }
+
+    #[test]
+    fn subtraction_parenthesization_is_preserved() {
+        // x - (y - 1) must not print as x - y - 1.
+        let p = parse("var x, y : integer; x := x - (y - 1)").unwrap();
+        let printed = print_program(&p);
+        assert!(printed.contains("x - (y - 1)"), "{printed}");
+    }
+
+    #[test]
+    fn mixed_semaphore_inits_survive() {
+        let src = "var a : semaphore initially(0); b : semaphore initially(2); skip";
+        let p = parse(src).unwrap();
+        let printed = print_program(&p);
+        let q = parse(&printed).unwrap();
+        assert_eq!(q.symbols.info(q.var("a")).init, 0);
+        assert_eq!(q.symbols.info(q.var("b")).init, 2);
+    }
+
+    #[test]
+    fn expr_printer_standalone() {
+        let p = parse("var x, y : integer; x := x * (y + 1)").unwrap();
+        match &p.body {
+            crate::ast::Stmt::Assign { expr, .. } => {
+                assert_eq!(print_expr(expr, &p.symbols), "x * (y + 1)");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn round_trips_fig3() {
+        round_trip(
+            r#"var x, y, m : integer;
+               modify, modified, read, done : semaphore initially(0);
+               cobegin
+                 begin
+                   m := 0;
+                   if x # 0 then begin signal(modify); wait(modified) end;
+                   signal(read); wait(done);
+                   if x = 0 then begin signal(modify); wait(modified) end;
+                   wait(done)
+                 end
+               || begin wait(modify); m := 1; signal(modified) end
+               || begin wait(read); y := m; signal(done); signal(done) end
+               coend"#,
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Byte-offset source spans and line/column resolution.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source text.
+///
+/// Spans are attached to every token, expression and statement so that
+/// certification reports and runtime errors can point at the offending
+/// source. AST nodes built programmatically (without source text) carry
+/// [`Span::DUMMY`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// The span used for synthesized nodes with no source location.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: u32, end: u32) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// A dummy operand is absorbed by the other span.
+    pub fn cover(self, other: Span) -> Span {
+        if self == Span::DUMMY {
+            other
+        } else if other == Span::DUMMY {
+            self
+        } else {
+            Span::new(self.start.min(other.start), self.end.max(other.end))
+        }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(self) -> u32 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// `true` iff the span covers no bytes.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Resolves byte offsets to 1-based line and column numbers.
+///
+/// # Examples
+///
+/// ```
+/// use secflow_lang::span::LineIndex;
+///
+/// let idx = LineIndex::new("ab\ncd");
+/// assert_eq!(idx.line_col(0), (1, 1));
+/// assert_eq!(idx.line_col(3), (2, 1));
+/// assert_eq!(idx.line_col(4), (2, 2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LineIndex {
+    line_starts: Vec<u32>,
+    len: u32,
+}
+
+impl LineIndex {
+    /// Builds the index for `text`.
+    pub fn new(text: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineIndex {
+            line_starts,
+            len: text.len() as u32,
+        }
+    }
+
+    /// 1-based `(line, column)` of the byte at `offset` (clamped to the
+    /// text length).
+    pub fn line_col(&self, offset: u32) -> (u32, u32) {
+        let offset = offset.min(self.len);
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line as u32 + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// The byte range of 1-based line `line`, without its newline, or
+    /// `None` if the line does not exist.
+    pub fn line_range(&self, line: u32) -> Option<(u32, u32)> {
+        let i = line.checked_sub(1)? as usize;
+        let start = *self.line_starts.get(i)?;
+        let end = self
+            .line_starts
+            .get(i + 1)
+            .map(|next| next - 1)
+            .unwrap_or(self.len);
+        Some((start, end))
+    }
+
+    /// Number of lines in the text (at least 1, even for empty text).
+    pub fn line_count(&self) -> u32 {
+        self.line_starts.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cover_merges_ranges() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.cover(b), Span::new(3, 12));
+        assert_eq!(b.cover(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn cover_absorbs_dummy() {
+        let a = Span::new(3, 7);
+        assert_eq!(a.cover(Span::DUMMY), a);
+        assert_eq!(Span::DUMMY.cover(a), a);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Span::new(2, 6).len(), 4);
+        assert!(Span::new(4, 4).is_empty());
+        assert!(!Span::new(4, 5).is_empty());
+    }
+
+    #[test]
+    fn line_index_single_line() {
+        let idx = LineIndex::new("hello");
+        assert_eq!(idx.line_col(0), (1, 1));
+        assert_eq!(idx.line_col(4), (1, 5));
+        assert_eq!(idx.line_count(), 1);
+    }
+
+    #[test]
+    fn line_index_multi_line() {
+        let idx = LineIndex::new("a\nbb\nccc\n");
+        assert_eq!(idx.line_col(2), (2, 1));
+        assert_eq!(idx.line_col(3), (2, 2));
+        assert_eq!(idx.line_col(5), (3, 1));
+        assert_eq!(idx.line_count(), 4); // trailing newline opens line 4
+        assert_eq!(idx.line_range(2), Some((2, 4)));
+        assert_eq!(idx.line_range(3), Some((5, 8)));
+        assert_eq!(idx.line_range(99), None);
+    }
+
+    #[test]
+    fn line_index_empty_text() {
+        let idx = LineIndex::new("");
+        assert_eq!(idx.line_col(0), (1, 1));
+        assert_eq!(idx.line_count(), 1);
+    }
+
+    #[test]
+    fn offsets_past_end_are_clamped() {
+        let idx = LineIndex::new("ab");
+        assert_eq!(idx.line_col(100), (1, 3));
+    }
+
+    #[test]
+    fn display_renders_range() {
+        assert_eq!(Span::new(1, 5).to_string(), "1..5");
+    }
+}

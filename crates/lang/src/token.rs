@@ -1,0 +1,243 @@
+//! Tokens of the simple parallel language.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// The kind of a lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    /// An integer literal.
+    Int(i64),
+    /// An identifier (variable or semaphore name).
+    Ident(String),
+
+    // Keywords.
+    /// `var`
+    Var,
+    /// `integer`
+    Integer,
+    /// `boolean`
+    Boolean,
+    /// `semaphore`
+    Semaphore,
+    /// `initially`
+    Initially,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `begin`
+    Begin,
+    /// `end`
+    End,
+    /// `cobegin`
+    Cobegin,
+    /// `coend`
+    Coend,
+    /// `wait`
+    Wait,
+    /// `signal`
+    Signal,
+    /// `skip`
+    Skip,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+
+    // Punctuation and operators.
+    /// `:=`
+    Assign,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `||` (process separator inside `cobegin`)
+    Parallel,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `#`, `<>` or `!=` (the paper writes `#` for "not equal")
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// The keyword kind for `word`, if `word` is a reserved word.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "var" => TokenKind::Var,
+            "integer" => TokenKind::Integer,
+            "boolean" => TokenKind::Boolean,
+            "semaphore" => TokenKind::Semaphore,
+            "initially" => TokenKind::Initially,
+            "if" => TokenKind::If,
+            "then" => TokenKind::Then,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "do" => TokenKind::Do,
+            "begin" => TokenKind::Begin,
+            "end" => TokenKind::End,
+            "cobegin" => TokenKind::Cobegin,
+            "coend" => TokenKind::Coend,
+            "wait" => TokenKind::Wait,
+            "signal" => TokenKind::Signal,
+            "skip" => TokenKind::Skip,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "not" => TokenKind::Not,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(n) => format!("integer literal `{n}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{other}`"),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TokenKind::Int(n) => return write!(f, "{n}"),
+            TokenKind::Ident(s) => return write!(f, "{s}"),
+            TokenKind::Var => "var",
+            TokenKind::Integer => "integer",
+            TokenKind::Boolean => "boolean",
+            TokenKind::Semaphore => "semaphore",
+            TokenKind::Initially => "initially",
+            TokenKind::If => "if",
+            TokenKind::Then => "then",
+            TokenKind::Else => "else",
+            TokenKind::While => "while",
+            TokenKind::Do => "do",
+            TokenKind::Begin => "begin",
+            TokenKind::End => "end",
+            TokenKind::Cobegin => "cobegin",
+            TokenKind::Coend => "coend",
+            TokenKind::Wait => "wait",
+            TokenKind::Signal => "signal",
+            TokenKind::Skip => "skip",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::And => "and",
+            TokenKind::Or => "or",
+            TokenKind::Not => "not",
+            TokenKind::Assign => ":=",
+            TokenKind::Colon => ":",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::Parallel => "||",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Eq => "=",
+            TokenKind::Ne => "#",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Eof => "<eof>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A token together with its source span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_recognized() {
+        assert_eq!(TokenKind::keyword("cobegin"), Some(TokenKind::Cobegin));
+        assert_eq!(TokenKind::keyword("wait"), Some(TokenKind::Wait));
+        assert_eq!(TokenKind::keyword("frobnicate"), None);
+    }
+
+    #[test]
+    fn keywords_are_case_sensitive() {
+        assert_eq!(TokenKind::keyword("If"), None);
+        assert_eq!(TokenKind::keyword("WHILE"), None);
+    }
+
+    #[test]
+    fn display_round_trips_punctuation() {
+        assert_eq!(TokenKind::Assign.to_string(), ":=");
+        assert_eq!(TokenKind::Parallel.to_string(), "||");
+        assert_eq!(TokenKind::Ne.to_string(), "#");
+    }
+
+    #[test]
+    fn describe_quotes_tokens() {
+        assert_eq!(TokenKind::Int(42).describe(), "integer literal `42`");
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::Semi.describe(), "`;`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

@@ -1,0 +1,119 @@
+//! Front-end robustness: the lexer and parser must never panic, on any
+//! input — they return structured diagnostics instead.
+
+use proptest::prelude::*;
+
+use secflow_lang::lexer::lex;
+use secflow_lang::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup: lex and parse return Ok or Err, never panic.
+    #[test]
+    fn never_panics_on_arbitrary_input(input in ".{0,200}") {
+        let _ = lex(&input);
+        let _ = parse(&input);
+    }
+
+    /// Keyword soup (more likely to get deep into the parser).
+    #[test]
+    fn never_panics_on_token_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("begin"), Just("end"), Just("cobegin"), Just("coend"),
+                Just("if"), Just("then"), Just("else"), Just("while"),
+                Just("do"), Just("wait"), Just("signal"), Just("var"),
+                Just("integer"), Just("semaphore"), Just("skip"),
+                Just("x"), Just("y"), Just(":="), Just(";"), Just("||"),
+                Just("("), Just(")"), Just("0"), Just("1"), Just("+"),
+                Just("="), Just("#"), Just(","), Just(":"),
+            ],
+            0..40,
+        )
+    ) {
+        let input = words.join(" ");
+        let _ = parse(&input);
+    }
+
+    /// Diagnostics always render without panicking, with the offending
+    /// source attached.
+    #[test]
+    fn diagnostics_always_render(input in ".{0,200}") {
+        if let Err(d) = parse(&input) {
+            let rendered = d.render(&input);
+            prop_assert!(rendered.contains("error["));
+        }
+    }
+}
+
+#[test]
+fn pathological_nesting_depth() {
+    // Debug-mode parser frames are large; give the probe a deterministic
+    // stack so the test measures the parser's bound, not the harness's
+    // thread size.
+    let handle = std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(pathological_nesting_depth_body)
+        .unwrap();
+    handle.join().unwrap();
+}
+
+fn pathological_nesting_depth_body() {
+    // 50k open parens must produce a diagnostic, not a stack overflow:
+    // the parser enforces a nesting bound.
+    let mut src = String::from("var x : integer; x := ");
+    for _ in 0..50_000 {
+        src.push('(');
+    }
+    let err = parse(&src).unwrap_err();
+    assert!(err.message.contains("nesting"), "{err}");
+
+    // Deep if-nesting hits the same bound.
+    let mut src = String::from("var x : integer; ");
+    for _ in 0..50_000 {
+        src.push_str("if x = 0 then ");
+    }
+    src.push_str("skip");
+    let err = parse(&src).unwrap_err();
+    assert!(err.message.contains("nesting"), "{err}");
+
+    // Real nesting depths stay comfortably within the bound.
+    let mut src = String::from("var x : integer; x := ");
+    for _ in 0..250 {
+        src.push('(');
+    }
+    src.push('1');
+    for _ in 0..250 {
+        src.push(')');
+    }
+    assert!(parse(&src).is_ok());
+}
+
+#[test]
+fn empty_and_whitespace_inputs() {
+    assert!(parse("").is_err());
+    assert!(parse("   \n\t  ").is_err());
+    assert!(parse("-- just a comment").is_err());
+}
+
+#[test]
+fn error_positions_are_in_bounds() {
+    let cases = [
+        "var : integer; skip",
+        "x :=",
+        "begin x := 1",
+        "cobegin skip coend",
+        "wait()",
+        "var x : integer; if then skip",
+    ];
+    for src in cases {
+        let err = parse(src).unwrap_err();
+        assert!(
+            err.span.start as usize <= src.len() && err.span.end as usize <= src.len() + 1,
+            "{src}: span {:?}",
+            err.span
+        );
+        let _ = err.render(src);
+    }
+}

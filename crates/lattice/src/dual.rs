@@ -1,0 +1,133 @@
+//! Order duals: integrity lattices from confidentiality lattices.
+//!
+//! Inverting a lattice's order swaps `join` with `meet` and `low` with
+//! `high`. This is how Biba-style *integrity* drops out of the machinery
+//! for free: information may flow from high-integrity to low-integrity
+//! but not upward, which is exactly confidentiality's rule over the dual
+//! order. Certifying a program over `Dual<L>` therefore enforces the
+//! integrity reading of the same classification scheme, with no change
+//! to the Concurrent Flow Mechanism.
+
+use std::fmt;
+
+use crate::traits::{Lattice, Scheme};
+
+/// An element of the dual lattice: the same carrier, the reversed order.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Dual<L>(pub L);
+
+impl<L: Lattice> Lattice for Dual<L> {
+    fn join(&self, other: &Self) -> Self {
+        Dual(self.0.meet(&other.0))
+    }
+
+    fn meet(&self, other: &Self) -> Self {
+        Dual(self.0.join(&other.0))
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        other.0.leq(&self.0)
+    }
+}
+
+impl<L: fmt::Display> fmt::Display for Dual<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dual({})", self.0)
+    }
+}
+
+/// The dual scheme: wraps a base scheme with the reversed order.
+///
+/// # Examples
+///
+/// ```
+/// use secflow_lattice::{Dual, DualScheme, Lattice, Scheme, TwoPoint, TwoPointScheme};
+///
+/// let s = DualScheme::new(TwoPointScheme);
+/// // Integrity reading: High-integrity data is the dual `low` — sources
+/// // everything; Low-integrity is the dual `high` — a sink.
+/// assert_eq!(s.low(), Dual(TwoPoint::High));
+/// assert_eq!(s.high(), Dual(TwoPoint::Low));
+/// assert!(Dual(TwoPoint::High).leq(&Dual(TwoPoint::Low)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DualScheme<S> {
+    base: S,
+}
+
+impl<S: Scheme> DualScheme<S> {
+    /// Wraps `base` with the reversed order.
+    pub fn new(base: S) -> Self {
+        DualScheme { base }
+    }
+
+    /// The underlying scheme.
+    pub fn base(&self) -> &S {
+        &self.base
+    }
+}
+
+impl<S: Scheme> Scheme for DualScheme<S> {
+    type Elem = Dual<S::Elem>;
+
+    fn low(&self) -> Self::Elem {
+        Dual(self.base.high())
+    }
+
+    fn high(&self) -> Self::Elem {
+        Dual(self.base.low())
+    }
+
+    fn elements(&self) -> Vec<Self::Elem> {
+        self.base.elements().into_iter().map(Dual).collect()
+    }
+
+    fn contains(&self, e: &Self::Elem) -> bool {
+        self.base.contains(&e.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{laws, CatSet, Linear, LinearScheme, PowersetScheme, TwoPoint, TwoPointScheme};
+
+    #[test]
+    fn duals_satisfy_lattice_laws() {
+        laws::assert_lattice_laws(&DualScheme::new(TwoPointScheme));
+        laws::assert_lattice_laws(&DualScheme::new(LinearScheme::new(4).unwrap()));
+        laws::assert_lattice_laws(&DualScheme::new(PowersetScheme::new(3).unwrap()));
+    }
+
+    #[test]
+    fn double_dual_restores_the_order() {
+        let s = DualScheme::new(DualScheme::new(LinearScheme::new(4).unwrap()));
+        laws::assert_lattice_laws(&s);
+        assert_eq!(s.low(), Dual(Dual(Linear(0))));
+        assert!(Dual(Dual(Linear(1))).leq(&Dual(Dual(Linear(2)))));
+    }
+
+    #[test]
+    fn join_and_meet_swap() {
+        let a = Dual(TwoPoint::Low);
+        let b = Dual(TwoPoint::High);
+        assert_eq!(a.join(&b), Dual(TwoPoint::Low));
+        assert_eq!(a.meet(&b), Dual(TwoPoint::High));
+    }
+
+    #[test]
+    fn powerset_dual_is_reverse_inclusion() {
+        let a = Dual(CatSet(0b01));
+        let ab = Dual(CatSet(0b11));
+        // More categories = lower in the dual.
+        assert!(ab.leq(&a));
+        assert_eq!(a.join(&ab), ab.clone().join(&a));
+        // Dual join is base meet: intersection.
+        assert_eq!(a.join(&ab).0, CatSet(0b01));
+    }
+
+    #[test]
+    fn display_marks_duality() {
+        assert_eq!(Dual(TwoPoint::High).to_string(), "dual(High)");
+    }
+}

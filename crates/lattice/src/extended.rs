@@ -1,0 +1,209 @@
+//! The extended classification scheme of Definition 4: a fresh bottom `nil`.
+
+use std::fmt;
+
+use crate::traits::{Lattice, Scheme};
+
+/// An element of the extended classification scheme `C ∪ {nil}`.
+///
+/// Definition 4 of the paper extends a scheme `(C', ≤')` with a new smallest
+/// element `nil`, strictly below every element of `C'`. The Concurrent Flow
+/// Mechanism uses `nil` as the value of `flow(S)` for statements that
+/// produce no global flow; `nil` is the identity of `⊕` and satisfies
+/// `nil ≤ x` for every `x`, so the Figure 2 arithmetic (e.g.
+/// `flow(S1) ⊕ … ⊕ flow(Sn)` and vacuous `flow ≤ mod` checks) works out
+/// without special cases.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Extended<L> {
+    /// The new bottom element: "no global flow".
+    Nil,
+    /// An element of the underlying scheme `C'`.
+    Elem(L),
+}
+
+impl<L> Extended<L> {
+    /// `true` iff this is `nil`.
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Extended::Nil)
+    }
+
+    /// Returns the underlying element, or `None` for `nil`.
+    pub fn as_elem(&self) -> Option<&L> {
+        match self {
+            Extended::Nil => None,
+            Extended::Elem(l) => Some(l),
+        }
+    }
+
+    /// Returns the underlying element, or `fallback` for `nil`.
+    ///
+    /// The paper's checks of the form `flow(S) ≤ c` treat `nil` as trivially
+    /// below everything; `elem_or(low)` is occasionally convenient when a
+    /// base-lattice value is required.
+    pub fn elem_or(self, fallback: L) -> L {
+        match self {
+            Extended::Nil => fallback,
+            Extended::Elem(l) => l,
+        }
+    }
+}
+
+impl<L: Lattice> Lattice for Extended<L> {
+    fn join(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Extended::Nil, x) | (x, Extended::Nil) => x.clone(),
+            (Extended::Elem(a), Extended::Elem(b)) => Extended::Elem(a.join(b)),
+        }
+    }
+
+    fn meet(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Extended::Nil, _) | (_, Extended::Nil) => Extended::Nil,
+            (Extended::Elem(a), Extended::Elem(b)) => Extended::Elem(a.meet(b)),
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Extended::Nil, _) => true,
+            (Extended::Elem(_), Extended::Nil) => false,
+            (Extended::Elem(a), Extended::Elem(b)) => a.leq(b),
+        }
+    }
+}
+
+impl<L: fmt::Display> fmt::Display for Extended<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Extended::Nil => write!(f, "nil"),
+            Extended::Elem(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+impl<L> From<L> for Extended<L> {
+    fn from(l: L) -> Self {
+        Extended::Elem(l)
+    }
+}
+
+/// The extended scheme wrapping a base scheme (Definition 4).
+///
+/// # Examples
+///
+/// ```
+/// use secflow_lattice::{Extended, ExtendedScheme, Lattice, Scheme, TwoPoint, TwoPointScheme};
+///
+/// let s = ExtendedScheme::new(TwoPointScheme);
+/// assert_eq!(s.low(), Extended::Nil);
+/// assert!(Extended::Nil.leq(&Extended::Elem(TwoPoint::Low)));
+/// // `nil` is the identity of join:
+/// let x = Extended::Elem(TwoPoint::High);
+/// assert_eq!(Extended::Nil.join(&x), x);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExtendedScheme<S> {
+    base: S,
+}
+
+impl<S: Scheme> ExtendedScheme<S> {
+    /// Wraps `base` with a fresh bottom `nil`.
+    pub fn new(base: S) -> Self {
+        ExtendedScheme { base }
+    }
+
+    /// The underlying scheme `(C', ≤')`.
+    pub fn base(&self) -> &S {
+        &self.base
+    }
+}
+
+impl<S: Scheme> Scheme for ExtendedScheme<S> {
+    type Elem = Extended<S::Elem>;
+
+    fn low(&self) -> Self::Elem {
+        Extended::Nil
+    }
+
+    fn high(&self) -> Self::Elem {
+        Extended::Elem(self.base.high())
+    }
+
+    fn elements(&self) -> Vec<Self::Elem> {
+        let mut out = vec![Extended::Nil];
+        out.extend(self.base.elements().into_iter().map(Extended::Elem));
+        out
+    }
+
+    fn contains(&self, e: &Self::Elem) -> bool {
+        match e {
+            Extended::Nil => true,
+            Extended::Elem(l) => self.base.contains(l),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{laws, CatSet, LinearScheme, PowersetScheme, TwoPoint, TwoPointScheme};
+
+    #[test]
+    fn satisfies_lattice_laws() {
+        laws::assert_lattice_laws(&ExtendedScheme::new(TwoPointScheme));
+        laws::assert_lattice_laws(&ExtendedScheme::new(LinearScheme::new(4).unwrap()));
+        laws::assert_lattice_laws(&ExtendedScheme::new(PowersetScheme::new(3).unwrap()));
+    }
+
+    #[test]
+    fn nil_is_strictly_below_everything() {
+        let s = ExtendedScheme::new(TwoPointScheme);
+        for e in s.elements() {
+            assert!(Extended::Nil.leq(&e));
+            if !e.is_nil() {
+                assert!(!e.leq(&Extended::Nil));
+            }
+        }
+    }
+
+    #[test]
+    fn nil_is_join_identity_and_meet_zero() {
+        let x: Extended<TwoPoint> = Extended::Elem(TwoPoint::High);
+        assert_eq!(Extended::Nil.join(&x), x);
+        assert_eq!(x.join(&Extended::Nil), x);
+        assert_eq!(x.meet(&Extended::Nil), Extended::Nil);
+    }
+
+    #[test]
+    fn base_order_is_preserved() {
+        let a: Extended<CatSet> = Extended::Elem(CatSet(0b01));
+        let b = Extended::Elem(CatSet(0b11));
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+    }
+
+    #[test]
+    fn accessors() {
+        let x: Extended<TwoPoint> = Extended::Elem(TwoPoint::Low);
+        assert!(!x.is_nil());
+        assert_eq!(x.as_elem(), Some(&TwoPoint::Low));
+        assert_eq!(Extended::<TwoPoint>::Nil.as_elem(), None);
+        assert_eq!(
+            Extended::<TwoPoint>::Nil.elem_or(TwoPoint::Low),
+            TwoPoint::Low
+        );
+        assert_eq!(x.clone().elem_or(TwoPoint::High), TwoPoint::Low);
+    }
+
+    #[test]
+    fn display_renders_nil() {
+        assert_eq!(Extended::<TwoPoint>::Nil.to_string(), "nil");
+        assert_eq!(Extended::Elem(TwoPoint::High).to_string(), "High");
+    }
+
+    #[test]
+    fn from_lifts_base_elements() {
+        let x: Extended<TwoPoint> = TwoPoint::High.into();
+        assert_eq!(x, Extended::Elem(TwoPoint::High));
+    }
+}

@@ -1,0 +1,298 @@
+//! Exhaustive verification of the complete-lattice laws for finite schemes.
+//!
+//! Definition 1 requires a classification scheme to be a *complete lattice*.
+//! For the finite schemes in this crate, completeness is equivalent to being
+//! a bounded lattice, so the checker verifies: partial-order laws for `leq`;
+//! commutativity, associativity and idempotence of `join`/`meet`; the
+//! absorption laws; consistency between the order and the operations; and
+//! that `low`/`high` bound the carrier.
+//!
+//! The checker is `O(n^3)` in the carrier size and is meant for the small
+//! instances used in tests; it returns the first violated law as a
+//! human-readable [`LawViolation`].
+
+use std::fmt;
+
+use crate::traits::{Lattice, Scheme};
+
+/// A violated lattice law, with the offending elements rendered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LawViolation {
+    /// Which law failed (e.g. `"join-commutative"`).
+    pub law: &'static str,
+    /// Rendered description of the counterexample.
+    pub detail: String,
+}
+
+impl fmt::Display for LawViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lattice law `{}` violated: {}", self.law, self.detail)
+    }
+}
+
+impl std::error::Error for LawViolation {}
+
+fn violation(law: &'static str, detail: String) -> Result<(), LawViolation> {
+    Err(LawViolation { law, detail })
+}
+
+/// Checks every lattice law over the full carrier of `scheme`.
+///
+/// Returns the first violation found, or `Ok(())` when `scheme` is a lawful
+/// bounded lattice.
+pub fn check_lattice_laws<S: Scheme>(scheme: &S) -> Result<(), LawViolation> {
+    let es = scheme.elements();
+    if es.is_empty() {
+        return violation("non-empty", "scheme has an empty carrier".to_string());
+    }
+
+    // Carrier membership of the distinguished elements.
+    if !scheme.contains(&scheme.low()) {
+        return violation(
+            "low-in-carrier",
+            format!("low {} not in carrier", scheme.low()),
+        );
+    }
+    if !scheme.contains(&scheme.high()) {
+        return violation(
+            "high-in-carrier",
+            format!("high {} not in carrier", scheme.high()),
+        );
+    }
+
+    // Partial order laws.
+    for a in &es {
+        if !a.leq(a) {
+            return violation("leq-reflexive", format!("{a} ≤ {a} fails"));
+        }
+    }
+    for a in &es {
+        for b in &es {
+            if a.leq(b) && b.leq(a) && a != b {
+                return violation(
+                    "leq-antisymmetric",
+                    format!("{a} ≤ {b} ≤ {a} but {a} ≠ {b}"),
+                );
+            }
+        }
+    }
+    for a in &es {
+        for b in &es {
+            for c in &es {
+                if a.leq(b) && b.leq(c) && !a.leq(c) {
+                    return violation(
+                        "leq-transitive",
+                        format!("{a} ≤ {b} ≤ {c} but not {a} ≤ {c}"),
+                    );
+                }
+            }
+        }
+    }
+
+    // Operation laws.
+    for a in &es {
+        if &a.join(a) != a {
+            return violation("join-idempotent", format!("{a} ⊕ {a} ≠ {a}"));
+        }
+        if &a.meet(a) != a {
+            return violation("meet-idempotent", format!("{a} ⊗ {a} ≠ {a}"));
+        }
+    }
+    for a in &es {
+        for b in &es {
+            if a.join(b) != b.join(a) {
+                return violation("join-commutative", format!("{a} ⊕ {b} ≠ {b} ⊕ {a}"));
+            }
+            if a.meet(b) != b.meet(a) {
+                return violation("meet-commutative", format!("{a} ⊗ {b} ≠ {b} ⊗ {a}"));
+            }
+            // Absorption.
+            if &a.join(&a.meet(b)) != a {
+                return violation("absorption", format!("{a} ⊕ ({a} ⊗ {b}) ≠ {a}"));
+            }
+            if &a.meet(&a.join(b)) != a {
+                return violation("absorption", format!("{a} ⊗ ({a} ⊕ {b}) ≠ {a}"));
+            }
+            // Closure.
+            if !scheme.contains(&a.join(b)) {
+                return violation("join-closed", format!("{a} ⊕ {b} escapes the carrier"));
+            }
+            if !scheme.contains(&a.meet(b)) {
+                return violation("meet-closed", format!("{a} ⊗ {b} escapes the carrier"));
+            }
+        }
+    }
+    for a in &es {
+        for b in &es {
+            for c in &es {
+                if a.join(&b.join(c)) != a.join(b).join(c) {
+                    return violation(
+                        "join-associative",
+                        format!("({a} ⊕ {b}) ⊕ {c} ≠ {a} ⊕ ({b} ⊕ {c})"),
+                    );
+                }
+                if a.meet(&b.meet(c)) != a.meet(b).meet(c) {
+                    return violation(
+                        "meet-associative",
+                        format!("({a} ⊗ {b}) ⊗ {c} ≠ {a} ⊗ ({b} ⊗ {c})"),
+                    );
+                }
+            }
+        }
+    }
+
+    // Order/operation consistency: a ≤ b iff a ⊕ b = b iff a ⊗ b = a.
+    for a in &es {
+        for b in &es {
+            let by_leq = a.leq(b);
+            let by_join = &a.join(b) == b;
+            let by_meet = &a.meet(b) == a;
+            if by_leq != by_join || by_leq != by_meet {
+                return violation(
+                    "order-consistency",
+                    format!(
+                        "{a} ≤ {b} is {by_leq}, but join-test gives {by_join} and meet-test {by_meet}"
+                    ),
+                );
+            }
+        }
+    }
+
+    // Least-upper-bound / greatest-lower-bound universality.
+    for a in &es {
+        for b in &es {
+            let j = a.join(b);
+            if !a.leq(&j) || !b.leq(&j) {
+                return violation(
+                    "join-upper-bound",
+                    format!("{a} ⊕ {b} = {j} below an operand"),
+                );
+            }
+            let m = a.meet(b);
+            if !m.leq(a) || !m.leq(b) {
+                return violation(
+                    "meet-lower-bound",
+                    format!("{a} ⊗ {b} = {m} above an operand"),
+                );
+            }
+            for u in &es {
+                if a.leq(u) && b.leq(u) && !j.leq(u) {
+                    return violation(
+                        "join-least",
+                        format!("{u} bounds {a},{b} but not their join {j}"),
+                    );
+                }
+                if u.leq(a) && u.leq(b) && !u.leq(&m) {
+                    return violation(
+                        "meet-greatest",
+                        format!("{u} is below {a},{b} but not below their meet {m}"),
+                    );
+                }
+            }
+        }
+    }
+
+    // Bounds.
+    let low = scheme.low();
+    let high = scheme.high();
+    for a in &es {
+        if !low.leq(a) {
+            return violation("low-is-bottom", format!("low {low} not below {a}"));
+        }
+        if !a.leq(&high) {
+            return violation("high-is-top", format!("{a} not below high {high}"));
+        }
+    }
+
+    Ok(())
+}
+
+/// Panics with a readable message if `scheme` violates any lattice law.
+///
+/// Convenience wrapper for tests.
+pub fn assert_lattice_laws<S: Scheme>(scheme: &S) {
+    if let Err(v) = check_lattice_laws(scheme) {
+        panic!("{v}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lattice, TwoPoint};
+    use std::fmt;
+
+    /// A deliberately broken "lattice" used to prove the checker catches
+    /// violations: `leq` is reflexive only, but `join` claims `Bad0 ⊕ Bad1
+    /// = Bad0`, which is not an upper bound of `Bad1`.
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+    enum Broken {
+        B0,
+        B1,
+    }
+
+    impl fmt::Display for Broken {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{self:?}")
+        }
+    }
+
+    impl Lattice for Broken {
+        fn join(&self, _other: &Self) -> Self {
+            Broken::B0
+        }
+        fn meet(&self, _other: &Self) -> Self {
+            Broken::B1
+        }
+        fn leq(&self, other: &Self) -> bool {
+            self == other
+        }
+    }
+
+    struct BrokenScheme;
+
+    impl Scheme for BrokenScheme {
+        type Elem = Broken;
+        fn low(&self) -> Broken {
+            Broken::B0
+        }
+        fn high(&self) -> Broken {
+            Broken::B1
+        }
+        fn elements(&self) -> Vec<Broken> {
+            vec![Broken::B0, Broken::B1]
+        }
+        fn contains(&self, _e: &Broken) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn checker_detects_broken_lattice() {
+        let err = check_lattice_laws(&BrokenScheme).unwrap_err();
+        // The first law that trips is idempotence of meet on B0.
+        assert_eq!(err.law, "meet-idempotent");
+        assert!(err.to_string().contains("meet-idempotent"));
+    }
+
+    #[test]
+    fn checker_accepts_two_point() {
+        assert!(check_lattice_laws(&crate::TwoPointScheme).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "meet-idempotent")]
+    fn assert_wrapper_panics_on_violation() {
+        assert_lattice_laws(&BrokenScheme);
+    }
+
+    #[test]
+    fn violation_display_mentions_elements() {
+        let v = LawViolation {
+            law: "demo",
+            detail: format!("{} vs {}", TwoPoint::Low, TwoPoint::High),
+        };
+        let s = v.to_string();
+        assert!(s.contains("demo") && s.contains("Low") && s.contains("High"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Security classification lattices for information flow control.
+//!
+//! A *security classification scheme* (Definition 1 of the paper) is a
+//! complete lattice `(C, ≤)`: a finite set of security classes with a
+//! partial order, closed under least upper bounds (`⊕`, [`Lattice::join`])
+//! and greatest lower bounds (`⊗`, [`Lattice::meet`]). Every program
+//! variable is associated with an element of `C`; information may flow from
+//! class `a` to class `b` only when `a ≤ b`.
+//!
+//! This crate provides:
+//!
+//! - the [`Lattice`] element trait and the [`Scheme`] trait describing a
+//!   concrete finite classification scheme (its `low`/`high` elements and an
+//!   enumeration of its carrier, used by the law checker and by exhaustive
+//!   tests);
+//! - the classification schemes used throughout the reproduction:
+//!   [`TwoPoint`] (`Low < High`), [`Linear`] (a chain `L0 < … < Ln`),
+//!   [`CatSet`] (powersets of compartment categories ordered by inclusion),
+//!   [`Military`] (Denning's level × category lattice), and the generic
+//!   [`Product`] of two schemes;
+//! - the [`Extended`] construction of Definition 4: a scheme with a fresh
+//!   bottom element `nil`, used by the Concurrent Flow Mechanism to denote
+//!   "no global flow";
+//! - a [`laws`] module that exhaustively verifies the complete-lattice laws
+//!   for any finite [`Scheme`], backing the property-based test-suite.
+//!
+//! # Examples
+//!
+//! ```
+//! use secflow_lattice::{Lattice, Scheme, TwoPoint, TwoPointScheme};
+//!
+//! let scheme = TwoPointScheme;
+//! assert_eq!(scheme.low(), TwoPoint::Low);
+//! assert!(TwoPoint::Low.leq(&TwoPoint::High));
+//! assert_eq!(TwoPoint::Low.join(&TwoPoint::High), TwoPoint::High);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dual;
+mod extended;
+pub mod laws;
+mod linear;
+mod military;
+mod named;
+mod powerset;
+mod product;
+mod traits;
+mod two_point;
+
+pub use dual::{Dual, DualScheme};
+pub use extended::{Extended, ExtendedScheme};
+pub use linear::{Linear, LinearScheme};
+pub use military::{Military, MilitaryScheme};
+pub use named::{Named, NamedError, NamedScheme};
+pub use powerset::{CatSet, PowersetScheme};
+pub use product::{Product, ProductScheme};
+pub use traits::{join_all, meet_all, Lattice, Scheme};
+pub use two_point::{TwoPoint, TwoPointScheme};

@@ -1,0 +1,143 @@
+//! Linear (totally ordered) classification chains `L0 < L1 < … < Ln`.
+
+use std::fmt;
+
+use crate::traits::{Lattice, Scheme};
+
+/// An element of a linear classification chain.
+///
+/// `Linear(k)` denotes the `k`-th level of a chain such as
+/// `Unclassified < Confidential < Secret < TopSecret`. The height of the
+/// chain is fixed by the owning [`LinearScheme`]; elements themselves are
+/// just ranks, so levels from chains of different heights compare by rank.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Linear(pub u32);
+
+impl Lattice for Linear {
+    fn join(&self, other: &Self) -> Self {
+        Linear(self.0.max(other.0))
+    }
+
+    fn meet(&self, other: &Self) -> Self {
+        Linear(self.0.min(other.0))
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0 <= other.0
+    }
+}
+
+impl fmt::Display for Linear {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A linear classification scheme with `levels` elements `L0 … L(levels-1)`.
+///
+/// # Examples
+///
+/// ```
+/// use secflow_lattice::{Lattice, Linear, LinearScheme, Scheme};
+///
+/// let s = LinearScheme::new(4).unwrap(); // U < C < S < TS
+/// assert_eq!(s.low(), Linear(0));
+/// assert_eq!(s.high(), Linear(3));
+/// assert!(Linear(1).leq(&Linear(2)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LinearScheme {
+    levels: u32,
+}
+
+impl LinearScheme {
+    /// Creates a chain of `levels` elements. Returns `None` when
+    /// `levels == 0` (an empty carrier is not a lattice).
+    pub fn new(levels: u32) -> Option<Self> {
+        if levels == 0 {
+            None
+        } else {
+            Some(LinearScheme { levels })
+        }
+    }
+
+    /// Number of levels in the chain.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// The `k`-th level, or `None` when `k` is out of range.
+    pub fn level(&self, k: u32) -> Option<Linear> {
+        (k < self.levels).then_some(Linear(k))
+    }
+}
+
+impl Scheme for LinearScheme {
+    type Elem = Linear;
+
+    fn low(&self) -> Linear {
+        Linear(0)
+    }
+
+    fn high(&self) -> Linear {
+        Linear(self.levels - 1)
+    }
+
+    fn elements(&self) -> Vec<Linear> {
+        (0..self.levels).map(Linear).collect()
+    }
+
+    fn contains(&self, e: &Linear) -> bool {
+        e.0 < self.levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    #[test]
+    fn satisfies_lattice_laws_for_various_heights() {
+        for levels in 1..=6 {
+            laws::assert_lattice_laws(&LinearScheme::new(levels).unwrap());
+        }
+    }
+
+    #[test]
+    fn zero_levels_is_rejected() {
+        assert!(LinearScheme::new(0).is_none());
+    }
+
+    #[test]
+    fn chain_is_totally_ordered() {
+        let s = LinearScheme::new(5).unwrap();
+        let es = s.elements();
+        for a in &es {
+            for b in &es {
+                assert!(a.leq(b) || b.leq(a), "{a} and {b} must be comparable");
+            }
+        }
+    }
+
+    #[test]
+    fn join_is_max_meet_is_min() {
+        assert_eq!(Linear(2).join(&Linear(4)), Linear(4));
+        assert_eq!(Linear(2).meet(&Linear(4)), Linear(2));
+        assert_eq!(Linear(3).join(&Linear(3)), Linear(3));
+    }
+
+    #[test]
+    fn level_accessor_bounds_checks() {
+        let s = LinearScheme::new(3).unwrap();
+        assert_eq!(s.level(2), Some(Linear(2)));
+        assert_eq!(s.level(3), None);
+        assert!(s.contains(&Linear(2)));
+        assert!(!s.contains(&Linear(3)));
+    }
+
+    #[test]
+    fn display_uses_rank() {
+        assert_eq!(Linear(7).to_string(), "L7");
+    }
+}

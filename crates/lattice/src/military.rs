@@ -1,0 +1,184 @@
+//! Denning's military classification lattice: linear levels × category sets.
+
+use std::fmt;
+
+use crate::powerset::CatSet;
+use crate::traits::{Lattice, Scheme};
+
+/// An element of the military lattice: a clearance level plus a set of
+/// compartment categories.
+///
+/// This is the lattice of Denning's *lattice model of secure information
+/// flow* (CACM 1976), cited as reference \[2\] of the paper: classifications
+/// such as `(Secret, {NUCLEAR, NATO})`. The order is component-wise:
+/// `(l1, c1) ≤ (l2, c2)` iff `l1 ≤ l2` and `c1 ⊆ c2`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Military {
+    /// Clearance level rank (0 = lowest).
+    pub level: u32,
+    /// Compartment categories.
+    pub categories: CatSet,
+}
+
+impl Military {
+    /// Creates a classification from a level rank and category set.
+    pub fn new(level: u32, categories: CatSet) -> Self {
+        Military { level, categories }
+    }
+}
+
+impl Lattice for Military {
+    fn join(&self, other: &Self) -> Self {
+        Military {
+            level: self.level.max(other.level),
+            categories: self.categories.join(&other.categories),
+        }
+    }
+
+    fn meet(&self, other: &Self) -> Self {
+        Military {
+            level: self.level.min(other.level),
+            categories: self.categories.meet(&other.categories),
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.level <= other.level && self.categories.leq(&other.categories)
+    }
+}
+
+impl fmt::Display for Military {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}:{}", self.level, self.categories)
+    }
+}
+
+/// The military scheme: `levels` linear levels crossed with a powerset of
+/// `n_categories` categories.
+///
+/// # Examples
+///
+/// ```
+/// use secflow_lattice::{CatSet, Lattice, Military, MilitaryScheme, Scheme};
+///
+/// // Unclassified/Secret with two compartments.
+/// let s = MilitaryScheme::new(2, 2).unwrap();
+/// let a = Military::new(1, CatSet(0b01));
+/// let b = Military::new(0, CatSet(0b10));
+/// assert!(a.incomparable(&b));
+/// assert_eq!(s.high(), Military::new(1, CatSet(0b11)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MilitaryScheme {
+    levels: u32,
+    n_categories: u32,
+}
+
+impl MilitaryScheme {
+    /// Creates a military scheme. Returns `None` when `levels == 0` or
+    /// `n_categories > 64`.
+    pub fn new(levels: u32, n_categories: u32) -> Option<Self> {
+        (levels > 0 && n_categories <= 64).then_some(MilitaryScheme {
+            levels,
+            n_categories,
+        })
+    }
+
+    /// Number of clearance levels.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Number of compartment categories.
+    pub fn n_categories(&self) -> u32 {
+        self.n_categories
+    }
+
+    fn universe(&self) -> u64 {
+        if self.n_categories == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.n_categories) - 1
+        }
+    }
+}
+
+impl Scheme for MilitaryScheme {
+    type Elem = Military;
+
+    fn low(&self) -> Military {
+        Military::new(0, CatSet::EMPTY)
+    }
+
+    fn high(&self) -> Military {
+        Military::new(self.levels - 1, CatSet(self.universe()))
+    }
+
+    fn elements(&self) -> Vec<Military> {
+        assert!(
+            self.n_categories <= 16,
+            "refusing to enumerate a 2^{}-category universe",
+            self.n_categories
+        );
+        let mut out = Vec::new();
+        for level in 0..self.levels {
+            for mask in 0..(1u64 << self.n_categories) {
+                out.push(Military::new(level, CatSet(mask)));
+            }
+        }
+        out
+    }
+
+    fn contains(&self, e: &Military) -> bool {
+        e.level < self.levels && e.categories.0 & !self.universe() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    #[test]
+    fn satisfies_lattice_laws() {
+        laws::assert_lattice_laws(&MilitaryScheme::new(3, 2).unwrap());
+        laws::assert_lattice_laws(&MilitaryScheme::new(1, 3).unwrap());
+        laws::assert_lattice_laws(&MilitaryScheme::new(4, 0).unwrap());
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(MilitaryScheme::new(0, 2).is_none());
+        assert!(MilitaryScheme::new(2, 65).is_none());
+    }
+
+    #[test]
+    fn dominance_requires_both_level_and_categories() {
+        let secret_nuclear = Military::new(2, CatSet(0b01));
+        let top_secret_empty = Military::new(3, CatSet::EMPTY);
+        // Higher level but missing the category: incomparable.
+        assert!(secret_nuclear.incomparable(&top_secret_empty));
+        let top_secret_nuclear = Military::new(3, CatSet(0b01));
+        assert!(secret_nuclear.leq(&top_secret_nuclear));
+    }
+
+    #[test]
+    fn join_dominates_both_operands() {
+        let a = Military::new(1, CatSet(0b01));
+        let b = Military::new(2, CatSet(0b10));
+        let j = a.join(&b);
+        assert!(a.leq(&j) && b.leq(&j));
+        assert_eq!(j, Military::new(2, CatSet(0b11)));
+    }
+
+    #[test]
+    fn carrier_size() {
+        let s = MilitaryScheme::new(3, 2).unwrap();
+        assert_eq!(s.len(), 3 * 4);
+    }
+
+    #[test]
+    fn display_combines_level_and_categories() {
+        assert_eq!(Military::new(2, CatSet(0b1)).to_string(), "L2:{c0}");
+    }
+}

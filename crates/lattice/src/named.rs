@@ -1,0 +1,484 @@
+//! User-defined finite lattices from named elements and Hasse edges.
+//!
+//! Real policies rarely fit a chain or a powerset: an organization
+//! declares classes like `public < internal < {finance, engineering} <
+//! board`. [`NamedScheme::build`] takes the element names and the
+//! covering relation, computes the reflexive-transitive closure, verifies
+//! the result is a lattice (unique joins and meets everywhere, single
+//! bottom and top), and precomputes the join/meet tables so elements stay
+//! cheap `u16` handles.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::traits::{Lattice, Scheme};
+
+/// An element of a [`NamedScheme`], a cheap handle into its tables.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Named {
+    idx: u16,
+    scheme: Arc<Tables>,
+}
+
+#[derive(Debug)]
+struct Tables {
+    names: Vec<String>,
+    leq: Vec<bool>, // n×n row-major
+    join: Vec<u16>, // n×n
+    meet: Vec<u16>, // n×n
+    bottom: u16,
+    top: u16,
+}
+
+impl Tables {
+    fn n(&self) -> usize {
+        self.names.len()
+    }
+
+    fn leq_at(&self, a: u16, b: u16) -> bool {
+        self.leq[a as usize * self.n() + b as usize]
+    }
+}
+
+impl PartialEq for Tables {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self, other) || (self.names == other.names && self.leq == other.leq)
+    }
+}
+
+impl Eq for Tables {}
+
+impl Named {
+    /// The element's name.
+    pub fn name(&self) -> &str {
+        &self.scheme.names[self.idx as usize]
+    }
+}
+
+impl std::hash::Hash for Tables {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.names.hash(state);
+    }
+}
+
+impl Lattice for Named {
+    fn join(&self, other: &Self) -> Self {
+        assert!(
+            self.scheme == other.scheme,
+            "elements of different named lattices"
+        );
+        let n = self.scheme.n();
+        Named {
+            idx: self.scheme.join[self.idx as usize * n + other.idx as usize],
+            scheme: Arc::clone(&self.scheme),
+        }
+    }
+
+    fn meet(&self, other: &Self) -> Self {
+        assert!(
+            self.scheme == other.scheme,
+            "elements of different named lattices"
+        );
+        let n = self.scheme.n();
+        Named {
+            idx: self.scheme.meet[self.idx as usize * n + other.idx as usize],
+            scheme: Arc::clone(&self.scheme),
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        assert!(
+            self.scheme == other.scheme,
+            "elements of different named lattices"
+        );
+        self.scheme.leq_at(self.idx, other.idx)
+    }
+}
+
+impl fmt::Display for Named {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Why a declared order fails to be a lattice.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NamedError {
+    /// No elements were declared.
+    Empty,
+    /// More than `u16::MAX` elements.
+    TooLarge,
+    /// A name appeared twice.
+    DuplicateName(String),
+    /// An edge referenced an undeclared name.
+    UnknownName(String),
+    /// The declared edges form a cycle through this element.
+    Cycle(String),
+    /// Two elements with no least upper bound (or no unique one).
+    NoJoin(String, String),
+    /// Two elements with no greatest lower bound (or no unique one).
+    NoMeet(String, String),
+}
+
+impl fmt::Display for NamedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NamedError::Empty => write!(f, "a lattice needs at least one element"),
+            NamedError::TooLarge => write!(f, "too many elements (max 65535)"),
+            NamedError::DuplicateName(n) => write!(f, "duplicate element `{n}`"),
+            NamedError::UnknownName(n) => write!(f, "edge references unknown element `{n}`"),
+            NamedError::Cycle(n) => write!(f, "the order has a cycle through `{n}`"),
+            NamedError::NoJoin(a, b) => {
+                write!(f, "`{a}` and `{b}` have no unique least upper bound")
+            }
+            NamedError::NoMeet(a, b) => {
+                write!(f, "`{a}` and `{b}` have no unique greatest lower bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NamedError {}
+
+/// A finite lattice built from names and `below < above` edges.
+#[derive(Clone, Debug)]
+pub struct NamedScheme {
+    tables: Arc<Tables>,
+}
+
+impl NamedScheme {
+    /// Builds and validates the lattice.
+    ///
+    /// `edges` lists the order generators as `(below, above)` pairs (any
+    /// generators, not necessarily a minimal Hasse diagram); the closure
+    /// is computed here.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use secflow_lattice::{Lattice, NamedScheme, Scheme};
+    ///
+    /// let s = NamedScheme::build(
+    ///     &["public", "finance", "engineering", "board"],
+    ///     &[
+    ///         ("public", "finance"),
+    ///         ("public", "engineering"),
+    ///         ("finance", "board"),
+    ///         ("engineering", "board"),
+    ///     ],
+    /// )
+    /// .unwrap();
+    /// let fin = s.elem("finance").unwrap();
+    /// let eng = s.elem("engineering").unwrap();
+    /// assert!(fin.incomparable(&eng));
+    /// assert_eq!(fin.join(&eng).name(), "board");
+    /// assert_eq!(fin.meet(&eng).name(), "public");
+    /// ```
+    pub fn build(names: &[&str], edges: &[(&str, &str)]) -> Result<Self, NamedError> {
+        if names.is_empty() {
+            return Err(NamedError::Empty);
+        }
+        if names.len() > u16::MAX as usize {
+            return Err(NamedError::TooLarge);
+        }
+        let n = names.len();
+        let mut index: BTreeMap<&str, usize> = BTreeMap::new();
+        for (i, name) in names.iter().enumerate() {
+            if index.insert(name, i).is_some() {
+                return Err(NamedError::DuplicateName(name.to_string()));
+            }
+        }
+        // Reflexive closure + edges.
+        let mut leq = vec![false; n * n];
+        for i in 0..n {
+            leq[i * n + i] = true;
+        }
+        for (below, above) in edges {
+            let b = *index
+                .get(below)
+                .ok_or_else(|| NamedError::UnknownName(below.to_string()))?;
+            let a = *index
+                .get(above)
+                .ok_or_else(|| NamedError::UnknownName(above.to_string()))?;
+            leq[b * n + a] = true;
+        }
+        // Warshall transitive closure.
+        for k in 0..n {
+            for i in 0..n {
+                if leq[i * n + k] {
+                    for j in 0..n {
+                        if leq[k * n + j] {
+                            leq[i * n + j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Antisymmetry (cycles collapse distinct names).
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && leq[i * n + j] && leq[j * n + i] {
+                    return Err(NamedError::Cycle(names[i].to_string()));
+                }
+            }
+        }
+        // Unique join/meet for every pair.
+        let mut join = vec![0u16; n * n];
+        let mut meet = vec![0u16; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let uppers: Vec<usize> = (0..n)
+                    .filter(|&u| leq[i * n + u] && leq[j * n + u])
+                    .collect();
+                let least = uppers
+                    .iter()
+                    .copied()
+                    .find(|&u| uppers.iter().all(|&v| leq[u * n + v]));
+                match least {
+                    Some(u) => join[i * n + j] = u as u16,
+                    None => {
+                        return Err(NamedError::NoJoin(
+                            names[i].to_string(),
+                            names[j].to_string(),
+                        ))
+                    }
+                }
+                let lowers: Vec<usize> = (0..n)
+                    .filter(|&u| leq[u * n + i] && leq[u * n + j])
+                    .collect();
+                let greatest = lowers
+                    .iter()
+                    .copied()
+                    .find(|&u| lowers.iter().all(|&v| leq[v * n + u]));
+                match greatest {
+                    Some(u) => meet[i * n + j] = u as u16,
+                    None => {
+                        return Err(NamedError::NoMeet(
+                            names[i].to_string(),
+                            names[j].to_string(),
+                        ))
+                    }
+                }
+            }
+        }
+        // Bottom and top exist iff all-pairs joins/meets exist (fold them).
+        let bottom = (0..n).fold(0usize, |acc, i| meet[acc * n + i] as usize) as u16;
+        let top = (0..n).fold(0usize, |acc, i| join[acc * n + i] as usize) as u16;
+        Ok(NamedScheme {
+            tables: Arc::new(Tables {
+                names: names.iter().map(|s| s.to_string()).collect(),
+                leq,
+                join,
+                meet,
+                bottom,
+                top,
+            }),
+        })
+    }
+
+    /// Looks an element up by name.
+    pub fn elem(&self, name: &str) -> Option<Named> {
+        let idx = self.tables.names.iter().position(|n| n == name)?;
+        Some(Named {
+            idx: idx as u16,
+            scheme: Arc::clone(&self.tables),
+        })
+    }
+
+    /// The element names, in declaration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.tables.names.iter().map(String::as_str).collect()
+    }
+}
+
+impl Scheme for NamedScheme {
+    type Elem = Named;
+
+    fn low(&self) -> Named {
+        Named {
+            idx: self.tables.bottom,
+            scheme: Arc::clone(&self.tables),
+        }
+    }
+
+    fn high(&self) -> Named {
+        Named {
+            idx: self.tables.top,
+            scheme: Arc::clone(&self.tables),
+        }
+    }
+
+    fn elements(&self) -> Vec<Named> {
+        (0..self.tables.n() as u16)
+            .map(|idx| Named {
+                idx,
+                scheme: Arc::clone(&self.tables),
+            })
+            .collect()
+    }
+
+    fn contains(&self, e: &Named) -> bool {
+        e.scheme == self.tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    fn diamond() -> NamedScheme {
+        NamedScheme::build(
+            &["bot", "left", "right", "top"],
+            &[
+                ("bot", "left"),
+                ("bot", "right"),
+                ("left", "top"),
+                ("right", "top"),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn diamond_satisfies_lattice_laws() {
+        laws::assert_lattice_laws(&diamond());
+    }
+
+    #[test]
+    fn singleton_is_a_lattice() {
+        let s = NamedScheme::build(&["only"], &[]).unwrap();
+        laws::assert_lattice_laws(&s);
+        assert_eq!(s.low(), s.high());
+    }
+
+    #[test]
+    fn chain_from_edges() {
+        let s = NamedScheme::build(
+            &["u", "c", "s", "ts"],
+            &[("u", "c"), ("c", "s"), ("s", "ts")],
+        )
+        .unwrap();
+        laws::assert_lattice_laws(&s);
+        assert_eq!(s.low().name(), "u");
+        assert_eq!(s.high().name(), "ts");
+        // Transitivity was derived: u ≤ ts without a direct edge.
+        assert!(s.elem("u").unwrap().leq(&s.elem("ts").unwrap()));
+    }
+
+    #[test]
+    fn diamond_joins_and_meets() {
+        let s = diamond();
+        let l = s.elem("left").unwrap();
+        let r = s.elem("right").unwrap();
+        assert!(l.incomparable(&r));
+        assert_eq!(l.join(&r).name(), "top");
+        assert_eq!(l.meet(&r).name(), "bot");
+    }
+
+    #[test]
+    fn two_maximal_elements_fail() {
+        // a, b both above bot, no top: a ⊕ b does not exist.
+        let err =
+            NamedScheme::build(&["bot", "a", "b"], &[("bot", "a"), ("bot", "b")]).unwrap_err();
+        assert!(matches!(err, NamedError::NoJoin(_, _)));
+    }
+
+    #[test]
+    fn m3_is_rejected_no_wait_its_a_lattice() {
+        // M3 (diamond with three middle elements) IS a lattice; verify we
+        // accept it and the laws hold.
+        let s = NamedScheme::build(
+            &["bot", "a", "b", "c", "top"],
+            &[
+                ("bot", "a"),
+                ("bot", "b"),
+                ("bot", "c"),
+                ("a", "top"),
+                ("b", "top"),
+                ("c", "top"),
+            ],
+        )
+        .unwrap();
+        laws::assert_lattice_laws(&s);
+    }
+
+    #[test]
+    fn non_unique_lub_is_rejected() {
+        // a,b below both c,d; c,d below top: {a,b} has minimal upper
+        // bounds {c, d}, neither least → not a lattice.
+        let err = NamedScheme::build(
+            &["bot", "a", "b", "c", "d", "top"],
+            &[
+                ("bot", "a"),
+                ("bot", "b"),
+                ("a", "c"),
+                ("a", "d"),
+                ("b", "c"),
+                ("b", "d"),
+                ("c", "top"),
+                ("d", "top"),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NamedError::NoJoin(_, _)), "{err}");
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let err = NamedScheme::build(&["a", "b"], &[("a", "b"), ("b", "a")]).unwrap_err();
+        assert!(matches!(err, NamedError::Cycle(_)));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_names_are_rejected() {
+        assert!(matches!(
+            NamedScheme::build(&["a", "a"], &[]),
+            Err(NamedError::DuplicateName(_))
+        ));
+        assert!(matches!(
+            NamedScheme::build(&["a"], &[("a", "zz")]),
+            Err(NamedError::UnknownName(_))
+        ));
+        assert!(matches!(
+            NamedScheme::build(&[], &[]),
+            Err(NamedError::Empty)
+        ));
+    }
+
+    #[test]
+    fn elements_of_different_schemes_do_not_mix() {
+        let s1 = diamond();
+        let s2 = NamedScheme::build(&["x", "y"], &[("x", "y")]).unwrap();
+        assert!(!s1.contains(&s2.elem("x").unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "different named lattices")]
+    fn cross_scheme_join_panics() {
+        let s1 = diamond();
+        let s2 = NamedScheme::build(&["x", "y"], &[("x", "y")]).unwrap();
+        let _ = s1.elem("top").unwrap().join(&s2.elem("x").unwrap());
+    }
+
+    #[test]
+    fn usable_by_the_analyses() {
+        // The org-chart lattice from the doc example drives joins/meets
+        // exactly like the built-in schemes.
+        let s = NamedScheme::build(
+            &["public", "finance", "engineering", "board"],
+            &[
+                ("public", "finance"),
+                ("public", "engineering"),
+                ("finance", "board"),
+                ("engineering", "board"),
+            ],
+        )
+        .unwrap();
+        laws::assert_lattice_laws(&s);
+        let f = s.elem("finance").unwrap();
+        let e = s.elem("engineering").unwrap();
+        assert_eq!(f.join(&e), s.high());
+    }
+}

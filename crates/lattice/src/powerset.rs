@@ -1,0 +1,199 @@
+//! Powerset lattices of compartment categories, ordered by inclusion.
+
+use std::fmt;
+
+use crate::traits::{Lattice, Scheme};
+
+/// A set of compartment categories, represented as a bitmask.
+///
+/// `CatSet` elements form the powerset lattice of up to 64 named categories
+/// (e.g. `{NUCLEAR, CRYPTO}`): `join` is set union, `meet` is intersection,
+/// and the order is inclusion. This is the "compartment" half of Denning's
+/// lattice model of secure information flow.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CatSet(pub u64);
+
+impl CatSet {
+    /// The empty category set (the `low` of every powerset scheme).
+    pub const EMPTY: CatSet = CatSet(0);
+
+    /// A singleton set containing category index `i` (`i < 64`).
+    pub fn singleton(i: u32) -> Option<CatSet> {
+        (i < 64).then(|| CatSet(1u64 << i))
+    }
+
+    /// `true` iff the set contains category index `i`.
+    pub fn has(&self, i: u32) -> bool {
+        i < 64 && self.0 & (1u64 << i) != 0
+    }
+
+    /// Number of categories in the set.
+    pub fn cardinality(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterator over the category indices present in the set.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..64).filter(|i| self.has(*i))
+    }
+}
+
+impl Lattice for CatSet {
+    fn join(&self, other: &Self) -> Self {
+        CatSet(self.0 | other.0)
+    }
+
+    fn meet(&self, other: &Self) -> Self {
+        CatSet(self.0 & other.0)
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+}
+
+impl fmt::Display for CatSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for i in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "c{i}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The powerset scheme over `n_categories` categories (`n_categories ≤ 64`).
+///
+/// # Examples
+///
+/// ```
+/// use secflow_lattice::{CatSet, Lattice, PowersetScheme, Scheme};
+///
+/// let s = PowersetScheme::new(3).unwrap();
+/// let a = CatSet::singleton(0).unwrap();
+/// let b = CatSet::singleton(2).unwrap();
+/// assert!(a.incomparable(&b));
+/// assert_eq!(a.join(&b), CatSet(0b101));
+/// assert_eq!(s.high(), CatSet(0b111));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PowersetScheme {
+    n_categories: u32,
+}
+
+impl PowersetScheme {
+    /// Creates a powerset scheme over `n_categories` categories.
+    ///
+    /// Returns `None` when `n_categories > 64` (the bitmask width). Note
+    /// that enumerating [`Scheme::elements`] of a large scheme is
+    /// exponential; law checks should use small instances.
+    pub fn new(n_categories: u32) -> Option<Self> {
+        (n_categories <= 64).then_some(PowersetScheme { n_categories })
+    }
+
+    /// Number of categories in the universe.
+    pub fn n_categories(&self) -> u32 {
+        self.n_categories
+    }
+
+    /// The full universe mask.
+    fn universe(&self) -> u64 {
+        if self.n_categories == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.n_categories) - 1
+        }
+    }
+}
+
+impl Scheme for PowersetScheme {
+    type Elem = CatSet;
+
+    fn low(&self) -> CatSet {
+        CatSet::EMPTY
+    }
+
+    fn high(&self) -> CatSet {
+        CatSet(self.universe())
+    }
+
+    fn elements(&self) -> Vec<CatSet> {
+        assert!(
+            self.n_categories <= 20,
+            "refusing to enumerate 2^{} powerset elements",
+            self.n_categories
+        );
+        (0..(1u64 << self.n_categories)).map(CatSet).collect()
+    }
+
+    fn contains(&self, e: &CatSet) -> bool {
+        e.0 & !self.universe() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    #[test]
+    fn satisfies_lattice_laws() {
+        for n in 0..=4 {
+            laws::assert_lattice_laws(&PowersetScheme::new(n).unwrap());
+        }
+    }
+
+    #[test]
+    fn inclusion_order() {
+        let a = CatSet(0b011);
+        let b = CatSet(0b111);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+    }
+
+    #[test]
+    fn singletons_are_incomparable() {
+        let a = CatSet::singleton(1).unwrap();
+        let b = CatSet::singleton(3).unwrap();
+        assert!(a.incomparable(&b));
+        assert_eq!(a.meet(&b), CatSet::EMPTY);
+    }
+
+    #[test]
+    fn singleton_bounds() {
+        assert!(CatSet::singleton(63).is_some());
+        assert!(CatSet::singleton(64).is_none());
+    }
+
+    #[test]
+    fn cardinality_and_iter_agree() {
+        let s = CatSet(0b1011);
+        assert_eq!(s.cardinality(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn scheme_contains_checks_universe() {
+        let s = PowersetScheme::new(2).unwrap();
+        assert!(s.contains(&CatSet(0b11)));
+        assert!(!s.contains(&CatSet(0b100)));
+    }
+
+    #[test]
+    fn sixty_four_category_universe() {
+        let s = PowersetScheme::new(64).unwrap();
+        assert_eq!(s.high(), CatSet(u64::MAX));
+        assert!(PowersetScheme::new(65).is_none());
+    }
+
+    #[test]
+    fn display_lists_members() {
+        assert_eq!(CatSet(0b101).to_string(), "{c0,c2}");
+        assert_eq!(CatSet::EMPTY.to_string(), "{}");
+    }
+}

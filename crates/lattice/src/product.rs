@@ -1,0 +1,136 @@
+//! Component-wise products of two classification schemes.
+
+use std::fmt;
+
+use crate::traits::{Lattice, Scheme};
+
+/// An element of the product of two lattices, ordered component-wise.
+///
+/// `(a1, b1) ≤ (a2, b2)` iff `a1 ≤ a2` and `b1 ≤ b2`; joins and meets are
+/// taken per component. The product of two complete lattices is again a
+/// complete lattice, so products compose freely.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Product<A, B>(pub A, pub B);
+
+impl<A: Lattice, B: Lattice> Lattice for Product<A, B> {
+    fn join(&self, other: &Self) -> Self {
+        Product(self.0.join(&other.0), self.1.join(&other.1))
+    }
+
+    fn meet(&self, other: &Self) -> Self {
+        Product(self.0.meet(&other.0), self.1.meet(&other.1))
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0.leq(&other.0) && self.1.leq(&other.1)
+    }
+}
+
+impl<A: fmt::Display, B: fmt::Display> fmt::Display for Product<A, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.0, self.1)
+    }
+}
+
+/// The product scheme of two schemes.
+///
+/// # Examples
+///
+/// ```
+/// use secflow_lattice::{
+///     Lattice, LinearScheme, Product, ProductScheme, Scheme, TwoPointScheme,
+/// };
+///
+/// let s = ProductScheme::new(TwoPointScheme, LinearScheme::new(3).unwrap());
+/// assert_eq!(s.len(), 6);
+/// assert_eq!(s.low(), Product(s.left().low(), s.right().low()));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProductScheme<SA, SB> {
+    left: SA,
+    right: SB,
+}
+
+impl<SA: Scheme, SB: Scheme> ProductScheme<SA, SB> {
+    /// Creates the product of `left` and `right`.
+    pub fn new(left: SA, right: SB) -> Self {
+        ProductScheme { left, right }
+    }
+
+    /// The left component scheme.
+    pub fn left(&self) -> &SA {
+        &self.left
+    }
+
+    /// The right component scheme.
+    pub fn right(&self) -> &SB {
+        &self.right
+    }
+}
+
+impl<SA: Scheme, SB: Scheme> Scheme for ProductScheme<SA, SB> {
+    type Elem = Product<SA::Elem, SB::Elem>;
+
+    fn low(&self) -> Self::Elem {
+        Product(self.left.low(), self.right.low())
+    }
+
+    fn high(&self) -> Self::Elem {
+        Product(self.left.high(), self.right.high())
+    }
+
+    fn elements(&self) -> Vec<Self::Elem> {
+        let rights = self.right.elements();
+        self.left
+            .elements()
+            .into_iter()
+            .flat_map(|a| rights.iter().map(move |b| Product(a.clone(), b.clone())))
+            .collect()
+    }
+
+    fn contains(&self, e: &Self::Elem) -> bool {
+        self.left.contains(&e.0) && self.right.contains(&e.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{laws, Linear, LinearScheme, TwoPoint, TwoPointScheme};
+
+    fn scheme() -> ProductScheme<TwoPointScheme, LinearScheme> {
+        ProductScheme::new(TwoPointScheme, LinearScheme::new(3).unwrap())
+    }
+
+    #[test]
+    fn satisfies_lattice_laws() {
+        laws::assert_lattice_laws(&scheme());
+    }
+
+    #[test]
+    fn order_is_componentwise() {
+        let a = Product(TwoPoint::Low, Linear(2));
+        let b = Product(TwoPoint::High, Linear(1));
+        assert!(a.incomparable(&b));
+        assert_eq!(a.join(&b), Product(TwoPoint::High, Linear(2)));
+        assert_eq!(a.meet(&b), Product(TwoPoint::Low, Linear(1)));
+    }
+
+    #[test]
+    fn carrier_size_is_product() {
+        assert_eq!(scheme().len(), 6);
+    }
+
+    #[test]
+    fn contains_requires_both_components() {
+        let s = scheme();
+        assert!(s.contains(&Product(TwoPoint::High, Linear(2))));
+        assert!(!s.contains(&Product(TwoPoint::High, Linear(3))));
+    }
+
+    #[test]
+    fn display_is_pair() {
+        let p = Product(TwoPoint::Low, Linear(1));
+        assert_eq!(p.to_string(), "(Low, L1)");
+    }
+}

@@ -1,0 +1,138 @@
+//! The element and scheme traits shared by every classification lattice.
+
+use std::fmt::{Debug, Display};
+use std::hash::Hash;
+
+/// An element of a security classification lattice.
+///
+/// Implementations must satisfy the complete-lattice laws on the carrier of
+/// their [`Scheme`]: `join` and `meet` must be commutative, associative and
+/// idempotent, must absorb each other, and must be consistent with `leq`
+/// (`a.leq(b)` iff `a.join(b) == b` iff `a.meet(b) == a`). The
+/// [`crate::laws`] module checks all of these exhaustively for finite
+/// schemes.
+///
+/// The paper writes `⊕` for `join` (least upper bound) and `⊗` for `meet`
+/// (greatest lower bound).
+pub trait Lattice: Clone + Eq + Hash + Debug + Display {
+    /// Least upper bound (`⊕`) of `self` and `other`.
+    fn join(&self, other: &Self) -> Self;
+
+    /// Greatest lower bound (`⊗`) of `self` and `other`.
+    fn meet(&self, other: &Self) -> Self;
+
+    /// The partial order: `true` iff `self ≤ other`.
+    ///
+    /// The default decides the order via `join`; implementations usually
+    /// override this with a direct comparison.
+    fn leq(&self, other: &Self) -> bool {
+        &self.join(other) == other
+    }
+
+    /// `true` iff the two elements are incomparable (neither `≤` holds).
+    fn incomparable(&self, other: &Self) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+}
+
+/// A concrete, finite security classification scheme `(C, ≤)`.
+///
+/// A scheme fixes the carrier of a lattice whose element type may be shared
+/// between differently-sized instances (e.g. [`crate::Linear`] chains of
+/// different heights). It supplies the distinguished `low`/`high` elements
+/// (Definition 1 calls them the minimum and maximum of `C`) and a finite
+/// enumeration of the carrier for exhaustive law checking.
+pub trait Scheme {
+    /// The element type of this scheme.
+    type Elem: Lattice;
+
+    /// The minimum element of the scheme (the class of constants).
+    fn low(&self) -> Self::Elem;
+
+    /// The maximum element of the scheme.
+    fn high(&self) -> Self::Elem;
+
+    /// Every element of the (finite) carrier.
+    ///
+    /// Used by the law checker, exhaustive tests, and the binding-inference
+    /// search. Large schemes (e.g. a 16-category powerset) may return a very
+    /// long vector; callers that only need samples should truncate.
+    fn elements(&self) -> Vec<Self::Elem>;
+
+    /// `true` iff `e` is an element of this scheme's carrier.
+    fn contains(&self, e: &Self::Elem) -> bool;
+
+    /// Number of elements in the carrier.
+    fn len(&self) -> usize {
+        self.elements().len()
+    }
+
+    /// `true` iff the carrier is empty (never the case for a lawful scheme).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Least upper bound of an iterator of lattice elements.
+///
+/// Returns `None` for an empty iterator: the join over the empty set is the
+/// bottom of the scheme, which the element type alone cannot name.
+///
+/// # Examples
+///
+/// ```
+/// use secflow_lattice::{join_all, TwoPoint};
+/// let elems = [TwoPoint::Low, TwoPoint::High, TwoPoint::Low];
+/// assert_eq!(join_all(elems.iter().cloned()), Some(TwoPoint::High));
+/// assert_eq!(join_all(std::iter::empty::<TwoPoint>()), None);
+/// ```
+pub fn join_all<L: Lattice>(iter: impl IntoIterator<Item = L>) -> Option<L> {
+    iter.into_iter().reduce(|a, b| a.join(&b))
+}
+
+/// Greatest lower bound of an iterator of lattice elements.
+///
+/// Returns `None` for an empty iterator: the meet over the empty set is the
+/// top of the scheme, which the element type alone cannot name.
+pub fn meet_all<L: Lattice>(iter: impl IntoIterator<Item = L>) -> Option<L> {
+    iter.into_iter().reduce(|a, b| a.meet(&b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TwoPoint;
+
+    #[test]
+    fn join_all_of_empty_is_none() {
+        assert_eq!(join_all(Vec::<TwoPoint>::new()), None);
+    }
+
+    #[test]
+    fn meet_all_of_empty_is_none() {
+        assert_eq!(meet_all(Vec::<TwoPoint>::new()), None);
+    }
+
+    #[test]
+    fn join_all_is_least_upper_bound() {
+        let xs = [TwoPoint::Low, TwoPoint::Low];
+        assert_eq!(join_all(xs.iter().cloned()), Some(TwoPoint::Low));
+        let ys = [TwoPoint::Low, TwoPoint::High];
+        assert_eq!(join_all(ys.iter().cloned()), Some(TwoPoint::High));
+    }
+
+    #[test]
+    fn meet_all_is_greatest_lower_bound() {
+        let xs = [TwoPoint::High, TwoPoint::High];
+        assert_eq!(meet_all(xs.iter().cloned()), Some(TwoPoint::High));
+        let ys = [TwoPoint::Low, TwoPoint::High];
+        assert_eq!(meet_all(ys.iter().cloned()), Some(TwoPoint::Low));
+    }
+
+    #[test]
+    fn incomparable_is_false_on_chains() {
+        assert!(!TwoPoint::Low.incomparable(&TwoPoint::High));
+        assert!(!TwoPoint::High.incomparable(&TwoPoint::Low));
+        assert!(!TwoPoint::Low.incomparable(&TwoPoint::Low));
+    }
+}

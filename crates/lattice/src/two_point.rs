@@ -1,0 +1,120 @@
+//! The two-point lattice `Low < High`.
+
+use std::fmt;
+
+use crate::traits::{Lattice, Scheme};
+
+/// The classic two-point security lattice: `Low < High`.
+///
+/// This is the smallest non-trivial classification scheme and the one used
+/// by every worked example in the paper (e.g. §5.2's
+/// `sbind(x) = high, sbind(y) = low`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum TwoPoint {
+    /// Public, unclassified information; the class of constants.
+    Low,
+    /// Secret information.
+    High,
+}
+
+impl Lattice for TwoPoint {
+    fn join(&self, other: &Self) -> Self {
+        if *self == TwoPoint::High || *other == TwoPoint::High {
+            TwoPoint::High
+        } else {
+            TwoPoint::Low
+        }
+    }
+
+    fn meet(&self, other: &Self) -> Self {
+        if *self == TwoPoint::Low || *other == TwoPoint::Low {
+            TwoPoint::Low
+        } else {
+            TwoPoint::High
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        *self == TwoPoint::Low || *other == TwoPoint::High
+    }
+}
+
+impl fmt::Display for TwoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TwoPoint::Low => write!(f, "Low"),
+            TwoPoint::High => write!(f, "High"),
+        }
+    }
+}
+
+/// The scheme object for [`TwoPoint`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TwoPointScheme;
+
+impl Scheme for TwoPointScheme {
+    type Elem = TwoPoint;
+
+    fn low(&self) -> TwoPoint {
+        TwoPoint::Low
+    }
+
+    fn high(&self) -> TwoPoint {
+        TwoPoint::High
+    }
+
+    fn elements(&self) -> Vec<TwoPoint> {
+        vec![TwoPoint::Low, TwoPoint::High]
+    }
+
+    fn contains(&self, _e: &TwoPoint) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    #[test]
+    fn satisfies_lattice_laws() {
+        laws::assert_lattice_laws(&TwoPointScheme);
+    }
+
+    #[test]
+    fn order_is_low_below_high() {
+        assert!(TwoPoint::Low.leq(&TwoPoint::High));
+        assert!(!TwoPoint::High.leq(&TwoPoint::Low));
+        assert!(TwoPoint::Low.leq(&TwoPoint::Low));
+        assert!(TwoPoint::High.leq(&TwoPoint::High));
+    }
+
+    #[test]
+    fn join_meet_tables() {
+        use TwoPoint::*;
+        assert_eq!(Low.join(&Low), Low);
+        assert_eq!(Low.join(&High), High);
+        assert_eq!(High.join(&Low), High);
+        assert_eq!(High.join(&High), High);
+        assert_eq!(Low.meet(&Low), Low);
+        assert_eq!(Low.meet(&High), Low);
+        assert_eq!(High.meet(&Low), Low);
+        assert_eq!(High.meet(&High), High);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TwoPoint::Low.to_string(), "Low");
+        assert_eq!(TwoPoint::High.to_string(), "High");
+    }
+
+    #[test]
+    fn scheme_bounds() {
+        let s = TwoPointScheme;
+        assert_eq!(s.low(), TwoPoint::Low);
+        assert_eq!(s.high(), TwoPoint::High);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Ready-made paper artifacts: the §5.2 relative-strength example.
+//!
+//! §5.2 exhibits the program `begin x := 0; y := x end` under the binding
+//! `sbind(x) = high, sbind(y) = low`: CFM rejects it (the direct-flow
+//! check at `y := x` compares *static* bindings), yet the paper gives a
+//! flow proof that the policy is never violated — the logic can prove the
+//! intermediate fact `x̲ ≤ low` after `x := 0`, which a static binding
+//! cannot express. This module packages the program, the binding and the
+//! paper's verbatim proof for reuse by examples, tests and benches.
+
+use secflow_core::StaticBinding;
+use secflow_lang::builder::{e, s, ProgramBuilder};
+use secflow_lang::Program;
+use secflow_lattice::{Extended, TwoPoint, TwoPointScheme};
+
+use crate::assertion::{Assertion, Bound, ClassExpr};
+use crate::check::assign_subst;
+use crate::proof::{Proof, Rule};
+
+/// The §5.2 program `begin x := 0; y := x end` and the binding
+/// `sbind(x) = high, sbind(y) = low`.
+pub fn relative_strength_program() -> (Program, StaticBinding<TwoPoint>) {
+    let mut b = ProgramBuilder::new();
+    let x = b.data("x");
+    let y = b.data("y");
+    let program = b.finish(s::seq([s::assign(x, e::konst(0)), s::assign(y, e::var(x))]));
+    let sbind = StaticBinding::uniform(&program.symbols, &TwoPointScheme).with(x, TwoPoint::High);
+    (program, sbind)
+}
+
+/// The paper's verbatim §5.2 flow proof:
+///
+/// ```text
+/// {x̲ ≤ high, y̲ ≤ low, local ≤ low, global ≤ low}
+///     x := 0;
+/// {x̲ ≤ low, y̲ ≤ low, local ≤ low, global ≤ low}
+///     y := x
+/// {x̲ ≤ low, y̲ ≤ low, local ≤ low, global ≤ low}
+/// ```
+///
+/// It shows the policy assertion (`x̲ ≤ high ∧ y̲ ≤ low`) is never
+/// violated, although the *strengthened* intermediate assertion
+/// `x̲ ≤ low` is not the policy assertion itself — which is exactly why
+/// the proof is not completely invariant, and why CFM (Theorem 2) cannot
+/// certify the program.
+pub fn relative_strength_proof(program: &Program) -> Proof<TwoPoint> {
+    let x = program.var("x");
+    let y = program.var("y");
+    let lo = ClassExpr::lit(Extended::Elem(TwoPoint::Low));
+
+    let pre = Assertion::new(
+        vec![
+            Bound::var_le(x, TwoPoint::High),
+            Bound::var_le(y, TwoPoint::Low),
+        ],
+        lo.clone(),
+        lo.clone(),
+    );
+    let mid = Assertion::new(
+        vec![
+            Bound::var_le(x, TwoPoint::Low),
+            Bound::var_le(y, TwoPoint::Low),
+        ],
+        lo.clone(),
+        lo.clone(),
+    );
+    let post = mid.clone();
+
+    let ax1_pre = mid.subst(&assign_subst(x, &e::konst(0)));
+    let p1 = Proof::new(
+        pre.clone(),
+        mid.clone(),
+        Rule::Conseq {
+            inner: Box::new(Proof::new(ax1_pre, mid.clone(), Rule::AssignAxiom)),
+        },
+    );
+    let ax2_pre = post.subst(&assign_subst(y, &e::var(x)));
+    let p2 = Proof::new(
+        mid,
+        post.clone(),
+        Rule::Conseq {
+            inner: Box::new(Proof::new(ax2_pre, post.clone(), Rule::AssignAxiom)),
+        },
+    );
+    Proof::new(
+        pre,
+        post,
+        Rule::Seq {
+            parts: vec![p1, p2],
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_proof;
+    use crate::theorem1::{is_completely_invariant, policy_assertion};
+    use secflow_core::certify;
+
+    #[test]
+    fn cfm_rejects_but_the_flow_proof_checks() {
+        let (program, sbind) = relative_strength_program();
+        // CFM rejects: sbind(x) = High ≰ sbind(y) = Low at `y := x`.
+        assert!(!certify(&program, &sbind).certified());
+        // Yet the paper's proof is valid.
+        let proof = relative_strength_proof(&program);
+        check_proof(&program.body, &proof).unwrap();
+    }
+
+    #[test]
+    fn the_proof_is_not_completely_invariant() {
+        // The strengthened intermediate assertion `x̲ ≤ low` ≠ I, so the
+        // proof falls outside the restricted form of Definition 7 —
+        // consistent with Theorem 2.
+        let (program, sbind) = relative_strength_program();
+        let proof = relative_strength_proof(&program);
+        let i = policy_assertion(&program, &sbind);
+        assert!(!is_completely_invariant(&proof, &i).unwrap());
+    }
+
+    #[test]
+    fn the_proof_post_establishes_the_policy() {
+        use crate::entail::entails;
+        let (program, sbind) = relative_strength_program();
+        let proof = relative_strength_proof(&program);
+        let i = Assertion::state_only(policy_assertion(&program, &sbind));
+        // The postcondition (x̲ ≤ low, y̲ ≤ low) entails the policy.
+        assert!(entails(&proof.post, &i).unwrap());
+        // And so does the precondition (it IS the policy plus bounds).
+        assert!(entails(&proof.pre, &i).unwrap());
+    }
+}

@@ -1,0 +1,148 @@
+//! Rendering proofs and assertions with source-level variable names.
+//!
+//! The `Display` impls in this crate print `class(v3)` because bare
+//! assertions carry no symbol table; this module threads one through so
+//! the CLI and examples can show `m̲ ≤ High` style output.
+
+use std::fmt::Write as _;
+
+use secflow_lang::SymbolTable;
+use secflow_lattice::Lattice;
+
+use crate::assertion::{Assertion, Atom, Bound, ClassExpr};
+use crate::proof::{Proof, Rule};
+
+/// Renders a class expression with variable names.
+pub fn render_class_expr<L: Lattice + std::fmt::Display>(
+    e: &ClassExpr<L>,
+    symbols: &SymbolTable,
+) -> String {
+    let mut parts: Vec<String> = e
+        .atoms()
+        .iter()
+        .map(|a| match a {
+            Atom::VarClass(v) => format!("{}̲", symbols.name(*v)),
+            Atom::Local => "local".to_string(),
+            Atom::Global => "global".to_string(),
+        })
+        .collect();
+    if parts.is_empty() || !e.literal().is_nil() {
+        parts.push(e.literal().to_string());
+    }
+    parts.join(" ⊕ ")
+}
+
+/// Renders a bound with variable names.
+pub fn render_bound<L: Lattice + std::fmt::Display>(b: &Bound<L>, symbols: &SymbolTable) -> String {
+    format!(
+        "{} ≤ {}",
+        render_class_expr(&b.lhs, symbols),
+        render_class_expr(&b.rhs, symbols)
+    )
+}
+
+/// Renders an assertion with variable names.
+pub fn render_assertion<L: Lattice + std::fmt::Display>(
+    a: &Assertion<L>,
+    symbols: &SymbolTable,
+) -> String {
+    let mut parts: Vec<String> = a.state.iter().map(|b| render_bound(b, symbols)).collect();
+    if let Some(l) = &a.local {
+        parts.push(format!("local ≤ {}", render_class_expr(l, symbols)));
+    }
+    if let Some(g) = &a.global {
+        parts.push(format!("global ≤ {}", render_class_expr(g, symbols)));
+    }
+    format!("{{{}}}", parts.join(", "))
+}
+
+/// Renders a whole proof tree with variable names.
+pub fn render_proof<L: Lattice + std::fmt::Display>(
+    proof: &Proof<L>,
+    symbols: &SymbolTable,
+) -> String {
+    let mut out = String::new();
+    render_at(proof, symbols, 0, &mut out);
+    out
+}
+
+fn render_at<L: Lattice + std::fmt::Display>(
+    proof: &Proof<L>,
+    symbols: &SymbolTable,
+    depth: usize,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(depth);
+    let _ = writeln!(out, "{pad}[{}]", proof.rule_name());
+    let _ = writeln!(
+        out,
+        "{pad}  pre:  {}",
+        render_assertion(&proof.pre, symbols)
+    );
+    let _ = writeln!(
+        out,
+        "{pad}  post: {}",
+        render_assertion(&proof.post, symbols)
+    );
+    match &proof.rule {
+        Rule::SkipAxiom | Rule::AssignAxiom | Rule::SignalAxiom | Rule::WaitAxiom => {}
+        Rule::If {
+            then_proof,
+            else_proof,
+        } => {
+            render_at(then_proof, symbols, depth + 1, out);
+            if let Some(e) = else_proof {
+                render_at(e, symbols, depth + 1, out);
+            }
+        }
+        Rule::While { body } => render_at(body, symbols, depth + 1, out),
+        Rule::Seq { parts } => parts
+            .iter()
+            .for_each(|p| render_at(p, symbols, depth + 1, out)),
+        Rule::Cobegin { branches } => branches
+            .iter()
+            .for_each(|p| render_at(p, symbols, depth + 1, out)),
+        Rule::Conseq { inner } => render_at(inner, symbols, depth + 1, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{relative_strength_program, relative_strength_proof};
+    use crate::theorem1::prove;
+    use secflow_core::StaticBinding;
+    use secflow_lang::parse;
+    use secflow_lattice::{Extended, TwoPoint, TwoPointScheme};
+
+    #[test]
+    fn renders_names_not_indices() {
+        let (program, _) = relative_strength_program();
+        let proof = relative_strength_proof(&program);
+        let text = render_proof(&proof, &program.symbols);
+        assert!(text.contains("x̲ ≤ High"), "{text}");
+        assert!(text.contains("y̲ ≤ Low"), "{text}");
+        assert!(!text.contains("class(v0)"), "{text}");
+    }
+
+    #[test]
+    fn renders_wait_substitutions() {
+        let p = parse("var y : integer; sem : semaphore; begin wait(sem); y := 1 end").unwrap();
+        let sbind = StaticBinding::uniform(&p.symbols, &TwoPointScheme);
+        let proof = prove(&p, &sbind, Extended::Nil, Extended::Nil).unwrap();
+        let text = render_proof(&proof, &p.symbols);
+        assert!(text.contains("sem̲"), "{text}");
+        assert!(text.contains("wait axiom"), "{text}");
+        assert!(text.contains("local ≤ nil"), "{text}");
+    }
+
+    #[test]
+    fn bound_and_expr_render_literals() {
+        use crate::assertion::Bound;
+        let p = parse("var a : integer; a := 1").unwrap();
+        let b: Bound<TwoPoint> = Bound::var_le(p.var("a"), TwoPoint::High);
+        assert_eq!(render_bound(&b, &p.symbols), "a̲ ≤ High");
+        let e: ClassExpr<TwoPoint> = ClassExpr::nil();
+        assert_eq!(render_class_expr(&e, &p.symbols), "nil");
+    }
+}

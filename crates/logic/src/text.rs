@@ -1,0 +1,622 @@
+//! A textual format for flow proofs: write them out, read them back,
+//! check them independently.
+//!
+//! A proof file is a single node; every node carries its `pre`/`post`
+//! assertions and its premise sub-nodes, mirroring Figure 1:
+//!
+//! ```text
+//! seq {
+//!   pre  { x <= high, y <= low, local <= low, global <= low }
+//!   post { x <= low,  y <= low, local <= low, global <= low }
+//!   conseq {
+//!     pre  { ... }
+//!     post { ... }
+//!     assign {
+//!       pre  { nil + local + global <= low, y <= low, local <= low, global <= low }
+//!       post { x <= low, y <= low, local <= low, global <= low }
+//!     }
+//!   }
+//!   ...
+//! }
+//! ```
+//!
+//! Assertions are comma-separated bounds `lhs <= rhs`; a left-hand side
+//! is a `+`-join of variable names, `local`, `global` and class literals;
+//! right-hand sides are class literals. The special left-hand names
+//! `local`/`global` at the top level of an assertion set the partitioned
+//! `L`/`G` bounds of §3.1. Class literals are supplied by the caller via
+//! a parser/printer pair, so the format works for any lattice the host
+//! application exposes (the CLI wires up `low`/`high` and `0..n-1`).
+//!
+//! Round-trip guarantee: `parse_proof(write_proof(p)) == p` structurally,
+//! property-tested over Theorem-1 proofs of random programs.
+
+use std::fmt::Write as _;
+
+use secflow_lang::SymbolTable;
+use secflow_lattice::{Extended, Lattice};
+
+use crate::assertion::{Assertion, Atom, Bound, ClassExpr};
+use crate::proof::{Proof, Rule};
+
+/// A parse error with a line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProofParseError {
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ProofParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "proof syntax error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ProofParseError {}
+
+// ---- writing --------------------------------------------------------------
+
+/// Serializes a proof to the textual format.
+///
+/// `show_lit` renders a class literal (it must be re-readable by the
+/// `parse_lit` handed to [`parse_proof`]); `nil` is built in.
+pub fn write_proof<L: Lattice>(
+    proof: &Proof<L>,
+    symbols: &SymbolTable,
+    show_lit: &dyn Fn(&L) -> String,
+) -> String {
+    let mut out = String::new();
+    write_node(proof, symbols, show_lit, 0, &mut out);
+    out
+}
+
+fn write_node<L: Lattice>(
+    proof: &Proof<L>,
+    symbols: &SymbolTable,
+    show_lit: &dyn Fn(&L) -> String,
+    depth: usize,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(depth);
+    let name = match &proof.rule {
+        Rule::SkipAxiom => "skip",
+        Rule::AssignAxiom => "assign",
+        Rule::SignalAxiom => "signal",
+        Rule::WaitAxiom => "wait",
+        Rule::If { .. } => "if",
+        Rule::While { .. } => "while",
+        Rule::Seq { .. } => "seq",
+        Rule::Cobegin { .. } => "cobegin",
+        Rule::Conseq { .. } => "conseq",
+    };
+    let _ = writeln!(out, "{pad}{name} {{");
+    let _ = writeln!(
+        out,
+        "{pad}  pre  {}",
+        write_assertion(&proof.pre, symbols, show_lit)
+    );
+    let _ = writeln!(
+        out,
+        "{pad}  post {}",
+        write_assertion(&proof.post, symbols, show_lit)
+    );
+    match &proof.rule {
+        Rule::SkipAxiom | Rule::AssignAxiom | Rule::SignalAxiom | Rule::WaitAxiom => {}
+        Rule::If {
+            then_proof,
+            else_proof,
+        } => {
+            write_node(then_proof, symbols, show_lit, depth + 1, out);
+            if let Some(e) = else_proof {
+                write_node(e, symbols, show_lit, depth + 1, out);
+            }
+        }
+        Rule::While { body } => write_node(body, symbols, show_lit, depth + 1, out),
+        Rule::Seq { parts } => {
+            for p in parts {
+                write_node(p, symbols, show_lit, depth + 1, out);
+            }
+        }
+        Rule::Cobegin { branches } => {
+            for p in branches {
+                write_node(p, symbols, show_lit, depth + 1, out);
+            }
+        }
+        Rule::Conseq { inner } => write_node(inner, symbols, show_lit, depth + 1, out),
+    }
+    let _ = writeln!(out, "{pad}}}");
+}
+
+fn write_assertion<L: Lattice>(
+    a: &Assertion<L>,
+    symbols: &SymbolTable,
+    show_lit: &dyn Fn(&L) -> String,
+) -> String {
+    let mut parts: Vec<String> = a
+        .state
+        .iter()
+        .map(|b| {
+            format!(
+                "{} <= {}",
+                write_expr(&b.lhs, symbols, show_lit),
+                write_expr(&b.rhs, symbols, show_lit)
+            )
+        })
+        .collect();
+    if let Some(l) = &a.local {
+        parts.push(format!("local <= {}", write_expr(l, symbols, show_lit)));
+    }
+    if let Some(g) = &a.global {
+        parts.push(format!("global <= {}", write_expr(g, symbols, show_lit)));
+    }
+    format!("{{ {} }}", parts.join(", "))
+}
+
+fn write_expr<L: Lattice>(
+    e: &ClassExpr<L>,
+    symbols: &SymbolTable,
+    show_lit: &dyn Fn(&L) -> String,
+) -> String {
+    let mut parts: Vec<String> = e
+        .atoms()
+        .iter()
+        .map(|a| match a {
+            Atom::VarClass(v) => symbols.name(*v).to_string(),
+            Atom::Local => "local".to_string(),
+            Atom::Global => "global".to_string(),
+        })
+        .collect();
+    match e.literal() {
+        Extended::Nil => {
+            if parts.is_empty() {
+                parts.push("nil".to_string());
+            }
+        }
+        Extended::Elem(l) => parts.push(show_lit(l)),
+    }
+    parts.join(" + ")
+}
+
+// ---- reading --------------------------------------------------------------
+
+/// Parses the textual format back into a [`Proof`].
+///
+/// Variable names resolve against `symbols`; `parse_lit` reads the class
+/// literals `show_lit` produced (plus anything else the host wants to
+/// accept). `nil` is built in.
+pub fn parse_proof<L: Lattice>(
+    source: &str,
+    symbols: &SymbolTable,
+    parse_lit: &dyn Fn(&str) -> Option<L>,
+) -> Result<Proof<L>, ProofParseError> {
+    let mut toks = Tokens::new(source);
+    let proof = parse_node(&mut toks, symbols, parse_lit)?;
+    if let Some((t, line)) = toks.peek() {
+        return Err(ProofParseError {
+            line,
+            message: format!("unexpected trailing `{t}`"),
+        });
+    }
+    Ok(proof)
+}
+
+struct Tokens {
+    items: Vec<(String, u32)>,
+    pos: usize,
+}
+
+impl Tokens {
+    fn new(source: &str) -> Self {
+        let mut items = Vec::new();
+        for (i, raw_line) in source.lines().enumerate() {
+            let line = (i + 1) as u32;
+            // Strip comments.
+            let text = raw_line.split("--").next().unwrap_or("");
+            let mut cur = String::new();
+            let flush = |cur: &mut String, items: &mut Vec<(String, u32)>| {
+                if !cur.is_empty() {
+                    items.push((std::mem::take(cur), line));
+                }
+            };
+            let mut chars = text.chars().peekable();
+            while let Some(c) = chars.next() {
+                match c {
+                    ch if ch.is_whitespace() => flush(&mut cur, &mut items),
+                    '{' | '}' | ',' | '+' => {
+                        flush(&mut cur, &mut items);
+                        items.push((c.to_string(), line));
+                    }
+                    '<' if chars.peek() == Some(&'=') => {
+                        chars.next();
+                        flush(&mut cur, &mut items);
+                        items.push(("<=".to_string(), line));
+                    }
+                    _ => cur.push(c),
+                }
+            }
+            flush(&mut cur, &mut items);
+        }
+        Tokens { items, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<(&str, u32)> {
+        self.items.get(self.pos).map(|(t, l)| (t.as_str(), *l))
+    }
+
+    fn next(&mut self) -> Option<(String, u32)> {
+        let item = self.items.get(self.pos).cloned();
+        if item.is_some() {
+            self.pos += 1;
+        }
+        item
+    }
+
+    fn line(&self) -> u32 {
+        self.items
+            .get(self.pos.min(self.items.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), ProofParseError> {
+        match self.next() {
+            Some((t, _)) if t == tok => Ok(()),
+            Some((t, line)) => Err(ProofParseError {
+                line,
+                message: format!("expected `{tok}`, found `{t}`"),
+            }),
+            None => Err(ProofParseError {
+                line: self.line(),
+                message: format!("expected `{tok}`, found end of input"),
+            }),
+        }
+    }
+}
+
+fn err(line: u32, message: impl Into<String>) -> ProofParseError {
+    ProofParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_node<L: Lattice>(
+    toks: &mut Tokens,
+    symbols: &SymbolTable,
+    parse_lit: &dyn Fn(&str) -> Option<L>,
+) -> Result<Proof<L>, ProofParseError> {
+    let (rule_name, line) = toks
+        .next()
+        .ok_or_else(|| err(0, "expected a rule name, found end of input"))?;
+    toks.expect("{")?;
+    // pre/post headers.
+    let kw = toks.next().ok_or_else(|| err(line, "missing `pre`"))?;
+    if kw.0 != "pre" {
+        return Err(err(kw.1, format!("expected `pre`, found `{}`", kw.0)));
+    }
+    let pre = parse_assertion(toks, symbols, parse_lit)?;
+    let kw = toks.next().ok_or_else(|| err(line, "missing `post`"))?;
+    if kw.0 != "post" {
+        return Err(err(kw.1, format!("expected `post`, found `{}`", kw.0)));
+    }
+    let post = parse_assertion(toks, symbols, parse_lit)?;
+
+    // Children until the closing brace.
+    let mut children = Vec::new();
+    loop {
+        match toks.peek() {
+            Some(("}", _)) => {
+                toks.next();
+                break;
+            }
+            Some(_) => children.push(parse_node(toks, symbols, parse_lit)?),
+            None => return Err(err(toks.line(), "unterminated node (missing `}`)")),
+        }
+    }
+
+    let n_children = children.len();
+    let arity_err = |want: &str| {
+        err(
+            line,
+            format!("rule `{rule_name}` needs {want}, found {n_children} premise(s)"),
+        )
+    };
+    let rule = match rule_name.as_str() {
+        "skip" | "assign" | "signal" | "wait" => {
+            if !children.is_empty() {
+                return Err(arity_err("no premises"));
+            }
+            match rule_name.as_str() {
+                "skip" => Rule::SkipAxiom,
+                "assign" => Rule::AssignAxiom,
+                "signal" => Rule::SignalAxiom,
+                _ => Rule::WaitAxiom,
+            }
+        }
+        "if" => {
+            let mut it = children.into_iter();
+            match (it.next(), it.next(), it.next()) {
+                (Some(t), Some(e), None) => Rule::If {
+                    then_proof: Box::new(t),
+                    else_proof: Some(Box::new(e)),
+                },
+                (Some(t), None, _) => Rule::If {
+                    then_proof: Box::new(t),
+                    else_proof: None,
+                },
+                _ => return Err(arity_err("one or two premises")),
+            }
+        }
+        "while" => {
+            if children.len() != 1 {
+                return Err(arity_err("exactly one premise"));
+            }
+            Rule::While {
+                body: Box::new(children.pop_one()),
+            }
+        }
+        "conseq" => {
+            if children.len() != 1 {
+                return Err(arity_err("exactly one premise"));
+            }
+            Rule::Conseq {
+                inner: Box::new(children.pop_one()),
+            }
+        }
+        "seq" => {
+            if children.is_empty() {
+                return Err(arity_err("at least one premise"));
+            }
+            Rule::Seq { parts: children }
+        }
+        "cobegin" => {
+            if children.len() < 2 {
+                return Err(arity_err("at least two premises"));
+            }
+            Rule::Cobegin { branches: children }
+        }
+        other => return Err(err(line, format!("unknown rule `{other}`"))),
+    };
+    Ok(Proof::new(pre, post, rule))
+}
+
+trait PopOne<T> {
+    fn pop_one(self) -> T;
+}
+
+impl<T> PopOne<T> for Vec<T> {
+    fn pop_one(mut self) -> T {
+        self.pop().expect("length checked by caller")
+    }
+}
+
+fn parse_assertion<L: Lattice>(
+    toks: &mut Tokens,
+    symbols: &SymbolTable,
+    parse_lit: &dyn Fn(&str) -> Option<L>,
+) -> Result<Assertion<L>, ProofParseError> {
+    toks.expect("{")?;
+    let mut state = Vec::new();
+    let mut local = None;
+    let mut global = None;
+    if let Some(("}", _)) = toks.peek() {
+        toks.next();
+        return Ok(Assertion {
+            state,
+            local,
+            global,
+        });
+    }
+    loop {
+        let lhs = parse_expr(toks, symbols, parse_lit)?;
+        toks.expect("<=")?;
+        let rhs = parse_expr(toks, symbols, parse_lit)?;
+        // A bare `local <= …` / `global <= …` conjunct is the partition
+        // bound; anything else goes into the V part.
+        if lhs == ClassExpr::local() {
+            local = Some(rhs);
+        } else if lhs == ClassExpr::global() {
+            global = Some(rhs);
+        } else {
+            state.push(Bound::new(lhs, rhs));
+        }
+        match toks.next() {
+            Some((t, _)) if t == "," => continue,
+            Some((t, _)) if t == "}" => break,
+            Some((t, line)) => return Err(err(line, format!("expected `,` or `}}`, found `{t}`"))),
+            None => return Err(err(toks.line(), "unterminated assertion")),
+        }
+    }
+    Ok(Assertion {
+        state,
+        local,
+        global,
+    })
+}
+
+fn parse_expr<L: Lattice>(
+    toks: &mut Tokens,
+    symbols: &SymbolTable,
+    parse_lit: &dyn Fn(&str) -> Option<L>,
+) -> Result<ClassExpr<L>, ProofParseError> {
+    let mut acc: Option<ClassExpr<L>> = None;
+    loop {
+        let (t, line) = toks
+            .next()
+            .ok_or_else(|| err(toks.line(), "expected a class term"))?;
+        let term = match t.as_str() {
+            "local" => ClassExpr::local(),
+            "global" => ClassExpr::global(),
+            "nil" => ClassExpr::nil(),
+            name => {
+                if let Some(v) = symbols.lookup(name) {
+                    ClassExpr::var(v)
+                } else if let Some(l) = parse_lit(name) {
+                    ClassExpr::lit(Extended::Elem(l))
+                } else {
+                    return Err(err(
+                        line,
+                        format!("`{name}` is neither a declared variable nor a class literal"),
+                    ));
+                }
+            }
+        };
+        acc = Some(match acc {
+            None => term,
+            Some(prev) => prev.join(&term),
+        });
+        match toks.peek() {
+            Some(("+", _)) => {
+                toks.next();
+            }
+            _ => break,
+        }
+    }
+    Ok(acc.expect("at least one term parsed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_proof;
+    use crate::examples::{relative_strength_program, relative_strength_proof};
+    use crate::theorem1::prove;
+    use secflow_core::StaticBinding;
+    use secflow_lang::parse;
+    use secflow_lattice::{TwoPoint, TwoPointScheme};
+
+    fn show(l: &TwoPoint) -> String {
+        match l {
+            TwoPoint::Low => "low".into(),
+            TwoPoint::High => "high".into(),
+        }
+    }
+
+    fn read(s: &str) -> Option<TwoPoint> {
+        match s {
+            "low" => Some(TwoPoint::Low),
+            "high" => Some(TwoPoint::High),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn round_trips_the_paper_proof() {
+        let (program, _) = relative_strength_program();
+        let proof = relative_strength_proof(&program);
+        let text = write_proof(&proof, &program.symbols, &show);
+        let reparsed =
+            parse_proof(&text, &program.symbols, &read).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(reparsed, proof);
+        check_proof(&program.body, &reparsed).unwrap();
+    }
+
+    #[test]
+    fn round_trips_theorem1_proofs() {
+        use secflow_lattice::Extended;
+        let srcs = [
+            "var x, y : integer; sem : semaphore;
+             cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend",
+            "var a : integer; while a > 0 do a := a - 1",
+            "var a, b : integer; if a = b then skip else b := a",
+        ];
+        for src in srcs {
+            let p = parse(src).unwrap();
+            let sbind = StaticBinding::constant(&p.symbols, &TwoPointScheme, TwoPoint::High);
+            let proof = prove(&p, &sbind, Extended::Nil, Extended::Nil).unwrap();
+            let text = write_proof(&proof, &p.symbols, &show);
+            let reparsed = parse_proof(&text, &p.symbols, &read)
+                .unwrap_or_else(|e| panic!("{src}: {e}\n{text}"));
+            assert_eq!(reparsed, proof, "{src}");
+            check_proof(&p.body, &reparsed).unwrap();
+        }
+    }
+
+    #[test]
+    fn hand_written_proof_checks() {
+        let program = parse("var x : integer; skip").unwrap();
+        let text = "\
+            skip {\n\
+              pre  { x <= high, local <= low, global <= low }\n\
+              post { x <= high, local <= low, global <= low }\n\
+            }\n";
+        let proof = parse_proof(text, &program.symbols, &read).unwrap();
+        check_proof(&program.body, &proof).unwrap();
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_tolerated() {
+        let program = parse("var x : integer; skip").unwrap();
+        let text = "\
+            skip { -- the trivial proof\n\
+              pre  {x<=high,local<=low,global<=low}\n\
+              post  {  x <= high , local <= low , global <= low }\n\
+            }\n";
+        assert!(parse_proof(text, &program.symbols, &read).is_ok());
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_lines() {
+        let program = parse("var x : integer; skip").unwrap();
+        let text = "skip {\n pre { ghost <= high }\n post { }\n}\n";
+        let e = parse_proof(text, &program.symbols, &read).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("ghost"));
+    }
+
+    #[test]
+    fn arity_errors_are_reported() {
+        let program = parse("var x : integer; skip").unwrap();
+        let text = "while {\n pre { }\n post { }\n}\n";
+        let e = parse_proof(text, &program.symbols, &read).unwrap_err();
+        assert!(e.message.contains("exactly one premise"), "{e}");
+        let text = "cobegin {\n pre { }\n post { }\n skip { pre { } post { } }\n}\n";
+        let e = parse_proof(text, &program.symbols, &read).unwrap_err();
+        assert!(e.message.contains("at least two"), "{e}");
+    }
+
+    #[test]
+    fn unknown_rule_and_trailing_garbage() {
+        let program = parse("var x : integer; skip").unwrap();
+        let e = parse_proof(
+            "frobnicate {\n pre { }\n post { }\n}",
+            &program.symbols,
+            &read,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("unknown rule"));
+        let e = parse_proof(
+            "skip {\n pre { }\n post { }\n}\nextra",
+            &program.symbols,
+            &read,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn empty_assertions_parse() {
+        let program = parse("var x : integer; skip").unwrap();
+        let proof = parse_proof("skip {\n pre { }\n post { }\n}", &program.symbols, &read).unwrap();
+        assert!(proof.pre.state.is_empty());
+        assert!(proof.pre.local.is_none());
+    }
+
+    #[test]
+    fn a_tampered_proof_fails_the_checker_not_the_parser() {
+        // Flip the paper proof's middle assertion: still parses, no
+        // longer checks — the format carries no authority.
+        let (program, _) = relative_strength_program();
+        let proof = relative_strength_proof(&program);
+        let text =
+            write_proof(&proof, &program.symbols, &show).replacen("x <= low", "x <= high", 1);
+        let reparsed = parse_proof(&text, &program.symbols, &read).unwrap();
+        assert!(check_proof(&program.body, &reparsed).is_err());
+    }
+}

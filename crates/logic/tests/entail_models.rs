@@ -1,0 +1,227 @@
+//! Soundness AND completeness of the entailment decision procedure,
+//! validated against brute-force model enumeration.
+//!
+//! §3.1 justifies side conditions "using lattice theory and propositional
+//! logic": derivability in the equational theory of lattices, uniformly
+//! over all lattices — NOT per finite lattice. (`global ≤ High` is a
+//! tautology inside the two-point lattice, but not a lattice-theoretic
+//! consequence of the empty premise; the scheme-agnostic procedure
+//! rightly refuses it.) The ground truth here therefore evaluates models
+//! in a chain with a *phantom element above every literal*: literals are
+//! `L0`/`L1` (playing Low/High) and atom values range over
+//! {nil, L0, L1, L2}, so a bound is semantically valid iff it is valid in
+//! every extension. On that semantics the procedure must be exactly
+//! sound and complete — the property that justifies trusting the proof
+//! checker's side conditions.
+
+use proptest::prelude::*;
+
+use secflow_lang::VarId;
+use secflow_lattice::{Extended, Lattice, Linear};
+use secflow_logic::{entails, Assertion, Atom, Bound, ClassExpr};
+
+type L = Linear;
+type Val = Extended<L>;
+
+const VALUES: [Val; 4] = [
+    Extended::Nil,
+    Extended::Elem(Linear(0)),
+    Extended::Elem(Linear(1)),
+    Extended::Elem(Linear(2)), // the phantom top: above every literal
+];
+
+/// Atoms used by generated assertions: 2 variables + local + global.
+fn atoms() -> [Atom; 4] {
+    [
+        Atom::VarClass(VarId(0)),
+        Atom::VarClass(VarId(1)),
+        Atom::Local,
+        Atom::Global,
+    ]
+}
+
+#[derive(Clone, Debug)]
+struct Model {
+    vals: [Val; 4],
+}
+
+impl Model {
+    fn eval(&self, e: &ClassExpr<L>) -> Val {
+        let mut acc = e.literal().clone();
+        for a in e.atoms() {
+            let idx = atoms().iter().position(|x| x == a).unwrap();
+            acc = acc.join(&self.vals[idx]);
+        }
+        acc
+    }
+
+    fn satisfies_bound(&self, b: &Bound<L>) -> bool {
+        self.eval(&b.lhs).leq(&self.eval(&b.rhs))
+    }
+
+    fn satisfies(&self, a: &Assertion<L>) -> bool {
+        let state_ok = a.state.iter().all(|b| self.satisfies_bound(b));
+        let local_ok = a
+            .local
+            .as_ref()
+            .is_none_or(|l| self.vals[2].leq(&self.eval(l)));
+        let global_ok = a
+            .global
+            .as_ref()
+            .is_none_or(|g| self.vals[3].leq(&self.eval(g)));
+        state_ok && local_ok && global_ok
+    }
+}
+
+fn all_models() -> Vec<Model> {
+    let mut out = Vec::with_capacity(256);
+    for a in &VALUES {
+        for b in &VALUES {
+            for c in &VALUES {
+                for d in &VALUES {
+                    out.push(Model {
+                        vals: [a.clone(), b.clone(), c.clone(), d.clone()],
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn semantic_entails(p: &Assertion<L>, q: &Assertion<L>) -> bool {
+    all_models()
+        .iter()
+        .all(|m| !m.satisfies(p) || m.satisfies(q))
+}
+
+// ---- random instance generation ----------------------------------------
+
+fn arb_lit() -> impl Strategy<Value = ClassExpr<L>> {
+    // Only the classes real proofs mention: nil and the binding literals.
+    prop_oneof![
+        Just(ClassExpr::nil()),
+        Just(ClassExpr::lit(Extended::Elem(Linear(0)))),
+        Just(ClassExpr::lit(Extended::Elem(Linear(1)))),
+    ]
+}
+
+/// A random lhs: a join of a subset of atoms and a literal.
+fn arb_lhs() -> impl Strategy<Value = ClassExpr<L>> {
+    (proptest::bits::u8::between(0, 4), arb_lit()).prop_map(|(mask, lit)| {
+        let mut e = lit;
+        for (i, a) in atoms().into_iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                e = e.join(&ClassExpr::atom(a));
+            }
+        }
+        e
+    })
+}
+
+/// The restricted form the logic uses: literal right-hand sides.
+fn arb_bound() -> impl Strategy<Value = Bound<L>> {
+    (arb_lhs(), arb_lit()).prop_map(|(lhs, rhs)| Bound::new(lhs, rhs))
+}
+
+fn arb_assertion() -> impl Strategy<Value = Assertion<L>> {
+    (
+        proptest::collection::vec(arb_bound(), 0..4),
+        proptest::option::of(arb_lit()),
+        proptest::option::of(arb_lit()),
+    )
+        .prop_map(|(state, local, global)| {
+            let mut a = Assertion::state_only(state);
+            if let Some(l) = local {
+                a = a.with_local(l);
+            }
+            if let Some(g) = global {
+                a = a.with_global(g);
+            }
+            a
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The decision procedure coincides with model-theoretic entailment.
+    #[test]
+    fn decision_procedure_is_sound_and_complete(
+        p in arb_assertion(),
+        q in arb_assertion(),
+    ) {
+        let decided = entails(&p, &q).unwrap();
+        let semantic = semantic_entails(&p, &q);
+        prop_assert_eq!(
+            decided,
+            semantic,
+            "P = {} ; Q = {}",
+            p,
+            q
+        );
+    }
+
+    /// Entailment is reflexive and transitive on random instances.
+    #[test]
+    fn entailment_is_a_preorder(
+        p in arb_assertion(),
+        q in arb_assertion(),
+        r in arb_assertion(),
+    ) {
+        prop_assert!(entails(&p, &p).unwrap());
+        if entails(&p, &q).unwrap() && entails(&q, &r).unwrap() {
+            prop_assert!(entails(&p, &r).unwrap());
+        }
+    }
+
+    /// Strengthening the premise preserves entailment (monotonicity).
+    #[test]
+    fn extra_premise_conjuncts_only_help(
+        p in arb_assertion(),
+        q in arb_assertion(),
+        extra in arb_bound(),
+    ) {
+        if entails(&p, &q).unwrap() {
+            let mut stronger = p.clone();
+            stronger.state.push(extra);
+            prop_assert!(entails(&stronger, &q).unwrap());
+        }
+    }
+}
+
+#[test]
+fn known_edge_cases() {
+    // Unsat premise entails everything.
+    let p = Assertion::state_only(vec![Bound::new(
+        ClassExpr::lit(Extended::Elem(Linear(1))),
+        ClassExpr::lit(Extended::Nil),
+    )]);
+    let q = Assertion::state_only(vec![Bound::new(
+        ClassExpr::var(VarId(0)),
+        ClassExpr::lit(Extended::Nil),
+    )]);
+    assert!(entails(&p, &q).unwrap());
+    assert!(semantic_entails(&p, &q));
+
+    // nil rhs forces the atom to nil; then atom ≤ anything.
+    let p = Assertion::state_only(vec![Bound::new(
+        ClassExpr::var(VarId(0)),
+        ClassExpr::lit(Extended::Nil),
+    )]);
+    let q = Assertion::state_only(vec![Bound::new(
+        ClassExpr::var(VarId(0)),
+        ClassExpr::lit(Extended::Elem(Linear(0))),
+    )]);
+    assert!(entails(&p, &q).unwrap());
+
+    // The free-theory reading: an unconstrained atom is NOT below High,
+    // because a larger lattice may place it above.
+    let p = Assertion::state_only(vec![]);
+    let q = Assertion::state_only(vec![Bound::new(
+        ClassExpr::global(),
+        ClassExpr::lit(Extended::Elem(Linear(1))),
+    )]);
+    assert!(!entails(&p, &q).unwrap());
+    assert!(!semantic_entails(&p, &q));
+}

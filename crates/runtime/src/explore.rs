@@ -1,0 +1,216 @@
+//! Exhaustive interleaving exploration (bounded model checking).
+//!
+//! §4.3 argues about *all* interleavings: Figure 3 "cannot deadlock", and
+//! the §2.2 example "will \[deadlock\] if x is not equal to zero". This
+//! module enumerates every schedule of a program (up to the configured
+//! limits) by depth-first search over machine states, memoizing visited
+//! state fingerprints, and reports:
+//!
+//! - every distinct terminal store (the possibilistic outcome set),
+//! - whether any schedule deadlocks or faults,
+//! - whether the search was truncated by its limits.
+//!
+//! The outcome sets ground the noninterference experiments: a program is
+//! (possibilistically) interference-free for an observer iff the observed
+//! projection of the outcome set is independent of the secret inputs.
+
+use std::collections::{BTreeSet, HashSet};
+
+use secflow_lang::{Program, VarId};
+
+use crate::machine::{Machine, Status};
+
+/// Search limits.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreLimits {
+    /// Maximum distinct states to expand.
+    pub max_states: usize,
+    /// Maximum schedule depth (steps along one path).
+    pub max_depth: usize,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits {
+            max_states: 200_000,
+            max_depth: 10_000,
+        }
+    }
+}
+
+/// What exhaustive exploration found.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExploreReport {
+    /// Distinct final stores of terminating schedules.
+    pub outcomes: BTreeSet<Vec<i64>>,
+    /// Number of distinct deadlocked states reached.
+    pub deadlocks: usize,
+    /// Number of distinct faulting transitions observed.
+    pub faults: usize,
+    /// Distinct states expanded.
+    pub states: usize,
+    /// `true` if a limit stopped the search (results are then a subset).
+    pub truncated: bool,
+}
+
+impl ExploreReport {
+    /// `true` iff some schedule deadlocks.
+    pub fn can_deadlock(&self) -> bool {
+        self.deadlocks > 0
+    }
+
+    /// Projects the outcome set onto the given variables.
+    pub fn project(&self, vars: &[VarId]) -> BTreeSet<Vec<i64>> {
+        self.outcomes
+            .iter()
+            .map(|store| vars.iter().map(|v| store[v.index()]).collect())
+            .collect()
+    }
+}
+
+/// Exhaustively explores all interleavings of `program` from the given
+/// inputs.
+pub fn explore(program: &Program, inputs: &[(VarId, i64)], limits: ExploreLimits) -> ExploreReport {
+    let machine = Machine::with_inputs(program, inputs);
+    let mut report = ExploreReport {
+        outcomes: BTreeSet::new(),
+        deadlocks: 0,
+        faults: 0,
+        states: 0,
+        truncated: false,
+    };
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut stack: Vec<(Machine<'_>, usize)> = vec![(machine, 0)];
+    while let Some((m, depth)) = stack.pop() {
+        if !seen.insert(m.fingerprint()) {
+            continue;
+        }
+        if report.states >= limits.max_states {
+            report.truncated = true;
+            break;
+        }
+        report.states += 1;
+        match m.status() {
+            Status::Terminated => {
+                report.outcomes.insert(m.store().to_vec());
+                continue;
+            }
+            Status::Deadlocked => {
+                report.deadlocks += 1;
+                continue;
+            }
+            Status::Running => {}
+        }
+        if depth >= limits.max_depth {
+            report.truncated = true;
+            continue;
+        }
+        for pid in m.enabled() {
+            let mut next = m.clone();
+            match next.step(pid) {
+                Ok(_) => stack.push((next, depth + 1)),
+                Err(_) => report.faults += 1,
+            }
+        }
+    }
+    report
+}
+
+/// `true` iff some interleaving of `program` deadlocks (within limits).
+pub fn can_deadlock(program: &Program, inputs: &[(VarId, i64)], limits: ExploreLimits) -> bool {
+    explore(program, inputs, limits).can_deadlock()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_lang::parse;
+
+    fn lim() -> ExploreLimits {
+        ExploreLimits::default()
+    }
+
+    #[test]
+    fn sequential_program_has_one_outcome() {
+        let p = parse("var x : integer; begin x := 1; x := x + 1 end").unwrap();
+        let r = explore(&p, &[], lim());
+        assert_eq!(r.outcomes.len(), 1);
+        assert_eq!(r.deadlocks, 0);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn racy_program_has_multiple_outcomes() {
+        let p = parse("var x : integer; cobegin x := 1 || x := 2 coend").unwrap();
+        let r = explore(&p, &[], lim());
+        let x = p.var("x");
+        let xs = r.project(&[x]);
+        assert_eq!(xs, [vec![1], vec![2]].into_iter().collect::<BTreeSet<_>>());
+    }
+
+    #[test]
+    fn read_write_race_is_fully_enumerated() {
+        // y := x can see x before or after x := 5.
+        let p = parse("var x, y : integer; cobegin x := 5 || y := x coend").unwrap();
+        let r = explore(&p, &[], lim());
+        let ys = r.project(&[p.var("y")]);
+        assert_eq!(ys, [vec![0], vec![5]].into_iter().collect::<BTreeSet<_>>());
+    }
+
+    #[test]
+    fn semaphore_ordering_removes_nondeterminism() {
+        let p = parse(
+            "var x, y : integer; s : semaphore;
+             cobegin begin x := 5; signal(s) end || begin wait(s); y := x end coend",
+        )
+        .unwrap();
+        let r = explore(&p, &[], lim());
+        let ys = r.project(&[p.var("y")]);
+        assert_eq!(ys, [vec![5]].into_iter().collect::<BTreeSet<_>>());
+        assert_eq!(r.deadlocks, 0);
+    }
+
+    #[test]
+    fn paper_2_2_example_deadlocks_exactly_when_x_nonzero() {
+        let p = parse(
+            "var x, y : integer; sem : semaphore;
+             cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend",
+        )
+        .unwrap();
+        assert!(!can_deadlock(&p, &[(p.var("x"), 0)], lim()));
+        assert!(can_deadlock(&p, &[(p.var("x"), 1)], lim()));
+    }
+
+    #[test]
+    fn faults_are_counted_not_fatal() {
+        let p = parse("var x, y : integer; cobegin x := 1 / x || x := 1 coend").unwrap();
+        // One ordering divides by zero, the other by one.
+        let r = explore(&p, &[], lim());
+        assert!(r.faults > 0);
+        assert!(!r.outcomes.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_reported_for_infinite_loops() {
+        let p = parse("var x : integer; while true do x := x + 1").unwrap();
+        let r = explore(
+            &p,
+            &[],
+            ExploreLimits {
+                max_states: 100,
+                max_depth: 50,
+            },
+        );
+        assert!(r.truncated);
+    }
+
+    #[test]
+    fn memoization_collapses_commuting_steps() {
+        // Two independent assignments: 2 interleavings, but the state
+        // space after both is shared.
+        let p = parse("var a, b : integer; cobegin a := 1 || b := 1 coend").unwrap();
+        let r = explore(&p, &[], lim());
+        assert_eq!(r.outcomes.len(), 1);
+        assert!(r.states <= 8, "states = {}", r.states);
+    }
+}

@@ -1,0 +1,309 @@
+//! A classic run-time taint monitor, as an empirical comparator to CFM.
+//!
+//! The monitor shadows an execution with security labels: an assignment
+//! relabels its target with the join of the right-hand side's labels and
+//! the current *program-counter label* (the join of the guards that
+//! dynamically dominate the step). Semaphore operations relabel the
+//! semaphore the same way.
+//!
+//! This is the textbook *purely dynamic* monitor, and it has the textbook
+//! blind spots the paper's compile-time mechanism exists to close:
+//!
+//! - **implicit flows through untaken branches**: `if h = 0 then y := 1`
+//!   run with `h ≠ 0` never executes the assignment, so `y` keeps its
+//!   label even though its *value* now reveals `h`;
+//! - **synchronization flows**: after `wait(sem)` the mere fact of
+//!   resuming carries information about whoever signalled, but the
+//!   monitor's pc is unchanged (it only tracks guards).
+//!
+//! Experiment E10 (`tests/noninterference.rs`, bench `leak_matrix`)
+//! quantifies both gaps against CFM and ground-truth interference.
+
+use secflow_lang::{Expr, Stmt, VarId};
+use secflow_lattice::Lattice;
+
+use crate::machine::{Action, Fault, Machine, ProcId, Status};
+use crate::sched::{RunOutcome, Scheduler};
+
+/// A taint-tracking execution: a [`Machine`] plus shadow labels.
+#[derive(Clone, Debug)]
+pub struct TaintMonitor<'p, L> {
+    machine: Machine<'p>,
+    labels: Vec<L>,
+    /// Per-process stack of (frame-depth threshold, guard label): the
+    /// entry is live while the process's frame stack is deeper than the
+    /// threshold.
+    pc: Vec<Vec<(usize, L)>>,
+    /// Per-process inherited pc (from the spawning `cobegin`).
+    base: Vec<L>,
+    low: L,
+}
+
+impl<'p, L: Lattice> TaintMonitor<'p, L> {
+    /// Creates a monitor over `machine` with the given initial labels
+    /// (indexed by [`VarId`]) and the lattice's `low` (for constants).
+    pub fn new(machine: Machine<'p>, initial_labels: Vec<L>, low: L) -> Self {
+        assert_eq!(
+            initial_labels.len(),
+            machine.program().symbols.len(),
+            "one label per declared name"
+        );
+        let procs = 1; // machines start with a single root process
+        TaintMonitor {
+            machine,
+            labels: initial_labels,
+            pc: vec![Vec::new(); procs],
+            base: vec![low.clone(); procs],
+            low,
+        }
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &Machine<'p> {
+        &self.machine
+    }
+
+    /// Current shadow labels.
+    pub fn labels(&self) -> &[L] {
+        &self.labels
+    }
+
+    fn expr_label(&self, expr: &Expr) -> L {
+        let mut acc = self.low.clone();
+        expr.for_each_var(&mut |v| acc = acc.join(&self.labels[v.index()]));
+        acc
+    }
+
+    fn depth(&self, pid: ProcId) -> usize {
+        self.machine.procs[pid.0].frames.len()
+    }
+
+    fn prune_pc(&mut self, pid: ProcId) {
+        let depth = self.depth(pid);
+        self.pc[pid.0].retain(|(threshold, _)| depth > *threshold);
+    }
+
+    fn pc_label(&self, pid: ProcId) -> L {
+        let mut acc = self.base[pid.0].clone();
+        for (_, l) in &self.pc[pid.0] {
+            acc = acc.join(l);
+        }
+        acc
+    }
+
+    /// Steps process `pid`, updating shadow labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not enabled (same contract as
+    /// [`Machine::step`]).
+    pub fn step(&mut self, pid: ProcId) -> Result<Action, Fault> {
+        self.prune_pc(pid);
+        let pc = self.pc_label(pid);
+        let depth_before = self.depth(pid);
+
+        // Peek the next frame to know what label updates the action needs.
+        enum Planned<L> {
+            Relabel(VarId, L),
+            PushGuard(L),
+            None,
+        }
+        let planned = {
+            use crate::machine::Frame;
+            match self.machine.procs[pid.0].frames.last() {
+                Some(Frame::Stmt(Stmt::Assign { var, expr, .. })) => {
+                    Planned::Relabel(*var, self.expr_label(expr).join(&pc))
+                }
+                Some(Frame::Stmt(Stmt::Wait { sem, .. }))
+                | Some(Frame::Stmt(Stmt::Signal { sem, .. })) => {
+                    Planned::Relabel(*sem, self.labels[sem.index()].join(&pc))
+                }
+                Some(Frame::Stmt(Stmt::If { cond, .. }))
+                | Some(Frame::Stmt(Stmt::While { cond, .. })) => {
+                    Planned::PushGuard(self.expr_label(cond).join(&pc))
+                }
+                Some(Frame::LoopHead(Stmt::While { cond, .. })) => {
+                    Planned::PushGuard(self.expr_label(cond).join(&pc))
+                }
+                _ => Planned::None,
+            }
+        };
+
+        let action = self.machine.step(pid)?;
+
+        match (planned, &action) {
+            (Planned::Relabel(var, label), _) => {
+                self.labels[var.index()] = label;
+            }
+            (Planned::PushGuard(label), Action::Guard { .. }) => {
+                // The guard's scope lasts while the process stays deeper
+                // than the statement that introduced it.
+                self.pc[pid.0].push((depth_before - 1, label));
+            }
+            (_, Action::Spawn { children }) => {
+                for c in children {
+                    debug_assert_eq!(c.0, self.pc.len());
+                    self.pc.push(Vec::new());
+                    self.base.push(pc.clone());
+                }
+            }
+            _ => {}
+        }
+        Ok(action)
+    }
+
+    /// Runs to completion under `scheduler`, with a step budget.
+    pub fn run(&mut self, scheduler: &mut impl Scheduler, fuel: usize) -> RunOutcome {
+        for _ in 0..fuel {
+            match self.machine.status() {
+                Status::Terminated => return RunOutcome::Terminated,
+                Status::Deadlocked => return RunOutcome::Deadlocked,
+                Status::Running => {
+                    let enabled = self.machine.enabled();
+                    let pid = scheduler.pick(&enabled);
+                    if let Err(f) = self.step(pid) {
+                        return RunOutcome::Faulted(f);
+                    }
+                }
+            }
+        }
+        match self.machine.status() {
+            Status::Terminated => RunOutcome::Terminated,
+            Status::Deadlocked => RunOutcome::Deadlocked,
+            Status::Running => RunOutcome::FuelExhausted,
+        }
+    }
+
+    /// Variables whose final label exceeds `allowed` (their declared
+    /// clearance): the monitor's per-run verdict.
+    pub fn polluted(&self, allowed: &[L]) -> Vec<VarId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(i, l)| !l.leq(&allowed[*i]))
+            .map(|(i, _)| VarId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::RoundRobin;
+    use secflow_lang::parse;
+    use secflow_lattice::TwoPoint;
+
+    fn labels_for(p: &secflow_lang::Program, highs: &[&str]) -> Vec<TwoPoint> {
+        p.symbols
+            .iter()
+            .map(|(_, info)| {
+                if highs.contains(&info.name.as_str()) {
+                    TwoPoint::High
+                } else {
+                    TwoPoint::Low
+                }
+            })
+            .collect()
+    }
+
+    fn monitor_run<'p>(
+        p: &'p secflow_lang::Program,
+        highs: &[&str],
+        inputs: &[(secflow_lang::VarId, i64)],
+    ) -> TaintMonitor<'p, TwoPoint> {
+        let m = Machine::with_inputs(p, inputs);
+        let mut t = TaintMonitor::new(m, labels_for(p, highs), TwoPoint::Low);
+        t.run(&mut RoundRobin::new(), 10_000);
+        t
+    }
+
+    #[test]
+    fn direct_flow_is_caught() {
+        let p = parse("var h, l : integer; l := h").unwrap();
+        let t = monitor_run(&p, &["h"], &[]);
+        assert_eq!(t.labels()[p.var("l").index()], TwoPoint::High);
+        assert_eq!(t.polluted(&labels_for(&p, &["h"])), vec![p.var("l")]);
+    }
+
+    #[test]
+    fn taken_branch_implicit_flow_is_caught() {
+        let p = parse("var h, l : integer; if h = 0 then l := 1").unwrap();
+        // h = 0: the branch runs under a High pc, so l is relabelled.
+        let t = monitor_run(&p, &["h"], &[]);
+        assert_eq!(t.labels()[p.var("l").index()], TwoPoint::High);
+    }
+
+    #[test]
+    fn untaken_branch_implicit_flow_is_missed() {
+        // The classic blind spot: with h ≠ 0 the assignment never runs,
+        // yet l's final value (0, not 1) still reveals h.
+        let p = parse("var h, l : integer; if h = 0 then l := 1").unwrap();
+        let t = monitor_run(&p, &["h"], &[(p.var("h"), 1)]);
+        assert_eq!(t.labels()[p.var("l").index()], TwoPoint::Low);
+        assert!(t.polluted(&labels_for(&p, &["h"])).is_empty());
+    }
+
+    #[test]
+    fn guard_scope_ends_after_the_branch() {
+        // The statement after the if must NOT inherit the guard's label.
+        let p = parse("var h, a, b : integer; begin if h = 0 then a := 1 else a := 2; b := 1 end")
+            .unwrap();
+        let t = monitor_run(&p, &["h"], &[]);
+        assert_eq!(t.labels()[p.var("a").index()], TwoPoint::High);
+        assert_eq!(t.labels()[p.var("b").index()], TwoPoint::Low);
+    }
+
+    #[test]
+    fn loop_guard_taints_body_assignments() {
+        let p =
+            parse("var h, l : integer; while h > 0 do begin l := l + 1; h := h - 1 end").unwrap();
+        let t = monitor_run(&p, &["h"], &[(p.var("h"), 3)]);
+        assert_eq!(t.labels()[p.var("l").index()], TwoPoint::High);
+    }
+
+    #[test]
+    fn statement_after_loop_is_not_tainted_by_guard() {
+        let p = parse("var h, l : integer; begin while h > 0 do h := h - 1; l := 1 end").unwrap();
+        let t = monitor_run(&p, &["h"], &[(p.var("h"), 2)]);
+        // Dynamic monitors miss the termination channel (CFM does not).
+        assert_eq!(t.labels()[p.var("l").index()], TwoPoint::Low);
+    }
+
+    #[test]
+    fn synchronization_flow_is_missed() {
+        // Figure-3-style: the monitor sees no guard around `y := m`, so y
+        // never picks up x's label even though the schedule encodes x.
+        let p = parse(
+            "var x, y : integer; sem : semaphore;
+             cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend",
+        )
+        .unwrap();
+        let m = Machine::with_inputs(&p, &[(p.var("x"), 0)]);
+        let mut t = TaintMonitor::new(m, labels_for(&p, &["x"]), TwoPoint::Low);
+        let outcome = t.run(&mut RoundRobin::new(), 10_000);
+        assert!(outcome.terminated());
+        assert_eq!(t.labels()[p.var("y").index()], TwoPoint::Low, "blind spot");
+        // The semaphore itself is tainted (signalled under a High guard)…
+        assert_eq!(t.labels()[p.var("sem").index()], TwoPoint::High);
+        // …but the flow into y is invisible to a purely dynamic pc.
+    }
+
+    #[test]
+    fn cobegin_children_inherit_pc() {
+        let p = parse(
+            "var h, a, b : integer;
+             if h = 0 then cobegin a := 1 || b := 2 coend",
+        )
+        .unwrap();
+        let t = monitor_run(&p, &["h"], &[]);
+        assert_eq!(t.labels()[p.var("a").index()], TwoPoint::High);
+        assert_eq!(t.labels()[p.var("b").index()], TwoPoint::High);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per declared name")]
+    fn label_count_is_validated() {
+        let p = parse("var x : integer; x := 1").unwrap();
+        let _ = TaintMonitor::new(Machine::new(&p), Vec::<TwoPoint>::new(), TwoPoint::Low);
+    }
+}

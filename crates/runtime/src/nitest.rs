@@ -1,0 +1,252 @@
+//! The noninterference harness: empirical ground truth for information
+//! flow.
+//!
+//! A program is *possibilistically noninterfering* for an observer who
+//! sees the variables `low_vars` iff the set of observable outcomes —
+//! final low-variable values of terminating schedules, plus whether any
+//! schedule can deadlock — is the same for every value of the secret
+//! inputs. This harness computes those observation sets exactly (via
+//! [`crate::explore`](mod@crate::explore)) and reports the first pair of secret inputs whose
+//! observations differ, i.e. a concrete interference witness.
+//!
+//! This is experiment E10's ground truth: CFM must never certify a
+//! program that interferes (soundness), while the paper's §5.2 example
+//! shows the converse direction is conservative.
+
+use std::collections::BTreeSet;
+
+use secflow_lang::{Program, VarId};
+
+use crate::explore::{explore, ExploreLimits};
+
+/// What one secret-input assignment makes observable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Observation {
+    /// Final low-variable values across all terminating schedules.
+    pub low_outcomes: BTreeSet<Vec<i64>>,
+    /// Whether some schedule deadlocks (observable as hanging).
+    pub can_deadlock: bool,
+    /// Whether some schedule faults.
+    pub can_fault: bool,
+}
+
+/// A concrete interference witness.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Witness {
+    /// First secret assignment.
+    pub inputs_a: Vec<(VarId, i64)>,
+    /// Second secret assignment.
+    pub inputs_b: Vec<(VarId, i64)>,
+    /// What the observer sees under `inputs_a`.
+    pub observed_a: Observation,
+    /// What the observer sees under `inputs_b`.
+    pub observed_b: Observation,
+}
+
+/// The harness verdict.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NiReport {
+    /// `true` iff some pair of secret inputs is distinguishable.
+    pub interferes: bool,
+    /// The distinguishing pair, when one exists.
+    pub witness: Option<Witness>,
+    /// `true` if any exploration hit its limits (verdict is then only a
+    /// lower bound: undiscovered interference may remain).
+    pub truncated: bool,
+}
+
+/// Computes the observation set for one secret assignment.
+pub fn observe(
+    program: &Program,
+    inputs: &[(VarId, i64)],
+    low_vars: &[VarId],
+    limits: ExploreLimits,
+) -> (Observation, bool) {
+    let r = explore(program, inputs, limits);
+    (
+        Observation {
+            low_outcomes: r.project(low_vars),
+            can_deadlock: r.can_deadlock(),
+            can_fault: r.faults > 0,
+        },
+        r.truncated,
+    )
+}
+
+/// Tests noninterference across the given secret-input variants.
+///
+/// `variants` lists complete secret assignments (each a vector of
+/// `(secret var, value)` pairs); all other variables keep their declared
+/// initial values. The observer sees exactly `low_vars`.
+///
+/// # Examples
+///
+/// ```
+/// use secflow_lang::parse;
+/// use secflow_runtime::{check_noninterference, ExploreLimits};
+///
+/// // Direct leak: y := x.
+/// let p = parse("var x, y : integer; y := x").unwrap();
+/// let x = p.var("x");
+/// let report = check_noninterference(
+///     &p,
+///     &[vec![(x, 0)], vec![(x, 1)]],
+///     &[p.var("y")],
+///     ExploreLimits::default(),
+/// );
+/// assert!(report.interferes);
+/// ```
+pub fn check_noninterference(
+    program: &Program,
+    variants: &[Vec<(VarId, i64)>],
+    low_vars: &[VarId],
+    limits: ExploreLimits,
+) -> NiReport {
+    let mut truncated = false;
+    let observations: Vec<(Vec<(VarId, i64)>, Observation)> = variants
+        .iter()
+        .map(|inputs| {
+            let (obs, trunc) = observe(program, inputs, low_vars, limits);
+            truncated |= trunc;
+            (inputs.clone(), obs)
+        })
+        .collect();
+    for i in 0..observations.len() {
+        for j in i + 1..observations.len() {
+            if observations[i].1 != observations[j].1 {
+                return NiReport {
+                    interferes: true,
+                    witness: Some(Witness {
+                        inputs_a: observations[i].0.clone(),
+                        inputs_b: observations[j].0.clone(),
+                        observed_a: observations[i].1.clone(),
+                        observed_b: observations[j].1.clone(),
+                    }),
+                    truncated,
+                };
+            }
+        }
+    }
+    NiReport {
+        interferes: false,
+        witness: None,
+        truncated,
+    }
+}
+
+/// Convenience: tests a single binary secret (`0` vs `1`).
+pub fn check_binary_secret(
+    program: &Program,
+    secret: VarId,
+    low_vars: &[VarId],
+    limits: ExploreLimits,
+) -> NiReport {
+    check_noninterference(
+        program,
+        &[vec![(secret, 0)], vec![(secret, 1)]],
+        low_vars,
+        limits,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_lang::parse;
+
+    fn lim() -> ExploreLimits {
+        ExploreLimits::default()
+    }
+
+    #[test]
+    fn direct_flow_interferes() {
+        let p = parse("var x, y : integer; y := x").unwrap();
+        let r = check_binary_secret(&p, p.var("x"), &[p.var("y")], lim());
+        assert!(r.interferes);
+        let w = r.witness.unwrap();
+        assert_ne!(w.observed_a.low_outcomes, w.observed_b.low_outcomes);
+    }
+
+    #[test]
+    fn implicit_flow_interferes() {
+        let p = parse("var x, y : integer; if x = 0 then y := 1").unwrap();
+        let r = check_binary_secret(&p, p.var("x"), &[p.var("y")], lim());
+        assert!(r.interferes);
+    }
+
+    #[test]
+    fn independent_variable_does_not_interfere() {
+        let p = parse("var x, y : integer; y := 7").unwrap();
+        let r = check_binary_secret(&p, p.var("x"), &[p.var("y")], lim());
+        assert!(!r.interferes);
+    }
+
+    #[test]
+    fn deadlock_is_observable() {
+        // §2.2: the wait example deadlocks iff x ≠ 0 — interference even
+        // though no low variable differs among *terminating* runs… and y
+        // differs too (it is only written when x = 0).
+        let p = parse(
+            "var x, y : integer; sem : semaphore;
+             cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend",
+        )
+        .unwrap();
+        let r = check_binary_secret(&p, p.var("x"), &[p.var("y")], lim());
+        assert!(r.interferes);
+        let w = r.witness.unwrap();
+        assert_ne!(w.observed_a.can_deadlock, w.observed_b.can_deadlock);
+    }
+
+    #[test]
+    fn synchronization_only_channel_interferes_without_deadlock() {
+        // A deadlock-free ordering channel: x chooses which of two
+        // orderings happens, and y records it.
+        let p = parse(
+            "var x, y, m : integer; a, b : semaphore;
+             cobegin
+               begin
+                 if x = 0 then begin signal(a); wait(b) end
+                 else begin m := 1; signal(a); wait(b) end;
+                 y := m
+               end
+             ||
+               begin wait(a); signal(b) end
+             coend",
+        )
+        .unwrap();
+        let r = check_binary_secret(&p, p.var("x"), &[p.var("y")], lim());
+        assert!(r.interferes);
+        let w = r.witness.unwrap();
+        assert!(!w.observed_a.can_deadlock && !w.observed_b.can_deadlock);
+    }
+
+    #[test]
+    fn race_nondeterminism_is_not_interference() {
+        // y is racy but the race is identical for every secret value.
+        let p = parse("var x, y : integer; cobegin y := 1 || y := 2 coend").unwrap();
+        let r = check_binary_secret(&p, p.var("x"), &[p.var("y")], lim());
+        assert!(!r.interferes);
+    }
+
+    #[test]
+    fn multi_variant_sweep_finds_the_distinguishing_value() {
+        // Leaks only whether x = 3.
+        let p = parse("var x, y : integer; if x = 3 then y := 1").unwrap();
+        let x = p.var("x");
+        let variants: Vec<Vec<(VarId, i64)>> = (0..5).map(|v| vec![(x, v)]).collect();
+        let r = check_noninterference(&p, &variants, &[p.var("y")], lim());
+        assert!(r.interferes);
+        let w = r.witness.unwrap();
+        // One side of the witness must be x = 3.
+        assert!(w.inputs_a == vec![(x, 3)] || w.inputs_b == vec![(x, 3)]);
+    }
+
+    #[test]
+    fn fault_observability() {
+        let p = parse("var x, y : integer; y := 1 / x").unwrap();
+        let r = check_binary_secret(&p, p.var("x"), &[p.var("y")], lim());
+        assert!(r.interferes);
+        let w = r.witness.unwrap();
+        assert_ne!(w.observed_a.can_fault, w.observed_b.can_fault);
+    }
+}

@@ -1,0 +1,168 @@
+//! Execution traces: a recorded schedule with its actions.
+
+use std::fmt;
+
+use secflow_lang::Program;
+
+use crate::machine::{Action, Machine, ProcId};
+use crate::sched::{RunOutcome, Scheduler};
+
+/// One recorded step.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Which process stepped.
+    pub pid: ProcId,
+    /// What it did.
+    pub action: Action,
+}
+
+/// A full recorded execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Trace {
+    /// The steps, in schedule order.
+    pub events: Vec<TraceEvent>,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// The final store.
+    pub final_store: Vec<i64>,
+}
+
+impl Trace {
+    /// Renders the trace with variable names from `program`.
+    pub fn render(&self, program: &Program) -> String {
+        let mut out = String::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            let desc = match &ev.action {
+                Action::Assign { var, value } => {
+                    format!("{} := {}", program.symbols.name(*var), value)
+                }
+                Action::Guard { taken } => format!("guard -> {taken}"),
+                Action::Wait { sem } => format!("wait({})", program.symbols.name(*sem)),
+                Action::Signal { sem } => format!("signal({})", program.symbols.name(*sem)),
+                Action::Control => "control".to_string(),
+                Action::Spawn { children } => format!("spawn {} processes", children.len()),
+                Action::Finished => "finished".to_string(),
+            };
+            out.push_str(&format!("{i:4}  P{}  {desc}\n", ev.pid.0));
+        }
+        out.push_str(&format!("outcome: {:?}\n", self.outcome));
+        out
+    }
+}
+
+/// Runs `machine` under `scheduler`, recording a [`Trace`].
+pub fn run_traced(machine: &mut Machine<'_>, scheduler: &mut impl Scheduler, fuel: usize) -> Trace {
+    // Re-run with explicit stepping so actions are captured faithfully.
+    let mut events = Vec::new();
+    let outcome = loop {
+        if events.len() >= fuel {
+            break match machine.status() {
+                crate::machine::Status::Terminated => RunOutcome::Terminated,
+                crate::machine::Status::Deadlocked => RunOutcome::Deadlocked,
+                crate::machine::Status::Running => RunOutcome::FuelExhausted,
+            };
+        }
+        match machine.status() {
+            crate::machine::Status::Terminated => break RunOutcome::Terminated,
+            crate::machine::Status::Deadlocked => break RunOutcome::Deadlocked,
+            crate::machine::Status::Running => {
+                let enabled = machine.enabled();
+                let pid = scheduler.pick(&enabled);
+                match machine.step(pid) {
+                    Ok(action) => events.push(TraceEvent { pid, action }),
+                    Err(f) => break RunOutcome::Faulted(f),
+                }
+            }
+        }
+    };
+    Trace {
+        events,
+        outcome,
+        final_store: machine.store().to_vec(),
+    }
+}
+
+/// Replays a recorded pick sequence (deterministic re-execution).
+pub struct Replay {
+    picks: std::vec::IntoIter<ProcId>,
+}
+
+impl Replay {
+    /// Creates a replay scheduler from a pick sequence.
+    pub fn new(picks: Vec<ProcId>) -> Self {
+        Replay {
+            picks: picks.into_iter(),
+        }
+    }
+
+    /// Extracts the pick sequence of a trace.
+    pub fn of_trace(trace: &Trace) -> Self {
+        Self::new(trace.events.iter().map(|e| e.pid).collect())
+    }
+}
+
+impl Scheduler for Replay {
+    fn pick(&mut self, enabled: &[ProcId]) -> ProcId {
+        match self.picks.next() {
+            Some(pid) if enabled.contains(&pid) => pid,
+            // Past the recorded prefix (or diverged): fall back to the
+            // first enabled process.
+            _ => enabled[0],
+        }
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace of {} events ({:?})",
+            self.events.len(),
+            self.outcome
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{RandomSched, RoundRobin};
+    use secflow_lang::parse;
+
+    #[test]
+    fn traces_record_assignments() {
+        let p = parse("var x : integer; begin x := 1; x := x + 1 end").unwrap();
+        let mut m = Machine::new(&p);
+        let t = run_traced(&mut m, &mut RoundRobin::new(), 100);
+        assert!(t.outcome.terminated());
+        let assigns: Vec<_> = t
+            .events
+            .iter()
+            .filter(|e| matches!(e.action, Action::Assign { .. }))
+            .collect();
+        assert_eq!(assigns.len(), 2);
+        let rendered = t.render(&p);
+        assert!(rendered.contains("x := 1"), "{rendered}");
+        assert!(rendered.contains("x := 2"), "{rendered}");
+    }
+
+    #[test]
+    fn replay_reproduces_the_same_outcome() {
+        let p = parse("var x : integer; cobegin x := 1 || x := 2 coend").unwrap();
+        for seed in 0..10 {
+            let mut m1 = Machine::new(&p);
+            let t1 = run_traced(&mut m1, &mut RandomSched::new(seed), 100);
+            let mut m2 = Machine::new(&p);
+            let t2 = run_traced(&mut m2, &mut Replay::of_trace(&t1), 100);
+            assert_eq!(t1.final_store, t2.final_store, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn trace_display_summarizes() {
+        let p = parse("var x : integer; x := 1").unwrap();
+        let mut m = Machine::new(&p);
+        let t = run_traced(&mut m, &mut RoundRobin::new(), 10);
+        assert!(t.to_string().contains("events"));
+    }
+}

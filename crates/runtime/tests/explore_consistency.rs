@@ -1,0 +1,110 @@
+//! Consistency of the three execution modes: every outcome a sampled
+//! schedule produces must be in the exhaustive explorer's outcome set,
+//! and deterministic (fully sequenced) programs agree everywhere.
+
+use proptest::prelude::*;
+
+use secflow_lang::parse;
+use secflow_runtime::{explore, run, ExploreLimits, Machine, RandomSched, RoundRobin, RunOutcome};
+use secflow_workload::{generate, GenConfig};
+
+fn cfg() -> GenConfig {
+    GenConfig {
+        target_stmts: 15,
+        max_depth: 4,
+        n_vars: 3,
+        n_sems: 1,
+        bounded_loops: true,
+    }
+}
+
+fn limits() -> ExploreLimits {
+    ExploreLimits {
+        max_states: 80_000,
+        max_depth: 5_000,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sampled outcomes ⊆ explored outcomes; sampled deadlocks imply
+    /// explored deadlocks.
+    #[test]
+    fn sampling_is_contained_in_exploration(seed in 0u64..50_000, sched in 0u64..64) {
+        let program = generate(&cfg(), seed);
+        let report = explore(&program, &[], limits());
+        if report.truncated {
+            return Ok(()); // containment only meaningful on complete sets
+        }
+        let mut machine = Machine::new(&program);
+        match run(&mut machine, &mut RandomSched::new(sched), 50_000) {
+            RunOutcome::Terminated => {
+                prop_assert!(
+                    report.outcomes.contains(machine.store()),
+                    "sampled outcome missing from exploration (seed {}, sched {})",
+                    seed,
+                    sched
+                );
+            }
+            RunOutcome::Deadlocked => {
+                prop_assert!(report.can_deadlock());
+            }
+            RunOutcome::Faulted(_) => {
+                prop_assert!(report.faults > 0);
+            }
+            RunOutcome::FuelExhausted => {}
+        }
+    }
+
+    /// Round-robin is one of the explored schedules too.
+    #[test]
+    fn round_robin_is_contained(seed in 0u64..50_000) {
+        let program = generate(&cfg(), seed);
+        let report = explore(&program, &[], limits());
+        if report.truncated {
+            return Ok(());
+        }
+        let mut machine = Machine::new(&program);
+        if run(&mut machine, &mut RoundRobin::new(), 50_000) == RunOutcome::Terminated {
+            prop_assert!(report.outcomes.contains(machine.store()));
+        }
+    }
+}
+
+#[test]
+fn sequenced_program_agrees_across_all_modes() {
+    // Fully semaphore-sequenced: exactly one outcome everywhere.
+    let p = parse(
+        "var a, b : integer; s, t : semaphore;
+         cobegin
+           begin a := 1; signal(s); wait(t); a := a + 10 end
+         ||
+           begin wait(s); b := a * 2; signal(t) end
+         coend",
+    )
+    .unwrap();
+    let report = explore(&p, &[], ExploreLimits::default());
+    assert_eq!(report.outcomes.len(), 1);
+    let reference = report.outcomes.iter().next().unwrap().clone();
+    for seed in 0..25u64 {
+        let mut m = Machine::new(&p);
+        assert!(run(&mut m, &mut RandomSched::new(seed), 10_000).terminated());
+        assert_eq!(m.store(), &reference[..], "seed {seed}");
+    }
+    assert_eq!(reference[p.var("a").index()], 11);
+    assert_eq!(reference[p.var("b").index()], 2);
+}
+
+#[test]
+fn explorer_finds_outcomes_sampling_misses() {
+    // A 3-way race has 3 outcomes; a single schedule sees only one —
+    // the reason ground truth needs exhaustive search.
+    let p = parse("var x : integer; cobegin x := 1 || x := 2 || x := 3 coend").unwrap();
+    let report = explore(&p, &[], ExploreLimits::default());
+    assert_eq!(report.project(&[p.var("x")]).len(), 3);
+    let mut m = Machine::new(&p);
+    run(&mut m, &mut RoundRobin::new(), 1_000);
+    // One concrete run yields exactly one of them.
+    assert!(report.outcomes.contains(m.store()));
+}

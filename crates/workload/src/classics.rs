@@ -1,0 +1,275 @@
+//! Classic synchronization workloads, expressed in the paper's language.
+//!
+//! These are the programs a 1979 reader would reach for to exercise a
+//! semaphore-based concurrency analysis: dining philosophers (in the
+//! deadlocking naive form and the total-order fix), a bounded-buffer
+//! producer/consumer, and first-readers-preference readers/writers. They
+//! give the explorer realistic deadlock structure and give CFM realistic
+//! multi-level policies (e.g. "the shared cell is Secret, so every reader
+//! buffer must be Secret").
+
+use secflow_lang::builder::{e, s, ProgramBuilder};
+use secflow_lang::{Program, Stmt};
+
+/// Dining philosophers.
+///
+/// `n` philosophers (2 ≤ n ≤ 6 keeps exploration tractable), each eating
+/// `meals` times. With `ordered = false` every philosopher takes the
+/// left fork first — the classic circular-wait deadlock is reachable.
+/// With `ordered = true` the last philosopher takes forks in the
+/// opposite order, breaking the cycle (the standard total-order fix);
+/// the program is then deadlock-free, which `tests/deadlock.rs` verifies
+/// exhaustively.
+pub fn dining_philosophers(n: usize, meals: i64, ordered: bool) -> Program {
+    assert!((2..=6).contains(&n), "2 ≤ n ≤ 6");
+    assert!(meals >= 1);
+    let mut b = ProgramBuilder::new();
+    let forks: Vec<_> = (0..n).map(|i| b.sem(&format!("fork{i}"), 1)).collect();
+    let eaten: Vec<_> = (0..n).map(|i| b.data(&format!("eaten{i}"))).collect();
+    let rounds: Vec<_> = (0..n).map(|i| b.data(&format!("round{i}"))).collect();
+
+    let philosophers: Vec<Stmt> = (0..n)
+        .map(|i| {
+            let left = forks[i];
+            let right = forks[(i + 1) % n];
+            // The total-order fix: the last philosopher reverses.
+            let (first, second) = if ordered && i == n - 1 {
+                (right, left)
+            } else {
+                (left, right)
+            };
+            s::while_do(
+                e::lt(e::var(rounds[i]), e::konst(meals)),
+                s::seq([
+                    s::wait(first),
+                    s::wait(second),
+                    s::assign(eaten[i], e::add(e::var(eaten[i]), e::konst(1))),
+                    s::signal(second),
+                    s::signal(first),
+                    s::assign(rounds[i], e::add(e::var(rounds[i]), e::konst(1))),
+                ]),
+            )
+        })
+        .collect();
+    b.finish(s::cobegin(philosophers))
+}
+
+/// Bounded-buffer producer/consumer.
+///
+/// One producer hands `items` tokens to one consumer through a buffer of
+/// `capacity` slots, guarded by the textbook `empty`/`full`/`mutex`
+/// semaphore triple. `produced`/`consumed` count hand-offs; `level`
+/// tracks the buffer fill and never exceeds `capacity` (asserted by
+/// exhaustive exploration in the workload tests).
+pub fn producer_consumer(items: i64, capacity: i64) -> Program {
+    assert!(items >= 1 && capacity >= 1);
+    let mut b = ProgramBuilder::new();
+    let empty = b.sem("empty", capacity);
+    let full = b.sem("full", 0);
+    let mutex = b.sem("mutex", 1);
+    let level = b.data("level");
+    let produced = b.data("produced");
+    let consumed = b.data("consumed");
+
+    let producer = s::while_do(
+        e::lt(e::var(produced), e::konst(items)),
+        s::seq([
+            s::wait(empty),
+            s::wait(mutex),
+            s::assign(level, e::add(e::var(level), e::konst(1))),
+            s::assign(produced, e::add(e::var(produced), e::konst(1))),
+            s::signal(mutex),
+            s::signal(full),
+        ]),
+    );
+    let consumer = s::while_do(
+        e::lt(e::var(consumed), e::konst(items)),
+        s::seq([
+            s::wait(full),
+            s::wait(mutex),
+            s::assign(level, e::sub(e::var(level), e::konst(1))),
+            s::assign(consumed, e::add(e::var(consumed), e::konst(1))),
+            s::signal(mutex),
+            s::signal(empty),
+        ]),
+    );
+    b.finish(s::cobegin([producer, consumer]))
+}
+
+/// First-readers-preference readers/writers.
+///
+/// `readers` reader processes copy the shared cell into their own
+/// buffer; one writer increments it `writes` times under `room_empty`.
+/// The information-flow story: `shared` classifies everything — under a
+/// binding with `shared` High, CFM forces every `rbuf_i` High (and the
+/// workload tests confirm the inference solver finds exactly that).
+pub fn readers_writers(readers: usize, writes: i64) -> Program {
+    assert!((1..=4).contains(&readers));
+    assert!(writes >= 1);
+    let mut b = ProgramBuilder::new();
+    let mutex = b.sem("mutex", 1);
+    let room_empty = b.sem("room_empty", 1);
+    let rc = b.data("rc");
+    let shared = b.data("shared");
+    let written = b.data("written");
+    let rbufs: Vec<_> = (0..readers).map(|i| b.data(&format!("rbuf{i}"))).collect();
+
+    let mut procs: Vec<Stmt> = rbufs
+        .iter()
+        .map(|&rbuf| {
+            s::seq([
+                s::wait(mutex),
+                s::assign(rc, e::add(e::var(rc), e::konst(1))),
+                s::if_then(e::eq(e::var(rc), e::konst(1)), s::wait(room_empty)),
+                s::signal(mutex),
+                s::assign(rbuf, e::var(shared)),
+                s::wait(mutex),
+                s::assign(rc, e::sub(e::var(rc), e::konst(1))),
+                s::if_then(e::eq(e::var(rc), e::konst(0)), s::signal(room_empty)),
+                s::signal(mutex),
+            ])
+        })
+        .collect();
+    procs.push(s::while_do(
+        e::lt(e::var(written), e::konst(writes)),
+        s::seq([
+            s::wait(room_empty),
+            s::assign(shared, e::add(e::var(shared), e::konst(1))),
+            s::assign(written, e::add(e::var(written), e::konst(1))),
+            s::signal(room_empty),
+        ]),
+    ));
+    b.finish(s::cobegin(procs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_core::{certify, infer_binding, StaticBinding};
+    use secflow_lattice::{TwoPoint, TwoPointScheme};
+    use secflow_runtime::{explore, run, ExploreLimits, Machine, RandomSched, RoundRobin};
+
+    fn lim() -> ExploreLimits {
+        ExploreLimits {
+            max_states: 300_000,
+            max_depth: 20_000,
+        }
+    }
+
+    #[test]
+    fn naive_philosophers_can_deadlock() {
+        let p = dining_philosophers(3, 1, false);
+        let r = explore(&p, &[], lim());
+        assert!(r.deadlocks > 0, "circular wait must be reachable");
+        assert!(!r.outcomes.is_empty(), "…and so must success");
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn ordered_philosophers_never_deadlock() {
+        let p = dining_philosophers(3, 1, true);
+        let r = explore(&p, &[], lim());
+        assert_eq!(r.deadlocks, 0, "the total-order fix works");
+        assert!(!r.truncated);
+        // Everyone ate exactly once in every outcome.
+        for store in &r.outcomes {
+            for i in 0..3 {
+                assert_eq!(store[p.var(&format!("eaten{i}")).index()], 1);
+            }
+        }
+    }
+
+    #[test]
+    fn philosophers_run_to_completion_under_round_robin() {
+        let p = dining_philosophers(5, 3, true);
+        let mut m = Machine::new(&p);
+        assert!(run(&mut m, &mut RoundRobin::new(), 1_000_000).terminated());
+        for i in 0..5 {
+            assert_eq!(m.get(p.var(&format!("eaten{i}"))), 3);
+        }
+    }
+
+    #[test]
+    fn producer_consumer_hands_every_item_over() {
+        let p = producer_consumer(4, 2);
+        let r = explore(&p, &[], lim());
+        assert_eq!(r.deadlocks, 0);
+        assert!(!r.truncated);
+        for store in &r.outcomes {
+            assert_eq!(store[p.var("produced").index()], 4);
+            assert_eq!(store[p.var("consumed").index()], 4);
+            assert_eq!(store[p.var("level").index()], 0);
+        }
+    }
+
+    #[test]
+    fn buffer_level_respects_capacity_on_sampled_schedules() {
+        let p = producer_consumer(6, 2);
+        let level = p.var("level");
+        for seed in 0..20 {
+            let mut m = Machine::new(&p);
+            let mut sched = RandomSched::new(seed);
+            let mut hwm = 0i64;
+            while m.status() == secflow_runtime::Status::Running {
+                let enabled = m.enabled();
+                use secflow_runtime::Scheduler;
+                let pid = sched.pick(&enabled);
+                m.step(pid).unwrap();
+                hwm = hwm.max(m.get(level));
+            }
+            assert!(hwm <= 2, "seed {seed}: level reached {hwm}");
+            assert_eq!(m.status(), secflow_runtime::Status::Terminated);
+        }
+    }
+
+    #[test]
+    fn producer_consumer_certifies_uniform() {
+        let p = producer_consumer(4, 2);
+        let b = StaticBinding::uniform(&p.symbols, &TwoPointScheme);
+        assert!(certify(&p, &b).certified());
+    }
+
+    #[test]
+    fn readers_writers_terminates_and_reads_consistently() {
+        let p = readers_writers(2, 2);
+        let mut m = Machine::new(&p);
+        assert!(run(&mut m, &mut RoundRobin::new(), 1_000_000).terminated());
+        assert_eq!(m.get(p.var("written")), 2);
+        for i in 0..2 {
+            let v = m.get(p.var(&format!("rbuf{i}")));
+            assert!((0..=2).contains(&v), "rbuf{i} = {v}");
+        }
+        assert_eq!(m.get(p.var("rc")), 0);
+    }
+
+    #[test]
+    fn readers_writers_secret_cell_forces_secret_buffers() {
+        let p = readers_writers(2, 1);
+        let least =
+            infer_binding(&p, &TwoPointScheme, [(p.var("shared"), TwoPoint::High)]).unwrap();
+        for i in 0..2 {
+            assert_eq!(
+                *least.class(p.var(&format!("rbuf{i}"))),
+                TwoPoint::High,
+                "reader buffer {i} must rise to the cell's level"
+            );
+        }
+        assert!(certify(&p, &least).certified());
+    }
+
+    #[test]
+    fn readers_writers_rejects_low_reader_buffers() {
+        let p = readers_writers(1, 1);
+        let b = StaticBinding::uniform(&p.symbols, &TwoPointScheme)
+            .with(p.var("shared"), TwoPoint::High);
+        assert!(!certify(&p, &b).certified());
+    }
+
+    #[test]
+    fn philosophers_parameter_validation() {
+        let p = dining_philosophers(2, 1, false);
+        assert_eq!(p.symbols.semaphores().len(), 2);
+        let p = producer_consumer(1, 1);
+        assert_eq!(p.symbols.semaphores().len(), 3);
+    }
+}

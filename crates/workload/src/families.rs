@@ -1,0 +1,191 @@
+//! Deterministic program families for the linear-time benchmark (E7).
+//!
+//! §6 claims both mechanisms run "in time proportional to the length of
+//! the program, once the program has been parsed". The benchmark sweeps
+//! these families over doubling sizes; each family stresses a different
+//! Figure 2 row so a superlinear rule (e.g. a quadratic composition
+//! check) would show up in at least one series.
+
+use secflow_lang::builder::{e, s, ProgramBuilder};
+use secflow_lang::{Program, Stmt};
+
+/// A straight-line chain: `x1 := x0 + 1; x2 := x1 + 1; …` over `n_vars`
+/// variables, `length` assignments long (stresses assignment + the
+/// composition prefix check).
+pub fn sequential_chain(length: usize, n_vars: usize) -> Program {
+    assert!(length >= 1 && n_vars >= 2);
+    let mut b = ProgramBuilder::new();
+    let vars: Vec<_> = (0..n_vars).map(|i| b.data(&format!("x{i}"))).collect();
+    let stmts: Vec<Stmt> = (0..length)
+        .map(|i| {
+            let dst = vars[(i + 1) % n_vars];
+            let src = vars[i % n_vars];
+            s::assign(dst, e::add(e::var(src), e::konst(1)))
+        })
+        .collect();
+    b.finish(s::seq(stmts))
+}
+
+/// A sequence of `loops` bounded countdown loops (stresses the iteration
+/// rule's `flow ≤ mod` check and loop-carried global flows).
+pub fn loop_heavy(loops: usize) -> Program {
+    assert!(loops >= 1);
+    let mut b = ProgramBuilder::new();
+    let stmts: Vec<Stmt> = (0..loops)
+        .map(|i| {
+            let v = b.data(&format!("c{i}"));
+            s::while_do(
+                e::gt(e::var(v), e::konst(0)),
+                s::assign(v, e::sub(e::var(v), e::konst(1))),
+            )
+        })
+        .collect();
+    b.finish(s::seq(stmts))
+}
+
+/// `rounds` of a two-process semaphore ping-pong inside one `cobegin`
+/// (stresses wait/signal rows and cross-statement global flows).
+pub fn sync_heavy(rounds: usize) -> Program {
+    assert!(rounds >= 1);
+    let mut b = ProgramBuilder::new();
+    let a = b.sem("ping", 1);
+    let bb = b.sem("pong", 0);
+    let x = b.data("x");
+    let y = b.data("y");
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for _ in 0..rounds {
+        left.push(s::wait(a));
+        left.push(s::assign(x, e::add(e::var(x), e::konst(1))));
+        left.push(s::signal(bb));
+        right.push(s::wait(bb));
+        right.push(s::assign(y, e::add(e::var(y), e::konst(1))));
+        right.push(s::signal(a));
+    }
+    b.finish(s::cobegin([s::seq(left), s::seq(right)]))
+}
+
+/// A complete binary tree of `if` statements of the given `depth`
+/// (stresses the alternation rule and `mod` meets).
+pub fn branchy(depth: usize) -> Program {
+    assert!((1..=20).contains(&depth));
+    let mut b = ProgramBuilder::new();
+    let guard = b.data("g");
+    let leaf_var = b.data("out");
+    fn tree(depth: usize, guard: secflow_lang::VarId, out: secflow_lang::VarId) -> Stmt {
+        if depth == 0 {
+            s::assign(out, e::add(e::var(out), e::konst(1)))
+        } else {
+            s::if_else(
+                e::eq(e::rem(e::var(guard), e::konst(2)), e::konst(0)),
+                tree(depth - 1, guard, out),
+                tree(depth - 1, guard, out),
+            )
+        }
+    }
+    let body = tree(depth, guard, leaf_var);
+    b.finish(body)
+}
+
+/// A wide `cobegin` of `width` independent single-assignment processes
+/// (stresses the concurrency row).
+pub fn wide_cobegin(width: usize) -> Program {
+    assert!(width >= 2);
+    let mut b = ProgramBuilder::new();
+    let branches: Vec<Stmt> = (0..width)
+        .map(|i| {
+            let v = b.data(&format!("p{i}"));
+            s::assign(v, e::konst(i as i64))
+        })
+        .collect();
+    b.finish(s::cobegin(branches))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_core::{certify, StaticBinding};
+    use secflow_lang::metrics::measure;
+    use secflow_lattice::TwoPointScheme;
+    use secflow_runtime::{run, Machine, RoundRobin};
+
+    #[test]
+    fn chain_has_linear_size() {
+        let p = sequential_chain(100, 8);
+        let m = measure(&p);
+        assert_eq!(m.assignments, 100);
+        assert_eq!(m.statements, 101); // + the begin/end
+    }
+
+    #[test]
+    fn chain_certifies_under_uniform_binding() {
+        let p = sequential_chain(64, 4);
+        let b = StaticBinding::uniform(&p.symbols, &TwoPointScheme);
+        assert!(certify(&p, &b).certified());
+    }
+
+    #[test]
+    fn loop_heavy_runs_and_terminates() {
+        let p = loop_heavy(5);
+        let mut m = Machine::with_inputs(&p, &[(p.var("c0"), 3), (p.var("c3"), 2)]);
+        assert!(run(&mut m, &mut RoundRobin::new(), 10_000).terminated());
+        assert_eq!(m.get(p.var("c0")), 0);
+        assert_eq!(m.get(p.var("c3")), 0);
+    }
+
+    #[test]
+    fn sync_heavy_ping_pong_terminates_with_counts() {
+        let p = sync_heavy(10);
+        let mut m = Machine::new(&p);
+        assert!(run(&mut m, &mut RoundRobin::new(), 100_000).terminated());
+        assert_eq!(m.get(p.var("x")), 10);
+        assert_eq!(m.get(p.var("y")), 10);
+    }
+
+    #[test]
+    fn sync_heavy_certifies_uniform() {
+        let p = sync_heavy(16);
+        let b = StaticBinding::uniform(&p.symbols, &TwoPointScheme);
+        assert!(certify(&p, &b).certified());
+    }
+
+    #[test]
+    fn branchy_is_a_full_tree() {
+        let p = branchy(4);
+        let m = measure(&p);
+        assert_eq!(m.branches, 2usize.pow(4) - 1);
+        assert_eq!(m.assignments, 2usize.pow(4));
+        assert_eq!(m.max_depth, 5);
+    }
+
+    #[test]
+    fn wide_cobegin_runs_all_processes() {
+        let p = wide_cobegin(6);
+        let mut m = Machine::new(&p);
+        assert!(run(&mut m, &mut RoundRobin::new(), 1_000).terminated());
+        for i in 0..6 {
+            assert_eq!(m.get(p.var(&format!("p{i}"))), i as i64);
+        }
+    }
+
+    #[test]
+    fn families_scale_proportionally() {
+        for (small, large) in [
+            (
+                measure(&sequential_chain(100, 4)).statements,
+                measure(&sequential_chain(200, 4)).statements,
+            ),
+            (
+                measure(&loop_heavy(50)).statements,
+                measure(&loop_heavy(100)).statements,
+            ),
+            (
+                measure(&sync_heavy(50)).statements,
+                measure(&sync_heavy(100)).statements,
+            ),
+        ] {
+            let ratio = large as f64 / small as f64;
+            assert!((1.8..=2.2).contains(&ratio), "ratio {ratio}");
+        }
+    }
+}

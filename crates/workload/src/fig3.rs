@@ -1,0 +1,317 @@
+//! Figure 3 of the paper: information flow using synchronization.
+//!
+//! The program transmits `x` to `y` purely by *ordering* process
+//! execution: the semaphore `modify` controls whether `m` is set to one
+//! before or after the assignment `y := m`, and the semaphores
+//! `modified`, `read` and `done` force the three processes to run one at
+//! a time. §4.3 states the program cannot deadlock and restores every
+//! semaphore to its initial value; both are verified by exhaustive
+//! exploration in `tests/fig3.rs`.
+//!
+//! **Transcription note.** The conference scan of Figure 3 ends process
+//! one with an extra `wait(done)` that is signalled by no one — as
+//! printed, every execution would end deadlocked at that statement and
+//! the semaphores would not return to their initial values, contradicting
+//! both claims §4.3 makes about the figure. We therefore reconstruct the
+//! program from the paper's own sequential equivalent
+//! (`if x = 0 then begin m := 1; y := m end else begin y := m; m := 1
+//! end`): the first conditional hand-off runs when `x = 0`, the second
+//! when `x ≠ 0`, and there is no trailing `wait(done)`. The resulting
+//! program is deadlock-free, restores all semaphores, and sets
+//! `y = 1` iff `x = 0` — exactly the stated equivalent. All three
+//! certification conditions derived in §4.3 are unchanged.
+
+use secflow_core::StaticBinding;
+use secflow_lang::builder::{e, s, ProgramBuilder};
+use secflow_lang::{parse, Program};
+use secflow_lattice::{TwoPoint, TwoPointScheme};
+
+/// The Figure 3 source text (reconstructed per the module docs).
+pub const FIG3_SOURCE: &str = "\
+var x, y, m : integer;
+    modify, modified, read, done : semaphore initially(0);
+cobegin
+  begin
+    m := 0;
+    if x = 0 then begin signal(modify); wait(modified) end;
+    signal(read); wait(done);
+    if x # 0 then begin signal(modify); wait(modified) end
+  end
+||
+  begin wait(modify); m := 1; signal(modified) end
+||
+  begin wait(read); y := m; signal(done) end
+coend
+";
+
+/// Parses the Figure 3 program.
+pub fn fig3_program() -> Program {
+    parse(FIG3_SOURCE).expect("Figure 3 source is well-formed")
+}
+
+/// The paper's sequential equivalent of Figure 3 (§4.3).
+pub fn fig3_sequential_equivalent() -> Program {
+    parse(
+        "var x, y, m : integer;
+         begin
+           m := 0;
+           if x = 0
+             then begin m := 1; y := m end
+             else begin y := m; m := 1 end
+         end",
+    )
+    .expect("well-formed")
+}
+
+/// The §4.3 binding of interest: `x` is High, everything else Low.
+///
+/// Under this binding CFM must reject the program (the three §4.3
+/// conditions compose to `sbind(x) ≤ sbind(y)`, which fails).
+pub fn fig3_high_x_binding(program: &Program) -> StaticBinding<TwoPoint> {
+    StaticBinding::uniform(&program.symbols, &TwoPointScheme).with(program.var("x"), TwoPoint::High)
+}
+
+/// A binding satisfying all §4.3 conditions: the whole chain
+/// `x, modify, modified, read, done, m, y` is High.
+pub fn fig3_all_high_binding(program: &Program) -> StaticBinding<TwoPoint> {
+    StaticBinding::constant(&program.symbols, &TwoPointScheme, TwoPoint::High)
+}
+
+/// The binding that separates CFM from the Denning–Denning baseline on
+/// Figure 3: `x` and every semaphore High, `m` and `y` Low.
+///
+/// The baseline's local checks all pass (the High guards only dominate
+/// High semaphore operations, and every assignment is Low-to-Low), but
+/// the §4.3 *global* conditions `sbind(modify) ≤ sbind(m)` and
+/// `sbind(read/done) ≤ sbind(y)` fail — only CFM sees them. With `x`
+/// High and the semaphores Low, even the baseline objects (the guard
+/// check `sbind(x) ≤ mod(branch)` is a *local* flow), so this is the
+/// sharpest demonstration of what the concurrency extension adds.
+pub fn fig3_baseline_gap_binding(program: &Program) -> StaticBinding<TwoPoint> {
+    let mut b = StaticBinding::uniform(&program.symbols, &TwoPointScheme);
+    for name in ["x", "modify", "modified", "read", "done"] {
+        b.set(program.var(name), TwoPoint::High);
+    }
+    b
+}
+
+/// The k-bit generalization (§4.3's closing remark): "by placing each
+/// process in a loop and testing a different bit of x on each iteration
+/// an arbitrary amount of information could be transmitted."
+///
+/// Process one walks the binary representation of `x` from the least
+/// significant bit; process three accumulates each transmitted bit into
+/// `y` (most recent bit in the lowest position of the running value), so
+/// after `k` rounds `y` holds the low `k` bits of `x` in reversed order
+/// — see [`decode_transmitted`].
+pub fn kbit_channel(k: u32) -> Program {
+    assert!((1..=16).contains(&k), "1 ≤ k ≤ 16 keeps runs tractable");
+    let mut b = ProgramBuilder::new();
+    let x = b.data("x");
+    let y = b.data("y");
+    let m = b.data("m");
+    let p = b.data_init("p", 1);
+    let i1 = b.data("i1");
+    let i2 = b.data("i2");
+    let i3 = b.data("i3");
+    let modify = b.sem("modify", 0);
+    let modified = b.sem("modified", 0);
+    let read = b.sem("read", 0);
+    let done = b.sem("done", 0);
+    let k_const = i64::from(k);
+
+    // bit = (x / p) % 2
+    let bit = || e::rem(e::div(e::var(x), e::var(p)), e::konst(2));
+
+    let sender = s::while_do(
+        e::lt(e::var(i1), e::konst(k_const)),
+        s::seq([
+            s::assign(m, e::konst(0)),
+            s::if_then(
+                e::eq(bit(), e::konst(1)),
+                s::seq([s::signal(modify), s::wait(modified)]),
+            ),
+            s::signal(read),
+            s::wait(done),
+            s::if_then(
+                e::eq(bit(), e::konst(0)),
+                s::seq([s::signal(modify), s::wait(modified)]),
+            ),
+            s::assign(p, e::mul(e::var(p), e::konst(2))),
+            s::assign(i1, e::add(e::var(i1), e::konst(1))),
+        ]),
+    );
+    let modifier = s::while_do(
+        e::lt(e::var(i2), e::konst(k_const)),
+        s::seq([
+            s::wait(modify),
+            s::assign(m, e::konst(1)),
+            s::signal(modified),
+            s::assign(i2, e::add(e::var(i2), e::konst(1))),
+        ]),
+    );
+    let reader = s::while_do(
+        e::lt(e::var(i3), e::konst(k_const)),
+        s::seq([
+            s::wait(read),
+            s::assign(y, e::add(e::mul(e::var(y), e::konst(2)), e::var(m))),
+            s::signal(done),
+            s::assign(i3, e::add(e::var(i3), e::konst(1))),
+        ]),
+    );
+    b.finish(s::cobegin([sender, modifier, reader]))
+}
+
+/// Recovers the transmitted low `k` bits of `x` from the final `y` of
+/// [`kbit_channel`] (the channel delivers them LSB-first, so `y` holds
+/// them bit-reversed).
+pub fn decode_transmitted(y: i64, k: u32) -> i64 {
+    let mut out = 0i64;
+    for bit in 0..k {
+        if y & (1 << bit) != 0 {
+            out |= 1 << (k - 1 - bit);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_core::{certify, denning_certify};
+    use secflow_runtime::{run, Machine, RandomSched, RoundRobin};
+
+    #[test]
+    fn fig3_parses_with_seven_names() {
+        let p = fig3_program();
+        assert_eq!(p.symbols.len(), 7);
+        assert_eq!(p.symbols.semaphores().len(), 4);
+    }
+
+    #[test]
+    fn fig3_matches_its_sequential_equivalent() {
+        let par = fig3_program();
+        let seqv = fig3_sequential_equivalent();
+        for x in [-3, -1, 0, 1, 2, 7] {
+            let mut mp = Machine::with_inputs(&par, &[(par.var("x"), x)]);
+            assert!(
+                run(&mut mp, &mut RoundRobin::new(), 10_000).terminated(),
+                "x={x}"
+            );
+            let mut ms = Machine::with_inputs(&seqv, &[(seqv.var("x"), x)]);
+            assert!(run(&mut ms, &mut RoundRobin::new(), 10_000).terminated());
+            assert_eq!(
+                mp.get(par.var("y")),
+                ms.get(seqv.var("y")),
+                "y differs for x={x}"
+            );
+            assert_eq!(mp.get(par.var("m")), ms.get(seqv.var("m")));
+        }
+    }
+
+    #[test]
+    fn fig3_transmits_x_to_y_under_any_schedule() {
+        let p = fig3_program();
+        for seed in 0..20 {
+            for (x, expect_y) in [(0, 1), (5, 0)] {
+                let mut m = Machine::with_inputs(&p, &[(p.var("x"), x)]);
+                assert!(
+                    run(&mut m, &mut RandomSched::new(seed), 10_000).terminated(),
+                    "seed {seed}, x={x}"
+                );
+                assert_eq!(m.get(p.var("y")), expect_y, "seed {seed}, x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_restores_semaphores() {
+        let p = fig3_program();
+        for x in [0, 1] {
+            let mut m = Machine::with_inputs(&p, &[(p.var("x"), x)]);
+            run(&mut m, &mut RoundRobin::new(), 10_000);
+            for sem in ["modify", "modified", "read", "done"] {
+                assert_eq!(m.get(p.var(sem)), 0, "sem {sem}, x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn cfm_and_baseline_both_reject_high_x_low_everything() {
+        // With the semaphores Low, even the baseline objects: the High
+        // guard locally dominates Low semaphore operations.
+        let p = fig3_program();
+        let sbind = fig3_high_x_binding(&p);
+        assert!(!certify(&p, &sbind).certified());
+        assert!(!denning_certify(&p, &sbind).certified());
+    }
+
+    #[test]
+    fn baseline_gap_binding_separates_the_mechanisms() {
+        // E3's headline: the baseline accepts, CFM rejects.
+        let p = fig3_program();
+        let sbind = fig3_baseline_gap_binding(&p);
+        assert!(
+            denning_certify(&p, &sbind).certified(),
+            "the 1977 baseline is blind to the synchronization flow"
+        );
+        let r = certify(&p, &sbind);
+        assert!(!r.certified(), "CFM catches it");
+        // The violations are exactly the global §4.3 conditions.
+        use secflow_core::CheckRule;
+        assert!(r.violations.iter().all(|v| v.rule == CheckRule::SeqGlobal));
+    }
+
+    #[test]
+    fn cfm_certifies_fig3_when_the_chain_is_high() {
+        let p = fig3_program();
+        assert!(certify(&p, &fig3_all_high_binding(&p)).certified());
+    }
+
+    #[test]
+    fn kbit_channel_transmits_every_value() {
+        let k = 4;
+        let p = kbit_channel(k);
+        for x in 0..(1 << k) {
+            let mut m = Machine::with_inputs(&p, &[(p.var("x"), x)]);
+            assert!(
+                run(&mut m, &mut RoundRobin::new(), 100_000).terminated(),
+                "x={x}"
+            );
+            let y = m.get(p.var("y"));
+            assert_eq!(decode_transmitted(y, k), x, "x={x}, y={y}");
+        }
+    }
+
+    #[test]
+    fn kbit_channel_is_schedule_independent() {
+        let k = 3;
+        let p = kbit_channel(k);
+        for seed in 0..10 {
+            let mut m = Machine::with_inputs(&p, &[(p.var("x"), 5)]);
+            assert!(run(&mut m, &mut RandomSched::new(seed), 100_000).terminated());
+            assert_eq!(decode_transmitted(m.get(p.var("y")), k), 5);
+        }
+    }
+
+    #[test]
+    fn kbit_channel_is_rejected_by_cfm() {
+        let p = kbit_channel(4);
+        let sbind =
+            StaticBinding::uniform(&p.symbols, &TwoPointScheme).with(p.var("x"), TwoPoint::High);
+        assert!(!certify(&p, &sbind).certified());
+    }
+
+    #[test]
+    fn decode_reverses_bits() {
+        assert_eq!(decode_transmitted(0b001, 3), 0b100);
+        assert_eq!(decode_transmitted(0b110, 3), 0b011);
+        assert_eq!(decode_transmitted(0b1111, 4), 0b1111);
+    }
+
+    #[test]
+    #[should_panic(expected = "tractable")]
+    fn kbit_bounds_are_enforced() {
+        let _ = kbit_channel(64);
+    }
+}

@@ -1,0 +1,295 @@
+//! Seeded random generation of well-formed programs and bindings.
+//!
+//! The property-based experiments (Theorems 1/2, CFM-vs-logic agreement,
+//! printer round-trips) need a corpus of structurally diverse programs.
+//! The paper provides only three worked examples, so this generator
+//! synthesizes the corpus: every program is well-formed by construction
+//! (semaphores appear only in `wait`/`signal`, `cobegin` has ≥ 2
+//! branches) and generation is a pure function of the seed.
+
+use secflow_lang::builder::{e, s, ProgramBuilder};
+use secflow_lang::{Expr, Program, Stmt, VarId};
+use secflow_lattice::Scheme;
+use secflow_runtime::SplitMix64;
+
+use secflow_core::StaticBinding;
+
+/// Shape parameters for random programs.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Approximate number of statement nodes to generate.
+    pub target_stmts: usize,
+    /// Maximum nesting depth.
+    pub max_depth: usize,
+    /// Number of data variables.
+    pub n_vars: usize,
+    /// Number of semaphores (0 disables `wait`/`signal` and `cobegin`
+    /// still appears).
+    pub n_sems: usize,
+    /// Generate only loops of the bounded `while v > 0 do … v := v - 1`
+    /// shape, so the program terminates under every schedule.
+    pub bounded_loops: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            target_stmts: 40,
+            max_depth: 5,
+            n_vars: 5,
+            n_sems: 2,
+            bounded_loops: true,
+        }
+    }
+}
+
+/// Generates a random well-formed program from a seed.
+pub fn generate(cfg: &GenConfig, seed: u64) -> Program {
+    assert!(cfg.n_vars >= 2, "need at least two data variables");
+    let mut rng = SplitMix64::new(seed);
+    let mut b = ProgramBuilder::new();
+    let vars: Vec<VarId> = (0..cfg.n_vars).map(|i| b.data(&format!("v{i}"))).collect();
+    let sems: Vec<VarId> = (0..cfg.n_sems)
+        .map(|i| b.sem(&format!("s{i}"), i64::from(rng.chance(1, 2))))
+        .collect();
+    let mut g = Gen {
+        rng,
+        vars,
+        sems,
+        cfg: *cfg,
+    };
+    // Accumulate top-level chunks until the target size is reached: a
+    // single recursive draw has high variance, which would make the
+    // benchmark size axis unreliable.
+    let mut stmts: Vec<Stmt> = Vec::new();
+    let mut total = 0usize;
+    while total < cfg.target_stmts {
+        let chunk = g.stmt(16.min(cfg.target_stmts), 1);
+        total += chunk.statement_count();
+        stmts.push(chunk);
+    }
+    let body = if stmts.len() == 1 {
+        stmts.pop().expect("non-empty")
+    } else {
+        s::seq(stmts)
+    };
+    b.finish(body)
+}
+
+/// Draws a random static binding over `scheme`'s carrier.
+pub fn random_binding<S: Scheme>(program: &Program, scheme: &S, seed: u64) -> StaticBinding<S::Elem>
+where
+    S::Elem: secflow_lattice::Lattice,
+{
+    let mut rng = SplitMix64::new(seed ^ 0x5EED_B1AD_0000_0001);
+    let elems = scheme.elements();
+    let mut binding = StaticBinding::uniform(&program.symbols, scheme);
+    for (id, _) in program.symbols.iter() {
+        binding.set(id, elems[rng.index(elems.len())].clone());
+    }
+    binding
+}
+
+struct Gen {
+    rng: SplitMix64,
+    vars: Vec<VarId>,
+    sems: Vec<VarId>,
+    cfg: GenConfig,
+}
+
+impl Gen {
+    fn var(&mut self) -> VarId {
+        self.vars[self.rng.index(self.vars.len())]
+    }
+
+    fn sem(&mut self) -> Option<VarId> {
+        if self.sems.is_empty() {
+            None
+        } else {
+            Some(self.sems[self.rng.index(self.sems.len())])
+        }
+    }
+
+    fn expr(&mut self, depth: usize) -> Expr {
+        if depth == 0 || self.rng.chance(2, 5) {
+            if self.rng.chance(2, 5) {
+                e::konst(self.rng.range_i64(-4, 4))
+            } else {
+                e::var(self.var())
+            }
+        } else {
+            let l = self.expr(depth - 1);
+            let r = self.expr(depth - 1);
+            match self.rng.index(6) {
+                0 => e::add(l, r),
+                1 => e::sub(l, r),
+                2 => e::mul(l, r),
+                3 => e::eq(l, r),
+                4 => e::lt(l, r),
+                _ => e::ne(l, r),
+            }
+        }
+    }
+
+    /// Generates a statement of roughly `budget` nodes at `depth`.
+    fn stmt(&mut self, budget: usize, depth: usize) -> Stmt {
+        if budget <= 1 || depth >= self.cfg.max_depth {
+            return self.atomic();
+        }
+        match self.rng.index(10) {
+            // Composition gets the largest share.
+            0..=3 => {
+                let n = 2 + self.rng.index(3.min(budget - 1).max(1));
+                let share = (budget - 1) / n;
+                s::seq((0..n).map(|_| self.stmt(share.max(1), depth + 1)))
+            }
+            4 => {
+                let cond = self.expr(2);
+                let half = (budget - 1) / 2;
+                if self.rng.chance(1, 3) {
+                    s::if_then(cond, self.stmt(half.max(1), depth + 1))
+                } else {
+                    s::if_else(
+                        cond,
+                        self.stmt(half.max(1), depth + 1),
+                        self.stmt(half.max(1), depth + 1),
+                    )
+                }
+            }
+            5 => {
+                if self.cfg.bounded_loops {
+                    // while v > 0 do begin …; v := v - 1 end
+                    let v = self.var();
+                    let inner = self.stmt((budget.saturating_sub(3)).max(1), depth + 2);
+                    s::while_do(
+                        e::gt(e::var(v), e::konst(0)),
+                        s::seq([inner, s::assign(v, e::sub(e::var(v), e::konst(1)))]),
+                    )
+                } else {
+                    s::while_do(self.expr(2), self.stmt(budget - 1, depth + 1))
+                }
+            }
+            6 => {
+                let n = 2 + self.rng.index(2);
+                let share = (budget - 1) / n;
+                s::cobegin((0..n).map(|_| self.stmt(share.max(1), depth + 1)))
+            }
+            7 => match self.sem() {
+                // Paired signal-then-wait within one process never blocks
+                // forever by itself; lone waits are also generated to
+                // exercise deadlock handling.
+                Some(sem) if self.rng.chance(3, 4) => s::seq([s::signal(sem), s::wait(sem)]),
+                Some(sem) => s::wait(sem),
+                None => self.atomic(),
+            },
+            8 => match self.sem() {
+                Some(sem) => s::signal(sem),
+                None => self.atomic(),
+            },
+            _ => self.atomic(),
+        }
+    }
+
+    fn atomic(&mut self) -> Stmt {
+        if self.rng.chance(1, 10) {
+            s::skip()
+        } else {
+            let v = self.var();
+            let rhs = self.expr(2);
+            s::assign(v, rhs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_lang::metrics::measure;
+    use secflow_lang::{parse, print_program};
+    use secflow_lattice::{LinearScheme, TwoPointScheme};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = generate(&cfg, 42);
+        let b = generate(&cfg, 42);
+        assert_eq!(print_program(&a), print_program(&b));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = GenConfig::default();
+        let a = generate(&cfg, 1);
+        let b = generate(&cfg, 2);
+        assert_ne!(print_program(&a), print_program(&b));
+    }
+
+    #[test]
+    fn generated_programs_reparse() {
+        let cfg = GenConfig {
+            target_stmts: 80,
+            ..GenConfig::default()
+        };
+        for seed in 0..25 {
+            let p = generate(&cfg, seed);
+            let text = print_program(&p);
+            let q = parse(&text).unwrap_or_else(|e| panic!("seed {seed}:\n{text}\n{e}"));
+            assert_eq!(p.statement_count(), q.statement_count(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn size_tracks_target() {
+        for target in [20, 100, 400] {
+            let cfg = GenConfig {
+                target_stmts: target,
+                max_depth: 8,
+                ..GenConfig::default()
+            };
+            let mut sizes = Vec::new();
+            for seed in 0..10 {
+                sizes.push(measure(&generate(&cfg, seed)).statements);
+            }
+            let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+            assert!(
+                mean > target as f64 * 0.2 && mean < target as f64 * 4.0,
+                "target {target}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_sems_config_generates_sequential_like_programs() {
+        let cfg = GenConfig {
+            n_sems: 0,
+            ..GenConfig::default()
+        };
+        for seed in 0..10 {
+            let p = generate(&cfg, seed);
+            let m = measure(&p);
+            assert_eq!(m.waits + m.signals, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_bindings_cover_the_carrier() {
+        let p = generate(&GenConfig::default(), 3);
+        let scheme = LinearScheme::new(4).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..40 {
+            let b = random_binding(&p, &scheme, seed);
+            for (_, c) in b.iter() {
+                seen.insert(c.0);
+            }
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn random_binding_deterministic() {
+        let p = generate(&GenConfig::default(), 9);
+        let a = random_binding(&p, &TwoPointScheme, 5);
+        let b = random_binding(&p, &TwoPointScheme, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic workloads: paper programs, parameterized families, and a
+//! seeded random program generator.
+//!
+//! The paper's evaluation consists of worked examples rather than a
+//! corpus, so this crate supplies the programs every experiment runs on:
+//!
+//! - [`fig3`] — Figure 3 (the synchronization covert channel), its
+//!   sequential equivalent, the §4.3 bindings, and the k-bit looped
+//!   generalization from the paper's closing remark;
+//! - [`families`] — deterministic families (assignment chains, loop-
+//!   heavy, semaphore ping-pong, branch trees, wide `cobegin`s) scaled by
+//!   a size parameter for the §6 linear-time benchmark;
+//! - [`gen`] — seeded random well-formed programs and random bindings for
+//!   the property-based Theorem 1/2 experiments;
+//! - [`classics`] — dining philosophers (naive and total-order-fixed),
+//!   bounded-buffer producer/consumer, and readers/writers, for realistic
+//!   deadlock structure and multi-level policies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classics;
+pub mod families;
+pub mod fig3;
+pub mod gen;
+
+pub use classics::{dining_philosophers, producer_consumer, readers_writers};
+pub use families::{branchy, loop_heavy, sequential_chain, sync_heavy, wide_cobegin};
+pub use fig3::{
+    decode_transmitted, fig3_all_high_binding, fig3_baseline_gap_binding, fig3_high_x_binding,
+    fig3_program, fig3_sequential_equivalent, kbit_channel, FIG3_SOURCE,
+};
+pub use gen::{generate, random_binding, GenConfig};

@@ -1,0 +1,78 @@
+//! Flow proofs: Theorem 1's constructive prover and the §5.2 gap.
+//!
+//! Prints a machine-checked, completely invariant flow proof for a
+//! certified concurrent program (Theorem 1), then reproduces §5.2: a
+//! program the flow logic proves safe but CFM cannot certify.
+//!
+//! Run with: `cargo run --example flow_proofs`
+
+use secflow::cfm::{certify, StaticBinding};
+use secflow::lang::parse;
+use secflow::lattice::{Extended, TwoPoint, TwoPointScheme};
+use secflow::logic::examples::{relative_strength_program, relative_strength_proof};
+use secflow::logic::{check_proof, is_completely_invariant, policy_assertion, prove};
+
+fn main() {
+    // ---- Theorem 1 on the §2.2 synchronization example ----------------
+    let source = "\
+var x, y : integer; sem : semaphore;
+cobegin
+  if x = 0 then signal(sem)
+||
+  begin wait(sem); y := 0 end
+coend";
+    let program = parse(source).expect("well-formed");
+
+    // Certify with the whole chain High — the binding §4.3-style
+    // reasoning forces.
+    let binding = StaticBinding::constant(&program.symbols, &TwoPointScheme, TwoPoint::High);
+    assert!(certify(&program, &binding).certified());
+
+    println!("== Theorem 1: completely invariant proof ==");
+    println!("{source}\n");
+    let proof =
+        prove(&program, &binding, Extended::Nil, Extended::Nil).expect("certified => proof exists");
+    check_proof(&program.body, &proof).expect("independent checker agrees");
+    let i = policy_assertion(&program, &binding);
+    assert!(is_completely_invariant(&proof, &i).unwrap());
+    println!("{proof}");
+    println!(
+        "({} proof nodes, checked and completely invariant)\n",
+        proof.size()
+    );
+
+    // ---- §5.2: the flow logic is strictly stronger ----------------------
+    println!("== §5.2 relative strength ==");
+    let (prog52, sbind52) = relative_strength_program();
+    println!("begin x := 0; y := x end   with sbind(x)=High, sbind(y)=Low\n");
+
+    let report = certify(&prog52, &sbind52);
+    println!(
+        "CFM: {}",
+        if report.certified() {
+            "certified"
+        } else {
+            "REJECTED"
+        }
+    );
+    assert!(!report.certified());
+    for v in &report.violations {
+        println!("  {v}");
+    }
+
+    let proof52 = relative_strength_proof(&prog52);
+    check_proof(&prog52.body, &proof52).expect("the paper's proof is valid");
+    println!("\nyet the paper's flow proof checks:");
+    println!("{proof52}");
+
+    let i52 = policy_assertion(&prog52, &sbind52);
+    assert!(
+        !is_completely_invariant(&proof52, &i52).unwrap(),
+        "…because it strengthens the policy assertion mid-proof (x̲ ≤ Low), \
+         it falls outside Definition 7 — consistent with Theorem 2"
+    );
+    println!(
+        "the proof is NOT completely invariant (it strengthens x̲ to Low),\n\
+         which is exactly why CFM cannot certify the program (Theorem 2)."
+    );
+}

@@ -1,0 +1,125 @@
+//! The leak matrix (experiment E10): CFM vs a dynamic taint monitor vs
+//! ground-truth interference, across a suite of small programs.
+//!
+//! For each program with secret `h` and observer variable `l`:
+//! - **ground truth**: exhaustive schedule exploration — do the
+//!   observable outcomes depend on `h`?
+//! - **CFM**: does certification (h=High, rest Low) pass?
+//! - **monitor**: per secret value, does the run's final label mark `l`
+//!   as polluted? A purely dynamic monitor protects a *run*, so a leak is
+//!   only caught when the run that reveals the secret is itself flagged —
+//!   the per-run columns expose the runs it leaves naked.
+//!
+//! Expected shape: CFM rejects every interfering program (soundness,
+//! asserted below). The monitor's blind spots are per-run: the untaken
+//! branch (`h=1` reveals the secret but executes nothing tainted), the
+//! never-entered loop, and synchronization (no run is ever flagged).
+//! CFM's only false alarm is the §5.2 dead store.
+//!
+//! Run with: `cargo run --example leak_audit`
+
+use secflow::cfm::{certify, StaticBinding};
+use secflow::lang::{parse, Program, VarId};
+use secflow::lattice::{TwoPoint, TwoPointScheme};
+use secflow::runtime::{check_binary_secret, ExploreLimits, Machine, RoundRobin, TaintMonitor};
+
+struct Case {
+    name: &'static str,
+    source: &'static str,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "direct assignment",
+        source: "var h, l : integer; l := h",
+    },
+    Case {
+        name: "implicit (both arms)",
+        source: "var h, l : integer; if h = 0 then l := 1 else l := 2",
+    },
+    Case {
+        name: "implicit (untaken arm)",
+        source: "var h, l : integer; if h = 0 then l := 1",
+    },
+    Case {
+        name: "loop-carried count",
+        source: "var h, l : integer; while h > 0 do begin l := l + 1; h := h - 1 end",
+    },
+    Case {
+        name: "synchronization (Fig 3 core)",
+        source: "var h, l : integer; sem : semaphore;
+                 cobegin if h = 0 then signal(sem) || begin wait(sem); l := 0 end coend",
+    },
+    Case {
+        name: "no flow (constant)",
+        source: "var h, l : integer; l := 7",
+    },
+    Case {
+        name: "dead store (5.2-style)",
+        source: "var h, l : integer; begin h := 0; l := h end",
+    },
+];
+
+/// One monitored run with `h = secret`: is `l` flagged at the end?
+fn monitor_run_flags(program: &Program, h: VarId, l: VarId, secret: i64) -> &'static str {
+    let labels: Vec<TwoPoint> = program
+        .symbols
+        .iter()
+        .map(|(id, _)| {
+            if id == h {
+                TwoPoint::High
+            } else {
+                TwoPoint::Low
+            }
+        })
+        .collect();
+    let machine = Machine::with_inputs(program, &[(h, secret)]);
+    let mut mon = TaintMonitor::new(machine, labels, TwoPoint::Low);
+    mon.run(&mut RoundRobin::new(), 50_000);
+    if mon.labels()[l.index()] == TwoPoint::High {
+        "flags"
+    } else {
+        "silent"
+    }
+}
+
+fn main() {
+    println!(
+        "{:<28} {:>12} {:>11} {:>14} {:>14}",
+        "program", "interferes?", "CFM", "monitor(h=0)", "monitor(h=1)"
+    );
+    println!("{}", "-".repeat(84));
+    for case in CASES {
+        let program = parse(case.source).expect(case.name);
+        let h = program.var("h");
+        let l = program.var("l");
+
+        // Ground truth.
+        let ni = check_binary_secret(&program, h, &[l], ExploreLimits::default());
+
+        // CFM verdict.
+        let binding =
+            StaticBinding::uniform(&program.symbols, &TwoPointScheme).with(h, TwoPoint::High);
+        let cfm_rejects = !certify(&program, &binding).certified();
+
+        println!(
+            "{:<28} {:>12} {:>11} {:>14} {:>14}",
+            case.name,
+            if ni.interferes { "yes" } else { "no" },
+            if cfm_rejects { "rejects" } else { "certifies" },
+            monitor_run_flags(&program, h, l, 0),
+            monitor_run_flags(&program, h, l, 1),
+        );
+
+        // Soundness: CFM never certifies an interfering program.
+        if ni.interferes {
+            assert!(cfm_rejects, "{}: CFM missed real interference!", case.name);
+        }
+    }
+    println!("{}", "-".repeat(84));
+    println!("CFM rejected every interfering program (soundness held), once,");
+    println!("at compile time. The monitor protects individual runs: the");
+    println!("untaken-arm leak is naked on the h=1 run, the loop-count leak");
+    println!("on the h=0 run, and the synchronization channel on every run.");
+    println!("CFM's rejection of the dead store is the §5.2 conservatism.");
+}

@@ -1,0 +1,78 @@
+//! `secflow` — a reproduction of *Reitman, "A Mechanism for Information
+//! Control in Parallel Systems", SOSP 1979*.
+//!
+//! The paper extends the Denning–Denning compile-time information-flow
+//! certification mechanism to parallel programs with semaphore
+//! synchronization and possibly non-terminating loops: the **Concurrent
+//! Flow Mechanism (CFM)**. This workspace implements the full system:
+//!
+//! | Piece | Crate | Facade module |
+//! |---|---|---|
+//! | Security lattices (Defs. 1/4) | `secflow-lattice` | [`lattice`] |
+//! | The parallel language (§2.0) | `secflow-lang` | [`lang`] |
+//! | CFM + Denning baseline (Fig. 2) | `secflow-core` | [`cfm`] |
+//! | The flow logic (Fig. 1, Thms. 1–2) | `secflow-logic` | [`logic`] |
+//! | Interpreter/explorer/monitor | `secflow-runtime` | [`runtime`] |
+//! | Paper programs & generators | `secflow-workload` | [`workload`] |
+//!
+//! # Quick start
+//!
+//! ```
+//! use secflow::cfm::{certify, StaticBinding};
+//! use secflow::lang::parse;
+//! use secflow::lattice::{TwoPoint, TwoPointScheme};
+//!
+//! // The §2.2 synchronization channel: x leaks to y through a semaphore.
+//! let program = parse(
+//!     "var x, y : integer; sem : semaphore;
+//!      cobegin
+//!        if x = 0 then signal(sem)
+//!      ||
+//!        begin wait(sem); y := 0 end
+//!      coend",
+//! )
+//! .unwrap();
+//!
+//! let binding = StaticBinding::uniform(&program.symbols, &TwoPointScheme)
+//!     .with(program.var("x"), TwoPoint::High);
+//! let report = certify(&program, &binding);
+//! assert!(!report.certified());
+//! println!("{}", report.render(""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Security classification lattices (re-export of `secflow-lattice`).
+pub mod lattice {
+    pub use secflow_lattice::*;
+}
+
+/// The parallel language front-end (re-export of `secflow-lang`).
+pub mod lang {
+    pub use secflow_lang::*;
+}
+
+/// The Concurrent Flow Mechanism and the Denning–Denning baseline
+/// (re-export of `secflow-core`).
+pub mod cfm {
+    pub use secflow_core::*;
+}
+
+/// The flow logic: assertions, proofs, checker, Theorem 1 prover
+/// (re-export of `secflow-logic`).
+pub mod logic {
+    pub use secflow_logic::*;
+}
+
+/// Interpreter, schedulers, interleaving explorer, taint monitor,
+/// noninterference harness (re-export of `secflow-runtime`).
+pub mod runtime {
+    pub use secflow_runtime::*;
+}
+
+/// Paper programs, program families and random generation
+/// (re-export of `secflow-workload`).
+pub mod workload {
+    pub use secflow_workload::*;
+}

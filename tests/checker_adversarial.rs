@@ -1,0 +1,260 @@
+//! Adversarial proof-checker tests: valid proofs, surgically corrupted,
+//! must be rejected at the corrupted rule.
+//!
+//! The Theorem-1/2 property tests show the checker accepts exactly the
+//! certified corpus; these tests show *which* obligation each rule
+//! enforces by violating them one at a time.
+
+use secflow::cfm::StaticBinding;
+use secflow::lang::parse;
+use secflow::lattice::{Extended, TwoPoint, TwoPointScheme};
+use secflow::logic::{check_proof, prove, Assertion, Bound, ClassExpr, Proof, Rule};
+
+type E = ClassExpr<TwoPoint>;
+
+fn lo() -> Extended<TwoPoint> {
+    Extended::Elem(TwoPoint::Low)
+}
+
+fn hi() -> Extended<TwoPoint> {
+    Extended::Elem(TwoPoint::High)
+}
+
+fn proof_for(src: &str) -> (secflow::lang::Program, Proof<TwoPoint>) {
+    let program = parse(src).unwrap();
+    let sbind = StaticBinding::constant(&program.symbols, &TwoPointScheme, TwoPoint::High);
+    let proof = prove(&program, &sbind, Extended::Nil, Extended::Nil).unwrap();
+    (program, proof)
+}
+
+#[test]
+fn wrong_rule_for_statement_is_rejected() {
+    let (program, proof) = proof_for("var x : integer; x := 1");
+    // Claim the assignment is a skip.
+    let forged = Proof::new(proof.pre.clone(), proof.post.clone(), Rule::SkipAxiom);
+    let err = check_proof(&program.body, &forged).unwrap_err();
+    assert!(err.message.contains("does not match"), "{err}");
+}
+
+#[test]
+fn skip_axiom_with_strengthening_post_is_rejected() {
+    let program = parse("var x : integer; skip").unwrap();
+    // {x ≤ High} skip {x ≤ Low} is not an instance of the axiom.
+    let pre = Assertion::state_only(vec![Bound::new(E::var(program.var("x")), E::lit(hi()))]);
+    let post = Assertion::state_only(vec![Bound::new(E::var(program.var("x")), E::lit(lo()))]);
+    let forged = Proof::new(pre, post, Rule::SkipAxiom);
+    assert!(check_proof(&program.body, &forged).is_err());
+}
+
+#[test]
+fn if_branches_with_mismatched_posts_are_rejected() {
+    let (program, proof) = proof_for("var x, y : integer; if x = 0 then y := 1 else y := 2");
+    let Rule::If {
+        then_proof,
+        else_proof,
+    } = proof.rule.clone()
+    else {
+        panic!("expected an alternation at the root");
+    };
+    // Corrupt the else branch's postcondition state.
+    let mut bad_else = else_proof.unwrap();
+    bad_else
+        .post
+        .state
+        .push(Bound::new(E::lit(hi()), E::lit(lo())));
+    let forged = Proof::new(
+        proof.pre.clone(),
+        proof.post.clone(),
+        Rule::If {
+            then_proof,
+            else_proof: Some(bad_else),
+        },
+    );
+    let err = check_proof(&program.body, &forged).unwrap_err();
+    // The corruption surfaces either at the branch's own consequence
+    // wrapper (checked first) or at the alternation's premise agreement.
+    assert!(
+        err.rule == "alternation rule" || err.rule == "consequence rule",
+        "{err}"
+    );
+}
+
+#[test]
+fn if_side_condition_is_enforced() {
+    // Lower the branch-local bound L' below the guard's class: the side
+    // condition V,L,G |- L'[local ← local ⊕ e̲] must fail.
+    let (program, proof) = proof_for("var x, y : integer; if x = 0 then y := 1 else y := 2");
+    let Rule::If {
+        mut then_proof,
+        else_proof,
+    } = proof.rule.clone()
+    else {
+        panic!("expected an alternation");
+    };
+    fn lower_local(p: &mut Proof<TwoPoint>) {
+        p.pre.local = Some(E::nil());
+        p.post.local = Some(E::nil());
+        match &mut p.rule {
+            Rule::Conseq { inner } => lower_local(inner),
+            _ => {
+                // Leaf axiom: rewrite both ends consistently.
+            }
+        }
+    }
+    let mut else_proof = else_proof.unwrap();
+    lower_local(&mut then_proof);
+    lower_local(&mut else_proof);
+    let forged = Proof::new(
+        proof.pre.clone(),
+        proof.post.clone(),
+        Rule::If {
+            then_proof,
+            else_proof: Some(else_proof),
+        },
+    );
+    let err = check_proof(&program.body, &forged).unwrap_err();
+    // Either the inner axioms stop matching or the side condition trips;
+    // both surface as alternation/consequence failures, never success.
+    assert!(
+        err.rule == "alternation rule" || err.rule == "consequence rule",
+        "{err}"
+    );
+}
+
+#[test]
+fn while_requires_an_invariant_body() {
+    let (program, proof) = proof_for("var x : integer; while x > 0 do x := x - 1");
+    // The root is Conseq{ While }; corrupt the body's postcondition.
+    let Rule::Conseq { inner } = proof.rule.clone() else {
+        panic!("expected consequence at root");
+    };
+    let Rule::While { mut body } = inner.rule.clone() else {
+        panic!("expected iteration inside");
+    };
+    body.post.global = Some(E::lit(Extended::Nil)); // no longer invariant
+    let forged_while = Proof::new(inner.pre.clone(), inner.post.clone(), Rule::While { body });
+    let forged = Proof::new(
+        proof.pre.clone(),
+        proof.post.clone(),
+        Rule::Conseq {
+            inner: Box::new(forged_while),
+        },
+    );
+    let err = check_proof(&program.body, &forged).unwrap_err();
+    // The broken invariant is caught either inside the body's consequence
+    // wrapper or by the iteration rule's invariance requirement.
+    assert!(
+        err.rule == "iteration rule" || err.rule == "consequence rule",
+        "{err}"
+    );
+}
+
+#[test]
+fn wait_must_raise_global() {
+    // Forge a wait triple that pretends global stays nil although the
+    // semaphore is High: the axiom's substitution cannot produce it.
+    let program = parse("var s : semaphore; wait(s)").unwrap();
+    let s = program.var("s");
+    let i = vec![Bound::new(E::var(s), E::lit(hi()))];
+    let unchanged = Assertion::new(i, E::lit(Extended::Nil), E::lit(Extended::Nil));
+    let forged = Proof::new(unchanged.clone(), unchanged, Rule::WaitAxiom);
+    let err = check_proof(&program.body, &forged).unwrap_err();
+    assert_eq!(err.rule, "wait axiom");
+}
+
+#[test]
+fn cobegin_interference_is_enforced() {
+    // Process 2's proof privately assumes a̲ ≤ Low, but process 1 writes
+    // High data into `a`: the interference check must object even though
+    // each branch proof is locally fine.
+    let program = parse(
+        "var h, a, b : integer;
+         cobegin a := h || b := 1 coend",
+    )
+    .unwrap();
+    let (h, a, b) = (program.var("h"), program.var("a"), program.var("b"));
+    let lo_e = || E::lit(lo());
+    let hi_e = || E::lit(hi());
+
+    use secflow::lang::builder::e as eb;
+    use secflow::logic::check::assign_subst;
+
+    // Branch 1: {h ≤ High, a ≤ High} a := h {same} — fine on its own.
+    let b1_assn = Assertion::new(
+        vec![Bound::new(E::var(h), hi_e()), Bound::new(E::var(a), hi_e())],
+        lo_e(),
+        lo_e(),
+    );
+    let b1_ax_pre = b1_assn.subst(&assign_subst(a, &eb::var(h)));
+    let b1 = Proof::new(
+        b1_assn.clone(),
+        b1_assn.clone(),
+        Rule::Conseq {
+            inner: Box::new(Proof::new(b1_ax_pre, b1_assn.clone(), Rule::AssignAxiom)),
+        },
+    );
+
+    // Branch 2 privately asserts a ≤ Low throughout.
+    let b2_assn = Assertion::new(
+        vec![Bound::new(E::var(a), lo_e()), Bound::new(E::var(b), hi_e())],
+        lo_e(),
+        lo_e(),
+    );
+    let b2_ax_pre = b2_assn.subst(&assign_subst(b, &eb::konst(1)));
+    let b2 = Proof::new(
+        b2_assn.clone(),
+        b2_assn.clone(),
+        Rule::Conseq {
+            inner: Box::new(Proof::new(b2_ax_pre, b2_assn.clone(), Rule::AssignAxiom)),
+        },
+    );
+
+    let pre = Assertion::new(
+        vec![
+            Bound::new(E::var(h), hi_e()),
+            Bound::new(E::var(a), hi_e()),
+            Bound::new(E::var(a), lo_e()),
+            Bound::new(E::var(b), hi_e()),
+        ],
+        lo_e(),
+        lo_e(),
+    );
+    let post = pre.clone();
+    let forged = Proof::new(
+        pre,
+        post,
+        Rule::Cobegin {
+            branches: vec![b1, b2],
+        },
+    );
+    let err = check_proof(&program.body, &forged).unwrap_err();
+    assert_eq!(err.rule, "concurrent-execution rule");
+}
+
+#[test]
+fn seq_chain_gaps_are_rejected() {
+    let (program, proof) = proof_for("var x, y : integer; begin x := 1; y := x end");
+    let Rule::Seq { mut parts } = proof.rule.clone() else {
+        panic!("expected composition");
+    };
+    // Break the chain: strengthen part 2's precondition so part 1's post
+    // no longer entails it.
+    parts[1]
+        .pre
+        .state
+        .push(Bound::new(E::lit(hi()), E::lit(lo())));
+    let forged = Proof::new(proof.pre.clone(), proof.post.clone(), Rule::Seq { parts });
+    let err = check_proof(&program.body, &forged).unwrap_err();
+    assert_eq!(err.rule, "composition rule");
+}
+
+#[test]
+fn conseq_cannot_weaken_the_precondition() {
+    let (program, proof) = proof_for("var x, y : integer; y := x");
+    // Drop the binding facts from the outer pre: it no longer entails the
+    // axiom's substituted precondition.
+    let weak_pre = Assertion::new(vec![], E::lit(lo()), E::lit(lo()));
+    let forged = Proof::new(weak_pre, proof.post.clone(), proof.rule.clone());
+    let err = check_proof(&program.body, &forged).unwrap_err();
+    assert_eq!(err.rule, "consequence rule");
+}

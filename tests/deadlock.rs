@@ -1,0 +1,88 @@
+//! Experiment E9: the paper's deadlock remarks, verified exhaustively.
+//!
+//! §2.2: "Although it is possible for the above program to deadlock (it
+//! will if x is not equal to zero), global flows in parallel programs
+//! arise not from the possibility of deadlock, but from the
+//! synchronization of independent computations. There are programs that
+//! cannot deadlock yet transmit information through process
+//! synchronization."
+
+use secflow::cfm::{certify, StaticBinding};
+use secflow::lang::parse;
+use secflow::lattice::{TwoPoint, TwoPointScheme};
+use secflow::runtime::{can_deadlock, check_binary_secret, explore, ExploreLimits};
+use secflow::workload::fig3_program;
+
+fn lim() -> ExploreLimits {
+    ExploreLimits::default()
+}
+
+#[test]
+fn the_2_2_example_deadlocks_exactly_when_x_is_nonzero() {
+    let p = parse(
+        "var x, y : integer; sem : semaphore;
+         cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend",
+    )
+    .unwrap();
+    assert!(!can_deadlock(&p, &[(p.var("x"), 0)], lim()));
+    for x in [1, -1, 42] {
+        assert!(can_deadlock(&p, &[(p.var("x"), x)], lim()), "x={x}");
+    }
+}
+
+#[test]
+fn fig3_cannot_deadlock_yet_transmits() {
+    // The paper's exact point: deadlock-freedom does not mean flow-freedom.
+    let p = fig3_program();
+    for x in [0, 1] {
+        assert!(!can_deadlock(&p, &[(p.var("x"), x)], lim()), "x={x}");
+    }
+    let ni = check_binary_secret(&p, p.var("x"), &[p.var("y")], lim());
+    assert!(ni.interferes);
+}
+
+#[test]
+fn deadlock_freedom_is_not_assumed_by_cfm() {
+    // CFM rejects the 2.2 example for its flows whether or not the
+    // schedule deadlocks — certification is schedule-independent.
+    let p = parse(
+        "var x, y : integer; sem : semaphore;
+         cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend",
+    )
+    .unwrap();
+    let sbind =
+        StaticBinding::uniform(&p.symbols, &TwoPointScheme).with(p.var("x"), TwoPoint::High);
+    assert!(!certify(&p, &sbind).certified());
+}
+
+#[test]
+fn classic_two_lock_deadlock_is_found() {
+    // An ordering deadlock unrelated to information flow, to exercise the
+    // explorer: two processes take two semaphores in opposite orders.
+    let p = parse(
+        "var a, b : semaphore initially(1);
+         cobegin
+           begin wait(a); wait(b); signal(b); signal(a) end
+         ||
+           begin wait(b); wait(a); signal(a); signal(b) end
+         coend",
+    )
+    .unwrap();
+    let r = explore(&p, &[], lim());
+    assert!(r.deadlocks > 0, "the AB/BA deadlock must be reachable");
+    assert!(!r.outcomes.is_empty(), "and so must clean completion");
+}
+
+#[test]
+fn semaphore_initial_counts_gate_deadlock() {
+    let src = |init: u32| {
+        format!(
+            "var s : semaphore initially({init}); x : integer;
+             cobegin begin wait(s); x := 1 end || begin wait(s); x := 2 end coend"
+        )
+    };
+    let p2 = parse(&src(2)).unwrap();
+    assert!(!can_deadlock(&p2, &[], lim()));
+    let p1 = parse(&src(1)).unwrap();
+    assert!(can_deadlock(&p1, &[], lim()), "one token, two waiters");
+}

@@ -1,0 +1,156 @@
+//! Experiment E3: every §4.3 claim about Figure 3, cross-crate.
+
+use secflow::cfm::{certify, denning_certify, infer_binding, CheckRule, StaticBinding};
+use secflow::lattice::{Extended, TwoPoint, TwoPointScheme};
+use secflow::logic::{check_proof, is_completely_invariant, policy_assertion, prove};
+use secflow::runtime::{check_binary_secret, explore, ExploreLimits};
+use secflow::workload::{
+    fig3_all_high_binding, fig3_baseline_gap_binding, fig3_high_x_binding, fig3_program,
+};
+
+#[test]
+fn fig3_never_deadlocks_and_restores_semaphores() {
+    let p = fig3_program();
+    for x in [-1, 0, 1, 9] {
+        let r = explore(&p, &[(p.var("x"), x)], ExploreLimits::default());
+        assert_eq!(r.deadlocks, 0, "x={x}");
+        assert_eq!(r.faults, 0, "x={x}");
+        assert!(!r.truncated, "x={x}");
+        for store in &r.outcomes {
+            for sem in ["modify", "modified", "read", "done"] {
+                assert_eq!(store[p.var(sem).index()], 0, "x={x}, {sem}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fig3_transmits_exactly_one_bit() {
+    let p = fig3_program();
+    // Under full sequencing the outcome is deterministic: y = (x = 0).
+    for (x, y) in [(0i64, 1i64), (1, 0), (-7, 0)] {
+        let r = explore(&p, &[(p.var("x"), x)], ExploreLimits::default());
+        let ys = r.project(&[p.var("y")]);
+        assert_eq!(ys.len(), 1, "x={x}");
+        assert_eq!(ys.into_iter().next().unwrap(), vec![y], "x={x}");
+    }
+}
+
+#[test]
+fn fig3_interferes_empirically() {
+    let p = fig3_program();
+    let r = check_binary_secret(&p, p.var("x"), &[p.var("y")], ExploreLimits::default());
+    assert!(r.interferes);
+    assert!(!r.truncated);
+    let w = r.witness.unwrap();
+    // The channel works through values, not deadlock.
+    assert!(!w.observed_a.can_deadlock && !w.observed_b.can_deadlock);
+    assert_ne!(w.observed_a.low_outcomes, w.observed_b.low_outcomes);
+}
+
+#[test]
+fn cfm_rejects_the_channel_and_derives_the_four_three_conditions() {
+    let p = fig3_program();
+    let report = certify(&p, &fig3_high_x_binding(&p));
+    assert!(!report.certified());
+    // The very first objection is the local flow from `x` into the
+    // semaphore handshake — §4.3's first condition.
+    assert_eq!(report.violations[0].rule, CheckRule::IfLocal);
+}
+
+#[test]
+fn the_baseline_gap_is_exactly_the_global_conditions() {
+    let p = fig3_program();
+    let gap = fig3_baseline_gap_binding(&p);
+    assert!(denning_certify(&p, &gap).certified());
+    let report = certify(&p, &gap);
+    assert!(!report.certified());
+    assert!(report
+        .violations
+        .iter()
+        .all(|v| v.rule == CheckRule::SeqGlobal));
+    // Two distinct global flows: modify -> m, and read/done -> y.
+    assert!(report.violations.len() >= 2);
+}
+
+#[test]
+fn inference_discovers_the_sbind_x_leq_sbind_y_consequence() {
+    let p = fig3_program();
+    // §4.3: the three conditions imply sbind(x) ≤ sbind(y); pinning them
+    // apart is unsatisfiable.
+    let err = infer_binding(
+        &p,
+        &TwoPointScheme,
+        [(p.var("x"), TwoPoint::High), (p.var("y"), TwoPoint::Low)],
+    )
+    .unwrap_err();
+    assert_eq!(err.var, p.var("y"));
+    // The witness chain is a real constraint path from x to y — the
+    // §4.3 composition, discovered automatically.
+    assert_eq!(err.path.first(), Some(&p.var("x")));
+    assert_eq!(err.path.last(), Some(&p.var("y")));
+    let cs = secflow::cfm::constraints(&p);
+    for pair in err.path.windows(2) {
+        assert!(
+            cs.contains(&secflow::cfm::Constraint {
+                from: pair[0],
+                to: pair[1]
+            }),
+            "path edge {:?} is not a constraint",
+            pair
+        );
+    }
+    // And the least satisfying binding raises the whole chain.
+    let least = infer_binding(&p, &TwoPointScheme, [(p.var("x"), TwoPoint::High)]).unwrap();
+    for name in ["modify", "m", "y"] {
+        assert_eq!(*least.class(p.var(name)), TwoPoint::High, "{name}");
+    }
+    assert!(certify(&p, &least).certified());
+}
+
+#[test]
+fn theorem1_proof_exists_for_the_all_high_binding() {
+    let p = fig3_program();
+    let sbind = fig3_all_high_binding(&p);
+    assert!(certify(&p, &sbind).certified());
+    let proof = prove(&p, &sbind, Extended::Nil, Extended::Nil).unwrap();
+    check_proof(&p.body, &proof).unwrap();
+    let i = policy_assertion(&p, &sbind);
+    assert!(is_completely_invariant(&proof, &i).unwrap());
+    // The derivation covers the whole 3-process program.
+    assert!(proof.size() > 30, "size = {}", proof.size());
+}
+
+#[test]
+fn certified_binding_means_no_low_observer_interference() {
+    // Soundness on Fig 3 itself: under the all-High binding there are no
+    // Low variables, so a Low observer sees nothing — and the empirical
+    // check over an empty observation set finds no interference.
+    let p = fig3_program();
+    let r = check_binary_secret(&p, p.var("x"), &[], ExploreLimits::default());
+    assert!(!r.interferes);
+}
+
+#[test]
+fn repaired_low_y_channel_is_noninterfering() {
+    // Cut the channel: make y constant. CFM certifies x=High/y=Low and
+    // the harness agrees there is no interference.
+    let p = secflow::lang::parse(
+        "var x, y, m : integer;
+         modify, modified, read, done : semaphore initially(0);
+         cobegin
+           begin
+             m := 0;
+             signal(read); wait(done)
+           end
+         ||
+           begin wait(read); y := 7; signal(done) end
+         coend",
+    )
+    .unwrap();
+    let sbind =
+        StaticBinding::uniform(&p.symbols, &TwoPointScheme).with(p.var("x"), TwoPoint::High);
+    assert!(certify(&p, &sbind).certified());
+    let r = check_binary_secret(&p, p.var("x"), &[p.var("y")], ExploreLimits::default());
+    assert!(!r.interferes);
+}

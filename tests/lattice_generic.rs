@@ -1,0 +1,180 @@
+//! Every analysis is generic over the classification scheme: the same
+//! programs certify/reject consistently across two-point, linear,
+//! powerset, military, product, and user-defined named lattices.
+
+use secflow::cfm::{certify, infer_binding, StaticBinding};
+use secflow::lang::parse;
+use secflow::lattice::{
+    CatSet, Dual, DualScheme, Extended, Lattice, Linear, LinearScheme, Military, MilitaryScheme,
+    NamedScheme, PowersetScheme, Product, ProductScheme, Scheme, TwoPoint, TwoPointScheme,
+};
+use secflow::logic::{check_proof, prove};
+
+const CHANNEL: &str = "var src, dst : integer; sem : semaphore;
+cobegin if src = 0 then signal(sem) || begin wait(sem); dst := 0 end coend";
+
+/// Generic driver: with src above dst the channel is rejected, with
+/// src ≤ everything it certifies, and Theorem 1 yields a checked proof.
+fn exercise<S: Scheme>(scheme: &S, src_class: S::Elem, chain_class: S::Elem)
+where
+    S::Elem: Lattice + std::fmt::Display,
+{
+    let program = parse(CHANNEL).unwrap();
+    let (src, dst, sem) = (program.var("src"), program.var("dst"), program.var("sem"));
+
+    // src strictly above the rest: rejected (the guard dominates sem).
+    assert!(
+        scheme.low().leq(&src_class) && scheme.low() != src_class,
+        "test premise: src_class must be above low"
+    );
+    let reject = StaticBinding::uniform(&program.symbols, scheme).with(src, src_class.clone());
+    assert!(!certify(&program, &reject).certified());
+
+    // Whole chain at one level: certified + provable.
+    let accept = StaticBinding::uniform(&program.symbols, scheme)
+        .with(src, chain_class.clone())
+        .with(sem, chain_class.clone())
+        .with(dst, chain_class.clone());
+    assert!(certify(&program, &accept).certified());
+    let proof = prove(&program, &accept, Extended::Nil, Extended::Nil).unwrap();
+    check_proof(&program.body, &proof).unwrap();
+
+    // Inference lifts the chain from the pinned source.
+    let least = infer_binding(&program, scheme, [(src, src_class.clone())]).unwrap();
+    assert!(src_class.leq(least.class(sem)));
+    assert!(src_class.leq(least.class(dst)));
+    assert!(certify(&program, &least).certified());
+}
+
+#[test]
+fn two_point() {
+    exercise(&TwoPointScheme, TwoPoint::High, TwoPoint::High);
+}
+
+#[test]
+fn linear_chain() {
+    let s = LinearScheme::new(5).unwrap();
+    exercise(&s, Linear(3), Linear(4));
+}
+
+#[test]
+fn powerset_compartments() {
+    let s = PowersetScheme::new(4).unwrap();
+    exercise(&s, CatSet(0b0110), CatSet(0b1111));
+}
+
+#[test]
+fn military_classifications() {
+    let s = MilitaryScheme::new(3, 2).unwrap();
+    exercise(
+        &s,
+        Military::new(1, CatSet(0b01)),
+        Military::new(2, CatSet(0b11)),
+    );
+}
+
+#[test]
+fn product_of_schemes() {
+    let s = ProductScheme::new(TwoPointScheme, LinearScheme::new(3).unwrap());
+    exercise(
+        &s,
+        Product(TwoPoint::High, Linear(1)),
+        Product(TwoPoint::High, Linear(2)),
+    );
+}
+
+#[test]
+fn user_defined_named_lattice() {
+    let s = NamedScheme::build(
+        &["public", "finance", "engineering", "board"],
+        &[
+            ("public", "finance"),
+            ("public", "engineering"),
+            ("finance", "board"),
+            ("engineering", "board"),
+        ],
+    )
+    .unwrap();
+    let fin = s.elem("finance").unwrap();
+    let board = s.elem("board").unwrap();
+    exercise(&s, fin, board);
+}
+
+#[test]
+fn biba_integrity_via_the_dual_lattice() {
+    // Integrity is confidentiality over the dual order: untrusted
+    // (dual-high) data must not flow into a trusted (dual-low) sink.
+    let s = DualScheme::new(TwoPointScheme);
+    let untrusted = Dual(TwoPoint::Low); // dual-high: Low integrity
+    let trusted = Dual(TwoPoint::High); // dual-low: High integrity
+    let p = parse("var input, config : integer; config := input").unwrap();
+
+    // Untrusted input into a trusted config: rejected.
+    let bad = StaticBinding::uniform(&p.symbols, &s)
+        .with(p.var("input"), untrusted.clone())
+        .with(p.var("config"), trusted.clone());
+    assert!(!certify(&p, &bad).certified());
+
+    // Trusted input into an untrusted sink: fine (integrity may degrade).
+    let ok = StaticBinding::uniform(&p.symbols, &s)
+        .with(p.var("input"), trusted)
+        .with(p.var("config"), untrusted);
+    assert!(certify(&p, &ok).certified());
+
+    // And the full exercise battery works over the dual scheme too.
+    exercise(&s, Dual(TwoPoint::Low), Dual(TwoPoint::Low));
+}
+
+#[test]
+fn incomparable_compartments_block_flows() {
+    // finance-classified data cannot flow into an engineering container,
+    // even though neither dominates the other.
+    let s = NamedScheme::build(
+        &["public", "finance", "engineering", "board"],
+        &[
+            ("public", "finance"),
+            ("public", "engineering"),
+            ("finance", "board"),
+            ("engineering", "board"),
+        ],
+    )
+    .unwrap();
+    let p = parse("var a, b : integer; b := a").unwrap();
+    let binding = StaticBinding::uniform(&p.symbols, &s)
+        .with(p.var("a"), s.elem("finance").unwrap())
+        .with(p.var("b"), s.elem("engineering").unwrap());
+    assert!(!certify(&p, &binding).certified());
+    // The least repair is the join: board.
+    let least = infer_binding(&p, &s, [(p.var("a"), s.elem("finance").unwrap())]).unwrap();
+    assert_eq!(least.class(p.var("b")).name(), "finance");
+}
+
+#[test]
+fn cross_lattice_verdicts_are_order_isomorphic() {
+    // Embedding Low/High as L0/L(n-1) of any chain preserves verdicts.
+    let p = parse(CHANNEL).unwrap();
+    let (src, dst, sem) = (p.var("src"), p.var("dst"), p.var("sem"));
+    for assignment in 0u8..8 {
+        let pick2 = |bit: bool| if bit { TwoPoint::High } else { TwoPoint::Low };
+        let pickn = |bit: bool| if bit { Linear(6) } else { Linear(0) };
+        let bits = [
+            assignment & 1 != 0,
+            assignment & 2 != 0,
+            assignment & 4 != 0,
+        ];
+        let b2 = StaticBinding::uniform(&p.symbols, &TwoPointScheme)
+            .with(src, pick2(bits[0]))
+            .with(sem, pick2(bits[1]))
+            .with(dst, pick2(bits[2]));
+        let s7 = LinearScheme::new(7).unwrap();
+        let bn = StaticBinding::uniform(&p.symbols, &s7)
+            .with(src, pickn(bits[0]))
+            .with(sem, pickn(bits[1]))
+            .with(dst, pickn(bits[2]));
+        assert_eq!(
+            certify(&p, &b2).certified(),
+            certify(&p, &bn).certified(),
+            "assignment {assignment:03b}"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! The dynamic monitor is subsumed by static certification.
+//!
+//! A purely dynamic taint monitor observes one schedule; CFM reasons
+//! about all of them. The containment direction that must hold: if any
+//! run's final label of a variable exceeds its static binding, CFM
+//! rejects the program under that binding. (The converse fails — that is
+//! the monitor's blind spot, demonstrated in `examples/leak_audit.rs`.)
+
+use proptest::prelude::*;
+
+use secflow::cfm::{certify, StaticBinding};
+use secflow::lattice::{Lattice, TwoPoint, TwoPointScheme};
+use secflow::runtime::{Machine, RandomSched, RoundRobin, Scheduler, TaintMonitor};
+use secflow::workload::{generate, GenConfig};
+
+fn cfg() -> GenConfig {
+    GenConfig {
+        target_stmts: 25,
+        max_depth: 4,
+        n_vars: 4,
+        n_sems: 2,
+        bounded_loops: true,
+    }
+}
+
+/// Runs the monitor under one scheduler; returns final labels, or `None`
+/// if the run did not terminate (deadlock/fuel).
+fn monitored_labels(
+    program: &secflow::lang::Program,
+    initial: &[TwoPoint],
+    seed: Option<u64>,
+    inputs: &[(secflow::lang::VarId, i64)],
+) -> Option<Vec<TwoPoint>> {
+    let machine = Machine::with_inputs(program, inputs);
+    let mut mon = TaintMonitor::new(machine, initial.to_vec(), TwoPoint::Low);
+    let outcome = match seed {
+        Some(seed) => mon.run(&mut RandomSched::new(seed), 30_000),
+        None => mon.run(&mut RoundRobin::new(), 30_000),
+    };
+    outcome.terminated().then(|| mon.labels().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Monitor pollution ⟹ CFM rejection.
+    #[test]
+    fn dynamic_pollution_implies_static_rejection(
+        seed in 0u64..100_000,
+        sched_seed in 0u64..1_000,
+        secret_val in 0i64..4,
+    ) {
+        let program = generate(&cfg(), seed);
+        let secret = program.var("v0");
+        let binding = StaticBinding::uniform(&program.symbols, &TwoPointScheme)
+            .with(secret, TwoPoint::High);
+        let initial: Vec<TwoPoint> = program
+            .symbols
+            .iter()
+            .map(|(id, _)| *binding.class(id))
+            .collect();
+        let schedules = [None, Some(sched_seed), Some(sched_seed + 1)];
+        for sched in schedules {
+            let Some(labels) =
+                monitored_labels(&program, &initial, sched, &[(secret, secret_val)])
+            else {
+                continue;
+            };
+            let polluted = program
+                .symbols
+                .iter()
+                .any(|(id, _)| !labels[id.index()].leq(binding.class(id)));
+            if polluted {
+                prop_assert!(
+                    !certify(&program, &binding).certified(),
+                    "monitor flagged seed {} but CFM certified",
+                    seed
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn the_containment_is_strict() {
+    // CFM rejects the untaken-branch program; the monitor stays silent on
+    // the run where the branch is skipped — so the reverse implication
+    // genuinely fails.
+    let program = secflow::lang::parse("var h, l : integer; if h = 0 then l := 1").unwrap();
+    let h = program.var("h");
+    let binding = StaticBinding::uniform(&program.symbols, &TwoPointScheme).with(h, TwoPoint::High);
+    assert!(!certify(&program, &binding).certified());
+    let initial: Vec<TwoPoint> = program
+        .symbols
+        .iter()
+        .map(|(id, _)| *binding.class(id))
+        .collect();
+    let labels = monitored_labels(&program, &initial, None, &[(h, 1)]).unwrap();
+    let polluted = program
+        .symbols
+        .iter()
+        .any(|(id, _)| !labels[id.index()].leq(binding.class(id)));
+    assert!(!polluted, "the untaken branch is invisible to the monitor");
+}
+
+#[test]
+fn monitor_agrees_across_schedules_on_race_free_programs() {
+    // Fully semaphore-sequenced program: every schedule produces the same
+    // final labels.
+    let program = secflow::workload::fig3_program();
+    let x = program.var("x");
+    let initial: Vec<TwoPoint> = program
+        .symbols
+        .iter()
+        .map(|(id, _)| {
+            if id == x {
+                TwoPoint::High
+            } else {
+                TwoPoint::Low
+            }
+        })
+        .collect();
+    let reference = monitored_labels(&program, &initial, None, &[(x, 0)]).unwrap();
+    for seed in 0..15 {
+        let labels = monitored_labels(&program, &initial, Some(seed), &[(x, 0)]).unwrap();
+        assert_eq!(labels, reference, "seed {seed}");
+    }
+}
+
+#[test]
+fn monitor_scheduler_wrapper_steps_manually() {
+    // Exercise the manual step API (used by the leak_audit example).
+    let program = secflow::lang::parse(
+        "var h, l : integer; s : semaphore initially(1);
+         cobegin begin wait(s); l := h; signal(s) end || skip coend",
+    )
+    .unwrap();
+    let h = program.var("h");
+    let initial: Vec<TwoPoint> = program
+        .symbols
+        .iter()
+        .map(|(id, _)| {
+            if id == h {
+                TwoPoint::High
+            } else {
+                TwoPoint::Low
+            }
+        })
+        .collect();
+    let machine = Machine::new(&program);
+    let mut mon = TaintMonitor::new(machine, initial, TwoPoint::Low);
+    let mut sched = RoundRobin::new();
+    while mon.machine().status() == secflow::runtime::Status::Running {
+        let enabled = mon.machine().enabled();
+        let pid = sched.pick(&enabled);
+        mon.step(pid).unwrap();
+    }
+    assert_eq!(mon.labels()[program.var("l").index()], TwoPoint::High);
+    let allowed: Vec<TwoPoint> = program
+        .symbols
+        .iter()
+        .map(|(id, _)| {
+            if id == h {
+                TwoPoint::High
+            } else {
+                TwoPoint::Low
+            }
+        })
+        .collect();
+    assert_eq!(mon.polluted(&allowed), vec![program.var("l")]);
+}

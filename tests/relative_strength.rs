@@ -1,0 +1,96 @@
+//! Experiment E4: §5.2 — the flow logic is strictly stronger than CFM.
+
+use secflow::cfm::{certify, CheckRule};
+use secflow::lattice::Extended;
+use secflow::logic::examples::{relative_strength_program, relative_strength_proof};
+use secflow::logic::{
+    build_proof, check_proof, entails, is_completely_invariant, policy_assertion, Assertion,
+};
+use secflow::runtime::{check_binary_secret, ExploreLimits};
+
+#[test]
+fn cfm_rejects_via_the_direct_flow_check() {
+    let (program, sbind) = relative_strength_program();
+    let report = certify(&program, &sbind);
+    assert!(!report.certified());
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].rule, CheckRule::AssignDirect);
+}
+
+#[test]
+fn the_papers_proof_checks_verbatim() {
+    let (program, _) = relative_strength_program();
+    let proof = relative_strength_proof(&program);
+    check_proof(&program.body, &proof).unwrap();
+}
+
+#[test]
+fn the_papers_proof_establishes_the_policy_at_every_point() {
+    let (program, sbind) = relative_strength_program();
+    let proof = relative_strength_proof(&program);
+    let policy = Assertion::state_only(policy_assertion(&program, &sbind));
+    // Every statement-level assertion entails the policy assertion, even
+    // though some are strictly stronger. (Axiom-instance preconditions
+    // inside consequence wrappers are substitution images, not statement
+    // preconditions, so they are not policy checkpoints.)
+    fn stmt_level<'p>(
+        node: &'p secflow::logic::Proof<secflow::lattice::TwoPoint>,
+        out: &mut Vec<&'p Assertion<secflow::lattice::TwoPoint>>,
+    ) {
+        out.push(&node.pre);
+        out.push(&node.post);
+        use secflow::logic::Rule;
+        match &node.rule {
+            Rule::Conseq { inner } => match &inner.rule {
+                Rule::SkipAxiom | Rule::AssignAxiom | Rule::SignalAxiom | Rule::WaitAxiom => {}
+                _ => stmt_level(inner, out),
+            },
+            Rule::Seq { parts } => parts.iter().for_each(|p| stmt_level(p, out)),
+            Rule::If {
+                then_proof,
+                else_proof,
+            } => {
+                stmt_level(then_proof, out);
+                if let Some(e) = else_proof {
+                    stmt_level(e, out);
+                }
+            }
+            Rule::While { body } => stmt_level(body, out),
+            Rule::Cobegin { branches } => branches.iter().for_each(|p| stmt_level(p, out)),
+            _ => {}
+        }
+    }
+    let mut assertions = Vec::new();
+    stmt_level(&proof, &mut assertions);
+    assert!(assertions.len() >= 6, "root + two statements");
+    for a in assertions {
+        assert!(entails(a, &policy).unwrap(), "policy violated at {a}");
+    }
+}
+
+#[test]
+fn but_no_completely_invariant_proof_exists() {
+    let (program, sbind) = relative_strength_program();
+    // The paper's proof is not completely invariant…
+    let proof = relative_strength_proof(&program);
+    let i = policy_assertion(&program, &sbind);
+    assert!(!is_completely_invariant(&proof, &i).unwrap());
+    // …and the canonical completely-invariant candidate fails to check
+    // (Theorem 2: if it checked, CFM would certify).
+    let candidate = build_proof(&program, &sbind, Extended::Nil, Extended::Nil);
+    assert!(check_proof(&program.body, &candidate).is_err());
+}
+
+#[test]
+fn the_program_is_genuinely_noninterfering() {
+    // CFM's rejection is conservative: x is overwritten before being
+    // read, so no information actually flows.
+    let (program, _) = relative_strength_program();
+    let r = check_binary_secret(
+        &program,
+        program.var("x"),
+        &[program.var("y")],
+        ExploreLimits::default(),
+    );
+    assert!(!r.interferes);
+}
