@@ -1,0 +1,102 @@
+//! Throughput of the certification service's worker pool and result
+//! cache: requests/second through `Service::handle_line` both cold
+//! (distinct programs, every request certified from scratch) and warm
+//! (one program repeated, served from the content-addressed cache),
+//! and end-to-end through the bounded pool at varying worker counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use secflow_lang::print_program;
+use secflow_server::pool::Pool;
+use secflow_server::service::{Limits, Service};
+use secflow_workload::sequential_chain;
+
+fn certify_request(id: usize, source: &str) -> String {
+    let mut escaped = String::with_capacity(source.len() + 16);
+    for ch in source.chars() {
+        match ch {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            _ => escaped.push(ch),
+        }
+    }
+    format!(r#"{{"id":{id},"op":"certify","source":"{escaped}","classes":{{}}}}"#)
+}
+
+fn bench_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server/service");
+    let source = print_program(&sequential_chain(512, 8));
+    let requests: Vec<String> = (0..64)
+        .map(|i| certify_request(i, &print_program(&sequential_chain(480 + i, 8))))
+        .collect();
+
+    // Cold path: 64 distinct programs, cache never hits.
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    group.bench_function("cold_64_distinct", |b| {
+        b.iter(|| {
+            let service = Service::new(1024, Limits::default());
+            for line in &requests {
+                black_box(service.handle_line(line));
+            }
+        });
+    });
+
+    // Warm path: identical request answered from the cache.
+    let repeated = certify_request(0, &source);
+    let warm = Service::new(1024, Limits::default());
+    black_box(warm.handle_line(&repeated));
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("warm_cache_hit", |b| {
+        b.iter(|| black_box(warm.handle_line(&repeated)));
+    });
+    group.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server/pool");
+    group.sample_size(10);
+    let requests: Arc<Vec<String>> = Arc::new(
+        (0..256)
+            .map(|i| certify_request(i, &print_program(&sequential_chain(200 + (i % 64), 8))))
+            .collect(),
+    );
+
+    for workers in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements(requests.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("certify_256_reqs", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    // Cache disabled so every request does real work and
+                    // the sweep isolates pool scaling.
+                    let service = Arc::new(Service::new(0, Limits::default()));
+                    let pool = Pool::new(workers, 512);
+                    let (tx, rx) = mpsc::channel::<usize>();
+                    for line in requests.iter() {
+                        let line = line.clone();
+                        let service = Arc::clone(&service);
+                        let tx = tx.clone();
+                        pool.submit(move || {
+                            let reply = service.handle_line(&line);
+                            let _ = tx.send(reply.len());
+                        })
+                        .unwrap();
+                    }
+                    drop(tx);
+                    let total: usize = rx.iter().sum();
+                    pool.shutdown();
+                    black_box(total)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service, bench_pool);
+criterion_main!(benches);

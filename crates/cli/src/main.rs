@@ -37,7 +37,7 @@ USAGE:
                          [--lattice two|linear:N] [--baseline]
   secflow prove   <file> [--class name=CLASS]... [--default CLASS]
                          [--lattice two|linear:N] [--emit proof.sfp]
-  secflow checkproof <file> <-- via --proof> --proof proof.sfp
+  secflow checkproof <file> --proof proof.sfp [--lattice two|linear:N]
   secflow run     <file> [--input name=VALUE]... [--seed N] [--fuel N] [--trace]
   secflow explore <file> [--input name=VALUE]... [--max-states N]
   secflow leaktest <file> --secret NAME [--observe a,b,c] [--values 0,1]
@@ -45,8 +45,16 @@ USAGE:
   secflow flows   <file> [--class name=CLASS]... [--dot]
   secflow atomicity <file>
   secflow fig3    [--x VALUE]
+  secflow serve   [--addr HOST:PORT] [--workers N] [--cache N] [--queue N]
+                  [--max-fuel N]   (no --addr: serve stdin/stdout)
+  secflow batch   <dir> [--class name=CLASS]... [--default CLASS]
+                  [--lattice two|linear:N] [--workers N]
+  secflow --version
 
 CLASSES: low | high (two-point, default), or 0..N-1 with --lattice linear:N
+
+`serve` speaks a JSON-lines protocol; see DESIGN.md (Serving) for the
+request/response format.
 ";
 
 fn main() -> ExitCode {
@@ -77,6 +85,12 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         "flows" => cmd_flows(rest),
         "atomicity" => cmd_atomicity(rest),
         "fig3" => cmd_fig3(rest),
+        "serve" => cmd_serve(rest),
+        "batch" => cmd_batch(rest),
+        "version" | "--version" | "-V" => {
+            println!("secflow {}", env!("CARGO_PKG_VERSION"));
+            Ok(ExitCode::SUCCESS)
+        }
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -726,6 +740,74 @@ fn cmd_atomicity(args: &[String]) -> Result<ExitCode, String> {
     let report = check_atomicity(&program);
     print!("{}", report.render(&source));
     Ok(if report.single_reference() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn server_config(opts: &Opts) -> Result<secflow_server::ServerConfig, String> {
+    let mut cfg = secflow_server::ServerConfig::default();
+    if let Some(v) = opts.value("workers") {
+        cfg.workers = v.parse().map_err(|_| "bad --workers")?;
+    }
+    if let Some(v) = opts.value("queue") {
+        cfg.queue_capacity = v.parse().map_err(|_| "bad --queue")?;
+    }
+    if let Some(v) = opts.value("cache") {
+        cfg.cache_capacity = v.parse().map_err(|_| "bad --cache")?;
+    }
+    if let Some(v) = opts.value("max-fuel") {
+        cfg.limits.max_fuel = v.parse().map_err(|_| "bad --max-fuel")?;
+    }
+    Ok(cfg)
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let cfg = server_config(&opts)?;
+    match opts.value("addr") {
+        Some(addr) => {
+            let server =
+                secflow_server::serve_tcp(addr, cfg).map_err(|e| format!("cannot bind: {e}"))?;
+            eprintln!(
+                "secflow-server listening on {} ({} workers, queue {}, cache {})",
+                server.local_addr(),
+                cfg.workers,
+                cfg.queue_capacity,
+                cfg.cache_capacity
+            );
+            server
+                .join()
+                .map_err(|_| "server thread panicked".to_string())?;
+        }
+        None => {
+            secflow_server::serve_stdio(cfg).map_err(|e| format!("io error: {e}"))?;
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let dir = opts.file()?;
+    let cfg = server_config(&opts)?;
+    let mut classes = Vec::new();
+    for spec in opts.values("class") {
+        let (name, class) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("expected name=CLASS, got `{spec}`"))?;
+        classes.push((name.to_string(), class.to_string()));
+    }
+    let summary = secflow_server::run_batch(
+        std::path::Path::new(dir),
+        &classes,
+        opts.value("default"),
+        opts.value("lattice").unwrap_or("two"),
+        cfg,
+    )?;
+    print!("{}", secflow_server::render_summary(&summary));
+    Ok(if summary.errored == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,0 +1,282 @@
+//! A std-only stand-in for the subset of the `criterion` API this
+//! workspace's benches use, so `cargo bench` works without network
+//! access to crates.io.
+//!
+//! The statistics are deliberately simple — median and min/max over a
+//! fixed number of wall-clock samples, with an adaptive inner iteration
+//! count targeting ~10ms per sample — but the reported shape (time per
+//! element across a size sweep) is what EXPERIMENTS.md records, and the
+//! API is call-compatible with the real crate for the surface in use:
+//! `Criterion`, `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, `criterion_group!`, `criterion_main!`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a group's per-sample work is normalised when reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Report time per logical element (e.g. statements certified).
+    Elements(u64),
+    /// Report time per input byte.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark inside a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id carrying only the swept parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Drives one benchmark body: `b.iter(|| work())`.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            durations: Vec::new(),
+            iters_per_sample: 1,
+        }
+    }
+
+    /// Times `f`, first calibrating an inner iteration count so each
+    /// sample spans at least ~10ms of wall clock.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let target = Duration::from_millis(10);
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= target || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 2).max(1);
+        }
+        self.iters_per_sample = iters;
+        self.durations = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed() / iters as u32
+            })
+            .collect();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(label: &str, samples: &mut [Duration], iters: u64, throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    let mut line = format!(
+        "{label:<48} median {:>10}  [{} .. {}]  ({iters} iters/sample)",
+        fmt_duration(median),
+        fmt_duration(lo),
+        fmt_duration(hi),
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) if n > 0 => {
+            line.push_str(&format!(
+                "  {:>10}/elem",
+                fmt_duration(median / n.min(u32::MAX as u64) as u32)
+            ));
+        }
+        Some(Throughput::Bytes(n)) if n > 0 => {
+            let gib_s = n as f64 / median.as_secs_f64() / (1 << 30) as f64;
+            line.push_str(&format!("  {gib_s:.3} GiB/s"));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// A named collection of related benchmarks sharing throughput and
+/// sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-sample normalisation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the number of wall-clock samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id.label);
+        report(
+            &label,
+            &mut b.durations,
+            b.iters_per_sample,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        let label = format!("{}/{}", self.name, id.label);
+        report(
+            &label,
+            &mut b.durations,
+            b.iters_per_sample,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (printing happens eagerly; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(name, &mut b.durations, b.iters_per_sample, None);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's two
+/// macro forms (positional and `name/config/targets`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

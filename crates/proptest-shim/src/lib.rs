@@ -1,0 +1,411 @@
+//! A std-only stand-in for the subset of the `proptest` API this
+//! workspace's tests use, so `cargo test` works without network access
+//! to crates.io.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs
+//!   in the message instead of a minimised counterexample.
+//! - **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test name (FNV-1a), so runs are reproducible without persistence;
+//!   `*.proptest-regressions` files are ignored.
+//! - **Pattern strategies for `&str` are minimal**: `.{a,b}` (and the
+//!   `.*`/`.+` shorthands) generate arbitrary character soup of the
+//!   given length range; any other pattern generates itself verbatim.
+//!
+//! The surface implemented is exactly what the tests reference:
+//! `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_oneof!`,
+//! `ProptestConfig`, `Strategy`, `Just`, ranges as strategies, tuple
+//! strategies, `prop_map`, `collection::vec`, `option::of`, and
+//! `bits::u8::between`.
+
+/// Deterministic 64-bit RNG (splitmix64) used by all strategies.
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeds from an arbitrary string, typically the test name.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// How a value is generated. The shim's analogue of proptest's
+/// `Strategy`, minus shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Post-processes generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut Rng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let span = (self.end as i128 - self.start as i128).max(1) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let span = (*self.end() as i128 - *self.start() as i128 + 1).max(1) as u64;
+                (*self.start() as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+/// `&str` patterns: `.{a,b}` / `.*` / `.+` make character soup (ASCII
+/// printable, whitespace, controls, and some multibyte); anything else
+/// generates itself verbatim.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut Rng) -> String {
+        let (lo, hi) = match parse_repeat_pattern(self) {
+            Some(range) => range,
+            None => return (*self).to_string(),
+        };
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len).map(|_| random_char(rng)).collect()
+    }
+}
+
+fn parse_repeat_pattern(pat: &str) -> Option<(usize, usize)> {
+    match pat {
+        ".*" => return Some((0, 64)),
+        ".+" => return Some((1, 64)),
+        _ => {}
+    }
+    let body = pat.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+fn random_char(rng: &mut Rng) -> char {
+    match rng.below(10) {
+        // Mostly printable ASCII: the interesting region for a parser.
+        0..=6 => (0x20 + rng.below(0x5f) as u8) as char,
+        7 => (rng.below(0x20) as u8) as char, // control chars incl. \n \t
+        8 => ['λ', 'é', '∧', '≤', '中', '🦀'][rng.below(6) as usize],
+        _ => char::from_u32(rng.below(0xD7FF) as u32).unwrap_or('?'),
+    }
+}
+
+/// A boxed generator arm for [`OneOf`] (see [`one_of_arm`]).
+pub type OneOfArm<V> = Box<dyn Fn(&mut Rng) -> V>;
+
+/// One-of combinator behind [`prop_oneof!`].
+pub struct OneOf<V> {
+    arms: Vec<OneOfArm<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Builds from pre-boxed arms (see [`one_of_arm`]).
+    pub fn new(arms: Vec<OneOfArm<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut Rng) -> V {
+        self.arms[rng.below(self.arms.len() as u64) as usize](rng)
+    }
+}
+
+/// Boxes a strategy into a [`OneOf`] arm (macro plumbing).
+pub fn one_of_arm<S>(s: S) -> OneOfArm<S::Value>
+where
+    S: Strategy + 'static,
+{
+    Box::new(move |rng| s.generate(rng))
+}
+
+/// `proptest::collection`: sized containers of generated values.
+pub mod collection {
+    use super::{Rng, Strategy};
+
+    /// Strategy for `Vec`s whose length is drawn from `range`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// A `Vec` of `elem` values with length in `range`.
+    pub fn vec<S: Strategy>(elem: S, range: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            lo: range.start,
+            hi: range.end.max(range.start + 1) - 1,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let len = self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::option`: optional values.
+pub mod option {
+    use super::{Rng, Strategy};
+
+    /// Strategy yielding `None` half the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some(inner)` with probability 1/2, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Option<S::Value> {
+            if rng.below(2) == 0 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// `proptest::bits`: integers as bit masks.
+pub mod bits {
+    /// Bit-mask strategies over `u8`.
+    pub mod u8 {
+        use crate::{Rng, Strategy};
+
+        /// Strategy for `u8` masks confined to bits `[lo, hi)`.
+        pub struct Between {
+            mask: u8,
+        }
+
+        /// A `u8` whose set bits all lie in `[lo, hi)`.
+        pub fn between(lo: u32, hi: u32) -> Between {
+            let hi_mask = if hi >= 8 { 0xffu8 } else { (1u8 << hi) - 1 };
+            let lo_mask = if lo >= 8 { 0xffu8 } else { (1u8 << lo) - 1 };
+            Between {
+                mask: hi_mask & !lo_mask,
+            }
+        }
+
+        impl Strategy for Between {
+            type Value = u8;
+            fn generate(&self, rng: &mut Rng) -> u8 {
+                (rng.below(256) as u8) & self.mask
+            }
+        }
+    }
+}
+
+/// Test-runner configuration (`cases` is the only knob the shim reads).
+pub mod test_runner {
+    /// Soft failure a property body may return with `Err(..)` (the
+    /// shim's `prop_assert!` macros panic instead, but bodies still
+    /// `return Ok(())` to skip uninteresting cases).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Mirror of `proptest::test_runner::ProptestConfig`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Just, Strategy};
+}
+
+/// Defines `#[test]` functions that run a property over many generated
+/// cases. Mirrors `proptest::proptest!` (without shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each `fn` in a `proptest!` block.
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block $($rest:tt)*) => {
+        #[test]
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::Rng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                // Bodies follow proptest's convention of returning
+                // `Result<(), TestCaseError>` (e.g. `return Ok(())` to
+                // skip a case), so run each case inside a closure.
+                #[allow(unreachable_code)]
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!("proptest case {} failed: {}", __case, e);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// `assert_ne!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Picks uniformly among the given strategies (all yielding one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::one_of_arm($s)),+])
+    };
+}

@@ -1,0 +1,200 @@
+//! Content-addressed result cache.
+//!
+//! Keys are FNV-1a-64 fingerprints of the canonical request text
+//! (operation, lattice, binding spec, flags, source). The canonical
+//! text is retained in each entry and compared on lookup, so a 64-bit
+//! fingerprint collision degrades to a miss instead of serving a wrong
+//! result. Eviction is exact LRU via a recency index.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::json::Json;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over one byte chunk, continuing from `state`.
+pub fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A cache key: fingerprint plus the canonical text it fingerprints.
+#[derive(Clone, Debug)]
+pub struct CacheKey {
+    /// FNV-1a-64 of `canon`.
+    pub hash: u64,
+    /// The canonical request text (collision guard).
+    pub canon: String,
+}
+
+impl CacheKey {
+    /// Fingerprints the canonical parts of a request. Parts are length-
+    /// prefixed so concatenation ambiguity cannot alias two keys.
+    pub fn of(parts: &[&str]) -> CacheKey {
+        let mut canon = String::new();
+        let mut hash = FNV_OFFSET;
+        for part in parts {
+            let prefix = format!("{}:", part.len());
+            hash = fnv1a(hash, prefix.as_bytes());
+            hash = fnv1a(hash, part.as_bytes());
+            canon.push_str(&prefix);
+            canon.push_str(part);
+            canon.push('\x1f');
+        }
+        CacheKey { hash, canon }
+    }
+}
+
+/// A cached response payload: the fields to splice into a `Response`,
+/// plus whether the original run succeeded.
+#[derive(Clone, Debug)]
+pub struct CachedResult {
+    /// `ok` of the original response.
+    pub ok: bool,
+    /// Response fields other than `id`/`ok`/`op`/`cached`.
+    pub fields: Vec<(String, Json)>,
+}
+
+struct Entry {
+    canon: String,
+    value: CachedResult,
+    stamp: u64,
+}
+
+/// Bounded LRU map from request fingerprints to results.
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<u64, Entry>,
+    recency: BTreeMap<u64, u64>, // stamp -> hash, oldest first
+    clock: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<CachedResult> {
+        let entry = self.map.get_mut(&key.hash)?;
+        if entry.canon != key.canon {
+            return None; // fingerprint collision: treat as a miss
+        }
+        self.recency.remove(&entry.stamp);
+        self.clock += 1;
+        entry.stamp = self.clock;
+        self.recency.insert(entry.stamp, key.hash);
+        Some(entry.value.clone())
+    }
+
+    /// Inserts `value` under `key`, evicting the least recently used
+    /// entry if the cache is full.
+    pub fn put(&mut self, key: &CacheKey, value: CachedResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if let Some(old) = self.map.remove(&key.hash) {
+            self.recency.remove(&old.stamp);
+        } else if self.map.len() >= self.capacity {
+            if let Some((&oldest, &victim)) = self.recency.iter().next() {
+                self.recency.remove(&oldest);
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(
+            key.hash,
+            Entry {
+                canon: key.canon.clone(),
+                value,
+                stamp: self.clock,
+            },
+        );
+        self.recency.insert(self.clock, key.hash);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(tag: &str) -> CachedResult {
+        CachedResult {
+            ok: true,
+            fields: vec![("tag".to_string(), Json::Str(tag.to_string()))],
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_separator_safe() {
+        let a = CacheKey::of(&["ab", "c"]);
+        let b = CacheKey::of(&["ab", "c"]);
+        assert_eq!(a.hash, b.hash);
+        assert_eq!(a.canon, b.canon);
+        // Same concatenation, different split — must not alias.
+        let c = CacheKey::of(&["a", "bc"]);
+        assert_ne!(a.canon, c.canon);
+        assert_ne!(a.hash, c.hash);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut cache = ResultCache::new(2);
+        let (k1, k2, k3) = (
+            CacheKey::of(&["1"]),
+            CacheKey::of(&["2"]),
+            CacheKey::of(&["3"]),
+        );
+        cache.put(&k1, result("1"));
+        cache.put(&k2, result("2"));
+        assert!(cache.get(&k1).is_some()); // refresh k1: k2 is now LRU
+        cache.put(&k3, result("3"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&k1).is_some());
+        assert!(cache.get(&k2).is_none());
+        assert!(cache.get(&k3).is_some());
+    }
+
+    #[test]
+    fn collisions_degrade_to_misses() {
+        let mut cache = ResultCache::new(4);
+        let real = CacheKey::of(&["x"]);
+        cache.put(&real, result("x"));
+        let forged = CacheKey {
+            hash: real.hash,
+            canon: "different".to_string(),
+        };
+        assert!(cache.get(&forged).is_none());
+        assert!(cache.get(&real).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut cache = ResultCache::new(0);
+        let k = CacheKey::of(&["k"]);
+        cache.put(&k, result("k"));
+        assert!(cache.is_empty());
+        assert!(cache.get(&k).is_none());
+    }
+}

@@ -1,0 +1,63 @@
+//! `secflow-server` — a batched, cached, parallel certification
+//! service.
+//!
+//! The paper's §6 observation that CFM certification is linear in
+//! program length makes certification cheap enough to run as an
+//! always-on service rather than a one-shot compiler pass. This crate
+//! provides that service, std-only:
+//!
+//! - [`protocol`]: a hand-rolled JSON-lines request/response format
+//!   (`certify`, `infer`, `flows`, `stats`, `shutdown`), served over
+//!   stdin/stdout ([`serve_stdio`]) or TCP ([`serve_tcp`]);
+//! - [`pool`]: a bounded worker pool (`std::thread` + `mpsc`) with
+//!   fail-fast backpressure, per-job panic isolation, and graceful
+//!   drain on shutdown;
+//! - [`cache`]: a content-addressed result cache keyed by an FNV-1a
+//!   fingerprint of (op, lattice, binding, fuel, source) with exact LRU
+//!   eviction — repeated certifications skip re-parsing entirely;
+//! - [`metrics`]: request/cache/error counters and a fixed-bucket
+//!   latency histogram, reported by the `stats` request;
+//! - [`batch`]: bulk certification of `*.sf` directories through the
+//!   same pool (`secflow batch`).
+//!
+//! # Quick start
+//!
+//! ```
+//! use secflow_server::{Limits, Service};
+//!
+//! let service = Service::new(1024, Limits::default());
+//! let response = service.handle_line(
+//!     r#"{"id":1,"op":"certify",
+//!         "source":"var x, y : integer; y := x",
+//!         "classes":{"x":"high","y":"low"}}"#,
+//! );
+//! assert!(response.contains(r#""certified":false"#));
+//! // The identical request again: answered from the cache.
+//! let again = service.handle_line(
+//!     r#"{"id":2,"op":"certify",
+//!         "source":"var x, y : integer; y := x",
+//!         "classes":{"x":"high","y":"low"}}"#,
+//! );
+//! assert!(again.contains(r#""cached":true"#));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod protocol;
+pub mod serve;
+pub mod service;
+
+pub use batch::{render_summary, run_batch, BatchSummary, FileOutcome};
+pub use cache::{fnv1a, CacheKey, CachedResult, ResultCache};
+pub use json::{Json, JsonError};
+pub use metrics::{Metrics, LATENCY_BUCKETS_US};
+pub use pool::{Pool, SubmitError};
+pub use protocol::{ErrorKind, Op, Request, Response};
+pub use serve::{serve_stdio, serve_tcp, ServerConfig, TcpServer};
+pub use service::{Limits, Service};

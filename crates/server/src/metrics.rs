@@ -1,0 +1,137 @@
+//! Service counters and a fixed-bucket latency histogram.
+//!
+//! Everything is lock-free (`AtomicU64` with relaxed ordering — the
+//! counters are statistics, not synchronization), so workers never
+//! contend while recording.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Upper bounds (µs) of the latency histogram buckets; a final
+/// unbounded bucket catches everything slower.
+pub const LATENCY_BUCKETS_US: [u64; 10] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 250_000,
+];
+
+/// Live counters for one service instance.
+#[derive(Default)]
+pub struct Metrics {
+    /// Requests received (any op, including malformed lines).
+    pub requests: AtomicU64,
+    /// `certify` requests processed.
+    pub certify: AtomicU64,
+    /// `infer` requests processed.
+    pub infer: AtomicU64,
+    /// `flows` requests processed.
+    pub flows: AtomicU64,
+    /// Results served from the cache.
+    pub cache_hits: AtomicU64,
+    /// Results computed because the cache had no entry.
+    pub cache_misses: AtomicU64,
+    /// Error responses of any kind.
+    pub errors: AtomicU64,
+    /// Requests refused because the queue was full.
+    pub overloaded: AtomicU64,
+    /// Worker panics survived (the job got an `internal` error).
+    pub panics: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    latency_total_us: AtomicU64,
+    latency_count: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Increments a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Relaxed);
+    }
+
+    /// Records one request's service latency.
+    pub fn record_latency(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.latency[idx].fetch_add(1, Relaxed);
+        self.latency_total_us.fetch_add(us, Relaxed);
+        self.latency_count.fetch_add(1, Relaxed);
+    }
+
+    /// Snapshot as response fields for the `stats` op.
+    pub fn snapshot_fields(&self) -> Vec<(String, Json)> {
+        let n = |a: &AtomicU64| Json::Num(a.load(Relaxed) as f64);
+        let count = self.latency_count.load(Relaxed);
+        let mean_us = if count == 0 {
+            0.0
+        } else {
+            self.latency_total_us.load(Relaxed) as f64 / count as f64
+        };
+        let histogram: Vec<Json> = self
+            .latency
+            .iter()
+            .enumerate()
+            .map(|(i, bucket)| {
+                let bound = LATENCY_BUCKETS_US
+                    .get(i)
+                    .map_or_else(|| "inf".to_string(), u64::to_string);
+                Json::Obj(vec![
+                    ("le_us".to_string(), Json::Str(bound)),
+                    ("count".to_string(), Json::Num(bucket.load(Relaxed) as f64)),
+                ])
+            })
+            .collect();
+        vec![
+            ("requests".to_string(), n(&self.requests)),
+            ("certify".to_string(), n(&self.certify)),
+            ("infer".to_string(), n(&self.infer)),
+            ("flows".to_string(), n(&self.flows)),
+            ("cache_hits".to_string(), n(&self.cache_hits)),
+            ("cache_misses".to_string(), n(&self.cache_misses)),
+            ("errors".to_string(), n(&self.errors)),
+            ("overloaded".to_string(), n(&self.overloaded)),
+            ("panics".to_string(), n(&self.panics)),
+            ("latency_mean_us".to_string(), Json::Num(mean_us)),
+            ("latency_histogram".to_string(), Json::Arr(histogram)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets() {
+        let m = Metrics::new();
+        m.record_latency(Duration::from_micros(40)); // -> le 50
+        m.record_latency(Duration::from_micros(70)); // -> le 100
+        m.record_latency(Duration::from_secs(2)); // -> inf
+        let fields = m.snapshot_fields();
+        let hist = fields
+            .iter()
+            .find(|(k, _)| k == "latency_histogram")
+            .and_then(|(_, v)| v.as_arr())
+            .unwrap();
+        assert_eq!(hist.len(), LATENCY_BUCKETS_US.len() + 1);
+        let count_of = |i: usize| hist[i].get("count").and_then(Json::as_u64).unwrap();
+        assert_eq!(count_of(0), 1);
+        assert_eq!(count_of(1), 1);
+        assert_eq!(count_of(LATENCY_BUCKETS_US.len()), 1);
+        let mean = fields
+            .iter()
+            .find(|(k, _)| k == "latency_mean_us")
+            .map(|(_, v)| match v {
+                Json::Num(n) => *n,
+                _ => unreachable!(),
+            })
+            .unwrap();
+        assert!(mean > 0.0);
+    }
+}

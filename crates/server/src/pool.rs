@@ -1,0 +1,185 @@
+//! A bounded worker pool on `std::thread` + `mpsc`.
+//!
+//! - **Backpressure**: the queue is a `sync_channel` with fixed
+//!   capacity; [`Pool::try_submit`] fails fast when it is full (the
+//!   service answers `overloaded`), while [`Pool::submit`] blocks (used
+//!   by `secflow batch`, where the producer should simply wait).
+//! - **Panic isolation**: each job runs under `catch_unwind`; a
+//!   panicking job increments a counter and the worker keeps serving.
+//! - **Graceful drain**: [`Pool::shutdown`] closes the queue, lets the
+//!   workers finish everything already accepted, and joins them.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission was refused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SubmitError {
+    /// The queue is at capacity; retry later.
+    Full,
+    /// The pool is shutting down.
+    Closed,
+}
+
+/// Fixed-size worker pool with a bounded job queue.
+pub struct Pool {
+    tx: Option<SyncSender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    panics: Arc<AtomicU64>,
+}
+
+impl Pool {
+    /// Spawns `workers` threads behind a queue of `queue_capacity`
+    /// pending jobs. Both are clamped to at least 1.
+    pub fn new(workers: usize, queue_capacity: usize) -> Pool {
+        let (tx, rx) = sync_channel::<Job>(queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let panics = Arc::new(AtomicU64::new(0));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let panics = Arc::clone(&panics);
+                std::thread::Builder::new()
+                    .name(format!("secflow-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &panics))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Pool {
+            tx: Some(tx),
+            handles,
+            panics,
+        }
+    }
+
+    /// Non-blocking submission; fails with [`SubmitError::Full`] under
+    /// load so the caller can shed it.
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let tx = self.tx.as_ref().ok_or(SubmitError::Closed)?;
+        tx.try_send(Box::new(job)).map_err(|e| match e {
+            TrySendError::Full(_) => SubmitError::Full,
+            TrySendError::Disconnected(_) => SubmitError::Closed,
+        })
+    }
+
+    /// Blocking submission: waits for queue space (producer-side
+    /// backpressure for bulk work).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let tx = self.tx.as_ref().ok_or(SubmitError::Closed)?;
+        tx.send(Box::new(job)).map_err(|_| SubmitError::Closed)
+    }
+
+    /// Number of jobs that panicked (and were absorbed) so far.
+    pub fn panic_count(&self) -> u64 {
+        self.panics.load(Relaxed)
+    }
+
+    /// Stops accepting work, drains every queued job, and joins the
+    /// workers. Returns the final panic count.
+    pub fn shutdown(mut self) -> u64 {
+        self.tx.take(); // close the queue: workers exit after draining
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.panics.load(Relaxed)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.tx.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, panics: &AtomicU64) {
+    loop {
+        // Hold the lock only while dequeueing, never while running.
+        let job = match rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return, // a sibling panicked *while dequeueing*
+        };
+        match job {
+            Ok(job) => {
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    panics.fetch_add(1, Relaxed);
+                }
+            }
+            Err(_) => return, // queue closed and drained
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_jobs_and_drains_on_shutdown() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = Pool::new(4, 64);
+        for _ in 0..50 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                done.fetch_add(1, Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Relaxed), 50);
+    }
+
+    #[test]
+    fn try_submit_sheds_when_full() {
+        let pool = Pool::new(1, 2);
+        let gate = Arc::new(Mutex::new(()));
+        let hold = gate.lock().unwrap();
+        // One job blocks the worker; then fill the queue.
+        for _ in 0..3 {
+            let gate = Arc::clone(&gate);
+            let _ = pool.try_submit(move || {
+                drop(gate.lock());
+            });
+        }
+        let mut saw_full = false;
+        for _ in 0..10 {
+            let gate = Arc::clone(&gate);
+            if pool.try_submit(move || drop(gate.lock())) == Err(SubmitError::Full) {
+                saw_full = true;
+                break;
+            }
+        }
+        assert!(saw_full, "bounded queue never reported Full");
+        drop(hold);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn survives_panicking_jobs() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = Pool::new(2, 16);
+        for i in 0..20 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                if i % 4 == 0 {
+                    panic!("job {i} exploded");
+                }
+                done.fetch_add(1, Relaxed);
+            })
+            .unwrap();
+        }
+        let panics = pool.shutdown();
+        assert_eq!(done.load(Relaxed), 15);
+        assert_eq!(panics, 5);
+    }
+}

@@ -1,0 +1,312 @@
+//! The JSON-lines wire protocol.
+//!
+//! One request object per line in, one response object per line out.
+//! Requests:
+//!
+//! ```text
+//! {"id":1,"op":"certify","source":"…","classes":{"x":"high"},
+//!  "default":"low","lattice":"linear:4","baseline":false,"fuel":50000}
+//! {"id":2,"op":"infer","source":"…","pins":{"x":"high"}}
+//! {"id":3,"op":"flows","source":"…","dot":true}
+//! {"id":4,"op":"stats"}
+//! {"id":5,"op":"shutdown"}
+//! ```
+//!
+//! Responses always carry `ok` and echo `id` (when one was given) and
+//! `op`. Failures carry an `error` object with a machine-readable
+//! `kind` (`protocol`, `parse`, `binding`, `fuel`, `overloaded`,
+//! `internal`) and a human-readable `message`. Responses to pipelined
+//! requests may arrive out of order; correlate by `id`.
+
+use crate::json::Json;
+
+/// The operation a request asks for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// CFM-certify a program under a binding.
+    Certify,
+    /// Infer the least certifying binding given pinned classes.
+    Infer,
+    /// Render the program's flow graph (text or DOT).
+    Flows,
+    /// Report service counters and latency histogram.
+    Stats,
+    /// Stop the service, draining queued work first.
+    Shutdown,
+}
+
+impl Op {
+    /// Wire name of the operation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Certify => "certify",
+            Op::Infer => "infer",
+            Op::Flows => "flows",
+            Op::Stats => "stats",
+            Op::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Option<Json>,
+    /// Requested operation.
+    pub op: Op,
+    /// Program source text (empty for `stats`/`shutdown`).
+    pub source: String,
+    /// `certify`: variable classes; `infer`: pinned classes. Sorted by
+    /// name so equivalent requests fingerprint identically.
+    pub classes: Vec<(String, String)>,
+    /// Class given to unlisted variables (`certify` only).
+    pub default_class: Option<String>,
+    /// Lattice spec: `two` (default) or `linear:N`.
+    pub lattice: String,
+    /// Use the sequential Denning baseline instead of CFM.
+    pub baseline: bool,
+    /// Emit DOT instead of text (`flows` only).
+    pub dot: bool,
+    /// Per-request work limit in statements (capped by the server).
+    pub fuel: Option<u64>,
+}
+
+impl Request {
+    /// Parses one protocol line. On failure the caller should answer
+    /// with a `protocol` error; the `Option<Json>` is whatever id could
+    /// be salvaged for the error response.
+    pub fn parse(line: &str) -> Result<Request, (Option<Json>, String)> {
+        let value = Json::parse(line).map_err(|e| (None, format!("bad JSON: {e}")))?;
+        let id = value.get("id").cloned();
+        let fail = |msg: String| (id.clone(), msg);
+
+        if value.as_obj().is_none() {
+            return Err(fail("request must be a JSON object".into()));
+        }
+        let op = match value.get("op").and_then(Json::as_str) {
+            Some("certify") => Op::Certify,
+            Some("infer") => Op::Infer,
+            Some("flows") => Op::Flows,
+            Some("stats") => Op::Stats,
+            Some("shutdown") => Op::Shutdown,
+            Some(other) => return Err(fail(format!("unknown op `{other}`"))),
+            None => return Err(fail("missing string field `op`".into())),
+        };
+
+        let source = match value.get("source") {
+            Some(Json::Str(s)) => s.clone(),
+            Some(_) => return Err(fail("`source` must be a string".into())),
+            None => {
+                if matches!(op, Op::Certify | Op::Infer | Op::Flows) {
+                    return Err(fail(format!("op `{}` needs `source`", op.name())));
+                }
+                String::new()
+            }
+        };
+
+        let class_field = match op {
+            Op::Infer => "pins",
+            _ => "classes",
+        };
+        let mut classes = Vec::new();
+        match value.get(class_field) {
+            None => {}
+            Some(Json::Obj(fields)) => {
+                for (name, class) in fields {
+                    match class {
+                        Json::Str(c) => classes.push((name.clone(), c.clone())),
+                        _ => {
+                            return Err(fail(format!(
+                                "`{class_field}.{name}` must be a string class"
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(_) => return Err(fail(format!("`{class_field}` must be an object"))),
+        }
+        classes.sort();
+
+        let default_class = match value.get("default") {
+            None => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => return Err(fail("`default` must be a string".into())),
+        };
+        let lattice = match value.get("lattice") {
+            None => "two".to_string(),
+            Some(Json::Str(s)) => s.clone(),
+            Some(_) => return Err(fail("`lattice` must be a string".into())),
+        };
+        let flag = |name: &str| -> Result<bool, (Option<Json>, String)> {
+            match value.get(name) {
+                None => Ok(false),
+                Some(Json::Bool(b)) => Ok(*b),
+                Some(_) => Err(fail(format!("`{name}` must be a boolean"))),
+            }
+        };
+        let baseline = flag("baseline")?;
+        let dot = flag("dot")?;
+        let fuel = match value.get("fuel") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| fail("`fuel` must be a non-negative integer".into()))?,
+            ),
+        };
+
+        Ok(Request {
+            id,
+            op,
+            source,
+            classes,
+            default_class,
+            lattice,
+            baseline,
+            dot,
+            fuel,
+        })
+    }
+}
+
+/// Machine-readable failure categories.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorKind {
+    /// The request line itself was malformed.
+    Protocol,
+    /// The program source did not parse.
+    Parse,
+    /// A class/binding/lattice spec was invalid.
+    Binding,
+    /// The program exceeded the request's or server's fuel limit.
+    Fuel,
+    /// The queue was full; retry later.
+    Overloaded,
+    /// A worker panicked or the service misbehaved.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Wire name of the category.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Binding => "binding",
+            ErrorKind::Fuel => "fuel",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// Builder for response lines.
+pub struct Response {
+    fields: Vec<(String, Json)>,
+}
+
+impl Response {
+    /// A success response for `op`, echoing `id`.
+    pub fn ok(id: Option<&Json>, op: Op) -> Response {
+        let mut fields = Vec::new();
+        if let Some(id) = id {
+            fields.push(("id".to_string(), id.clone()));
+        }
+        fields.push(("ok".to_string(), Json::Bool(true)));
+        fields.push(("op".to_string(), Json::Str(op.name().to_string())));
+        Response { fields }
+    }
+
+    /// A failure response, echoing `id`.
+    pub fn error(id: Option<&Json>, kind: ErrorKind, message: &str) -> Response {
+        let mut fields = Vec::new();
+        if let Some(id) = id {
+            fields.push(("id".to_string(), id.clone()));
+        }
+        fields.push(("ok".to_string(), Json::Bool(false)));
+        fields.push((
+            "error".to_string(),
+            Json::Obj(vec![
+                ("kind".to_string(), Json::Str(kind.name().to_string())),
+                ("message".to_string(), Json::Str(message.to_string())),
+            ]),
+        ));
+        Response { fields }
+    }
+
+    /// Appends a field.
+    pub fn field(mut self, key: &str, value: Json) -> Response {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Appends every field in `extra` (used to splice cached payloads).
+    pub fn fields(mut self, extra: &[(String, Json)]) -> Response {
+        self.fields.extend(extra.iter().cloned());
+        self
+    }
+
+    /// Finishes into a single JSON line (no trailing newline).
+    pub fn into_line(self) -> String {
+        Json::Obj(self.fields).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_certify() {
+        let r = Request::parse(
+            r#"{"id":9,"op":"certify","source":"var x : integer; x := 0",
+               "classes":{"y":"low","x":"high"},"default":"low",
+               "lattice":"linear:3","baseline":true,"fuel":10}"#,
+        )
+        .unwrap();
+        assert_eq!(r.op, Op::Certify);
+        assert_eq!(r.id, Some(Json::Num(9.0)));
+        // Sorted for canonical fingerprinting.
+        assert_eq!(
+            r.classes,
+            vec![
+                ("x".to_string(), "high".to_string()),
+                ("y".to_string(), "low".to_string())
+            ]
+        );
+        assert_eq!(r.default_class.as_deref(), Some("low"));
+        assert_eq!(r.lattice, "linear:3");
+        assert!(r.baseline);
+        assert_eq!(r.fuel, Some(10));
+    }
+
+    #[test]
+    fn stats_needs_no_source() {
+        assert_eq!(Request::parse(r#"{"op":"stats"}"#).unwrap().op, Op::Stats);
+        assert!(Request::parse(r#"{"op":"certify"}"#).is_err());
+    }
+
+    #[test]
+    fn salvages_id_from_bad_requests() {
+        let (id, _) = Request::parse(r#"{"id":"a7","op":"nope"}"#).unwrap_err();
+        assert_eq!(id, Some(Json::Str("a7".to_string())));
+        let (id, _) = Request::parse("not json at all").unwrap_err();
+        assert_eq!(id, None);
+    }
+
+    #[test]
+    fn response_lines() {
+        let line = Response::ok(Some(&Json::Num(3.0)), Op::Certify)
+            .field("certified", Json::Bool(true))
+            .into_line();
+        assert_eq!(
+            line,
+            r#"{"id":3,"ok":true,"op":"certify","certified":true}"#
+        );
+        let line = Response::error(None, ErrorKind::Overloaded, "queue full").into_line();
+        assert_eq!(
+            line,
+            r#"{"ok":false,"error":{"kind":"overloaded","message":"queue full"}}"#
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! The two front-ends: a stdin/stdout pipe server and a TCP server.
+//!
+//! Both speak the JSON-lines protocol and share one [`Service`] and one
+//! [`Pool`]:
+//!
+//! - `certify`/`infer`/`flows` are queued to the pool; when the queue
+//!   is full the request is refused immediately with an `overloaded`
+//!   error instead of growing an unbounded backlog.
+//! - `stats` is answered on the connection thread, bypassing the queue,
+//!   so the service stays observable under load.
+//! - `shutdown` stops intake, drains everything already accepted, and
+//!   exits. Pipelined responses may arrive out of order; correlate by
+//!   `id`.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+use crate::metrics::Metrics;
+use crate::pool::{Pool, SubmitError};
+use crate::protocol::{ErrorKind, Op, Request, Response};
+use crate::service::{Limits, Service};
+
+/// Tunables for a server instance.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads certifying in parallel.
+    pub workers: usize,
+    /// Jobs the queue holds before `overloaded` responses begin.
+    pub queue_capacity: usize,
+    /// Result-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Per-request work limits.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: thread::available_parallelism().map_or(4, usize::from),
+            queue_capacity: 256,
+            cache_capacity: 4096,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// How often blocked connection reads wake up to check for shutdown.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Dispatches one parsed line. Returns `true` if it was a shutdown
+/// request (the caller stops reading).
+fn dispatch(line: &str, service: &Arc<Service>, pool: &Pool, reply: &mpsc::Sender<String>) -> bool {
+    service.note_request();
+    let req = match Request::parse(line) {
+        Ok(req) => req,
+        Err((id, message)) => {
+            Metrics::bump(&service.metrics.errors);
+            let _ =
+                reply.send(Response::error(id.as_ref(), ErrorKind::Protocol, &message).into_line());
+            return false;
+        }
+    };
+    match req.op {
+        Op::Shutdown => true,
+        // Stats answer inline so the service is observable while the
+        // queue is saturated.
+        Op::Stats => {
+            let _ = reply.send(service.execute(&req));
+            false
+        }
+        _ => {
+            let service_job = Arc::clone(service);
+            let reply_job = reply.clone();
+            let id = req.id.clone();
+            match pool.try_submit(move || {
+                let _ = reply_job.send(service_job.execute(&req));
+            }) {
+                Ok(()) => {}
+                Err(SubmitError::Full) => {
+                    Metrics::bump(&service.metrics.overloaded);
+                    let _ = reply.send(
+                        Response::error(
+                            id.as_ref(),
+                            ErrorKind::Overloaded,
+                            "queue full; retry later",
+                        )
+                        .into_line(),
+                    );
+                }
+                Err(SubmitError::Closed) => {
+                    let _ = reply.send(
+                        Response::error(id.as_ref(), ErrorKind::Internal, "shutting down")
+                            .into_line(),
+                    );
+                }
+            }
+            false
+        }
+    }
+}
+
+/// Serves the protocol over stdin/stdout until EOF or a `shutdown`
+/// request; queued work is drained before returning.
+pub fn serve_stdio(cfg: ServerConfig) -> io::Result<()> {
+    let service = Arc::new(Service::new(cfg.cache_capacity, cfg.limits));
+    let pool = Pool::new(cfg.workers, cfg.queue_capacity);
+    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let writer = thread::spawn(move || {
+        let stdout = io::stdout();
+        let mut out = stdout.lock();
+        for line in reply_rx {
+            if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+                break;
+            }
+        }
+    });
+
+    let stdin = io::stdin();
+    let mut got_shutdown = false;
+    let mut shutdown_id = None;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if dispatch(&line, &service, &pool, &reply_tx) {
+            got_shutdown = true;
+            shutdown_id = Request::parse(&line).ok().and_then(|r| r.id);
+            break;
+        }
+    }
+
+    // Drain all accepted work, then acknowledge the shutdown.
+    pool.shutdown();
+    if got_shutdown {
+        let _ = reply_tx.send(
+            Response::ok(shutdown_id.as_ref(), Op::Shutdown)
+                .field("drained", crate::json::Json::Bool(true))
+                .into_line(),
+        );
+    }
+    drop(reply_tx);
+    let _ = writer.join();
+    Ok(())
+}
+
+/// A running TCP server.
+pub struct TcpServer {
+    addr: SocketAddr,
+    handle: thread::JoinHandle<()>,
+}
+
+impl TcpServer {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server shuts down (via a `shutdown` request)
+    /// and all accepted work has drained.
+    pub fn join(self) -> thread::Result<()> {
+        self.handle.join()
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serves
+/// connections until a `shutdown` request arrives.
+pub fn serve_tcp(addr: &str, cfg: ServerConfig) -> io::Result<TcpServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let handle = thread::Builder::new()
+        .name("secflow-accept".to_string())
+        .spawn(move || {
+            let service = Arc::new(Service::new(cfg.cache_capacity, cfg.limits));
+            let pool = Pool::new(cfg.workers, cfg.queue_capacity);
+            thread::scope(|scope| {
+                for conn in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let service = &service;
+                    let pool = &pool;
+                    let shutdown = &shutdown;
+                    scope.spawn(move || {
+                        let _ = handle_conn(stream, service, pool, shutdown, local);
+                    });
+                }
+                // Scope exit waits for every connection thread, whose
+                // replies in turn wait for their in-flight jobs.
+            });
+            pool.shutdown();
+        })
+        .expect("spawn accept thread");
+    Ok(TcpServer {
+        addr: local,
+        handle,
+    })
+}
+
+fn handle_conn(
+    stream: TcpStream,
+    service: &Arc<Service>,
+    pool: &Pool,
+    shutdown: &AtomicBool,
+    self_addr: SocketAddr,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_nodelay(true).ok();
+    let write_half = stream.try_clone()?;
+    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let writer = thread::spawn(move || {
+        let mut out = io::BufWriter::new(write_half);
+        for line in reply_rx {
+            if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client closed
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() && dispatch(trimmed, service, pool, &reply_tx) {
+                    // Shutdown: stop the accept loop, acknowledge, and
+                    // poke the (blocking) listener awake.
+                    let id = Request::parse(trimmed).ok().and_then(|r| r.id);
+                    shutdown.store(true, Ordering::Release);
+                    let _ = reply_tx.send(
+                        Response::ok(id.as_ref(), Op::Shutdown)
+                            .field("draining", crate::json::Json::Bool(true))
+                            .into_line(),
+                    );
+                    let _ = TcpStream::connect(self_addr);
+                    break;
+                }
+                line.clear();
+            }
+            // Timeout: `line` may hold a partial read; keep appending.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+
+    // Dropping our sender leaves only in-flight jobs' clones; the
+    // writer exits once those responses have been written.
+    drop(reply_tx);
+    let _ = writer.join();
+    Ok(())
+}

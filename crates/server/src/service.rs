@@ -1,0 +1,519 @@
+//! Request execution: parse → certify/infer/flows → respond, with the
+//! result cache and metrics wired through.
+//!
+//! A [`Service`] is shared (behind `Arc`) between every worker and
+//! connection; all interior state is synchronized (the cache behind a
+//! `Mutex`, metrics lock-free).
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use secflow_core::{certify, denning_certify, infer_binding, FlowGraph, StaticBinding};
+use secflow_lang::{parse, Program};
+use secflow_lattice::{Lattice, LinearScheme, Scheme, TwoPoint, TwoPointScheme};
+
+use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::protocol::{ErrorKind, Op, Request, Response};
+
+/// Work limits enforced per request.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Hard cap on statements certified per request; a request's own
+    /// `fuel` can only lower it.
+    pub max_fuel: u64,
+    /// Hard cap on source bytes (checked before parsing).
+    pub max_source_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_fuel: 1_000_000,
+            max_source_bytes: 8 << 20,
+        }
+    }
+}
+
+/// The certification service: cache + metrics + limits. Stateless with
+/// respect to individual requests, so any worker can execute any job.
+pub struct Service {
+    cache: Mutex<ResultCache>,
+    /// Live counters, readable at any time (the `stats` op snapshots
+    /// them).
+    pub metrics: Metrics,
+    limits: Limits,
+}
+
+/// Either response fields to report, or a categorized failure.
+type Outcome = Result<Vec<(String, Json)>, (ErrorKind, String)>;
+
+impl Service {
+    /// A service with a result cache of `cache_capacity` entries.
+    pub fn new(cache_capacity: usize, limits: Limits) -> Service {
+        Service {
+            cache: Mutex::new(ResultCache::new(cache_capacity)),
+            metrics: Metrics::new(),
+            limits,
+        }
+    }
+
+    /// The configured limits.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// Number of results currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Counts a received request (the serve loops parse lines
+    /// themselves and then call [`execute`](Self::execute)).
+    pub fn note_request(&self) {
+        Metrics::bump(&self.metrics.requests);
+    }
+
+    /// Full path for one protocol line: parse, execute, render the
+    /// response line. Counts the request.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.note_request();
+        match Request::parse(line) {
+            Ok(req) => self.execute(&req),
+            Err((id, message)) => {
+                Metrics::bump(&self.metrics.errors);
+                Response::error(id.as_ref(), ErrorKind::Protocol, &message).into_line()
+            }
+        }
+    }
+
+    /// Executes an already-parsed request (the caller counted it).
+    pub fn execute(&self, req: &Request) -> String {
+        let start = Instant::now();
+        let line = match req.op {
+            Op::Stats => Response::ok(req.id.as_ref(), Op::Stats)
+                .fields(&self.metrics.snapshot_fields())
+                .field("cache_entries", Json::Num(self.cache_len() as f64))
+                .into_line(),
+            Op::Shutdown => Response::ok(req.id.as_ref(), Op::Shutdown).into_line(),
+            Op::Certify | Op::Infer | Op::Flows => self.compute_cached(req, start),
+        };
+        self.metrics.record_latency(start.elapsed());
+        line
+    }
+
+    fn op_counter(&self, op: Op) -> Option<&std::sync::atomic::AtomicU64> {
+        match op {
+            Op::Certify => Some(&self.metrics.certify),
+            Op::Infer => Some(&self.metrics.infer),
+            Op::Flows => Some(&self.metrics.flows),
+            _ => None,
+        }
+    }
+
+    fn compute_cached(&self, req: &Request, start: Instant) -> String {
+        if let Some(counter) = self.op_counter(req.op) {
+            Metrics::bump(counter);
+        }
+        let effective_fuel = req.fuel.unwrap_or(u64::MAX).min(self.limits.max_fuel);
+        let key = cache_key(req, effective_fuel);
+        if let Ok(mut cache) = self.cache.lock() {
+            if let Some(hit) = cache.get(&key) {
+                Metrics::bump(&self.metrics.cache_hits);
+                if !hit.ok {
+                    Metrics::bump(&self.metrics.errors);
+                }
+                return finish_line(req, &hit, true, start);
+            }
+        }
+        Metrics::bump(&self.metrics.cache_misses);
+
+        let outcome = self.compute(req, effective_fuel);
+        let result = match outcome {
+            Ok(fields) => CachedResult { ok: true, fields },
+            Err((kind, message)) => {
+                Metrics::bump(&self.metrics.errors);
+                CachedResult {
+                    ok: false,
+                    fields: vec![(
+                        "error".to_string(),
+                        Json::Obj(vec![
+                            ("kind".to_string(), Json::Str(kind.name().to_string())),
+                            ("message".to_string(), Json::Str(message)),
+                        ]),
+                    )],
+                }
+            }
+        };
+        // Parse/binding/fuel outcomes are deterministic in the key, so
+        // both successes and failures are cacheable.
+        if let Ok(mut cache) = self.cache.lock() {
+            cache.put(&key, result.clone());
+        }
+        finish_line(req, &result, false, start)
+    }
+
+    fn compute(&self, req: &Request, effective_fuel: u64) -> Outcome {
+        if req.source.len() > self.limits.max_source_bytes {
+            return Err((
+                ErrorKind::Fuel,
+                format!(
+                    "source is {} bytes; limit is {}",
+                    req.source.len(),
+                    self.limits.max_source_bytes
+                ),
+            ));
+        }
+        let program = parse(&req.source).map_err(|d| (ErrorKind::Parse, d.render(&req.source)))?;
+        let statements = program.statement_count() as u64;
+        if statements > effective_fuel {
+            return Err((
+                ErrorKind::Fuel,
+                format!("program has {statements} statements; fuel allows {effective_fuel}"),
+            ));
+        }
+        match req.lattice.as_str() {
+            "two" => run_op(req, &program, &TwoPointScheme, &parse_two_class),
+            spec => {
+                let n = spec
+                    .strip_prefix("linear:")
+                    .and_then(|s| s.parse::<u32>().ok())
+                    .ok_or_else(|| {
+                        (
+                            ErrorKind::Binding,
+                            format!("bad lattice `{spec}` (expected `two` or `linear:N`)"),
+                        )
+                    })?;
+                let scheme = LinearScheme::new(n).ok_or_else(|| {
+                    (
+                        ErrorKind::Binding,
+                        "linear lattice needs N >= 1".to_string(),
+                    )
+                })?;
+                let parse_class = move |s: &str| parse_linear_class(&scheme, s);
+                run_op(req, &program, &scheme, &parse_class)
+            }
+        }
+    }
+}
+
+fn parse_two_class(s: &str) -> Result<TwoPoint, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "low" | "l" => Ok(TwoPoint::Low),
+        "high" | "h" => Ok(TwoPoint::High),
+        other => Err(format!("unknown class `{other}` (low | high)")),
+    }
+}
+
+fn parse_linear_class(scheme: &LinearScheme, s: &str) -> Result<secflow_lattice::Linear, String> {
+    let top = scheme.levels() - 1;
+    let k: u32 = s
+        .trim_start_matches(['L', 'l'])
+        .parse()
+        .map_err(|_| format!("unknown class `{s}` (0..={top})"))?;
+    scheme
+        .level(k)
+        .ok_or_else(|| format!("level {k} out of range (0..={top})"))
+}
+
+fn cache_key(req: &Request, effective_fuel: u64) -> CacheKey {
+    let classes: String = req
+        .classes
+        .iter()
+        .map(|(n, c)| format!("{n}={c};"))
+        .collect();
+    let fuel = effective_fuel.to_string();
+    CacheKey::of(&[
+        req.op.name(),
+        &req.lattice,
+        req.default_class.as_deref().unwrap_or(""),
+        if req.baseline { "baseline" } else { "" },
+        if req.dot { "dot" } else { "" },
+        &fuel,
+        &classes,
+        &req.source,
+    ])
+}
+
+fn finish_line(req: &Request, result: &CachedResult, cached: bool, start: Instant) -> String {
+    let base = if result.ok {
+        Response::ok(req.id.as_ref(), req.op)
+    } else {
+        // Error fields already include the `error` object.
+        let mut fields = vec![("ok".to_string(), Json::Bool(false))];
+        if let Some(id) = &req.id {
+            fields.insert(0, ("id".to_string(), id.clone()));
+        }
+        fields.push(("op".to_string(), Json::Str(req.op.name().to_string())));
+        return Json::Obj(
+            fields
+                .into_iter()
+                .chain(result.fields.iter().cloned())
+                .chain([
+                    ("cached".to_string(), Json::Bool(cached)),
+                    elapsed_field(start),
+                ])
+                .collect(),
+        )
+        .to_string();
+    };
+    base.fields(&result.fields)
+        .field("cached", Json::Bool(cached))
+        .fields(&[elapsed_field(start)])
+        .into_line()
+}
+
+fn elapsed_field(start: Instant) -> (String, Json) {
+    (
+        "us".to_string(),
+        Json::Num(start.elapsed().as_micros() as f64),
+    )
+}
+
+/// Executes the op-specific part under a concrete scheme.
+fn run_op<S: Scheme>(
+    req: &Request,
+    program: &Program,
+    scheme: &S,
+    parse_class: &dyn Fn(&str) -> Result<S::Elem, String>,
+) -> Outcome
+where
+    S::Elem: Lattice + Display,
+{
+    match req.op {
+        Op::Certify => {
+            let binding = build_binding(req, program, scheme, parse_class)?;
+            let report = if req.baseline {
+                denning_certify(program, &binding)
+            } else {
+                certify(program, &binding)
+            };
+            Ok(vec![
+                ("certified".to_string(), Json::Bool(report.certified())),
+                (
+                    "violations".to_string(),
+                    Json::Num(report.violations.len() as f64),
+                ),
+                ("checks".to_string(), Json::Num(report.checks as f64)),
+                (
+                    "statements".to_string(),
+                    Json::Num(program.statement_count() as f64),
+                ),
+                ("report".to_string(), Json::Str(report.render(&req.source))),
+            ])
+        }
+        Op::Infer => {
+            let mut pins = Vec::new();
+            for (name, class) in &req.classes {
+                let id = program
+                    .symbols
+                    .lookup(name)
+                    .ok_or_else(|| (ErrorKind::Binding, format!("`{name}` is not declared")))?;
+                let c = parse_class(class).map_err(|e| (ErrorKind::Binding, e))?;
+                pins.push((id, c));
+            }
+            match infer_binding(program, scheme, pins) {
+                Ok(binding) => {
+                    let classes: Vec<(String, Json)> = binding
+                        .iter()
+                        .map(|(id, class)| {
+                            (
+                                program.symbols.name(id).to_string(),
+                                Json::Str(class.to_string()),
+                            )
+                        })
+                        .collect();
+                    Ok(vec![
+                        ("satisfiable".to_string(), Json::Bool(true)),
+                        ("binding".to_string(), Json::Obj(classes)),
+                    ])
+                }
+                Err(unsat) => Ok(vec![
+                    ("satisfiable".to_string(), Json::Bool(false)),
+                    (
+                        "conflict".to_string(),
+                        Json::Str(format!(
+                            "{} is pinned at {} but needs {}",
+                            program.symbols.name(unsat.var),
+                            unsat.pinned,
+                            unsat.required
+                        )),
+                    ),
+                    ("chain".to_string(), Json::Str(unsat.render_path(program))),
+                ]),
+            }
+        }
+        Op::Flows => {
+            let graph = FlowGraph::of(program);
+            let rendered = if req.dot {
+                let binding = if req.classes.is_empty() && req.default_class.is_none() {
+                    None
+                } else {
+                    Some(build_binding(req, program, scheme, parse_class)?)
+                };
+                graph.to_dot(program, binding.as_ref())
+            } else {
+                graph.render(program)
+            };
+            Ok(vec![("graph".to_string(), Json::Str(rendered))])
+        }
+        Op::Stats | Op::Shutdown => unreachable!("handled before dispatch"),
+    }
+}
+
+fn build_binding<S: Scheme>(
+    req: &Request,
+    program: &Program,
+    scheme: &S,
+    parse_class: &dyn Fn(&str) -> Result<S::Elem, String>,
+) -> Result<StaticBinding<S::Elem>, (ErrorKind, String)>
+where
+    S::Elem: Lattice,
+{
+    let base = match &req.default_class {
+        Some(c) => parse_class(c).map_err(|e| (ErrorKind::Binding, e))?,
+        None => scheme.low(),
+    };
+    let mut binding = StaticBinding::constant(&program.symbols, scheme, base);
+    for (name, class) in &req.classes {
+        let id = program
+            .symbols
+            .lookup(name)
+            .ok_or_else(|| (ErrorKind::Binding, format!("`{name}` is not declared")))?;
+        let c = parse_class(class).map_err(|e| (ErrorKind::Binding, e))?;
+        binding.set(id, c);
+    }
+    Ok(binding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEAKY: &str = "var x, y : integer; sem : semaphore;
+        cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend";
+
+    fn svc() -> Service {
+        Service::new(64, Limits::default())
+    }
+
+    fn line(source: &str, classes: &str) -> String {
+        format!(
+            r#"{{"op":"certify","source":{},"classes":{classes}}}"#,
+            Json::Str(source.to_string())
+        )
+    }
+
+    #[test]
+    fn certify_round_trip() {
+        let s = svc();
+        let out = s.handle_line(&line(LEAKY, r#"{"x":"high"}"#));
+        let v = Json::parse(&out).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("certified").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("cached").and_then(Json::as_bool), Some(false));
+
+        // Identical request: served from cache.
+        let out2 = s.handle_line(&line(LEAKY, r#"{"x":"high"}"#));
+        let v2 = Json::parse(&out2).unwrap();
+        assert_eq!(v2.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(v2.get("certified").and_then(Json::as_bool), Some(false));
+        use std::sync::atomic::Ordering::Relaxed;
+        assert_eq!(s.metrics.cache_hits.load(Relaxed), 1);
+
+        // Different binding: a distinct cache entry, certifies cleanly.
+        let out3 = s.handle_line(&line(LEAKY, r#"{}"#));
+        let v3 = Json::parse(&out3).unwrap();
+        assert_eq!(v3.get("certified").and_then(Json::as_bool), Some(true));
+        assert_eq!(v3.get("cached").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn parse_errors_are_reported_and_cached() {
+        let s = svc();
+        let bad = line("var x integer; x := ", r#"{}"#);
+        let v = Json::parse(&s.handle_line(&bad)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        let kind = v
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str);
+        assert_eq!(kind, Some("parse"));
+        let v2 = Json::parse(&s.handle_line(&bad)).unwrap();
+        assert_eq!(v2.get("cached").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn fuel_limit_is_enforced() {
+        let s = svc();
+        let req = format!(
+            r#"{{"op":"certify","source":{},"fuel":1}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        let v = Json::parse(&s.handle_line(&req)).unwrap();
+        let kind = v
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str);
+        assert_eq!(kind, Some("fuel"));
+    }
+
+    #[test]
+    fn infer_and_flows() {
+        let s = svc();
+        let req = format!(
+            r#"{{"op":"infer","source":{},"pins":{{"x":"high","y":"low"}}}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        let v = Json::parse(&s.handle_line(&req)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("satisfiable").and_then(Json::as_bool), Some(false));
+        assert!(v.get("chain").and_then(Json::as_str).is_some());
+
+        let req = format!(
+            r#"{{"op":"flows","source":{},"dot":true}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        let v = Json::parse(&s.handle_line(&req)).unwrap();
+        let dot = v.get("graph").and_then(Json::as_str).unwrap();
+        assert!(dot.contains("digraph"));
+    }
+
+    #[test]
+    fn linear_lattice_classes() {
+        let s = svc();
+        let req = format!(
+            r#"{{"op":"certify","source":{},"lattice":"linear:4","classes":{{"x":"3","y":"0"}}}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        let v = Json::parse(&s.handle_line(&req)).unwrap();
+        assert_eq!(v.get("certified").and_then(Json::as_bool), Some(false));
+        // Bad lattice spec.
+        let req = format!(
+            r#"{{"op":"certify","source":{},"lattice":"diamond"}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        let v = Json::parse(&s.handle_line(&req)).unwrap();
+        let kind = v
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str);
+        assert_eq!(kind, Some("binding"));
+    }
+
+    #[test]
+    fn stats_reports_counters() {
+        let s = svc();
+        s.handle_line(&line(LEAKY, r#"{"x":"high"}"#));
+        s.handle_line(&line(LEAKY, r#"{"x":"high"}"#));
+        let v = Json::parse(&s.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        assert_eq!(v.get("requests").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("certify").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("cache_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("cache_misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("cache_entries").and_then(Json::as_u64), Some(1));
+        assert!(v.get("latency_histogram").is_some());
+    }
+}

@@ -14,6 +14,7 @@
 //! | The flow logic (Fig. 1, Thms. 1–2) | `secflow-logic` | [`logic`] |
 //! | Interpreter/explorer/monitor | `secflow-runtime` | [`runtime`] |
 //! | Paper programs & generators | `secflow-workload` | [`workload`] |
+//! | Certification service (pool/cache) | `secflow-server` | [`server`] |
 //!
 //! # Quick start
 //!
@@ -75,4 +76,10 @@ pub mod runtime {
 /// (re-export of `secflow-workload`).
 pub mod workload {
     pub use secflow_workload::*;
+}
+
+/// The certification service: JSON-lines protocol, worker pool, result
+/// cache, metrics (re-export of `secflow-server`).
+pub mod server {
+    pub use secflow_server::*;
 }

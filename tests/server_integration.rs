@@ -1,0 +1,284 @@
+//! End-to-end tests of the certification service over real TCP
+//! connections: concurrency, cache hits observable via `stats`,
+//! malformed requests, fuel limits, overload shedding, and graceful
+//! shutdown draining in-flight work.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use secflow::lang::print_program;
+use secflow::server::{serve_tcp, Json, Limits, ServerConfig, TcpServer};
+use secflow::workload::sequential_chain;
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &TcpServer) -> Client {
+        let writer = TcpStream::connect(server.local_addr()).expect("connect");
+        writer
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        let reader = BufReader::new(writer.try_clone().unwrap());
+        Client { writer, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send");
+    }
+
+    fn recv(&mut self) -> Option<Json> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => None,
+            Ok(_) => Some(Json::parse(line.trim()).expect("response is valid JSON")),
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+}
+
+fn certify_line(id: u64, source: &str, classes: &str) -> String {
+    format!(
+        r#"{{"id":{id},"op":"certify","source":{},"classes":{classes}}}"#,
+        Json::Str(source.to_string())
+    )
+}
+
+fn chain_source(size: usize) -> String {
+    print_program(&sequential_chain(size, 8))
+}
+
+fn config(workers: usize, queue: usize) -> ServerConfig {
+    ServerConfig {
+        workers,
+        queue_capacity: queue,
+        cache_capacity: 1024,
+        limits: Limits::default(),
+    }
+}
+
+#[test]
+fn sixty_four_concurrent_clients_all_served() {
+    let server = serve_tcp("127.0.0.1:0", config(4, 256)).unwrap();
+    let barrier = Arc::new(Barrier::new(64));
+    let mut joins = Vec::new();
+    for i in 0..64u64 {
+        let addr_server = server.local_addr();
+        let barrier = Arc::clone(&barrier);
+        joins.push(std::thread::spawn(move || {
+            let writer = TcpStream::connect(addr_server).expect("connect");
+            writer
+                .set_read_timeout(Some(Duration::from_secs(60)))
+                .unwrap();
+            let mut reader = BufReader::new(writer.try_clone().unwrap());
+            let mut writer = writer;
+            // Distinct program per client so nothing is served by the
+            // cache; all 64 requests are genuinely in flight together.
+            let source = chain_source(100 + i as usize);
+            let line = certify_line(i, &source, r#"{}"#);
+            barrier.wait();
+            writeln!(writer, "{line}").unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            Json::parse(response.trim()).unwrap()
+        }));
+    }
+    let mut ok = 0;
+    for join in joins {
+        let v = join.join().expect("client thread");
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "response: {v}"
+        );
+        assert_eq!(v.get("certified").and_then(Json::as_bool), Some(true));
+        ok += 1;
+    }
+    assert_eq!(ok, 64);
+
+    // All 64 were distinct: 64 misses, 0 hits. Now repeat one of them
+    // verbatim and watch the hit counter move.
+    let mut client = Client::connect(&server);
+    let source = chain_source(100);
+    client.send(&certify_line(900, &source, r#"{}"#));
+    let v = client.recv().unwrap();
+    assert_eq!(v.get("cached").and_then(Json::as_bool), Some(true));
+
+    client.send(r#"{"id":901,"op":"stats"}"#);
+    let stats = client.recv().unwrap();
+    assert_eq!(stats.get("cache_hits").and_then(Json::as_u64), Some(1));
+    assert!(stats.get("cache_misses").and_then(Json::as_u64).unwrap() >= 64);
+    assert_eq!(stats.get("overloaded").and_then(Json::as_u64), Some(0));
+
+    client.send(r#"{"id":902,"op":"shutdown"}"#);
+    let ack = client.recv().unwrap();
+    assert_eq!(ack.get("op").and_then(Json::as_str), Some("shutdown"));
+    server.join().expect("server thread");
+}
+
+#[test]
+fn malformed_fuel_limited_and_binding_errors() {
+    let server = serve_tcp("127.0.0.1:0", config(2, 64)).unwrap();
+    let mut client = Client::connect(&server);
+
+    // Not JSON at all.
+    client.send("certify plz");
+    let v = client.recv().unwrap();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    let kind = |v: &Json| {
+        v.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+            .map(str::to_string)
+    };
+    assert_eq!(kind(&v).as_deref(), Some("protocol"));
+
+    // Valid JSON, missing source.
+    client.send(r#"{"id":1,"op":"certify"}"#);
+    let v = client.recv().unwrap();
+    assert_eq!(kind(&v).as_deref(), Some("protocol"));
+    assert_eq!(v.get("id").and_then(Json::as_u64), Some(1));
+
+    // Unparsable program.
+    client.send(&certify_line(2, "var x integer x :=", r#"{}"#));
+    let v = client.recv().unwrap();
+    assert_eq!(kind(&v).as_deref(), Some("parse"));
+
+    // Over-fuel program: 100+ statements against fuel 3.
+    let big = chain_source(100);
+    client.send(&format!(
+        r#"{{"id":3,"op":"certify","source":{},"fuel":3}}"#,
+        Json::Str(big)
+    ));
+    let v = client.recv().unwrap();
+    assert_eq!(kind(&v).as_deref(), Some("fuel"));
+
+    // Unknown variable in the binding.
+    client.send(&certify_line(
+        4,
+        "var x : integer; x := 0",
+        r#"{"ghost":"high"}"#,
+    ));
+    let v = client.recv().unwrap();
+    assert_eq!(kind(&v).as_deref(), Some("binding"));
+
+    // The service survived all of it.
+    client.send(&certify_line(5, "var x : integer; x := 0", r#"{}"#));
+    let v = client.recv().unwrap();
+    assert_eq!(v.get("certified").and_then(Json::as_bool), Some(true));
+
+    client.send(r#"{"op":"shutdown"}"#);
+    client.recv().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn overload_sheds_instead_of_hanging() {
+    // 1 worker, queue of 2: eight connections flooding ten requests
+    // each must overflow the queue; every request still gets exactly
+    // one response (ok or overloaded), promptly.
+    let server = serve_tcp("127.0.0.1:0", config(1, 2)).unwrap();
+    let mut joins = Vec::new();
+    for c in 0..8u64 {
+        let addr = server.local_addr();
+        joins.push(std::thread::spawn(move || {
+            let writer = TcpStream::connect(addr).unwrap();
+            writer
+                .set_read_timeout(Some(Duration::from_secs(60)))
+                .unwrap();
+            let mut reader = BufReader::new(writer.try_clone().unwrap());
+            let mut writer = writer;
+            for i in 0..10u64 {
+                let source = chain_source(1500 + (c * 10 + i) as usize);
+                writeln!(writer, "{}", certify_line(c * 10 + i, &source, r#"{}"#)).unwrap();
+            }
+            let mut ok = 0;
+            let mut overloaded = 0;
+            for _ in 0..10 {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                let v = Json::parse(line.trim()).unwrap();
+                if v.get("ok").and_then(Json::as_bool) == Some(true) {
+                    ok += 1;
+                } else {
+                    let k = v
+                        .get("error")
+                        .and_then(|e| e.get("kind"))
+                        .and_then(Json::as_str)
+                        .unwrap()
+                        .to_string();
+                    assert_eq!(k, "overloaded", "unexpected error: {v}");
+                    overloaded += 1;
+                }
+            }
+            (ok, overloaded)
+        }));
+    }
+    let mut total_ok = 0;
+    let mut total_overloaded = 0;
+    for join in joins {
+        let (ok, overloaded) = join.join().unwrap();
+        total_ok += ok;
+        total_overloaded += overloaded;
+    }
+    assert_eq!(total_ok + total_overloaded, 80);
+    assert!(
+        total_overloaded > 0,
+        "a queue of 2 never overflowed under an 80-request flood"
+    );
+
+    let mut client = Client::connect(&server);
+    client.send(r#"{"op":"stats"}"#);
+    let stats = client.recv().unwrap();
+    assert_eq!(
+        stats.get("overloaded").and_then(Json::as_u64),
+        Some(total_overloaded)
+    );
+    client.send(r#"{"op":"shutdown"}"#);
+    client.recv().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn shutdown_drains_in_flight_work() {
+    // Two slow workers, twenty queued jobs, then shutdown from another
+    // connection: every queued job must still be answered.
+    let server = serve_tcp("127.0.0.1:0", config(2, 128)).unwrap();
+    let mut worker_client = Client::connect(&server);
+    for i in 0..20u64 {
+        let source = chain_source(2000 + i as usize);
+        worker_client.send(&certify_line(i, &source, r#"{}"#));
+    }
+    // Give the reader thread a moment to queue them all.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut shutdown_client = Client::connect(&server);
+    shutdown_client.send(r#"{"id":"bye","op":"shutdown"}"#);
+    let ack = shutdown_client.recv().unwrap();
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(ack.get("id").and_then(Json::as_str), Some("bye"));
+
+    // All twenty pipelined certifications arrive despite the shutdown.
+    let mut seen = 0;
+    while let Some(v) = worker_client.recv() {
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "response: {v}"
+        );
+        seen += 1;
+        if seen == 20 {
+            break;
+        }
+    }
+    assert_eq!(seen, 20, "shutdown dropped in-flight work");
+    let addr = server.local_addr();
+    server.join().expect("server drains and exits");
+
+    // And the listener is actually gone.
+    assert!(TcpStream::connect(addr).is_err(), "port still accepting");
+}
