@@ -1,0 +1,381 @@
+//! Dataflow checks over data variables (SF020, SF021).
+//!
+//! Two classical analyses adapted to the structured AST (no CFG needed):
+//!
+//! - **SF020, read-before-write**: a forward *must-have-been-assigned*
+//!   analysis. Every variable starts at 0, so a read before the first
+//!   assignment is usually a latent ordering bug. Variables that are
+//!   never assigned anywhere are treated as program inputs and not
+//!   reported; inside `cobegin`, reads of variables a *sibling* branch
+//!   writes are silenced, since synchronization (as in Fig. 3) can
+//!   legitimately order the sibling's write first.
+//! - **SF021, dead store**: a backward *must-be-overwritten* analysis.
+//!   An assignment is dead when every path to the end of the program
+//!   overwrites the variable before reading it. The final store to each
+//!   variable is live by definition (the end state is the program's
+//!   output), and anything touched by a concurrent sibling is never
+//!   considered dead.
+
+use std::collections::BTreeSet;
+
+use secflow_lang::{Diag, Expr, Program, Span, Stmt, VarId, VarKind};
+
+use crate::pass::AnalysisPass;
+
+/// Read-before-write and dead-store detection (SF020, SF021).
+pub struct DataflowPass;
+
+impl AnalysisPass for DataflowPass {
+    fn name(&self) -> &'static str {
+        "dataflow"
+    }
+
+    fn run(&self, program: &Program, out: &mut Vec<Diag>) {
+        let mut assigned: BTreeSet<VarId> = BTreeSet::new();
+        program.body.walk(&mut |s| {
+            if let Stmt::Assign { var, .. } = s {
+                assigned.insert(*var);
+            }
+        });
+
+        let fwd = Fwd { program, assigned };
+        let mut must = BTreeSet::new();
+        fwd.walk(&program.body, &mut must, &BTreeSet::new(), out);
+
+        let bwd = Bwd { program };
+        let mut dead = BTreeSet::new();
+        bwd.walk(&program.body, &mut dead, &BTreeSet::new(), out);
+    }
+}
+
+/// Calls `f` on every variable read in `e`, with its own span.
+fn expr_reads(e: &Expr, f: &mut impl FnMut(VarId, Span)) {
+    match e {
+        Expr::Const(..) => {}
+        Expr::Var(v, s) => f(*v, *s),
+        Expr::Unary { arg, .. } => expr_reads(arg, f),
+        Expr::Binary { lhs, rhs, .. } => {
+            expr_reads(lhs, f);
+            expr_reads(rhs, f);
+        }
+    }
+}
+
+/// Data variables written by `stmt` (assignment targets only).
+fn written(stmt: &Stmt) -> BTreeSet<VarId> {
+    let mut out = BTreeSet::new();
+    stmt.walk(&mut |s| {
+        if let Stmt::Assign { var, .. } = s {
+            out.insert(*var);
+        }
+    });
+    out
+}
+
+/// Data variables read or written by `stmt`.
+fn touched(stmt: &Stmt, program: &Program) -> BTreeSet<VarId> {
+    let mut out = written(stmt);
+    stmt.for_each_read(&mut |v| {
+        if program.symbols.kind(v) == VarKind::Data {
+            out.insert(v);
+        }
+    });
+    out
+}
+
+// ---------------------------------------------------------------------------
+// SF020 — forward must-have-been-assigned
+// ---------------------------------------------------------------------------
+
+struct Fwd<'a> {
+    program: &'a Program,
+    /// Variables assigned somewhere in the program; never-assigned
+    /// variables are inputs and are not reported.
+    assigned: BTreeSet<VarId>,
+}
+
+impl Fwd<'_> {
+    fn check(
+        &self,
+        e: &Expr,
+        must: &BTreeSet<VarId>,
+        silenced: &BTreeSet<VarId>,
+        out: &mut Vec<Diag>,
+    ) {
+        expr_reads(e, &mut |v, span| {
+            if self.program.symbols.kind(v) == VarKind::Data
+                && self.assigned.contains(&v)
+                && !must.contains(&v)
+                && !silenced.contains(&v)
+            {
+                let name = self.program.symbols.name(v);
+                out.push(Diag::warning(
+                    "SF020",
+                    format!(
+                        "`{name}` may be read here before any assignment to it has \
+                         executed (it would still hold its initial value 0)"
+                    ),
+                    span,
+                ));
+            }
+        });
+    }
+
+    fn walk(
+        &self,
+        stmt: &Stmt,
+        must: &mut BTreeSet<VarId>,
+        silenced: &BTreeSet<VarId>,
+        out: &mut Vec<Diag>,
+    ) {
+        match stmt {
+            Stmt::Skip(_) | Stmt::Wait { .. } | Stmt::Signal { .. } => {}
+            Stmt::Assign { var, expr, .. } => {
+                self.check(expr, must, silenced, out);
+                must.insert(*var);
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                self.check(cond, must, silenced, out);
+                let mut t = must.clone();
+                self.walk(then_branch, &mut t, silenced, out);
+                let mut e = must.clone();
+                if let Some(eb) = else_branch {
+                    self.walk(eb, &mut e, silenced, out);
+                }
+                *must = t.intersection(&e).copied().collect();
+            }
+            Stmt::While { cond, body, .. } => {
+                self.check(cond, must, silenced, out);
+                // The body sees the entry state (first iteration);
+                // later iterations only have more assignments, so this
+                // is conservative. The loop may run zero times, so the
+                // after-state is the entry state.
+                let mut b = must.clone();
+                self.walk(body, &mut b, silenced, out);
+            }
+            Stmt::Seq { stmts, .. } => {
+                for s in stmts {
+                    self.walk(s, must, silenced, out);
+                }
+            }
+            Stmt::Cobegin { branches, .. } => {
+                let writes: Vec<BTreeSet<VarId>> = branches.iter().map(written).collect();
+                let mut after = must.clone();
+                for (i, b) in branches.iter().enumerate() {
+                    let mut sil = silenced.clone();
+                    for (j, w) in writes.iter().enumerate() {
+                        if i != j {
+                            sil.extend(w.iter().copied());
+                        }
+                    }
+                    let mut m = must.clone();
+                    self.walk(b, &mut m, &sil, out);
+                    after.extend(m);
+                }
+                *must = after;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SF021 — backward must-be-overwritten
+// ---------------------------------------------------------------------------
+
+struct Bwd<'a> {
+    program: &'a Program,
+}
+
+impl Bwd<'_> {
+    /// `dead` holds variables definitely overwritten (before any read)
+    /// on every path from *after* the current statement to the end.
+    fn walk(
+        &self,
+        stmt: &Stmt,
+        dead: &mut BTreeSet<VarId>,
+        never_dead: &BTreeSet<VarId>,
+        out: &mut Vec<Diag>,
+    ) {
+        match stmt {
+            Stmt::Skip(_) | Stmt::Wait { .. } | Stmt::Signal { .. } => {}
+            Stmt::Assign { var, expr, span } => {
+                if dead.contains(var) && !never_dead.contains(var) {
+                    let name = self.program.symbols.name(*var);
+                    out.push(
+                        Diag::warning(
+                            "SF021",
+                            format!(
+                                "dead store: every path overwrites `{name}` before \
+                                 reading this value"
+                            ),
+                            *span,
+                        )
+                        .with_fix("remove the assignment or use the value".to_string()),
+                    );
+                }
+                if !never_dead.contains(var) {
+                    dead.insert(*var);
+                }
+                expr_reads(expr, &mut |v, _| {
+                    dead.remove(&v);
+                });
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let mut t = dead.clone();
+                self.walk(then_branch, &mut t, never_dead, out);
+                let mut e = dead.clone();
+                if let Some(eb) = else_branch {
+                    self.walk(eb, &mut e, never_dead, out);
+                }
+                *dead = t.intersection(&e).copied().collect();
+                expr_reads(cond, &mut |v, _| {
+                    dead.remove(&v);
+                });
+            }
+            Stmt::While { cond, body, .. } => {
+                // Analyze the body against an empty out-set: a store in
+                // the body is only dead if the same iteration kills it.
+                let mut b = BTreeSet::new();
+                self.walk(body, &mut b, never_dead, out);
+                *dead = dead.intersection(&b).copied().collect();
+                expr_reads(cond, &mut |v, _| {
+                    dead.remove(&v);
+                });
+            }
+            Stmt::Seq { stmts, .. } => {
+                for s in stmts.iter().rev() {
+                    self.walk(s, dead, never_dead, out);
+                }
+            }
+            Stmt::Cobegin { branches, .. } => {
+                let touches: Vec<BTreeSet<VarId>> =
+                    branches.iter().map(|b| touched(b, self.program)).collect();
+                let mut result: Option<BTreeSet<VarId>> = None;
+                for (i, b) in branches.iter().enumerate() {
+                    let mut nd = never_dead.clone();
+                    for (j, t) in touches.iter().enumerate() {
+                        if i != j {
+                            nd.extend(t.iter().copied());
+                        }
+                    }
+                    let mut d: BTreeSet<VarId> =
+                        dead.iter().copied().filter(|v| !nd.contains(v)).collect();
+                    self.walk(b, &mut d, &nd, out);
+                    result = Some(match result {
+                        None => d,
+                        Some(r) => r.intersection(&d).copied().collect(),
+                    });
+                }
+                *dead = result.unwrap_or_default();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_lang::parse;
+
+    fn run(src: &str) -> Vec<Diag> {
+        let p = parse(src).unwrap();
+        let mut out = Vec::new();
+        DataflowPass.run(&p, &mut out);
+        out
+    }
+
+    fn codes(diags: &[Diag]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn read_before_write_is_sf020() {
+        let diags = run("var x, y : integer; begin y := x; x := 1 end");
+        assert_eq!(codes(&diags), vec!["SF020"]);
+        assert!(diags[0].message.contains("`x`"));
+    }
+
+    #[test]
+    fn never_assigned_vars_are_inputs_not_sf020() {
+        let diags = run("var x, y : integer; y := x");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn write_then_read_is_clean() {
+        let diags = run("var x, y : integer; begin x := 1; y := x end");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn only_one_if_branch_assigning_does_not_initialize() {
+        let diags = run("var x, y, c : integer;
+             begin if c = 0 then x := 1; y := x end");
+        assert_eq!(codes(&diags), vec!["SF020"]);
+    }
+
+    #[test]
+    fn both_if_branches_assigning_initializes() {
+        let diags = run("var x, y, c : integer;
+             begin if c = 0 then x := 1 else x := 2; y := x end");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn sibling_written_reads_in_cobegin_are_silenced() {
+        // Fig. 3 shape: the reader branch's `y := m` is ordered after
+        // the writer's `m := 1` by semaphores the analysis cannot see.
+        let diags = run("var m, y : integer; s : semaphore;
+             cobegin begin m := 1; signal(s) end || begin wait(s); y := m end coend");
+        assert!(!codes(&diags).contains(&"SF020"), "{diags:?}");
+    }
+
+    #[test]
+    fn overwritten_store_is_sf021() {
+        let diags = run("var x : integer; begin x := 1; x := 2 end");
+        assert_eq!(codes(&diags), vec!["SF021"]);
+    }
+
+    #[test]
+    fn final_store_is_live() {
+        let diags = run("var x : integer; x := 1");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn store_read_by_later_statement_is_live() {
+        let diags = run("var x, y : integer; begin x := 1; y := x; x := 2 end");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn store_touched_by_sibling_is_never_dead() {
+        let diags = run("var x : integer; s : semaphore;
+             cobegin begin x := 1; signal(s) end || begin wait(s); x := 2 end coend");
+        assert!(!codes(&diags).contains(&"SF021"), "{diags:?}");
+    }
+
+    #[test]
+    fn loop_body_kill_within_iteration_is_sf021() {
+        let diags = run("var x, c : integer;
+             begin while c = 0 do begin x := 1; x := 2 end; x := 3 end");
+        assert_eq!(codes(&diags), vec!["SF021"]);
+    }
+
+    #[test]
+    fn sequential_example_has_no_dead_stores() {
+        let diags = run("var a, b, c : integer;
+             begin a := b + c; b := a; while a = 0 do b := b + 1; c := a + b end");
+        assert!(!codes(&diags).contains(&"SF021"), "{diags:?}");
+    }
+}

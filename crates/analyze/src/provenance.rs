@@ -1,0 +1,146 @@
+//! Global-flow provenance (SF030–SF032).
+//!
+//! The Concurrent Flow Mechanism's *global flow class* (paper §2.2)
+//! starts at nil and is raised by exactly two constructs: a `wait`
+//! (whose completion reveals that the semaphore was signaled) and a
+//! loop guard (whose termination reveals the guard's value). An `if`
+//! guard additionally *joins* the global flow when one of its branches
+//! has a non-nil flow, because reaching the branch reveals the guard.
+//!
+//! When certification later rejects a program because `flow(S) ≰
+//! class(x)`, these info-level diagnostics point at the exact `wait`,
+//! `while`, or `if` that raised the flow — the provenance of the leak.
+
+use secflow_lang::{Diag, Program, Stmt};
+
+use crate::pass::AnalysisPass;
+
+/// Points at every construct that raises the global flow class.
+pub struct ProvenancePass;
+
+impl AnalysisPass for ProvenancePass {
+    fn name(&self) -> &'static str {
+        "provenance"
+    }
+
+    fn run(&self, program: &Program, out: &mut Vec<Diag>) {
+        flow_sources(&program.body, out);
+    }
+}
+
+/// Emits provenance diagnostics for `stmt` and reports whether its
+/// global flow is non-nil (mirrors the structural rule of §2.2: `wait`
+/// raises it, `while` always joins its guard, `if` joins its guard iff
+/// a branch has non-nil flow; `signal` and assignments contribute nil).
+fn flow_sources(stmt: &Stmt, out: &mut Vec<Diag>) -> bool {
+    match stmt {
+        Stmt::Skip(_) | Stmt::Assign { .. } | Stmt::Signal { .. } => false,
+        Stmt::Wait { sem: _, span } => {
+            out.push(Diag::info(
+                "SF030",
+                "completing this `wait` raises the global flow class: it reveals that \
+                 the semaphore was signaled",
+                *span,
+            ));
+            true
+        }
+        Stmt::While { cond, body, .. } => {
+            flow_sources(body, out);
+            out.push(Diag::info(
+                "SF031",
+                "this loop guard raises the global flow class: leaving the loop reveals \
+                 the guard's value (termination channel)",
+                cond.span(),
+            ));
+            true
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let t = flow_sources(then_branch, out);
+            let e = else_branch
+                .as_ref()
+                .map(|b| flow_sources(b, out))
+                .unwrap_or(false);
+            if t || e {
+                out.push(Diag::info(
+                    "SF032",
+                    "this `if` guard joins the global flow class: a branch has a non-nil \
+                     flow, so reaching it reveals the guard's value",
+                    cond.span(),
+                ));
+                true
+            } else {
+                false
+            }
+        }
+        Stmt::Seq { stmts, .. } => {
+            let mut any = false;
+            for s in stmts {
+                any |= flow_sources(s, out);
+            }
+            any
+        }
+        Stmt::Cobegin { branches, .. } => {
+            let mut any = false;
+            for b in branches {
+                any |= flow_sources(b, out);
+            }
+            any
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_lang::parse;
+
+    fn run(src: &str) -> Vec<Diag> {
+        let p = parse(src).unwrap();
+        let mut out = Vec::new();
+        ProvenancePass.run(&p, &mut out);
+        out
+    }
+
+    fn codes(diags: &[Diag]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn wait_is_sf030() {
+        assert_eq!(codes(&run("var s : semaphore; wait(s)")), vec!["SF030"]);
+    }
+
+    #[test]
+    fn loop_guard_is_sf031() {
+        assert_eq!(
+            codes(&run("var x : integer; while x = 0 do x := 1")),
+            vec!["SF031"]
+        );
+    }
+
+    #[test]
+    fn signal_under_if_does_not_join_the_guard() {
+        // §2.2: `if x = 0 then signal(sem)` is a *local* flow from the
+        // guard to the semaphore; the signal itself has nil global flow.
+        let diags = run("var x : integer; sem : semaphore; if x = 0 then signal(sem)");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn wait_under_if_joins_the_guard() {
+        let diags = run("var x : integer; sem : semaphore; if x = 0 then wait(sem)");
+        assert_eq!(codes(&diags), vec!["SF030", "SF032"]);
+    }
+
+    #[test]
+    fn sem_channel_reports_only_the_wait() {
+        let diags = run("var x, y : integer; sem : semaphore;
+             cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend");
+        assert_eq!(codes(&diags), vec!["SF030"]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Semaphore static checks (SF001–SF004).
+//!
+//! These are cheap structural sanity checks over the `wait`/`signal`
+//! sites of a program: unused semaphores, signals nobody waits for,
+//! waits that can never be satisfied, and `cobegin`s whose unconditional
+//! wait demand exceeds the total possible signal supply.
+
+use std::collections::HashMap;
+
+use secflow_lang::{Diag, Program, Span, Stmt, VarId, VarKind};
+
+use crate::pass::AnalysisPass;
+
+/// Per-semaphore wait/signal site statistics (SF001–SF004).
+pub struct SemStaticsPass;
+
+/// Usage sites of one semaphore.
+#[derive(Default)]
+struct SemUse {
+    waits: Vec<Span>,
+    signals: Vec<Span>,
+    /// Some signal occurs inside a `while` body (supply unbounded).
+    looped_signal: bool,
+}
+
+impl AnalysisPass for SemStaticsPass {
+    fn name(&self) -> &'static str {
+        "sem-statics"
+    }
+
+    fn run(&self, program: &Program, out: &mut Vec<Diag>) {
+        let n = program.symbols.len();
+        let mut uses: Vec<SemUse> = (0..n).map(|_| SemUse::default()).collect();
+        collect(&program.body, false, &mut uses);
+
+        for (id, info) in program.symbols.iter() {
+            if info.kind != VarKind::Semaphore {
+                continue;
+            }
+            let u = &uses[id.index()];
+            let name = &info.name;
+            if u.waits.is_empty() && u.signals.is_empty() {
+                out.push(
+                    Diag::warning(
+                        "SF001",
+                        format!("semaphore `{name}` is declared but never used"),
+                        info.decl_span,
+                    )
+                    .with_fix(format!("remove the declaration of `{name}`")),
+                );
+            } else if u.waits.is_empty() {
+                out.push(
+                    Diag::warning(
+                        "SF002",
+                        format!("semaphore `{name}` is signaled but never waited on"),
+                        u.signals[0],
+                    )
+                    .with_note(format!("`{name}` declared here"), info.decl_span),
+                );
+            } else if u.signals.is_empty() && info.init == 0 {
+                for &w in &u.waits {
+                    out.push(
+                        Diag::error(
+                            "SF003",
+                            format!(
+                                "`wait({name})` can never be satisfied: `{name}` starts at 0 \
+                                 and is never signaled"
+                            ),
+                            w,
+                        )
+                        .with_fix(format!(
+                            "add a matching `signal({name})` in a concurrent process, or \
+                             declare `{name}` with `initially(n)`"
+                        )),
+                    );
+                }
+            }
+        }
+
+        check_cobegin_balance(program, &uses, out);
+    }
+}
+
+/// Records every wait/signal site, tracking whether we are under a loop.
+fn collect(stmt: &Stmt, in_loop: bool, uses: &mut [SemUse]) {
+    match stmt {
+        Stmt::Skip(_) | Stmt::Assign { .. } => {}
+        Stmt::Wait { sem, span } => uses[sem.index()].waits.push(*span),
+        Stmt::Signal { sem, span } => {
+            let u = &mut uses[sem.index()];
+            u.signals.push(*span);
+            u.looped_signal |= in_loop;
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect(then_branch, in_loop, uses);
+            if let Some(e) = else_branch {
+                collect(e, in_loop, uses);
+            }
+        }
+        Stmt::While { body, .. } => collect(body, true, uses),
+        Stmt::Seq { stmts, .. } => stmts.iter().for_each(|s| collect(s, in_loop, uses)),
+        Stmt::Cobegin { branches, .. } => branches.iter().for_each(|s| collect(s, in_loop, uses)),
+    }
+}
+
+/// SF004: for every `cobegin`, compare the waits that *must* execute
+/// (unconditional: not guarded by `if`/`while`) against the best-case
+/// signal supply (initial count + every signal site in the program).
+/// Demand exceeding supply means some process necessarily blocks.
+fn check_cobegin_balance(program: &Program, uses: &[SemUse], out: &mut Vec<Diag>) {
+    program.body.walk(&mut |s| {
+        if let Stmt::Cobegin { branches, span } = s {
+            let mut demand: HashMap<VarId, usize> = HashMap::new();
+            for b in branches {
+                unconditional_waits(b, &mut demand);
+            }
+            let mut sems: Vec<VarId> = demand.keys().copied().collect();
+            sems.sort();
+            for sem in sems {
+                let u = &uses[sem.index()];
+                if u.looped_signal {
+                    continue; // supply unbounded, nothing provable
+                }
+                let supply = program.symbols.info(sem).init.max(0) as usize + u.signals.len();
+                let need = demand[&sem];
+                if need > supply {
+                    let name = program.symbols.name(sem);
+                    out.push(Diag::warning(
+                        "SF004",
+                        format!(
+                            "this cobegin always performs {need} wait(s) on `{name}` but at \
+                             most {supply} signal(s) can ever occur"
+                        ),
+                        *span,
+                    ));
+                }
+            }
+        }
+    });
+}
+
+/// Counts waits that execute on every run of `stmt` (skipping anything
+/// conditional: `if` branches and `while` bodies).
+fn unconditional_waits(stmt: &Stmt, demand: &mut HashMap<VarId, usize>) {
+    match stmt {
+        Stmt::Wait { sem, .. } => *demand.entry(*sem).or_insert(0) += 1,
+        Stmt::Seq { stmts, .. } => stmts.iter().for_each(|s| unconditional_waits(s, demand)),
+        Stmt::Cobegin { branches, .. } => {
+            branches.iter().for_each(|s| unconditional_waits(s, demand))
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_lang::parse;
+
+    fn run(src: &str) -> Vec<Diag> {
+        let p = parse(src).unwrap();
+        let mut out = Vec::new();
+        SemStaticsPass.run(&p, &mut out);
+        out
+    }
+
+    fn codes(diags: &[Diag]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn unused_semaphore_is_sf001() {
+        let diags = run("var s : semaphore; x : integer; x := 1");
+        assert_eq!(codes(&diags), vec!["SF001"]);
+        assert!(diags[0].message.contains("`s`"));
+        assert!(diags[0].fix.is_some());
+    }
+
+    #[test]
+    fn signal_without_wait_is_sf002() {
+        let diags = run("var s : semaphore; signal(s)");
+        assert_eq!(codes(&diags), vec!["SF002"]);
+        assert_eq!(diags[0].notes.len(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_wait_is_sf003_error() {
+        let diags = run("var s : semaphore; wait(s)");
+        assert_eq!(codes(&diags), vec!["SF003"]);
+        assert_eq!(diags[0].severity, secflow_lang::Severity::Error);
+    }
+
+    #[test]
+    fn initially_positive_wait_is_fine() {
+        let diags = run("var s : semaphore initially(1); wait(s)");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn cobegin_over_demand_is_sf004() {
+        let diags = run("var s : semaphore; x : integer;
+             cobegin begin wait(s); wait(s) end || signal(s) coend");
+        assert!(codes(&diags).contains(&"SF004"), "{diags:?}");
+    }
+
+    #[test]
+    fn balanced_handoff_is_clean() {
+        let diags = run("var s : semaphore; x : integer;
+             cobegin begin x := 1; signal(s) end || begin wait(s); x := 2 end coend");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn conditional_waits_do_not_count_toward_demand() {
+        let diags = run("var s : semaphore; x : integer;
+             cobegin begin if x = 0 then wait(s); if x = 0 then wait(s) end \
+             || signal(s) coend");
+        assert!(!codes(&diags).contains(&"SF004"), "{diags:?}");
+    }
+
+    #[test]
+    fn looped_signal_supply_is_unbounded() {
+        let diags = run("var s : semaphore; x : integer;
+             cobegin begin wait(s); wait(s) end \
+             || while x = 0 do signal(s) coend");
+        assert!(!codes(&diags).contains(&"SF004"), "{diags:?}");
+    }
+}

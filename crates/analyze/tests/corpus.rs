@@ -1,0 +1,89 @@
+//! Cross-validation of the static deadlock verdict against the
+//! runtime's exhaustive explorer, over every program in
+//! `examples/programs`.
+//!
+//! The static pass abstracts data to stable guard atoms and claims
+//! `may_deadlock` iff *some* input and schedule reaches a stuck state.
+//! The dynamic oracle enumerates every assignment of `{0, 1}` to the
+//! program's input variables (data variables never assigned anywhere)
+//! and asks [`can_deadlock`] for each — guards in the corpus only
+//! compare against zero, so two values per input are exhaustive.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use secflow_analyze::deadlock_analysis;
+use secflow_lang::{parse, Program, VarId};
+use secflow_runtime::{can_deadlock, ExploreLimits};
+
+fn corpus() -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/programs");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("examples/programs exists")
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "sf"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn load(path: &Path) -> Program {
+    let source = std::fs::read_to_string(path).unwrap();
+    parse(&source).unwrap_or_else(|d| panic!("{} does not parse: {}", path.display(), d.message))
+}
+
+/// Ground truth: does any `{0,1}` input assignment admit a deadlocking
+/// schedule?
+fn dynamic_deadlock(program: &Program) -> bool {
+    let mut modified = HashSet::new();
+    program.body.for_each_modified(&mut |v| {
+        modified.insert(v);
+    });
+    let inputs: Vec<VarId> = program
+        .symbols
+        .data_vars()
+        .into_iter()
+        .filter(|v| !modified.contains(v))
+        .collect();
+    assert!(inputs.len() < 16, "corpus program has too many inputs");
+    let limits = ExploreLimits {
+        max_states: 200_000,
+        max_depth: 10_000,
+    };
+    (0u32..1 << inputs.len()).any(|mask| {
+        let assignment: Vec<(VarId, i64)> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (*v, ((mask >> i) & 1) as i64))
+            .collect();
+        can_deadlock(program, &assignment, limits)
+    })
+}
+
+#[test]
+fn static_verdict_agrees_with_exhaustive_exploration() {
+    let files = corpus();
+    assert!(!files.is_empty(), "corpus is empty");
+    for path in &files {
+        let program = load(path);
+        let report = deadlock_analysis(&program, 100_000);
+        assert!(!report.truncated, "{} truncated", path.display());
+        assert_eq!(
+            report.may_deadlock,
+            dynamic_deadlock(&program),
+            "static and dynamic deadlock verdicts disagree on {}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn sem_channel_is_flagged_and_fig3_is_not() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/programs");
+    let sem_channel = deadlock_analysis(&load(&dir.join("sem_channel.sf")), 100_000);
+    assert!(sem_channel.may_deadlock, "§2.2 channel must be flagged");
+    assert!(!sem_channel.blocked_waits.is_empty());
+    let fig3 = deadlock_analysis(&load(&dir.join("fig3.sf")), 100_000);
+    assert!(!fig3.may_deadlock, "Fig. 3 is deadlock-free");
+    assert!(fig3.blocked_waits.is_empty());
+}

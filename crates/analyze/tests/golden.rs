@@ -1,0 +1,37 @@
+//! Golden-file tests: the rendered diagnostics for the two canonical
+//! paper programs are a pinned contract.
+//!
+//! Figure 3 must come out deadlock-free (info-level provenance notes
+//! only), while the §2.2 semaphore channel must carry the SF010
+//! may-deadlock warning. Regenerate a golden file by running
+//! `secflow lint <file>` and stripping the header and summary lines —
+//! but treat any diff as an API break first.
+
+use std::path::Path;
+
+use secflow_analyze::analyze;
+use secflow_lang::parse;
+
+fn check(program: &str, golden: &str) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(root.join("../../examples/programs").join(program))
+        .expect("example program exists");
+    let expected = std::fs::read_to_string(root.join("tests/golden").join(golden))
+        .expect("golden file exists");
+    let parsed = parse(&source).expect("example parses");
+    let rendered = analyze(&parsed).render(&source);
+    assert_eq!(
+        rendered, expected,
+        "rendered diagnostics for {program} drifted from tests/golden/{golden}"
+    );
+}
+
+#[test]
+fn fig3_rendering_is_stable() {
+    check("fig3.sf", "fig3.txt");
+}
+
+#[test]
+fn sem_channel_rendering_is_stable() {
+    check("sem_channel.sf", "sem_channel.txt");
+}

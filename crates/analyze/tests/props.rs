@@ -1,0 +1,52 @@
+//! Property tests: every pass is panic-free and deterministic on
+//! randomly generated programs.
+
+use proptest::prelude::*;
+
+use secflow_analyze::analyze;
+use secflow_workload::{generate, GenConfig};
+
+fn cfg(n_sems: usize, bounded: bool) -> GenConfig {
+    GenConfig {
+        target_stmts: 25,
+        max_depth: 4,
+        n_vars: 4,
+        n_sems,
+        bounded_loops: bounded,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Running the full pipeline twice on the same program yields the
+    /// same diagnostics, and never panics, whatever the generator
+    /// produces (with and without semaphores, bounded and free loops).
+    #[test]
+    fn passes_are_panic_free_and_deterministic(
+        seed in 0u64..1_000_000,
+        n_sems in 0usize..3,
+        bounded in 0u8..2,
+    ) {
+        let program = generate(&cfg(n_sems, bounded == 1), seed);
+        let first = analyze(&program);
+        let second = analyze(&program);
+        prop_assert_eq!(first.diags, second.diags);
+        prop_assert_eq!(first.passes_run, 5);
+    }
+
+    /// Rendering never panics either: both the human renderer (which
+    /// resolves spans against the pretty-printed source it was parsed
+    /// from) and the JSON-lines renderer.
+    #[test]
+    fn renderers_are_total(seed in 0u64..1_000_000) {
+        let program = generate(&cfg(2, true), seed);
+        let source = secflow_lang::print_program(&program);
+        let reparsed = secflow_lang::parse(&source).expect("printer output parses");
+        let report = analyze(&reparsed);
+        let human = report.render(&source);
+        let json = report.to_json_lines(Some("gen.sf"), &source);
+        prop_assert_eq!(human.is_empty(), report.clean());
+        prop_assert_eq!(json.lines().count(), report.diags.len());
+    }
+}

@@ -16,12 +16,14 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Display;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use secflow_analyze::AnalysisReport;
 use secflow_core::{
     certify, check_atomicity, denning_certify, infer_binding, FlowGraph, StaticBinding,
 };
-use secflow_lang::{parse, print_program, Program, VarId};
+use secflow_lang::{parse, print_program, Diag, Program, Severity, VarId};
 use secflow_lattice::{Extended, Lattice, Linear, LinearScheme, Scheme, TwoPoint, TwoPointScheme};
 use secflow_logic::{check_proof, parse_proof, prove, render_proof, write_proof};
 use secflow_runtime::{
@@ -44,6 +46,7 @@ USAGE:
   secflow infer   <file> [--pin name=CLASS]... [--lattice two|linear:N]
   secflow flows   <file> [--class name=CLASS]... [--dot]
   secflow atomicity <file>
+  secflow lint    <file|dir> [--json]
   secflow fig3    [--x VALUE]
   secflow serve   [--addr HOST:PORT] [--workers N] [--cache N] [--queue N]
                   [--max-fuel N]   (no --addr: serve stdin/stdout)
@@ -53,22 +56,55 @@ USAGE:
 
 CLASSES: low | high (two-point, default), or 0..N-1 with --lattice linear:N
 
+EXIT CODES:
+  0  success (certified / proof checks / no interference / no lint errors)
+  1  analysis failure: parse error, REJECTED certification or proof,
+     interference witness, or error-severity lint diagnostics
+  2  usage error (unknown command, bad flag, unreadable file, ...)
+
 `serve` speaks a JSON-lines protocol; see DESIGN.md (Serving) for the
-request/response format.
+request/response format. `lint` runs the secflow-analyze passes and
+prints unified SF-code diagnostics (one JSON object per line with
+--json).
 ";
+
+/// A CLI failure, split along the exit-code convention: `Usage` exits 2
+/// (bad invocation), `Analysis` exits 1 (the tool ran but the input
+/// failed — parse error, rejected proof, and so on). Plain `String`
+/// errors from option parsing convert to `Usage`.
+enum CliError {
+    Usage(String),
+    Analysis(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> CliError {
+        CliError::Usage(msg.to_string())
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(&args) {
         Ok(code) => code,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::from(2)
+        }
+        Err(CliError::Analysis(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
         }
     }
 }
 
-fn dispatch(args: &[String]) -> Result<ExitCode, String> {
+fn dispatch(args: &[String]) -> Result<ExitCode, CliError> {
     let Some(cmd) = args.first() else {
         print!("{USAGE}");
         return Ok(ExitCode::from(2));
@@ -84,6 +120,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         "infer" => cmd_infer(rest),
         "flows" => cmd_flows(rest),
         "atomicity" => cmd_atomicity(rest),
+        "lint" => cmd_lint(rest),
         "fig3" => cmd_fig3(rest),
         "serve" => cmd_serve(rest),
         "batch" => cmd_batch(rest),
@@ -95,7 +132,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown command `{other}`; try `secflow help`")),
+        other => Err(format!("unknown command `{other}`; try `secflow help`").into()),
     }
 }
 
@@ -113,7 +150,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            let takes_value = !matches!(name, "baseline" | "trace" | "dot");
+            let takes_value = !matches!(name, "baseline" | "trace" | "dot" | "json");
             if takes_value {
                 i += 1;
                 let v = args
@@ -157,9 +194,10 @@ impl Opts {
     }
 }
 
-fn load_program(path: &str) -> Result<(Program, String), String> {
-    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let program = parse(&source).map_err(|d| d.render(&source))?;
+fn load_program(path: &str) -> Result<(Program, String), CliError> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read `{path}`: {e}")))?;
+    let program = parse(&source).map_err(|d| CliError::Analysis(d.render(&source)))?;
     Ok((program, source))
 }
 
@@ -319,8 +357,12 @@ fn checkproof_impl<L: Lattice + Display>(
     proof_text: &str,
     parse_lit: impl Fn(&str) -> Option<L>,
 ) -> Result<(bool, String), String> {
-    let proof =
-        parse_proof(proof_text, &program.symbols, &|s| parse_lit(s)).map_err(|e| e.to_string())?;
+    // A proof that does not even parse is still a rejected proof (exit
+    // 1, analysis failure), not a CLI usage error.
+    let proof = match parse_proof(proof_text, &program.symbols, &|s| parse_lit(s)) {
+        Ok(proof) => proof,
+        Err(e) => return Ok((false, format!("proof REJECTED: {e}\n"))),
+    };
     match check_proof(&program.body, &proof) {
         Ok(()) => Ok((true, format!("proof checks ({} nodes)\n", proof.size()))),
         Err(e) => Ok((false, format!("proof REJECTED: {e}\n"))),
@@ -499,7 +541,7 @@ impl SchemeOps for LinearOps {
 
 // ---- commands -----------------------------------------------------------
 
-fn cmd_certify(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_certify(args: &[String]) -> Result<ExitCode, CliError> {
     let opts = parse_opts(args)?;
     let (program, source) = load_program(opts.file()?)?;
     let classes = parse_pairs(&program, opts.values("class"))?;
@@ -520,7 +562,7 @@ fn cmd_certify(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-fn cmd_prove(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_prove(args: &[String]) -> Result<ExitCode, CliError> {
     let opts = parse_opts(args)?;
     let (program, _) = load_program(opts.file()?)?;
     let classes = parse_pairs(&program, opts.values("class"))?;
@@ -540,7 +582,7 @@ fn cmd_prove(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-fn cmd_checkproof(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_checkproof(args: &[String]) -> Result<ExitCode, CliError> {
     let opts = parse_opts(args)?;
     let (program, _) = load_program(opts.file()?)?;
     let proof_path = opts.value("proof").ok_or("missing --proof <file>")?;
@@ -566,7 +608,7 @@ fn parse_inputs(program: &Program, opts: &Opts) -> Result<Vec<(VarId, i64)>, Str
         .collect()
 }
 
-fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_run(args: &[String]) -> Result<ExitCode, CliError> {
     let opts = parse_opts(args)?;
     let (program, _) = load_program(opts.file()?)?;
     let inputs = parse_inputs(&program, &opts)?;
@@ -595,7 +637,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-fn cmd_explore(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_explore(args: &[String]) -> Result<ExitCode, CliError> {
     let opts = parse_opts(args)?;
     let (program, _) = load_program(opts.file()?)?;
     let inputs = parse_inputs(&program, &opts)?;
@@ -631,7 +673,7 @@ fn cmd_explore(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_leaktest(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_leaktest(args: &[String]) -> Result<ExitCode, CliError> {
     let opts = parse_opts(args)?;
     let (program, _) = load_program(opts.file()?)?;
     let secret_name = opts.value("secret").ok_or("missing --secret")?;
@@ -697,7 +739,7 @@ fn cmd_leaktest(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
-fn cmd_infer(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_infer(args: &[String]) -> Result<ExitCode, CliError> {
     let opts = parse_opts(args)?;
     let (program, _) = load_program(opts.file()?)?;
     let pins = parse_pairs(&program, opts.values("pin"))?;
@@ -710,7 +752,7 @@ fn cmd_infer(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-fn cmd_flows(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_flows(args: &[String]) -> Result<ExitCode, CliError> {
     let opts = parse_opts(args)?;
     let (program, _) = load_program(opts.file()?)?;
     let graph = FlowGraph::of(&program);
@@ -734,7 +776,7 @@ fn cmd_flows(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_atomicity(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_atomicity(args: &[String]) -> Result<ExitCode, CliError> {
     let opts = parse_opts(args)?;
     let (program, source) = load_program(opts.file()?)?;
     let report = check_atomicity(&program);
@@ -743,6 +785,60 @@ fn cmd_atomicity(args: &[String]) -> Result<ExitCode, String> {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    })
+}
+
+fn cmd_lint(args: &[String]) -> Result<ExitCode, CliError> {
+    let opts = parse_opts(args)?;
+    let target = opts.file()?.to_string();
+    let json = opts.has("json");
+    let path = std::path::Path::new(&target);
+    let files: Vec<PathBuf> = if path.is_dir() {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("cannot read `{target}`: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "sf"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("no *.sf files in `{target}`").into());
+        }
+        files
+    } else {
+        vec![path.to_path_buf()]
+    };
+
+    let (mut errors, mut warnings, mut infos) = (0usize, 0usize, 0usize);
+    for file in &files {
+        let display = file.display().to_string();
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| CliError::Usage(format!("cannot read `{display}`: {e}")))?;
+        // A parse error is itself a diagnostic: report it through the
+        // same renderer instead of aborting the whole lint run.
+        let report = match parse(&source) {
+            Ok(program) => secflow_analyze::analyze(&program),
+            Err(d) => AnalysisReport::from_diags(vec![Diag::from(&d)]),
+        };
+        errors += report.count(Severity::Error);
+        warnings += report.count(Severity::Warning);
+        infos += report.count(Severity::Info);
+        if json {
+            print!("{}", report.to_json_lines(Some(&display), &source));
+        } else if !report.clean() {
+            println!("{display}:");
+            print!("{}", report.render(&source));
+        }
+    }
+    if !json {
+        println!(
+            "{} file(s) linted: {errors} error(s), {warnings} warning(s), {infos} info(s)",
+            files.len()
+        );
+    }
+    Ok(if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     })
 }
 
@@ -763,7 +859,7 @@ fn server_config(opts: &Opts) -> Result<secflow_server::ServerConfig, String> {
     Ok(cfg)
 }
 
-fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
     let opts = parse_opts(args)?;
     let cfg = server_config(&opts)?;
     match opts.value("addr") {
@@ -788,7 +884,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_batch(args: &[String]) -> Result<ExitCode, CliError> {
     let opts = parse_opts(args)?;
     let dir = opts.file()?;
     let cfg = server_config(&opts)?;
@@ -814,7 +910,7 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-fn cmd_fig3(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_fig3(args: &[String]) -> Result<ExitCode, CliError> {
     let opts = parse_opts(args)?;
     let x: i64 = opts
         .value("x")

@@ -279,8 +279,12 @@ fn checkproof_reports_syntax_errors() {
         "--proof",
         bad.to_str().unwrap(),
     ]);
-    assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("syntax error"));
+    // An unparseable proof is a rejected proof (analysis failure, exit
+    // 1), not a usage error.
+    assert_eq!(out.status.code(), Some(1));
+    let s = stdout(&out);
+    assert!(s.contains("proof REJECTED"), "{s}");
+    assert!(s.contains("syntax error"), "{s}");
 }
 
 #[test]
@@ -330,9 +334,71 @@ fn atomicity_passes_single_reference_programs() {
 fn parse_errors_render_with_carets() {
     let p = write_program("bad.sfl", "var x : integer; x := ");
     let out = secflow(&["certify", p.to_str().unwrap(), "--default", "low"]);
-    assert_eq!(out.status.code(), Some(2));
+    // A parse error is an analysis failure (exit 1); exit 2 is reserved
+    // for bad invocations.
+    assert_eq!(out.status.code(), Some(1));
     let err = String::from_utf8_lossy(&out.stderr).into_owned();
     assert!(err.contains("expected an expression"), "{err}");
+}
+
+#[test]
+fn lint_flags_the_sync_channel_program() {
+    let p = write_program("lint_sync.sfl", SYNC);
+    let out = secflow(&["lint", p.to_str().unwrap()]);
+    // Warnings and infos do not fail the lint; only errors do.
+    assert!(out.status.success(), "{}", stdout(&out));
+    let s = stdout(&out);
+    assert!(s.contains("SF010"), "{s}"); // may-deadlock
+    assert!(s.contains("SF030"), "{s}"); // wait raises the flow class
+    assert!(s.contains("1 file(s) linted"), "{s}");
+}
+
+#[test]
+fn lint_error_severity_exits_1() {
+    let p = write_program("lint_starve.sfl", "var s : semaphore; wait(s)");
+    let out = secflow(&["lint", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let s = stdout(&out);
+    assert!(s.contains("SF003"), "{s}"); // unsatisfiable wait is an error
+}
+
+#[test]
+fn lint_json_emits_one_object_per_diagnostic() {
+    let p = write_program("lint_json.sfl", SYNC);
+    let out = secflow(&["lint", p.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    let s = stdout(&out);
+    for line in s.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"code\":\"SF"), "{line}");
+        assert!(line.contains("\"severity\":"), "{line}");
+        assert!(line.contains("\"line\":"), "{line}");
+    }
+    assert!(s.contains("\"code\":\"SF010\""), "{s}");
+}
+
+#[test]
+fn lint_reports_parse_errors_as_diagnostics() {
+    let p = write_program("lint_bad.sfl", "var x : integer; x := ");
+    let out = secflow(&["lint", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let s = stdout(&out);
+    assert!(s.contains("expected an expression"), "{s}");
+    assert!(s.contains("1 error(s)"), "{s}");
+}
+
+#[test]
+fn lint_accepts_a_directory() {
+    let dir = std::env::temp_dir().join("secflow-cli-lint-dir");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("a.sf"), SAFE).unwrap();
+    std::fs::write(dir.join("b.sf"), SYNC).unwrap();
+    std::fs::write(dir.join("ignored.txt"), "not a program").unwrap();
+    let out = secflow(&["lint", dir.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    let s = stdout(&out);
+    assert!(s.contains("2 file(s) linted"), "{s}");
+    assert!(s.contains("b.sf:"), "{s}");
 }
 
 #[test]

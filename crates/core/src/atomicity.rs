@@ -18,30 +18,18 @@
 //! per-reference-atomic hardware; for programs that fail, the
 //! interpreter's expression-level atomicity is a modelling assumption the
 //! report makes explicit.
+//!
+//! Violations are reported as unified [`Diag`] diagnostics (code
+//! `SF040`), so they render identically under `secflow atomicity`,
+//! `secflow lint` and the analysis pass manager.
 
 use std::collections::BTreeSet;
-use std::fmt;
 
-use secflow_lang::span::LineIndex;
-use secflow_lang::{Expr, Program, Span, Stmt, VarId};
+use secflow_lang::{Diag, Expr, Program, Span, Stmt, VarId};
 
-/// One violation of the single-shared-reference condition.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct AtomicityViolation {
-    /// The offending assignment or guard.
-    pub span: Span,
-    /// The foreign-writable variables it references (≥ 2, or 1 plus a
-    /// foreign-writable assignment target).
-    pub shared_refs: Vec<VarId>,
-    /// Rendered description.
-    pub message: String,
-}
-
-impl fmt::Display for AtomicityViolation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (at {})", self.message, self.span)
-    }
-}
+/// One violation of the single-shared-reference condition, as a unified
+/// diagnostic (code `SF040`, warning severity).
+pub type AtomicityViolation = Diag;
 
 /// The outcome of the §2.0 atomicity check.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
@@ -62,14 +50,12 @@ impl AtomicityReport {
         if self.single_reference() {
             return "every action makes at most one shared-variable reference\n".into();
         }
-        let idx = LineIndex::new(source);
         let mut out = format!(
             "{} multi-shared-reference action(s):\n",
             self.violations.len()
         );
         for v in &self.violations {
-            let (line, col) = idx.line_col(v.span.start);
-            out.push_str(&format!("  line {line}, col {col}: {}\n", v.message));
+            out.push_str(&v.render(source));
         }
         out
     }
@@ -164,16 +150,16 @@ fn check_branch(
     let mut record = |span: Span, refs: Vec<VarId>, what: &str| {
         if refs.len() >= 2 {
             let names: Vec<&str> = refs.iter().map(|v| program.symbols.name(*v)).collect();
-            report.violations.push(AtomicityViolation {
-                span,
-                message: format!(
+            report.violations.push(Diag::warning(
+                "SF040",
+                format!(
                     "{what} references {} shared variables ({}); per-reference \
                      atomicity would admit interleavings the model hides",
                     refs.len(),
                     names.join(", ")
                 ),
-                shared_refs: refs,
-            });
+                span,
+            ));
         }
     };
     match stmt {
@@ -247,7 +233,9 @@ mod tests {
         .unwrap();
         let r = check_atomicity(&p);
         assert_eq!(r.violations.len(), 1);
-        assert_eq!(r.violations[0].shared_refs.len(), 2);
+        assert!(r.violations[0]
+            .message
+            .contains("references 2 shared variables"));
     }
 
     #[test]
@@ -268,6 +256,14 @@ mod tests {
         let r = check_atomicity(&p);
         assert_eq!(r.violations.len(), 1);
         assert!(r.violations[0].message.contains("guard"));
+    }
+
+    #[test]
+    fn violations_are_unified_diagnostics() {
+        let p = parse("var x : integer; cobegin x := x + 1 || x := 0 coend").unwrap();
+        let r = check_atomicity(&p);
+        assert_eq!(r.violations[0].code, "SF040");
+        assert_eq!(r.violations[0].severity, secflow_lang::Severity::Warning);
     }
 
     #[test]
@@ -331,7 +327,9 @@ mod tests {
         .unwrap();
         let rep = check_atomicity(&p);
         assert_eq!(rep.violations.len(), 1);
-        assert_eq!(rep.violations[0].shared_refs.len(), 2);
+        assert!(rep.violations[0]
+            .message
+            .contains("references 2 shared variables"));
     }
 
     #[test]
@@ -341,5 +339,6 @@ mod tests {
         let r = check_atomicity(&p);
         let text = r.render(src);
         assert!(text.contains("line 1"), "{text}");
+        assert!(text.contains("SF040"), "{text}");
     }
 }

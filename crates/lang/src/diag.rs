@@ -1,4 +1,13 @@
 //! Diagnostics: structured errors with source locations and rendering.
+//!
+//! Two diagnostic types live here:
+//!
+//! - [`Diagnostic`] is the front-end's error type (lexer/parser), with
+//!   `E`-prefixed [`ErrorCode`]s;
+//! - [`Diag`] is the *unified* diagnostic emitted by every static
+//!   analysis pass in the workspace (`SF`-prefixed codes, a
+//!   [`Severity`], optional fix hints). Parse errors convert into it
+//!   via `From`, so lint pipelines report everything in one shape.
 
 use std::fmt;
 
@@ -130,6 +139,169 @@ impl fmt::Display for Diagnostic {
 
 impl std::error::Error for Diagnostic {}
 
+/// How serious a [`Diag`] is. Ordered: `Info < Warning < Error`, so
+/// `max()` over a report yields the exit-code-relevant severity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// Informational: explains a property of the program (e.g. where a
+    /// global flow is raised) without claiming anything is wrong.
+    Info,
+    /// Suspicious but not provably broken (possible deadlock, dead
+    /// store, racy action).
+    Warning,
+    /// Provably broken (unsatisfiable wait, parse failure).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name, as used in rendered output and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// A unified analysis diagnostic: stable code, severity, primary span,
+/// message, secondary notes and an optional fix hint.
+///
+/// Every static analysis pass (`secflow-analyze`, the atomicity check in
+/// `secflow-core`) emits this type; renderers and the lint protocol op
+/// consume it. Codes are `SF`-prefixed and stable (`SF010` = possible
+/// deadlock, …); parse errors converted from [`Diagnostic`] keep their
+/// `E`-prefixed codes.
+///
+/// # Examples
+///
+/// ```
+/// use secflow_lang::diag::{Diag, Severity};
+/// use secflow_lang::span::Span;
+///
+/// let d = Diag::warning("SF021", "dead store to `x`", Span::new(0, 6))
+///     .with_fix("remove the assignment");
+/// let r = d.render("x := 1; x := 2");
+/// assert!(r.contains("warning[SF021]"));
+/// assert!(r.contains("help: remove the assignment"));
+/// assert_eq!(d.severity, Severity::Warning);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diag {
+    /// Stable machine-readable code (`SF0xx`, or `E0xxx` for converted
+    /// parse errors).
+    pub code: &'static str,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+    /// Primary source location.
+    pub span: Span,
+    /// Secondary notes (e.g. "declared here").
+    pub notes: Vec<(String, Span)>,
+    /// Optional suggestion for fixing the finding.
+    pub fix: Option<String>,
+}
+
+impl Diag {
+    /// Creates a diagnostic with an explicit severity.
+    pub fn new(
+        severity: Severity,
+        code: &'static str,
+        message: impl Into<String>,
+        span: Span,
+    ) -> Self {
+        Diag {
+            code,
+            severity,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+            fix: None,
+        }
+    }
+
+    /// An [`Severity::Error`] diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>, span: Span) -> Self {
+        Diag::new(Severity::Error, code, message, span)
+    }
+
+    /// A [`Severity::Warning`] diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>, span: Span) -> Self {
+        Diag::new(Severity::Warning, code, message, span)
+    }
+
+    /// An [`Severity::Info`] diagnostic.
+    pub fn info(code: &'static str, message: impl Into<String>, span: Span) -> Self {
+        Diag::new(Severity::Info, code, message, span)
+    }
+
+    /// Attaches a secondary note.
+    pub fn with_note(mut self, message: impl Into<String>, span: Span) -> Self {
+        self.notes.push((message.into(), span));
+        self
+    }
+
+    /// Attaches a fix suggestion.
+    pub fn with_fix(mut self, fix: impl Into<String>) -> Self {
+        self.fix = Some(fix.into());
+        self
+    }
+
+    /// Key for the deterministic report order: by position, then code,
+    /// then message (so equal-position diagnostics still sort stably).
+    pub fn sort_key(&self) -> (u32, u32, &'static str, &str) {
+        (self.span.start, self.span.end, self.code, &self.message)
+    }
+
+    /// Renders the diagnostic against its source text, with a caret
+    /// line, notes, and the fix hint as a `help:` line.
+    pub fn render(&self, source: &str) -> String {
+        let idx = LineIndex::new(source);
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        render_snippet(&mut out, source, &idx, self.span);
+        for (msg, span) in &self.notes {
+            out.push_str(&format!("note: {msg}\n"));
+            render_snippet(&mut out, source, &idx, *span);
+        }
+        if let Some(fix) = &self.fix {
+            out.push_str(&format!("help: {fix}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} (at {})",
+            self.severity, self.code, self.message, self.span
+        )
+    }
+}
+
+impl From<&Diagnostic> for Diag {
+    /// Parse errors become `Error`-severity diags with their `E`-code,
+    /// so lint reports can mix front-end and analysis findings.
+    fn from(d: &Diagnostic) -> Diag {
+        Diag {
+            code: d.code.as_str(),
+            severity: Severity::Error,
+            message: d.message.clone(),
+            span: d.span,
+            notes: d.notes.clone(),
+            fix: None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,5 +358,50 @@ mod tests {
     fn display_is_single_line() {
         let d = Diagnostic::error(ErrorCode::KindMismatch, "boom", Span::new(1, 2));
         assert_eq!(d.to_string(), "error[E0203]: boom (at 1..2)");
+    }
+
+    #[test]
+    fn severity_orders_info_warning_error() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Warning.as_str(), "warning");
+    }
+
+    #[test]
+    fn diag_renders_severity_code_and_fix() {
+        let src = "wait(s)";
+        let d = Diag::warning("SF010", "`wait(s)` can block forever", Span::new(0, 7))
+            .with_note("declared here", Span::new(5, 6))
+            .with_fix("add a matching signal(s)");
+        let r = d.render(src);
+        assert!(
+            r.contains("warning[SF010]: `wait(s)` can block forever"),
+            "{r}"
+        );
+        assert!(r.contains("note: declared here"), "{r}");
+        assert!(r.contains("help: add a matching signal(s)"), "{r}");
+        assert!(r.contains('^'), "{r}");
+    }
+
+    #[test]
+    fn diag_sort_key_orders_by_position_then_code() {
+        let a = Diag::warning("SF021", "a", Span::new(4, 5));
+        let b = Diag::error("SF003", "b", Span::new(4, 5));
+        let c = Diag::info("SF030", "c", Span::new(9, 10));
+        let mut v = [c.clone(), a.clone(), b.clone()];
+        v.sort_by(|x, y| x.sort_key().cmp(&y.sort_key()));
+        assert_eq!(v[0], b); // SF003 < SF021 at the same span
+        assert_eq!(v[1], a);
+        assert_eq!(v[2], c);
+    }
+
+    #[test]
+    fn parse_diagnostics_convert_to_diags() {
+        let d = Diagnostic::error(ErrorCode::UnexpectedToken, "expected `;`", Span::new(5, 6))
+            .with_note("after this", Span::new(0, 1));
+        let diag = Diag::from(&d);
+        assert_eq!(diag.code, "E0101");
+        assert_eq!(diag.severity, Severity::Error);
+        assert_eq!(diag.notes.len(), 1);
     }
 }

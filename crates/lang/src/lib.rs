@@ -47,7 +47,7 @@ pub mod span;
 pub mod token;
 
 pub use ast::{BinOp, Expr, Program, Stmt, SymbolTable, UnOp, VarId, VarInfo, VarKind};
-pub use diag::{Diagnostic, ErrorCode};
+pub use diag::{Diag, Diagnostic, ErrorCode, Severity};
 pub use parser::{parse, parse_expr};
 pub use printer::{print_expr, print_program, print_stmt};
 pub use span::Span;

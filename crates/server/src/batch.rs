@@ -25,6 +25,9 @@ pub struct FileOutcome {
     pub cached: bool,
     /// Service-side latency in microseconds.
     pub us: u64,
+    /// Lint counts `(errors, warnings, infos)`; `None` when the lint op
+    /// failed (e.g. the file never parsed).
+    pub lint: Option<(u64, u64, u64)>,
 }
 
 /// Totals for the whole batch.
@@ -80,6 +83,7 @@ pub fn run_batch(
                     statements: 0,
                     cached: false,
                     us: 0,
+                    lint: None,
                 });
                 continue;
             }
@@ -126,12 +130,38 @@ pub fn run_batch(
             } else {
                 "REJECTED".to_string()
             };
+            // Run the analysis passes as a second service op: same
+            // cache, same metrics, one lint column per file.
+            let lint_req = Request {
+                id: None,
+                op: Op::Lint,
+                source: req.source.clone(),
+                classes: Vec::new(),
+                default_class: None,
+                lattice: "two".to_string(),
+                baseline: false,
+                dot: false,
+                fuel: None,
+            };
+            service.note_request();
+            let lint_line = service.execute(&lint_req);
+            let lv = Json::parse(&lint_line).unwrap_or(Json::Null);
+            let lint = if lv.get("ok").and_then(Json::as_bool) == Some(true) {
+                Some((
+                    lv.get("errors").and_then(Json::as_u64).unwrap_or(0),
+                    lv.get("warnings").and_then(Json::as_u64).unwrap_or(0),
+                    lv.get("infos").and_then(Json::as_u64).unwrap_or(0),
+                ))
+            } else {
+                None
+            };
             let _ = tx.send(FileOutcome {
                 path,
                 status,
                 statements: v.get("statements").and_then(Json::as_u64).unwrap_or(0),
                 cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
                 us: v.get("us").and_then(Json::as_u64).unwrap_or(0),
+                lint,
             });
         })
         .map_err(|_| "worker pool closed unexpectedly".to_string())?;
@@ -169,17 +199,35 @@ pub fn render_summary(summary: &BatchSummary) -> String {
         .unwrap_or(4)
         .max(4);
     out.push_str(&format!(
-        "{:<width$}  {:>10}  {:>6}  {:>9}  {}\n",
-        "file", "status", "stmts", "time", "cache"
+        "{:<width$}  {:>10}  {:>6}  {:>9}  {:>5}  {:>10}\n",
+        "file", "status", "stmts", "time", "cache", "lint"
     ));
     for f in &summary.files {
+        let lint = match f.lint {
+            None => "-".to_string(),
+            Some((0, 0, 0)) => "clean".to_string(),
+            Some((e, w, i)) => {
+                let mut parts = Vec::new();
+                if e > 0 {
+                    parts.push(format!("{e}E"));
+                }
+                if w > 0 {
+                    parts.push(format!("{w}W"));
+                }
+                if i > 0 {
+                    parts.push(format!("{i}I"));
+                }
+                parts.join(" ")
+            }
+        };
         out.push_str(&format!(
-            "{:<width$}  {:>10}  {:>6}  {:>7}µs  {}\n",
+            "{:<width$}  {:>10}  {:>6}  {:>7}µs  {:>5}  {:>10}\n",
             f.path.display(),
             f.status,
             f.statements,
             f.us,
             if f.cached { "hit" } else { "-" },
+            lint,
         ));
     }
     out.push_str(&format!(

@@ -26,6 +26,8 @@ pub struct Metrics {
     pub infer: AtomicU64,
     /// `flows` requests processed.
     pub flows: AtomicU64,
+    /// `lint` requests processed.
+    pub lint: AtomicU64,
     /// Results served from the cache.
     pub cache_hits: AtomicU64,
     /// Results computed because the cache had no entry.
@@ -92,6 +94,7 @@ impl Metrics {
             ("certify".to_string(), n(&self.certify)),
             ("infer".to_string(), n(&self.infer)),
             ("flows".to_string(), n(&self.flows)),
+            ("lint".to_string(), n(&self.lint)),
             ("cache_hits".to_string(), n(&self.cache_hits)),
             ("cache_misses".to_string(), n(&self.cache_misses)),
             ("errors".to_string(), n(&self.errors)),

@@ -8,8 +8,9 @@
 //!  "default":"low","lattice":"linear:4","baseline":false,"fuel":50000}
 //! {"id":2,"op":"infer","source":"…","pins":{"x":"high"}}
 //! {"id":3,"op":"flows","source":"…","dot":true}
-//! {"id":4,"op":"stats"}
-//! {"id":5,"op":"shutdown"}
+//! {"id":4,"op":"lint","source":"…"}
+//! {"id":5,"op":"stats"}
+//! {"id":6,"op":"shutdown"}
 //! ```
 //!
 //! Responses always carry `ok` and echo `id` (when one was given) and
@@ -29,6 +30,8 @@ pub enum Op {
     Infer,
     /// Render the program's flow graph (text or DOT).
     Flows,
+    /// Run the static analysis passes and return unified diagnostics.
+    Lint,
     /// Report service counters and latency histogram.
     Stats,
     /// Stop the service, draining queued work first.
@@ -42,6 +45,7 @@ impl Op {
             Op::Certify => "certify",
             Op::Infer => "infer",
             Op::Flows => "flows",
+            Op::Lint => "lint",
             Op::Stats => "stats",
             Op::Shutdown => "shutdown",
         }
@@ -88,6 +92,7 @@ impl Request {
             Some("certify") => Op::Certify,
             Some("infer") => Op::Infer,
             Some("flows") => Op::Flows,
+            Some("lint") => Op::Lint,
             Some("stats") => Op::Stats,
             Some("shutdown") => Op::Shutdown,
             Some(other) => return Err(fail(format!("unknown op `{other}`"))),
@@ -98,7 +103,7 @@ impl Request {
             Some(Json::Str(s)) => s.clone(),
             Some(_) => return Err(fail("`source` must be a string".into())),
             None => {
-                if matches!(op, Op::Certify | Op::Infer | Op::Flows) {
+                if matches!(op, Op::Certify | Op::Infer | Op::Flows | Op::Lint) {
                     return Err(fail(format!("op `{}` needs `source`", op.name())));
                 }
                 String::new()

@@ -10,7 +10,8 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use secflow_core::{certify, denning_certify, infer_binding, FlowGraph, StaticBinding};
-use secflow_lang::{parse, Program};
+use secflow_lang::span::LineIndex;
+use secflow_lang::{parse, Program, Severity};
 use secflow_lattice::{Lattice, LinearScheme, Scheme, TwoPoint, TwoPointScheme};
 
 use crate::cache::{CacheKey, CachedResult, ResultCache};
@@ -98,7 +99,7 @@ impl Service {
                 .field("cache_entries", Json::Num(self.cache_len() as f64))
                 .into_line(),
             Op::Shutdown => Response::ok(req.id.as_ref(), Op::Shutdown).into_line(),
-            Op::Certify | Op::Infer | Op::Flows => self.compute_cached(req, start),
+            Op::Certify | Op::Infer | Op::Flows | Op::Lint => self.compute_cached(req, start),
         };
         self.metrics.record_latency(start.elapsed());
         line
@@ -109,6 +110,7 @@ impl Service {
             Op::Certify => Some(&self.metrics.certify),
             Op::Infer => Some(&self.metrics.infer),
             Op::Flows => Some(&self.metrics.flows),
+            Op::Lint => Some(&self.metrics.lint),
             _ => None,
         }
     }
@@ -173,6 +175,12 @@ impl Service {
                 ErrorKind::Fuel,
                 format!("program has {statements} statements; fuel allows {effective_fuel}"),
             ));
+        }
+        if req.op == Op::Lint {
+            // Lint needs no binding or lattice; it is still routed
+            // through `compute_cached`, so results are cached and
+            // counted like every other program-level op.
+            return Ok(lint_fields(&program, &req.source));
         }
         match req.lattice.as_str() {
             "two" => run_op(req, &program, &TwoPointScheme, &parse_two_class),
@@ -359,8 +367,44 @@ where
             };
             Ok(vec![("graph".to_string(), Json::Str(rendered))])
         }
-        Op::Stats | Op::Shutdown => unreachable!("handled before dispatch"),
+        Op::Lint | Op::Stats | Op::Shutdown => unreachable!("handled before dispatch"),
     }
+}
+
+/// Response fields for the `lint` op: aggregate counts plus one JSON
+/// object per diagnostic (deterministically ordered by the analyzer).
+fn lint_fields(program: &Program, source: &str) -> Vec<(String, Json)> {
+    let report = secflow_analyze::analyze(program);
+    let idx = LineIndex::new(source);
+    let count = |s: Severity| report.count(s) as f64;
+    let diags: Vec<Json> = report
+        .diags
+        .iter()
+        .map(|d| {
+            let (line, col) = idx.line_col(d.span.start);
+            let mut fields = vec![
+                ("code".to_string(), Json::Str(d.code.to_string())),
+                (
+                    "severity".to_string(),
+                    Json::Str(d.severity.as_str().to_string()),
+                ),
+                ("line".to_string(), Json::Num(line as f64)),
+                ("col".to_string(), Json::Num(col as f64)),
+                ("message".to_string(), Json::Str(d.message.clone())),
+            ];
+            if let Some(fix) = &d.fix {
+                fields.push(("fix".to_string(), Json::Str(fix.clone())));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    vec![
+        ("clean".to_string(), Json::Bool(report.clean())),
+        ("errors".to_string(), Json::Num(count(Severity::Error))),
+        ("warnings".to_string(), Json::Num(count(Severity::Warning))),
+        ("infos".to_string(), Json::Num(count(Severity::Info))),
+        ("diagnostics".to_string(), Json::Arr(diags)),
+    ]
 }
 
 fn build_binding<S: Scheme>(
@@ -501,6 +545,50 @@ mod tests {
             .and_then(|e| e.get("kind"))
             .and_then(Json::as_str);
         assert_eq!(kind, Some("binding"));
+    }
+
+    #[test]
+    fn lint_reports_diagnostics_and_caches() {
+        let s = svc();
+        let req = format!(
+            r#"{{"op":"lint","source":{}}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        let v = Json::parse(&s.handle_line(&req)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("clean").and_then(Json::as_bool), Some(false));
+        // §2.2: the deadlock-capable wait (SF010) is a warning.
+        assert!(v.get("warnings").and_then(Json::as_u64).unwrap() >= 1);
+        let diags = match v.get("diagnostics") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("diagnostics not an array: {other:?}"),
+        };
+        assert!(diags
+            .iter()
+            .any(|d| d.get("code").and_then(Json::as_str) == Some("SF010")));
+        for d in diags {
+            assert!(d.get("severity").and_then(Json::as_str).is_some());
+            assert!(d.get("line").and_then(Json::as_u64).is_some());
+            assert!(d.get("message").and_then(Json::as_str).is_some());
+        }
+
+        let v2 = Json::parse(&s.handle_line(&req)).unwrap();
+        assert_eq!(v2.get("cached").and_then(Json::as_bool), Some(true));
+
+        let stats = Json::parse(&s.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        assert_eq!(stats.get("lint").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn lint_of_clean_program_is_clean() {
+        let s = svc();
+        let req = format!(
+            r#"{{"op":"lint","source":{}}}"#,
+            Json::Str("var x : integer; x := 1".to_string())
+        );
+        let v = Json::parse(&s.handle_line(&req)).unwrap();
+        assert_eq!(v.get("clean").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("errors").and_then(Json::as_u64), Some(0));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | The parallel language (§2.0) | `secflow-lang` | [`lang`] |
 //! | CFM + Denning baseline (Fig. 2) | `secflow-core` | [`cfm`] |
 //! | The flow logic (Fig. 1, Thms. 1–2) | `secflow-logic` | [`logic`] |
+//! | Static analysis & lint (SF-codes) | `secflow-analyze` | [`analyze`] |
 //! | Interpreter/explorer/monitor | `secflow-runtime` | [`runtime`] |
 //! | Paper programs & generators | `secflow-workload` | [`workload`] |
 //! | Certification service (pool/cache) | `secflow-server` | [`server`] |
@@ -58,6 +59,12 @@ pub mod lang {
 /// (re-export of `secflow-core`).
 pub mod cfm {
     pub use secflow_core::*;
+}
+
+/// Static analysis passes and unified lint diagnostics
+/// (re-export of `secflow-analyze`).
+pub mod analyze {
+    pub use secflow_analyze::*;
 }
 
 /// The flow logic: assertions, proofs, checker, Theorem 1 prover

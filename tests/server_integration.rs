@@ -177,6 +177,56 @@ fn malformed_fuel_limited_and_binding_errors() {
 }
 
 #[test]
+fn lint_op_returns_structured_diagnostics() {
+    let server = serve_tcp("127.0.0.1:0", config(2, 64)).unwrap();
+    let mut client = Client::connect(&server);
+
+    // The §2.2 semaphore channel: lint must surface the SF010
+    // may-deadlock warning, with resolved positions on every entry.
+    let channel = "var x, y : integer; sem : semaphore;
+cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend";
+    let line = format!(
+        r#"{{"id":1,"op":"lint","source":{}}}"#,
+        Json::Str(channel.to_string())
+    );
+    client.send(&line);
+    let v = client.recv().unwrap();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    assert_eq!(v.get("op").and_then(Json::as_str), Some("lint"));
+    assert_eq!(v.get("clean").and_then(Json::as_bool), Some(false));
+    assert!(v.get("warnings").and_then(Json::as_u64).unwrap() >= 1);
+    let diags = v
+        .get("diagnostics")
+        .and_then(|d| d.as_arr())
+        .expect("diagnostics array");
+    assert!(!diags.is_empty());
+    for d in diags {
+        assert!(d.get("code").and_then(Json::as_str).is_some(), "{d}");
+        assert!(d.get("severity").and_then(Json::as_str).is_some(), "{d}");
+        assert!(d.get("line").and_then(Json::as_u64).is_some(), "{d}");
+        assert!(d.get("message").and_then(Json::as_str).is_some(), "{d}");
+    }
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.get("code").and_then(Json::as_str) == Some("SF010")),
+        "{v}"
+    );
+
+    // A verbatim repeat is a cache hit, and the lint counter sees both.
+    client.send(&line);
+    let v = client.recv().unwrap();
+    assert_eq!(v.get("cached").and_then(Json::as_bool), Some(true));
+    client.send(r#"{"id":2,"op":"stats"}"#);
+    let stats = client.recv().unwrap();
+    assert_eq!(stats.get("lint").and_then(Json::as_u64), Some(2));
+
+    client.send(r#"{"op":"shutdown"}"#);
+    client.recv().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
 fn overload_sheds_instead_of_hanging() {
     // 1 worker, queue of 2: eight connections flooding ten requests
     // each must overflow the queue; every request still gets exactly
