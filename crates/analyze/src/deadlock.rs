@@ -57,6 +57,10 @@ impl AnalysisPass for DeadlockPass {
     }
 
     fn run(&self, program: &Program, out: &mut Vec<Diag>) {
+        self.run_with(program, out, &|| false);
+    }
+
+    fn run_with(&self, program: &Program, out: &mut Vec<Diag>, should_stop: &dyn Fn() -> bool) {
         if let Some(cycle) = circular_handoff(program) {
             let names: Vec<&str> = cycle.iter().map(|&v| program.symbols.name(v)).collect();
             let mut d = Diag::warning(
@@ -82,12 +86,17 @@ impl AnalysisPass for DeadlockPass {
             out.push(d);
         }
 
-        let report = deadlock_analysis(program, self.max_states);
+        let report = deadlock_analysis_with(program, self.max_states, should_stop);
         if report.truncated {
+            let why = if report.cancelled {
+                "cancelled"
+            } else {
+                "truncated"
+            };
             out.push(Diag::info(
                 "SF012",
                 format!(
-                    "deadlock exploration truncated after {} abstract states; no verdict",
+                    "deadlock exploration {why} after {} abstract states; no verdict",
                     report.states
                 ),
                 program.body.span(),
@@ -124,6 +133,9 @@ pub struct DeadlockReport {
     /// The exploration hit a resource cap; `may_deadlock` is unreliable
     /// (no claim is made either way).
     pub truncated: bool,
+    /// The caller's `should_stop` hook ended the exploration (implies
+    /// `truncated`).
+    pub cancelled: bool,
     /// `wait` sites blocked in some deadlocked state, sorted by span.
     pub blocked_waits: Vec<(Span, VarId)>,
     /// Number of distinct abstract states visited.
@@ -133,10 +145,25 @@ pub struct DeadlockReport {
 /// Explores the semaphore skeleton of `program`, visiting at most
 /// `max_states` abstract states.
 pub fn deadlock_analysis(program: &Program, max_states: usize) -> DeadlockReport {
+    deadlock_analysis_with(program, max_states, &|| false)
+}
+
+/// States to explore between `should_stop` polls.
+const CANCEL_POLL_STATES: usize = 256;
+
+/// [`deadlock_analysis`] with a cooperative cancellation hook, polled
+/// every [`CANCEL_POLL_STATES`] popped states. A `true` return abandons
+/// the exploration with `cancelled` (and `truncated`) set.
+pub fn deadlock_analysis_with(
+    program: &Program,
+    max_states: usize,
+    should_stop: &dyn Fn() -> bool,
+) -> DeadlockReport {
     if program.statement_count() > STMT_CAP {
         return DeadlockReport {
             may_deadlock: false,
             truncated: true,
+            cancelled: false,
             blocked_waits: Vec::new(),
             states: 0,
         };
@@ -162,9 +189,18 @@ pub fn deadlock_analysis(program: &Program, max_states: usize) -> DeadlockReport
     let mut stack = vec![init];
     let mut may_deadlock = false;
     let mut truncated = false;
+    let mut cancelled = false;
+    let mut popped = 0usize;
+
     let mut blocked: BTreeSet<(u32, u32, VarId)> = BTreeSet::new();
 
     while let Some(st) = stack.pop() {
+        if popped.is_multiple_of(CANCEL_POLL_STATES) && should_stop() {
+            truncated = true;
+            cancelled = true;
+            break;
+        }
+        popped += 1;
         let mut succs = Vec::new();
         let mut overflow = false;
         for i in 0..st.tasks.len() {
@@ -214,6 +250,7 @@ pub fn deadlock_analysis(program: &Program, max_states: usize) -> DeadlockReport
     DeadlockReport {
         may_deadlock: may_deadlock && !truncated,
         truncated,
+        cancelled,
         blocked_waits: blocked
             .into_iter()
             .map(|(s, e, v)| (Span::new(s, e), v))
@@ -903,6 +940,14 @@ coend";
         let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
         assert!(codes.contains(&"SF011"), "{codes:?}");
         assert!(codes.contains(&"SF010"), "{codes:?}");
+    }
+
+    #[test]
+    fn cancellation_truncates_without_a_verdict() {
+        let r = deadlock_analysis_with(&parse(FIG3).unwrap(), 100_000, &|| true);
+        assert!(r.cancelled);
+        assert!(r.truncated);
+        assert!(!r.may_deadlock, "no verdict once cancelled");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //!
 //! | Code | Severity | Pass | Meaning |
 //! |------|----------|------|---------|
+//! | SF000 | error   | (manager) | an analysis pass panicked; its findings were discarded |
 //! | SF001 | warning | sem-statics | semaphore declared but never used |
 //! | SF002 | warning | sem-statics | semaphore signaled but never waited on |
 //! | SF003 | error   | sem-statics | `wait` on a never-signaled, zero-initialized semaphore |
@@ -59,7 +60,7 @@ pub mod sem_statics;
 
 pub use atomicity::AtomicityPass;
 pub use dataflow::DataflowPass;
-pub use deadlock::{deadlock_analysis, DeadlockPass, DeadlockReport};
+pub use deadlock::{deadlock_analysis, deadlock_analysis_with, DeadlockPass, DeadlockReport};
 pub use pass::{AnalysisPass, AnalysisReport, PassManager};
 pub use provenance::ProvenancePass;
 pub use sem_statics::SemStaticsPass;
@@ -71,4 +72,10 @@ use secflow_lang::Program;
 /// Equivalent to `PassManager::with_default_passes().run(program)`.
 pub fn analyze(program: &Program) -> AnalysisReport {
     PassManager::with_default_passes().run(program)
+}
+
+/// [`analyze`] with a cooperative cancellation hook (see
+/// [`PassManager::run_with`]).
+pub fn analyze_with(program: &Program, should_stop: &dyn Fn() -> bool) -> AnalysisReport {
+    PassManager::with_default_passes().run_with(program, should_stop)
 }

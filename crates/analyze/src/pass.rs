@@ -1,5 +1,7 @@
 //! The pass manager: pluggable analyses over one program, one report.
 
+use std::panic::{self, AssertUnwindSafe};
+
 use secflow_lang::span::LineIndex;
 use secflow_lang::{Diag, Program, Severity};
 
@@ -20,6 +22,14 @@ pub trait AnalysisPass {
 
     /// Runs the pass, appending findings to `out`.
     fn run(&self, program: &Program, out: &mut Vec<Diag>);
+
+    /// Runs the pass with a cooperative cancellation hook. Passes that
+    /// can run long (e.g. state-space exploration) should override this
+    /// and poll `should_stop`; the default ignores the hook.
+    fn run_with(&self, program: &Program, out: &mut Vec<Diag>, should_stop: &dyn Fn() -> bool) {
+        let _ = should_stop;
+        self.run(program, out);
+    }
 }
 
 /// Runs a configurable sequence of [`AnalysisPass`]es.
@@ -58,12 +68,49 @@ impl PassManager {
 
     /// Runs every pass and collects a sorted, deduped report.
     pub fn run(&self, program: &Program) -> AnalysisReport {
+        self.run_with(program, &|| false)
+    }
+
+    /// [`run`](Self::run) with a cooperative cancellation hook.
+    ///
+    /// Each pass is isolated with `catch_unwind`: a panicking pass
+    /// degrades to one `SF000` internal-error diagnostic (its partial
+    /// findings are discarded) instead of killing the whole pipeline.
+    /// `should_stop` is checked between passes and forwarded to each
+    /// pass's [`AnalysisPass::run_with`]; once it returns `true` the
+    /// remaining passes are skipped and the report is marked
+    /// `cancelled`.
+    pub fn run_with(&self, program: &Program, should_stop: &dyn Fn() -> bool) -> AnalysisReport {
         let mut diags = Vec::new();
+        let mut passes_run = 0usize;
+        let mut pass_panics = 0usize;
+        let mut cancelled = false;
         for pass in &self.passes {
-            pass.run(program, &mut diags);
+            if should_stop() {
+                cancelled = true;
+                break;
+            }
+            let mut local = Vec::new();
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                pass.run_with(program, &mut local, should_stop);
+            }));
+            passes_run += 1;
+            match outcome {
+                Ok(()) => diags.append(&mut local),
+                Err(_) => {
+                    pass_panics += 1;
+                    diags.push(Diag::error(
+                        "SF000",
+                        format!("internal error: analysis pass `{}` panicked", pass.name()),
+                        program.body.span(),
+                    ));
+                }
+            }
         }
         let mut report = AnalysisReport::from_diags(diags);
-        report.passes_run = self.passes.len();
+        report.passes_run = passes_run;
+        report.pass_panics = pass_panics;
+        report.cancelled = cancelled;
         report
     }
 }
@@ -75,6 +122,10 @@ pub struct AnalysisReport {
     pub diags: Vec<Diag>,
     /// How many passes produced this report.
     pub passes_run: usize,
+    /// How many passes panicked and were degraded to `SF000`.
+    pub pass_panics: usize,
+    /// `true` if cancellation skipped at least the remaining passes.
+    pub cancelled: bool,
 }
 
 impl AnalysisReport {
@@ -86,6 +137,8 @@ impl AnalysisReport {
         AnalysisReport {
             diags,
             passes_run: 0,
+            pass_panics: 0,
+            cancelled: false,
         }
     }
 
@@ -216,6 +269,51 @@ mod tests {
             "{line}"
         );
         assert!(line.ends_with("}\n"), "{line}");
+    }
+
+    struct PanicPass;
+
+    impl AnalysisPass for PanicPass {
+        fn name(&self) -> &'static str {
+            "panic-injector"
+        }
+
+        fn run(&self, _program: &Program, out: &mut Vec<Diag>) {
+            out.push(Diag::warning("SF999", "partial", Span::new(0, 1)));
+            panic!("injected pass failure");
+        }
+    }
+
+    #[test]
+    fn panicking_pass_degrades_to_sf000() {
+        let mut pm = PassManager::new();
+        pm.register(Box::new(PanicPass));
+        pm.register(Box::new(SemStaticsPass));
+        let p = parse("var x : integer; x := 1").unwrap();
+        // Silence the default panic hook's backtrace for the injected panic.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = pm.run(&p);
+        std::panic::set_hook(prev);
+        assert_eq!(report.passes_run, 2);
+        assert_eq!(report.pass_panics, 1);
+        assert!(!report.cancelled);
+        let codes: Vec<_> = report.diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"SF000"), "{codes:?}");
+        assert!(
+            !codes.contains(&"SF999"),
+            "partial findings of a panicked pass are discarded: {codes:?}"
+        );
+        assert_eq!(report.max_severity(), Some(Severity::Error));
+    }
+
+    #[test]
+    fn cancellation_skips_remaining_passes() {
+        let pm = PassManager::with_default_passes();
+        let p = parse("var x : integer; x := 1").unwrap();
+        let report = pm.run_with(&p, &|| true);
+        assert!(report.cancelled);
+        assert_eq!(report.passes_run, 0);
     }
 
     #[test]

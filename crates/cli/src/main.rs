@@ -27,7 +27,8 @@ use secflow_lang::{parse, print_program, Diag, Program, Severity, VarId};
 use secflow_lattice::{Extended, Lattice, Linear, LinearScheme, Scheme, TwoPoint, TwoPointScheme};
 use secflow_logic::{check_proof, parse_proof, prove, render_proof, write_proof};
 use secflow_runtime::{
-    check_noninterference, explore, run_traced, ExploreLimits, Machine, RandomSched, RoundRobin,
+    check_noninterference, explore_with, run_traced, ExploreLimits, Machine, RandomSched,
+    RoundRobin,
 };
 use secflow_workload::{fig3_baseline_gap_binding, fig3_program, FIG3_SOURCE};
 
@@ -41,7 +42,7 @@ USAGE:
                          [--lattice two|linear:N] [--emit proof.sfp]
   secflow checkproof <file> --proof proof.sfp [--lattice two|linear:N]
   secflow run     <file> [--input name=VALUE]... [--seed N] [--fuel N] [--trace]
-  secflow explore <file> [--input name=VALUE]... [--max-states N]
+  secflow explore <file> [--input name=VALUE]... [--max-states N] [--timeout-ms N]
   secflow leaktest <file> --secret NAME [--observe a,b,c] [--values 0,1]
   secflow infer   <file> [--pin name=CLASS]... [--lattice two|linear:N]
   secflow flows   <file> [--class name=CLASS]... [--dot]
@@ -49,9 +50,13 @@ USAGE:
   secflow lint    <file|dir> [--json]
   secflow fig3    [--x VALUE]
   secflow serve   [--addr HOST:PORT] [--workers N] [--cache N] [--queue N]
-                  [--max-fuel N]   (no --addr: serve stdin/stdout)
+                  [--max-fuel N] [--default-timeout-ms N] [--max-line-bytes N]
+                  [--chaos SPEC]   (no --addr: serve stdin/stdout)
   secflow batch   <dir> [--class name=CLASS]... [--default CLASS]
                   [--lattice two|linear:N] [--workers N]
+                  [--remote HOST:PORT [--retries N]]
+  secflow gen     (--chain N [--vars K] | --philosophers N [--meals M])
+                  [--request OP [--timeout-ms N]]
   secflow --version
 
 CLASSES: low | high (two-point, default), or 0..N-1 with --lattice linear:N
@@ -65,7 +70,9 @@ EXIT CODES:
 `serve` speaks a JSON-lines protocol; see DESIGN.md (Serving) for the
 request/response format. `lint` runs the secflow-analyze passes and
 prints unified SF-code diagnostics (one JSON object per line with
---json).
+--json). `serve --chaos` takes a deterministic fault-plan spec such as
+`seed=7,panic=5,io=20,latency=50,latency_ms=2,short=10,drop_connects=3,max_faults=40`
+(per-mille rates; also read from the SECFLOW_CHAOS env var).
 ";
 
 /// A CLI failure, split along the exit-code convention: `Usage` exits 2
@@ -124,6 +131,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, CliError> {
         "fig3" => cmd_fig3(rest),
         "serve" => cmd_serve(rest),
         "batch" => cmd_batch(rest),
+        "gen" => cmd_gen(rest),
         "version" | "--version" | "-V" => {
             println!("secflow {}", env!("CARGO_PKG_VERSION"));
             Ok(ExitCode::SUCCESS)
@@ -645,7 +653,18 @@ fn cmd_explore(args: &[String]) -> Result<ExitCode, CliError> {
     if let Some(ms) = opts.value("max-states") {
         limits.max_states = ms.parse().map_err(|_| "bad --max-states")?;
     }
-    let report = explore(&program, &inputs, limits);
+    let timeout_ms: u64 = opts
+        .value("timeout-ms")
+        .map_or(Ok(0), |v| v.parse().map_err(|_| "bad --timeout-ms"))?;
+    let token = secflow_server::CancelToken::after_ms(timeout_ms);
+    let stop = || token.expired();
+    let report = explore_with(&program, &inputs, limits, &stop);
+    if report.cancelled {
+        println!(
+            "TIMEOUT after {timeout_ms} ms: {} states explored (partial results below)",
+            report.states
+        );
+    }
     println!(
         "states: {}   terminal outcomes: {}   deadlocks: {}   faults: {}   truncated: {}",
         report.states,
@@ -856,6 +875,23 @@ fn server_config(opts: &Opts) -> Result<secflow_server::ServerConfig, String> {
     if let Some(v) = opts.value("max-fuel") {
         cfg.limits.max_fuel = v.parse().map_err(|_| "bad --max-fuel")?;
     }
+    if let Some(v) = opts.value("default-timeout-ms") {
+        cfg.limits.default_timeout_ms = v.parse().map_err(|_| "bad --default-timeout-ms")?;
+    }
+    if let Some(v) = opts.value("max-line-bytes") {
+        cfg.max_line_bytes = v.parse().map_err(|_| "bad --max-line-bytes")?;
+    }
+    // --chaos takes a fault-plan spec; SECFLOW_CHAOS is the env fallback
+    // so CI can inject faults without changing invocations.
+    let chaos_spec = opts
+        .value("chaos")
+        .map(str::to_string)
+        .or_else(|| std::env::var("SECFLOW_CHAOS").ok());
+    if let Some(spec) = chaos_spec {
+        let plan =
+            secflow_server::FaultPlan::parse(&spec).map_err(|e| format!("bad --chaos: {e}"))?;
+        cfg.chaos = Some(std::sync::Arc::new(plan));
+    }
     Ok(cfg)
 }
 
@@ -864,14 +900,14 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
     let cfg = server_config(&opts)?;
     match opts.value("addr") {
         Some(addr) => {
+            let (workers, queue, cache) = (cfg.workers, cfg.queue_capacity, cfg.cache_capacity);
+            let chaos = cfg.chaos.is_some();
             let server =
                 secflow_server::serve_tcp(addr, cfg).map_err(|e| format!("cannot bind: {e}"))?;
             eprintln!(
-                "secflow-server listening on {} ({} workers, queue {}, cache {})",
+                "secflow-server listening on {} ({workers} workers, queue {queue}, cache {cache}{})",
                 server.local_addr(),
-                cfg.workers,
-                cfg.queue_capacity,
-                cfg.cache_capacity
+                if chaos { ", CHAOS ON" } else { "" }
             );
             server
                 .join()
@@ -895,19 +931,88 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, CliError> {
             .ok_or_else(|| format!("expected name=CLASS, got `{spec}`"))?;
         classes.push((name.to_string(), class.to_string()));
     }
-    let summary = secflow_server::run_batch(
-        std::path::Path::new(dir),
-        &classes,
-        opts.value("default"),
-        opts.value("lattice").unwrap_or("two"),
-        cfg,
-    )?;
+    let summary = match opts.value("remote") {
+        // Remote mode: ship every file to a running server through the
+        // retrying client instead of certifying in-process.
+        Some(addr) => {
+            let mut policy = secflow_server::RetryPolicy::default();
+            if let Some(v) = opts.value("retries") {
+                policy.budget = v.parse().map_err(|_| "bad --retries")?;
+            }
+            secflow_server::run_batch_remote(
+                std::path::Path::new(dir),
+                &classes,
+                opts.value("default"),
+                opts.value("lattice").unwrap_or("two"),
+                addr,
+                policy,
+            )?
+        }
+        None => secflow_server::run_batch(
+            std::path::Path::new(dir),
+            &classes,
+            opts.value("default"),
+            opts.value("lattice").unwrap_or("two"),
+            cfg,
+        )?,
+    };
     print!("{}", secflow_server::render_summary(&summary));
     Ok(if summary.errored == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     })
+}
+
+/// Generates a synthetic workload program — a sequential assignment
+/// chain (`--chain N`, parse/certify depth) or unordered dining
+/// philosophers (`--philosophers N`, an interleaving-space bomb for
+/// `explore`) — either as plain source or wrapped in a ready-to-send
+/// JSON-lines request. The latter is what the CI timeout smoke pipes
+/// into `secflow serve`.
+fn cmd_gen(args: &[String]) -> Result<ExitCode, CliError> {
+    let opts = parse_opts(args)?;
+    let source = match (opts.value("chain"), opts.value("philosophers")) {
+        (Some(length), None) => {
+            let length: usize = length.parse().map_err(|_| "bad --chain")?;
+            let vars: usize = opts
+                .value("vars")
+                .map_or(Ok(8), |v| v.parse().map_err(|_| "bad --vars"))?;
+            print_program(&secflow_workload::sequential_chain(length, vars))
+        }
+        (None, Some(n)) => {
+            let n: usize = n.parse().map_err(|_| "bad --philosophers")?;
+            let meals: i64 = opts
+                .value("meals")
+                .map_or(Ok(1000), |v| v.parse().map_err(|_| "bad --meals"))?;
+            print_program(&secflow_workload::dining_philosophers(n, meals, false))
+        }
+        _ => return Err("pass exactly one of --chain N or --philosophers N".into()),
+    };
+    match opts.value("request") {
+        None => print!("{source}"),
+        Some(op_name) => {
+            let op = match op_name {
+                "certify" => secflow_server::Op::Certify,
+                "infer" => secflow_server::Op::Infer,
+                "flows" => secflow_server::Op::Flows,
+                "lint" => secflow_server::Op::Lint,
+                "explore" => secflow_server::Op::Explore,
+                other => return Err(format!("bad --request op `{other}`").into()),
+            };
+            let mut req = secflow_server::Request::new(op, source);
+            if let Some(t) = opts.value("timeout-ms") {
+                req.timeout_ms = Some(t.parse().map_err(|_| "bad --timeout-ms")?);
+            }
+            if op == secflow_server::Op::Explore {
+                // Raise the state cap to the server's hard limit so a
+                // deadline, not truncation, is what stops the search.
+                req.max_states = Some(u64::MAX);
+            }
+            println!("{}", req.to_line());
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_fig3(args: &[String]) -> Result<ExitCode, CliError> {

@@ -51,6 +51,9 @@ pub struct ExploreReport {
     pub states: usize,
     /// `true` if a limit stopped the search (results are then a subset).
     pub truncated: bool,
+    /// `true` if the caller's `should_stop` hook stopped the search
+    /// (implies `truncated`).
+    pub cancelled: bool,
 }
 
 impl ExploreReport {
@@ -71,6 +74,23 @@ impl ExploreReport {
 /// Exhaustively explores all interleavings of `program` from the given
 /// inputs.
 pub fn explore(program: &Program, inputs: &[(VarId, i64)], limits: ExploreLimits) -> ExploreReport {
+    explore_with(program, inputs, limits, &|| false)
+}
+
+/// How many states to expand between `should_stop` polls. Small enough
+/// that a deadline overrun is noticed within a fraction of the typical
+/// per-state cost budget, large enough that the hook is off the hot path.
+const CANCEL_POLL_STATES: usize = 256;
+
+/// [`explore`] with a cooperative cancellation hook: `should_stop` is
+/// polled every [`CANCEL_POLL_STATES`] expanded states, and a `true`
+/// return abandons the search with `cancelled` (and `truncated`) set.
+pub fn explore_with(
+    program: &Program,
+    inputs: &[(VarId, i64)],
+    limits: ExploreLimits,
+    should_stop: &dyn Fn() -> bool,
+) -> ExploreReport {
     let machine = Machine::with_inputs(program, inputs);
     let mut report = ExploreReport {
         outcomes: BTreeSet::new(),
@@ -78,6 +98,7 @@ pub fn explore(program: &Program, inputs: &[(VarId, i64)], limits: ExploreLimits
         faults: 0,
         states: 0,
         truncated: false,
+        cancelled: false,
     };
     let mut seen: HashSet<u64> = HashSet::new();
     let mut stack: Vec<(Machine<'_>, usize)> = vec![(machine, 0)];
@@ -87,6 +108,11 @@ pub fn explore(program: &Program, inputs: &[(VarId, i64)], limits: ExploreLimits
         }
         if report.states >= limits.max_states {
             report.truncated = true;
+            break;
+        }
+        if report.states.is_multiple_of(CANCEL_POLL_STATES) && should_stop() {
+            report.truncated = true;
+            report.cancelled = true;
             break;
         }
         report.states += 1;
@@ -202,6 +228,15 @@ mod tests {
             },
         );
         assert!(r.truncated);
+    }
+
+    #[test]
+    fn cancellation_hook_stops_the_search() {
+        let p = parse("var x : integer; while true do x := x + 1").unwrap();
+        let r = explore_with(&p, &[], lim(), &|| true);
+        assert!(r.cancelled);
+        assert!(r.truncated);
+        assert!(r.states <= super::CANCEL_POLL_STATES);
     }
 
     #[test]

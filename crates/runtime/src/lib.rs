@@ -45,7 +45,7 @@ pub mod rng;
 pub mod sched;
 pub mod trace;
 
-pub use explore::{can_deadlock, explore, ExploreLimits, ExploreReport};
+pub use explore::{can_deadlock, explore, explore_with, ExploreLimits, ExploreReport};
 pub use machine::{eval, Action, Fault, Machine, ProcId, Status};
 pub use monitor::TaintMonitor;
 pub use nitest::{

@@ -6,6 +6,7 @@ use std::sync::atomic::Ordering::Relaxed;
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
+use crate::client::{RemoteClient, RetryPolicy};
 use crate::json::Json;
 use crate::pool::Pool;
 use crate::protocol::{Op, Request};
@@ -99,17 +100,7 @@ pub fn run_batch(
                 .collect(),
             Err(_) => classes.to_vec(),
         };
-        let req = Request {
-            id: None,
-            op: Op::Certify,
-            source,
-            classes: declared,
-            default_class: default_class.map(str::to_string),
-            lattice: lattice.to_string(),
-            baseline: false,
-            dot: false,
-            fuel: None,
-        };
+        let req = certify_request(source, declared, default_class, lattice);
         let service = Arc::clone(&service);
         let tx = tx.clone();
         let path = path.clone();
@@ -118,51 +109,12 @@ pub fn run_batch(
         service.note_request();
         pool.submit(move || {
             let line = service.execute(&req);
-            let v = Json::parse(&line).unwrap_or(Json::Null);
-            let status = if v.get("ok").and_then(Json::as_bool) == Some(false) {
-                v.get("error")
-                    .and_then(|e| e.get("kind"))
-                    .and_then(Json::as_str)
-                    .unwrap_or("error")
-                    .to_string()
-            } else if v.get("certified").and_then(Json::as_bool) == Some(true) {
-                "certified".to_string()
-            } else {
-                "REJECTED".to_string()
-            };
             // Run the analysis passes as a second service op: same
             // cache, same metrics, one lint column per file.
-            let lint_req = Request {
-                id: None,
-                op: Op::Lint,
-                source: req.source.clone(),
-                classes: Vec::new(),
-                default_class: None,
-                lattice: "two".to_string(),
-                baseline: false,
-                dot: false,
-                fuel: None,
-            };
+            let lint_req = lint_request(req.source.clone());
             service.note_request();
             let lint_line = service.execute(&lint_req);
-            let lv = Json::parse(&lint_line).unwrap_or(Json::Null);
-            let lint = if lv.get("ok").and_then(Json::as_bool) == Some(true) {
-                Some((
-                    lv.get("errors").and_then(Json::as_u64).unwrap_or(0),
-                    lv.get("warnings").and_then(Json::as_u64).unwrap_or(0),
-                    lv.get("infos").and_then(Json::as_u64).unwrap_or(0),
-                ))
-            } else {
-                None
-            };
-            let _ = tx.send(FileOutcome {
-                path,
-                status,
-                statements: v.get("statements").and_then(Json::as_u64).unwrap_or(0),
-                cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
-                us: v.get("us").and_then(Json::as_u64).unwrap_or(0),
-                lint,
-            });
+            let _ = tx.send(file_outcome(path, &line, Some(&lint_line)));
         })
         .map_err(|_| "worker pool closed unexpectedly".to_string())?;
     }
@@ -186,6 +138,144 @@ pub fn run_batch(
     // Cross-check against service metrics (cache hits recorded there).
     summary.cache_hits = service.metrics.cache_hits.load(Relaxed) as usize;
     Ok(summary)
+}
+
+/// Certifies every `*.sf` file under `dir` against a remote server at
+/// `addr`, via the retrying client. Transient failures (connection
+/// drops, queue-full shedding, timeouts) are retried per `policy`;
+/// files that still fail after the budget surface as errored outcomes.
+pub fn run_batch_remote(
+    dir: &Path,
+    classes: &[(String, String)],
+    default_class: Option<&str>,
+    lattice: &str,
+    addr: &str,
+    policy: RetryPolicy,
+) -> Result<BatchSummary, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read `{}`: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "sf"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no *.sf files in `{}`", dir.display()));
+    }
+
+    let mut client = RemoteClient::new(addr, policy);
+    let start = Instant::now();
+    let mut summary = BatchSummary::default();
+    for path in paths {
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                summary.files.push(FileOutcome {
+                    path,
+                    status: format!("unreadable ({e})"),
+                    statements: 0,
+                    cached: false,
+                    us: 0,
+                    lint: None,
+                });
+                continue;
+            }
+        };
+        let declared: Vec<(String, String)> = match secflow_lang::parse(&source) {
+            Ok(program) => classes
+                .iter()
+                .filter(|(name, _)| program.symbols.lookup(name).is_some())
+                .cloned()
+                .collect(),
+            Err(_) => classes.to_vec(),
+        };
+        let req = certify_request(source, declared, default_class, lattice);
+        let line = match client.call(&req) {
+            Ok(line) => line,
+            Err(e) => {
+                summary.files.push(FileOutcome {
+                    path,
+                    status: format!("unreachable ({e})"),
+                    statements: 0,
+                    cached: false,
+                    us: 0,
+                    lint: None,
+                });
+                continue;
+            }
+        };
+        let lint_line = client.call(&lint_request(req.source.clone())).ok();
+        summary
+            .files
+            .push(file_outcome(path, &line, lint_line.as_deref()));
+    }
+
+    for outcome in &summary.files {
+        match outcome.status.as_str() {
+            "certified" => summary.certified += 1,
+            "REJECTED" => summary.rejected += 1,
+            _ => summary.errored += 1,
+        }
+        if outcome.cached {
+            summary.cache_hits += 1;
+        }
+    }
+    summary.files.sort_by(|a, b| a.path.cmp(&b.path));
+    summary.wall_us = start.elapsed().as_micros() as u64;
+    Ok(summary)
+}
+
+fn certify_request(
+    source: String,
+    classes: Vec<(String, String)>,
+    default_class: Option<&str>,
+    lattice: &str,
+) -> Request {
+    let mut req = Request::new(Op::Certify, source);
+    req.classes = classes;
+    req.default_class = default_class.map(str::to_string);
+    req.lattice = lattice.to_string();
+    req
+}
+
+fn lint_request(source: String) -> Request {
+    Request::new(Op::Lint, source)
+}
+
+/// Parses the certify (and optional lint) response lines into one
+/// [`FileOutcome`] — shared by the local and remote batch paths.
+fn file_outcome(path: PathBuf, certify_line: &str, lint_line: Option<&str>) -> FileOutcome {
+    let v = Json::parse(certify_line).unwrap_or(Json::Null);
+    let status = if v.get("ok").and_then(Json::as_bool) == Some(false) {
+        v.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+            .unwrap_or("error")
+            .to_string()
+    } else if v.get("certified").and_then(Json::as_bool) == Some(true) {
+        "certified".to_string()
+    } else {
+        "REJECTED".to_string()
+    };
+    let lint = lint_line.and_then(|line| {
+        let lv = Json::parse(line).unwrap_or(Json::Null);
+        if lv.get("ok").and_then(Json::as_bool) == Some(true) {
+            Some((
+                lv.get("errors").and_then(Json::as_u64).unwrap_or(0),
+                lv.get("warnings").and_then(Json::as_u64).unwrap_or(0),
+                lv.get("infos").and_then(Json::as_u64).unwrap_or(0),
+            ))
+        } else {
+            None
+        }
+    });
+    FileOutcome {
+        path,
+        status,
+        statements: v.get("statements").and_then(Json::as_u64).unwrap_or(0),
+        cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
+        us: v.get("us").and_then(Json::as_u64).unwrap_or(0),
+        lint,
+    }
 }
 
 /// Renders the summary as an aligned text table.

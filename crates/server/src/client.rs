@@ -1,0 +1,331 @@
+//! A retrying TCP client for the JSON-lines protocol.
+//!
+//! Used by `secflow batch --remote` and the integration tests. Each
+//! request attempt opens a fresh connection (robust against a server
+//! that kills connections mid-response), and failures are classified
+//! against the protocol's retryable/permanent taxonomy:
+//!
+//! - **retryable**: connect refusals/resets, IO errors, truncated
+//!   responses, and server errors whose `kind` is retryable
+//!   (`overloaded`, `timeout`, `internal`);
+//! - **permanent**: server errors with a permanent `kind` (`protocol`,
+//!   `parse`, `binding`, `fuel`) — retrying cannot change the answer.
+//!
+//! Retry pacing is exponential backoff with *decorrelated jitter*
+//! (each sleep is drawn between the base delay and 3× the previous
+//! sleep, capped), which spreads synchronized retry storms apart. The
+//! jitter RNG is deterministic per client (seeded), so tests reproduce.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::fault::splitmix64;
+use crate::json::Json;
+use crate::protocol::{ErrorKind, Request};
+
+/// How many times to try, and how to pace the attempts.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 = no retries.
+    pub budget: u32,
+    /// Base (and minimum) backoff sleep.
+    pub base: Duration,
+    /// Backoff ceiling per sleep.
+    pub cap: Duration,
+    /// Per-attempt IO timeout (connect/read/write); `None` = blocking.
+    pub io_timeout: Option<Duration>,
+    /// Jitter RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            budget: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            io_timeout: Some(Duration::from_secs(10)),
+            seed: 1,
+        }
+    }
+}
+
+/// Decorrelated-jitter backoff schedule: each sleep is uniform in
+/// `[base, prev * 3]`, clamped to `[base, cap]`.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    state: u64,
+}
+
+impl Backoff {
+    /// A schedule starting at `base`, capped at `cap` (swapped if
+    /// reversed), with a deterministic jitter stream from `seed`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        let (base, cap) = if base <= cap {
+            (base, cap)
+        } else {
+            (cap, base)
+        };
+        Backoff {
+            base,
+            cap,
+            prev: base,
+            state: seed,
+        }
+    }
+
+    /// The next sleep in the schedule.
+    pub fn next_delay(&mut self) -> Duration {
+        self.state = self.state.wrapping_add(1);
+        let r = splitmix64(self.state);
+        let base_ms = self.base.as_millis() as u64;
+        let cap_ms = self.cap.as_millis() as u64;
+        let prev_ms = self.prev.as_millis() as u64;
+        // Uniform in [base, max(base, prev * 3)], then clamp to cap.
+        let hi = (prev_ms.saturating_mul(3)).max(base_ms);
+        let span = hi - base_ms;
+        let ms = if span == 0 {
+            base_ms
+        } else {
+            base_ms + r % (span + 1)
+        };
+        let ms = ms.min(cap_ms).max(base_ms);
+        self.prev = Duration::from_millis(ms);
+        self.prev
+    }
+}
+
+/// Why a call ultimately failed.
+#[derive(Clone, Debug)]
+pub enum ClientError {
+    /// Retries exhausted; the last transient failure is included.
+    BudgetExhausted {
+        /// Attempts made (== the policy's budget).
+        attempts: u32,
+        /// Description of the final transient failure.
+        last: String,
+    },
+    /// The server answered with a permanent error; retrying is useless.
+    Permanent {
+        /// The server's error kind.
+        kind: ErrorKind,
+        /// The server's error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::BudgetExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
+            ClientError::Permanent { kind, message } => {
+                write!(f, "permanent {} error: {message}", kind.name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A JSON-lines client that retries transient failures with jittered
+/// exponential backoff. One connection per attempt.
+pub struct RemoteClient {
+    addr: String,
+    policy: RetryPolicy,
+    /// Attempts made across all calls (for tests/telemetry).
+    attempts: u64,
+}
+
+impl RemoteClient {
+    /// A client for the server at `addr` (`host:port`).
+    pub fn new(addr: &str, policy: RetryPolicy) -> RemoteClient {
+        RemoteClient {
+            addr: addr.to_string(),
+            policy,
+            attempts: 0,
+        }
+    }
+
+    /// Total attempts made across all calls so far.
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Sends `req` and returns the raw response line, retrying
+    /// transient failures within the policy's budget.
+    pub fn call(&mut self, req: &Request) -> Result<String, ClientError> {
+        let line = req.to_line();
+        let mut backoff = Backoff::new(self.policy.base, self.policy.cap, self.policy.seed);
+        let budget = self.policy.budget.max(1);
+        let mut last = String::new();
+        for attempt in 0..budget {
+            if attempt > 0 {
+                std::thread::sleep(backoff.next_delay());
+            }
+            self.attempts += 1;
+            match self.attempt(&line) {
+                Ok(response) => match classify(&response) {
+                    Verdict::Done => return Ok(response),
+                    Verdict::Transient(why) => last = why,
+                    Verdict::Permanent { kind, message } => {
+                        return Err(ClientError::Permanent { kind, message })
+                    }
+                },
+                Err(why) => last = why,
+            }
+        }
+        Err(ClientError::BudgetExhausted {
+            attempts: budget,
+            last,
+        })
+    }
+
+    /// One connect-send-receive attempt. Any IO failure (including a
+    /// response with no trailing newline — a connection killed
+    /// mid-line) is a transient error string.
+    fn attempt(&self, line: &str) -> Result<String, String> {
+        let stream = TcpStream::connect(&self.addr).map_err(|e| format!("connect: {e}"))?;
+        stream
+            .set_read_timeout(self.policy.io_timeout)
+            .map_err(|e| format!("set timeout: {e}"))?;
+        stream
+            .set_write_timeout(self.policy.io_timeout)
+            .map_err(|e| format!("set timeout: {e}"))?;
+        let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .and_then(|_| writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        let n = reader
+            .read_line(&mut response)
+            .map_err(|e| format!("receive: {e}"))?;
+        if n == 0 || !response.ends_with('\n') {
+            return Err("connection closed mid-response".to_string());
+        }
+        response.truncate(response.trim_end().len());
+        if response.is_empty() {
+            return Err("empty response line".to_string());
+        }
+        Ok(response)
+    }
+}
+
+enum Verdict {
+    Done,
+    Transient(String),
+    Permanent { kind: ErrorKind, message: String },
+}
+
+/// Classifies a response line against the error taxonomy. Unparseable
+/// responses count as transient (protocol corruption on this attempt).
+fn classify(response: &str) -> Verdict {
+    let v = match Json::parse(response) {
+        Ok(v) => v,
+        Err(e) => return Verdict::Transient(format!("bad response JSON: {e}")),
+    };
+    if v.get("ok").and_then(Json::as_bool) != Some(false) {
+        return Verdict::Done;
+    }
+    let kind = v
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .and_then(ErrorKind::from_name);
+    let message = v
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string();
+    match kind {
+        Some(kind) if kind.retryable() => {
+            Verdict::Transient(format!("server: {} ({message})", kind.name()))
+        }
+        Some(kind) => Verdict::Permanent { kind, message },
+        // Unknown kinds: fail open as permanent — a future server
+        // speaking a newer taxonomy should not be hammered blindly.
+        None => Verdict::Permanent {
+            kind: ErrorKind::Protocol,
+            message: format!("unknown error kind in `{response}`"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_jittered_bounded_and_deterministic() {
+        let mut a = Backoff::new(Duration::from_millis(10), Duration::from_millis(100), 42);
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(100), 42);
+        let delays: Vec<Duration> = (0..32).map(|_| a.next_delay()).collect();
+        let same: Vec<Duration> = (0..32).map(|_| b.next_delay()).collect();
+        assert_eq!(delays, same, "same seed, same schedule");
+        for d in &delays {
+            assert!(*d >= Duration::from_millis(10), "below base: {d:?}");
+            assert!(*d <= Duration::from_millis(100), "above cap: {d:?}");
+        }
+        let distinct: std::collections::HashSet<u128> =
+            delays.iter().map(|d| d.as_millis()).collect();
+        assert!(distinct.len() > 1, "no jitter at all");
+    }
+
+    #[test]
+    fn classify_follows_taxonomy() {
+        assert!(matches!(
+            classify(r#"{"ok":true,"op":"stats"}"#),
+            Verdict::Done
+        ));
+        assert!(matches!(
+            classify(r#"{"ok":false,"error":{"kind":"overloaded","message":"q"}}"#),
+            Verdict::Transient(_)
+        ));
+        assert!(matches!(
+            classify(r#"{"ok":false,"error":{"kind":"timeout","message":"t"}}"#),
+            Verdict::Transient(_)
+        ));
+        assert!(matches!(
+            classify(r#"{"ok":false,"error":{"kind":"parse","message":"p"}}"#),
+            Verdict::Permanent {
+                kind: ErrorKind::Parse,
+                ..
+            }
+        ));
+        assert!(matches!(classify("garbage"), Verdict::Transient(_)));
+        assert!(matches!(
+            classify(r#"{"ok":false,"error":{"kind":"martian","message":"?"}}"#),
+            Verdict::Permanent { .. }
+        ));
+    }
+
+    #[test]
+    fn refused_connection_exhausts_budget() {
+        // Port 1 is essentially never listening.
+        let mut client = RemoteClient::new(
+            "127.0.0.1:1",
+            RetryPolicy {
+                budget: 3,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+                io_timeout: Some(Duration::from_millis(100)),
+                seed: 7,
+            },
+        );
+        let req = Request::new(crate::protocol::Op::Stats, "");
+        match client.call(&req) {
+            Err(ClientError::BudgetExhausted { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+        assert_eq!(client.attempts(), 3);
+    }
+}

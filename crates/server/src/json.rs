@@ -77,6 +77,16 @@ impl Json {
         }
     }
 
+    /// The numeric payload as `i64`, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
     /// The array elements, if this is an array.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {

@@ -9,9 +9,18 @@
 //! - [`protocol`]: a hand-rolled JSON-lines request/response format
 //!   (`certify`, `infer`, `flows`, `stats`, `shutdown`), served over
 //!   stdin/stdout ([`serve_stdio`]) or TCP ([`serve_tcp`]);
-//! - [`pool`]: a bounded worker pool (`std::thread` + `mpsc`) with
-//!   fail-fast backpressure, per-job panic isolation, and graceful
-//!   drain on shutdown;
+//! - [`pool`]: a supervised, bounded worker pool (`std::thread` +
+//!   `mpsc`) with fail-fast backpressure, per-job panic isolation,
+//!   automatic respawn of dead workers, a deadline watchdog, and
+//!   graceful drain on shutdown;
+//! - [`deadline`]: per-request deadlines as shared cancellation tokens,
+//!   polled cooperatively by the long-running searches;
+//! - [`client`]: a retrying TCP client (exponential backoff with
+//!   decorrelated jitter, bounded attempt budget, retryable/permanent
+//!   error taxonomy) used by `secflow batch --remote`;
+//! - [`fault`]: deterministic, seeded chaos injection behind a
+//!   zero-cost trait — worker panics, IO errors, short reads/writes,
+//!   latency, dropped connections, all bounded by a fault fuse;
 //! - [`cache`]: a content-addressed result cache keyed by an FNV-1a
 //!   fingerprint of (op, lattice, binding, fuel, source) with exact LRU
 //!   eviction — repeated certifications skip re-parsing entirely;
@@ -46,6 +55,9 @@
 
 pub mod batch;
 pub mod cache;
+pub mod client;
+pub mod deadline;
+pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod pool;
@@ -53,11 +65,14 @@ pub mod protocol;
 pub mod serve;
 pub mod service;
 
-pub use batch::{render_summary, run_batch, BatchSummary, FileOutcome};
+pub use batch::{render_summary, run_batch, run_batch_remote, BatchSummary, FileOutcome};
 pub use cache::{fnv1a, CacheKey, CachedResult, ResultCache};
+pub use client::{Backoff, ClientError, RemoteClient, RetryPolicy};
+pub use deadline::{deadline_after_ms, CancelToken};
+pub use fault::{ChaosStream, FaultKind, FaultPlan, Faults, NoFaults};
 pub use json::{Json, JsonError};
 pub use metrics::{Metrics, LATENCY_BUCKETS_US};
-pub use pool::{Pool, SubmitError};
+pub use pool::{Pool, PoolHealth, SubmitError};
 pub use protocol::{ErrorKind, Op, Request, Response};
 pub use serve::{serve_stdio, serve_tcp, ServerConfig, TcpServer};
 pub use service::{Limits, Service};

@@ -28,6 +28,8 @@ pub struct Metrics {
     pub flows: AtomicU64,
     /// `lint` requests processed.
     pub lint: AtomicU64,
+    /// `explore` requests processed.
+    pub explore: AtomicU64,
     /// Results served from the cache.
     pub cache_hits: AtomicU64,
     /// Results computed because the cache had no entry.
@@ -38,6 +40,10 @@ pub struct Metrics {
     pub overloaded: AtomicU64,
     /// Worker panics survived (the job got an `internal` error).
     pub panics: AtomicU64,
+    /// Requests whose deadline expired (structured `timeout` errors).
+    pub timeouts: AtomicU64,
+    /// Analysis passes that panicked and were degraded to `SF000`.
+    pub pass_panics: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
     latency_total_us: AtomicU64,
     latency_count: AtomicU64,
@@ -95,11 +101,14 @@ impl Metrics {
             ("infer".to_string(), n(&self.infer)),
             ("flows".to_string(), n(&self.flows)),
             ("lint".to_string(), n(&self.lint)),
+            ("explore".to_string(), n(&self.explore)),
             ("cache_hits".to_string(), n(&self.cache_hits)),
             ("cache_misses".to_string(), n(&self.cache_misses)),
             ("errors".to_string(), n(&self.errors)),
             ("overloaded".to_string(), n(&self.overloaded)),
             ("panics".to_string(), n(&self.panics)),
+            ("timeouts".to_string(), n(&self.timeouts)),
+            ("pass_panics".to_string(), n(&self.pass_panics)),
             ("latency_mean_us".to_string(), Json::Num(mean_us)),
             ("latency_histogram".to_string(), Json::Arr(histogram)),
         ]

@@ -9,15 +9,36 @@
 //! {"id":2,"op":"infer","source":"…","pins":{"x":"high"}}
 //! {"id":3,"op":"flows","source":"…","dot":true}
 //! {"id":4,"op":"lint","source":"…"}
-//! {"id":5,"op":"stats"}
-//! {"id":6,"op":"shutdown"}
+//! {"id":5,"op":"explore","source":"…","inputs":{"x":1},"max_states":100000}
+//! {"id":6,"op":"stats"}
+//! {"id":7,"op":"shutdown"}
 //! ```
+//!
+//! Every work-carrying request additionally accepts `"timeout_ms":N` —
+//! a per-request deadline. Work that overruns it is cancelled
+//! cooperatively and answered with a `timeout` error.
 //!
 //! Responses always carry `ok` and echo `id` (when one was given) and
 //! `op`. Failures carry an `error` object with a machine-readable
-//! `kind` (`protocol`, `parse`, `binding`, `fuel`, `overloaded`,
-//! `internal`) and a human-readable `message`. Responses to pipelined
-//! requests may arrive out of order; correlate by `id`.
+//! `kind` (`protocol`, `parse`, `binding`, `fuel`, `timeout`,
+//! `overloaded`, `internal`) and a human-readable `message`. Responses
+//! to pipelined requests may arrive out of order; correlate by `id`.
+//!
+//! # Retryable vs. permanent failures
+//!
+//! The error kinds split into two disjoint classes, which the retrying
+//! client ([`crate::client`]) uses to decide whether another attempt
+//! can help:
+//!
+//! | kind         | class     | rationale |
+//! |--------------|-----------|-----------|
+//! | `overloaded` | retryable | the queue was momentarily full |
+//! | `timeout`    | retryable | the deadline raced the work; a retry may win |
+//! | `internal`   | retryable | a worker crashed mid-request (transient fault) |
+//! | `protocol`   | permanent | the request line itself is malformed |
+//! | `parse`      | permanent | the program will never parse |
+//! | `binding`    | permanent | the class/lattice spec is invalid |
+//! | `fuel`       | permanent | a policy rejection; retrying cannot change it |
 
 use crate::json::Json;
 
@@ -32,6 +53,8 @@ pub enum Op {
     Flows,
     /// Run the static analysis passes and return unified diagnostics.
     Lint,
+    /// Exhaustively explore the program's interleavings (bounded).
+    Explore,
     /// Report service counters and latency histogram.
     Stats,
     /// Stop the service, draining queued work first.
@@ -46,6 +69,7 @@ impl Op {
             Op::Infer => "infer",
             Op::Flows => "flows",
             Op::Lint => "lint",
+            Op::Explore => "explore",
             Op::Stats => "stats",
             Op::Shutdown => "shutdown",
         }
@@ -53,7 +77,7 @@ impl Op {
 }
 
 /// A parsed request line.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Request {
     /// Client-chosen correlation id, echoed verbatim in the response.
     pub id: Option<Json>,
@@ -74,6 +98,13 @@ pub struct Request {
     pub dot: bool,
     /// Per-request work limit in statements (capped by the server).
     pub fuel: Option<u64>,
+    /// Per-request deadline in milliseconds (capped by the server); the
+    /// server default applies when absent.
+    pub timeout_ms: Option<u64>,
+    /// Initial variable values (`explore` only), sorted by name.
+    pub inputs: Vec<(String, i64)>,
+    /// State cap for `explore` (capped by the server).
+    pub max_states: Option<u64>,
 }
 
 impl Request {
@@ -93,6 +124,7 @@ impl Request {
             Some("infer") => Op::Infer,
             Some("flows") => Op::Flows,
             Some("lint") => Op::Lint,
+            Some("explore") => Op::Explore,
             Some("stats") => Op::Stats,
             Some("shutdown") => Op::Shutdown,
             Some(other) => return Err(fail(format!("unknown op `{other}`"))),
@@ -103,7 +135,10 @@ impl Request {
             Some(Json::Str(s)) => s.clone(),
             Some(_) => return Err(fail("`source` must be a string".into())),
             None => {
-                if matches!(op, Op::Certify | Op::Infer | Op::Flows | Op::Lint) {
+                if matches!(
+                    op,
+                    Op::Certify | Op::Infer | Op::Flows | Op::Lint | Op::Explore
+                ) {
                     return Err(fail(format!("op `{}` needs `source`", op.name())));
                 }
                 String::new()
@@ -152,13 +187,34 @@ impl Request {
         };
         let baseline = flag("baseline")?;
         let dot = flag("dot")?;
-        let fuel = match value.get("fuel") {
-            None => None,
-            Some(v) => Some(
-                v.as_u64()
-                    .ok_or_else(|| fail("`fuel` must be a non-negative integer".into()))?,
-            ),
+        let uint = |name: &str| -> Result<Option<u64>, (Option<Json>, String)> {
+            match value.get(name) {
+                None => Ok(None),
+                Some(v) => Ok(Some(v.as_u64().ok_or_else(|| {
+                    fail(format!("`{name}` must be a non-negative integer"))
+                })?)),
+            }
         };
+        let fuel = uint("fuel")?;
+        let timeout_ms = uint("timeout_ms")?;
+        let max_states = uint("max_states")?;
+
+        let mut inputs = Vec::new();
+        match value.get("inputs") {
+            None => {}
+            Some(Json::Obj(fields)) => {
+                for (name, v) in fields {
+                    match v.as_i64() {
+                        Some(n) => inputs.push((name.clone(), n)),
+                        None => {
+                            return Err(fail(format!("`inputs.{name}` must be an integer")));
+                        }
+                    }
+                }
+            }
+            Some(_) => return Err(fail("`inputs` must be an object".into())),
+        }
+        inputs.sort();
 
         Ok(Request {
             id,
@@ -170,7 +226,84 @@ impl Request {
             baseline,
             dot,
             fuel,
+            timeout_ms,
+            inputs,
+            max_states,
         })
+    }
+
+    /// A request with every optional field absent (the wire defaults).
+    pub fn new(op: Op, source: impl Into<String>) -> Request {
+        Request {
+            id: None,
+            op,
+            source: source.into(),
+            classes: Vec::new(),
+            default_class: None,
+            lattice: "two".to_string(),
+            baseline: false,
+            dot: false,
+            fuel: None,
+            timeout_ms: None,
+            inputs: Vec::new(),
+            max_states: None,
+        }
+    }
+
+    /// Renders the request as one protocol line (the inverse of
+    /// [`parse`](Self::parse); defaults are omitted).
+    pub fn to_line(&self) -> String {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        if let Some(id) = &self.id {
+            fields.push(("id".to_string(), id.clone()));
+        }
+        fields.push(("op".to_string(), Json::Str(self.op.name().to_string())));
+        if !self.source.is_empty() {
+            fields.push(("source".to_string(), Json::Str(self.source.clone())));
+        }
+        if !self.classes.is_empty() {
+            let key = if self.op == Op::Infer {
+                "pins"
+            } else {
+                "classes"
+            };
+            let obj = self
+                .classes
+                .iter()
+                .map(|(n, c)| (n.clone(), Json::Str(c.clone())))
+                .collect();
+            fields.push((key.to_string(), Json::Obj(obj)));
+        }
+        if let Some(d) = &self.default_class {
+            fields.push(("default".to_string(), Json::Str(d.clone())));
+        }
+        if self.lattice != "two" {
+            fields.push(("lattice".to_string(), Json::Str(self.lattice.clone())));
+        }
+        if self.baseline {
+            fields.push(("baseline".to_string(), Json::Bool(true)));
+        }
+        if self.dot {
+            fields.push(("dot".to_string(), Json::Bool(true)));
+        }
+        if let Some(fuel) = self.fuel {
+            fields.push(("fuel".to_string(), Json::Num(fuel as f64)));
+        }
+        if let Some(t) = self.timeout_ms {
+            fields.push(("timeout_ms".to_string(), Json::Num(t as f64)));
+        }
+        if !self.inputs.is_empty() {
+            let obj = self
+                .inputs
+                .iter()
+                .map(|(n, v)| (n.clone(), Json::Num(*v as f64)))
+                .collect();
+            fields.push(("inputs".to_string(), Json::Obj(obj)));
+        }
+        if let Some(n) = self.max_states {
+            fields.push(("max_states".to_string(), Json::Num(n as f64)));
+        }
+        Json::Obj(fields).to_string()
     }
 }
 
@@ -185,6 +318,8 @@ pub enum ErrorKind {
     Binding,
     /// The program exceeded the request's or server's fuel limit.
     Fuel,
+    /// The request's deadline expired before the work finished.
+    Timeout,
     /// The queue was full; retry later.
     Overloaded,
     /// A worker panicked or the service misbehaved.
@@ -199,9 +334,34 @@ impl ErrorKind {
             ErrorKind::Parse => "parse",
             ErrorKind::Binding => "binding",
             ErrorKind::Fuel => "fuel",
+            ErrorKind::Timeout => "timeout",
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::Internal => "internal",
         }
+    }
+
+    /// Whether a retry can plausibly succeed (see the module-level
+    /// taxonomy table): transient server-side conditions are retryable,
+    /// deterministic rejections of the request itself are permanent.
+    pub fn retryable(self) -> bool {
+        match self {
+            ErrorKind::Overloaded | ErrorKind::Timeout | ErrorKind::Internal => true,
+            ErrorKind::Protocol | ErrorKind::Parse | ErrorKind::Binding | ErrorKind::Fuel => false,
+        }
+    }
+
+    /// Parses a wire name back into a kind (for client-side triage).
+    pub fn from_name(name: &str) -> Option<ErrorKind> {
+        Some(match name {
+            "protocol" => ErrorKind::Protocol,
+            "parse" => ErrorKind::Parse,
+            "binding" => ErrorKind::Binding,
+            "fuel" => ErrorKind::Fuel,
+            "timeout" => ErrorKind::Timeout,
+            "overloaded" => ErrorKind::Overloaded,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
     }
 }
 
@@ -283,6 +443,66 @@ mod tests {
         assert_eq!(r.lattice, "linear:3");
         assert!(r.baseline);
         assert_eq!(r.fuel, Some(10));
+    }
+
+    #[test]
+    fn parses_timeout_and_explore_fields() {
+        let r = Request::parse(
+            r#"{"op":"explore","source":"var x : integer; x := 0",
+               "inputs":{"x":-3,"a":7},"max_states":500,"timeout_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(r.op, Op::Explore);
+        assert_eq!(r.timeout_ms, Some(250));
+        assert_eq!(r.max_states, Some(500));
+        // Sorted by name for canonical fingerprinting.
+        assert_eq!(r.inputs, vec![("a".to_string(), 7), ("x".to_string(), -3)]);
+        assert!(Request::parse(r#"{"op":"certify","source":"x","timeout_ms":-1}"#).is_err());
+        assert!(Request::parse(r#"{"op":"explore","source":"x","inputs":{"x":"hi"}}"#).is_err());
+    }
+
+    #[test]
+    fn to_line_round_trips() {
+        let full = Request::parse(
+            r#"{"id":9,"op":"certify","source":"var x : integer; x := 0",
+               "classes":{"x":"high"},"default":"low","lattice":"linear:3",
+               "baseline":true,"dot":true,"fuel":10,"timeout_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(Request::parse(&full.to_line()).unwrap(), full);
+
+        let mut explore = Request::new(Op::Explore, "var x : integer; x := 0");
+        explore.inputs = vec![("x".to_string(), -3)];
+        explore.max_states = Some(500);
+        assert_eq!(Request::parse(&explore.to_line()).unwrap(), explore);
+
+        let infer = Request::parse(r#"{"op":"infer","source":"x","pins":{"x":"high"}}"#).unwrap();
+        assert_eq!(Request::parse(&infer.to_line()).unwrap(), infer);
+
+        let minimal = Request::new(Op::Stats, "");
+        assert_eq!(Request::parse(&minimal.to_line()).unwrap(), minimal);
+    }
+
+    #[test]
+    fn taxonomy_splits_retryable_from_permanent() {
+        for kind in [
+            ErrorKind::Overloaded,
+            ErrorKind::Timeout,
+            ErrorKind::Internal,
+        ] {
+            assert!(kind.retryable(), "{}", kind.name());
+            assert_eq!(ErrorKind::from_name(kind.name()), Some(kind));
+        }
+        for kind in [
+            ErrorKind::Protocol,
+            ErrorKind::Parse,
+            ErrorKind::Binding,
+            ErrorKind::Fuel,
+        ] {
+            assert!(!kind.retryable(), "{}", kind.name());
+            assert_eq!(ErrorKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ErrorKind::from_name("nope"), None);
     }
 
     #[test]

@@ -3,14 +3,35 @@
 //! Both speak the JSON-lines protocol and share one [`Service`] and one
 //! [`Pool`]:
 //!
-//! - `certify`/`infer`/`flows` are queued to the pool; when the queue
-//!   is full the request is refused immediately with an `overloaded`
-//!   error instead of growing an unbounded backlog.
+//! - `certify`/`infer`/`flows`/`lint`/`explore` are queued to the pool;
+//!   when the queue is full the request is refused immediately with an
+//!   `overloaded` error instead of growing an unbounded backlog. Each
+//!   queued job carries its request's deadline, so the pool's watchdog
+//!   can spot workers stuck past it.
 //! - `stats` is answered on the connection thread, bypassing the queue,
-//!   so the service stays observable under load.
+//!   so the service stays observable under load. The response includes
+//!   the supervisor's pool-health counters (`pool.restarts` etc.).
 //! - `shutdown` stops intake, drains everything already accepted, and
 //!   exits. Pipelined responses may arrive out of order; correlate by
 //!   `id`.
+//!
+//! Robustness properties of this layer:
+//!
+//! - **Bounded request lines.** A connection may send at most
+//!   [`ServerConfig::max_line_bytes`] per line; longer lines are
+//!   discarded up to the next newline and answered with a structured
+//!   `protocol` error, so a hostile client cannot balloon server memory
+//!   by never sending a newline.
+//! - **Panic-safe replies.** Every pooled job holds a [`ReplyGuard`];
+//!   if the job panics before replying (a worker bug, or injected
+//!   chaos), the guard's `Drop` runs during unwind and sends an
+//!   `internal` error, so clients never hang on a vanished request.
+//! - **Deterministic chaos.** When [`ServerConfig::chaos`] holds a
+//!   [`FaultPlan`], the accept loop, the per-connection streams, and
+//!   the dispatch path consult it for injected connection drops, IO
+//!   errors, short reads/writes, latency, and worker panics. With the
+//!   default `chaos: None` every hook is [`NoFaults`], which inlines to
+//!   constant `false`s — production pays nothing.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -19,13 +40,15 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
 
+use crate::fault::{ChaosStream, FaultPlan, Faults, NoFaults};
+use crate::json::Json;
 use crate::metrics::Metrics;
-use crate::pool::{Pool, SubmitError};
+use crate::pool::{Pool, PoolHealth, SubmitError};
 use crate::protocol::{ErrorKind, Op, Request, Response};
 use crate::service::{Limits, Service};
 
 /// Tunables for a server instance.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Worker threads certifying in parallel.
     pub workers: usize,
@@ -35,6 +58,12 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Per-request work limits.
     pub limits: Limits,
+    /// Longest accepted request line in bytes; longer lines get a
+    /// structured `protocol` error and are discarded.
+    pub max_line_bytes: usize,
+    /// Deterministic fault-injection plan; `None` (the default) runs
+    /// the zero-cost [`NoFaults`] hooks.
+    pub chaos: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +73,8 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             cache_capacity: 4096,
             limits: Limits::default(),
+            max_line_bytes: 1 << 20,
+            chaos: None,
         }
     }
 }
@@ -51,9 +82,72 @@ impl Default for ServerConfig {
 /// How often blocked connection reads wake up to check for shutdown.
 const READ_POLL: Duration = Duration::from_millis(100);
 
+/// Guarantees a pooled job sends exactly one response. Jobs reply
+/// through [`ReplyGuard::send`]; if the job panics first, `Drop` runs
+/// during unwind and sends a structured `internal` error instead.
+struct ReplyGuard {
+    reply: mpsc::Sender<String>,
+    service: Arc<Service>,
+    id: Option<Json>,
+    sent: bool,
+}
+
+impl ReplyGuard {
+    fn send(&mut self, line: String) {
+        self.sent = true;
+        let _ = self.reply.send(line);
+    }
+}
+
+impl Drop for ReplyGuard {
+    fn drop(&mut self) {
+        if !self.sent {
+            Metrics::bump(&self.service.metrics.panics);
+            Metrics::bump(&self.service.metrics.errors);
+            let _ = self.reply.send(
+                Response::error(
+                    self.id.as_ref(),
+                    ErrorKind::Internal,
+                    "worker panicked during request",
+                )
+                .into_line(),
+            );
+        }
+    }
+}
+
+/// Splices the supervisor's pool health into a `stats` response line as
+/// a nested `"pool"` object.
+fn with_pool_health(line: String, h: PoolHealth) -> String {
+    let Ok(Json::Obj(mut fields)) = Json::parse(&line) else {
+        return line;
+    };
+    fields.push((
+        "pool".to_string(),
+        Json::Obj(vec![
+            ("workers".to_string(), Json::Num(h.workers as f64)),
+            ("busy".to_string(), Json::Num(h.busy as f64)),
+            ("restarts".to_string(), Json::Num(h.restarts as f64)),
+            ("panics".to_string(), Json::Num(h.panics as f64)),
+            ("recycles".to_string(), Json::Num(h.recycles as f64)),
+            (
+                "max_consecutive_failures".to_string(),
+                Json::Num(h.max_consecutive_failures as f64),
+            ),
+        ]),
+    ));
+    Json::Obj(fields).to_string()
+}
+
 /// Dispatches one parsed line. Returns `true` if it was a shutdown
 /// request (the caller stops reading).
-fn dispatch(line: &str, service: &Arc<Service>, pool: &Pool, reply: &mpsc::Sender<String>) -> bool {
+fn dispatch<F: Faults>(
+    line: &str,
+    service: &Arc<Service>,
+    pool: &Pool,
+    reply: &mpsc::Sender<String>,
+    faults: &F,
+) -> bool {
     service.note_request();
     let req = match Request::parse(line) {
         Ok(req) => req,
@@ -67,18 +161,41 @@ fn dispatch(line: &str, service: &Arc<Service>, pool: &Pool, reply: &mpsc::Sende
     match req.op {
         Op::Shutdown => true,
         // Stats answer inline so the service is observable while the
-        // queue is saturated.
+        // queue is saturated; pool health rides along.
         Op::Stats => {
-            let _ = reply.send(service.execute(&req));
+            let _ = reply.send(with_pool_health(service.execute(&req), pool.health()));
             false
         }
         _ => {
+            let id = req.id.clone();
+            let token = service.cancel_token(&req);
+            let deadline = token.deadline();
+            // Chaos decisions are drawn here (deterministically, from
+            // the plan's tick counter) and moved into the job.
+            let inject_latency = faults.latency();
+            let inject_panic = faults.worker_panic();
             let service_job = Arc::clone(service);
             let reply_job = reply.clone();
-            let id = req.id.clone();
-            match pool.try_submit(move || {
-                let _ = reply_job.send(service_job.execute(&req));
-            }) {
+            let job_id = req.id.clone();
+            match pool.try_submit_with(
+                move || {
+                    let mut guard = ReplyGuard {
+                        reply: reply_job,
+                        service: Arc::clone(&service_job),
+                        id: job_id,
+                        sent: false,
+                    };
+                    if let Some(pause) = inject_latency {
+                        thread::sleep(pause);
+                    }
+                    if inject_panic {
+                        panic!("chaos: injected worker panic");
+                    }
+                    let line = service_job.execute_with_cancel(&req, &token);
+                    guard.send(line);
+                },
+                deadline,
+            ) {
                 Ok(()) => {}
                 Err(SubmitError::Full) => {
                     Metrics::bump(&service.metrics.overloaded);
@@ -103,9 +220,101 @@ fn dispatch(line: &str, service: &Arc<Service>, pool: &Pool, reply: &mpsc::Sende
     }
 }
 
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line (without its newline) is in the buffer.
+    Line,
+    /// The stream ended; any partial line is not a request.
+    Eof,
+    /// The line exceeded the cap; it was discarded through its newline.
+    TooLong,
+    /// The shutdown flag was raised while waiting for bytes.
+    Shutdown,
+}
+
+/// Reads one newline-terminated line into `line` (cleared first),
+/// refusing to buffer more than `max` bytes: an over-long line is
+/// discarded up to and including its newline and reported as
+/// [`LineRead::TooLong`], so the connection stays in sync at a bounded
+/// memory cost. `WouldBlock`/`TimedOut` reads poll `shutdown`.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    line: &mut Vec<u8>,
+    max: usize,
+    shutdown: &AtomicBool,
+) -> io::Result<LineRead> {
+    line.clear();
+    let mut discarding = false;
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return Ok(LineRead::Shutdown);
+        }
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            return Ok(LineRead::Eof);
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                let consumed = i + 1;
+                if discarding || line.len() + i > max {
+                    reader.consume(consumed);
+                    line.clear();
+                    return Ok(LineRead::TooLong);
+                }
+                line.extend_from_slice(&buf[..i]);
+                reader.consume(consumed);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(LineRead::Line);
+            }
+            None => {
+                let n = buf.len();
+                if !discarding {
+                    if line.len() + n > max {
+                        // Over the cap with no newline yet: stop
+                        // buffering, start discarding.
+                        discarding = true;
+                        line.clear();
+                    } else {
+                        line.extend_from_slice(buf);
+                    }
+                }
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+fn oversized_line_error(max: usize) -> String {
+    Response::error(
+        None,
+        ErrorKind::Protocol,
+        &format!("request line exceeds {max} bytes"),
+    )
+    .into_line()
+}
+
 /// Serves the protocol over stdin/stdout until EOF or a `shutdown`
 /// request; queued work is drained before returning.
 pub fn serve_stdio(cfg: ServerConfig) -> io::Result<()> {
+    match cfg.chaos.clone() {
+        Some(plan) => serve_stdio_with(cfg, plan),
+        None => serve_stdio_with(cfg, NoFaults),
+    }
+}
+
+fn serve_stdio_with<F: Faults + Clone>(cfg: ServerConfig, faults: F) -> io::Result<()> {
     let service = Arc::new(Service::new(cfg.cache_capacity, cfg.limits));
     let pool = Pool::new(cfg.workers, cfg.queue_capacity);
     let (reply_tx, reply_rx) = mpsc::channel::<String>();
@@ -119,18 +328,31 @@ pub fn serve_stdio(cfg: ServerConfig) -> io::Result<()> {
         }
     });
 
+    let never = AtomicBool::new(false);
     let stdin = io::stdin();
+    let mut reader = stdin.lock();
+    let mut line = Vec::new();
     let mut got_shutdown = false;
     let mut shutdown_id = None;
-    for line in stdin.lock().lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        if dispatch(&line, &service, &pool, &reply_tx) {
-            got_shutdown = true;
-            shutdown_id = Request::parse(&line).ok().and_then(|r| r.id);
-            break;
+    loop {
+        match read_bounded_line(&mut reader, &mut line, cfg.max_line_bytes, &never)? {
+            LineRead::Eof | LineRead::Shutdown => break,
+            LineRead::TooLong => {
+                Metrics::bump(&service.metrics.errors);
+                let _ = reply_tx.send(oversized_line_error(cfg.max_line_bytes));
+            }
+            LineRead::Line => {
+                let text = String::from_utf8_lossy(&line);
+                let trimmed = text.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                if dispatch(trimmed, &service, &pool, &reply_tx, &faults) {
+                    got_shutdown = true;
+                    shutdown_id = Request::parse(trimmed).ok().and_then(|r| r.id);
+                    break;
+                }
+            }
         }
     }
 
@@ -139,7 +361,7 @@ pub fn serve_stdio(cfg: ServerConfig) -> io::Result<()> {
     if got_shutdown {
         let _ = reply_tx.send(
             Response::ok(shutdown_id.as_ref(), Op::Shutdown)
-                .field("drained", crate::json::Json::Bool(true))
+                .field("drained", Json::Bool(true))
                 .into_line(),
         );
     }
@@ -170,6 +392,17 @@ impl TcpServer {
 /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serves
 /// connections until a `shutdown` request arrives.
 pub fn serve_tcp(addr: &str, cfg: ServerConfig) -> io::Result<TcpServer> {
+    match cfg.chaos.clone() {
+        Some(plan) => serve_tcp_with(addr, cfg, plan),
+        None => serve_tcp_with(addr, cfg, NoFaults),
+    }
+}
+
+fn serve_tcp_with<F: Faults + Clone>(
+    addr: &str,
+    cfg: ServerConfig,
+    faults: F,
+) -> io::Result<TcpServer> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -184,11 +417,26 @@ pub fn serve_tcp(addr: &str, cfg: ServerConfig) -> io::Result<TcpServer> {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
+                    // Injected connection drop: close it before a single
+                    // byte is exchanged; clients should retry.
+                    if faults.drop_connection() {
+                        continue;
+                    }
                     let service = &service;
                     let pool = &pool;
                     let shutdown = &shutdown;
+                    let faults = &faults;
+                    let max_line_bytes = cfg.max_line_bytes;
                     scope.spawn(move || {
-                        let _ = handle_conn(stream, service, pool, shutdown, local);
+                        let _ = handle_conn(
+                            stream,
+                            service,
+                            pool,
+                            shutdown,
+                            local,
+                            faults,
+                            max_line_bytes,
+                        );
                     });
                 }
                 // Scope exit waits for every connection thread, whose
@@ -203,19 +451,22 @@ pub fn serve_tcp(addr: &str, cfg: ServerConfig) -> io::Result<TcpServer> {
     })
 }
 
-fn handle_conn(
+fn handle_conn<F: Faults + Clone>(
     stream: TcpStream,
     service: &Arc<Service>,
     pool: &Pool,
     shutdown: &AtomicBool,
     self_addr: SocketAddr,
+    faults: &F,
+    max_line_bytes: usize,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(READ_POLL))?;
     stream.set_nodelay(true).ok();
     let write_half = stream.try_clone()?;
     let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let writer_faults = faults.clone();
     let writer = thread::spawn(move || {
-        let mut out = io::BufWriter::new(write_half);
+        let mut out = io::BufWriter::new(ChaosStream::new(write_half, &writer_faults));
         for line in reply_rx {
             if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
                 break;
@@ -223,36 +474,32 @@ fn handle_conn(
         }
     });
 
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let reader_faults = faults.clone();
+    let mut reader = BufReader::new(ChaosStream::new(stream, &reader_faults));
+    let mut line = Vec::new();
     loop {
-        if shutdown.load(Ordering::Acquire) {
-            break;
-        }
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // client closed
-            Ok(_) => {
-                let trimmed = line.trim();
-                if !trimmed.is_empty() && dispatch(trimmed, service, pool, &reply_tx) {
+        match read_bounded_line(&mut reader, &mut line, max_line_bytes, shutdown) {
+            Ok(LineRead::Eof) | Ok(LineRead::Shutdown) => break,
+            Ok(LineRead::TooLong) => {
+                Metrics::bump(&service.metrics.errors);
+                let _ = reply_tx.send(oversized_line_error(max_line_bytes));
+            }
+            Ok(LineRead::Line) => {
+                let text = String::from_utf8_lossy(&line);
+                let trimmed = text.trim();
+                if !trimmed.is_empty() && dispatch(trimmed, service, pool, &reply_tx, faults) {
                     // Shutdown: stop the accept loop, acknowledge, and
                     // poke the (blocking) listener awake.
                     let id = Request::parse(trimmed).ok().and_then(|r| r.id);
                     shutdown.store(true, Ordering::Release);
                     let _ = reply_tx.send(
                         Response::ok(id.as_ref(), Op::Shutdown)
-                            .field("draining", crate::json::Json::Bool(true))
+                            .field("draining", Json::Bool(true))
                             .into_line(),
                     );
                     let _ = TcpStream::connect(self_addr);
                     break;
                 }
-                line.clear();
-            }
-            // Timeout: `line` may hold a partial read; keep appending.
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue;
             }
             Err(_) => break,
         }
@@ -263,4 +510,97 @@ fn handle_conn(
     drop(reply_tx);
     let _ = writer.join();
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn never() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+
+    #[test]
+    fn bounded_reader_accepts_lines_within_the_cap() {
+        let data = b"hello\nworld\r\n";
+        let mut reader = io::Cursor::new(&data[..]);
+        let mut line = Vec::new();
+        let stop = never();
+        assert!(matches!(
+            read_bounded_line(&mut reader, &mut line, 16, &stop).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(line, b"hello");
+        assert!(matches!(
+            read_bounded_line(&mut reader, &mut line, 16, &stop).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(line, b"world", "CR is stripped");
+        assert!(matches!(
+            read_bounded_line(&mut reader, &mut line, 16, &stop).unwrap(),
+            LineRead::Eof
+        ));
+    }
+
+    #[test]
+    fn bounded_reader_discards_oversized_lines_and_resyncs() {
+        let mut data = vec![b'x'; 100];
+        data.push(b'\n');
+        data.extend_from_slice(b"ok\n");
+        // A tiny BufReader capacity forces the multi-chunk discard path.
+        let mut reader = io::BufReader::with_capacity(8, io::Cursor::new(data));
+        let mut line = Vec::new();
+        let stop = never();
+        assert!(matches!(
+            read_bounded_line(&mut reader, &mut line, 32, &stop).unwrap(),
+            LineRead::TooLong
+        ));
+        assert!(line.is_empty(), "no oversized bytes are retained");
+        assert!(matches!(
+            read_bounded_line(&mut reader, &mut line, 32, &stop).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(line, b"ok", "stream resynchronizes at the newline");
+    }
+
+    #[test]
+    fn bounded_reader_rejects_exactly_over_and_accepts_exactly_at_cap() {
+        let data = b"abcd\nabcde\n";
+        let mut reader = io::Cursor::new(&data[..]);
+        let mut line = Vec::new();
+        let stop = never();
+        assert!(matches!(
+            read_bounded_line(&mut reader, &mut line, 4, &stop).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(line, b"abcd");
+        assert!(matches!(
+            read_bounded_line(&mut reader, &mut line, 4, &stop).unwrap(),
+            LineRead::TooLong
+        ));
+    }
+
+    #[test]
+    fn stats_line_carries_pool_health() {
+        let line = r#"{"ok":true,"op":"stats","requests":3}"#.to_string();
+        let health = PoolHealth {
+            workers: 4,
+            busy: 1,
+            restarts: 2,
+            panics: 2,
+            recycles: 1,
+            max_consecutive_failures: 1,
+        };
+        let spliced = with_pool_health(line, health);
+        let v = Json::parse(&spliced).unwrap();
+        assert_eq!(
+            v.get("pool").and_then(|p| p.get("restarts")),
+            Some(&Json::Num(2.0))
+        );
+        assert_eq!(
+            v.get("pool").and_then(|p| p.get("workers")),
+            Some(&Json::Num(4.0))
+        );
+        assert_eq!(v.get("requests"), Some(&Json::Num(3.0)));
+    }
 }

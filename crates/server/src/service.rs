@@ -6,15 +6,19 @@
 //! `Mutex`, metrics lock-free).
 
 use std::fmt::Display;
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Mutex;
 use std::time::Instant;
 
+use secflow_analyze::AnalysisReport;
 use secflow_core::{certify, denning_certify, infer_binding, FlowGraph, StaticBinding};
 use secflow_lang::span::LineIndex;
 use secflow_lang::{parse, Program, Severity};
 use secflow_lattice::{Lattice, LinearScheme, Scheme, TwoPoint, TwoPointScheme};
+use secflow_runtime::{explore_with, ExploreLimits};
 
 use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::deadline::CancelToken;
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::protocol::{ErrorKind, Op, Request, Response};
@@ -27,6 +31,14 @@ pub struct Limits {
     pub max_fuel: u64,
     /// Hard cap on source bytes (checked before parsing).
     pub max_source_bytes: usize,
+    /// Deadline applied when a request carries no `timeout_ms` (0 =
+    /// none).
+    pub default_timeout_ms: u64,
+    /// Hard cap on any requested `timeout_ms` (0 = uncapped).
+    pub max_timeout_ms: u64,
+    /// Hard cap on `explore` abstract states; a request's own
+    /// `max_states` can only lower it.
+    pub max_explore_states: usize,
 }
 
 impl Default for Limits {
@@ -34,6 +46,23 @@ impl Default for Limits {
         Limits {
             max_fuel: 1_000_000,
             max_source_bytes: 8 << 20,
+            default_timeout_ms: 30_000,
+            max_timeout_ms: 300_000,
+            max_explore_states: 1_000_000,
+        }
+    }
+}
+
+impl Limits {
+    /// Effective timeout for `req` in milliseconds: the request's
+    /// `timeout_ms` (or the configured default), clamped by
+    /// `max_timeout_ms`. `0` disables the deadline.
+    pub fn effective_timeout_ms(&self, req: &Request) -> u64 {
+        let requested = req.timeout_ms.unwrap_or(self.default_timeout_ms);
+        if requested == 0 || self.max_timeout_ms == 0 {
+            requested
+        } else {
+            requested.min(self.max_timeout_ms)
         }
     }
 }
@@ -90,8 +119,22 @@ impl Service {
         }
     }
 
+    /// Builds the cancellation token for `req` from its effective
+    /// timeout. The serve loop shares this token with the pool watchdog.
+    pub fn cancel_token(&self, req: &Request) -> CancelToken {
+        CancelToken::after_ms(self.limits.effective_timeout_ms(req))
+    }
+
     /// Executes an already-parsed request (the caller counted it).
     pub fn execute(&self, req: &Request) -> String {
+        let token = self.cancel_token(req);
+        self.execute_with_cancel(req, &token)
+    }
+
+    /// Executes an already-parsed request under an externally-owned
+    /// cancellation token (so the connection or watchdog can revoke the
+    /// work).
+    pub fn execute_with_cancel(&self, req: &Request, token: &CancelToken) -> String {
         let start = Instant::now();
         let line = match req.op {
             Op::Stats => Response::ok(req.id.as_ref(), Op::Stats)
@@ -99,7 +142,9 @@ impl Service {
                 .field("cache_entries", Json::Num(self.cache_len() as f64))
                 .into_line(),
             Op::Shutdown => Response::ok(req.id.as_ref(), Op::Shutdown).into_line(),
-            Op::Certify | Op::Infer | Op::Flows | Op::Lint => self.compute_cached(req, start),
+            Op::Certify | Op::Infer | Op::Flows | Op::Lint | Op::Explore => {
+                self.compute_cached(req, start, token)
+            }
         };
         self.metrics.record_latency(start.elapsed());
         line
@@ -111,15 +156,19 @@ impl Service {
             Op::Infer => Some(&self.metrics.infer),
             Op::Flows => Some(&self.metrics.flows),
             Op::Lint => Some(&self.metrics.lint),
+            Op::Explore => Some(&self.metrics.explore),
             _ => None,
         }
     }
 
-    fn compute_cached(&self, req: &Request, start: Instant) -> String {
+    fn compute_cached(&self, req: &Request, start: Instant, token: &CancelToken) -> String {
         if let Some(counter) = self.op_counter(req.op) {
             Metrics::bump(counter);
         }
         let effective_fuel = req.fuel.unwrap_or(u64::MAX).min(self.limits.max_fuel);
+        // `timeout_ms` is deliberately NOT part of the key: the
+        // computation it names is identical, and a slow request should
+        // be able to hit a result cached by a patient one.
         let key = cache_key(req, effective_fuel);
         if let Ok(mut cache) = self.cache.lock() {
             if let Some(hit) = cache.get(&key) {
@@ -132,11 +181,15 @@ impl Service {
         }
         Metrics::bump(&self.metrics.cache_misses);
 
-        let outcome = self.compute(req, effective_fuel);
+        let outcome = self.compute(req, effective_fuel, token);
+        let timed_out = matches!(outcome, Err((ErrorKind::Timeout, _)));
         let result = match outcome {
             Ok(fields) => CachedResult { ok: true, fields },
             Err((kind, message)) => {
                 Metrics::bump(&self.metrics.errors);
+                if kind == ErrorKind::Timeout {
+                    Metrics::bump(&self.metrics.timeouts);
+                }
                 CachedResult {
                     ok: false,
                     fields: vec![(
@@ -150,14 +203,27 @@ impl Service {
             }
         };
         // Parse/binding/fuel outcomes are deterministic in the key, so
-        // both successes and failures are cacheable.
-        if let Ok(mut cache) = self.cache.lock() {
-            cache.put(&key, result.clone());
+        // both successes and failures are cacheable. Timeouts are NOT:
+        // they depend on the deadline, not the key.
+        if !timed_out {
+            if let Ok(mut cache) = self.cache.lock() {
+                cache.put(&key, result.clone());
+            }
         }
         finish_line(req, &result, false, start)
     }
 
-    fn compute(&self, req: &Request, effective_fuel: u64) -> Outcome {
+    fn timeout_error(&self, req: &Request) -> (ErrorKind, String) {
+        (
+            ErrorKind::Timeout,
+            format!(
+                "deadline of {} ms exceeded",
+                self.limits.effective_timeout_ms(req)
+            ),
+        )
+    }
+
+    fn compute(&self, req: &Request, effective_fuel: u64, token: &CancelToken) -> Outcome {
         if req.source.len() > self.limits.max_source_bytes {
             return Err((
                 ErrorKind::Fuel,
@@ -168,7 +234,15 @@ impl Service {
                 ),
             ));
         }
+        if token.expired() {
+            return Err(self.timeout_error(req));
+        }
         let program = parse(&req.source).map_err(|d| (ErrorKind::Parse, d.render(&req.source)))?;
+        // Parsing itself is not cancellable, so re-check right after:
+        // a deep program can blow the whole deadline in the parser.
+        if token.expired() {
+            return Err(self.timeout_error(req));
+        }
         let statements = program.statement_count() as u64;
         if statements > effective_fuel {
             return Err((
@@ -176,11 +250,24 @@ impl Service {
                 format!("program has {statements} statements; fuel allows {effective_fuel}"),
             ));
         }
+        let stop = || token.expired();
         if req.op == Op::Lint {
             // Lint needs no binding or lattice; it is still routed
             // through `compute_cached`, so results are cached and
             // counted like every other program-level op.
-            return Ok(lint_fields(&program, &req.source));
+            let report = secflow_analyze::analyze_with(&program, &stop);
+            if report.cancelled {
+                return Err(self.timeout_error(req));
+            }
+            if report.pass_panics > 0 {
+                self.metrics
+                    .pass_panics
+                    .fetch_add(report.pass_panics as u64, Relaxed);
+            }
+            return Ok(lint_fields(&report, &req.source));
+        }
+        if req.op == Op::Explore {
+            return self.explore(req, &program, &stop);
         }
         match req.lattice.as_str() {
             "two" => run_op(req, &program, &TwoPointScheme, &parse_two_class),
@@ -204,6 +291,42 @@ impl Service {
                 run_op(req, &program, &scheme, &parse_class)
             }
         }
+    }
+
+    /// The `explore` op: exhaustive interleaving exploration under the
+    /// request's (capped) state budget and deadline.
+    fn explore(&self, req: &Request, program: &Program, should_stop: &dyn Fn() -> bool) -> Outcome {
+        let mut inputs = Vec::new();
+        for (name, value) in &req.inputs {
+            let id = program
+                .symbols
+                .lookup(name)
+                .ok_or_else(|| (ErrorKind::Binding, format!("`{name}` is not declared")))?;
+            inputs.push((id, *value));
+        }
+        let default = ExploreLimits::default();
+        let limits = ExploreLimits {
+            max_states: req
+                .max_states
+                .map(|n| n.min(usize::MAX as u64) as usize)
+                .unwrap_or(default.max_states)
+                .min(self.limits.max_explore_states),
+            max_depth: default.max_depth,
+        };
+        let report = explore_with(program, &inputs, limits, should_stop);
+        if report.cancelled {
+            return Err(self.timeout_error(req));
+        }
+        Ok(vec![
+            (
+                "outcomes".to_string(),
+                Json::Num(report.outcomes.len() as f64),
+            ),
+            ("deadlocks".to_string(), Json::Num(report.deadlocks as f64)),
+            ("faults".to_string(), Json::Num(report.faults as f64)),
+            ("states".to_string(), Json::Num(report.states as f64)),
+            ("truncated".to_string(), Json::Bool(report.truncated)),
+        ])
     }
 }
 
@@ -232,7 +355,13 @@ fn cache_key(req: &Request, effective_fuel: u64) -> CacheKey {
         .iter()
         .map(|(n, c)| format!("{n}={c};"))
         .collect();
+    let inputs: String = req
+        .inputs
+        .iter()
+        .map(|(n, v)| format!("{n}={v};"))
+        .collect();
     let fuel = effective_fuel.to_string();
+    let max_states = req.max_states.map(|n| n.to_string()).unwrap_or_default();
     CacheKey::of(&[
         req.op.name(),
         &req.lattice,
@@ -241,6 +370,8 @@ fn cache_key(req: &Request, effective_fuel: u64) -> CacheKey {
         if req.dot { "dot" } else { "" },
         &fuel,
         &classes,
+        &inputs,
+        &max_states,
         &req.source,
     ])
 }
@@ -367,14 +498,15 @@ where
             };
             Ok(vec![("graph".to_string(), Json::Str(rendered))])
         }
-        Op::Lint | Op::Stats | Op::Shutdown => unreachable!("handled before dispatch"),
+        Op::Lint | Op::Explore | Op::Stats | Op::Shutdown => {
+            unreachable!("handled before dispatch")
+        }
     }
 }
 
 /// Response fields for the `lint` op: aggregate counts plus one JSON
 /// object per diagnostic (deterministically ordered by the analyzer).
-fn lint_fields(program: &Program, source: &str) -> Vec<(String, Json)> {
-    let report = secflow_analyze::analyze(program);
+fn lint_fields(report: &AnalysisReport, source: &str) -> Vec<(String, Json)> {
     let idx = LineIndex::new(source);
     let count = |s: Severity| report.count(s) as f64;
     let diags: Vec<Json> = report
@@ -589,6 +721,66 @@ mod tests {
         let v = Json::parse(&s.handle_line(&req)).unwrap();
         assert_eq!(v.get("clean").and_then(Json::as_bool), Some(true));
         assert_eq!(v.get("errors").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn explore_round_trip() {
+        let s = svc();
+        let req = format!(
+            r#"{{"op":"explore","source":{},"inputs":{{"x":1}}}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        let v = Json::parse(&s.handle_line(&req)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        // With x = 1 the §2.2 channel deadlocks on the wait.
+        assert!(v.get("deadlocks").and_then(Json::as_u64).unwrap() >= 1);
+        assert_eq!(v.get("truncated").and_then(Json::as_bool), Some(false));
+
+        // Same request, different max_states: a distinct cache entry.
+        let v2 = Json::parse(&s.handle_line(&req)).unwrap();
+        assert_eq!(v2.get("cached").and_then(Json::as_bool), Some(true));
+        let capped = format!(
+            r#"{{"op":"explore","source":{},"inputs":{{"x":1}},"max_states":2}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        let v3 = Json::parse(&s.handle_line(&capped)).unwrap();
+        assert_eq!(v3.get("cached").and_then(Json::as_bool), Some(false));
+        assert_eq!(v3.get("truncated").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn expired_deadline_is_structured_timeout_and_never_cached() {
+        let s = svc();
+        let req = Request::parse(&line(LEAKY, r#"{"x":"high"}"#)).unwrap();
+        let token = CancelToken::unbounded();
+        token.cancel();
+        s.note_request();
+        let v = Json::parse(&s.execute_with_cancel(&req, &token)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        let kind = v
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str);
+        assert_eq!(kind, Some("timeout"));
+        assert_eq!(s.metrics.timeouts.load(Relaxed), 1);
+
+        // The timeout was not cached: the same request now computes.
+        let v2 = Json::parse(&s.handle_line(&line(LEAKY, r#"{"x":"high"}"#))).unwrap();
+        assert_eq!(v2.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v2.get("cached").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn effective_timeout_is_clamped() {
+        let limits = Limits::default();
+        let mut req = Request::parse(r#"{"op":"stats"}"#).unwrap();
+        assert_eq!(limits.effective_timeout_ms(&req), 30_000);
+        req.timeout_ms = Some(5);
+        assert_eq!(limits.effective_timeout_ms(&req), 5);
+        req.timeout_ms = Some(u64::MAX);
+        assert_eq!(limits.effective_timeout_ms(&req), 300_000);
+        req.timeout_ms = Some(0);
+        assert_eq!(limits.effective_timeout_ms(&req), 0);
     }
 
     #[test]

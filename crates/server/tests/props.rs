@@ -1,0 +1,136 @@
+//! Property tests for the robustness primitives: the retrying client's
+//! backoff schedule and the deadline arithmetic behind cancellation
+//! tokens.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use secflow_server::{
+    deadline_after_ms, Backoff, CancelToken, ClientError, Op, RemoteClient, Request, RetryPolicy,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every delay is within `[base, cap]`, and the schedule is a pure
+    /// function of the seed.
+    #[test]
+    fn backoff_stays_within_base_and_cap(
+        base_ms in 1u64..50,
+        span_ms in 0u64..450,
+        seed in 0u64..1_000_000,
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_millis(base_ms + span_ms);
+        let mut schedule = Backoff::new(base, cap, seed);
+        let mut replay = Backoff::new(base, cap, seed);
+        for _ in 0..64 {
+            let d = schedule.next_delay();
+            prop_assert!(d >= base, "delay {:?} under base {:?}", d, base);
+            prop_assert!(d <= cap, "delay {:?} over cap {:?}", d, cap);
+            prop_assert_eq!(d, replay.next_delay());
+        }
+    }
+
+    /// Decorrelated jitter: each delay is at most 3x the previous one
+    /// (before the cap), so growth is exponential-bounded, and once the
+    /// cap is reached the schedule stays there (monotone cap).
+    #[test]
+    fn backoff_growth_is_bounded_by_three_times_previous(
+        base_ms in 1u64..20,
+        seed in 0u64..1_000_000,
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_millis(10_000);
+        let mut schedule = Backoff::new(base, cap, seed);
+        let mut prev = base;
+        for _ in 0..64 {
+            let d = schedule.next_delay();
+            let growth_cap = (prev * 3).max(base).min(cap);
+            prop_assert!(
+                d <= growth_cap,
+                "delay {:?} exceeds 3x previous {:?}", d, prev
+            );
+            prop_assert!(d >= base && d <= cap);
+            prev = d;
+        }
+    }
+
+    /// Constructing with reversed bounds swaps them instead of
+    /// producing an empty (panicking) range.
+    #[test]
+    fn backoff_swaps_reversed_bounds(
+        a in 1u64..200,
+        b in 1u64..200,
+        seed in 0u64..1_000_000,
+    ) {
+        let lo = Duration::from_millis(a.min(b));
+        let hi = Duration::from_millis(a.max(b));
+        let mut schedule = Backoff::new(
+            Duration::from_millis(a),
+            Duration::from_millis(b),
+            seed,
+        );
+        for _ in 0..32 {
+            let d = schedule.next_delay();
+            prop_assert!(d >= lo && d <= hi, "delay {:?} outside [{:?}, {:?}]", d, lo, hi);
+        }
+    }
+
+    /// Deadline arithmetic is total: zero and overflow-adjacent
+    /// timeouts mean "no deadline" instead of panicking, and otherwise
+    /// the deadline is exactly `now + timeout`.
+    #[test]
+    fn deadline_arithmetic_never_panics(timeout_ms in 0u64..u64::MAX) {
+        let now = Instant::now();
+        for t in [timeout_ms, u64::MAX, u64::MAX - 1, timeout_ms / 2] {
+            let d = deadline_after_ms(now, t);
+            if t == 0 {
+                prop_assert!(d.is_none(), "0 disables the deadline");
+            } else {
+                match now.checked_add(Duration::from_millis(t)) {
+                    Some(expected) => prop_assert_eq!(d, Some(expected)),
+                    None => prop_assert!(d.is_none(), "overflow means no deadline"),
+                }
+            }
+
+            // Tokens built from the same arithmetic: remaining() is
+            // total, and a zero/huge timeout is never born expired.
+            let token = CancelToken::after_ms(t);
+            let _ = token.remaining();
+            if t == 0 || t > 60_000 {
+                prop_assert!(!token.expired(), "timeout {} ms expired immediately", t);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The retry budget is exact: against an always-refusing endpoint
+    /// the client makes precisely `budget` attempts, then reports the
+    /// exhaustion.
+    #[test]
+    fn retry_budget_is_exact(budget in 1u32..5) {
+        // Port 1 on localhost refuses connections immediately.
+        let mut client = RemoteClient::new(
+            "127.0.0.1:1",
+            RetryPolicy {
+                budget,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+                io_timeout: Some(Duration::from_millis(100)),
+                seed: budget as u64,
+            },
+        );
+        let req = Request::new(Op::Stats, "");
+        match client.call(&req) {
+            Err(ClientError::BudgetExhausted { attempts, .. }) => {
+                prop_assert_eq!(attempts, budget);
+                prop_assert_eq!(client.attempts(), budget as u64);
+            }
+            other => prop_assert!(false, "expected budget exhaustion, got {:?}", other),
+        }
+    }
+}

@@ -58,6 +58,7 @@ fn config(workers: usize, queue: usize) -> ServerConfig {
         queue_capacity: queue,
         cache_capacity: 1024,
         limits: Limits::default(),
+        ..ServerConfig::default()
     }
 }
 
