@@ -23,8 +23,10 @@
 //!    vice versa), no signal in the cycle can ever happen.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 
 use secflow_lang::{BinOp, Diag, Expr, Program, Span, Stmt, UnOp, VarId};
+use secflow_runtime::pexplore::{fnv64_of, parallel_search, Expansion};
 
 use crate::pass::AnalysisPass;
 
@@ -43,11 +45,16 @@ pub struct DeadlockPass {
     /// Maximum number of abstract states to explore before giving up
     /// with SF012.
     pub max_states: usize,
+    /// Work-stealing exploration workers (1 = sequential search).
+    pub threads: usize,
 }
 
 impl Default for DeadlockPass {
     fn default() -> Self {
-        DeadlockPass { max_states: 50_000 }
+        DeadlockPass {
+            max_states: 50_000,
+            threads: 1,
+        }
     }
 }
 
@@ -60,7 +67,12 @@ impl AnalysisPass for DeadlockPass {
         self.run_with(program, out, &|| false);
     }
 
-    fn run_with(&self, program: &Program, out: &mut Vec<Diag>, should_stop: &dyn Fn() -> bool) {
+    fn run_with(
+        &self,
+        program: &Program,
+        out: &mut Vec<Diag>,
+        should_stop: &(dyn Fn() -> bool + Sync),
+    ) {
         if let Some(cycle) = circular_handoff(program) {
             let names: Vec<&str> = cycle.iter().map(|&v| program.symbols.name(v)).collect();
             let mut d = Diag::warning(
@@ -86,7 +98,7 @@ impl AnalysisPass for DeadlockPass {
             out.push(d);
         }
 
-        let report = deadlock_analysis_with(program, self.max_states, should_stop);
+        let report = deadlock_analysis_threads(program, self.max_states, self.threads, should_stop);
         if report.truncated {
             let why = if report.cancelled {
                 "cancelled"
@@ -157,34 +169,14 @@ const CANCEL_POLL_STATES: usize = 256;
 pub fn deadlock_analysis_with(
     program: &Program,
     max_states: usize,
-    should_stop: &dyn Fn() -> bool,
+    should_stop: &(dyn Fn() -> bool + Sync),
 ) -> DeadlockReport {
     if program.statement_count() > STMT_CAP {
-        return DeadlockReport {
-            may_deadlock: false,
-            truncated: true,
-            cancelled: false,
-            blocked_waits: Vec::new(),
-            states: 0,
-        };
+        return capped_report();
     }
     let ir = Ir::build(program);
-
-    let root = Task {
-        frames: vec![Frame::Run(ir.root)],
-        parent: None,
-        pending: 0,
-        done: false,
-        diverged: false,
-    };
-    let mut init = State {
-        tasks: vec![root],
-        sems: ir.sem_init.clone(),
-        vals: vec![-1; ir.n_atoms],
-    };
-    cascade(&mut init, 0);
-
-    let mut seen: HashSet<State> = HashSet::new();
+    let mut seen: HashSet<Hashed> = HashSet::new();
+    let init = Hashed::new(initial_state(&ir));
     seen.insert(init.clone());
     let mut stack = vec![init];
     let mut may_deadlock = false;
@@ -194,52 +186,37 @@ pub fn deadlock_analysis_with(
 
     let mut blocked: BTreeSet<(u32, u32, VarId)> = BTreeSet::new();
 
-    while let Some(st) = stack.pop() {
+    while let Some(hs) = stack.pop() {
         if popped.is_multiple_of(CANCEL_POLL_STATES) && should_stop() {
             truncated = true;
             cancelled = true;
             break;
         }
         popped += 1;
+        let st = &hs.state;
         let mut succs = Vec::new();
         let mut overflow = false;
-        for i in 0..st.tasks.len() {
-            let t = &st.tasks[i];
-            if t.done || t.diverged || t.pending != 0 || t.frames.is_empty() {
-                continue;
-            }
-            succs.extend(step(&ir, &st, i, &mut overflow));
-        }
+        expand_state(&ir, st, &mut succs, &mut overflow);
         if overflow {
             truncated = true;
             break;
         }
         if succs.is_empty() {
-            let all_done = st.tasks.iter().all(|t| t.done);
-            let any_spinning = st.tasks.iter().any(|t| !t.done && t.diverged);
-            if !all_done && !any_spinning {
-                may_deadlock = true;
-                for t in &st.tasks {
-                    if t.done {
-                        continue;
-                    }
-                    if let Some(Frame::Run(id)) = t.frames.last() {
-                        if let Node::Wait { var, span, .. } = &ir.nodes[*id as usize] {
-                            blocked.insert((span.start, span.end, *var));
-                        }
-                    }
-                }
-            }
+            may_deadlock |= note_blocked(&ir, st, &mut blocked);
             continue;
         }
         for s in succs {
-            if !seen.contains(&s) {
+            // The hash is computed once here and reused for every probe
+            // (and, in the parallel search, for the shard index); the
+            // full state is never re-hashed.
+            let hs = Hashed::new(s);
+            if !seen.contains(&hs) {
                 if seen.len() >= max_states {
                     truncated = true;
                     break;
                 }
-                seen.insert(s.clone());
-                stack.push(s);
+                seen.insert(hs.clone());
+                stack.push(hs);
             }
         }
         if truncated {
@@ -257,6 +234,135 @@ pub fn deadlock_analysis_with(
             .collect(),
         states: seen.len(),
     }
+}
+
+/// [`deadlock_analysis_with`] on `threads` work-stealing workers (via
+/// [`parallel_search`]); `threads <= 1` runs the sequential search. The
+/// partial verdicts merge commutatively (boolean or, set union), so the
+/// report is schedule-independent whenever no cap truncates it.
+pub fn deadlock_analysis_threads(
+    program: &Program,
+    max_states: usize,
+    threads: usize,
+    should_stop: &(dyn Fn() -> bool + Sync),
+) -> DeadlockReport {
+    if threads <= 1 {
+        return deadlock_analysis_with(program, max_states, should_stop);
+    }
+    if program.statement_count() > STMT_CAP {
+        return capped_report();
+    }
+    let ir = Ir::build(program);
+
+    /// Per-worker partial verdict, merged commutatively below.
+    #[derive(Default)]
+    struct Partial {
+        may_deadlock: bool,
+        blocked: BTreeSet<(u32, u32, VarId)>,
+    }
+
+    let outcome = parallel_search(
+        vec![Hashed::new(initial_state(&ir))],
+        threads,
+        max_states,
+        should_stop,
+        |hs: &Hashed| (hs.hash, hs.clone()),
+        |hs: Hashed, partial: &mut Partial, out: &mut Vec<Hashed>| {
+            let st = &hs.state;
+            let mut succs = Vec::new();
+            let mut overflow = false;
+            expand_state(&ir, st, &mut succs, &mut overflow);
+            if overflow {
+                return Expansion::Abort;
+            }
+            if succs.is_empty() {
+                partial.may_deadlock |= note_blocked(&ir, st, &mut partial.blocked);
+            } else {
+                out.extend(succs.into_iter().map(Hashed::new));
+            }
+            Expansion::Continue
+        },
+    );
+
+    let mut may_deadlock = false;
+    let mut blocked: BTreeSet<(u32, u32, VarId)> = BTreeSet::new();
+    for partial in outcome.partials {
+        may_deadlock |= partial.may_deadlock;
+        blocked.extend(partial.blocked);
+    }
+    DeadlockReport {
+        may_deadlock: may_deadlock && !outcome.truncated,
+        truncated: outcome.truncated,
+        cancelled: outcome.cancelled,
+        blocked_waits: blocked
+            .into_iter()
+            .map(|(s, e, v)| (Span::new(s, e), v))
+            .collect(),
+        states: outcome.states,
+    }
+}
+
+/// The report for programs too large to explore at all.
+fn capped_report() -> DeadlockReport {
+    DeadlockReport {
+        may_deadlock: false,
+        truncated: true,
+        cancelled: false,
+        blocked_waits: Vec::new(),
+        states: 0,
+    }
+}
+
+/// The abstract start state: one root task, initial semaphore counters,
+/// every stable atom unbound.
+fn initial_state(ir: &Ir) -> State {
+    let root = Task {
+        frames: vec![Frame::Run(ir.root)],
+        parent: None,
+        pending: 0,
+        done: false,
+        diverged: false,
+    };
+    let mut init = State {
+        tasks: vec![root],
+        sems: ir.sem_init.clone(),
+        vals: vec![-1; ir.n_atoms],
+    };
+    cascade(&mut init, 0);
+    init
+}
+
+/// All successors of `st` (every eligible task stepped once); sets
+/// `overflow` if a step would exceed [`TASK_CAP`].
+fn expand_state(ir: &Ir, st: &State, succs: &mut Vec<State>, overflow: &mut bool) {
+    for i in 0..st.tasks.len() {
+        let t = &st.tasks[i];
+        if t.done || t.diverged || t.pending != 0 || t.frames.is_empty() {
+            continue;
+        }
+        succs.extend(step(ir, st, i, overflow));
+    }
+}
+
+/// If `st` (a state with no successors) is a global blocked state,
+/// records its blocked `wait` sites and returns `true`.
+fn note_blocked(ir: &Ir, st: &State, blocked: &mut BTreeSet<(u32, u32, VarId)>) -> bool {
+    let all_done = st.tasks.iter().all(|t| t.done);
+    let any_spinning = st.tasks.iter().any(|t| !t.done && t.diverged);
+    if all_done || any_spinning {
+        return false;
+    }
+    for t in &st.tasks {
+        if t.done {
+            continue;
+        }
+        if let Some(Frame::Run(id)) = t.frames.last() {
+            if let Node::Wait { var, span, .. } = &ir.nodes[*id as usize] {
+                blocked.insert((span.start, span.end, *var));
+            }
+        }
+    }
+    true
 }
 
 // ---------------------------------------------------------------------------
@@ -520,6 +626,40 @@ struct State {
     tasks: Vec<Task>,
     sems: Vec<u8>,
     vals: Vec<i8>,
+}
+
+/// A state paired with its FNV-1a fingerprint, computed exactly once.
+///
+/// Every visited-set probe used to re-hash the full state (tasks, frames,
+/// semaphores, atoms) — twice per successor, once for `contains` and once
+/// for `insert`. Caching the fingerprint makes each probe hash a single
+/// `u64`, and the same fingerprint doubles as the shard index in the
+/// parallel search.
+#[derive(Clone)]
+struct Hashed {
+    state: State,
+    hash: u64,
+}
+
+impl Hashed {
+    fn new(state: State) -> Hashed {
+        let hash = fnv64_of(&state);
+        Hashed { state, hash }
+    }
+}
+
+impl PartialEq for Hashed {
+    fn eq(&self, other: &Hashed) -> bool {
+        self.hash == other.hash && self.state == other.state
+    }
+}
+
+impl Eq for Hashed {}
+
+impl Hash for Hashed {
+    fn hash<H: Hasher>(&self, hasher: &mut H) {
+        hasher.write_u64(self.hash);
+    }
 }
 
 /// Marks task `i` (and transitively its ancestors) done once it has no
@@ -965,5 +1105,43 @@ coend";
             "{}",
             sf010[0].message
         );
+    }
+
+    #[test]
+    fn cached_hash_is_consistent_with_recomputation() {
+        let ir = Ir::build(&parse(FIG3).unwrap());
+        let init = initial_state(&ir);
+        let a = Hashed::new(init.clone());
+        let b = Hashed::new(init);
+        // Equal states cache equal fingerprints, and the cache agrees
+        // with a fresh recomputation over the full state.
+        assert_eq!(a.hash, b.hash);
+        assert!(a == b);
+        assert_eq!(a.hash, fnv64_of(&a.state));
+        // The `Hash` impl feeds probes only the cached word.
+        assert_eq!(fnv64_of(&a), fnv64_of(&a.hash));
+    }
+
+    #[test]
+    fn parallel_analysis_matches_sequential() {
+        for src in [SEM_CHANNEL, FIG3] {
+            let p = parse(src).unwrap();
+            let seq = deadlock_analysis(&p, 100_000);
+            for threads in [2, 4] {
+                let par = deadlock_analysis_threads(&p, 100_000, threads, &|| false);
+                assert_eq!(par.may_deadlock, seq.may_deadlock);
+                assert_eq!(par.truncated, seq.truncated);
+                assert_eq!(par.blocked_waits, seq.blocked_waits);
+                assert_eq!(par.states, seq.states, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_cancellation_truncates_without_a_verdict() {
+        let r = deadlock_analysis_threads(&parse(FIG3).unwrap(), 100_000, 4, &|| true);
+        assert!(r.cancelled);
+        assert!(r.truncated);
+        assert!(!r.may_deadlock, "no verdict once cancelled");
     }
 }

@@ -1,0 +1,115 @@
+//! `explore_scaling` — E12: throughput of the work-stealing explorer at
+//! 1/2/4/8 threads, recorded as `BENCH_explore.json`.
+//!
+//! ```bash
+//! cargo run --release -p secflow-bench --bin explore_scaling [-- --quick]
+//! ```
+//!
+//! `--quick` shrinks the workloads and repetitions for CI smoke runs.
+//! The JSON records the host's core count next to every measurement:
+//! speedup is only physically possible up to that count, so a 1-core
+//! container legitimately reports flat (or slightly negative) scaling.
+
+use std::time::Instant;
+
+use secflow_lang::Program;
+use secflow_runtime::{explore_with, pexplore_with, ExploreLimits};
+use secflow_workload::{dining_philosophers, sequential_chain};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 5 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let workloads: Vec<(&str, Program)> = if quick {
+        vec![
+            ("sequential_chain", sequential_chain(200, 8)),
+            ("dining_philosophers", dining_philosophers(3, 3, true)),
+        ]
+    } else {
+        vec![
+            ("sequential_chain", sequential_chain(600, 8)),
+            ("dining_philosophers", dining_philosophers(4, 3, true)),
+        ]
+    };
+
+    println!("# explore_scaling — {cores} host core(s), {reps} reps/point\n");
+    let mut rows = Vec::new();
+    for (name, program) in &workloads {
+        let limits = ExploreLimits {
+            max_states: 2_000_000,
+            max_depth: 100_000,
+        };
+        let mut points = Vec::new();
+        let mut states = 0usize;
+        for &threads in &THREADS {
+            let secs = median(reps, || {
+                let report = if threads > 1 {
+                    pexplore_with(program, &[], limits, threads, &|| false)
+                } else {
+                    explore_with(program, &[], limits, &|| false)
+                };
+                assert!(!report.truncated, "{name}: limits bound");
+                states = report.states;
+            });
+            let rate = states as f64 / secs;
+            println!("{name:22} threads={threads}  {states:>8} states  {rate:>12.0} states/s");
+            points.push((threads, secs, rate));
+        }
+        let speedup4 = points[2].2 / points[0].2;
+        println!("{name:22} 4-thread speedup: {speedup4:.2}x\n");
+        rows.push((name.to_string(), states, points, speedup4));
+    }
+
+    let json = render_json(cores, quick, &rows);
+    std::fs::write("BENCH_explore.json", &json).expect("write BENCH_explore.json");
+    println!("wrote BENCH_explore.json");
+}
+
+/// Median wall time of `f` over `reps` runs.
+fn median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+#[allow(clippy::type_complexity)]
+fn render_json(
+    cores: usize,
+    quick: bool,
+    rows: &[(String, usize, Vec<(usize, f64, f64)>, f64)],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"explore_scaling\",\n");
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (i, (name, states, points, speedup4)) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{name}\",\n"));
+        out.push_str(&format!("      \"states\": {states},\n"));
+        out.push_str(&format!("      \"speedup_4_threads\": {speedup4:.3},\n"));
+        out.push_str("      \"points\": [\n");
+        for (j, (threads, secs, rate)) in points.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"threads\": {threads}, \"secs\": {secs:.6}, \"states_per_sec\": {rate:.0}}}{}\n",
+                if j + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

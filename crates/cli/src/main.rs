@@ -27,8 +27,8 @@ use secflow_lang::{parse, print_program, Diag, Program, Severity, VarId};
 use secflow_lattice::{Extended, Lattice, Linear, LinearScheme, Scheme, TwoPoint, TwoPointScheme};
 use secflow_logic::{check_proof, parse_proof, prove, render_proof, write_proof};
 use secflow_runtime::{
-    check_noninterference, explore_with, run_traced, ExploreLimits, Machine, RandomSched,
-    RoundRobin,
+    check_noninterference, explore_with, pexplore_with, run_traced, ExploreLimits, Machine,
+    RandomSched, RoundRobin,
 };
 use secflow_workload::{fig3_baseline_gap_binding, fig3_program, FIG3_SOURCE};
 
@@ -43,15 +43,16 @@ USAGE:
   secflow checkproof <file> --proof proof.sfp [--lattice two|linear:N]
   secflow run     <file> [--input name=VALUE]... [--seed N] [--fuel N] [--trace]
   secflow explore <file> [--input name=VALUE]... [--max-states N] [--timeout-ms N]
+                  [--threads N]
   secflow leaktest <file> --secret NAME [--observe a,b,c] [--values 0,1]
   secflow infer   <file> [--pin name=CLASS]... [--lattice two|linear:N]
   secflow flows   <file> [--class name=CLASS]... [--dot]
   secflow atomicity <file>
-  secflow lint    <file|dir> [--json]
+  secflow lint    <file|dir> [--json] [--threads N]
   secflow fig3    [--x VALUE]
   secflow serve   [--addr HOST:PORT] [--workers N] [--cache N] [--queue N]
                   [--max-fuel N] [--default-timeout-ms N] [--max-line-bytes N]
-                  [--chaos SPEC]   (no --addr: serve stdin/stdout)
+                  [--max-threads N] [--chaos SPEC]   (no --addr: serve stdin/stdout)
   secflow batch   <dir> [--class name=CLASS]... [--default CLASS]
                   [--lattice two|linear:N] [--workers N]
                   [--remote HOST:PORT [--retries N]]
@@ -656,9 +657,16 @@ fn cmd_explore(args: &[String]) -> Result<ExitCode, CliError> {
     let timeout_ms: u64 = opts
         .value("timeout-ms")
         .map_or(Ok(0), |v| v.parse().map_err(|_| "bad --timeout-ms"))?;
+    let threads: usize = opts
+        .value("threads")
+        .map_or(Ok(1), |v| v.parse().map_err(|_| "bad --threads"))?;
     let token = secflow_server::CancelToken::after_ms(timeout_ms);
     let stop = || token.expired();
-    let report = explore_with(&program, &inputs, limits, &stop);
+    let report = if threads > 1 {
+        pexplore_with(&program, &inputs, limits, threads, &stop)
+    } else {
+        explore_with(&program, &inputs, limits, &stop)
+    };
     if report.cancelled {
         println!(
             "TIMEOUT after {timeout_ms} ms: {} states explored (partial results below)",
@@ -811,6 +819,9 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, CliError> {
     let opts = parse_opts(args)?;
     let target = opts.file()?.to_string();
     let json = opts.has("json");
+    let threads: usize = opts
+        .value("threads")
+        .map_or(Ok(1), |v| v.parse().map_err(|_| "bad --threads"))?;
     let path = std::path::Path::new(&target);
     let files: Vec<PathBuf> = if path.is_dir() {
         let mut files: Vec<PathBuf> = std::fs::read_dir(path)
@@ -835,7 +846,7 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, CliError> {
         // A parse error is itself a diagnostic: report it through the
         // same renderer instead of aborting the whole lint run.
         let report = match parse(&source) {
-            Ok(program) => secflow_analyze::analyze(&program),
+            Ok(program) => secflow_analyze::analyze_threads(&program, threads, &|| false),
             Err(d) => AnalysisReport::from_diags(vec![Diag::from(&d)]),
         };
         errors += report.count(Severity::Error);
@@ -880,6 +891,9 @@ fn server_config(opts: &Opts) -> Result<secflow_server::ServerConfig, String> {
     }
     if let Some(v) = opts.value("max-line-bytes") {
         cfg.max_line_bytes = v.parse().map_err(|_| "bad --max-line-bytes")?;
+    }
+    if let Some(v) = opts.value("max-threads") {
+        cfg.limits.max_threads = v.parse().map_err(|_| "bad --max-threads")?;
     }
     // --chaos takes a fault-plan spec; SECFLOW_CHAOS is the env fallback
     // so CI can inject faults without changing invocations.

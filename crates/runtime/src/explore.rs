@@ -43,6 +43,10 @@ impl Default for ExploreLimits {
 pub struct ExploreReport {
     /// Distinct final stores of terminating schedules.
     pub outcomes: BTreeSet<Vec<i64>>,
+    /// Distinct stores observed in deadlocked states — a sorted witness
+    /// set, schedule-independent (several deadlocked states may share a
+    /// store, so this can be smaller than `deadlocks`).
+    pub deadlock_witnesses: BTreeSet<Vec<i64>>,
     /// Number of distinct deadlocked states reached.
     pub deadlocks: usize,
     /// Number of distinct faulting transitions observed.
@@ -94,6 +98,7 @@ pub fn explore_with(
     let machine = Machine::with_inputs(program, inputs);
     let mut report = ExploreReport {
         outcomes: BTreeSet::new(),
+        deadlock_witnesses: BTreeSet::new(),
         deadlocks: 0,
         faults: 0,
         states: 0,
@@ -123,6 +128,7 @@ pub fn explore_with(
             }
             Status::Deadlocked => {
                 report.deadlocks += 1;
+                report.deadlock_witnesses.insert(m.store().to_vec());
                 continue;
             }
             Status::Running => {}
@@ -205,6 +211,12 @@ mod tests {
         .unwrap();
         assert!(!can_deadlock(&p, &[(p.var("x"), 0)], lim()));
         assert!(can_deadlock(&p, &[(p.var("x"), 1)], lim()));
+        // Deadlocked schedules leave a witness store; clean ones do not.
+        let r = explore(&p, &[(p.var("x"), 1)], lim());
+        assert!(!r.deadlock_witnesses.is_empty());
+        assert!(r.deadlock_witnesses.len() <= r.deadlocks);
+        let clean = explore(&p, &[(p.var("x"), 0)], lim());
+        assert!(clean.deadlock_witnesses.is_empty());
     }
 
     #[test]

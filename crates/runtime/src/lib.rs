@@ -15,6 +15,8 @@
 //! - [`trace`] — recorded executions and deterministic replay;
 //! - [`explore`](mod@explore) — exhaustive bounded interleaving enumeration with state
 //!   memoization (possibilistic outcome sets, deadlock detection);
+//! - [`pexplore`](mod@pexplore) — the same search on N work-stealing
+//!   workers with a sharded visited set and commutative result merging;
 //! - [`monitor`] — a classic purely-dynamic taint monitor, kept as a
 //!   comparator whose blind spots (untaken branches, synchronization)
 //!   CFM closes;
@@ -41,6 +43,7 @@ pub mod explore;
 pub mod machine;
 pub mod monitor;
 pub mod nitest;
+pub mod pexplore;
 pub mod rng;
 pub mod sched;
 pub mod trace;
@@ -50,6 +53,9 @@ pub use machine::{eval, Action, Fault, Machine, ProcId, Status};
 pub use monitor::TaintMonitor;
 pub use nitest::{
     check_binary_secret, check_noninterference, observe, NiReport, Observation, Witness,
+};
+pub use pexplore::{
+    fnv64_of, parallel_search, pexplore, pexplore_with, Expansion, Fnv64, SearchOutcome, ShardedSet,
 };
 pub use rng::SplitMix64;
 pub use sched::{run, RandomSched, RoundRobin, RunOutcome, Scheduler};

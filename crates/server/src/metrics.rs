@@ -44,6 +44,13 @@ pub struct Metrics {
     pub timeouts: AtomicU64,
     /// Analysis passes that panicked and were degraded to `SF000`.
     pub pass_panics: AtomicU64,
+    /// Requests whose `threads` field exceeded the server cap and was
+    /// clamped down.
+    pub threads_clamped: AtomicU64,
+    /// Abstract states visited by (non-cached) `explore` requests.
+    pub explore_states: AtomicU64,
+    /// Wall time spent inside (non-cached) `explore` requests, in µs.
+    pub explore_us: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
     latency_total_us: AtomicU64,
     latency_count: AtomicU64,
@@ -81,6 +88,12 @@ impl Metrics {
         } else {
             self.latency_total_us.load(Relaxed) as f64 / count as f64
         };
+        let explore_us = self.explore_us.load(Relaxed);
+        let explore_rate = if explore_us == 0 {
+            0.0
+        } else {
+            self.explore_states.load(Relaxed) as f64 / (explore_us as f64 / 1_000_000.0)
+        };
         let histogram: Vec<Json> = self
             .latency
             .iter()
@@ -109,6 +122,12 @@ impl Metrics {
             ("panics".to_string(), n(&self.panics)),
             ("timeouts".to_string(), n(&self.timeouts)),
             ("pass_panics".to_string(), n(&self.pass_panics)),
+            ("threads_clamped".to_string(), n(&self.threads_clamped)),
+            ("explore_states".to_string(), n(&self.explore_states)),
+            (
+                "explore_states_per_sec".to_string(),
+                Json::Num(explore_rate),
+            ),
             ("latency_mean_us".to_string(), Json::Num(mean_us)),
             ("latency_histogram".to_string(), Json::Arr(histogram)),
         ]

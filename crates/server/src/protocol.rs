@@ -9,7 +9,7 @@
 //! {"id":2,"op":"infer","source":"…","pins":{"x":"high"}}
 //! {"id":3,"op":"flows","source":"…","dot":true}
 //! {"id":4,"op":"lint","source":"…"}
-//! {"id":5,"op":"explore","source":"…","inputs":{"x":1},"max_states":100000}
+//! {"id":5,"op":"explore","source":"…","inputs":{"x":1},"max_states":100000,"threads":4}
 //! {"id":6,"op":"stats"}
 //! {"id":7,"op":"shutdown"}
 //! ```
@@ -105,6 +105,9 @@ pub struct Request {
     pub inputs: Vec<(String, i64)>,
     /// State cap for `explore` (capped by the server).
     pub max_states: Option<u64>,
+    /// Worker threads for `explore`/`lint` state-space search (clamped
+    /// by the server; the reply reports the effective count).
+    pub threads: Option<u64>,
 }
 
 impl Request {
@@ -198,6 +201,7 @@ impl Request {
         let fuel = uint("fuel")?;
         let timeout_ms = uint("timeout_ms")?;
         let max_states = uint("max_states")?;
+        let threads = uint("threads")?;
 
         let mut inputs = Vec::new();
         match value.get("inputs") {
@@ -229,6 +233,7 @@ impl Request {
             timeout_ms,
             inputs,
             max_states,
+            threads,
         })
     }
 
@@ -247,6 +252,7 @@ impl Request {
             timeout_ms: None,
             inputs: Vec::new(),
             max_states: None,
+            threads: None,
         }
     }
 
@@ -302,6 +308,9 @@ impl Request {
         }
         if let Some(n) = self.max_states {
             fields.push(("max_states".to_string(), Json::Num(n as f64)));
+        }
+        if let Some(n) = self.threads {
+            fields.push(("threads".to_string(), Json::Num(n as f64)));
         }
         Json::Obj(fields).to_string()
     }
@@ -449,12 +458,13 @@ mod tests {
     fn parses_timeout_and_explore_fields() {
         let r = Request::parse(
             r#"{"op":"explore","source":"var x : integer; x := 0",
-               "inputs":{"x":-3,"a":7},"max_states":500,"timeout_ms":250}"#,
+               "inputs":{"x":-3,"a":7},"max_states":500,"timeout_ms":250,"threads":4}"#,
         )
         .unwrap();
         assert_eq!(r.op, Op::Explore);
         assert_eq!(r.timeout_ms, Some(250));
         assert_eq!(r.max_states, Some(500));
+        assert_eq!(r.threads, Some(4));
         // Sorted by name for canonical fingerprinting.
         assert_eq!(r.inputs, vec![("a".to_string(), 7), ("x".to_string(), -3)]);
         assert!(Request::parse(r#"{"op":"certify","source":"x","timeout_ms":-1}"#).is_err());
@@ -474,6 +484,7 @@ mod tests {
         let mut explore = Request::new(Op::Explore, "var x : integer; x := 0");
         explore.inputs = vec![("x".to_string(), -3)];
         explore.max_states = Some(500);
+        explore.threads = Some(4);
         assert_eq!(Request::parse(&explore.to_line()).unwrap(), explore);
 
         let infer = Request::parse(r#"{"op":"infer","source":"x","pins":{"x":"high"}}"#).unwrap();

@@ -15,7 +15,7 @@ use secflow_core::{certify, denning_certify, infer_binding, FlowGraph, StaticBin
 use secflow_lang::span::LineIndex;
 use secflow_lang::{parse, Program, Severity};
 use secflow_lattice::{Lattice, LinearScheme, Scheme, TwoPoint, TwoPointScheme};
-use secflow_runtime::{explore_with, ExploreLimits};
+use secflow_runtime::{explore_with, pexplore_with, ExploreLimits};
 
 use crate::cache::{CacheKey, CachedResult, ResultCache};
 use crate::deadline::CancelToken;
@@ -39,6 +39,9 @@ pub struct Limits {
     /// Hard cap on `explore` abstract states; a request's own
     /// `max_states` can only lower it.
     pub max_explore_states: usize,
+    /// Hard cap on `threads` for `explore`/`lint` state-space search; a
+    /// larger request is clamped (not rejected).
+    pub max_threads: usize,
 }
 
 impl Default for Limits {
@@ -49,6 +52,7 @@ impl Default for Limits {
             default_timeout_ms: 30_000,
             max_timeout_ms: 300_000,
             max_explore_states: 1_000_000,
+            max_threads: 8,
         }
     }
 }
@@ -63,6 +67,19 @@ impl Limits {
             requested
         } else {
             requested.min(self.max_timeout_ms)
+        }
+    }
+
+    /// Effective worker-thread count for `req`: the request's `threads`
+    /// (default 1, and 0 means 1), clamped by `max_threads`. The second
+    /// component reports whether clamping actually lowered the request.
+    pub fn effective_threads(&self, req: &Request) -> (usize, bool) {
+        let requested = req.threads.unwrap_or(1).max(1);
+        let cap = self.max_threads.max(1) as u64;
+        if requested > cap {
+            (cap as usize, true)
+        } else {
+            (requested as usize, false)
         }
     }
 }
@@ -166,9 +183,24 @@ impl Service {
             Metrics::bump(counter);
         }
         let effective_fuel = req.fuel.unwrap_or(u64::MAX).min(self.limits.max_fuel);
+        let (threads, clamped) = self.limits.effective_threads(req);
+        let uses_threads = matches!(req.op, Op::Explore | Op::Lint);
+        if uses_threads && clamped {
+            Metrics::bump(&self.metrics.threads_clamped);
+        }
+        // `threads` is echoed per-response (like `cached`/`us`), never
+        // spliced into the cached payload: a parallel request and a
+        // sequential one share a cache entry.
+        let extra: Vec<(String, Json)> = if uses_threads && req.threads.is_some() {
+            vec![("threads".to_string(), Json::Num(threads as f64))]
+        } else {
+            Vec::new()
+        };
         // `timeout_ms` is deliberately NOT part of the key: the
         // computation it names is identical, and a slow request should
-        // be able to hit a result cached by a patient one.
+        // be able to hit a result cached by a patient one. `threads`
+        // is excluded for the same reason — the parallel search merges
+        // commutatively, so the answer is thread-count-independent.
         let key = cache_key(req, effective_fuel);
         if let Ok(mut cache) = self.cache.lock() {
             if let Some(hit) = cache.get(&key) {
@@ -176,12 +208,12 @@ impl Service {
                 if !hit.ok {
                     Metrics::bump(&self.metrics.errors);
                 }
-                return finish_line(req, &hit, true, start);
+                return finish_line(req, &hit, true, start, &extra);
             }
         }
         Metrics::bump(&self.metrics.cache_misses);
 
-        let outcome = self.compute(req, effective_fuel, token);
+        let outcome = self.compute(req, effective_fuel, threads, token);
         let timed_out = matches!(outcome, Err((ErrorKind::Timeout, _)));
         let result = match outcome {
             Ok(fields) => CachedResult { ok: true, fields },
@@ -210,7 +242,7 @@ impl Service {
                 cache.put(&key, result.clone());
             }
         }
-        finish_line(req, &result, false, start)
+        finish_line(req, &result, false, start, &extra)
     }
 
     fn timeout_error(&self, req: &Request) -> (ErrorKind, String) {
@@ -223,7 +255,13 @@ impl Service {
         )
     }
 
-    fn compute(&self, req: &Request, effective_fuel: u64, token: &CancelToken) -> Outcome {
+    fn compute(
+        &self,
+        req: &Request,
+        effective_fuel: u64,
+        threads: usize,
+        token: &CancelToken,
+    ) -> Outcome {
         if req.source.len() > self.limits.max_source_bytes {
             return Err((
                 ErrorKind::Fuel,
@@ -255,7 +293,7 @@ impl Service {
             // Lint needs no binding or lattice; it is still routed
             // through `compute_cached`, so results are cached and
             // counted like every other program-level op.
-            let report = secflow_analyze::analyze_with(&program, &stop);
+            let report = secflow_analyze::analyze_threads(&program, threads, &stop);
             if report.cancelled {
                 return Err(self.timeout_error(req));
             }
@@ -267,7 +305,7 @@ impl Service {
             return Ok(lint_fields(&report, &req.source));
         }
         if req.op == Op::Explore {
-            return self.explore(req, &program, &stop);
+            return self.explore(req, &program, threads, &stop);
         }
         match req.lattice.as_str() {
             "two" => run_op(req, &program, &TwoPointScheme, &parse_two_class),
@@ -294,8 +332,15 @@ impl Service {
     }
 
     /// The `explore` op: exhaustive interleaving exploration under the
-    /// request's (capped) state budget and deadline.
-    fn explore(&self, req: &Request, program: &Program, should_stop: &dyn Fn() -> bool) -> Outcome {
+    /// request's (capped) state budget and deadline, on `threads`
+    /// work-stealing workers (1 = the sequential explorer).
+    fn explore(
+        &self,
+        req: &Request,
+        program: &Program,
+        threads: usize,
+        should_stop: &(dyn Fn() -> bool + Sync),
+    ) -> Outcome {
         let mut inputs = Vec::new();
         for (name, value) in &req.inputs {
             let id = program
@@ -313,7 +358,19 @@ impl Service {
                 .min(self.limits.max_explore_states),
             max_depth: default.max_depth,
         };
-        let report = explore_with(program, &inputs, limits, should_stop);
+        let begin = Instant::now();
+        let report = if threads > 1 {
+            pexplore_with(program, &inputs, limits, threads, should_stop)
+        } else {
+            explore_with(program, &inputs, limits, should_stop)
+        };
+        self.metrics
+            .explore_states
+            .fetch_add(report.states as u64, Relaxed);
+        self.metrics.explore_us.fetch_add(
+            begin.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            Relaxed,
+        );
         if report.cancelled {
             return Err(self.timeout_error(req));
         }
@@ -376,7 +433,16 @@ fn cache_key(req: &Request, effective_fuel: u64) -> CacheKey {
     ])
 }
 
-fn finish_line(req: &Request, result: &CachedResult, cached: bool, start: Instant) -> String {
+/// Renders the final response line. `extra` carries per-response fields
+/// (like the effective `threads`) that must not live in the cached
+/// payload — they are appended next to `cached`/`us` on every reply.
+fn finish_line(
+    req: &Request,
+    result: &CachedResult,
+    cached: bool,
+    start: Instant,
+    extra: &[(String, Json)],
+) -> String {
     let base = if result.ok {
         Response::ok(req.id.as_ref(), req.op)
     } else {
@@ -390,6 +456,7 @@ fn finish_line(req: &Request, result: &CachedResult, cached: bool, start: Instan
             fields
                 .into_iter()
                 .chain(result.fields.iter().cloned())
+                .chain(extra.iter().cloned())
                 .chain([
                     ("cached".to_string(), Json::Bool(cached)),
                     elapsed_field(start),
@@ -399,6 +466,7 @@ fn finish_line(req: &Request, result: &CachedResult, cached: bool, start: Instan
         .to_string();
     };
     base.fields(&result.fields)
+        .fields(extra)
         .field("cached", Json::Bool(cached))
         .fields(&[elapsed_field(start)])
         .into_line()
@@ -746,6 +814,100 @@ mod tests {
         let v3 = Json::parse(&s.handle_line(&capped)).unwrap();
         assert_eq!(v3.get("cached").and_then(Json::as_bool), Some(false));
         assert_eq!(v3.get("truncated").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn threads_above_the_cap_are_clamped_not_rejected() {
+        let s = Service::new(
+            64,
+            Limits {
+                max_threads: 2,
+                ..Limits::default()
+            },
+        );
+        let req = format!(
+            r#"{{"op":"explore","source":{},"inputs":{{"x":1}},"threads":64}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        let v = Json::parse(&s.handle_line(&req)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        // The reply reflects the effective (clamped) thread count.
+        assert_eq!(v.get("threads").and_then(Json::as_u64), Some(2));
+        assert!(v.get("deadlocks").and_then(Json::as_u64).unwrap() >= 1);
+        assert_eq!(s.metrics.threads_clamped.load(Relaxed), 1);
+
+        // Within the cap: no clamp, echoed verbatim.
+        let modest = format!(
+            r#"{{"op":"explore","source":{},"inputs":{{"x":1}},"threads":2}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        let v2 = Json::parse(&s.handle_line(&modest)).unwrap();
+        assert_eq!(v2.get("threads").and_then(Json::as_u64), Some(2));
+        assert_eq!(s.metrics.threads_clamped.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn parallel_and_sequential_explores_share_a_cache_entry() {
+        let s = svc();
+        let parallel = format!(
+            r#"{{"op":"explore","source":{},"inputs":{{"x":1}},"threads":4}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        let v = Json::parse(&s.handle_line(&parallel)).unwrap();
+        assert_eq!(v.get("cached").and_then(Json::as_bool), Some(false));
+        let states = v.get("states").and_then(Json::as_u64).unwrap();
+
+        // The equivalent sequential request has the same content
+        // address: it must hit the entry the parallel run populated.
+        let sequential = format!(
+            r#"{{"op":"explore","source":{},"inputs":{{"x":1}}}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        let v2 = Json::parse(&s.handle_line(&sequential)).unwrap();
+        assert_eq!(v2.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(v2.get("states").and_then(Json::as_u64), Some(states));
+        // No `threads` on the request — none echoed back.
+        assert!(v2.get("threads").is_none());
+        assert_eq!(s.metrics.cache_hits.load(Relaxed), 1);
+        assert_eq!(s.metrics.threads_clamped.load(Relaxed), 0);
+    }
+
+    #[test]
+    fn parallel_lint_matches_sequential_lint() {
+        let s = svc();
+        let seq = format!(
+            r#"{{"op":"lint","source":{}}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        let par = format!(
+            r#"{{"op":"lint","source":{},"threads":4}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        let v = Json::parse(&s.handle_line(&seq)).unwrap();
+        // Same content address: the parallel request is a cache hit,
+        // and its diagnostics are the sequential ones.
+        let v2 = Json::parse(&s.handle_line(&par)).unwrap();
+        assert_eq!(v2.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(v2.get("threads").and_then(Json::as_u64), Some(4));
+        assert_eq!(v2.get("diagnostics"), v.get("diagnostics"));
+    }
+
+    #[test]
+    fn explore_throughput_lands_in_stats() {
+        let s = svc();
+        let req = format!(
+            r#"{{"op":"explore","source":{},"inputs":{{"x":1}}}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        s.handle_line(&req);
+        let v = Json::parse(&s.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        assert!(v.get("explore_states").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(v.get("threads_clamped").and_then(Json::as_u64).is_some());
+        let rate = match v.get("explore_states_per_sec") {
+            Some(Json::Num(n)) => *n,
+            other => panic!("explore_states_per_sec missing: {other:?}"),
+        };
+        assert!(rate >= 0.0);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Differential testing of the parallel explorer: for generated
+//! programs, [`pexplore`](secflow::runtime::pexplore) at 1, 2 and 4
+//! threads must agree with the sequential explorer on every
+//! schedule-independent field — reachable-state count, outcome set,
+//! deadlock count and witness set, fault count.
+//!
+//! The generator's default `bounded_loops: true` keeps every program
+//! terminating under every schedule, and the limits below never bind,
+//! so neither search truncates; dedup-on-push (parallel) and
+//! dedup-on-pop (sequential) then visit exactly the same reachable set
+//! and the commutative merge makes the parallel report deterministic.
+
+use proptest::prelude::*;
+
+use secflow::analyze::{deadlock_analysis, deadlock_analysis_threads};
+use secflow::runtime::{explore_with, pexplore_with, ExploreLimits, ExploreReport};
+use secflow::workload::{dining_philosophers, generate, GenConfig};
+
+/// Roomy enough that no generated program ever hits a limit.
+const LIMITS: ExploreLimits = ExploreLimits {
+    max_states: 500_000,
+    max_depth: 20_000,
+};
+
+fn explore_both(
+    program: &secflow::lang::Program,
+    threads: usize,
+) -> (ExploreReport, ExploreReport) {
+    let seq = explore_with(program, &[], LIMITS, &|| false);
+    let par = pexplore_with(program, &[], LIMITS, threads, &|| false);
+    (seq, par)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The full report is identical at every thread count.
+    #[test]
+    fn parallel_explore_matches_sequential(seed in 0u64..100_000) {
+        let cfg = GenConfig { target_stmts: 30, ..GenConfig::default() };
+        let p = generate(&cfg, seed);
+        for threads in [1usize, 2, 4] {
+            let (seq, par) = explore_both(&p, threads);
+            prop_assert!(!seq.truncated, "limits bound on seed {seed}");
+            prop_assert_eq!(&par, &seq, "threads = {}", threads);
+        }
+    }
+
+    /// Deadlock-prone generations: witness sets (sorted, distinct
+    /// stores) agree, not just counts.
+    #[test]
+    fn parallel_witnesses_match_sequential(seed in 0u64..100_000) {
+        let cfg = GenConfig {
+            target_stmts: 20,
+            n_sems: 3,
+            ..GenConfig::default()
+        };
+        let p = generate(&cfg, seed);
+        let (seq, par) = explore_both(&p, 4);
+        prop_assert_eq!(&par.deadlock_witnesses, &seq.deadlock_witnesses);
+        prop_assert_eq!(par.deadlocks, seq.deadlocks);
+        prop_assert_eq!(par.states, seq.states);
+        prop_assert_eq!(par.faults, seq.faults);
+    }
+
+    /// The abstract deadlock analysis (input-free, all paths) agrees
+    /// with its parallel version on verdict, blocked sites and states.
+    #[test]
+    fn parallel_deadlock_analysis_matches_sequential(seed in 0u64..100_000) {
+        let cfg = GenConfig { target_stmts: 25, ..GenConfig::default() };
+        let p = generate(&cfg, seed);
+        let seq = deadlock_analysis(&p, 200_000);
+        for threads in [2usize, 4] {
+            let par = deadlock_analysis_threads(&p, 200_000, threads, &|| false);
+            prop_assert_eq!(par.may_deadlock, seq.may_deadlock);
+            prop_assert_eq!(par.truncated, seq.truncated);
+            prop_assert_eq!(&par.blocked_waits, &seq.blocked_waits);
+            prop_assert_eq!(par.states, seq.states);
+        }
+    }
+}
+
+/// A fixed adversarial workload on top of the generated ones: unordered
+/// dining philosophers can deadlock, and every thread count must find
+/// the same witnesses.
+#[test]
+fn philosophers_report_is_thread_count_independent() {
+    let p = dining_philosophers(3, 1, false);
+    let seq = explore_with(&p, &[], LIMITS, &|| false);
+    assert!(!seq.truncated);
+    assert!(seq.deadlocks > 0, "unordered philosophers must deadlock");
+    for threads in [2usize, 4, 8] {
+        let par = pexplore_with(&p, &[], LIMITS, threads, &|| false);
+        assert_eq!(par, seq, "threads = {threads}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Stress tests for the work-stealing explorer: deadlines land close to
+//! the deadline, and cancellation stops every worker within one polling
+//! quantum.
+
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::time::{Duration, Instant};
+
+use secflow::runtime::pexplore::CANCEL_POLL_STATES;
+use secflow::runtime::{pexplore_with, ExploreLimits};
+use secflow::server::CancelToken;
+use secflow::workload::dining_philosophers;
+
+/// A workload whose state space dwarfs any deadline used below, so the
+/// searches here always die by cancellation, never by exhaustion.
+fn big_table() -> secflow::lang::Program {
+    dining_philosophers(4, 4, true)
+}
+
+/// An 8-thread exploration under an aggressive deadline must observe
+/// the timeout promptly: the whole call returns within twice the
+/// deadline (polling is every [`CANCEL_POLL_STATES`] states per worker,
+/// and one quantum of philosopher expansions is far cheaper than the
+/// deadline itself).
+#[test]
+fn aggressive_deadline_lands_within_twice_the_deadline() {
+    let p = big_table();
+    let deadline_ms = 150u64;
+    let token = CancelToken::after_ms(deadline_ms);
+    let start = Instant::now();
+    let report = pexplore_with(&p, &[], ExploreLimits::default(), 8, &|| token.expired());
+    let elapsed = start.elapsed();
+    assert!(report.cancelled, "the deadline should have fired");
+    assert!(report.truncated);
+    assert!(
+        elapsed < Duration::from_millis(2 * deadline_ms),
+        "timeout took {elapsed:?} against a {deadline_ms} ms deadline"
+    );
+}
+
+/// No worker outlives cancellation by more than one polling quantum.
+///
+/// The hook flips permanently true after its 8th invocation. Every
+/// expansion is preceded by a poll at each multiple of
+/// [`CANCEL_POLL_STATES`] pops, so the 8 false polls license at most
+/// `8 * CANCEL_POLL_STATES` expansions in total — across all 8 workers,
+/// however the steals interleave.
+#[test]
+fn no_worker_outlives_the_token_by_more_than_one_quantum() {
+    let p = big_table();
+    let polls = AtomicUsize::new(0);
+    let stop = || polls.fetch_add(1, Relaxed) >= 8;
+    let report = pexplore_with(&p, &[], ExploreLimits::default(), 8, &stop);
+    assert!(report.cancelled);
+    assert!(
+        report.states <= 8 * CANCEL_POLL_STATES,
+        "{} states expanded after 8 permitted polls (quantum {})",
+        report.states,
+        CANCEL_POLL_STATES
+    );
+}
+
+/// A token cancelled before the search starts stops it on the very
+/// first quantum of every worker.
+#[test]
+fn pre_cancelled_token_stops_the_search_immediately() {
+    let p = big_table();
+    let token = CancelToken::unbounded();
+    token.cancel();
+    let report = pexplore_with(&p, &[], ExploreLimits::default(), 8, &|| token.expired());
+    assert!(report.cancelled);
+    assert!(
+        report.states <= 8 * CANCEL_POLL_STATES,
+        "{} states",
+        report.states
+    );
+}
