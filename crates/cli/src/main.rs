@@ -52,7 +52,10 @@ USAGE:
   secflow fig3    [--x VALUE]
   secflow serve   [--addr HOST:PORT] [--workers N] [--cache N] [--queue N]
                   [--max-fuel N] [--default-timeout-ms N] [--max-line-bytes N]
-                  [--max-threads N] [--chaos SPEC]   (no --addr: serve stdin/stdout)
+                  [--max-threads N] [--chaos SPEC] [--cache-dir DIR]
+                  [--journal-max-bytes N] [--fsync always|interval|never]
+                  (no --addr: serve stdin/stdout)
+  secflow cache-inspect <dir> [--json]
   secflow batch   <dir> [--class name=CLASS]... [--default CLASS]
                   [--lattice two|linear:N] [--workers N]
                   [--remote HOST:PORT [--retries N]]
@@ -74,6 +77,10 @@ prints unified SF-code diagnostics (one JSON object per line with
 --json). `serve --chaos` takes a deterministic fault-plan spec such as
 `seed=7,panic=5,io=20,latency=50,latency_ms=2,short=10,drop_connects=3,max_faults=40`
 (per-mille rates; also read from the SECFLOW_CHAOS env var).
+`serve --cache-dir DIR` journals every cached result to DIR and
+recovers it on restart (crash-safe; see DESIGN.md §10). The directory
+must already exist and be writable. `cache-inspect` scans a store
+offline and exits 1 if any frame is corrupt.
 ";
 
 /// A CLI failure, split along the exit-code convention: `Usage` exits 2
@@ -131,6 +138,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, CliError> {
         "lint" => cmd_lint(rest),
         "fig3" => cmd_fig3(rest),
         "serve" => cmd_serve(rest),
+        "cache-inspect" => cmd_cache_inspect(rest),
         "batch" => cmd_batch(rest),
         "gen" => cmd_gen(rest),
         "version" | "--version" | "-V" => {
@@ -906,7 +914,38 @@ fn server_config(opts: &Opts) -> Result<secflow_server::ServerConfig, String> {
             secflow_server::FaultPlan::parse(&spec).map_err(|e| format!("bad --chaos: {e}"))?;
         cfg.chaos = Some(std::sync::Arc::new(plan));
     }
+    if let Some(dir) = opts.value("cache-dir") {
+        let mut pcfg = secflow_server::PersistConfig::new(validated_cache_dir(dir)?);
+        if let Some(v) = opts.value("journal-max-bytes") {
+            pcfg.journal_max_bytes = v.parse().map_err(|_| "bad --journal-max-bytes")?;
+        }
+        if let Some(v) = opts.value("fsync") {
+            pcfg.fsync = secflow_server::FsyncMode::parse(v).map_err(|e| format!("bad {e}"))?;
+        }
+        cfg.persist = Some(pcfg);
+    } else if opts.has("journal-max-bytes") || opts.has("fsync") {
+        return Err("--journal-max-bytes and --fsync require --cache-dir".to_string());
+    }
     Ok(cfg)
+}
+
+/// Validates a `--cache-dir` value up front: the directory must already
+/// exist (a typo'd path must not silently create an empty store
+/// elsewhere) and be writable, probed by opening the journal for
+/// append. Failures are structured usage errors (exit 2), never panics.
+fn validated_cache_dir(dir: &str) -> Result<PathBuf, String> {
+    let path = PathBuf::from(dir);
+    if !path.is_dir() {
+        return Err(format!(
+            "--cache-dir `{dir}` is not an existing directory (create it first)"
+        ));
+    }
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path.join(secflow_server::persist::JOURNAL_FILE))
+        .map_err(|e| format!("--cache-dir `{dir}` is not writable: {e}"))?;
+    Ok(path)
 }
 
 fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
@@ -932,6 +971,48 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
         }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `secflow cache-inspect <dir>`: scans a durable store offline (no
+/// lock, no mutation) and reports its contents. Exit 0 when every frame
+/// is CRC-clean, 1 when corruption was skipped (analysis failure), 2 on
+/// a missing/unreadable directory (usage error).
+fn cmd_cache_inspect(args: &[String]) -> Result<ExitCode, CliError> {
+    let opts = parse_opts(args)?;
+    let dir = opts.file()?;
+    let report = secflow_server::inspect_store(std::path::Path::new(dir))
+        .map_err(|e| CliError::Usage(format!("cannot inspect `{dir}`: {e}")))?;
+    if opts.has("json") {
+        use secflow_server::Json;
+        let n = |v: u64| Json::Num(v as f64);
+        let obj = Json::Obj(vec![
+            (
+                "snapshot_entries".to_string(),
+                n(report.snapshot_entries.len() as u64),
+            ),
+            (
+                "journal_entries".to_string(),
+                n(report.journal_entries.len() as u64),
+            ),
+            (
+                "unique_entries".to_string(),
+                n(report.unique_entries() as u64),
+            ),
+            ("frames_skipped".to_string(), n(report.frames_skipped)),
+            ("snapshot_bytes".to_string(), n(report.snapshot_bytes)),
+            ("journal_bytes".to_string(), n(report.journal_bytes)),
+            ("tmp_present".to_string(), Json::Bool(report.tmp_present)),
+            ("clean".to_string(), Json::Bool(report.clean())),
+        ]);
+        println!("{obj}");
+    } else {
+        print!("{}", secflow_server::render_report(&report));
+    }
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn cmd_batch(args: &[String]) -> Result<ExitCode, CliError> {

@@ -408,3 +408,79 @@ fn undeclared_class_name_is_an_error() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("not declared"));
 }
+
+#[test]
+fn serve_with_nonexistent_cache_dir_is_a_usage_error() {
+    let out = secflow(&["serve", "--cache-dir", "/definitely/not/a/real/dir"]);
+    // A typo'd path must be a structured exit-2 usage error up front —
+    // never a panic, and never a silently created store elsewhere.
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("not an existing directory"), "{err}");
+    assert!(err.contains("/definitely/not/a/real/dir"), "{err}");
+}
+
+#[test]
+fn serve_with_unwritable_cache_dir_is_a_usage_error() {
+    // A file where a directory is expected fails the same way.
+    let file = write_program("not_a_dir.sfl", SAFE);
+    let out = secflow(&["serve", "--cache-dir", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not an existing directory"));
+}
+
+#[test]
+fn persistence_flags_require_cache_dir() {
+    let out = secflow(&["serve", "--fsync", "always"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("require --cache-dir"));
+}
+
+#[test]
+fn bad_fsync_mode_is_a_usage_error() {
+    let dir = std::env::temp_dir().join("secflow-cli-fsync-dir");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = secflow(&[
+        "serve",
+        "--cache-dir",
+        dir.to_str().unwrap(),
+        "--fsync",
+        "sometimes",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("bad fsync mode"), "{err}");
+}
+
+#[test]
+fn cache_inspect_missing_dir_is_a_usage_error() {
+    let out = secflow(&["cache-inspect", "/definitely/not/a/real/dir"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot inspect"));
+}
+
+#[test]
+fn cache_inspect_reports_empty_and_corrupt_stores() {
+    let dir = std::env::temp_dir().join("secflow-cli-inspect-dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // An empty store is clean.
+    let out = secflow(&["cache-inspect", dir.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("CLEAN"), "{}", stdout(&out));
+
+    // Garbage in the journal: reported and skipped, exit 1.
+    std::fs::write(dir.join("journal.wal"), b"this is not a frame").unwrap();
+    let out = secflow(&["cache-inspect", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("CORRUPT"), "{}", stdout(&out));
+
+    // --json emits one machine-readable object.
+    let out = secflow(&["cache-inspect", dir.to_str().unwrap(), "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let s = stdout(&out);
+    assert!(s.trim().starts_with('{') && s.trim().ends_with('}'), "{s}");
+    assert!(s.contains("\"frames_skipped\":1"), "{s}");
+    assert!(s.contains("\"clean\":false"), "{s}");
+}

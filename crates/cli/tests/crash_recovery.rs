@@ -1,0 +1,214 @@
+//! Kill-and-restart harness for `serve --cache-dir`: a server is fed a
+//! corpus over stdio, killed with SIGKILL (no destructor, no flush —
+//! the real crash), and restarted in the same directory. The warm
+//! server must answer the whole corpus from disk: `cached:true`,
+//! byte-identical replies modulo the `us` timing field, zero explored
+//! states. A second test flips one journal byte between the kill and
+//! the restart and asserts recovery skips exactly one frame.
+
+#![cfg(unix)]
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use secflow_server::Json;
+
+const LEAKY: &str = "var x, y : integer; sem : semaphore;
+    cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend";
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("secflow-crash-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct Server {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Server {
+    fn spawn(dir: &Path) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_secflow"))
+            .args([
+                "serve",
+                "--cache-dir",
+                dir.to_str().unwrap(),
+                "--fsync",
+                "always",
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("server spawns");
+        let stdin = child.stdin.take().unwrap();
+        let stdout = BufReader::new(child.stdout.take().unwrap());
+        Server {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    /// Sends every line, then collects one reply per line. Pipelined
+    /// replies can arrive out of order, so they are keyed by `id`.
+    fn round_trip(&mut self, lines: &[String]) -> HashMap<u64, Json> {
+        for line in lines {
+            writeln!(self.stdin, "{line}").expect("send");
+        }
+        self.stdin.flush().unwrap();
+        let mut replies = HashMap::new();
+        for _ in lines {
+            let mut reply = String::new();
+            self.stdout.read_line(&mut reply).expect("reply");
+            let v = Json::parse(reply.trim()).expect("reply parses");
+            let id = v.get("id").and_then(Json::as_u64).expect("reply has id");
+            replies.insert(id, v);
+        }
+        replies
+    }
+
+    fn stats(&mut self) -> Json {
+        writeln!(self.stdin, r#"{{"id":9999,"op":"stats"}}"#).unwrap();
+        self.stdin.flush().unwrap();
+        let mut reply = String::new();
+        self.stdout.read_line(&mut reply).expect("stats reply");
+        Json::parse(reply.trim()).expect("stats parses")
+    }
+
+    /// SIGKILL — the process gets no chance to flush or unwind.
+    fn kill_dash_nine(mut self) {
+        self.child.kill().expect("kill");
+        self.child.wait().expect("reap");
+    }
+}
+
+fn corpus() -> Vec<String> {
+    let src = |s: &str| Json::Str(s.to_string());
+    vec![
+        format!(
+            r#"{{"id":1,"op":"certify","source":{},"classes":{{"x":"high"}}}}"#,
+            src(LEAKY)
+        ),
+        format!(
+            r#"{{"id":2,"op":"certify","source":{}}}"#,
+            src("var a, b : integer; a := 1; b := a")
+        ),
+        format!(
+            r#"{{"id":3,"op":"infer","source":{},"pins":{{"x":"high","y":"low"}}}}"#,
+            src(LEAKY)
+        ),
+        format!(r#"{{"id":4,"op":"lint","source":{}}}"#, src(LEAKY)),
+        format!(
+            r#"{{"id":5,"op":"explore","source":{},"inputs":{{"x":1}}}}"#,
+            src(LEAKY)
+        ),
+    ]
+}
+
+/// Drops the per-response `us` timing field at every nesting level.
+fn strip_us(v: &Json) -> Json {
+    match v {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "us")
+                .map(|(k, val)| (k.clone(), strip_us(val)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(strip_us).collect()),
+        other => other.clone(),
+    }
+}
+
+fn persist_stat(stats: &Json, field: &str) -> u64 {
+    stats
+        .get("persist")
+        .and_then(|p| p.get(field))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("persist.{field} missing in {stats:?}"))
+}
+
+#[test]
+fn sigkilled_server_warm_starts_with_identical_replies() {
+    let dir = tmp_dir("warm");
+    let corpus = corpus();
+
+    // Cold server: first pass computes (and journals, fsync always);
+    // second pass is the cached baseline the warm replies must match.
+    let mut cold = Server::spawn(&dir);
+    cold.round_trip(&corpus);
+    let baseline = cold.round_trip(&corpus);
+    for (id, v) in &baseline {
+        assert_eq!(
+            v.get("cached").and_then(Json::as_bool),
+            Some(true),
+            "id {id} not cached on second pass"
+        );
+    }
+    cold.kill_dash_nine();
+
+    // Warm server, same directory, after the kill.
+    let mut warm = Server::spawn(&dir);
+    let warm_replies = warm.round_trip(&corpus);
+    for (id, v) in &baseline {
+        assert_eq!(
+            strip_us(&warm_replies[id]).to_string(),
+            strip_us(v).to_string(),
+            "id {id} differs after recovery"
+        );
+    }
+    let stats = warm.stats();
+    assert_eq!(
+        persist_stat(&stats, "entries_recovered"),
+        corpus.len() as u64
+    );
+    assert_eq!(persist_stat(&stats, "frames_skipped"), 0);
+    assert_eq!(
+        stats.get("explore_states").and_then(Json::as_u64),
+        Some(0),
+        "warm corpus must trigger zero re-exploration"
+    );
+    assert_eq!(
+        stats.get("cache_misses").and_then(Json::as_u64),
+        Some(0),
+        "warm corpus must be served entirely from disk"
+    );
+    warm.kill_dash_nine();
+}
+
+#[test]
+fn corrupted_journal_byte_skips_one_frame_on_warm_start() {
+    let dir = tmp_dir("corrupt");
+    let corpus = corpus();
+    let mut cold = Server::spawn(&dir);
+    cold.round_trip(&corpus);
+    cold.kill_dash_nine();
+
+    let journal = dir.join("journal.wal");
+    let mut bytes = std::fs::read(&journal).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&journal, &bytes).unwrap();
+
+    let mut warm = Server::spawn(&dir);
+    let stats = warm.stats();
+    assert_eq!(persist_stat(&stats, "frames_skipped"), 1);
+    assert_eq!(
+        persist_stat(&stats, "entries_recovered"),
+        corpus.len() as u64 - 1
+    );
+    // The store still serves: every request answers, one recomputes.
+    let replies = warm.round_trip(&corpus);
+    let recomputed = replies
+        .values()
+        .filter(|v| v.get("cached").and_then(Json::as_bool) == Some(false))
+        .count();
+    assert_eq!(recomputed, 1, "exactly the corrupted entry recomputes");
+    warm.kill_dash_nine();
+}

@@ -108,6 +108,19 @@ impl ResultCache {
         Some(entry.value.clone())
     }
 
+    /// Every live entry as `(hash, canon, value)`, least recently used
+    /// first — the order compaction writes them, so a bounded replay
+    /// keeps the hottest entries (see [`crate::persist`]).
+    pub fn entries(&self) -> Vec<(u64, String, CachedResult)> {
+        self.recency
+            .values()
+            .filter_map(|hash| {
+                let entry = self.map.get(hash)?;
+                Some((*hash, entry.canon.clone(), entry.value.clone()))
+            })
+            .collect()
+    }
+
     /// Inserts `value` under `key`, evicting the least recently used
     /// entry if the cache is full.
     pub fn put(&mut self, key: &CacheKey, value: CachedResult) {

@@ -37,6 +37,10 @@ pub enum FaultKind {
     ShortIo,
     /// Drop an accepted connection before reading anything.
     DropConnect,
+    /// Tear a journal append in half (crash mid-`write(2)`).
+    TornWrite,
+    /// Skip an fsync the configured durability mode required.
+    ShortFsync,
 }
 
 /// Fault-injection hooks consulted by the serve path. Implementations
@@ -59,6 +63,18 @@ pub trait Faults: Send + Sync + 'static {
 
     /// Drop this freshly-accepted connection?
     fn drop_connection(&self) -> bool;
+
+    /// Tear this journal append in half, as a crash mid-write would?
+    /// (Consulted by the durable store; default quiet so third-party
+    /// impls predating persistence keep compiling.)
+    fn torn_write(&self) -> bool {
+        false
+    }
+
+    /// Silently skip an fsync the durability mode asked for?
+    fn short_fsync(&self) -> bool {
+        false
+    }
 }
 
 impl<F: Faults> Faults for std::sync::Arc<F> {
@@ -84,6 +100,14 @@ impl<F: Faults> Faults for std::sync::Arc<F> {
 
     fn drop_connection(&self) -> bool {
         (**self).drop_connection()
+    }
+
+    fn torn_write(&self) -> bool {
+        (**self).torn_write()
+    }
+
+    fn short_fsync(&self) -> bool {
+        (**self).short_fsync()
     }
 }
 
@@ -121,6 +145,16 @@ impl Faults for NoFaults {
     fn drop_connection(&self) -> bool {
         false
     }
+
+    #[inline(always)]
+    fn torn_write(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn short_fsync(&self) -> bool {
+        false
+    }
 }
 
 /// Per-mille injection rates and limits for a seeded chaos run.
@@ -144,6 +178,10 @@ pub struct FaultPlan {
     pub panic_per_mille: u32,
     /// Per-mille probability of truncating an IO op to 1 byte.
     pub short_io_per_mille: u32,
+    /// Per-mille probability of tearing a journal append in half.
+    pub torn_write_per_mille: u32,
+    /// Per-mille probability of skipping a required fsync.
+    pub short_fsync_per_mille: u32,
     /// Drop the first N accepted connections outright (deterministic,
     /// not probabilistic — exercises the client's connect retry).
     pub drop_connects: u64,
@@ -164,6 +202,8 @@ impl FaultPlan {
             latency_ms: 1,
             panic_per_mille: 0,
             short_io_per_mille: 0,
+            torn_write_per_mille: 0,
+            short_fsync_per_mille: 0,
             drop_connects: 0,
             accepted: AtomicU64::new(0),
         }
@@ -171,9 +211,9 @@ impl FaultPlan {
 
     /// Parses a plan from a spec string of `key=value` pairs separated
     /// by commas, e.g. `seed=7,io=20,latency=50,panic=5,short=10,`
-    /// `drop_connects=3,max_faults=40,latency_ms=2`. Unknown keys are
-    /// rejected. The same format is accepted from `SECFLOW_CHAOS` by
-    /// the CLI.
+    /// `torn=5,short_fsync=5,drop_connects=3,max_faults=40,latency_ms=2`.
+    /// Unknown keys are rejected. The same format is accepted from
+    /// `SECFLOW_CHAOS` by the CLI.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::new(0);
         for pair in spec.split(',').filter(|p| !p.trim().is_empty()) {
@@ -191,6 +231,8 @@ impl FaultPlan {
                 "latency_ms" => plan.latency_ms = parsed,
                 "panic" => plan.panic_per_mille = parsed.min(1000) as u32,
                 "short" => plan.short_io_per_mille = parsed.min(1000) as u32,
+                "torn" => plan.torn_write_per_mille = parsed.min(1000) as u32,
+                "short_fsync" => plan.short_fsync_per_mille = parsed.min(1000) as u32,
                 "drop_connects" => plan.drop_connects = parsed,
                 "max_faults" => plan.max_faults = parsed,
                 other => return Err(format!("unknown chaos key `{other}`")),
@@ -250,6 +292,14 @@ impl Faults for FaultPlan {
 
     fn short_io(&self) -> bool {
         self.roll(self.short_io_per_mille)
+    }
+
+    fn torn_write(&self) -> bool {
+        self.roll(self.torn_write_per_mille)
+    }
+
+    fn short_fsync(&self) -> bool {
+        self.roll(self.short_fsync_per_mille)
     }
 
     fn drop_connection(&self) -> bool {
@@ -355,15 +405,18 @@ mod tests {
 
     #[test]
     fn parse_round_trip_and_rejection() {
-        let plan =
-            FaultPlan::parse("seed=9,io=20,latency=50,latency_ms=2,panic=5,short=10,max_faults=40")
-                .unwrap();
+        let plan = FaultPlan::parse(
+            "seed=9,io=20,latency=50,latency_ms=2,panic=5,short=10,torn=7,short_fsync=3,max_faults=40",
+        )
+        .unwrap();
         assert_eq!(plan.seed(), 9);
         assert_eq!(plan.io_error_per_mille, 20);
         assert_eq!(plan.latency_per_mille, 50);
         assert_eq!(plan.latency_ms, 2);
         assert_eq!(plan.panic_per_mille, 5);
         assert_eq!(plan.short_io_per_mille, 10);
+        assert_eq!(plan.torn_write_per_mille, 7);
+        assert_eq!(plan.short_fsync_per_mille, 3);
         assert_eq!(plan.max_faults, 40);
         assert!(FaultPlan::parse("bogus").is_err());
         assert!(FaultPlan::parse("io=lots").is_err());

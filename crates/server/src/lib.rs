@@ -24,6 +24,11 @@
 //! - [`cache`]: a content-addressed result cache keyed by an FNV-1a
 //!   fingerprint of (op, lattice, binding, fuel, source) with exact LRU
 //!   eviction — repeated certifications skip re-parsing entirely;
+//! - [`persist`] / [`snapshot`]: a crash-safe durable store for the
+//!   cache — an append-only CRC32-framed journal compacted into an
+//!   atomically-published snapshot, with a recovery path that skips
+//!   torn, truncated or bit-flipped records instead of failing
+//!   (`serve --cache-dir`);
 //! - [`metrics`]: request/cache/error counters and a fixed-bucket
 //!   latency histogram, reported by the `stats` request;
 //! - [`batch`]: bulk certification of `*.sf` directories through the
@@ -60,10 +65,12 @@ pub mod deadline;
 pub mod fault;
 pub mod json;
 pub mod metrics;
+pub mod persist;
 pub mod pool;
 pub mod protocol;
 pub mod serve;
 pub mod service;
+pub mod snapshot;
 
 pub use batch::{render_summary, run_batch, run_batch_remote, BatchSummary, FileOutcome};
 pub use cache::{fnv1a, CacheKey, CachedResult, ResultCache};
@@ -72,7 +79,9 @@ pub use deadline::{deadline_after_ms, CancelToken};
 pub use fault::{ChaosStream, FaultKind, FaultPlan, Faults, NoFaults};
 pub use json::{Json, JsonError};
 pub use metrics::{Metrics, LATENCY_BUCKETS_US};
+pub use persist::{DurableStore, FsyncMode, PersistConfig, PersistStats, RecoveredEntry};
 pub use pool::{Pool, PoolHealth, SubmitError};
 pub use protocol::{ErrorKind, Op, Request, Response};
 pub use serve::{serve_stdio, serve_tcp, ServerConfig, TcpServer};
 pub use service::{Limits, Service};
+pub use snapshot::{inspect_store, publish_snapshot, render_report, StoreReport};

@@ -43,6 +43,7 @@ use std::time::Duration;
 use crate::fault::{ChaosStream, FaultPlan, Faults, NoFaults};
 use crate::json::Json;
 use crate::metrics::Metrics;
+use crate::persist::{DurableStore, PersistConfig};
 use crate::pool::{Pool, PoolHealth, SubmitError};
 use crate::protocol::{ErrorKind, Op, Request, Response};
 use crate::service::{Limits, Service};
@@ -64,6 +65,9 @@ pub struct ServerConfig {
     /// Deterministic fault-injection plan; `None` (the default) runs
     /// the zero-cost [`NoFaults`] hooks.
     pub chaos: Option<Arc<FaultPlan>>,
+    /// Durable cache store configuration (`--cache-dir`); `None` (the
+    /// default) serves memory-only.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for ServerConfig {
@@ -75,7 +79,23 @@ impl Default for ServerConfig {
             limits: Limits::default(),
             max_line_bytes: 1 << 20,
             chaos: None,
+            persist: None,
         }
+    }
+}
+
+/// Builds the shared service, opening the durable store (and running
+/// recovery) first when persistence is configured — so open errors
+/// surface as the serve call's `io::Result`, not inside a spawned
+/// thread. The chaos hooks are shared with the store for torn-write and
+/// short-fsync injection.
+fn build_service<F: Faults + Clone>(cfg: &ServerConfig, faults: &F) -> io::Result<Service> {
+    match &cfg.persist {
+        Some(pcfg) => {
+            let store = DurableStore::open_with_faults(pcfg.clone(), Arc::new(faults.clone()))?;
+            Ok(Service::with_persist(cfg.cache_capacity, cfg.limits, store))
+        }
+        None => Ok(Service::new(cfg.cache_capacity, cfg.limits)),
     }
 }
 
@@ -315,7 +335,7 @@ pub fn serve_stdio(cfg: ServerConfig) -> io::Result<()> {
 }
 
 fn serve_stdio_with<F: Faults + Clone>(cfg: ServerConfig, faults: F) -> io::Result<()> {
-    let service = Arc::new(Service::new(cfg.cache_capacity, cfg.limits));
+    let service = Arc::new(build_service(&cfg, &faults)?);
     let pool = Pool::new(cfg.workers, cfg.queue_capacity);
     let (reply_tx, reply_rx) = mpsc::channel::<String>();
     let writer = thread::spawn(move || {
@@ -405,11 +425,13 @@ fn serve_tcp_with<F: Faults + Clone>(
 ) -> io::Result<TcpServer> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
+    // Open the store (recovery included) before spawning, so a bad
+    // cache dir fails the bind call instead of a detached thread.
+    let service = Arc::new(build_service(&cfg, &faults)?);
     let shutdown = Arc::new(AtomicBool::new(false));
     let handle = thread::Builder::new()
         .name("secflow-accept".to_string())
         .spawn(move || {
-            let service = Arc::new(Service::new(cfg.cache_capacity, cfg.limits));
             let pool = Pool::new(cfg.workers, cfg.queue_capacity);
             thread::scope(|scope| {
                 for conn in listener.incoming() {

@@ -21,6 +21,7 @@ use crate::cache::{CacheKey, CachedResult, ResultCache};
 use crate::deadline::CancelToken;
 use crate::json::Json;
 use crate::metrics::Metrics;
+use crate::persist::DurableStore;
 use crate::protocol::{ErrorKind, Op, Request, Response};
 
 /// Work limits enforced per request.
@@ -92,6 +93,9 @@ pub struct Service {
     /// them).
     pub metrics: Metrics,
     limits: Limits,
+    /// Crash-safe journal/snapshot of the cache, when serving with
+    /// `--cache-dir` (None = memory-only, the default).
+    persist: Option<Mutex<DurableStore>>,
 }
 
 /// Either response fields to report, or a categorized failure.
@@ -104,7 +108,34 @@ impl Service {
             cache: Mutex::new(ResultCache::new(cache_capacity)),
             metrics: Metrics::new(),
             limits,
+            persist: None,
         }
+    }
+
+    /// A service whose cache is backed by a durable store: entries the
+    /// store recovered from disk are replayed into the cache (in disk
+    /// order, so later duplicates win and LRU recency is preserved),
+    /// and every newly computed result is journaled before it can be
+    /// evicted.
+    pub fn with_persist(cache_capacity: usize, limits: Limits, mut store: DurableStore) -> Service {
+        let mut cache = ResultCache::new(cache_capacity);
+        for entry in store.drain_recovered() {
+            cache.put(&entry.key, entry.value);
+        }
+        store.set_entries_recovered(cache.len() as u64);
+        Service {
+            cache: Mutex::new(cache),
+            metrics: Metrics::new(),
+            limits,
+            persist: Some(Mutex::new(store)),
+        }
+    }
+
+    /// A snapshot of the durable store's counters, when persistence is
+    /// enabled.
+    pub fn persist_stats(&self) -> Option<crate::persist::PersistStats> {
+        let store = self.persist.as_ref()?.lock().ok()?;
+        Some(store.stats())
     }
 
     /// The configured limits.
@@ -154,10 +185,15 @@ impl Service {
     pub fn execute_with_cancel(&self, req: &Request, token: &CancelToken) -> String {
         let start = Instant::now();
         let line = match req.op {
-            Op::Stats => Response::ok(req.id.as_ref(), Op::Stats)
-                .fields(&self.metrics.snapshot_fields())
-                .field("cache_entries", Json::Num(self.cache_len() as f64))
-                .into_line(),
+            Op::Stats => {
+                let mut resp = Response::ok(req.id.as_ref(), Op::Stats)
+                    .fields(&self.metrics.snapshot_fields())
+                    .field("cache_entries", Json::Num(self.cache_len() as f64));
+                if let Some(stats) = self.persist_stats() {
+                    resp = resp.field("persist", Json::Obj(stats.fields()));
+                }
+                resp.into_line()
+            }
             Op::Shutdown => Response::ok(req.id.as_ref(), Op::Shutdown).into_line(),
             Op::Certify | Op::Infer | Op::Flows | Op::Lint | Op::Explore => {
                 self.compute_cached(req, start, token)
@@ -241,8 +277,30 @@ impl Service {
             if let Ok(mut cache) = self.cache.lock() {
                 cache.put(&key, result.clone());
             }
+            self.journal(&key, &result);
         }
         finish_line(req, &result, false, start, &extra)
+    }
+
+    /// Appends a freshly cached result to the durable journal, then
+    /// compacts if the journal outgrew its budget. The cache lock is
+    /// never held while this runs; compaction takes persist → cache, so
+    /// nested lock order is one-directional and deadlock-free. Disk
+    /// errors are counted in [`crate::persist::PersistStats`] — serving
+    /// continues memory-only.
+    fn journal(&self, key: &CacheKey, value: &CachedResult) {
+        let Some(persist) = &self.persist else { return };
+        let Ok(mut store) = persist.lock() else {
+            return;
+        };
+        let _ = store.append(key, value);
+        if store.wants_compaction() {
+            let live = match self.cache.lock() {
+                Ok(cache) => cache.entries(),
+                Err(_) => return,
+            };
+            let _ = store.compact(&live);
+        }
     }
 
     fn timeout_error(&self, req: &Request) -> (ErrorKind, String) {

@@ -1,0 +1,321 @@
+//! Snapshot publication and offline store inspection.
+//!
+//! # Crash-consistency protocol
+//!
+//! A compaction must never lose data that was durable before it began,
+//! no matter where a crash lands. The protocol:
+//!
+//! 1. Write every live cache entry to `snapshot.tmp` (fresh file).
+//! 2. `fsync` the tmp file (skipped under `--fsync never`).
+//! 3. Atomically `rename(snapshot.tmp, snapshot.sfs)`.
+//! 4. `fsync` the directory so the rename itself is durable.
+//! 5. Truncate the journal to zero.
+//!
+//! Crash cases:
+//!
+//! - **Before 3**: `snapshot.tmp` may exist, possibly torn. The old
+//!   snapshot and full journal are untouched; recovery removes the tmp
+//!   and replays both — nothing lost.
+//! - **Between 3 and 5**: the new snapshot is published and the journal
+//!   still holds records the snapshot already contains. Recovery
+//!   replays snapshot first, then journal; duplicates are idempotent
+//!   (later wins, values are identical because certification is
+//!   deterministic) — nothing lost, nothing wrong.
+//! - **After 5**: the compaction simply completed.
+//!
+//! At no point is the published snapshot written in place, and the
+//! journal is only truncated after the rename that supersedes it.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::cache::CachedResult;
+use crate::persist::{
+    encode_frame, encode_record, scan_file, RecoveredEntry, JOURNAL_FILE, SNAPSHOT_FILE,
+    SNAPSHOT_TMP_FILE,
+};
+
+/// Writes `live` entries as a new snapshot and publishes it atomically
+/// (steps 1–4 above). `durable` controls the fsyncs; the rename is
+/// atomic either way.
+pub fn publish_snapshot(
+    dir: &Path,
+    live: &[(u64, String, CachedResult)],
+    durable: bool,
+) -> io::Result<()> {
+    let tmp_path = dir.join(SNAPSHOT_TMP_FILE);
+    let mut tmp = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp_path)?;
+    for (hash, canon, value) in live {
+        tmp.write_all(&encode_frame(&encode_record(*hash, canon, value)))?;
+    }
+    if durable {
+        tmp.sync_all()?;
+    }
+    drop(tmp);
+    std::fs::rename(&tmp_path, dir.join(SNAPSHOT_FILE))?;
+    if durable {
+        // Make the rename durable: fsync the containing directory.
+        // Directory fsync is not supported everywhere; a failure here
+        // only widens the loss window, it cannot corrupt.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Everything `secflow cache-inspect` learns from one store directory,
+/// without mutating it (leftover tmp files are reported, not removed).
+pub struct StoreReport {
+    /// Entries decoded from the published snapshot, in file order.
+    pub snapshot_entries: Vec<RecoveredEntry>,
+    /// Entries decoded from the journal, in file order.
+    pub journal_entries: Vec<RecoveredEntry>,
+    /// Frames skipped across both files (corruption indicator).
+    pub frames_skipped: u64,
+    /// Snapshot size in bytes.
+    pub snapshot_bytes: u64,
+    /// Journal size in bytes.
+    pub journal_bytes: u64,
+    /// Whether an unpublished `snapshot.tmp` is lying around (a
+    /// compaction was interrupted; harmless, removed at next open).
+    pub tmp_present: bool,
+}
+
+impl StoreReport {
+    /// Distinct entries a recovery of this store would load (journal
+    /// records override snapshot records with the same content hash).
+    pub fn unique_entries(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for e in self.snapshot_entries.iter().chain(&self.journal_entries) {
+            seen.insert((e.key.hash, e.key.canon.clone()));
+        }
+        seen.len()
+    }
+
+    /// True when every frame in the store scanned clean.
+    pub fn clean(&self) -> bool {
+        self.frames_skipped == 0
+    }
+}
+
+/// Scans a store directory read-only (the offline `cache-inspect`
+/// path). Errors only on unreadable files, never on corrupt content.
+pub fn inspect_store(dir: &Path) -> io::Result<StoreReport> {
+    if !dir.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("`{}` is not a directory", dir.display()),
+        ));
+    }
+    let snapshot = scan_file(&dir.join(SNAPSHOT_FILE))?;
+    let journal = scan_file(&dir.join(JOURNAL_FILE))?;
+    Ok(StoreReport {
+        frames_skipped: snapshot.skipped + journal.skipped,
+        snapshot_bytes: snapshot.bytes,
+        journal_bytes: journal.bytes,
+        snapshot_entries: snapshot.entries,
+        journal_entries: journal.entries,
+        tmp_present: dir.join(SNAPSHOT_TMP_FILE).exists(),
+    })
+}
+
+/// Renders a human-readable inspection report (the `cache-inspect`
+/// output without `--json`).
+pub fn render_report(report: &StoreReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut section = |name: &str, entries: &[RecoveredEntry], bytes: u64| {
+        let _ = writeln!(out, "{name}: {} entries, {bytes} bytes", entries.len());
+        for e in entries {
+            let _ = writeln!(
+                out,
+                "  {:016x}  ok={}  {} field(s)  {}",
+                e.key.hash,
+                e.value.ok,
+                e.value.fields.len(),
+                summarize_canon(&e.key.canon),
+            );
+        }
+    };
+    section("snapshot", &report.snapshot_entries, report.snapshot_bytes);
+    section("journal", &report.journal_entries, report.journal_bytes);
+    let _ = writeln!(
+        out,
+        "unique entries: {}   frames skipped: {}{}{}",
+        report.unique_entries(),
+        report.frames_skipped,
+        if report.tmp_present {
+            "   (interrupted compaction tmp present)"
+        } else {
+            ""
+        },
+        if report.clean() {
+            "   CLEAN"
+        } else {
+            "   CORRUPT FRAMES"
+        },
+    );
+    out
+}
+
+/// First length-prefixed part of a canonical key — the operation name —
+/// so inspection output shows what kind of result each record holds.
+fn summarize_canon(canon: &str) -> String {
+    let Some((len, rest)) = canon.split_once(':') else {
+        return String::from("?");
+    };
+    let Ok(n) = len.parse::<usize>() else {
+        return String::from("?");
+    };
+    rest.get(..n)
+        .map_or_else(|| String::from("?"), str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheKey;
+    use crate::json::Json;
+    use crate::persist::{DurableStore, PersistConfig};
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("secflow-snapshot-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn live(tags: &[&str]) -> Vec<(u64, String, CachedResult)> {
+        tags.iter()
+            .map(|tag| {
+                let key = CacheKey::of(&["certify", tag]);
+                (
+                    key.hash,
+                    key.canon,
+                    CachedResult {
+                        ok: true,
+                        fields: vec![("tag".to_string(), Json::Str(tag.to_string()))],
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn publish_then_recover_round_trips() {
+        let dir = tmp_dir("publish");
+        publish_snapshot(&dir, &live(&["a", "b"]), true).unwrap();
+        let mut store = DurableStore::open(PersistConfig::new(&dir)).unwrap();
+        assert_eq!(store.drain_recovered().len(), 2);
+        assert_eq!(store.stats().frames_skipped, 0);
+    }
+
+    #[test]
+    fn compaction_truncates_journal_and_drops_nothing_live() {
+        let dir = tmp_dir("compact");
+        let mut store = DurableStore::open(PersistConfig::new(&dir)).unwrap();
+        let entries = live(&["a", "b", "c"]);
+        for (hash, canon, value) in &entries {
+            store
+                .append(
+                    &CacheKey {
+                        hash: *hash,
+                        canon: canon.clone(),
+                    },
+                    value,
+                )
+                .unwrap();
+        }
+        store.compact(&entries).unwrap();
+        assert_eq!(store.stats().journal_bytes, 0);
+        assert_eq!(store.stats().compactions, 1);
+        drop(store);
+
+        let mut reopened = DurableStore::open(PersistConfig::new(&dir)).unwrap();
+        assert_eq!(reopened.drain_recovered().len(), 3);
+    }
+
+    #[test]
+    fn interrupted_compaction_leaves_old_state_recoverable() {
+        let dir = tmp_dir("interrupted");
+        let mut store = DurableStore::open(PersistConfig::new(&dir)).unwrap();
+        let entries = live(&["a", "b"]);
+        for (hash, canon, value) in &entries {
+            store
+                .append(
+                    &CacheKey {
+                        hash: *hash,
+                        canon: canon.clone(),
+                    },
+                    value,
+                )
+                .unwrap();
+        }
+        drop(store);
+        // Simulate a crash mid-step-1: a torn tmp file, journal intact.
+        std::fs::write(dir.join(SNAPSHOT_TMP_FILE), b"torn half-written snapsh").unwrap();
+
+        let report = inspect_store(&dir).unwrap();
+        assert!(report.tmp_present);
+        assert_eq!(report.journal_entries.len(), 2);
+
+        let mut reopened = DurableStore::open(PersistConfig::new(&dir)).unwrap();
+        assert_eq!(reopened.drain_recovered().len(), 2);
+        assert_eq!(reopened.stats().frames_skipped, 0, "tmp is not scanned");
+        assert!(!dir.join(SNAPSHOT_TMP_FILE).exists(), "tmp removed on open");
+    }
+
+    #[test]
+    fn truncated_snapshot_skips_without_crashing() {
+        let dir = tmp_dir("snap-trunc");
+        publish_snapshot(&dir, &live(&["a", "b", "c"]), true).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let mut store = DurableStore::open(PersistConfig::new(&dir)).unwrap();
+        let entries = store.drain_recovered();
+        assert_eq!(entries.len(), 2, "valid prefix of the snapshot survives");
+        assert_eq!(store.stats().frames_skipped, 1);
+    }
+
+    #[test]
+    fn inspect_reports_corruption_and_op_names() {
+        let dir = tmp_dir("inspect");
+        let mut store = DurableStore::open(PersistConfig::new(&dir)).unwrap();
+        for (hash, canon, value) in live(&["a", "b"]) {
+            store.append(&CacheKey { hash, canon }, &value).unwrap();
+        }
+        drop(store);
+        let clean = inspect_store(&dir).unwrap();
+        assert!(clean.clean());
+        assert_eq!(clean.unique_entries(), 2);
+        let rendered = render_report(&clean);
+        assert!(rendered.contains("certify"), "{rendered}");
+        assert!(rendered.contains("CLEAN"), "{rendered}");
+
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[9] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let corrupt = inspect_store(&dir).unwrap();
+        assert!(!corrupt.clean());
+        assert_eq!(corrupt.frames_skipped, 1);
+        assert!(render_report(&corrupt).contains("CORRUPT"));
+    }
+
+    #[test]
+    fn inspect_missing_dir_errors() {
+        let missing = std::env::temp_dir().join("secflow-snapshot-definitely-missing");
+        let _ = std::fs::remove_dir_all(&missing);
+        assert!(inspect_store(&missing).is_err());
+    }
+}

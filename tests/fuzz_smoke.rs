@@ -1,0 +1,88 @@
+//! Fuzz smoke: the lexer → parser → analyzer pipeline must never
+//! panic. Any byte soup, any truncation of a valid program, any
+//! character mutation either parses (and then analyzes to a clean
+//! `AnalysisReport`) or fails with a renderable `Diag` — there is no
+//! third outcome. The test passing *is* the property: a panic anywhere
+//! in the pipeline fails the harness.
+
+use proptest::prelude::*;
+
+use secflow::analyze::analyze;
+use secflow::lang::{parse, print_program};
+use secflow::workload::{generate, GenConfig};
+
+/// Drives one input through the full front-end: parse, then (on
+/// success) every analysis pass; on failure, render the diagnostic
+/// against the exact source that produced it (the renderer slices the
+/// source by spans, so it fuzzes span arithmetic too).
+fn front_end_smoke(source: &str) {
+    match parse(source) {
+        Ok(program) => {
+            let report = analyze(&program);
+            for d in &report.diags {
+                // Every diagnostic must render against its own source.
+                let rendered = d.render(source);
+                assert!(!rendered.is_empty());
+            }
+        }
+        Err(diag) => {
+            let rendered = diag.render(source);
+            assert!(!rendered.is_empty());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Character soup: mostly-printable ASCII plus controls and
+    /// multibyte, straight through the pipeline.
+    #[test]
+    fn character_soup_never_panics(source in ".{0,200}") {
+        front_end_smoke(&source);
+    }
+
+    /// Raw bytes (including invalid UTF-8) as a lossy string — the
+    /// replacement character must be as boring as any other char.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255u8, 0..256)) {
+        let source = String::from_utf8_lossy(&bytes);
+        front_end_smoke(&source);
+    }
+
+    /// Truncating a valid generated program at every possible char
+    /// boundary: half-finished declarations, dangling operators,
+    /// unclosed cobegins.
+    #[test]
+    fn truncated_valid_programs_never_panic(seed in 0u64..50_000, cut in 0usize..4096) {
+        let cfg = GenConfig { target_stmts: 20, ..GenConfig::default() };
+        let source = print_program(&generate(&cfg, seed));
+        let cut = cut.min(source.len());
+        if source.is_char_boundary(cut) {
+            front_end_smoke(&source[..cut]);
+        }
+    }
+
+    /// Mutating one char of a valid program into an arbitrary char:
+    /// single-token damage anywhere in otherwise well-formed input.
+    #[test]
+    fn mutated_valid_programs_never_panic(
+        seed in 0u64..50_000,
+        pos in 0usize..4096,
+        replacement in ".{1,1}",
+    ) {
+        let cfg = GenConfig { target_stmts: 20, ..GenConfig::default() };
+        let source = print_program(&generate(&cfg, seed));
+        let chars: Vec<char> = source.chars().collect();
+        if chars.is_empty() {
+            return Ok(());
+        }
+        let pos = pos % chars.len();
+        let mutated: String = chars[..pos]
+            .iter()
+            .chain(replacement.chars().collect::<Vec<_>>().iter())
+            .chain(chars[pos + 1..].iter())
+            .collect();
+        front_end_smoke(&mutated);
+    }
+}

@@ -1,0 +1,227 @@
+//! Differential crash-recovery tests for the durable result store.
+//!
+//! The paper's §6 determinism argument makes cached verdicts
+//! permanently valid, so a crashed-and-restarted server must be able to
+//! answer everything it ever answered — from disk, with byte-identical
+//! replies, without re-running a single certification or exploration.
+//! These tests exercise that property in-process (the subprocess
+//! `kill -9` variant lives in `crates/cli/tests/crash_recovery.rs`):
+//!
+//! - warm start answers the full corpus from disk, `cached:true`,
+//!   byte-identical modulo the `us` timing field, with zero explored
+//!   states;
+//! - LRU-evicted entries stay recoverable from the journal until a
+//!   compaction drops them (the documented DESIGN §10 semantics);
+//! - a flipped byte costs exactly one frame, never the store.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering::Relaxed;
+
+use secflow::server::{DurableStore, FsyncMode, Json, Limits, PersistConfig, Service};
+
+const LEAKY: &str = "var x, y : integer; sem : semaphore;
+    cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend";
+const CLEAN: &str = "var a, b : integer; a := 1; b := a";
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("secflow-recovery-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A service backed by a store in `dir`, `fsync always` so a dropped
+/// service loses nothing (the in-process stand-in for `kill -9`:
+/// `Drop` does no graceful flush the journal would depend on).
+fn service_in(dir: &Path, capacity: usize, journal_max_bytes: u64) -> Service {
+    let cfg = PersistConfig {
+        journal_max_bytes,
+        fsync: FsyncMode::Always,
+        ..PersistConfig::new(dir)
+    };
+    Service::with_persist(
+        capacity,
+        Limits::default(),
+        DurableStore::open(cfg).unwrap(),
+    )
+}
+
+/// A corpus covering every cacheable op plus a cached *failure* (the
+/// parse error): certify (leaky + clean), infer, flows, lint, explore.
+fn corpus() -> Vec<String> {
+    let src = |s: &str| Json::Str(s.to_string());
+    vec![
+        format!(
+            r#"{{"id":1,"op":"certify","source":{},"classes":{{"x":"high"}}}}"#,
+            src(LEAKY)
+        ),
+        format!(r#"{{"id":2,"op":"certify","source":{}}}"#, src(CLEAN)),
+        format!(
+            r#"{{"id":3,"op":"infer","source":{},"pins":{{"x":"high","y":"low"}}}}"#,
+            src(LEAKY)
+        ),
+        format!(
+            r#"{{"id":4,"op":"flows","source":{},"dot":true}}"#,
+            src(LEAKY)
+        ),
+        format!(r#"{{"id":5,"op":"lint","source":{}}}"#, src(LEAKY)),
+        format!(
+            r#"{{"id":6,"op":"explore","source":{},"inputs":{{"x":1}}}}"#,
+            src(LEAKY)
+        ),
+        format!(
+            r#"{{"id":7,"op":"certify","source":{}}}"#,
+            src("var x integer; x := ")
+        ),
+    ]
+}
+
+/// Drops the per-response `us` timing field (the one legitimately
+/// non-deterministic reply byte) at every nesting level.
+fn strip_us(v: &Json) -> Json {
+    match v {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "us")
+                .map(|(k, val)| (k.clone(), strip_us(val)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(strip_us).collect()),
+        other => other.clone(),
+    }
+}
+
+fn normalized(line: &str) -> String {
+    strip_us(&Json::parse(line).expect("reply parses")).to_string()
+}
+
+fn persist_stat(service: &Service, field: &str) -> f64 {
+    let stats = Json::parse(&service.handle_line(r#"{"op":"stats"}"#)).unwrap();
+    match stats.get("persist").and_then(|p| p.get(field)) {
+        Some(Json::Num(n)) => *n,
+        other => panic!("persist.{field} missing: {other:?}"),
+    }
+}
+
+#[test]
+fn warm_start_answers_the_corpus_from_disk_byte_identically() {
+    let dir = tmp_dir("differential");
+    let corpus = corpus();
+
+    // Cold server: first pass computes, second pass is the cached
+    // baseline a warm reply must match byte-for-byte.
+    let cold = service_in(&dir, 64, 8 << 20);
+    for line in &corpus {
+        cold.handle_line(line);
+    }
+    let baseline: Vec<String> = corpus
+        .iter()
+        .map(|l| normalized(&cold.handle_line(l)))
+        .collect();
+    assert!(
+        baseline.iter().all(|r| r.contains(r#""cached":true"#)),
+        "second pass must be fully cached"
+    );
+    drop(cold); // the crash: no graceful shutdown path exists to rely on
+
+    // Warm server in the same directory.
+    let warm = service_in(&dir, 64, 8 << 20);
+    assert_eq!(
+        persist_stat(&warm, "entries_recovered") as usize,
+        corpus.len(),
+        "every corpus entry recovers"
+    );
+    assert_eq!(persist_stat(&warm, "frames_skipped"), 0.0);
+    let warm_replies: Vec<String> = corpus
+        .iter()
+        .map(|l| normalized(&warm.handle_line(l)))
+        .collect();
+    assert_eq!(warm_replies, baseline, "warm replies are byte-identical");
+
+    // Zero re-explorations and zero misses: the whole corpus came from
+    // disk, not from re-running the state-space search.
+    assert_eq!(warm.metrics.explore_states.load(Relaxed), 0);
+    assert_eq!(warm.metrics.cache_misses.load(Relaxed), 0);
+    assert_eq!(warm.metrics.cache_hits.load(Relaxed), corpus.len() as u64);
+}
+
+#[test]
+fn evicted_entries_survive_in_the_journal_until_compaction() {
+    let dir = tmp_dir("eviction");
+    let certify = |tag: &str| {
+        format!(
+            r#"{{"op":"certify","source":{}}}"#,
+            Json::Str(format!("var v{tag} : integer; v{tag} := {}", tag.len()))
+        )
+    };
+
+    // Capacity 2, compaction disabled (journal_max_bytes = 0): the
+    // third insert evicts the first from memory, but its journal record
+    // remains.
+    let small = service_in(&dir, 2, 0);
+    for tag in ["a", "bb", "ccc"] {
+        small.handle_line(&certify(tag));
+    }
+    assert_eq!(small.cache_len(), 2);
+    drop(small);
+
+    // A roomier restart recovers all three — eviction lost nothing
+    // durable.
+    let roomy = service_in(&dir, 8, 0);
+    assert_eq!(persist_stat(&roomy, "entries_recovered"), 3.0);
+    for tag in ["a", "bb", "ccc"] {
+        let v = Json::parse(&roomy.handle_line(&certify(tag))).unwrap();
+        assert_eq!(v.get("cached").and_then(Json::as_bool), Some(true), "{tag}");
+    }
+    drop(roomy);
+
+    // Now a tight journal budget: the next miss triggers a compaction,
+    // whose snapshot holds only the 2 entries live in the small cache.
+    // The journal's memory of the evicted entries is gone — by design.
+    let compacting = service_in(&dir, 2, 1);
+    compacting.handle_line(&certify("dddd"));
+    assert!(persist_stat(&compacting, "compactions") >= 1.0);
+    drop(compacting);
+
+    let after = service_in(&dir, 8, 0);
+    assert_eq!(
+        persist_stat(&after, "entries_recovered"),
+        2.0,
+        "compaction keeps exactly the live cache"
+    );
+}
+
+#[test]
+fn flipped_byte_costs_one_frame_and_the_rest_recovers() {
+    let dir = tmp_dir("corruption");
+    let corpus = corpus();
+    let cold = service_in(&dir, 64, 8 << 20);
+    for line in &corpus {
+        cold.handle_line(line);
+    }
+    drop(cold);
+
+    let journal = dir.join("journal.wal");
+    let mut bytes = std::fs::read(&journal).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&journal, &bytes).unwrap();
+
+    let warm = service_in(&dir, 64, 8 << 20);
+    assert_eq!(persist_stat(&warm, "frames_skipped"), 1.0);
+    assert_eq!(
+        persist_stat(&warm, "entries_recovered") as usize,
+        corpus.len() - 1,
+        "exactly the flipped frame is lost"
+    );
+    // Every request still answers ok; the lost one recomputes.
+    let mut recomputed = 0;
+    for line in &corpus {
+        let v = Json::parse(&warm.handle_line(line)).unwrap();
+        if v.get("cached").and_then(Json::as_bool) == Some(false) {
+            recomputed += 1;
+        }
+    }
+    assert_eq!(recomputed, 1, "one miss, everything else from disk");
+}
