@@ -1,0 +1,137 @@
+//! `cert_validate` — E14: the prove/validate split in numbers. How much
+//! cheaper is validating a wire certificate than producing one?
+//! Recorded as `BENCH_checkproof.json`.
+//!
+//! ```bash
+//! cargo run --release -p secflow-bench --bin cert_validate [-- --quick]
+//! ```
+//!
+//! Per workload, the prove side runs the full emission pipeline a
+//! consumer pays on a cache miss — CFM certification, Theorem 1 proof
+//! search, canonical serialization — and the validate side runs exactly
+//! what `checkproof` runs: parse the source, decode the certificate,
+//! replay the checker's side conditions. Both sides re-parse the source,
+//! so the ratio isolates proving against checking. The numbers are
+//! recorded as measured, whatever the ratio turns out to be.
+//!
+//! Do not expect a dramatic speedup: Theorem 1's prover is
+//! syntax-directed and linear, so "re-proving" was never the expensive
+//! part, and validation must JSON-decode a certificate that is an order
+//! of magnitude larger than the source. The point of the split is
+//! trust, not CPU — a validator needs no prover, no search fuel, and no
+//! faith in the peer that ran them.
+
+use std::time::Instant;
+
+use secflow_cert::{emit_certificate, show_two_class, validate_certificate};
+use secflow_core::StaticBinding;
+use secflow_lang::{parse, print_program};
+use secflow_lattice::{Extended, TwoPoint, TwoPointScheme};
+use secflow_logic::prove;
+use secflow_workload::{dining_philosophers, sequential_chain};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 5 } else { 15 };
+
+    let workloads: Vec<(&str, String)> = if quick {
+        vec![
+            ("sequential_chain", print_program(&sequential_chain(120, 8))),
+            (
+                "dining_philosophers",
+                print_program(&dining_philosophers(3, 3, true)),
+            ),
+        ]
+    } else {
+        vec![
+            ("sequential_chain", print_program(&sequential_chain(400, 8))),
+            (
+                "dining_philosophers",
+                print_program(&dining_philosophers(5, 3, true)),
+            ),
+        ]
+    };
+
+    println!("# cert_validate — {reps} reps/side\n");
+    let mut rows = Vec::new();
+    for (name, source) in &workloads {
+        let program = parse(source).expect("workload parses");
+        let binding = StaticBinding::constant(&program.symbols, &TwoPointScheme, TwoPoint::High);
+
+        // The certificate every validation run consumes.
+        let proof = prove(&program, &binding, Extended::Nil, Extended::Nil)
+            .expect("workload certifies under the constant binding");
+        let cert = emit_certificate(&proof, &program.symbols, "two", source, &show_two_class);
+
+        let prove_secs = median(reps, || {
+            let program = parse(source).expect("workload parses");
+            let proof = prove(&program, &binding, Extended::Nil, Extended::Nil).expect("proves");
+            let cert = emit_certificate(&proof, &program.symbols, "two", source, &show_two_class);
+            assert!(!cert.digest.is_empty());
+        });
+        let validate_secs = median(reps, || {
+            validate_certificate(source, &cert.text).expect("own certificate validates");
+        });
+        let ratio = prove_secs / validate_secs;
+        println!(
+            "{name:22} {:>5} nodes  {:>7} cert bytes  prove {prove_secs:>10.6}s  validate {validate_secs:>10.6}s  {ratio:>6.2}x",
+            cert.nodes,
+            cert.text.len(),
+        );
+        rows.push((
+            name.to_string(),
+            cert.nodes,
+            cert.text.len(),
+            prove_secs,
+            validate_secs,
+            ratio,
+        ));
+    }
+    println!();
+
+    let json = render_json(quick, &rows);
+    std::fs::write("BENCH_checkproof.json", &json).expect("write BENCH_checkproof.json");
+    println!("wrote BENCH_checkproof.json");
+}
+
+/// Median wall time of `f` over `reps` runs.
+fn median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+#[allow(clippy::type_complexity)]
+fn render_json(quick: bool, rows: &[(String, usize, usize, f64, f64, f64)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"cert_validate\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (i, (name, nodes, bytes, prove_secs, validate_secs, ratio)) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{name}\",\n"));
+        out.push_str(&format!("      \"proof_nodes\": {nodes},\n"));
+        out.push_str(&format!("      \"cert_bytes\": {bytes},\n"));
+        out.push_str(&format!("      \"prove_emit_secs\": {prove_secs:.6},\n"));
+        out.push_str(&format!("      \"validate_secs\": {validate_secs:.6},\n"));
+        out.push_str(&format!("      \"prove_over_validate\": {ratio:.3}\n"));
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"note\": \"the prover is syntax-directed and linear, so validation's win is \
+         trust (no prover, no fuel) rather than wall time; decode cost scales with the \
+         certificate, which is ~10x the source\"\n",
+    );
+    out.push_str("}\n");
+    out
+}

@@ -20,6 +20,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use secflow_analyze::AnalysisReport;
+use secflow_cert::{
+    emit_certificate, show_linear_class, show_two_class, validate_certificate, Json,
+};
 use secflow_core::{
     certify, check_atomicity, denning_certify, infer_binding, FlowGraph, StaticBinding,
 };
@@ -38,9 +41,11 @@ secflow — information flow control for parallel programs (Reitman, SOSP 1979)
 USAGE:
   secflow certify <file> [--class name=CLASS]... [--default CLASS]
                          [--lattice two|linear:N] [--baseline]
+                         [--emit-proof cert.json]
   secflow prove   <file> [--class name=CLASS]... [--default CLASS]
                          [--lattice two|linear:N] [--emit proof.sfp]
-  secflow checkproof <file> --proof proof.sfp [--lattice two|linear:N]
+  secflow checkproof <file> --proof proof.sfp|cert.json
+                  [--lattice two|linear:N] [--json]
   secflow run     <file> [--input name=VALUE]... [--seed N] [--fuel N] [--trace]
   secflow explore <file> [--input name=VALUE]... [--max-states N] [--timeout-ms N]
                   [--threads N]
@@ -80,7 +85,10 @@ prints unified SF-code diagnostics (one JSON object per line with
 `serve --cache-dir DIR` journals every cached result to DIR and
 recovers it on restart (crash-safe; see DESIGN.md §10). The directory
 must already exist and be writable. `cache-inspect` scans a store
-offline and exits 1 if any frame is corrupt.
+offline (reporting which entries carry proof certificates) and exits 1
+if any frame is corrupt. `certify --emit-proof` writes a verifiable
+wire certificate (DESIGN.md §11); `checkproof` validates either a
+textual proof or a wire certificate, autodetected by content.
 ";
 
 /// A CLI failure, split along the exit-code convention: `Usage` exits 2
@@ -268,6 +276,7 @@ trait SchemeOps {
         classes: &[(VarId, String)],
         default: Option<&str>,
         baseline: bool,
+        emit_proof: Option<&str>,
     ) -> Result<(bool, String), String>;
 
     fn prove_report(
@@ -312,18 +321,27 @@ where
     Ok(binding)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn certify_impl<S: Scheme>(
     program: &Program,
     source: &str,
     scheme: &S,
+    lattice_desc: &str,
     classes: &[(VarId, String)],
     default: Option<&str>,
     baseline: bool,
+    emit_proof: Option<&str>,
     parse_class: impl Fn(&str) -> Result<S::Elem, String>,
+    show_class: impl Fn(&S::Elem) -> String,
 ) -> Result<(bool, String), String>
 where
     S::Elem: Lattice + Display,
 {
+    if emit_proof.is_some() && baseline {
+        return Err(
+            "--emit-proof needs the CFM flow logic; the Denning baseline has no proof".to_string(),
+        );
+    }
     let binding = build_binding(program, scheme, classes, default, parse_class)?;
     let report = if baseline {
         denning_certify(program, &binding)
@@ -333,6 +351,24 @@ where
     let mut out = String::new();
     out.push_str(&binding.render(program));
     out.push_str(&report.render(source));
+    if let Some(path) = emit_proof {
+        if report.certified() {
+            // Theorem 1 guarantees a proof exists for any CFM-certified
+            // program; a prover failure here is a bug, not bad input.
+            let proof = prove(program, &binding, Extended::Nil, Extended::Nil)
+                .map_err(|e| format!("Theorem 1 prover failed on a certified program: {e}"))?;
+            let cert = emit_certificate(&proof, &program.symbols, lattice_desc, source, &|l| {
+                show_class(l)
+            });
+            std::fs::write(path, &cert.text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            out.push_str(&format!(
+                "certificate written to {path} ({} nodes, digest sha256:{})\n",
+                cert.nodes, cert.digest
+            ));
+        } else {
+            out.push_str("no certificate: the program was not certified\n");
+        }
+    }
     Ok((report.certified(), out))
 }
 
@@ -435,15 +471,19 @@ impl SchemeOps for TwoOps {
         classes: &[(VarId, String)],
         default: Option<&str>,
         baseline: bool,
+        emit_proof: Option<&str>,
     ) -> Result<(bool, String), String> {
         certify_impl(
             program,
             source,
             &TwoPointScheme,
+            "two",
             classes,
             default,
             baseline,
+            emit_proof,
             parse_two,
+            show_two_class,
         )
     }
 
@@ -509,15 +549,19 @@ impl SchemeOps for LinearOps {
         classes: &[(VarId, String)],
         default: Option<&str>,
         baseline: bool,
+        emit_proof: Option<&str>,
     ) -> Result<(bool, String), String> {
         certify_impl(
             program,
             source,
             &self.scheme,
+            &format!("linear:{}", self.scheme.levels()),
             classes,
             default,
             baseline,
+            emit_proof,
             |s| self.parse(s),
+            show_linear_class,
         )
     }
 
@@ -569,6 +613,7 @@ fn cmd_certify(args: &[String]) -> Result<ExitCode, CliError> {
             &classes,
             opts.value("default"),
             opts.has("baseline"),
+            opts.value("emit-proof"),
         )
     })?;
     print!("{report}");
@@ -601,12 +646,74 @@ fn cmd_prove(args: &[String]) -> Result<ExitCode, CliError> {
 
 fn cmd_checkproof(args: &[String]) -> Result<ExitCode, CliError> {
     let opts = parse_opts(args)?;
-    let (program, _) = load_program(opts.file()?)?;
+    let (program, source) = load_program(opts.file()?)?;
     let proof_path = opts.value("proof").ok_or("missing --proof <file>")?;
     let proof_text = std::fs::read_to_string(proof_path)
         .map_err(|e| format!("cannot read `{proof_path}`: {e}"))?;
+    // Wire certificates are JSON objects; the legacy textual proof
+    // format never starts with `{`. The certificate names its own
+    // lattice, so --lattice is not consulted on this path.
+    if proof_text.trim_start().starts_with('{') {
+        return Ok(match validate_certificate(&source, &proof_text) {
+            Ok(summary) => {
+                if opts.has("json") {
+                    println!(
+                        "{}",
+                        Json::Obj(vec![
+                            ("valid".to_string(), Json::Bool(true)),
+                            ("proof_digest".to_string(), Json::Str(summary.digest)),
+                            ("proof_nodes".to_string(), Json::Num(summary.nodes as f64)),
+                            ("lattice".to_string(), Json::Str(summary.lattice)),
+                        ])
+                    );
+                } else {
+                    println!(
+                        "certificate checks ({} nodes, lattice {})\ndigest sha256:{}",
+                        summary.nodes, summary.lattice, summary.digest
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                if opts.has("json") {
+                    println!(
+                        "{}",
+                        Json::Obj(vec![
+                            ("valid".to_string(), Json::Bool(false)),
+                            (
+                                "reason".to_string(),
+                                Json::Obj(vec![
+                                    ("stage".to_string(), Json::Str(err.stage.to_string())),
+                                    ("message".to_string(), Json::Str(err.message)),
+                                ]),
+                            ),
+                        ])
+                    );
+                } else {
+                    println!(
+                        "certificate REJECTED at stage `{}`: {}",
+                        err.stage, err.message
+                    );
+                }
+                ExitCode::FAILURE
+            }
+        });
+    }
     let (ok, report) = with_scheme(&opts, |ops| ops.checkproof_report(&program, &proof_text))?;
-    print!("{report}");
+    if opts.has("json") {
+        println!(
+            "{}",
+            Json::Obj(vec![
+                ("valid".to_string(), Json::Bool(ok)),
+                (
+                    "report".to_string(),
+                    Json::Str(report.trim_end().to_string())
+                ),
+            ])
+        );
+    } else {
+        print!("{report}");
+    }
     Ok(if ok {
         ExitCode::SUCCESS
     } else {
@@ -998,6 +1105,7 @@ fn cmd_cache_inspect(args: &[String]) -> Result<ExitCode, CliError> {
                 "unique_entries".to_string(),
                 n(report.unique_entries() as u64),
             ),
+            ("cert_entries".to_string(), n(report.cert_entries() as u64)),
             ("frames_skipped".to_string(), n(report.frames_skipped)),
             ("snapshot_bytes".to_string(), n(report.snapshot_bytes)),
             ("journal_bytes".to_string(), n(report.journal_bytes)),

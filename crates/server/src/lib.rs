@@ -63,7 +63,6 @@ pub mod cache;
 pub mod client;
 pub mod deadline;
 pub mod fault;
-pub mod json;
 pub mod metrics;
 pub mod persist;
 pub mod pool;
@@ -71,6 +70,11 @@ pub mod protocol;
 pub mod serve;
 pub mod service;
 pub mod snapshot;
+
+/// The JSON value model of the line protocol (re-export of
+/// `secflow_cert::json`, where it moved so certificates and the
+/// protocol share one parser).
+pub use secflow_cert::json;
 
 pub use batch::{render_summary, run_batch, run_batch_remote, BatchSummary, FileOutcome};
 pub use cache::{fnv1a, CacheKey, CachedResult, ResultCache};
@@ -84,4 +88,6 @@ pub use pool::{Pool, PoolHealth, SubmitError};
 pub use protocol::{ErrorKind, Op, Request, Response};
 pub use serve::{serve_stdio, serve_tcp, ServerConfig, TcpServer};
 pub use service::{Limits, Service};
-pub use snapshot::{inspect_store, publish_snapshot, render_report, StoreReport};
+pub use snapshot::{
+    carries_certificate, inspect_store, publish_snapshot, render_report, StoreReport,
+};

@@ -30,6 +30,20 @@ pub struct Metrics {
     pub lint: AtomicU64,
     /// `explore` requests processed.
     pub explore: AtomicU64,
+    /// `checkproof` requests processed.
+    pub checkproof: AtomicU64,
+    /// Proof certificates emitted by the Theorem 1 prover (`certify`
+    /// with `with_proof`, freshly computed — cached re-serves do not
+    /// count, which is exactly what makes "zero re-proving" checkable).
+    pub proofs_emitted: AtomicU64,
+    /// Total bytes of every certificate emitted.
+    pub proof_bytes_total: AtomicU64,
+    /// Certificates that validated (freshly computed verdicts).
+    pub checkproof_valid: AtomicU64,
+    /// Certificates rejected with a structured stage error.
+    pub checkproof_rejected: AtomicU64,
+    /// `checkproof` verdicts served from the digest-addressed cache.
+    pub checkproof_cache_hits: AtomicU64,
     /// Results served from the cache.
     pub cache_hits: AtomicU64,
     /// Results computed because the cache had no entry.
@@ -115,6 +129,24 @@ impl Metrics {
             ("flows".to_string(), n(&self.flows)),
             ("lint".to_string(), n(&self.lint)),
             ("explore".to_string(), n(&self.explore)),
+            ("checkproof".to_string(), n(&self.checkproof)),
+            (
+                "cert".to_string(),
+                Json::Obj(vec![
+                    ("proofs_emitted".to_string(), n(&self.proofs_emitted)),
+                    ("checkproof_requests".to_string(), n(&self.checkproof)),
+                    ("checkproof_valid".to_string(), n(&self.checkproof_valid)),
+                    (
+                        "checkproof_rejected".to_string(),
+                        n(&self.checkproof_rejected),
+                    ),
+                    ("proof_bytes_total".to_string(), n(&self.proof_bytes_total)),
+                    (
+                        "cache_hits_by_digest".to_string(),
+                        n(&self.checkproof_cache_hits),
+                    ),
+                ]),
+            ),
             ("cache_hits".to_string(), n(&self.cache_hits)),
             ("cache_misses".to_string(), n(&self.cache_misses)),
             ("errors".to_string(), n(&self.errors)),

@@ -499,7 +499,10 @@ mod tests {
         let value = CachedResult {
             ok: true,
             fields: vec![
-                ("certified".to_string(), Json::Bool(tag.len().is_multiple_of(2))),
+                (
+                    "certified".to_string(),
+                    Json::Bool(tag.len().is_multiple_of(2)),
+                ),
                 ("checks".to_string(), Json::Num(tag.len() as f64)),
                 (
                     "report".to_string(),

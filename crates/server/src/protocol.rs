@@ -10,9 +10,17 @@
 //! {"id":3,"op":"flows","source":"…","dot":true}
 //! {"id":4,"op":"lint","source":"…"}
 //! {"id":5,"op":"explore","source":"…","inputs":{"x":1},"max_states":100000,"threads":4}
-//! {"id":6,"op":"stats"}
-//! {"id":7,"op":"shutdown"}
+//! {"id":6,"op":"checkproof","source":"…","cert":"{…}"}
+//! {"id":7,"op":"stats"}
+//! {"id":8,"op":"shutdown"}
 //! ```
+//!
+//! `certify` additionally accepts `"with_proof":true`: when the program
+//! certifies, the reply carries a self-contained proof `certificate`
+//! (the `secflow-cert` wire format) plus its `proof_digest` and
+//! `proof_nodes`. `checkproof` validates such a certificate against
+//! `source`; `cert` may be the certificate string or the certificate
+//! object itself (re-serialized canonically on parse).
 //!
 //! Every work-carrying request additionally accepts `"timeout_ms":N` —
 //! a per-request deadline. Work that overruns it is cancelled
@@ -55,6 +63,8 @@ pub enum Op {
     Lint,
     /// Exhaustively explore the program's interleavings (bounded).
     Explore,
+    /// Validate a proof certificate against its source program.
+    Checkproof,
     /// Report service counters and latency histogram.
     Stats,
     /// Stop the service, draining queued work first.
@@ -70,6 +80,7 @@ impl Op {
             Op::Flows => "flows",
             Op::Lint => "lint",
             Op::Explore => "explore",
+            Op::Checkproof => "checkproof",
             Op::Stats => "stats",
             Op::Shutdown => "shutdown",
         }
@@ -94,6 +105,10 @@ pub struct Request {
     pub lattice: String,
     /// Use the sequential Denning baseline instead of CFM.
     pub baseline: bool,
+    /// Attach a proof certificate to a certifying reply (`certify`).
+    pub with_proof: bool,
+    /// The certificate to validate (`checkproof` only; required there).
+    pub cert: Option<String>,
     /// Emit DOT instead of text (`flows` only).
     pub dot: bool,
     /// Per-request work limit in statements (capped by the server).
@@ -128,6 +143,7 @@ impl Request {
             Some("flows") => Op::Flows,
             Some("lint") => Op::Lint,
             Some("explore") => Op::Explore,
+            Some("checkproof") => Op::Checkproof,
             Some("stats") => Op::Stats,
             Some("shutdown") => Op::Shutdown,
             Some(other) => return Err(fail(format!("unknown op `{other}`"))),
@@ -140,7 +156,7 @@ impl Request {
             None => {
                 if matches!(
                     op,
-                    Op::Certify | Op::Infer | Op::Flows | Op::Lint | Op::Explore
+                    Op::Certify | Op::Infer | Op::Flows | Op::Lint | Op::Explore | Op::Checkproof
                 ) {
                     return Err(fail(format!("op `{}` needs `source`", op.name())));
                 }
@@ -190,6 +206,18 @@ impl Request {
         };
         let baseline = flag("baseline")?;
         let dot = flag("dot")?;
+        let with_proof = flag("with_proof")?;
+        let cert = match value.get("cert") {
+            None => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            // An inline certificate object: re-serialize it (the
+            // validator normalizes whitespace, so this is lossless).
+            Some(obj @ Json::Obj(_)) => Some(obj.to_string()),
+            Some(_) => return Err(fail("`cert` must be a string or object".into())),
+        };
+        if op == Op::Checkproof && cert.is_none() {
+            return Err(fail("op `checkproof` needs `cert`".into()));
+        }
         let uint = |name: &str| -> Result<Option<u64>, (Option<Json>, String)> {
             match value.get(name) {
                 None => Ok(None),
@@ -228,6 +256,8 @@ impl Request {
             default_class,
             lattice,
             baseline,
+            with_proof,
+            cert,
             dot,
             fuel,
             timeout_ms,
@@ -247,6 +277,8 @@ impl Request {
             default_class: None,
             lattice: "two".to_string(),
             baseline: false,
+            with_proof: false,
+            cert: None,
             dot: false,
             fuel: None,
             timeout_ms: None,
@@ -288,6 +320,12 @@ impl Request {
         }
         if self.baseline {
             fields.push(("baseline".to_string(), Json::Bool(true)));
+        }
+        if self.with_proof {
+            fields.push(("with_proof".to_string(), Json::Bool(true)));
+        }
+        if let Some(cert) = &self.cert {
+            fields.push(("cert".to_string(), Json::Str(cert.clone())));
         }
         if self.dot {
             fields.push(("dot".to_string(), Json::Bool(true)));
@@ -492,6 +530,34 @@ mod tests {
 
         let minimal = Request::new(Op::Stats, "");
         assert_eq!(Request::parse(&minimal.to_line()).unwrap(), minimal);
+
+        let mut proof = Request::new(Op::Certify, "var x : integer; x := 0");
+        proof.with_proof = true;
+        assert_eq!(Request::parse(&proof.to_line()).unwrap(), proof);
+
+        let mut check = Request::new(Op::Checkproof, "var x : integer; x := 0");
+        check.cert = Some(r#"{"format":"secflow-cert"}"#.to_string());
+        assert_eq!(Request::parse(&check.to_line()).unwrap(), check);
+    }
+
+    #[test]
+    fn checkproof_requires_cert_and_accepts_inline_objects() {
+        let (_, msg) =
+            Request::parse(r#"{"op":"checkproof","source":"var x : integer; skip"}"#).unwrap_err();
+        assert!(msg.contains("needs `cert`"), "{msg}");
+        assert!(Request::parse(r#"{"op":"checkproof","cert":"{}"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"checkproof","source":"x","cert":7}"#).is_err());
+
+        // An inline object is re-serialized to its compact form.
+        let r =
+            Request::parse(r#"{"op":"checkproof","source":"x","cert":{"format": "secflow-cert"}}"#)
+                .unwrap();
+        assert_eq!(r.cert.as_deref(), Some(r#"{"format":"secflow-cert"}"#));
+
+        // `with_proof` is an ordinary boolean flag.
+        let r = Request::parse(r#"{"op":"certify","source":"x","with_proof":true}"#).unwrap();
+        assert!(r.with_proof);
+        assert!(Request::parse(r#"{"op":"certify","source":"x","with_proof":1}"#).is_err());
     }
 
     #[test]

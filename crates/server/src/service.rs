@@ -11,10 +11,12 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use secflow_analyze::AnalysisReport;
+use secflow_cert::{emit_certificate, show_linear_class, show_two_class, validate_certificate};
 use secflow_core::{certify, denning_certify, infer_binding, FlowGraph, StaticBinding};
 use secflow_lang::span::LineIndex;
 use secflow_lang::{parse, Program, Severity};
-use secflow_lattice::{Lattice, LinearScheme, Scheme, TwoPoint, TwoPointScheme};
+use secflow_lattice::{Extended, Lattice, LinearScheme, Scheme, TwoPoint, TwoPointScheme};
+use secflow_logic::prove;
 use secflow_runtime::{explore_with, pexplore_with, ExploreLimits};
 
 use crate::cache::{CacheKey, CachedResult, ResultCache};
@@ -195,7 +197,7 @@ impl Service {
                 resp.into_line()
             }
             Op::Shutdown => Response::ok(req.id.as_ref(), Op::Shutdown).into_line(),
-            Op::Certify | Op::Infer | Op::Flows | Op::Lint | Op::Explore => {
+            Op::Certify | Op::Infer | Op::Flows | Op::Lint | Op::Explore | Op::Checkproof => {
                 self.compute_cached(req, start, token)
             }
         };
@@ -210,6 +212,7 @@ impl Service {
             Op::Flows => Some(&self.metrics.flows),
             Op::Lint => Some(&self.metrics.lint),
             Op::Explore => Some(&self.metrics.explore),
+            Op::Checkproof => Some(&self.metrics.checkproof),
             _ => None,
         }
     }
@@ -241,6 +244,11 @@ impl Service {
         if let Ok(mut cache) = self.cache.lock() {
             if let Some(hit) = cache.get(&key) {
                 Metrics::bump(&self.metrics.cache_hits);
+                if req.op == Op::Checkproof {
+                    // The key is dominated by the certificate text, so
+                    // this is a hit by content digest.
+                    Metrics::bump(&self.metrics.checkproof_cache_hits);
+                }
                 if !hit.ok {
                     Metrics::bump(&self.metrics.errors);
                 }
@@ -252,7 +260,34 @@ impl Service {
         let outcome = self.compute(req, effective_fuel, threads, token);
         let timed_out = matches!(outcome, Err((ErrorKind::Timeout, _)));
         let result = match outcome {
-            Ok(fields) => CachedResult { ok: true, fields },
+            Ok(fields) => {
+                // Certificate bookkeeping happens only on this fresh
+                // path — cached and warm-started replies re-serve the
+                // stored certificate without touching the prover, and
+                // the counters prove it.
+                if let Some(cert) = fields
+                    .iter()
+                    .find(|(k, _)| k == "certificate")
+                    .and_then(|(_, v)| v.as_str())
+                {
+                    Metrics::bump(&self.metrics.proofs_emitted);
+                    self.metrics
+                        .proof_bytes_total
+                        .fetch_add(cert.len() as u64, Relaxed);
+                }
+                if req.op == Op::Checkproof {
+                    let valid = fields
+                        .iter()
+                        .find(|(k, _)| k == "valid")
+                        .and_then(|(_, v)| v.as_bool());
+                    if valid == Some(true) {
+                        Metrics::bump(&self.metrics.checkproof_valid);
+                    } else {
+                        Metrics::bump(&self.metrics.checkproof_rejected);
+                    }
+                }
+                CachedResult { ok: true, fields }
+            }
             Err((kind, message)) => {
                 Metrics::bump(&self.metrics.errors);
                 if kind == ErrorKind::Timeout {
@@ -365,8 +400,25 @@ impl Service {
         if req.op == Op::Explore {
             return self.explore(req, &program, threads, &stop);
         }
+        if req.op == Op::Checkproof {
+            // The validator never re-runs Theorem 1 search: it decodes
+            // the certificate and replays the checker's side conditions.
+            // Rejections are verdicts (ok:true, valid:false), not
+            // protocol errors — a bad certificate is a result, not a
+            // malfunction.
+            return Ok(checkproof_fields(
+                &req.source,
+                req.cert.as_deref().unwrap_or_default(),
+            ));
+        }
         match req.lattice.as_str() {
-            "two" => run_op(req, &program, &TwoPointScheme, &parse_two_class),
+            "two" => run_op(
+                req,
+                &program,
+                &TwoPointScheme,
+                &parse_two_class,
+                &show_two_class,
+            ),
             spec => {
                 let n = spec
                     .strip_prefix("linear:")
@@ -384,7 +436,7 @@ impl Service {
                     )
                 })?;
                 let parse_class = move |s: &str| parse_linear_class(&scheme, s);
-                run_op(req, &program, &scheme, &parse_class)
+                run_op(req, &program, &scheme, &parse_class, &show_linear_class)
             }
         }
     }
@@ -483,6 +535,8 @@ fn cache_key(req: &Request, effective_fuel: u64) -> CacheKey {
         req.default_class.as_deref().unwrap_or(""),
         if req.baseline { "baseline" } else { "" },
         if req.dot { "dot" } else { "" },
+        if req.with_proof { "with_proof" } else { "" },
+        req.cert.as_deref().unwrap_or(""),
         &fuel,
         &classes,
         &inputs,
@@ -538,24 +592,35 @@ fn elapsed_field(start: Instant) -> (String, Json) {
 }
 
 /// Executes the op-specific part under a concrete scheme.
+/// `show_class` renders a lattice element in the certificate's
+/// canonical spelling (`"low"`/`"high"`, `"0"`..`"N-1"`) — the `Display`
+/// impls (`Low`, `L3`) are for humans, not for the wire.
 fn run_op<S: Scheme>(
     req: &Request,
     program: &Program,
     scheme: &S,
     parse_class: &dyn Fn(&str) -> Result<S::Elem, String>,
+    show_class: &dyn Fn(&S::Elem) -> String,
 ) -> Outcome
 where
     S::Elem: Lattice + Display,
 {
     match req.op {
         Op::Certify => {
+            if req.with_proof && req.baseline {
+                return Err((
+                    ErrorKind::Binding,
+                    "`with_proof` needs the CFM flow logic; the Denning baseline has no proof"
+                        .to_string(),
+                ));
+            }
             let binding = build_binding(req, program, scheme, parse_class)?;
             let report = if req.baseline {
                 denning_certify(program, &binding)
             } else {
                 certify(program, &binding)
             };
-            Ok(vec![
+            let mut fields = vec![
                 ("certified".to_string(), Json::Bool(report.certified())),
                 (
                     "violations".to_string(),
@@ -567,7 +632,30 @@ where
                     Json::Num(program.statement_count() as f64),
                 ),
                 ("report".to_string(), Json::Str(report.render(&req.source))),
-            ])
+            ];
+            if req.with_proof && report.certified() {
+                // Theorem 1: a CFM-certified program always has a proof
+                // in the flow logic, so a failure here is a bug in the
+                // prover, not in the request.
+                let proof =
+                    prove(program, &binding, Extended::Nil, Extended::Nil).map_err(|e| {
+                        (
+                            ErrorKind::Internal,
+                            format!("Theorem 1 prover failed on a certified program: {e}"),
+                        )
+                    })?;
+                let cert = emit_certificate(
+                    &proof,
+                    &program.symbols,
+                    &req.lattice,
+                    &req.source,
+                    show_class,
+                );
+                fields.push(("certificate".to_string(), Json::Str(cert.text)));
+                fields.push(("proof_digest".to_string(), Json::Str(cert.digest)));
+                fields.push(("proof_nodes".to_string(), Json::Num(cert.nodes as f64)));
+            }
+            Ok(fields)
         }
         Op::Infer => {
             let mut pins = Vec::new();
@@ -624,9 +712,35 @@ where
             };
             Ok(vec![("graph".to_string(), Json::Str(rendered))])
         }
-        Op::Lint | Op::Explore | Op::Stats | Op::Shutdown => {
+        Op::Lint | Op::Explore | Op::Checkproof | Op::Stats | Op::Shutdown => {
             unreachable!("handled before dispatch")
         }
+    }
+}
+
+/// Response fields for the `checkproof` op. Both verdicts are `ok:true`
+/// results: `valid:true` carries the digest and node count, while
+/// `valid:false` carries a structured `reason` naming the validation
+/// stage that failed (`json`, `format`, `version`, `digest`, `program`,
+/// `source`, `lattice`, `proof`, `check`).
+fn checkproof_fields(source: &str, cert: &str) -> Vec<(String, Json)> {
+    match validate_certificate(source, cert) {
+        Ok(summary) => vec![
+            ("valid".to_string(), Json::Bool(true)),
+            ("proof_digest".to_string(), Json::Str(summary.digest)),
+            ("proof_nodes".to_string(), Json::Num(summary.nodes as f64)),
+            ("lattice".to_string(), Json::Str(summary.lattice)),
+        ],
+        Err(err) => vec![
+            ("valid".to_string(), Json::Bool(false)),
+            (
+                "reason".to_string(),
+                Json::Obj(vec![
+                    ("stage".to_string(), Json::Str(err.stage.to_string())),
+                    ("message".to_string(), Json::Str(err.message)),
+                ]),
+            ),
+        ],
     }
 }
 
@@ -1015,5 +1129,177 @@ mod tests {
         assert_eq!(v.get("cache_misses").and_then(Json::as_u64), Some(1));
         assert_eq!(v.get("cache_entries").and_then(Json::as_u64), Some(1));
         assert!(v.get("latency_histogram").is_some());
+    }
+
+    /// A program the CFM certifies with everything Low — the simplest
+    /// source of a real Theorem 1 proof.
+    const CLEAN: &str = "var x, y : integer;
+        cobegin y := x || x := 1 coend";
+
+    fn certify_with_proof(s: &Service, source: &str) -> Json {
+        let req = format!(
+            r#"{{"op":"certify","source":{},"with_proof":true}}"#,
+            Json::Str(source.to_string())
+        );
+        Json::parse(&s.handle_line(&req)).unwrap()
+    }
+
+    fn checkproof_line(source: &str, cert: &str) -> String {
+        format!(
+            r#"{{"op":"checkproof","source":{},"cert":{}}}"#,
+            Json::Str(source.to_string()),
+            Json::Str(cert.to_string())
+        )
+    }
+
+    #[test]
+    fn certify_with_proof_emits_a_certificate_once() {
+        let s = svc();
+        let v = certify_with_proof(&s, CLEAN);
+        assert_eq!(v.get("certified").and_then(Json::as_bool), Some(true));
+        let cert = v.get("certificate").and_then(Json::as_str).unwrap();
+        let digest = v.get("proof_digest").and_then(Json::as_str).unwrap();
+        assert!(cert.contains(digest));
+        assert!(v.get("proof_nodes").and_then(Json::as_u64).unwrap() >= 1);
+        assert_eq!(s.metrics.proofs_emitted.load(Relaxed), 1);
+        assert_eq!(s.metrics.proof_bytes_total.load(Relaxed), cert.len() as u64);
+
+        // Cached re-serve: the certificate comes back byte-identical
+        // and the prover does not run again.
+        let v2 = certify_with_proof(&s, CLEAN);
+        assert_eq!(v2.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(v2.get("certificate").and_then(Json::as_str), Some(cert));
+        assert_eq!(s.metrics.proofs_emitted.load(Relaxed), 1);
+
+        // Plain certify of the same program: a distinct cache entry
+        // with no certificate attached.
+        let plain = Json::parse(&s.handle_line(&line(CLEAN, r#"{}"#))).unwrap();
+        assert_eq!(plain.get("cached").and_then(Json::as_bool), Some(false));
+        assert!(plain.get("certificate").is_none());
+    }
+
+    #[test]
+    fn uncertified_with_proof_has_no_certificate() {
+        let s = svc();
+        let req = format!(
+            r#"{{"op":"certify","source":{},"classes":{{"x":"high"}},"with_proof":true}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        let v = Json::parse(&s.handle_line(&req)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("certified").and_then(Json::as_bool), Some(false));
+        assert!(v.get("certificate").is_none());
+        assert_eq!(s.metrics.proofs_emitted.load(Relaxed), 0);
+    }
+
+    #[test]
+    fn with_proof_under_the_baseline_is_a_binding_error() {
+        let s = svc();
+        let req = format!(
+            r#"{{"op":"certify","source":{},"baseline":true,"with_proof":true}}"#,
+            Json::Str(CLEAN.to_string())
+        );
+        let v = Json::parse(&s.handle_line(&req)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        let kind = v
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str);
+        assert_eq!(kind, Some("binding"));
+    }
+
+    #[test]
+    fn checkproof_validates_without_reproving() {
+        let s = svc();
+        let v = certify_with_proof(&s, CLEAN);
+        let cert = v.get("certificate").and_then(Json::as_str).unwrap();
+        let digest = v.get("proof_digest").and_then(Json::as_str).unwrap();
+        assert_eq!(s.metrics.proofs_emitted.load(Relaxed), 1);
+
+        let v2 = Json::parse(&s.handle_line(&checkproof_line(CLEAN, cert))).unwrap();
+        assert_eq!(v2.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v2.get("valid").and_then(Json::as_bool), Some(true));
+        assert_eq!(v2.get("proof_digest").and_then(Json::as_str), Some(digest));
+        assert_eq!(v2.get("lattice").and_then(Json::as_str), Some("two"));
+        // Validation never touched the prover.
+        assert_eq!(s.metrics.proofs_emitted.load(Relaxed), 1);
+        assert_eq!(s.metrics.checkproof_valid.load(Relaxed), 1);
+
+        // The same certificate again: a digest-addressed cache hit.
+        let v3 = Json::parse(&s.handle_line(&checkproof_line(CLEAN, cert))).unwrap();
+        assert_eq!(v3.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(v3.get("valid").and_then(Json::as_bool), Some(true));
+        assert_eq!(s.metrics.checkproof_cache_hits.load(Relaxed), 1);
+        // The verdict counters track fresh computations only.
+        assert_eq!(s.metrics.checkproof_valid.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn corrupted_certificates_are_verdicts_not_errors() {
+        let s = svc();
+        let v = certify_with_proof(&s, CLEAN);
+        let cert = v.get("certificate").and_then(Json::as_str).unwrap();
+        let corrupted = cert.replacen("cobegin", "cobegiN", 1);
+        assert_ne!(&corrupted, cert, "mutation must change the text");
+
+        let v2 = Json::parse(&s.handle_line(&checkproof_line(CLEAN, &corrupted))).unwrap();
+        assert_eq!(v2.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v2.get("valid").and_then(Json::as_bool), Some(false));
+        let stage = v2
+            .get("reason")
+            .and_then(|r| r.get("stage"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert_eq!(stage, "digest");
+        assert_eq!(s.metrics.checkproof_rejected.load(Relaxed), 1);
+
+        // A certificate for a different program is rejected too.
+        let v3 = Json::parse(&s.handle_line(&checkproof_line(LEAKY, cert))).unwrap();
+        assert_eq!(v3.get("valid").and_then(Json::as_bool), Some(false));
+        let stage3 = v3
+            .get("reason")
+            .and_then(|r| r.get("stage"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert_eq!(stage3, "program");
+    }
+
+    #[test]
+    fn stats_reports_the_cert_object() {
+        let s = svc();
+        let v = certify_with_proof(&s, CLEAN);
+        let cert = v.get("certificate").and_then(Json::as_str).unwrap();
+        s.handle_line(&checkproof_line(CLEAN, cert));
+        s.handle_line(&checkproof_line(CLEAN, cert));
+        let stats = Json::parse(&s.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        let cert_stats = stats.get("cert").expect("stats carries a cert object");
+        let field = |k: &str| cert_stats.get(k).and_then(Json::as_u64).unwrap();
+        assert_eq!(field("proofs_emitted"), 1);
+        assert_eq!(field("checkproof_requests"), 2);
+        assert_eq!(field("checkproof_valid"), 1);
+        assert_eq!(field("checkproof_rejected"), 0);
+        assert_eq!(field("cache_hits_by_digest"), 1);
+        assert_eq!(field("proof_bytes_total"), cert.len() as u64);
+    }
+
+    #[test]
+    fn with_proof_works_on_the_linear_lattice() {
+        let s = svc();
+        let req = format!(
+            r#"{{"op":"certify","source":{},"lattice":"linear:4","with_proof":true}}"#,
+            Json::Str(CLEAN.to_string())
+        );
+        let v = Json::parse(&s.handle_line(&req)).unwrap();
+        assert_eq!(v.get("certified").and_then(Json::as_bool), Some(true));
+        let cert = v.get("certificate").and_then(Json::as_str).unwrap();
+
+        let check = format!(
+            r#"{{"op":"checkproof","source":{},"cert":{}}}"#,
+            Json::Str(CLEAN.to_string()),
+            Json::Str(cert.to_string())
+        );
+        let v2 = Json::parse(&s.handle_line(&check)).unwrap();
+        assert_eq!(v2.get("valid").and_then(Json::as_bool), Some(true));
+        assert_eq!(v2.get("lattice").and_then(Json::as_str), Some("linear:4"));
     }
 }

@@ -98,10 +98,28 @@ impl StoreReport {
         seen.len()
     }
 
+    /// Entries whose persisted reply carries a proof certificate — the
+    /// results a warm-started server re-serves with zero re-proving.
+    pub fn cert_entries(&self) -> usize {
+        self.snapshot_entries
+            .iter()
+            .chain(&self.journal_entries)
+            .filter(|e| carries_certificate(&e.value))
+            .count()
+    }
+
     /// True when every frame in the store scanned clean.
     pub fn clean(&self) -> bool {
         self.frames_skipped == 0
     }
+}
+
+/// Whether a persisted result's fields include a proof certificate.
+pub fn carries_certificate(value: &CachedResult) -> bool {
+    value
+        .fields
+        .iter()
+        .any(|(k, v)| k == "certificate" && v.as_str().is_some())
 }
 
 /// Scans a store directory read-only (the offline `cache-inspect`
@@ -135,11 +153,16 @@ pub fn render_report(report: &StoreReport) -> String {
         for e in entries {
             let _ = writeln!(
                 out,
-                "  {:016x}  ok={}  {} field(s)  {}",
+                "  {:016x}  ok={}  {} field(s)  {}{}",
                 e.key.hash,
                 e.value.ok,
                 e.value.fields.len(),
                 summarize_canon(&e.key.canon),
+                if carries_certificate(&e.value) {
+                    "  +cert"
+                } else {
+                    ""
+                },
             );
         }
     };
@@ -147,8 +170,9 @@ pub fn render_report(report: &StoreReport) -> String {
     section("journal", &report.journal_entries, report.journal_bytes);
     let _ = writeln!(
         out,
-        "unique entries: {}   frames skipped: {}{}{}",
+        "unique entries: {}   with certificates: {}   frames skipped: {}{}{}",
         report.unique_entries(),
+        report.cert_entries(),
         report.frames_skipped,
         if report.tmp_present {
             "   (interrupted compaction tmp present)"
@@ -310,6 +334,34 @@ mod tests {
         assert!(!corrupt.clean());
         assert_eq!(corrupt.frames_skipped, 1);
         assert!(render_report(&corrupt).contains("CORRUPT"));
+    }
+
+    #[test]
+    fn inspect_counts_certificate_entries() {
+        let dir = tmp_dir("certs");
+        let mut entries = live(&["plain"]);
+        let key = CacheKey::of(&["certify", "with-proof"]);
+        entries.push((
+            key.hash,
+            key.canon,
+            CachedResult {
+                ok: true,
+                fields: vec![
+                    ("certified".to_string(), Json::Bool(true)),
+                    (
+                        "certificate".to_string(),
+                        Json::Str(r#"{"format":"secflow-cert"}"#.to_string()),
+                    ),
+                ],
+            },
+        ));
+        publish_snapshot(&dir, &entries, true).unwrap();
+        let report = inspect_store(&dir).unwrap();
+        assert_eq!(report.unique_entries(), 2);
+        assert_eq!(report.cert_entries(), 1);
+        let rendered = render_report(&report);
+        assert!(rendered.contains("+cert"), "{rendered}");
+        assert!(rendered.contains("with certificates: 1"), "{rendered}");
     }
 
     #[test]

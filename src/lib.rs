@@ -12,6 +12,7 @@
 //! | The parallel language (§2.0) | `secflow-lang` | [`lang`] |
 //! | CFM + Denning baseline (Fig. 2) | `secflow-core` | [`cfm`] |
 //! | The flow logic (Fig. 1, Thms. 1–2) | `secflow-logic` | [`logic`] |
+//! | Proof certificates (wire format) | `secflow-cert` | [`cert`] |
 //! | Static analysis & lint (SF-codes) | `secflow-analyze` | [`analyze`] |
 //! | Interpreter/explorer/monitor | `secflow-runtime` | [`runtime`] |
 //! | Paper programs & generators | `secflow-workload` | [`workload`] |
@@ -71,6 +72,12 @@ pub mod analyze {
 /// (re-export of `secflow-logic`).
 pub mod logic {
     pub use secflow_logic::*;
+}
+
+/// Verifiable proof certificates: canonical wire format, content
+/// digests, standalone validator (re-export of `secflow-cert`).
+pub mod cert {
+    pub use secflow_cert::*;
 }
 
 /// Interpreter, schedulers, interleaving explorer, taint monitor,

@@ -3,12 +3,20 @@
 //!
 //! The Theorem-1/2 property tests show the checker accepts exactly the
 //! certified corpus; these tests show *which* obligation each rule
-//! enforces by violating them one at a time.
+//! enforces by violating them one at a time. The wire-certificate
+//! properties at the bottom extend the same discipline to the
+//! serialized form: every provable program round-trips through
+//! emit/validate, and every single-character mutation that changes the
+//! certificate's meaning is rejected with a structured stage error.
 
+use proptest::prelude::*;
+
+use secflow::cert::{emit_certificate, reseal, show_two_class, validate_certificate};
 use secflow::cfm::StaticBinding;
-use secflow::lang::parse;
+use secflow::lang::{parse, print_program};
 use secflow::lattice::{Extended, TwoPoint, TwoPointScheme};
 use secflow::logic::{check_proof, prove, Assertion, Bound, ClassExpr, Proof, Rule};
+use secflow::workload::{generate, GenConfig};
 
 type E = ClassExpr<TwoPoint>;
 
@@ -257,4 +265,88 @@ fn conseq_cannot_weaken_the_precondition() {
     let forged = Proof::new(weak_pre, proof.post.clone(), proof.rule.clone());
     let err = check_proof(&program.body, &forged).unwrap_err();
     assert_eq!(err.rule, "consequence rule");
+}
+
+// ---- wire certificates --------------------------------------------------
+
+/// Emits a certificate for a generated program under the constant-High
+/// binding (which the CFM always certifies, so Theorem 1 always finds a
+/// proof).
+fn generated_certificate(seed: u64) -> (String, String) {
+    let cfg = GenConfig {
+        target_stmts: 12,
+        ..GenConfig::default()
+    };
+    let program = generate(&cfg, seed);
+    let source = print_program(&program);
+    let program = parse(&source).expect("generated programs re-parse");
+    let sbind = StaticBinding::constant(&program.symbols, &TwoPointScheme, TwoPoint::High);
+    let proof = prove(&program, &sbind, Extended::Nil, Extended::Nil).expect("Theorem 1");
+    let cert = emit_certificate(&proof, &program.symbols, "two", &source, &show_two_class);
+    (source, cert.text)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every provable generated program round-trips: emit, then
+    /// validate against the same source, without re-running the prover.
+    #[test]
+    fn generated_certificates_round_trip(seed in 0u64..50_000) {
+        let (source, cert) = generated_certificate(seed);
+        let summary = validate_certificate(&source, &cert).expect("own certificate validates");
+        prop_assert_eq!(summary.lattice, "two");
+        prop_assert!(cert.contains(&summary.digest));
+    }
+
+    /// Single-character mutations: any mutation that changes the
+    /// certificate's canonical meaning is rejected with a structured
+    /// stage error. (A mutation the parser normalizes away — one that
+    /// re-serializes to the identical body — is semantically the same
+    /// certificate, and accepting it is correct; the digest proves it.)
+    #[test]
+    fn mutated_certificates_never_validate_as_something_else(
+        seed in 0u64..500,
+        pos in 0usize..8192,
+        replacement_byte in 0x20u8..0x7f,
+    ) {
+        let replacement = replacement_byte as char;
+        let (source, cert) = generated_certificate(seed);
+        let chars: Vec<char> = cert.chars().collect();
+        let pos = pos % chars.len();
+        if chars[pos] == replacement {
+            return Ok(());
+        }
+        let mutated: String = chars[..pos]
+            .iter()
+            .chain(std::iter::once(&replacement))
+            .chain(chars[pos + 1..].iter())
+            .collect();
+        let original = validate_certificate(&source, &cert).expect("original validates");
+        match validate_certificate(&source, &mutated) {
+            // Only a meaning-preserving mutation may still validate, and
+            // the content digest is the witness that the meaning held.
+            Ok(summary) => prop_assert_eq!(summary.digest, original.digest),
+            Err(err) => prop_assert!(!err.stage.is_empty() && !err.message.is_empty()),
+        }
+    }
+
+    /// Resealed mutations (digest recomputed over the tampered body)
+    /// slip past the digest gate but never past the checker: a rule
+    /// swap must die at a later stage, with the digest stage now
+    /// unreachable.
+    #[test]
+    fn resealed_rule_swaps_are_rejected_downstream(seed in 0u64..500) {
+        let (source, cert) = generated_certificate(seed);
+        for (from, to) in [("\"rule\":\"assign\"", "\"rule\":\"skip\""),
+                           ("\"rule\":\"seq\"", "\"rule\":\"cobegin\"")] {
+            if !cert.contains(from) {
+                continue;
+            }
+            let forged = reseal(&cert.replacen(from, to, 1)).expect("reseal parses");
+            let err = validate_certificate(&source, &forged)
+                .expect_err("a resealed rule swap must not validate");
+            prop_assert_ne!(err.stage, "digest");
+        }
+    }
 }

@@ -8,7 +8,9 @@
 use proptest::prelude::*;
 
 use secflow::analyze::analyze;
+use secflow::cert::validate_certificate;
 use secflow::lang::{parse, print_program};
+use secflow::server::{Json, Limits, Service};
 use secflow::workload::{generate, GenConfig};
 
 /// Drives one input through the full front-end: parse, then (on
@@ -84,5 +86,46 @@ proptest! {
             .chain(chars[pos + 1..].iter())
             .collect();
         front_end_smoke(&mutated);
+    }
+
+    /// Character soup as a certificate: the validator returns a
+    /// structured error for any garbage, never panics.
+    #[test]
+    fn checkproof_soup_never_panics(cert in ".{0,300}") {
+        let source = "var x : integer; x := 1";
+        if let Err(err) = validate_certificate(source, &cert) {
+            prop_assert!(!err.stage.is_empty());
+            prop_assert!(!err.message.is_empty());
+        }
+    }
+
+    /// Raw bytes (lossy-decoded) as a certificate — invalid UTF-8
+    /// replacement characters are as boring as any other garbage.
+    #[test]
+    fn checkproof_raw_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255u8, 0..400)) {
+        let source = "var x : integer; x := 1";
+        let cert = String::from_utf8_lossy(&bytes);
+        prop_assert!(validate_certificate(source, &cert).is_err());
+    }
+
+    /// The server's checkproof op over byte-soup certificates: always a
+    /// well-formed JSON reply (a verdict or a protocol error), never a
+    /// panic, never a crash of the service.
+    #[test]
+    fn server_checkproof_soup_never_panics(cert in ".{0,300}") {
+        let service = Service::new(16, Limits::default());
+        let req = format!(
+            r#"{{"op":"checkproof","source":"var x : integer; x := 1","cert":{}}}"#,
+            Json::Str(cert)
+        );
+        let reply = Json::parse(&service.handle_line(&req)).expect("reply is well-formed JSON");
+        // Either a verdict (ok:true with valid:false for garbage) or a
+        // structured protocol error — never a third shape.
+        let ok = reply.get("ok").and_then(Json::as_bool).expect("ok field");
+        if ok {
+            prop_assert!(reply.get("valid").and_then(Json::as_bool).is_some());
+        } else {
+            prop_assert!(reply.get("error").is_some());
+        }
     }
 }

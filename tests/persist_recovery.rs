@@ -21,7 +21,7 @@ use secflow::server::{DurableStore, FsyncMode, Json, Limits, PersistConfig, Serv
 
 const LEAKY: &str = "var x, y : integer; sem : semaphore;
     cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend";
-const CLEAN: &str = "var a, b : integer; a := 1; b := a";
+const CLEAN: &str = "var a, b : integer; begin a := 1; b := a end";
 
 fn tmp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("secflow-recovery-{}-{tag}", std::process::id()));
@@ -144,6 +144,61 @@ fn warm_start_answers_the_corpus_from_disk_byte_identically() {
     assert_eq!(warm.metrics.explore_states.load(Relaxed), 0);
     assert_eq!(warm.metrics.cache_misses.load(Relaxed), 0);
     assert_eq!(warm.metrics.cache_hits.load(Relaxed), corpus.len() as u64);
+}
+
+#[test]
+fn warm_start_reserves_certificates_with_zero_reproving() {
+    let dir = tmp_dir("certificates");
+    // A program the CFM certifies (CLEAN above is the corpus's cached
+    // parse *failure* — two top-level statements — not a real program).
+    let provable = "var x, y : integer; cobegin y := x || x := 1 coend";
+    let with_proof = format!(
+        r#"{{"op":"certify","source":{},"with_proof":true}}"#,
+        Json::Str(provable.to_string())
+    );
+
+    // Cold: emit a certificate, then validate it through the server.
+    let cold = service_in(&dir, 64, 8 << 20);
+    let reply = Json::parse(&cold.handle_line(&with_proof)).unwrap();
+    let cert = reply
+        .get("certificate")
+        .and_then(Json::as_str)
+        .expect("cold reply carries a certificate")
+        .to_string();
+    let checkproof = format!(
+        r#"{{"op":"checkproof","source":{},"cert":{}}}"#,
+        Json::Str(provable.to_string()),
+        Json::Str(cert.clone())
+    );
+    let verdict = Json::parse(&cold.handle_line(&checkproof)).unwrap();
+    assert_eq!(verdict.get("valid").and_then(Json::as_bool), Some(true));
+    assert_eq!(cold.metrics.proofs_emitted.load(Relaxed), 1);
+    drop(cold); // the crash
+
+    // Warm: both replies come from disk — same certificate bytes, valid
+    // verdict, and the prover/validator never ran (zero re-proving).
+    let warm = service_in(&dir, 64, 8 << 20);
+    let reply = Json::parse(&warm.handle_line(&with_proof)).unwrap();
+    assert_eq!(reply.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        reply.get("certificate").and_then(Json::as_str),
+        Some(cert.as_str()),
+        "the warm certificate is byte-identical"
+    );
+    let verdict = Json::parse(&warm.handle_line(&checkproof)).unwrap();
+    assert_eq!(verdict.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(verdict.get("valid").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        warm.metrics.proofs_emitted.load(Relaxed),
+        0,
+        "warm start re-serves proofs without re-proving"
+    );
+    assert_eq!(warm.metrics.checkproof_valid.load(Relaxed), 0);
+    assert_eq!(warm.metrics.checkproof_cache_hits.load(Relaxed), 1);
+
+    // The offline store inspection sees the certificate-bearing entry.
+    let report = secflow::server::inspect_store(&dir).unwrap();
+    assert_eq!(report.cert_entries(), 1);
 }
 
 #[test]
