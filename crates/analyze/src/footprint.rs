@@ -1,0 +1,597 @@
+//! Static footprint & race analysis (SF050–SF052).
+//!
+//! The per-statement read/write/semaphore-op footprints — the same
+//! tables the explorer's partial-order reduction consumes (they live in
+//! [`secflow_runtime::footprint`] so the runtime can use them without a
+//! dependency cycle; re-exported here) — double as a classic static
+//! race detector:
+//!
+//! - two statements in *sibling* branches of a `cobegin` may execute
+//!   concurrently;
+//! - a pair touching the same data variable with at least one write is
+//!   a **conflict**;
+//! - a conflict is a **race** unless both sites definitely hold a
+//!   common *mutex-candidate* semaphore (lockset reasoning: a semaphore
+//!   with initial value 1 whose every `signal` is bracketed by a
+//!   preceding `wait` in the same process behaves as a mutex, so two
+//!   critical sections on it cannot overlap).
+//!
+//! The lockset is an **under**-approximation of the semaphores held and
+//! the sibling relation an **over**-approximation of concurrency, so
+//! the detector is sound — it never misses a real race — at the price
+//! of precision: ordering established by *handoff* semaphores (initial
+//! value 0, `signal` in one process releasing a `wait` in another, like
+//! Figure 3's `modify`/`modified` protocol) is invisible to locksets,
+//! so cleanly sequenced handoffs are still flagged. The corpus
+//! cross-validation test pins both directions: no dynamic race goes
+//! unflagged, and the false-positive gap is exactly the handoff
+//! programs.
+//!
+//! Codes: **SF050** read/write race, **SF051** write/write race,
+//! **SF052** informational footprint/independence summary for
+//! concurrent programs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use secflow_lang::{Diag, Program, Span, Stmt, VarId, VarKind};
+
+pub use secflow_runtime::footprint::{action_footprint, Footprint, FootprintTable, VarSet};
+
+use crate::pass::AnalysisPass;
+
+/// One potential data race between sibling processes. Spans are
+/// ordered (`first` ≤ `second` by position) and name the two
+/// conflicting access sites.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Race {
+    /// The shared data variable.
+    pub var: VarId,
+    /// The earlier access site.
+    pub first: Span,
+    /// The later access site.
+    pub second: Span,
+    /// `true` for write/write (SF051), `false` for read/write (SF050).
+    pub write_write: bool,
+}
+
+impl Race {
+    fn key(&self) -> (u32, u32, u32, u32, usize, bool) {
+        (
+            self.first.start,
+            self.first.end,
+            self.second.start,
+            self.second.end,
+            self.var.index(),
+            self.write_write,
+        )
+    }
+}
+
+impl PartialOrd for Race {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Race {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Everything the footprint pass learned about one program.
+#[derive(Clone, Default, Debug)]
+pub struct RaceReport {
+    /// Unsynchronized conflicts, deduped and ordered.
+    pub races: Vec<Race>,
+    /// Pairs of atomic actions in sibling branches (both with
+    /// non-empty footprints).
+    pub parallel_pairs: usize,
+    /// How many of those pairs are independent (footprints do not
+    /// conflict) — the fuel partial-order reduction runs on.
+    pub independent_pairs: usize,
+    /// Conflicting pairs suppressed because both sides hold a common
+    /// mutex-candidate semaphore.
+    pub lock_protected: usize,
+}
+
+/// A definite-hold count per semaphore (how many unmatched `wait`s
+/// dominate the current point on every path).
+type Held = BTreeMap<VarId, u32>;
+
+fn pointwise_min(a: &Held, b: &Held) -> Held {
+    a.iter()
+        .filter_map(|(v, ca)| {
+            let cb = b.get(v).copied().unwrap_or(0);
+            let m = (*ca).min(cb);
+            (m > 0).then_some((*v, m))
+        })
+        .collect()
+}
+
+/// Semaphores a process at this point *definitely* holds, filtered to
+/// the mutex candidates.
+fn lockset(held: &Held, mutexes: &BTreeSet<VarId>) -> BTreeSet<VarId> {
+    held.keys()
+        .filter(|v| mutexes.contains(v))
+        .copied()
+        .collect()
+}
+
+/// Pure transfer function: how `stmt` changes the definite-hold map,
+/// recording semaphores that are `signal`ed while not definitely held
+/// (those cannot be mutexes). Used both for mutex-candidate discovery
+/// and for the while-loop entry fixpoint.
+fn transfer(stmt: &Stmt, held: &mut Held, unbracketed: &mut BTreeSet<VarId>) {
+    match stmt {
+        Stmt::Skip(_) | Stmt::Assign { .. } => {}
+        Stmt::Wait { sem, .. } => {
+            *held.entry(*sem).or_insert(0) += 1;
+        }
+        Stmt::Signal { sem, .. } => match held.get_mut(sem) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                if *c == 0 {
+                    held.remove(sem);
+                }
+            }
+            _ => {
+                unbracketed.insert(*sem);
+            }
+        },
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let mut h1 = held.clone();
+            transfer(then_branch, &mut h1, unbracketed);
+            let mut h2 = held.clone();
+            if let Some(eb) = else_branch {
+                transfer(eb, &mut h2, unbracketed);
+            }
+            *held = pointwise_min(&h1, &h2);
+        }
+        Stmt::While { body, .. } => {
+            *held = loop_entry(body, held, unbracketed);
+        }
+        Stmt::Seq { stmts, .. } => {
+            for s in stmts {
+                transfer(s, held, unbracketed);
+            }
+        }
+        Stmt::Cobegin { branches, .. } => {
+            // Children start with an empty lockset (a parent's hold
+            // does not mutually exclude the siblings from each other),
+            // and anything they wait/signal on invalidates the
+            // parent's definite holds.
+            let mut touched = BTreeSet::new();
+            for b in branches {
+                let mut hb = Held::new();
+                transfer(b, &mut hb, unbracketed);
+                b.walk(&mut |s| {
+                    if let Stmt::Wait { sem, .. } | Stmt::Signal { sem, .. } = s {
+                        touched.insert(*sem);
+                    }
+                });
+            }
+            held.retain(|v, _| !touched.contains(v));
+        }
+    }
+}
+
+/// The stable (greatest) definite-hold map at a loop body's entry: the
+/// pointwise minimum over all iterations, computed as a descending
+/// fixpoint (counts only shrink, so this terminates fast; a safety cap
+/// degrades to the empty map, which is sound).
+fn loop_entry(body: &Stmt, pre: &Held, unbracketed: &mut BTreeSet<VarId>) -> Held {
+    let mut entry = pre.clone();
+    for _ in 0..16 {
+        let mut exit = entry.clone();
+        transfer(body, &mut exit, unbracketed);
+        let next = pointwise_min(&entry, &exit);
+        if next == entry {
+            return entry;
+        }
+        entry = next;
+    }
+    Held::new()
+}
+
+/// Semaphores that statically behave as mutexes: initial value 1, and
+/// every `signal` on them is dominated by an unmatched `wait` in the
+/// same process. Holding one at two sites proves the sites cannot
+/// overlap in time.
+pub fn mutex_candidates(program: &Program) -> BTreeSet<VarId> {
+    let mut unbracketed = BTreeSet::new();
+    let mut held = Held::new();
+    transfer(&program.body, &mut held, &mut unbracketed);
+    program
+        .symbols
+        .semaphores()
+        .into_iter()
+        .filter(|&s| program.symbols.info(s).init == 1 && !unbracketed.contains(&s))
+        .collect()
+}
+
+/// One data-variable access at one site, with the locks definitely
+/// held there.
+#[derive(Clone, Debug)]
+struct Access {
+    var: VarId,
+    write: bool,
+    span: Span,
+    locks: BTreeSet<VarId>,
+}
+
+struct Collector<'p> {
+    program: &'p Program,
+    table: FootprintTable,
+    mutexes: BTreeSet<VarId>,
+    races: BTreeSet<Race>,
+    parallel_pairs: usize,
+    independent_pairs: usize,
+    lock_protected: usize,
+}
+
+impl Collector<'_> {
+    /// Collects the data accesses of `stmt`'s subtree (threading the
+    /// definite-hold map) and, at every `cobegin`, cross-checks sibling
+    /// branches for conflicts.
+    fn walk(&mut self, stmt: &Stmt, held: &mut Held) -> Vec<Access> {
+        let mut unbracketed = BTreeSet::new(); // discovery already done
+        match stmt {
+            Stmt::Skip(_) => Vec::new(),
+            Stmt::Assign { var, expr, span } => {
+                let locks = lockset(held, &self.mutexes);
+                let mut accs = vec![Access {
+                    var: *var,
+                    write: true,
+                    span: *span,
+                    locks: locks.clone(),
+                }];
+                expr.for_each_var(&mut |v| {
+                    accs.push(Access {
+                        var: v,
+                        write: false,
+                        span: expr.span(),
+                        locks: locks.clone(),
+                    });
+                });
+                accs
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let locks = lockset(held, &self.mutexes);
+                let mut accs: Vec<Access> = Vec::new();
+                cond.for_each_var(&mut |v| {
+                    accs.push(Access {
+                        var: v,
+                        write: false,
+                        span: cond.span(),
+                        locks: locks.clone(),
+                    });
+                });
+                let mut h1 = held.clone();
+                accs.extend(self.walk(then_branch, &mut h1));
+                let mut h2 = held.clone();
+                if let Some(eb) = else_branch {
+                    accs.extend(self.walk(eb, &mut h2));
+                }
+                *held = pointwise_min(&h1, &h2);
+                accs
+            }
+            Stmt::While { cond, body, .. } => {
+                // Guard and body run under the loop's stable lockset.
+                let entry = loop_entry(body, held, &mut unbracketed);
+                let locks = lockset(&entry, &self.mutexes);
+                let mut accs: Vec<Access> = Vec::new();
+                cond.for_each_var(&mut |v| {
+                    accs.push(Access {
+                        var: v,
+                        write: false,
+                        span: cond.span(),
+                        locks: locks.clone(),
+                    });
+                });
+                accs.extend(self.walk(body, &mut entry.clone()));
+                *held = entry;
+                accs
+            }
+            Stmt::Seq { stmts, .. } => {
+                let mut accs = Vec::new();
+                for s in stmts {
+                    accs.extend(self.walk(s, held));
+                }
+                accs
+            }
+            Stmt::Wait { sem, .. } => {
+                *held.entry(*sem).or_insert(0) += 1;
+                Vec::new()
+            }
+            Stmt::Signal { sem, .. } => {
+                if let Some(c) = held.get_mut(sem) {
+                    *c -= 1;
+                    if *c == 0 {
+                        held.remove(sem);
+                    }
+                }
+                Vec::new()
+            }
+            Stmt::Cobegin { branches, .. } => {
+                let branch_accs: Vec<Vec<Access>> = branches
+                    .iter()
+                    .map(|b| self.walk(b, &mut Held::new()))
+                    .collect();
+                for i in 0..branches.len() {
+                    for j in i + 1..branches.len() {
+                        self.cross_check(&branch_accs[i], &branch_accs[j]);
+                        self.count_pairs(&branches[i], &branches[j]);
+                    }
+                }
+                let mut touched = BTreeSet::new();
+                for b in branches {
+                    b.walk(&mut |s| {
+                        if let Stmt::Wait { sem, .. } | Stmt::Signal { sem, .. } = s {
+                            touched.insert(*sem);
+                        }
+                    });
+                }
+                held.retain(|v, _| !touched.contains(v));
+                branch_accs.into_iter().flatten().collect()
+            }
+        }
+    }
+
+    /// Conflict + lockset check for every access pair across two
+    /// sibling branches.
+    fn cross_check(&mut self, lhs: &[Access], rhs: &[Access]) {
+        for a in lhs {
+            for b in rhs {
+                if a.var != b.var
+                    || !(a.write || b.write)
+                    || self.program.symbols.kind(a.var) != VarKind::Data
+                {
+                    continue;
+                }
+                if a.locks.intersection(&b.locks).next().is_some() {
+                    self.lock_protected += 1;
+                    continue;
+                }
+                let (first, second) = if (a.span.start, a.span.end) <= (b.span.start, b.span.end) {
+                    (a.span, b.span)
+                } else {
+                    (b.span, a.span)
+                };
+                self.races.insert(Race {
+                    var: a.var,
+                    first,
+                    second,
+                    write_write: a.write && b.write,
+                });
+            }
+        }
+    }
+
+    /// SF052 statistics: action pairs across two sibling subtrees and
+    /// how many are independent per the explorer's own conflict test.
+    fn count_pairs(&mut self, lhs: &Stmt, rhs: &Stmt) {
+        let mut left = Vec::new();
+        lhs.walk(&mut |s| {
+            if !self.table.action(s).is_empty() {
+                left.push(self.table.action(s));
+            }
+        });
+        rhs.walk(&mut |s| {
+            let b = self.table.action(s);
+            if b.is_empty() {
+                return;
+            }
+            for a in &left {
+                self.parallel_pairs += 1;
+                if !a.conflicts(&b) {
+                    self.independent_pairs += 1;
+                }
+            }
+        });
+    }
+}
+
+/// Runs the full footprint/race analysis over one program.
+pub fn race_analysis(program: &Program) -> RaceReport {
+    let mut c = Collector {
+        program,
+        table: FootprintTable::new(program),
+        mutexes: mutex_candidates(program),
+        races: BTreeSet::new(),
+        parallel_pairs: 0,
+        independent_pairs: 0,
+        lock_protected: 0,
+    };
+    c.walk(&program.body, &mut Held::new());
+    RaceReport {
+        races: c.races.into_iter().collect(),
+        parallel_pairs: c.parallel_pairs,
+        independent_pairs: c.independent_pairs,
+        lock_protected: c.lock_protected,
+    }
+}
+
+/// The SF05x race pass: statement footprints, lockset filtering, and
+/// the independence summary the partial-order reduction runs on.
+pub struct RacePass;
+
+impl AnalysisPass for RacePass {
+    fn name(&self) -> &'static str {
+        "race"
+    }
+
+    fn run(&self, program: &Program, out: &mut Vec<Diag>) {
+        let report = race_analysis(program);
+        for race in &report.races {
+            let name = program.symbols.name(race.var);
+            if race.write_write {
+                out.push(
+                    Diag::warning(
+                        "SF051",
+                        format!("write/write race: sibling processes both assign `{name}` with no common semaphore held"),
+                        race.first,
+                    )
+                    .with_note("conflicting write here", race.second),
+                );
+            } else {
+                out.push(
+                    Diag::warning(
+                        "SF050",
+                        format!("read/write race: sibling processes access `{name}` concurrently with no common semaphore held"),
+                        race.first,
+                    )
+                    .with_note("conflicting access here", race.second),
+                );
+            }
+        }
+        if program.body.is_concurrent() {
+            let pct = (report.independent_pairs * 100)
+                .checked_div(report.parallel_pairs)
+                .unwrap_or(100);
+            out.push(Diag::info(
+                "SF052",
+                format!(
+                    "footprint: {} parallel action pairs, {} independent ({pct}%), {} lock-protected, {} racy",
+                    report.parallel_pairs,
+                    report.independent_pairs,
+                    report.lock_protected,
+                    report.races.len()
+                ),
+                program.body.span(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_lang::parse;
+
+    fn codes(program: &Program) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        RacePass.run(program, &mut out);
+        out.sort_by_key(|d| d.sort_key().0);
+        out.into_iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn write_write_race_is_sf051() {
+        let p = parse("var x : integer; cobegin x := 1 || x := 2 coend").unwrap();
+        let r = race_analysis(&p);
+        assert_eq!(r.races.len(), 1);
+        assert!(r.races[0].write_write);
+        assert!(codes(&p).contains(&"SF051"));
+    }
+
+    #[test]
+    fn read_write_race_is_sf050() {
+        let p = parse("var x, y : integer; cobegin y := x || x := 1 coend").unwrap();
+        let r = race_analysis(&p);
+        assert!(r.races.iter().any(|x| !x.write_write));
+        assert!(codes(&p).contains(&"SF050"));
+    }
+
+    #[test]
+    fn mutex_semaphore_suppresses_the_race() {
+        let p = parse(
+            "var x : integer; m : semaphore initially(1);
+             cobegin begin wait(m); x := x + 1; signal(m) end
+                  || begin wait(m); x := x + 2; signal(m) end coend",
+        )
+        .unwrap();
+        assert_eq!(mutex_candidates(&p).len(), 1);
+        let r = race_analysis(&p);
+        assert!(r.races.is_empty(), "{:?}", r.races);
+        assert!(r.lock_protected > 0);
+    }
+
+    #[test]
+    fn handoff_semaphore_is_not_a_mutex() {
+        // init 0 + cross-process signal: the lockset must not trust it.
+        let p = parse(
+            "var a, b : integer; s : semaphore;
+             cobegin begin a := 1; signal(s) end || begin wait(s); b := a end coend",
+        )
+        .unwrap();
+        assert!(mutex_candidates(&p).is_empty());
+        // Sound over-report: the handoff orders the accesses, but the
+        // lockset cannot see it (documented precision gap).
+        assert!(!race_analysis(&p).races.is_empty());
+    }
+
+    #[test]
+    fn unbracketed_signal_disqualifies_the_mutex() {
+        let p = parse(
+            "var x : integer; m : semaphore initially(1);
+             cobegin begin wait(m); x := 1; signal(m) end
+                  || begin signal(m); wait(m); x := 2 end coend",
+        )
+        .unwrap();
+        assert!(mutex_candidates(&p).is_empty());
+        assert!(!race_analysis(&p).races.is_empty());
+    }
+
+    #[test]
+    fn disjoint_processes_are_silent_and_fully_independent() {
+        let p = parse("var a, b : integer; cobegin a := 1 || b := 2 coend").unwrap();
+        let r = race_analysis(&p);
+        assert!(r.races.is_empty());
+        assert_eq!(r.parallel_pairs, 1);
+        assert_eq!(r.independent_pairs, 1);
+        let mut out = Vec::new();
+        RacePass.run(&p, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, "SF052");
+    }
+
+    #[test]
+    fn sequential_program_emits_nothing() {
+        let p = parse("var a, b : integer; begin a := b; b := a end").unwrap();
+        let mut out = Vec::new();
+        RacePass.run(&p, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn nested_cobegin_races_across_levels() {
+        let p = parse(
+            "var x : integer;
+             cobegin cobegin x := 1 || x := 2 coend || x := 3 coend",
+        )
+        .unwrap();
+        let r = race_analysis(&p);
+        // Three pairwise write/write conflicts.
+        assert_eq!(r.races.len(), 3, "{:?}", r.races);
+        assert!(r.races.iter().all(|x| x.write_write));
+    }
+
+    #[test]
+    fn loop_body_keeps_the_lock_only_if_rebalanced() {
+        let p = parse(
+            "var x, i : integer; m : semaphore initially(1);
+             cobegin
+               while i < 3 do begin wait(m); x := x + 1; signal(m); i := i + 1 end
+             ||
+               begin wait(m); x := 9 ; signal(m) end
+             coend",
+        )
+        .unwrap();
+        let r = race_analysis(&p);
+        assert!(
+            r.races.is_empty(),
+            "balanced critical section in a loop stays protected: {:?}",
+            r.races
+        );
+    }
+}

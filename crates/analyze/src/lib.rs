@@ -25,6 +25,9 @@
 //! | SF031 | info    | provenance | loop guard raises the global flow class (termination channel) |
 //! | SF032 | info    | provenance | `if` guard joins the global flow because a branch has one |
 //! | SF040 | warning | atomicity | action references ≥ 2 variables writable by sibling processes (§2.0) |
+//! | SF050 | warning | race | read/write race: sibling processes access a variable with no common semaphore held |
+//! | SF051 | warning | race | write/write race: sibling processes both assign a variable with no common semaphore held |
+//! | SF052 | info    | race | footprint summary: parallel action pairs and how many are independent |
 //!
 //! Lint complements `certify`: certification needs a security binding
 //! and answers "does classified information leak?"; lint needs only the
@@ -54,6 +57,7 @@
 pub mod atomicity;
 pub mod dataflow;
 pub mod deadlock;
+pub mod footprint;
 pub mod pass;
 pub mod provenance;
 pub mod sem_statics;
@@ -64,6 +68,7 @@ pub use deadlock::{
     deadlock_analysis, deadlock_analysis_threads, deadlock_analysis_with, DeadlockPass,
     DeadlockReport,
 };
+pub use footprint::{mutex_candidates, race_analysis, Race, RacePass, RaceReport};
 pub use pass::{AnalysisPass, AnalysisReport, PassManager};
 pub use provenance::ProvenancePass;
 pub use sem_statics::SemStaticsPass;

@@ -8,6 +8,7 @@ use secflow_lang::{Diag, Program, Severity};
 use crate::atomicity::AtomicityPass;
 use crate::dataflow::DataflowPass;
 use crate::deadlock::DeadlockPass;
+use crate::footprint::RacePass;
 use crate::provenance::ProvenancePass;
 use crate::sem_statics::SemStaticsPass;
 
@@ -52,7 +53,8 @@ impl PassManager {
     }
 
     /// The standard pipeline: semaphore statics, static deadlock
-    /// detection, dataflow, global-flow provenance, atomicity.
+    /// detection, dataflow, global-flow provenance, atomicity, and the
+    /// footprint/race analysis.
     pub fn with_default_passes() -> PassManager {
         PassManager::with_default_passes_threads(1)
     }
@@ -70,6 +72,7 @@ impl PassManager {
         pm.register(Box::new(DataflowPass));
         pm.register(Box::new(ProvenancePass));
         pm.register(Box::new(AtomicityPass));
+        pm.register(Box::new(RacePass));
         pm
     }
 
@@ -338,7 +341,7 @@ mod tests {
     }
 
     #[test]
-    fn default_pipeline_runs_five_passes() {
+    fn default_pipeline_runs_six_passes() {
         let pm = PassManager::with_default_passes();
         assert_eq!(
             pm.pass_names(),
@@ -347,12 +350,37 @@ mod tests {
                 "deadlock",
                 "dataflow",
                 "provenance",
-                "atomicity"
+                "atomicity",
+                "race"
             ]
         );
         let p = parse("var x : integer; x := 1").unwrap();
         let report = pm.run(&p);
-        assert_eq!(report.passes_run, 5);
+        assert_eq!(report.passes_run, 6);
         assert!(report.clean(), "{:?}", report.diags);
+    }
+
+    #[test]
+    fn report_is_independent_of_registration_order() {
+        // The deterministic (span, code, message) sort means the final
+        // report never depends on the order passes were registered —
+        // pinned here so diagnostic ordering stays stable as passes are
+        // added or reordered.
+        let p = parse(
+            "var x : integer; s : semaphore;
+             cobegin begin x := 1; signal(s) end || begin wait(s); x := 2; wait(s) end coend",
+        )
+        .unwrap();
+        let forward = PassManager::with_default_passes().run(&p);
+        let mut reversed = PassManager::new();
+        reversed.register(Box::new(RacePass));
+        reversed.register(Box::new(AtomicityPass));
+        reversed.register(Box::new(ProvenancePass));
+        reversed.register(Box::new(DataflowPass));
+        reversed.register(Box::new(DeadlockPass::default()));
+        reversed.register(Box::new(SemStaticsPass));
+        let backward = reversed.run(&p);
+        assert!(!forward.clean(), "fixture should produce diagnostics");
+        assert_eq!(forward.diags, backward.diags);
     }
 }

@@ -32,7 +32,7 @@ proptest! {
         let first = analyze(&program);
         let second = analyze(&program);
         prop_assert_eq!(first.diags, second.diags);
-        prop_assert_eq!(first.passes_run, 5);
+        prop_assert_eq!(first.passes_run, 6);
     }
 
     /// Rendering never panics either: both the human renderer (which

@@ -1,5 +1,6 @@
-//! `explore_scaling` — E12: throughput of the work-stealing explorer at
-//! 1/2/4/8 threads, recorded as `BENCH_explore.json`.
+//! `explore_scaling` — E12/E15: throughput of the work-stealing explorer
+//! at 1/2/4/8 threads plus the partial-order-reduction state counts,
+//! recorded as `BENCH_explore.json`.
 //!
 //! ```bash
 //! cargo run --release -p secflow-bench --bin explore_scaling [-- --quick]
@@ -9,14 +10,29 @@
 //! The JSON records the host's core count next to every measurement:
 //! speedup is only physically possible up to that count, so a 1-core
 //! container legitimately reports flat (or slightly negative) scaling.
+//!
+//! Thread-scaling points run in matched persistent-only mode (the mode
+//! both engines implement identically) so the state count is constant
+//! across the row. The POR columns compare the full interleaving search
+//! against the sequential default mode (persistent sets + sleep sets);
+//! `sequential_chain` is the honest no-win row — one process has
+//! nothing to commute with.
 
 use std::time::Instant;
 
 use secflow_lang::Program;
 use secflow_runtime::{explore_with, pexplore_with, ExploreLimits};
-use secflow_workload::{dining_philosophers, sequential_chain};
+use secflow_workload::{dining_philosophers, indep, sequential_chain};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct PorRow {
+    full_states: usize,
+    full_secs: f64,
+    por_states: usize,
+    por_pruned: usize,
+    por_secs: f64,
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -27,11 +43,13 @@ fn main() {
         vec![
             ("sequential_chain", sequential_chain(200, 8)),
             ("dining_philosophers", dining_philosophers(3, 3, true)),
+            ("indep", indep(3, 4)),
         ]
     } else {
         vec![
             ("sequential_chain", sequential_chain(600, 8)),
             ("dining_philosophers", dining_philosophers(4, 3, true)),
+            ("indep", indep(4, 4)),
         ]
     };
 
@@ -41,15 +59,17 @@ fn main() {
         let limits = ExploreLimits {
             max_states: 2_000_000,
             max_depth: 100_000,
+            ..ExploreLimits::default()
         };
+        let scaling = limits.persistent_only();
         let mut points = Vec::new();
         let mut states = 0usize;
         for &threads in &THREADS {
             let secs = median(reps, || {
                 let report = if threads > 1 {
-                    pexplore_with(program, &[], limits, threads, &|| false)
+                    pexplore_with(program, &[], scaling, threads, &|| false)
                 } else {
-                    explore_with(program, &[], limits, &|| false)
+                    explore_with(program, &[], scaling, &|| false)
                 };
                 assert!(!report.truncated, "{name}: limits bound");
                 states = report.states;
@@ -59,13 +79,45 @@ fn main() {
             points.push((threads, secs, rate));
         }
         let speedup4 = points[2].2 / points[0].2;
-        println!("{name:22} 4-thread speedup: {speedup4:.2}x\n");
-        rows.push((name.to_string(), states, points, speedup4));
+        println!("{name:22} 4-thread speedup: {speedup4:.2}x");
+
+        let por = por_row(name, program, limits, reps);
+        let ratio = por.full_states as f64 / por.por_states.max(1) as f64;
+        println!(
+            "{name:22} por: {} -> {} states ({ratio:.1}x, {} pruned)\n",
+            por.full_states, por.por_states, por.por_pruned
+        );
+        rows.push((name.to_string(), states, points, speedup4, por));
     }
 
     let json = render_json(cores, quick, &rows);
     std::fs::write("BENCH_explore.json", &json).expect("write BENCH_explore.json");
     println!("wrote BENCH_explore.json");
+}
+
+/// Measures the full search against the sequential default (POR) mode.
+fn por_row(name: &str, program: &Program, limits: ExploreLimits, reps: usize) -> PorRow {
+    let mut full_states = 0usize;
+    let full_secs = median(reps, || {
+        let report = explore_with(program, &[], limits.without_por(), &|| false);
+        assert!(!report.truncated, "{name}: full search hit the limits");
+        full_states = report.states;
+    });
+    let mut por_states = 0usize;
+    let mut por_pruned = 0usize;
+    let por_secs = median(reps, || {
+        let report = explore_with(program, &[], limits, &|| false);
+        assert!(!report.truncated, "{name}: reduced search hit the limits");
+        por_states = report.states;
+        por_pruned = report.states_pruned;
+    });
+    PorRow {
+        full_states,
+        full_secs,
+        por_states,
+        por_pruned,
+        por_secs,
+    }
 }
 
 /// Median wall time of `f` over `reps` runs.
@@ -85,18 +137,30 @@ fn median(reps: usize, mut f: impl FnMut()) -> f64 {
 fn render_json(
     cores: usize,
     quick: bool,
-    rows: &[(String, usize, Vec<(usize, f64, f64)>, f64)],
+    rows: &[(String, usize, Vec<(usize, f64, f64)>, f64, PorRow)],
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"explore_scaling\",\n");
     out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"workloads\": [\n");
-    for (i, (name, states, points, speedup4)) in rows.iter().enumerate() {
+    for (i, (name, states, points, speedup4, por)) in rows.iter().enumerate() {
+        let ratio = por.full_states as f64 / por.por_states.max(1) as f64;
         out.push_str("    {\n");
         out.push_str(&format!("      \"name\": \"{name}\",\n"));
         out.push_str(&format!("      \"states\": {states},\n"));
         out.push_str(&format!("      \"speedup_4_threads\": {speedup4:.3},\n"));
+        out.push_str("      \"por\": {\n");
+        out.push_str(&format!(
+            "        \"full_states\": {}, \"full_secs\": {:.6},\n",
+            por.full_states, por.full_secs
+        ));
+        out.push_str(&format!(
+            "        \"por_states\": {}, \"por_secs\": {:.6}, \"states_pruned\": {},\n",
+            por.por_states, por.por_secs, por.por_pruned
+        ));
+        out.push_str(&format!("        \"reduction_factor\": {ratio:.2}\n"));
+        out.push_str("      },\n");
         out.push_str("      \"points\": [\n");
         for (j, (threads, secs, rate)) in points.iter().enumerate() {
             out.push_str(&format!(

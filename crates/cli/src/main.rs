@@ -48,7 +48,7 @@ USAGE:
                   [--lattice two|linear:N] [--json]
   secflow run     <file> [--input name=VALUE]... [--seed N] [--fuel N] [--trace]
   secflow explore <file> [--input name=VALUE]... [--max-states N] [--timeout-ms N]
-                  [--threads N]
+                  [--threads N] [--no-por]
   secflow leaktest <file> --secret NAME [--observe a,b,c] [--values 0,1]
   secflow infer   <file> [--pin name=CLASS]... [--lattice two|linear:N]
   secflow flows   <file> [--class name=CLASS]... [--dot]
@@ -64,8 +64,8 @@ USAGE:
   secflow batch   <dir> [--class name=CLASS]... [--default CLASS]
                   [--lattice two|linear:N] [--workers N]
                   [--remote HOST:PORT [--retries N]]
-  secflow gen     (--chain N [--vars K] | --philosophers N [--meals M])
-                  [--request OP [--timeout-ms N]]
+  secflow gen     (--chain N [--vars K] | --philosophers N [--meals M]
+                  | --indep N [--steps S]) [--request OP [--timeout-ms N]]
   secflow --version
 
 CLASSES: low | high (two-point, default), or 0..N-1 with --lattice linear:N
@@ -175,7 +175,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            let takes_value = !matches!(name, "baseline" | "trace" | "dot" | "json");
+            let takes_value = !matches!(
+                name,
+                "baseline" | "trace" | "dot" | "json" | "por" | "no-por"
+            );
             if takes_value {
                 i += 1;
                 let v = args
@@ -769,6 +772,11 @@ fn cmd_explore(args: &[String]) -> Result<ExitCode, CliError> {
     if let Some(ms) = opts.value("max-states") {
         limits.max_states = ms.parse().map_err(|_| "bad --max-states")?;
     }
+    // Partial-order reduction is on by default; `--no-por` restores the
+    // full interleaving search (e.g. to measure the reduction).
+    if opts.has("no-por") {
+        limits = limits.without_por();
+    }
     let timeout_ms: u64 = opts
         .value("timeout-ms")
         .map_or(Ok(0), |v| v.parse().map_err(|_| "bad --timeout-ms"))?;
@@ -789,8 +797,9 @@ fn cmd_explore(args: &[String]) -> Result<ExitCode, CliError> {
         );
     }
     println!(
-        "states: {}   terminal outcomes: {}   deadlocks: {}   faults: {}   truncated: {}",
+        "states: {}   pruned: {}   terminal outcomes: {}   deadlocks: {}   faults: {}   truncated: {}",
         report.states,
+        report.states_pruned,
         report.outcomes.len(),
         report.deadlocks,
         report.faults,
@@ -1175,22 +1184,35 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, CliError> {
 /// into `secflow serve`.
 fn cmd_gen(args: &[String]) -> Result<ExitCode, CliError> {
     let opts = parse_opts(args)?;
-    let source = match (opts.value("chain"), opts.value("philosophers")) {
-        (Some(length), None) => {
+    let source = match (
+        opts.value("chain"),
+        opts.value("philosophers"),
+        opts.value("indep"),
+    ) {
+        (Some(length), None, None) => {
             let length: usize = length.parse().map_err(|_| "bad --chain")?;
             let vars: usize = opts
                 .value("vars")
                 .map_or(Ok(8), |v| v.parse().map_err(|_| "bad --vars"))?;
             print_program(&secflow_workload::sequential_chain(length, vars))
         }
-        (None, Some(n)) => {
+        (None, Some(n), None) => {
             let n: usize = n.parse().map_err(|_| "bad --philosophers")?;
             let meals: i64 = opts
                 .value("meals")
                 .map_or(Ok(1000), |v| v.parse().map_err(|_| "bad --meals"))?;
             print_program(&secflow_workload::dining_philosophers(n, meals, false))
         }
-        _ => return Err("pass exactly one of --chain N or --philosophers N".into()),
+        (None, None, Some(n)) => {
+            let n: usize = n.parse().map_err(|_| "bad --indep")?;
+            let steps: usize = opts
+                .value("steps")
+                .map_or(Ok(4), |v| v.parse().map_err(|_| "bad --steps"))?;
+            print_program(&secflow_workload::indep(n, steps))
+        }
+        _ => {
+            return Err("pass exactly one of --chain N, --philosophers N or --indep N".into());
+        }
     };
     match opts.value("request") {
         None => print!("{source}"),

@@ -14,19 +14,34 @@
 //! (possibilistically) interference-free for an observer iff the observed
 //! projection of the outcome set is independent of the secret inputs.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap};
 
 use secflow_lang::{Program, VarId};
 
-use crate::machine::{Machine, Status};
+use crate::footprint::FootprintTable;
+use crate::machine::{Machine, ProcId, Status};
 
-/// Search limits.
+/// Search limits and reduction switches.
 #[derive(Clone, Copy, Debug)]
 pub struct ExploreLimits {
     /// Maximum distinct states to expand.
     pub max_states: usize,
     /// Maximum schedule depth (steps along one path).
     pub max_depth: usize,
+    /// Partial-order reduction (persistent sets): at states where one
+    /// enabled process is statically independent of everything the
+    /// others can still do, expand only that process. Preserves every
+    /// sink state — all outcomes, deadlocks, and witnesses — while
+    /// visiting (often far) fewer states. On by default; `false` is the
+    /// exhaustive escape hatch.
+    pub por: bool,
+    /// Sleep sets on top of persistent sets (sequential DFS only; the
+    /// work-stealing explorer ignores this switch because sleep sets
+    /// are traversal-order-dependent). Prunes commuting siblings the
+    /// DFS already explores on a brother branch. Only meaningful with
+    /// `por`.
+    pub sleep_sets: bool,
 }
 
 impl Default for ExploreLimits {
@@ -34,6 +49,29 @@ impl Default for ExploreLimits {
         ExploreLimits {
             max_states: 200_000,
             max_depth: 10_000,
+            por: true,
+            sleep_sets: true,
+        }
+    }
+}
+
+impl ExploreLimits {
+    /// These limits with both reductions switched off (full search).
+    pub fn without_por(self) -> ExploreLimits {
+        ExploreLimits {
+            por: false,
+            sleep_sets: false,
+            ..self
+        }
+    }
+
+    /// These limits with persistent sets only (the deterministic
+    /// reduction shared by the sequential and parallel engines).
+    pub fn persistent_only(self) -> ExploreLimits {
+        ExploreLimits {
+            por: true,
+            sleep_sets: false,
+            ..self
         }
     }
 }
@@ -53,6 +91,10 @@ pub struct ExploreReport {
     pub faults: usize,
     /// Distinct states expanded.
     pub states: usize,
+    /// Transitions partial-order reduction declined to expand (each one
+    /// a successor the full search would have scheduled). Zero when POR
+    /// is off.
+    pub states_pruned: usize,
     /// `true` if a limit stopped the search (results are then a subset).
     pub truncated: bool,
     /// `true` if the caller's `should_stop` hook stopped the search
@@ -96,52 +138,128 @@ pub fn explore_with(
     should_stop: &dyn Fn() -> bool,
 ) -> ExploreReport {
     let machine = Machine::with_inputs(program, inputs);
+    let table = limits.por.then(|| FootprintTable::new(program));
     let mut report = ExploreReport {
         outcomes: BTreeSet::new(),
         deadlock_witnesses: BTreeSet::new(),
         deadlocks: 0,
         faults: 0,
         states: 0,
+        states_pruned: 0,
         truncated: false,
         cancelled: false,
     };
-    let mut seen: HashSet<u64> = HashSet::new();
-    let mut stack: Vec<(Machine<'_>, usize)> = vec![(machine, 0)];
-    while let Some((m, depth)) = stack.pop() {
-        if !seen.insert(m.fingerprint()) {
-            continue;
-        }
-        if report.states >= limits.max_states {
-            report.truncated = true;
-            break;
-        }
-        if report.states.is_multiple_of(CANCEL_POLL_STATES) && should_stop() {
-            report.truncated = true;
-            report.cancelled = true;
-            break;
-        }
-        report.states += 1;
-        match m.status() {
-            Status::Terminated => {
-                report.outcomes.insert(m.store().to_vec());
-                continue;
+    // Visited fingerprints, each remembering the sleep set it was
+    // expanded under (always 0 when sleep sets are off). Re-reaching a
+    // state with a *smaller* sleep set must re-expand exactly the
+    // transitions slept before but awake now, else the reduction could
+    // miss sink states hiding behind a previously-slept move.
+    let mut seen: HashMap<u64, u64> = HashMap::new();
+    let mut stack: Vec<(Machine<'_>, usize, u64)> = vec![(machine, 0, 0)];
+    while let Some((m, depth, sleep)) = stack.pop() {
+        // Sleep sets need one bit per process id; past 64 processes the
+        // state ignores its sleep mask (exploring more — still sound).
+        let sleep_ok = limits.sleep_sets && limits.por && m.proc_count() <= 64;
+        let sleep = if sleep_ok { sleep } else { 0 };
+        // `None` = expand everything (first visit); `Some(mask)` = only
+        // the newly woken transitions of a revisited state.
+        let wake: Option<u64> = match seen.entry(m.fingerprint()) {
+            Entry::Vacant(e) => {
+                e.insert(sleep);
+                None
             }
-            Status::Deadlocked => {
-                report.deadlocks += 1;
-                report.deadlock_witnesses.insert(m.store().to_vec());
-                continue;
+            Entry::Occupied(mut e) => {
+                let woken = *e.get() & !sleep;
+                if woken == 0 {
+                    continue;
+                }
+                *e.get_mut() &= sleep;
+                Some(woken)
             }
-            Status::Running => {}
+        };
+        let fresh = wake.is_none();
+        if fresh {
+            if report.states >= limits.max_states {
+                report.truncated = true;
+                break;
+            }
+            if report.states.is_multiple_of(CANCEL_POLL_STATES) && should_stop() {
+                report.truncated = true;
+                report.cancelled = true;
+                break;
+            }
+            report.states += 1;
+            match m.status() {
+                Status::Terminated => {
+                    report.outcomes.insert(m.store().to_vec());
+                    continue;
+                }
+                Status::Deadlocked => {
+                    report.deadlocks += 1;
+                    report.deadlock_witnesses.insert(m.store().to_vec());
+                    continue;
+                }
+                Status::Running => {}
+            }
         }
         if depth >= limits.max_depth {
             report.truncated = true;
             continue;
         }
-        for pid in m.enabled() {
-            let mut next = m.clone();
-            match next.step(pid) {
-                Ok(_) => stack.push((next, depth + 1)),
-                Err(_) => report.faults += 1,
+        let enabled = m.enabled();
+        // Persistent sets: the selection is a pure function of the
+        // state, so first visits and revisits agree on the candidates.
+        let candidates: &[ProcId] = match table
+            .as_ref()
+            .and_then(|t| t.persistent_singleton(&m, &enabled))
+        {
+            Some(p) => {
+                if fresh {
+                    report.states_pruned += enabled.len() - 1;
+                }
+                let idx = enabled.iter().position(|&q| q == p).expect("enabled");
+                &enabled[idx..=idx]
+            }
+            None => &enabled,
+        };
+        let mut cur: u64 = sleep;
+        for &pid in candidates {
+            let bit = 1u64 << pid.0.min(63);
+            if sleep_ok && cur & bit != 0 {
+                // A sibling branch of the DFS already explores this
+                // commuting move from an equivalent point.
+                if fresh {
+                    report.states_pruned += 1;
+                }
+                continue;
+            }
+            if wake.is_none_or(|w| w & bit != 0) {
+                let mut next = m.clone();
+                match next.step(pid) {
+                    Ok(_) => {
+                        let child_sleep = if sleep_ok {
+                            // Keep only the slept moves that commute
+                            // with this step; dependent ones wake up.
+                            let (mut kept, mut rest) = (0u64, cur);
+                            while rest != 0 {
+                                let q = ProcId(rest.trailing_zeros() as usize);
+                                rest &= rest - 1;
+                                let t = table.as_ref().expect("sleep_ok implies table");
+                                if t.independent_at(&m, q, pid) {
+                                    kept |= 1 << q.0;
+                                }
+                            }
+                            kept
+                        } else {
+                            0
+                        };
+                        stack.push((next, depth + 1, child_sleep));
+                    }
+                    Err(_) => report.faults += 1,
+                }
+            }
+            if sleep_ok {
+                cur |= bit;
             }
         }
     }
@@ -237,6 +355,7 @@ mod tests {
             ExploreLimits {
                 max_states: 100,
                 max_depth: 50,
+                ..ExploreLimits::default()
             },
         );
         assert!(r.truncated);
@@ -249,6 +368,73 @@ mod tests {
         assert!(r.cancelled);
         assert!(r.truncated);
         assert!(r.states <= super::CANCEL_POLL_STATES);
+    }
+
+    /// Projects a report onto the mode-independent verdict: POR changes
+    /// how many states are visited (and how many faulting transitions
+    /// are attempted), never what is reachable.
+    fn verdict(r: &ExploreReport) -> (BTreeSet<Vec<i64>>, BTreeSet<Vec<i64>>, usize, bool, bool) {
+        (
+            r.outcomes.clone(),
+            r.deadlock_witnesses.clone(),
+            r.deadlocks,
+            r.faults > 0,
+            r.truncated,
+        )
+    }
+
+    #[test]
+    fn por_preserves_verdicts_and_prunes_disjoint_processes() {
+        let p = parse(
+            "var a, b, c : integer;
+             cobegin begin a := 1; a := a + 1 end
+                  || begin b := 1; b := b + 1 end
+                  || begin c := 1; c := c + 1 end coend",
+        )
+        .unwrap();
+        let full = explore(&p, &[], lim().without_por());
+        let por = explore(&p, &[], lim());
+        assert_eq!(verdict(&full), verdict(&por));
+        assert!(por.states_pruned > 0);
+        assert!(
+            por.states < full.states,
+            "por {} vs full {}",
+            por.states,
+            full.states
+        );
+        assert_eq!(full.states_pruned, 0);
+    }
+
+    #[test]
+    fn por_preserves_deadlocks_and_witnesses() {
+        let p = parse(
+            "var x, y : integer; sem : semaphore;
+             cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend",
+        )
+        .unwrap();
+        for inputs in [vec![(p.var("x"), 0)], vec![(p.var("x"), 1)]] {
+            let full = explore(&p, &inputs, lim().without_por());
+            let por = explore(&p, &inputs, lim());
+            assert_eq!(verdict(&full), verdict(&por));
+        }
+    }
+
+    #[test]
+    fn persistent_only_mode_matches_full_verdicts_too() {
+        let p = parse(
+            "var a, b : integer; s : semaphore initially(1);
+             cobegin begin wait(s); a := a + 1; signal(s) end
+                  || begin wait(s); a := a + 2; signal(s) end
+                  || begin b := 1; b := 2 end coend",
+        )
+        .unwrap();
+        let full = explore(&p, &[], lim().without_por());
+        let pers = explore(&p, &[], lim().persistent_only());
+        let both = explore(&p, &[], lim());
+        assert_eq!(verdict(&full), verdict(&pers));
+        assert_eq!(verdict(&full), verdict(&both));
+        assert!(both.states <= pers.states);
+        assert!(pers.states <= full.states);
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! Static per-statement footprints and the independence relation.
+//!
+//! Every atomic action of the machine (§2.0: one assignment, one guard
+//! evaluation, one semaphore operation) reads and writes a statically
+//! known set of variables. Two actions of *different* processes commute
+//! — executing them in either order reaches the same state — iff their
+//! footprints do not conflict: no write/write or read/write overlap on a
+//! data variable and no operations on a shared semaphore (a `signal` can
+//! enable a blocked `wait`, so any two ops on the same semaphore are
+//! ordered observably).
+//!
+//! The [`FootprintTable`] precomputes, for every statement of a program,
+//!
+//! - the **action footprint**: what the single atomic step of executing
+//!   that statement's head touches, and
+//! - the **region footprint**: the union of action footprints over the
+//!   whole subtree — an over-approximation of everything a process can
+//!   ever touch while its continuation stack still contains that
+//!   statement.
+//!
+//! Both are keyed by statement identity (`&Stmt` address, the same
+//! scheme [`Machine::fingerprint`](crate::Machine::fingerprint) uses),
+//! so the explorer's hot loop does O(1) lookups and O(1) bitmask
+//! conflict tests.
+//!
+//! On top of the table, [`FootprintTable::persistent_singleton`] picks a
+//! singleton *persistent set* at a machine state when one exists: an
+//! enabled process whose next action is independent of every action any
+//! *other* live process can ever take. Exploring only that process from
+//! the state preserves every reachable sink state — all deadlocks and
+//! all terminal outcomes — which is exactly what the explorer's verdicts
+//! are built from (see DESIGN §12 for the soundness argument).
+
+use std::collections::HashMap;
+
+use secflow_lang::{Program, Stmt, VarId};
+
+use crate::machine::{Machine, ProcId};
+
+/// A set of variables as a fixed-width bitmask. Variable indices at or
+/// above [`VarSet::CAPACITY`] collapse into a *universal* bit that
+/// conflicts with everything — a sound (if total) over-approximation
+/// for the rare program with more than 127 variables.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct VarSet {
+    bits: u128,
+}
+
+impl VarSet {
+    /// Highest variable index representable exactly.
+    pub const CAPACITY: usize = 127;
+
+    const UNIVERSAL: u128 = 1 << 127;
+
+    /// The empty set.
+    pub const EMPTY: VarSet = VarSet { bits: 0 };
+
+    /// A set that intersects every set, including the empty one (used
+    /// for "conflicts with anything" footprints).
+    pub const UNIVERSE: VarSet = VarSet { bits: u128::MAX };
+
+    /// Adds a variable.
+    pub fn insert(&mut self, v: VarId) {
+        if v.index() >= Self::CAPACITY {
+            self.bits |= Self::UNIVERSAL;
+        } else {
+            self.bits |= 1 << v.index();
+        }
+    }
+
+    /// `true` iff the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// `true` iff `v` is in the set (always `true` once the universal
+    /// overflow bit is set).
+    pub fn contains(self, v: VarId) -> bool {
+        if self.bits & Self::UNIVERSAL != 0 {
+            return true;
+        }
+        v.index() < Self::CAPACITY && self.bits & (1 << v.index()) != 0
+    }
+
+    /// Set union, in place.
+    pub fn union_with(&mut self, other: VarSet) {
+        self.bits |= other.bits;
+    }
+
+    /// `true` iff the sets share a variable. The universal bit
+    /// intersects everything, even the empty set — conservative in
+    /// exactly the direction soundness needs.
+    pub fn intersects(self, other: VarSet) -> bool {
+        if (self.bits | other.bits) & Self::UNIVERSAL != 0 {
+            return true;
+        }
+        self.bits & other.bits != 0
+    }
+
+    /// Exact member count (counts the overflow bit as one).
+    pub fn len(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Iterates the exactly-represented members, ascending.
+    pub fn iter(self) -> impl Iterator<Item = VarId> {
+        (0..Self::CAPACITY as u32)
+            .filter(move |i| self.bits & (1u128 << i) != 0)
+            .map(VarId)
+    }
+}
+
+/// What one atomic action (or a whole statement subtree) reads, writes,
+/// and synchronizes on.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct Footprint {
+    /// Variables read (guard and right-hand-side operands).
+    pub reads: VarSet,
+    /// Variables written (assignment targets).
+    pub writes: VarSet,
+    /// Semaphores operated on by `wait`/`signal`. Any two operations on
+    /// a shared semaphore are dependent regardless of direction.
+    pub sems: VarSet,
+}
+
+impl Footprint {
+    /// The empty footprint (control-only actions: `skip`, `begin`
+    /// unfolding, `cobegin` spawn).
+    pub const EMPTY: Footprint = Footprint {
+        reads: VarSet::EMPTY,
+        writes: VarSet::EMPTY,
+        sems: VarSet::EMPTY,
+    };
+
+    /// A footprint that conflicts with everything (used when a lookup
+    /// misses, so an incomplete table degrades to no reduction, never
+    /// to an unsound one).
+    pub const UNIVERSE: Footprint = Footprint {
+        reads: VarSet::UNIVERSE,
+        writes: VarSet::UNIVERSE,
+        sems: VarSet::UNIVERSE,
+    };
+
+    /// Union, in place.
+    pub fn union_with(&mut self, other: &Footprint) {
+        self.reads.union_with(other.reads);
+        self.writes.union_with(other.writes);
+        self.sems.union_with(other.sems);
+    }
+
+    /// `true` iff the two footprints conflict: write/write overlap,
+    /// read/write overlap (either direction), or a shared semaphore.
+    /// Two actions of different processes are *independent* iff their
+    /// footprints do not conflict.
+    pub fn conflicts(&self, other: &Footprint) -> bool {
+        self.writes.intersects(other.writes)
+            || self.writes.intersects(other.reads)
+            || other.writes.intersects(self.reads)
+            || self.sems.intersects(other.sems)
+    }
+
+    /// `true` iff nothing is touched.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty() && self.sems.is_empty()
+    }
+}
+
+/// The footprint of the single atomic step that executes `stmt`'s head
+/// (not its subtree): evaluating a guard reads its variables, an
+/// assignment reads its right-hand side and writes its target, a
+/// semaphore op touches its semaphore, and control unfolding (`skip`,
+/// `begin`, `cobegin` spawn) touches nothing.
+pub fn action_footprint(stmt: &Stmt) -> Footprint {
+    let mut fp = Footprint::EMPTY;
+    match stmt {
+        Stmt::Skip(_) | Stmt::Seq { .. } | Stmt::Cobegin { .. } => {}
+        Stmt::Assign { var, expr, .. } => {
+            fp.writes.insert(*var);
+            expr.for_each_var(&mut |v| fp.reads.insert(v));
+        }
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } => {
+            cond.for_each_var(&mut |v| fp.reads.insert(v));
+        }
+        Stmt::Wait { sem, .. } | Stmt::Signal { sem, .. } => {
+            fp.sems.insert(*sem);
+        }
+    }
+    fp
+}
+
+/// Statement identity: the borrowed program is immutable for the
+/// machine's lifetime, so addresses are stable keys (the same scheme
+/// the state fingerprint uses).
+fn key(stmt: &Stmt) -> usize {
+    stmt as *const Stmt as usize
+}
+
+/// Precomputed action and region footprints for every statement of one
+/// program, plus the derived independence tests the explorers consume.
+pub struct FootprintTable {
+    actions: HashMap<usize, Footprint>,
+    regions: HashMap<usize, Footprint>,
+}
+
+impl FootprintTable {
+    /// Walks the program once and tabulates every statement.
+    pub fn new(program: &Program) -> FootprintTable {
+        let count = program.body.statement_count();
+        let mut table = FootprintTable {
+            actions: HashMap::with_capacity(count),
+            regions: HashMap::with_capacity(count),
+        };
+        table.build(&program.body);
+        table
+    }
+
+    fn build(&mut self, stmt: &Stmt) -> Footprint {
+        let action = action_footprint(stmt);
+        let mut region = action;
+        match stmt {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                region.union_with(&self.build(then_branch));
+                if let Some(eb) = else_branch {
+                    region.union_with(&self.build(eb));
+                }
+            }
+            Stmt::While { body, .. } => {
+                region.union_with(&self.build(body));
+            }
+            Stmt::Seq { stmts, .. } => {
+                for s in stmts {
+                    region.union_with(&self.build(s));
+                }
+            }
+            Stmt::Cobegin { branches, .. } => {
+                for b in branches {
+                    region.union_with(&self.build(b));
+                }
+            }
+            Stmt::Skip(_) | Stmt::Assign { .. } | Stmt::Wait { .. } | Stmt::Signal { .. } => {}
+        }
+        self.actions.insert(key(stmt), action);
+        self.regions.insert(key(stmt), region);
+        region
+    }
+
+    /// Footprint of the atomic step executing `stmt`'s head. A miss
+    /// (statement from a different program) degrades to the universal
+    /// footprint: no reduction, never an unsound one.
+    pub fn action(&self, stmt: &Stmt) -> Footprint {
+        self.actions
+            .get(&key(stmt))
+            .copied()
+            .unwrap_or(Footprint::UNIVERSE)
+    }
+
+    /// Union footprint of `stmt`'s whole subtree — everything a process
+    /// whose continuation contains `stmt` can ever touch.
+    pub fn region(&self, stmt: &Stmt) -> Footprint {
+        self.regions
+            .get(&key(stmt))
+            .copied()
+            .unwrap_or(Footprint::UNIVERSE)
+    }
+
+    /// Everything process `pid` can still touch: the union of region
+    /// footprints over its continuation stack. Spawned-but-unspawned
+    /// children live inside those subtrees, so they are covered too.
+    pub fn proc_region(&self, m: &Machine<'_>, pid: ProcId) -> Footprint {
+        let mut region = Footprint::EMPTY;
+        for s in m.frame_stmts(pid) {
+            region.union_with(&self.region(s));
+        }
+        region
+    }
+
+    /// `true` iff the pending actions of two distinct processes at this
+    /// state are independent (footprints do not conflict). Processes
+    /// without a pending action are vacuously independent.
+    pub fn independent_at(&self, m: &Machine<'_>, p: ProcId, q: ProcId) -> bool {
+        match (m.pending_stmt(p), m.pending_stmt(q)) {
+            (Some(a), Some(b)) => !self.action(a).conflicts(&self.action(b)),
+            _ => true,
+        }
+    }
+
+    /// Picks the lowest-id enabled process forming a singleton
+    /// persistent set at `m`'s state, if any: its next action must be
+    /// independent of the *entire remaining region* of every other live
+    /// process. Returns `None` when fewer than two processes are
+    /// enabled (nothing to prune) or no process qualifies (the caller
+    /// then expands the full enabled set).
+    ///
+    /// Completion and spawn steps are fine candidates even though they
+    /// *enable* other processes (waking a parent, spawning children):
+    /// the preservation argument only needs that no transition
+    /// executable while avoiding the candidate can disable it or fail
+    /// to commute with it, and a parent can never move before the
+    /// candidate's own process finishes — which it can only do through
+    /// the candidate (see DESIGN §12).
+    pub fn persistent_singleton(&self, m: &Machine<'_>, enabled: &[ProcId]) -> Option<ProcId> {
+        if enabled.len() < 2 {
+            return None;
+        }
+        'candidates: for &pid in enabled {
+            let stmt = match m.pending_stmt(pid) {
+                Some(s) => s,
+                None => continue,
+            };
+            let action = self.action(stmt);
+            for q in 0..m.proc_count() {
+                let q = ProcId(q);
+                if q == pid || m.is_done(q) {
+                    continue;
+                }
+                if action.conflicts(&self.proc_region(m, q)) {
+                    continue 'candidates;
+                }
+            }
+            return Some(pid);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_lang::parse;
+
+    #[test]
+    fn assign_reads_rhs_writes_target() {
+        let p = parse("var x, y : integer; x := y + 1").unwrap();
+        let t = FootprintTable::new(&p);
+        let fp = t.action(&p.body);
+        assert!(fp.writes.contains(p.var("x")));
+        assert!(fp.reads.contains(p.var("y")));
+        assert!(!fp.reads.contains(p.var("x")));
+        assert!(fp.sems.is_empty());
+    }
+
+    #[test]
+    fn disjoint_assignments_are_independent() {
+        let a = parse("var a, b : integer; a := 1").unwrap();
+        let b = parse("var a, b : integer; b := a").unwrap();
+        let fa = action_footprint(&a.body);
+        let fb = action_footprint(&b.body);
+        // a := 1 writes {a}; b := a reads {a}: read/write conflict.
+        assert!(fa.conflicts(&fb));
+        let c = parse("var a, b, c : integer; c := 2").unwrap();
+        let fc = action_footprint(&c.body);
+        assert!(!fa.conflicts(&fc));
+        assert!(!fb.conflicts(&fc));
+    }
+
+    #[test]
+    fn semaphore_ops_on_same_sem_conflict_both_ways() {
+        let p = parse("var s : semaphore; begin wait(s); signal(s) end").unwrap();
+        let Stmt::Seq { stmts, .. } = &p.body else {
+            panic!("expected seq");
+        };
+        let w = action_footprint(&stmts[0]);
+        let s = action_footprint(&stmts[1]);
+        assert!(w.conflicts(&s));
+        assert!(s.conflicts(&w));
+        assert!(w.conflicts(&w));
+    }
+
+    #[test]
+    fn region_covers_the_whole_subtree() {
+        let p = parse(
+            "var x, y : integer; s : semaphore;
+             while x < 3 do begin x := x + 1; wait(s); y := 0 end",
+        )
+        .unwrap();
+        let t = FootprintTable::new(&p);
+        let r = t.region(&p.body);
+        assert!(r.reads.contains(p.var("x")));
+        assert!(r.writes.contains(p.var("x")));
+        assert!(r.writes.contains(p.var("y")));
+        assert!(r.sems.contains(p.var("s")));
+    }
+
+    #[test]
+    fn persistent_singleton_found_for_disjoint_processes() {
+        // Each branch is a begin/end with two statements, so after the
+        // spawn every process has ≥ 2 frames and touches disjoint vars.
+        let p = parse(
+            "var a, b : integer;
+             cobegin begin a := 1; a := 2 end || begin b := 1; b := 2 end coend",
+        )
+        .unwrap();
+        let t = FootprintTable::new(&p);
+        let mut m = crate::Machine::new(&p);
+        m.step(crate::ProcId(0)).unwrap(); // spawn
+        m.step(crate::ProcId(1)).unwrap(); // unfold begin of branch 1
+        m.step(crate::ProcId(2)).unwrap(); // unfold begin of branch 2
+        let enabled = m.enabled();
+        assert_eq!(enabled.len(), 2);
+        assert_eq!(t.persistent_singleton(&m, &enabled), Some(crate::ProcId(1)));
+    }
+
+    #[test]
+    fn shared_variable_blocks_the_singleton() {
+        let p = parse(
+            "var a : integer;
+             cobegin begin a := 1; a := 2 end || begin a := 3; a := 4 end coend",
+        )
+        .unwrap();
+        let t = FootprintTable::new(&p);
+        let mut m = crate::Machine::new(&p);
+        m.step(crate::ProcId(0)).unwrap();
+        m.step(crate::ProcId(1)).unwrap();
+        m.step(crate::ProcId(2)).unwrap();
+        let enabled = m.enabled();
+        assert_eq!(t.persistent_singleton(&m, &enabled), None);
+    }
+
+    #[test]
+    fn varset_overflow_is_conservative() {
+        let mut s = VarSet::EMPTY;
+        s.insert(VarId(500));
+        assert!(s.intersects(VarSet::EMPTY));
+        assert!(s.contains(VarId(3)));
+    }
+}

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod explore;
+pub mod footprint;
 pub mod machine;
 pub mod monitor;
 pub mod nitest;
@@ -49,6 +50,7 @@ pub mod sched;
 pub mod trace;
 
 pub use explore::{can_deadlock, explore, explore_with, ExploreLimits, ExploreReport};
+pub use footprint::{action_footprint, Footprint, FootprintTable, VarSet};
 pub use machine::{eval, Action, Fault, Machine, ProcId, Status};
 pub use monitor::TaintMonitor;
 pub use nitest::{

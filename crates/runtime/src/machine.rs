@@ -249,6 +249,41 @@ impl<'p> Machine<'p> {
             .collect()
     }
 
+    /// Total processes ever created (including finished ones; process
+    /// ids are never reused).
+    pub fn proc_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// `true` iff the process has finished.
+    pub fn is_done(&self, pid: ProcId) -> bool {
+        self.procs[pid.0].state == ProcState::Done
+    }
+
+    /// The statement whose head `pid` would execute next — its pending
+    /// atomic action — or `None` if the process has no frames. A loop
+    /// re-test reports its `while` statement (the action is the same
+    /// guard evaluation either way).
+    pub fn pending_stmt(&self, pid: ProcId) -> Option<&'p Stmt> {
+        self.procs[pid.0].frames.last().map(|f| match f {
+            Frame::Stmt(s) | Frame::LoopHead(s) => *s,
+        })
+    }
+
+    /// Number of continuation frames on `pid`'s stack.
+    pub fn frame_count(&self, pid: ProcId) -> usize {
+        self.procs[pid.0].frames.len()
+    }
+
+    /// The statements of every continuation frame of `pid`, innermost
+    /// (next to execute) first. Their subtrees jointly over-approximate
+    /// everything the process can still do.
+    pub fn frame_stmts(&self, pid: ProcId) -> impl Iterator<Item = &'p Stmt> + '_ {
+        self.procs[pid.0].frames.iter().rev().map(|f| match f {
+            Frame::Stmt(s) | Frame::LoopHead(s) => *s,
+        })
+    }
+
     /// Machine status.
     pub fn status(&self) -> Status {
         if self.procs.iter().all(|p| p.state == ProcState::Done) {

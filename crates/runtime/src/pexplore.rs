@@ -46,6 +46,7 @@ use std::thread;
 use secflow_lang::Program;
 
 use crate::explore::{ExploreLimits, ExploreReport};
+use crate::footprint::FootprintTable;
 use crate::machine::{Machine, Status};
 
 /// States to expand between `should_stop` polls, per worker. Matches
@@ -335,13 +336,19 @@ struct Partial {
     witnesses: BTreeSet<Vec<i64>>,
     deadlocks: usize,
     faults: usize,
+    pruned: usize,
     truncated: bool,
 }
 
-/// [`explore`](crate::explore::explore) on `threads` workers. Produces
-/// the same report as the sequential explorer whenever neither
-/// `max_states` nor `max_depth` truncates the search (truncated subsets
-/// are schedule-dependent in both explorers).
+/// [`explore`](crate::explore::explore) on `threads` workers. Honors
+/// `limits.por` (persistent sets — the selection is a pure function of
+/// the state, so the reduced graph is identical across thread counts)
+/// but ignores `limits.sleep_sets`: sleep sets are meaningful only
+/// under the sequential depth-first order. Produces the same report as
+/// the sequential explorer *in persistent-only mode*
+/// ([`ExploreLimits::persistent_only`]) whenever neither `max_states`
+/// nor `max_depth` truncates the search (truncated subsets are
+/// schedule-dependent in both explorers).
 pub fn pexplore(
     program: &Program,
     inputs: &[(secflow_lang::VarId, i64)],
@@ -361,6 +368,7 @@ pub fn pexplore_with(
     should_stop: &(dyn Fn() -> bool + Sync),
 ) -> ExploreReport {
     let root = Machine::with_inputs(program, inputs);
+    let table = limits.por.then(|| FootprintTable::new(program));
     let outcome = parallel_search(
         vec![(root, 0usize)],
         threads,
@@ -387,7 +395,19 @@ pub fn pexplore_with(
                 partial.truncated = true;
                 return Expansion::Continue;
             }
-            for pid in m.enabled() {
+            let enabled = m.enabled();
+            let candidates = match table
+                .as_ref()
+                .and_then(|t| t.persistent_singleton(&m, &enabled))
+            {
+                Some(p) => {
+                    partial.pruned += enabled.len() - 1;
+                    let idx = enabled.iter().position(|&q| q == p).expect("enabled");
+                    &enabled[idx..=idx]
+                }
+                None => &enabled[..],
+            };
+            for &pid in candidates {
                 let mut next = m.clone();
                 match next.step(pid) {
                     Ok(_) => succs.push((next, depth + 1)),
@@ -403,6 +423,7 @@ pub fn pexplore_with(
         deadlocks: 0,
         faults: 0,
         states: outcome.states,
+        states_pruned: 0,
         truncated: outcome.truncated,
         cancelled: outcome.cancelled,
     };
@@ -411,6 +432,7 @@ pub fn pexplore_with(
         report.deadlock_witnesses.extend(partial.witnesses);
         report.deadlocks += partial.deadlocks;
         report.faults += partial.faults;
+        report.states_pruned += partial.pruned;
         report.truncated |= partial.truncated;
     }
     report
@@ -459,11 +481,27 @@ mod tests {
              || y := y + x coend",
         )
         .unwrap();
-        let seq = explore(&p, &[], lim());
+        // Sleep sets are sequential-only, so the engines are compared
+        // in the persistent-only mode they share.
+        let seq = explore(&p, &[], lim().persistent_only());
         for threads in [1, 2, 4] {
-            let par = pexplore(&p, &[], lim(), threads);
+            let par = pexplore(&p, &[], lim().persistent_only(), threads);
             assert_eq!(par, seq, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn parallel_prunes_with_persistent_sets() {
+        let p = parse(
+            "var a, b : integer;
+             cobegin begin a := 1; a := a + 1 end || begin b := 1; b := b + 1 end coend",
+        )
+        .unwrap();
+        let full = pexplore(&p, &[], lim().without_por(), 2);
+        let por = pexplore(&p, &[], lim(), 2);
+        assert_eq!(por.outcomes, full.outcomes);
+        assert!(por.states_pruned > 0);
+        assert!(por.states < full.states, "{} / {}", por.states, full.states);
     }
 
     #[test]
@@ -474,7 +512,7 @@ mod tests {
         )
         .unwrap();
         let x = p.var("x");
-        let seq = explore(&p, &[(x, 1)], lim());
+        let seq = explore(&p, &[(x, 1)], lim().persistent_only());
         let par = pexplore(&p, &[(x, 1)], lim(), 4);
         assert!(par.can_deadlock());
         assert_eq!(par.deadlock_witnesses, seq.deadlock_witnesses);
@@ -496,6 +534,7 @@ mod tests {
         let limits = ExploreLimits {
             max_states: 100,
             max_depth: 50,
+            ..ExploreLimits::default()
         };
         let report = pexplore(&p, &[], limits, 2);
         assert!(report.truncated);

@@ -22,6 +22,7 @@ fn limits() -> ExploreLimits {
     ExploreLimits {
         max_states: 80_000,
         max_depth: 5_000,
+        ..ExploreLimits::default()
     }
 }
 

@@ -63,6 +63,9 @@ pub struct Metrics {
     pub threads_clamped: AtomicU64,
     /// Abstract states visited by (non-cached) `explore` requests.
     pub explore_states: AtomicU64,
+    /// States skipped by partial-order reduction in (non-cached)
+    /// `explore` requests.
+    pub explore_pruned: AtomicU64,
     /// Wall time spent inside (non-cached) `explore` requests, in µs.
     pub explore_us: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
@@ -107,6 +110,14 @@ impl Metrics {
             0.0
         } else {
             self.explore_states.load(Relaxed) as f64 / (explore_us as f64 / 1_000_000.0)
+        };
+        let visited = self.explore_states.load(Relaxed);
+        let pruned = self.explore_pruned.load(Relaxed);
+        // Fraction of the encountered frontier the reduction skipped.
+        let reduction_ratio = if visited + pruned == 0 {
+            0.0
+        } else {
+            pruned as f64 / (visited + pruned) as f64
         };
         let histogram: Vec<Json> = self
             .latency
@@ -156,6 +167,11 @@ impl Metrics {
             ("pass_panics".to_string(), n(&self.pass_panics)),
             ("threads_clamped".to_string(), n(&self.threads_clamped)),
             ("explore_states".to_string(), n(&self.explore_states)),
+            ("explore_states_pruned".to_string(), n(&self.explore_pruned)),
+            (
+                "explore_reduction_ratio".to_string(),
+                Json::Num(reduction_ratio),
+            ),
             (
                 "explore_states_per_sec".to_string(),
                 Json::Num(explore_rate),

@@ -120,6 +120,10 @@ pub struct Request {
     pub inputs: Vec<(String, i64)>,
     /// State cap for `explore` (capped by the server).
     pub max_states: Option<u64>,
+    /// Partial-order reduction for `explore` (default `true`; send
+    /// `"por":false` for the full interleaving search). Part of the
+    /// cache key: the reply's `states` count depends on it.
+    pub por: bool,
     /// Worker threads for `explore`/`lint` state-space search (clamped
     /// by the server; the reply reports the effective count).
     pub threads: Option<u64>,
@@ -230,6 +234,11 @@ impl Request {
         let timeout_ms = uint("timeout_ms")?;
         let max_states = uint("max_states")?;
         let threads = uint("threads")?;
+        let por = match value.get("por") {
+            None => true,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err(fail("`por` must be a boolean".into())),
+        };
 
         let mut inputs = Vec::new();
         match value.get("inputs") {
@@ -263,6 +272,7 @@ impl Request {
             timeout_ms,
             inputs,
             max_states,
+            por,
             threads,
         })
     }
@@ -284,6 +294,7 @@ impl Request {
             timeout_ms: None,
             inputs: Vec::new(),
             max_states: None,
+            por: true,
             threads: None,
         }
     }
@@ -346,6 +357,9 @@ impl Request {
         }
         if let Some(n) = self.max_states {
             fields.push(("max_states".to_string(), Json::Num(n as f64)));
+        }
+        if !self.por {
+            fields.push(("por".to_string(), Json::Bool(false)));
         }
         if let Some(n) = self.threads {
             fields.push(("threads".to_string(), Json::Num(n as f64)));
@@ -524,6 +538,14 @@ mod tests {
         explore.max_states = Some(500);
         explore.threads = Some(4);
         assert_eq!(Request::parse(&explore.to_line()).unwrap(), explore);
+
+        // `por` defaults to true and only serializes when disabled.
+        assert!(explore.por);
+        assert!(!explore.to_line().contains("por"));
+        explore.por = false;
+        assert!(explore.to_line().contains(r#""por":false"#));
+        assert_eq!(Request::parse(&explore.to_line()).unwrap(), explore);
+        assert!(Request::parse(r#"{"op":"explore","source":"x","por":1}"#).is_err());
 
         let infer = Request::parse(r#"{"op":"infer","source":"x","pins":{"x":"high"}}"#).unwrap();
         assert_eq!(Request::parse(&infer.to_line()).unwrap(), infer);

@@ -460,13 +460,23 @@ impl Service {
             inputs.push((id, *value));
         }
         let default = ExploreLimits::default();
-        let limits = ExploreLimits {
+        let base = ExploreLimits {
             max_states: req
                 .max_states
                 .map(|n| n.min(usize::MAX as u64) as usize)
                 .unwrap_or(default.max_states)
                 .min(self.limits.max_explore_states),
             max_depth: default.max_depth,
+            ..default
+        };
+        // Persistent-set-only reduction on both engines: the parallel
+        // explorer cannot use sleep sets (they are traversal-order
+        // dependent), and the cached payload must not depend on the
+        // requested thread count, so the sequential path matches it.
+        let limits = if req.por {
+            base.persistent_only()
+        } else {
+            base.without_por()
         };
         let begin = Instant::now();
         let report = if threads > 1 {
@@ -477,6 +487,9 @@ impl Service {
         self.metrics
             .explore_states
             .fetch_add(report.states as u64, Relaxed);
+        self.metrics
+            .explore_pruned
+            .fetch_add(report.states_pruned as u64, Relaxed);
         self.metrics.explore_us.fetch_add(
             begin.elapsed().as_micros().min(u64::MAX as u128) as u64,
             Relaxed,
@@ -492,6 +505,11 @@ impl Service {
             ("deadlocks".to_string(), Json::Num(report.deadlocks as f64)),
             ("faults".to_string(), Json::Num(report.faults as f64)),
             ("states".to_string(), Json::Num(report.states as f64)),
+            (
+                "states_pruned".to_string(),
+                Json::Num(report.states_pruned as f64),
+            ),
+            ("por".to_string(), Json::Bool(req.por)),
             ("truncated".to_string(), Json::Bool(report.truncated)),
         ])
     }
@@ -541,6 +559,9 @@ fn cache_key(req: &Request, effective_fuel: u64) -> CacheKey {
         &classes,
         &inputs,
         &max_states,
+        // The reduced and full searches return different `states`
+        // counts, so the mode is part of the identity of the result.
+        if req.por { "" } else { "no-por" },
         &req.source,
     ])
 }
@@ -1042,6 +1063,46 @@ mod tests {
         assert!(v2.get("threads").is_none());
         assert_eq!(s.metrics.cache_hits.load(Relaxed), 1);
         assert_eq!(s.metrics.threads_clamped.load(Relaxed), 0);
+    }
+
+    #[test]
+    fn por_mode_is_a_distinct_cache_entry_with_identical_verdicts() {
+        let s = svc();
+        let reduced = format!(
+            r#"{{"op":"explore","source":{},"inputs":{{"x":1}}}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        let full = format!(
+            r#"{{"op":"explore","source":{},"inputs":{{"x":1}},"por":false}}"#,
+            Json::Str(LEAKY.to_string())
+        );
+        let v = Json::parse(&s.handle_line(&reduced)).unwrap();
+        assert_eq!(v.get("por").and_then(Json::as_bool), Some(true));
+        // The full search must not hit the reduced entry: its `states`
+        // count is different.
+        let v2 = Json::parse(&s.handle_line(&full)).unwrap();
+        assert_eq!(v2.get("cached").and_then(Json::as_bool), Some(false));
+        assert_eq!(v2.get("por").and_then(Json::as_bool), Some(false));
+        assert_eq!(v2.get("states_pruned").and_then(Json::as_u64), Some(0));
+        // Identical safety verdicts either way.
+        for key in ["outcomes", "deadlocks", "faults"] {
+            assert_eq!(
+                v.get(key).and_then(Json::as_u64),
+                v2.get(key).and_then(Json::as_u64),
+                "{key} differs between por modes"
+            );
+        }
+        assert!(
+            v.get("states").and_then(Json::as_u64).unwrap()
+                <= v2.get("states").and_then(Json::as_u64).unwrap()
+        );
+        // The stats snapshot exposes the pruning counters.
+        let stats = Json::parse(&s.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        assert!(stats
+            .get("explore_states_pruned")
+            .and_then(Json::as_u64)
+            .is_some());
+        assert!(stats.get("explore_reduction_ratio").is_some());
     }
 
     #[test]

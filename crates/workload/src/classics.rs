@@ -153,6 +153,7 @@ mod tests {
         ExploreLimits {
             max_states: 300_000,
             max_depth: 20_000,
+            ..ExploreLimits::default()
         }
     }
 

@@ -101,6 +101,28 @@ pub fn wide_cobegin(width: usize) -> Program {
     b.finish(s::cobegin(branches))
 }
 
+/// `n` fully independent processes, each incrementing its own private
+/// counter `steps` times — disjoint footprints, no semaphores. The
+/// worst case for naive exhaustive exploration (the interleaving count
+/// is the multinomial `(n·steps)! / (steps!)^n`) and the best case for
+/// partial-order reduction, which collapses it to a single
+/// representative order per state.
+pub fn indep(n: usize, steps: usize) -> Program {
+    assert!(n >= 2 && steps >= 1);
+    let mut b = ProgramBuilder::new();
+    let branches: Vec<Stmt> = (0..n)
+        .map(|i| {
+            let v = b.data(&format!("v{i}"));
+            s::seq(
+                (0..steps)
+                    .map(|_| s::assign(v, e::add(e::var(v), e::konst(1))))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    b.finish(s::cobegin(branches))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +188,34 @@ mod tests {
         for i in 0..6 {
             assert_eq!(m.get(p.var(&format!("p{i}"))), i as i64);
         }
+    }
+
+    #[test]
+    fn indep_processes_run_disjointly() {
+        let p = indep(4, 3);
+        let mut m = Machine::new(&p);
+        assert!(run(&mut m, &mut RoundRobin::new(), 10_000).terminated());
+        for i in 0..4 {
+            assert_eq!(m.get(p.var(&format!("v{i}"))), 3);
+        }
+    }
+
+    #[test]
+    fn indep_has_a_single_outcome_and_por_collapses_it() {
+        use secflow_runtime::{explore, ExploreLimits};
+        let p = indep(4, 3);
+        let full = explore(&p, &[], ExploreLimits::default().without_por());
+        let por = explore(&p, &[], ExploreLimits::default());
+        assert!(!full.truncated && !por.truncated);
+        assert_eq!(full.outcomes, por.outcomes);
+        assert_eq!(full.outcomes.len(), 1);
+        // (3·3+1 choose …) interleavings collapse to one order per level.
+        assert!(
+            por.states * 10 <= full.states,
+            "por {} vs full {}",
+            por.states,
+            full.states
+        );
     }
 
     #[test]

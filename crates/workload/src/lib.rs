@@ -25,7 +25,7 @@ pub mod fig3;
 pub mod gen;
 
 pub use classics::{dining_philosophers, producer_consumer, readers_writers};
-pub use families::{branchy, loop_heavy, sequential_chain, sync_heavy, wide_cobegin};
+pub use families::{branchy, indep, loop_heavy, sequential_chain, sync_heavy, wide_cobegin};
 pub use fig3::{
     decode_transmitted, fig3_all_high_binding, fig3_baseline_gap_binding, fig3_high_x_binding,
     fig3_program, fig3_sequential_equivalent, kbit_channel, FIG3_SOURCE,

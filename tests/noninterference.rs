@@ -30,6 +30,7 @@ fn limits() -> ExploreLimits {
     ExploreLimits {
         max_states: 60_000,
         max_depth: 4_000,
+        ..ExploreLimits::default()
     }
 }
 

@@ -1,26 +1,64 @@
-//! Differential testing of the parallel explorer: for generated
-//! programs, [`pexplore`](secflow::runtime::pexplore) at 1, 2 and 4
-//! threads must agree with the sequential explorer on every
-//! schedule-independent field — reachable-state count, outcome set,
-//! deadlock count and witness set, fault count.
+//! Differential testing of the explorers: for generated programs,
+//! [`pexplore`](secflow::runtime::pexplore) at 1, 2 and 4 threads must
+//! agree with the sequential explorer on every schedule-independent
+//! field, and the partial-order-reduced search must agree with the full
+//! interleaving search on every *verdict* — outcome set, deadlock count
+//! and witness set, fault reachability — while visiting fewer states.
 //!
 //! The generator's default `bounded_loops: true` keeps every program
 //! terminating under every schedule, and the limits below never bind,
 //! so neither search truncates; dedup-on-push (parallel) and
 //! dedup-on-pop (sequential) then visit exactly the same reachable set
 //! and the commutative merge makes the parallel report deterministic.
+//!
+//! Engine-equality comparisons run in matched `persistent_only` mode:
+//! sleep sets are traversal-order dependent, so the sequential
+//! default-mode report is compared against the full search by verdict
+//! projection instead (states counts legitimately differ).
 
 use proptest::prelude::*;
 
 use secflow::analyze::{deadlock_analysis, deadlock_analysis_threads};
 use secflow::runtime::{explore_with, pexplore_with, ExploreLimits, ExploreReport};
-use secflow::workload::{dining_philosophers, generate, GenConfig};
+use secflow::workload::{dining_philosophers, generate, indep, GenConfig};
 
 /// Roomy enough that no generated program ever hits a limit.
+/// Persistent sets only — the mode both engines implement identically.
 const LIMITS: ExploreLimits = ExploreLimits {
     max_states: 500_000,
     max_depth: 20_000,
+    por: true,
+    sleep_sets: false,
 };
+
+/// The same limits with the reduction off: the ground-truth full search.
+const FULL: ExploreLimits = ExploreLimits {
+    por: false,
+    sleep_sets: false,
+    ..LIMITS
+};
+
+/// The same limits in the sequential default mode (sleep sets on).
+const SLEEPY: ExploreLimits = ExploreLimits {
+    sleep_sets: true,
+    ..LIMITS
+};
+
+/// Asserts the POR-mode-invariant projection of two reports is equal:
+/// everything except the visit statistics. `faults` is projected to
+/// reachability — the reduction executes each faulting action at least
+/// once but not once per interleaving, so the exact count is
+/// schedule-set dependent.
+fn assert_same_verdicts(a: &ExploreReport, b: &ExploreReport, ctx: &str) {
+    assert_eq!(a.outcomes, b.outcomes, "{ctx}: outcome sets differ");
+    assert_eq!(
+        a.deadlock_witnesses, b.deadlock_witnesses,
+        "{ctx}: witness sets differ"
+    );
+    assert_eq!(a.deadlocks, b.deadlocks, "{ctx}: deadlock counts differ");
+    assert_eq!(a.faults > 0, b.faults > 0, "{ctx}: fault verdicts differ");
+    assert_eq!(a.truncated, b.truncated, "{ctx}: truncation differs");
+}
 
 fn explore_both(
     program: &secflow::lang::Program,
@@ -34,7 +72,8 @@ fn explore_both(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// The full report is identical at every thread count.
+    /// The full report is identical at every thread count (matched
+    /// persistent-only mode).
     #[test]
     fn parallel_explore_matches_sequential(seed in 0u64..100_000) {
         let cfg = GenConfig { target_stmts: 30, ..GenConfig::default() };
@@ -43,6 +82,36 @@ proptest! {
             let (seq, par) = explore_both(&p, threads);
             prop_assert!(!seq.truncated, "limits bound on seed {seed}");
             prop_assert_eq!(&par, &seq, "threads = {}", threads);
+        }
+    }
+
+    /// The reduced searches (persistent sets alone, and with sleep sets
+    /// stacked on top) reach exactly the verdicts of the full search.
+    #[test]
+    fn por_preserves_verdicts_of_the_full_search(seed in 0u64..100_000) {
+        let cfg = GenConfig { target_stmts: 30, ..GenConfig::default() };
+        let p = generate(&cfg, seed);
+        let full = explore_with(&p, &[], FULL, &|| false);
+        // A handful of generated programs exceed the state cap without
+        // the reduction; the verdict comparison is only meaningful on
+        // complete searches, so skip those seeds.
+        if full.truncated {
+            return Ok(());
+        }
+        let persistent = explore_with(&p, &[], LIMITS, &|| false);
+        let sleepy = explore_with(&p, &[], SLEEPY, &|| false);
+        let parallel = pexplore_with(&p, &[], LIMITS, 2, &|| false);
+        for (name, reduced) in [
+            ("persistent", &persistent),
+            ("sleepy", &sleepy),
+            ("parallel", &parallel),
+        ] {
+            assert_same_verdicts(reduced, &full, &format!("seed {seed}, {name}"));
+            prop_assert!(
+                reduced.states <= full.states,
+                "{}: reduction expanded more states ({} > {})",
+                name, reduced.states, full.states
+            );
         }
     }
 
@@ -92,5 +161,57 @@ fn philosophers_report_is_thread_count_independent() {
     for threads in [2usize, 4, 8] {
         let par = pexplore_with(&p, &[], LIMITS, threads, &|| false);
         assert_eq!(par, seq, "threads = {threads}");
+    }
+}
+
+/// The acceptance pin: on ordered dining philosophers the reduction
+/// visits ≥ 10x fewer states than the full search with an identical
+/// verdict, and on deadlocking philosophers it preserves every deadlock
+/// witness.
+#[test]
+fn philosophers_por_reduces_10x_with_identical_verdicts() {
+    let p = dining_philosophers(4, 3, true);
+    let full = explore_with(&p, &[], FULL, &|| false);
+    let reduced = explore_with(&p, &[], SLEEPY, &|| false);
+    assert!(!full.truncated && !reduced.truncated);
+    assert_same_verdicts(&reduced, &full, "philosophers(4, 3, ordered)");
+    assert_eq!(full.deadlocks, 0, "ordered philosophers are deadlock-free");
+    assert!(
+        reduced.states * 10 <= full.states,
+        "POR must reduce ≥ 10x here: {} vs {}",
+        reduced.states,
+        full.states
+    );
+    assert!(reduced.states_pruned > 0);
+    assert_eq!(full.states_pruned, 0);
+
+    let risky = dining_philosophers(3, 1, false);
+    let full = explore_with(&risky, &[], FULL, &|| false);
+    let reduced = explore_with(&risky, &[], SLEEPY, &|| false);
+    assert!(full.deadlocks > 0);
+    assert_same_verdicts(&reduced, &full, "philosophers(3, 1, unordered)");
+}
+
+/// The `indep` family is the reduction's best case: one persistent
+/// singleton per state collapses the interleaving lattice to a line.
+#[test]
+fn indep_family_collapses_under_por_across_engines() {
+    let p = indep(4, 4);
+    let full = explore_with(&p, &[], FULL, &|| false);
+    let reduced = explore_with(&p, &[], SLEEPY, &|| false);
+    assert!(!full.truncated);
+    assert_same_verdicts(&reduced, &full, "indep(4, 4)");
+    assert_eq!(full.outcomes.len(), 1);
+    assert!(
+        reduced.states * 10 <= full.states,
+        "{} vs {}",
+        reduced.states,
+        full.states
+    );
+    for threads in [2usize, 4] {
+        let par = pexplore_with(&p, &[], LIMITS, threads, &|| false);
+        let seq = explore_with(&p, &[], LIMITS, &|| false);
+        assert_eq!(par, seq, "threads = {threads}");
+        assert!(par.states_pruned > 0);
     }
 }

@@ -12,6 +12,9 @@ use secflow::workload::dining_philosophers;
 
 /// A workload whose state space dwarfs any deadline used below, so the
 /// searches here always die by cancellation, never by exhaustion.
+/// Partial-order reduction is disabled for the same reason: these tests
+/// exercise the cancellation machinery, and the reduced search could
+/// finish inside the deadline.
 fn big_table() -> secflow::lang::Program {
     dining_philosophers(4, 4, true)
 }
@@ -27,7 +30,9 @@ fn aggressive_deadline_lands_within_twice_the_deadline() {
     let deadline_ms = 150u64;
     let token = CancelToken::after_ms(deadline_ms);
     let start = Instant::now();
-    let report = pexplore_with(&p, &[], ExploreLimits::default(), 8, &|| token.expired());
+    let report = pexplore_with(&p, &[], ExploreLimits::default().without_por(), 8, &|| {
+        token.expired()
+    });
     let elapsed = start.elapsed();
     assert!(report.cancelled, "the deadline should have fired");
     assert!(report.truncated);
@@ -49,7 +54,7 @@ fn no_worker_outlives_the_token_by_more_than_one_quantum() {
     let p = big_table();
     let polls = AtomicUsize::new(0);
     let stop = || polls.fetch_add(1, Relaxed) >= 8;
-    let report = pexplore_with(&p, &[], ExploreLimits::default(), 8, &stop);
+    let report = pexplore_with(&p, &[], ExploreLimits::default().without_por(), 8, &stop);
     assert!(report.cancelled);
     assert!(
         report.states <= 8 * CANCEL_POLL_STATES,
@@ -66,7 +71,9 @@ fn pre_cancelled_token_stops_the_search_immediately() {
     let p = big_table();
     let token = CancelToken::unbounded();
     token.cancel();
-    let report = pexplore_with(&p, &[], ExploreLimits::default(), 8, &|| token.expired());
+    let report = pexplore_with(&p, &[], ExploreLimits::default().without_por(), 8, &|| {
+        token.expired()
+    });
     assert!(report.cancelled);
     assert!(
         report.states <= 8 * CANCEL_POLL_STATES,
