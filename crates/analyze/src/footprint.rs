@@ -455,13 +455,16 @@ impl AnalysisPass for RacePass {
             }
         }
         if program.body.is_concurrent() {
-            let pct = (report.independent_pairs * 100)
-                .checked_div(report.parallel_pairs)
-                .unwrap_or(100);
+            // No percentage when there are no pairs to take a ratio of
+            // (0/0 is not "100% independent").
+            let pct = match report.parallel_pairs {
+                0 => String::new(),
+                n => format!(" ({}%)", report.independent_pairs * 100 / n),
+            };
             out.push(Diag::info(
                 "SF052",
                 format!(
-                    "footprint: {} parallel action pairs, {} independent ({pct}%), {} lock-protected, {} racy",
+                    "footprint: {} parallel action pairs, {} independent{pct}, {} lock-protected, {} racy",
                     report.parallel_pairs,
                     report.independent_pairs,
                     report.lock_protected,
@@ -553,6 +556,23 @@ mod tests {
         RacePass.run(&p, &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].code, "SF052");
+    }
+
+    #[test]
+    fn zero_parallel_pairs_reports_no_percentage() {
+        // Control-only branches have no action pairs; 0/0 must not read
+        // as "(100%)" independent.
+        let p = parse("var a : integer; cobegin skip || skip coend").unwrap();
+        let mut out = Vec::new();
+        RacePass.run(&p, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, "SF052");
+        assert!(
+            out[0].message.contains("0 parallel action pairs, 0 independent,"),
+            "{}",
+            out[0].message
+        );
+        assert!(!out[0].message.contains('%'), "{}", out[0].message);
     }
 
     #[test]

@@ -32,9 +32,12 @@ pub struct ExploreLimits {
     /// Partial-order reduction (persistent sets): at states where one
     /// enabled process is statically independent of everything the
     /// others can still do, expand only that process. Preserves every
-    /// sink state — all outcomes, deadlocks, and witnesses — while
-    /// visiting (often far) fewer states. On by default; `false` is the
-    /// exhaustive escape hatch.
+    /// sink state — all outcomes, deadlocks, and witnesses — and,
+    /// through the cycle proviso (no uncertified loop back edge is ever
+    /// the singleton; see `FootprintTable::persistent_singleton`),
+    /// fault *reachability* across live cycles, while visiting (often
+    /// far) fewer states. On by default; `false` is the exhaustive
+    /// escape hatch.
     pub por: bool,
     /// Sleep sets on top of persistent sets (sequential DFS only; the
     /// work-stealing explorer ignores this switch because sleep sets
@@ -435,6 +438,24 @@ mod tests {
         assert_eq!(verdict(&full), verdict(&both));
         assert!(both.states <= pers.states);
         assert!(pers.states <= full.states);
+    }
+
+    #[test]
+    fn por_cannot_starve_a_fault_behind_a_live_loop() {
+        // The ignoring-problem regression: without the cycle proviso
+        // the lower-id live loop is the singleton at every state of its
+        // cycle and the sibling's fault is never attempted (POR
+        // reported faults: 0 against the full search's 3).
+        let p = parse("var y, z : integer; cobegin while 1 = 1 do skip || y := z / 0 coend")
+            .unwrap();
+        let full = explore(&p, &[], lim().without_por());
+        assert!(full.faults > 0);
+        assert!(!full.truncated);
+        for (name, l) in [("default", lim()), ("persistent", lim().persistent_only())] {
+            let r = explore(&p, &[], l);
+            assert_eq!(verdict(&full), verdict(&r), "{name}");
+            assert!(r.faults > 0, "{name}: POR starved the fault");
+        }
     }
 
     #[test]

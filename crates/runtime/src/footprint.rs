@@ -31,9 +31,9 @@
 //! all terminal outcomes — which is exactly what the explorer's verdicts
 //! are built from (see DESIGN §12 for the soundness argument).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use secflow_lang::{Program, Stmt, VarId};
+use secflow_lang::{BinOp, Expr, Program, Stmt, VarId};
 
 use crate::machine::{Machine, ProcId};
 
@@ -195,11 +195,115 @@ fn key(stmt: &Stmt) -> usize {
     stmt as *const Stmt as usize
 }
 
+/// How a variable's value evolves over the whole program, for the
+/// monotone-counter loop certificate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mono {
+    /// Never assigned and never a semaphore operand.
+    Unused,
+    /// Every update is `v := v + c` / `v := v - c` with a constant
+    /// `c` of one fixed sign: the value only moves one way.
+    Step {
+        /// `true` = strictly increasing, `false` = strictly decreasing.
+        inc: bool,
+    },
+    /// Some update is not a fixed-sign constant step (arbitrary
+    /// assignment, or a `wait`/`signal`, which moves a semaphore both
+    /// ways).
+    Other,
+}
+
+/// Recognizes the constant-step update `v := v + c`, `v := c + v` or
+/// `v := v - c` (constant `c ≠ 0`) and returns the stepped variable and
+/// direction. Anything else — including `c = 0`, which makes no
+/// progress — is `None`.
+fn const_step(stmt: &Stmt) -> Option<(VarId, bool)> {
+    let Stmt::Assign { var, expr, .. } = stmt else {
+        return None;
+    };
+    let Expr::Binary { op, lhs, rhs, .. } = expr else {
+        return None;
+    };
+    let (read, c) = match (&**lhs, &**rhs) {
+        (Expr::Var(v, _), Expr::Const(c, _)) => (*v, *c),
+        (Expr::Const(c, _), Expr::Var(v, _)) if *op == BinOp::Add => (*v, *c),
+        _ => return None,
+    };
+    if read != *var || c == 0 {
+        return None;
+    }
+    match op {
+        BinOp::Add => Some((*var, c > 0)),
+        BinOp::Sub => Some((*var, c < 0)),
+        _ => None,
+    }
+}
+
+/// Folds one statement's effect on every variable's [`Mono`] state,
+/// recursing over the whole subtree.
+fn scan_mono(stmt: &Stmt, mono: &mut [Mono]) {
+    let mut touch = |v: VarId, dir: Option<bool>| {
+        let slot = &mut mono[v.index()];
+        *slot = match (*slot, dir) {
+            (Mono::Unused, Some(inc)) => Mono::Step { inc },
+            (Mono::Step { inc }, Some(d)) if inc == d => Mono::Step { inc },
+            _ => Mono::Other,
+        };
+    };
+    match stmt {
+        Stmt::Assign { var, .. } => touch(*var, const_step(stmt).map(|(_, inc)| inc)),
+        // `wait` decrements and `signal` increments: both directions.
+        Stmt::Wait { sem, .. } | Stmt::Signal { sem, .. } => touch(*sem, None),
+        Stmt::Skip(_) => {}
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            scan_mono(then_branch, mono);
+            if let Some(eb) = else_branch {
+                scan_mono(eb, mono);
+            }
+        }
+        Stmt::While { body, .. } => scan_mono(body, mono),
+        Stmt::Seq { stmts, .. } => {
+            for s in stmts {
+                scan_mono(s, mono);
+            }
+        }
+        Stmt::Cobegin { branches, .. } => {
+            for b in branches {
+                scan_mono(b, mono);
+            }
+        }
+    }
+}
+
+/// Calls `f` on every statement a loop body executes unconditionally on
+/// each complete iteration: the body itself and, through nested `Seq`,
+/// all their children — but nothing under an `if`, an inner `while`, or
+/// a `cobegin` branch.
+fn for_each_spine_stmt<'p>(stmt: &'p Stmt, f: &mut impl FnMut(&'p Stmt)) {
+    f(stmt);
+    if let Stmt::Seq { stmts, .. } = stmt {
+        for s in stmts {
+            for_each_spine_stmt(s, f);
+        }
+    }
+}
+
 /// Precomputed action and region footprints for every statement of one
 /// program, plus the derived independence tests the explorers consume.
 pub struct FootprintTable {
     actions: HashMap<usize, Footprint>,
     regions: HashMap<usize, Footprint>,
+    /// `while` statements certified as *monotone-progress loops*: every
+    /// complete body iteration takes a constant step on a variable that
+    /// moves in that one direction everywhere in the program, so the
+    /// store can never return across the loop's back edge and the back
+    /// edge can never lie on a state-graph cycle. Only these loops'
+    /// guard re-tests may be persistent singletons (the cycle proviso).
+    progress_loops: HashSet<usize>,
 }
 
 impl FootprintTable {
@@ -209,9 +313,59 @@ impl FootprintTable {
         let mut table = FootprintTable {
             actions: HashMap::with_capacity(count),
             regions: HashMap::with_capacity(count),
+            progress_loops: HashSet::new(),
         };
         table.build(&program.body);
+        let mut mono = vec![Mono::Unused; program.symbols.len()];
+        scan_mono(&program.body, &mut mono);
+        table.certify_loops(&program.body, &mono);
         table
+    }
+
+    /// Marks every `while` whose body spine takes a constant step on a
+    /// program-wide monotone variable (see [`FootprintTable::progress_loops`]).
+    fn certify_loops(&mut self, stmt: &Stmt, mono: &[Mono]) {
+        match stmt {
+            Stmt::While { body, .. } => {
+                let mut certified = false;
+                for_each_spine_stmt(body, &mut |s| {
+                    if let Some((v, inc)) = const_step(s) {
+                        certified |= mono[v.index()] == (Mono::Step { inc });
+                    }
+                });
+                if certified {
+                    self.progress_loops.insert(key(stmt));
+                }
+                self.certify_loops(body, mono);
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                self.certify_loops(then_branch, mono);
+                if let Some(eb) = else_branch {
+                    self.certify_loops(eb, mono);
+                }
+            }
+            Stmt::Seq { stmts, .. } => {
+                for s in stmts {
+                    self.certify_loops(s, mono);
+                }
+            }
+            Stmt::Cobegin { branches, .. } => {
+                for b in branches {
+                    self.certify_loops(b, mono);
+                }
+            }
+            Stmt::Skip(_) | Stmt::Assign { .. } | Stmt::Wait { .. } | Stmt::Signal { .. } => {}
+        }
+    }
+
+    /// `true` iff `stmt` is a `while` certified as a monotone-progress
+    /// loop (its back edge can never close a state-graph cycle).
+    pub fn is_progress_loop(&self, stmt: &Stmt) -> bool {
+        self.progress_loops.contains(&key(stmt))
     }
 
     fn build(&mut self, stmt: &Stmt) -> Footprint {
@@ -291,9 +445,28 @@ impl FootprintTable {
     /// Picks the lowest-id enabled process forming a singleton
     /// persistent set at `m`'s state, if any: its next action must be
     /// independent of the *entire remaining region* of every other live
-    /// process. Returns `None` when fewer than two processes are
-    /// enabled (nothing to prune) or no process qualifies (the caller
-    /// then expands the full enabled set).
+    /// process, and must not be a loop-guard re-test (the cycle
+    /// proviso, below). Returns `None` when fewer than two processes
+    /// are enabled (nothing to prune) or no process qualifies (the
+    /// caller then expands the full enabled set).
+    ///
+    /// **Cycle proviso.** Persistent sets alone suffer the classical
+    /// *ignoring problem*: around a state-graph cycle the reducer can
+    /// pick the same starvation-free singleton forever (`while 1 = 1 do
+    /// skip` beside a faulting sibling), so a transition enabled at
+    /// every state of the cycle is never explored. The fix must be a
+    /// pure function of the state — both engines share it, and the
+    /// work-stealing explorer cannot consult a DFS stack or a racy
+    /// visited set without losing its deterministic merge — so the
+    /// proviso is static, in the spirit of SPIN's safe-transition rule:
+    /// a process whose next step is a loop-guard re-test
+    /// ([`Machine::at_loop_head`], the machine's only back edge) is
+    /// never the singleton — unless the loop carries a monotone-progress
+    /// certificate ([`FootprintTable::is_progress_loop`]) proving its
+    /// back edge can never lie on a state-graph cycle in the first
+    /// place. Every cycle of the reduced graph then contains a fully
+    /// expanded state, so nothing is ignored forever (DESIGN §12 has
+    /// the full argument).
     ///
     /// Completion and spawn steps are fine candidates even though they
     /// *enable* other processes (waking a parent, spawning children):
@@ -311,6 +484,13 @@ impl FootprintTable {
                 Some(s) => s,
                 None => continue,
             };
+            if m.at_loop_head(pid) && !self.progress_loops.contains(&key(stmt)) {
+                // Cycle proviso: an uncertified back-edge step never
+                // forms the singleton. First entry into a loop, and
+                // re-tests of certified monotone-progress loops, stay
+                // eligible.
+                continue;
+            }
             let action = self.action(stmt);
             for q in 0..m.proc_count() {
                 let q = ProcId(q);
@@ -418,6 +598,83 @@ mod tests {
         m.step(crate::ProcId(2)).unwrap();
         let enabled = m.enabled();
         assert_eq!(t.persistent_singleton(&m, &enabled), None);
+    }
+
+    #[test]
+    fn monotone_counter_loops_are_certified() {
+        let p = parse(
+            "var n, r : integer;
+             while r < 3 do begin n := n + 1; r := r + 1 end",
+        )
+        .unwrap();
+        assert!(FootprintTable::new(&p).is_progress_loop(&p.body));
+        // Countdown direction too (the generator's bounded-loop shape).
+        let q = parse("var v : integer; while v > 0 do v := v - 1").unwrap();
+        assert!(FootprintTable::new(&q).is_progress_loop(&q.body));
+    }
+
+    #[test]
+    fn live_and_nonmonotone_loops_are_not_certified() {
+        // No progress at all: a state-preserving cycle.
+        let live = parse("var x : integer; while 1 = 1 do skip").unwrap();
+        assert!(!FootprintTable::new(&live).is_progress_loop(&live.body));
+        // The counter is assigned non-monotonically elsewhere.
+        let reset = parse(
+            "var r : integer;
+             cobegin while r < 3 do r := r + 1 || r := 0 coend",
+        )
+        .unwrap();
+        let t = FootprintTable::new(&reset);
+        let Stmt::Cobegin { branches, .. } = &reset.body else {
+            panic!("expected cobegin");
+        };
+        assert!(!t.is_progress_loop(&branches[0]));
+        // The increment is conditional — not on every iteration.
+        let cond = parse("var r, g : integer; while r < 3 do if g = 1 then r := r + 1").unwrap();
+        assert!(!FootprintTable::new(&cond).is_progress_loop(&cond.body));
+        // Zero step makes no progress.
+        let zero = parse("var r : integer; while r < 3 do r := r + 0").unwrap();
+        assert!(!FootprintTable::new(&zero).is_progress_loop(&zero.body));
+    }
+
+    #[test]
+    fn uncertified_loop_head_never_forms_the_singleton() {
+        // Cycle proviso: at the loop's back edge the looping process
+        // must not be the singleton, or the sibling is starved forever.
+        let p = parse(
+            "var y, z : integer;
+             cobegin while 1 = 1 do skip || y := z + 1 coend",
+        )
+        .unwrap();
+        let t = FootprintTable::new(&p);
+        let mut m = crate::Machine::new(&p);
+        m.step(crate::ProcId(0)).unwrap(); // spawn
+        m.step(crate::ProcId(1)).unwrap(); // guard: enter the loop
+        m.step(crate::ProcId(1)).unwrap(); // skip: back at the loop head
+        assert!(m.at_loop_head(crate::ProcId(1)));
+        let enabled = m.enabled();
+        assert_eq!(enabled.len(), 2);
+        // Both are footprint-independent of everything, but only the
+        // non-looping process may be picked.
+        assert_eq!(t.persistent_singleton(&m, &enabled), Some(crate::ProcId(2)));
+    }
+
+    #[test]
+    fn certified_loop_head_may_form_the_singleton() {
+        let p = parse(
+            "var r, b : integer;
+             cobegin while r < 2 do r := r + 1 || begin b := 1; b := 2 end coend",
+        )
+        .unwrap();
+        let t = FootprintTable::new(&p);
+        let mut m = crate::Machine::new(&p);
+        m.step(crate::ProcId(0)).unwrap(); // spawn
+        m.step(crate::ProcId(1)).unwrap(); // guard: enter the loop
+        m.step(crate::ProcId(1)).unwrap(); // r := r + 1
+        assert!(m.at_loop_head(crate::ProcId(1)));
+        let enabled = m.enabled();
+        assert_eq!(enabled.len(), 2);
+        assert_eq!(t.persistent_singleton(&m, &enabled), Some(crate::ProcId(1)));
     }
 
     #[test]

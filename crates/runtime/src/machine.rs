@@ -275,6 +275,17 @@ impl<'p> Machine<'p> {
         self.procs[pid.0].frames.len()
     }
 
+    /// `true` iff `pid`'s next step is a loop-guard *re-test*
+    /// ([`Frame::LoopHead`]). Re-testing a guard is the machine's only
+    /// back edge — every other step executes a not-yet-executed node of
+    /// the program tree — so any cycle in the state graph contains at
+    /// least one such step by every process that moves along it. The
+    /// partial-order reducer uses this as its cycle proviso (DESIGN
+    /// §12).
+    pub fn at_loop_head(&self, pid: ProcId) -> bool {
+        matches!(self.procs[pid.0].frames.last(), Some(Frame::LoopHead(_)))
+    }
+
     /// The statements of every continuation frame of `pid`, innermost
     /// (next to execute) first. Their subtrees jointly over-approximate
     /// everything the process can still do.

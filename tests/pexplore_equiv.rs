@@ -192,6 +192,32 @@ fn philosophers_por_reduces_10x_with_identical_verdicts() {
     assert_same_verdicts(&reduced, &full, "philosophers(3, 1, unordered)");
 }
 
+/// The ignoring-problem regression (cycle proviso): a state-preserving
+/// live loop beside a faulting sibling. Without the proviso the
+/// reducer picks the lower-id loop as its singleton at every state of
+/// the cycle, so the sibling's fault is never attempted — POR reported
+/// `faults: 0` against the full search's 3. Every reduced mode and
+/// every thread count must agree with the full search's fault verdict.
+#[test]
+fn live_loop_cannot_starve_a_sibling_fault() {
+    let p = secflow::lang::parse(
+        "var y, z : integer; cobegin while 1 = 1 do skip || y := z / 0 coend",
+    )
+    .unwrap();
+    let full = explore_with(&p, &[], FULL, &|| false);
+    assert!(full.faults > 0, "the fault is reachable in the full graph");
+    assert!(!full.truncated);
+    let persistent = explore_with(&p, &[], LIMITS, &|| false);
+    let sleepy = explore_with(&p, &[], SLEEPY, &|| false);
+    assert_same_verdicts(&persistent, &full, "persistent");
+    assert_same_verdicts(&sleepy, &full, "sleepy");
+    for threads in [1usize, 2, 4] {
+        let par = pexplore_with(&p, &[], LIMITS, threads, &|| false);
+        assert_same_verdicts(&par, &full, &format!("parallel x{threads}"));
+        assert_eq!(par, persistent, "engines diverged at {threads} threads");
+    }
+}
+
 /// The `indep` family is the reduction's best case: one persistent
 /// singleton per state collapses the interleaving lattice to a line.
 #[test]
