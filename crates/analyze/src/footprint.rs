@@ -568,7 +568,9 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].code, "SF052");
         assert!(
-            out[0].message.contains("0 parallel action pairs, 0 independent,"),
+            out[0]
+                .message
+                .contains("0 parallel action pairs, 0 independent,"),
             "{}",
             out[0].message
         );

@@ -59,7 +59,9 @@ USAGE:
                   [--max-fuel N] [--default-timeout-ms N] [--max-line-bytes N]
                   [--max-threads N] [--chaos SPEC] [--cache-dir DIR]
                   [--journal-max-bytes N] [--fsync always|interval|never]
-                  (no --addr: serve stdin/stdout)
+                  [--front-end poll|threaded] [--pipeline-window N]
+                  [--write-high-water BYTES] [--idle-timeout-ms N]
+                  [--stall-timeout-ms N] (no --addr: serve stdin/stdout)
   secflow cache-inspect <dir> [--json]
   secflow batch   <dir> [--class name=CLASS]... [--default CLASS]
                   [--lattice two|linear:N] [--workers N]
@@ -80,8 +82,11 @@ EXIT CODES:
 request/response format. `lint` runs the secflow-analyze passes and
 prints unified SF-code diagnostics (one JSON object per line with
 --json). `serve --chaos` takes a deterministic fault-plan spec such as
-`seed=7,panic=5,io=20,latency=50,latency_ms=2,short=10,drop_connects=3,max_faults=40`
+`seed=7,panic=5,io=20,latency=50,latency_ms=2,short=10,stall=5,drop_connects=3,max_faults=40`
 (per-mille rates; also read from the SECFLOW_CHAOS env var).
+TCP serving defaults to the readiness-driven poll front-end (pipelined
+requests, bounded in-flight window, stall/idle timeouts, slow-reader
+disconnects); `--front-end threaded` restores thread-per-connection.
 `serve --cache-dir DIR` journals every cached result to DIR and
 recovers it on restart (crash-safe; see DESIGN.md §10). The directory
 must already exist and be writable. `cache-inspect` scans a store
@@ -1018,6 +1023,29 @@ fn server_config(opts: &Opts) -> Result<secflow_server::ServerConfig, String> {
     }
     if let Some(v) = opts.value("max-threads") {
         cfg.limits.max_threads = v.parse().map_err(|_| "bad --max-threads")?;
+    }
+    if let Some(v) = opts.value("front-end") {
+        cfg.front_end = match v {
+            "poll" => secflow_server::FrontEnd::Poll,
+            "threaded" => secflow_server::FrontEnd::Threaded,
+            _ => return Err("bad --front-end (poll | threaded)".to_string()),
+        };
+    }
+    if let Some(v) = opts.value("pipeline-window") {
+        let window: usize = v.parse().map_err(|_| "bad --pipeline-window")?;
+        if window == 0 {
+            return Err("bad --pipeline-window (must be >= 1)".to_string());
+        }
+        cfg.pipeline_window = window;
+    }
+    if let Some(v) = opts.value("write-high-water") {
+        cfg.write_high_water = v.parse().map_err(|_| "bad --write-high-water")?;
+    }
+    if let Some(v) = opts.value("idle-timeout-ms") {
+        cfg.idle_timeout_ms = v.parse().map_err(|_| "bad --idle-timeout-ms")?;
+    }
+    if let Some(v) = opts.value("stall-timeout-ms") {
+        cfg.stall_timeout_ms = v.parse().map_err(|_| "bad --stall-timeout-ms")?;
     }
     // --chaos takes a fault-plan spec; SECFLOW_CHAOS is the env fallback
     // so CI can inject faults without changing invocations.

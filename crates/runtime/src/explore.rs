@@ -446,8 +446,8 @@ mod tests {
         // the lower-id live loop is the singleton at every state of its
         // cycle and the sibling's fault is never attempted (POR
         // reported faults: 0 against the full search's 3).
-        let p = parse("var y, z : integer; cobegin while 1 = 1 do skip || y := z / 0 coend")
-            .unwrap();
+        let p =
+            parse("var y, z : integer; cobegin while 1 = 1 do skip || y := z / 0 coend").unwrap();
         let full = explore(&p, &[], lim().without_por());
         assert!(full.faults > 0);
         assert!(!full.truncated);

@@ -219,6 +219,152 @@ impl RemoteClient {
     }
 }
 
+/// An opt-in pipelined client: one connection per round, up to
+/// `window` requests in flight at once, replies correlated by `id`
+/// (the request's index) and returned in request order. Used by the
+/// chaos soak to stress the poll loop's out-of-order reply path.
+///
+/// Retry semantics, per round: transient failures — connect errors,
+/// a connection closed mid-pipeline (which is how a stall or
+/// write-high-water-mark disconnect looks from the last unanswered
+/// request's point of view), and retryable server errors (`overloaded`,
+/// `timeout`, `internal`, including the structured "slow reader
+/// disconnected" overload) — leave their slots unanswered, and the next
+/// round resends exactly those on a fresh connection after a jittered
+/// backoff. Permanent server errors are final answers: their reply
+/// lines are returned in place, mirroring batch semantics.
+pub struct PipelinedClient {
+    addr: String,
+    policy: RetryPolicy,
+    window: usize,
+    /// Connection rounds made across all calls (for tests/telemetry).
+    attempts: u64,
+}
+
+impl PipelinedClient {
+    /// A client for the server at `addr` keeping up to `window`
+    /// requests in flight on one connection.
+    pub fn new(addr: &str, window: usize, policy: RetryPolicy) -> PipelinedClient {
+        PipelinedClient {
+            addr: addr.to_string(),
+            policy,
+            window: window.max(1),
+            attempts: 0,
+        }
+    }
+
+    /// Connection rounds made across all calls so far.
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Sends every request down one pipelined connection and returns
+    /// their reply lines in request order, retrying transiently-failed
+    /// slots on fresh connections within the policy's budget.
+    pub fn call_all(&mut self, reqs: &[Request]) -> Result<Vec<String>, ClientError> {
+        let mut results: Vec<Option<String>> = vec![None; reqs.len()];
+        let mut backoff = Backoff::new(self.policy.base, self.policy.cap, self.policy.seed);
+        let budget = self.policy.budget.max(1);
+        let mut last = String::new();
+        for attempt in 0..budget {
+            if attempt > 0 {
+                std::thread::sleep(backoff.next_delay());
+            }
+            self.attempts += 1;
+            if let Err(why) = self.round(reqs, &mut results) {
+                last = why;
+            }
+            if results.iter().all(Option::is_some) {
+                return Ok(results.into_iter().map(Option::unwrap).collect());
+            }
+            if last.is_empty() {
+                let open = results.iter().filter(|r| r.is_none()).count();
+                last = format!("{open} request(s) answered with retryable errors");
+            }
+        }
+        Err(ClientError::BudgetExhausted {
+            attempts: budget,
+            last,
+        })
+    }
+
+    /// One pipelined round over a fresh connection: sends every
+    /// unanswered request (keeping at most `window` in flight), reads
+    /// id-tagged replies in whatever order they arrive, and records the
+    /// final ones. IO failures abort the round; unanswered slots are
+    /// the next round's work either way.
+    fn round(&self, reqs: &[Request], results: &mut [Option<String>]) -> Result<(), String> {
+        let pending: Vec<usize> = (0..reqs.len()).filter(|&i| results[i].is_none()).collect();
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let stream = TcpStream::connect(&self.addr).map_err(|e| format!("connect: {e}"))?;
+        stream
+            .set_read_timeout(self.policy.io_timeout)
+            .map_err(|e| format!("set timeout: {e}"))?;
+        stream
+            .set_write_timeout(self.policy.io_timeout)
+            .map_err(|e| format!("set timeout: {e}"))?;
+        let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+        let mut reader = BufReader::new(stream);
+        let mut next = 0; // cursor into `pending` not yet sent
+        let mut answered = 0; // pending slots that got a reply this round
+        let mut outstanding = 0;
+        while answered < pending.len() {
+            while next < pending.len() && outstanding < self.window {
+                let i = pending[next];
+                let mut req = reqs[i].clone();
+                req.id = Some(Json::Num(i as f64));
+                let line = req.to_line();
+                writer
+                    .write_all(line.as_bytes())
+                    .and_then(|_| writer.write_all(b"\n"))
+                    .and_then(|_| writer.flush())
+                    .map_err(|e| format!("send: {e}"))?;
+                next += 1;
+                outstanding += 1;
+            }
+            let mut line = String::new();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| format!("receive: {e}"))?;
+            if n == 0 || !line.ends_with('\n') {
+                return Err("connection closed mid-pipeline".to_string());
+            }
+            let line = line.trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            // Replies without a usable id (e.g. a stray protocol error)
+            // cannot be attributed to a slot; drop them, the slot's
+            // retry will re-ask.
+            let Some(i) = reply_index(&line, results.len()) else {
+                continue;
+            };
+            if results[i].is_some() {
+                continue;
+            }
+            answered += 1;
+            outstanding = outstanding.saturating_sub(1);
+            match classify(&line) {
+                Verdict::Done => results[i] = Some(line),
+                // Permanent server errors are final answers.
+                Verdict::Permanent { .. } => results[i] = Some(line),
+                // Retryable: leave the slot open for the next round.
+                Verdict::Transient(_) => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The request index a reply line answers, when it carries one.
+fn reply_index(line: &str, len: usize) -> Option<usize> {
+    let v = Json::parse(line).ok()?;
+    let i = v.get("id").and_then(Json::as_u64)? as usize;
+    (i < len).then_some(i)
+}
+
 enum Verdict {
     Done,
     Transient(String),
@@ -306,6 +452,39 @@ mod tests {
             classify(r#"{"ok":false,"error":{"kind":"martian","message":"?"}}"#),
             Verdict::Permanent { .. }
         ));
+    }
+
+    /// The poll loop's graceful-degradation errors are retryable: the
+    /// structured high-water-mark disconnect is an `overloaded` reply,
+    /// and a stall/idle close arrives as a bare connection close, which
+    /// the attempt layer already reports as a transient string.
+    #[test]
+    fn overload_and_stall_disconnects_classify_as_retryable() {
+        let hwm = r#"{"ok":false,"error":{"kind":"overloaded","message":"write buffer high-water mark exceeded; slow reader disconnected"}}"#;
+        assert!(matches!(classify(hwm), Verdict::Transient(_)));
+        let queue_full = r#"{"id":3,"ok":false,"op":"certify","error":{"kind":"overloaded","message":"queue full; retry later"}}"#;
+        assert!(matches!(classify(queue_full), Verdict::Transient(_)));
+    }
+
+    #[test]
+    fn pipelined_client_exhausts_budget_against_a_dead_server() {
+        let mut client = PipelinedClient::new(
+            "127.0.0.1:1",
+            8,
+            RetryPolicy {
+                budget: 2,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+                io_timeout: Some(Duration::from_millis(100)),
+                seed: 9,
+            },
+        );
+        let reqs = vec![Request::new(crate::protocol::Op::Stats, ""); 3];
+        match client.call_all(&reqs) {
+            Err(ClientError::BudgetExhausted { attempts, .. }) => assert_eq!(attempts, 2),
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+        assert_eq!(client.attempts(), 2);
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub enum FaultKind {
     ShortIo,
     /// Drop an accepted connection before reading anything.
     DropConnect,
+    /// Stall a connection's reads for one poll tick (slowloris-style).
+    Stall,
     /// Tear a journal append in half (crash mid-`write(2)`).
     TornWrite,
     /// Skip an fsync the configured durability mode required.
@@ -75,6 +77,14 @@ pub trait Faults: Send + Sync + 'static {
     fn short_fsync(&self) -> bool {
         false
     }
+
+    /// Pretend this connection produced no bytes this poll tick, as a
+    /// stalled (slowloris-style) sender would? (Consulted only by the
+    /// readiness-driven front-end; defaulted quiet for the same
+    /// compatibility reason as [`Faults::torn_write`].)
+    fn stall_read(&self) -> bool {
+        false
+    }
 }
 
 impl<F: Faults> Faults for std::sync::Arc<F> {
@@ -108,6 +118,10 @@ impl<F: Faults> Faults for std::sync::Arc<F> {
 
     fn short_fsync(&self) -> bool {
         (**self).short_fsync()
+    }
+
+    fn stall_read(&self) -> bool {
+        (**self).stall_read()
     }
 }
 
@@ -155,6 +169,11 @@ impl Faults for NoFaults {
     fn short_fsync(&self) -> bool {
         false
     }
+
+    #[inline(always)]
+    fn stall_read(&self) -> bool {
+        false
+    }
 }
 
 /// Per-mille injection rates and limits for a seeded chaos run.
@@ -178,6 +197,9 @@ pub struct FaultPlan {
     pub panic_per_mille: u32,
     /// Per-mille probability of truncating an IO op to 1 byte.
     pub short_io_per_mille: u32,
+    /// Per-mille probability of a connection stalling (delivering
+    /// nothing) for one poll tick.
+    pub stall_per_mille: u32,
     /// Per-mille probability of tearing a journal append in half.
     pub torn_write_per_mille: u32,
     /// Per-mille probability of skipping a required fsync.
@@ -202,6 +224,7 @@ impl FaultPlan {
             latency_ms: 1,
             panic_per_mille: 0,
             short_io_per_mille: 0,
+            stall_per_mille: 0,
             torn_write_per_mille: 0,
             short_fsync_per_mille: 0,
             drop_connects: 0,
@@ -231,6 +254,7 @@ impl FaultPlan {
                 "latency_ms" => plan.latency_ms = parsed,
                 "panic" => plan.panic_per_mille = parsed.min(1000) as u32,
                 "short" => plan.short_io_per_mille = parsed.min(1000) as u32,
+                "stall" => plan.stall_per_mille = parsed.min(1000) as u32,
                 "torn" => plan.torn_write_per_mille = parsed.min(1000) as u32,
                 "short_fsync" => plan.short_fsync_per_mille = parsed.min(1000) as u32,
                 "drop_connects" => plan.drop_connects = parsed,
@@ -292,6 +316,10 @@ impl Faults for FaultPlan {
 
     fn short_io(&self) -> bool {
         self.roll(self.short_io_per_mille)
+    }
+
+    fn stall_read(&self) -> bool {
+        self.roll(self.stall_per_mille)
     }
 
     fn torn_write(&self) -> bool {
@@ -406,7 +434,7 @@ mod tests {
     #[test]
     fn parse_round_trip_and_rejection() {
         let plan = FaultPlan::parse(
-            "seed=9,io=20,latency=50,latency_ms=2,panic=5,short=10,torn=7,short_fsync=3,max_faults=40",
+            "seed=9,io=20,latency=50,latency_ms=2,panic=5,short=10,stall=4,torn=7,short_fsync=3,max_faults=40",
         )
         .unwrap();
         assert_eq!(plan.seed(), 9);
@@ -415,6 +443,7 @@ mod tests {
         assert_eq!(plan.latency_ms, 2);
         assert_eq!(plan.panic_per_mille, 5);
         assert_eq!(plan.short_io_per_mille, 10);
+        assert_eq!(plan.stall_per_mille, 4);
         assert_eq!(plan.torn_write_per_mille, 7);
         assert_eq!(plan.short_fsync_per_mille, 3);
         assert_eq!(plan.max_faults, 40);

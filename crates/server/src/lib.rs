@@ -9,6 +9,10 @@
 //! - [`protocol`]: a hand-rolled JSON-lines request/response format
 //!   (`certify`, `infer`, `flows`, `stats`, `shutdown`), served over
 //!   stdin/stdout ([`serve_stdio`]) or TCP ([`serve_tcp`]);
+//! - [`conn`] / [`poller`]: the readiness-driven TCP front-end — a
+//!   resumable line decoder and per-connection state machine, driven by
+//!   a single nonblocking poll loop with pipelining, bounded in-flight
+//!   windows, stall/idle timeouts, and slow-reader disconnects;
 //! - [`pool`]: a supervised, bounded worker pool (`std::thread` +
 //!   `mpsc`) with fail-fast backpressure, per-job panic isolation,
 //!   automatic respawn of dead workers, a deadline watchdog, and
@@ -61,10 +65,12 @@
 pub mod batch;
 pub mod cache;
 pub mod client;
+pub mod conn;
 pub mod deadline;
 pub mod fault;
 pub mod metrics;
 pub mod persist;
+pub mod poller;
 pub mod pool;
 pub mod protocol;
 pub mod serve;
@@ -78,7 +84,8 @@ pub use secflow_cert::json;
 
 pub use batch::{render_summary, run_batch, run_batch_remote, BatchSummary, FileOutcome};
 pub use cache::{fnv1a, CacheKey, CachedResult, ResultCache};
-pub use client::{Backoff, ClientError, RemoteClient, RetryPolicy};
+pub use client::{Backoff, ClientError, PipelinedClient, RemoteClient, RetryPolicy};
+pub use conn::{Conn, ConnToken, Decoded, LineDecoder};
 pub use deadline::{deadline_after_ms, CancelToken};
 pub use fault::{ChaosStream, FaultKind, FaultPlan, Faults, NoFaults};
 pub use json::{Json, JsonError};
@@ -86,7 +93,7 @@ pub use metrics::{Metrics, LATENCY_BUCKETS_US};
 pub use persist::{DurableStore, FsyncMode, PersistConfig, PersistStats, RecoveredEntry};
 pub use pool::{Pool, PoolHealth, SubmitError};
 pub use protocol::{ErrorKind, Op, Request, Response};
-pub use serve::{serve_stdio, serve_tcp, ServerConfig, TcpServer};
+pub use serve::{serve_stdio, serve_tcp, FrontEnd, ServerConfig, TcpServer};
 pub use service::{Limits, Service};
 pub use snapshot::{
     carries_certificate, inspect_store, publish_snapshot, render_report, StoreReport,

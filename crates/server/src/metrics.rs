@@ -68,6 +68,22 @@ pub struct Metrics {
     pub explore_pruned: AtomicU64,
     /// Wall time spent inside (non-cached) `explore` requests, in µs.
     pub explore_us: AtomicU64,
+    /// TCP connections currently open on the poll-loop front-end.
+    pub conn_open: AtomicU64,
+    /// TCP connections ever accepted by the poll-loop front-end.
+    pub conn_accepted_total: AtomicU64,
+    /// Connections disconnected for exceeding the write-buffer
+    /// high-water mark (unbounded-slow readers).
+    pub conn_rejected_overloaded: AtomicU64,
+    /// Connections closed by the stall (mid-line slowloris) or idle
+    /// timeout.
+    pub conn_stalled_closed: AtomicU64,
+    /// Deepest per-connection pipeline observed (requests in flight on
+    /// one connection at once).
+    pub pipelined_depth_max: AtomicU64,
+    /// Requests that attached to another request's in-flight
+    /// computation instead of recomputing (single-flight coalescing).
+    pub coalesced_hits: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
     latency_total_us: AtomicU64,
     latency_count: AtomicU64,
@@ -176,6 +192,23 @@ impl Metrics {
                 "explore_states_per_sec".to_string(),
                 Json::Num(explore_rate),
             ),
+            (
+                "conn".to_string(),
+                Json::Obj(vec![
+                    ("open".to_string(), n(&self.conn_open)),
+                    ("accepted_total".to_string(), n(&self.conn_accepted_total)),
+                    (
+                        "rejected_overloaded".to_string(),
+                        n(&self.conn_rejected_overloaded),
+                    ),
+                    ("stalled_closed".to_string(), n(&self.conn_stalled_closed)),
+                    (
+                        "pipelined_depth_max".to_string(),
+                        n(&self.pipelined_depth_max),
+                    ),
+                    ("coalesced_hits".to_string(), n(&self.coalesced_hits)),
+                ]),
+            ),
             ("latency_mean_us".to_string(), Json::Num(mean_us)),
             ("latency_histogram".to_string(), Json::Arr(histogram)),
         ]
@@ -212,5 +245,61 @@ mod tests {
             })
             .unwrap();
         assert!(mean > 0.0);
+    }
+
+    /// Pins the stats schema: every key a pre-PR-8 client may depend on
+    /// is still present with its original spelling, and the new `conn`
+    /// object is purely additive.
+    #[test]
+    fn stats_schema_stays_backward_compatible() {
+        let m = Metrics::new();
+        let fields = m.snapshot_fields();
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        for legacy in [
+            "requests",
+            "certify",
+            "infer",
+            "flows",
+            "lint",
+            "explore",
+            "checkproof",
+            "cert",
+            "cache_hits",
+            "cache_misses",
+            "errors",
+            "overloaded",
+            "panics",
+            "timeouts",
+            "pass_panics",
+            "threads_clamped",
+            "explore_states",
+            "explore_states_pruned",
+            "explore_reduction_ratio",
+            "explore_states_per_sec",
+            "latency_mean_us",
+            "latency_histogram",
+        ] {
+            assert!(keys.contains(&legacy), "missing legacy stats key {legacy}");
+        }
+        let conn = fields
+            .iter()
+            .find(|(k, _)| k == "conn")
+            .map(|(_, v)| v)
+            .expect("stats carries a conn object");
+        let Json::Obj(conn_fields) = conn else {
+            panic!("conn must be an object");
+        };
+        let conn_keys: Vec<&str> = conn_fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            conn_keys,
+            vec![
+                "open",
+                "accepted_total",
+                "rejected_overloaded",
+                "stalled_closed",
+                "pipelined_depth_max",
+                "coalesced_hits",
+            ]
+        );
     }
 }

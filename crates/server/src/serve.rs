@@ -1,7 +1,9 @@
-//! The two front-ends: a stdin/stdout pipe server and a TCP server.
+//! The server front-ends: a stdin/stdout pipe server and a TCP server
+//! (readiness-driven poll loop by default — see [`crate::poller`] — or
+//! the legacy thread-per-connection mode via [`FrontEnd::Threaded`]).
 //!
-//! Both speak the JSON-lines protocol and share one [`Service`] and one
-//! [`Pool`]:
+//! All of them speak the JSON-lines protocol and share one [`Service`]
+//! and one [`Pool`]:
 //!
 //! - `certify`/`infer`/`flows`/`lint`/`explore` are queued to the pool;
 //!   when the queue is full the request is refused immediately with an
@@ -40,6 +42,7 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
 
+use crate::conn::{Decoded, LineDecoder};
 use crate::fault::{ChaosStream, FaultPlan, Faults, NoFaults};
 use crate::json::Json;
 use crate::metrics::Metrics;
@@ -47,6 +50,22 @@ use crate::persist::{DurableStore, PersistConfig};
 use crate::pool::{Pool, PoolHealth, SubmitError};
 use crate::protocol::{ErrorKind, Op, Request, Response};
 use crate::service::{Limits, Service};
+
+/// Which TCP connection front-end serves the sockets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrontEnd {
+    /// The readiness-driven poll loop (the default): every socket is
+    /// nonblocking, one loop owns accept/read/write over a slab of
+    /// connection state machines, and concurrency is bounded by work,
+    /// not threads. Supports pipelining, per-connection backpressure,
+    /// stall/idle timeouts, and slow-reader disconnects.
+    Poll,
+    /// The legacy thread-per-connection front-end with blocking reads.
+    /// Kept for differential benchmarking (`BENCH_serve.json`) and as a
+    /// fallback; it enforces none of the poll loop's stall or
+    /// write-buffer limits.
+    Threaded,
+}
 
 /// Tunables for a server instance.
 #[derive(Clone, Debug)]
@@ -68,6 +87,20 @@ pub struct ServerConfig {
     /// Durable cache store configuration (`--cache-dir`); `None` (the
     /// default) serves memory-only.
     pub persist: Option<PersistConfig>,
+    /// Which TCP front-end to run ([`FrontEnd::Poll`] by default).
+    pub front_end: FrontEnd,
+    /// Most requests one connection may have in flight before the poll
+    /// loop pauses reading it (backpressure, never dropped requests).
+    pub pipeline_window: usize,
+    /// Bytes of unwritten replies one connection may buffer before it
+    /// is disconnected with a structured `overloaded` error.
+    pub write_high_water: usize,
+    /// Milliseconds a connection may sit with no request in flight and
+    /// no partial line before the poll loop closes it (0 disables).
+    pub idle_timeout_ms: u64,
+    /// Milliseconds a connection may stall mid-line before the poll
+    /// loop closes it — the slowloris defense (0 disables).
+    pub stall_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +113,11 @@ impl Default for ServerConfig {
             max_line_bytes: 1 << 20,
             chaos: None,
             persist: None,
+            front_end: FrontEnd::Poll,
+            pipeline_window: 64,
+            write_high_water: 1 << 20,
+            idle_timeout_ms: 120_000,
+            stall_timeout_ms: 30_000,
         }
     }
 }
@@ -102,29 +140,45 @@ fn build_service<F: Faults + Clone>(cfg: &ServerConfig, faults: &F) -> io::Resul
 /// How often blocked connection reads wake up to check for shutdown.
 const READ_POLL: Duration = Duration::from_millis(100);
 
+/// Where a dispatched request's reply line goes. The thread-per-conn
+/// and stdio front-ends sink into a plain channel drained by a writer
+/// thread; the poll loop sinks into a channel tagged with the owning
+/// connection's token. Either way the sink is infallible from the job's
+/// point of view — a vanished reader just drops the line.
+pub(crate) trait ReplySink: Clone + Send + 'static {
+    /// Delivers one complete response line (no trailing newline).
+    fn send_line(&self, line: String);
+}
+
+impl ReplySink for mpsc::Sender<String> {
+    fn send_line(&self, line: String) {
+        let _ = self.send(line);
+    }
+}
+
 /// Guarantees a pooled job sends exactly one response. Jobs reply
 /// through [`ReplyGuard::send`]; if the job panics first, `Drop` runs
 /// during unwind and sends a structured `internal` error instead.
-struct ReplyGuard {
-    reply: mpsc::Sender<String>,
+struct ReplyGuard<R: ReplySink> {
+    reply: R,
     service: Arc<Service>,
     id: Option<Json>,
     sent: bool,
 }
 
-impl ReplyGuard {
+impl<R: ReplySink> ReplyGuard<R> {
     fn send(&mut self, line: String) {
         self.sent = true;
-        let _ = self.reply.send(line);
+        self.reply.send_line(line);
     }
 }
 
-impl Drop for ReplyGuard {
+impl<R: ReplySink> Drop for ReplyGuard<R> {
     fn drop(&mut self) {
         if !self.sent {
             Metrics::bump(&self.service.metrics.panics);
             Metrics::bump(&self.service.metrics.errors);
-            let _ = self.reply.send(
+            self.reply.send_line(
                 Response::error(
                     self.id.as_ref(),
                     ErrorKind::Internal,
@@ -159,32 +213,48 @@ fn with_pool_health(line: String, h: PoolHealth) -> String {
     Json::Obj(fields).to_string()
 }
 
-/// Dispatches one parsed line. Returns `true` if it was a shutdown
-/// request (the caller stops reading).
-fn dispatch<F: Faults>(
+/// How `dispatch` handled one request line.
+pub(crate) enum Dispatched {
+    /// The line was a `shutdown` request; the caller stops intake,
+    /// acknowledges, and drains. Nothing was sent to the sink.
+    Shutdown,
+    /// The reply was produced on the calling thread (stats, protocol
+    /// errors, overload refusals) and already sent to the sink.
+    Inline,
+    /// The request was queued to the pool; exactly one reply line will
+    /// reach the sink later (the [`ReplyGuard`] guarantees it even
+    /// through a worker panic).
+    Queued,
+}
+
+/// Dispatches one request line. Every outcome except
+/// [`Dispatched::Shutdown`] produces exactly one line in `reply` —
+/// immediately for inline answers, eventually for queued jobs — which
+/// is what lets the poll loop balance its in-flight accounting.
+pub(crate) fn dispatch<R: ReplySink, F: Faults>(
     line: &str,
     service: &Arc<Service>,
     pool: &Pool,
-    reply: &mpsc::Sender<String>,
+    reply: &R,
     faults: &F,
-) -> bool {
+) -> Dispatched {
     service.note_request();
     let req = match Request::parse(line) {
         Ok(req) => req,
         Err((id, message)) => {
             Metrics::bump(&service.metrics.errors);
-            let _ =
-                reply.send(Response::error(id.as_ref(), ErrorKind::Protocol, &message).into_line());
-            return false;
+            reply
+                .send_line(Response::error(id.as_ref(), ErrorKind::Protocol, &message).into_line());
+            return Dispatched::Inline;
         }
     };
     match req.op {
-        Op::Shutdown => true,
+        Op::Shutdown => Dispatched::Shutdown,
         // Stats answer inline so the service is observable while the
         // queue is saturated; pool health rides along.
         Op::Stats => {
-            let _ = reply.send(with_pool_health(service.execute(&req), pool.health()));
-            false
+            reply.send_line(with_pool_health(service.execute(&req), pool.health()));
+            Dispatched::Inline
         }
         _ => {
             let id = req.id.clone();
@@ -216,10 +286,10 @@ fn dispatch<F: Faults>(
                 },
                 deadline,
             ) {
-                Ok(()) => {}
+                Ok(()) => Dispatched::Queued,
                 Err(SubmitError::Full) => {
                     Metrics::bump(&service.metrics.overloaded);
-                    let _ = reply.send(
+                    reply.send_line(
                         Response::error(
                             id.as_ref(),
                             ErrorKind::Overloaded,
@@ -227,15 +297,16 @@ fn dispatch<F: Faults>(
                         )
                         .into_line(),
                     );
+                    Dispatched::Inline
                 }
                 Err(SubmitError::Closed) => {
-                    let _ = reply.send(
+                    reply.send_line(
                         Response::error(id.as_ref(), ErrorKind::Internal, "shutting down")
                             .into_line(),
                     );
+                    Dispatched::Inline
                 }
             }
-            false
         }
     }
 }
@@ -257,6 +328,10 @@ enum LineRead {
 /// discarded up to and including its newline and reported as
 /// [`LineRead::TooLong`], so the connection stays in sync at a bounded
 /// memory cost. `WouldBlock`/`TimedOut` reads poll `shutdown`.
+///
+/// This is the blocking driver over the resumable [`LineDecoder`] — the
+/// poll loop drives the same decoder directly from nonblocking reads,
+/// so both front-ends share one set of cap/resync semantics.
 fn read_bounded_line<R: BufRead>(
     reader: &mut R,
     line: &mut Vec<u8>,
@@ -264,7 +339,7 @@ fn read_bounded_line<R: BufRead>(
     shutdown: &AtomicBool,
 ) -> io::Result<LineRead> {
     line.clear();
-    let mut discarding = false;
+    let mut decoder = LineDecoder::new(max);
     loop {
         if shutdown.load(Ordering::Acquire) {
             return Ok(LineRead::Shutdown);
@@ -283,40 +358,26 @@ fn read_bounded_line<R: BufRead>(
         if buf.is_empty() {
             return Ok(LineRead::Eof);
         }
-        match buf.iter().position(|&b| b == b'\n') {
-            Some(i) => {
-                let consumed = i + 1;
-                if discarding || line.len() + i > max {
-                    reader.consume(consumed);
-                    line.clear();
-                    return Ok(LineRead::TooLong);
-                }
-                line.extend_from_slice(&buf[..i]);
-                reader.consume(consumed);
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
+        // Feed at most one line's worth so bytes after the newline stay
+        // in the BufRead for the next call.
+        let upto = buf
+            .iter()
+            .position(|&b| b == b'\n')
+            .map_or(buf.len(), |i| i + 1);
+        decoder.feed(&buf[..upto]);
+        reader.consume(upto);
+        match decoder.next_event() {
+            Some(Decoded::Line(bytes)) => {
+                *line = bytes;
                 return Ok(LineRead::Line);
             }
-            None => {
-                let n = buf.len();
-                if !discarding {
-                    if line.len() + n > max {
-                        // Over the cap with no newline yet: stop
-                        // buffering, start discarding.
-                        discarding = true;
-                        line.clear();
-                    } else {
-                        line.extend_from_slice(buf);
-                    }
-                }
-                reader.consume(n);
-            }
+            Some(Decoded::TooLong) => return Ok(LineRead::TooLong),
+            None => {}
         }
     }
 }
 
-fn oversized_line_error(max: usize) -> String {
+pub(crate) fn oversized_line_error(max: usize) -> String {
     Response::error(
         None,
         ErrorKind::Protocol,
@@ -367,7 +428,8 @@ fn serve_stdio_with<F: Faults + Clone>(cfg: ServerConfig, faults: F) -> io::Resu
                 if trimmed.is_empty() {
                     continue;
                 }
-                if dispatch(trimmed, &service, &pool, &reply_tx, &faults) {
+                if let Dispatched::Shutdown = dispatch(trimmed, &service, &pool, &reply_tx, &faults)
+                {
                     got_shutdown = true;
                     shutdown_id = Request::parse(trimmed).ok().and_then(|r| r.id);
                     break;
@@ -428,6 +490,16 @@ fn serve_tcp_with<F: Faults + Clone>(
     // Open the store (recovery included) before spawning, so a bad
     // cache dir fails the bind call instead of a detached thread.
     let service = Arc::new(build_service(&cfg, &faults)?);
+    if cfg.front_end == FrontEnd::Poll {
+        let handle = thread::Builder::new()
+            .name("secflow-poll".to_string())
+            .spawn(move || crate::poller::run(listener, cfg, service, faults))
+            .expect("spawn poll thread");
+        return Ok(TcpServer {
+            addr: local,
+            handle,
+        });
+    }
     let shutdown = Arc::new(AtomicBool::new(false));
     let handle = thread::Builder::new()
         .name("secflow-accept".to_string())
@@ -509,7 +581,12 @@ fn handle_conn<F: Faults + Clone>(
             Ok(LineRead::Line) => {
                 let text = String::from_utf8_lossy(&line);
                 let trimmed = text.trim();
-                if !trimmed.is_empty() && dispatch(trimmed, service, pool, &reply_tx, faults) {
+                if !trimmed.is_empty()
+                    && matches!(
+                        dispatch(trimmed, service, pool, &reply_tx, faults),
+                        Dispatched::Shutdown
+                    )
+                {
                     // Shutdown: stop the accept loop, acknowledge, and
                     // poke the (blocking) listener awake.
                     let id = Request::parse(trimmed).ok().and_then(|r| r.id);

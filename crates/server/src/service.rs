@@ -5,10 +5,11 @@
 //! connection; all interior state is synchronized (the cache behind a
 //! `Mutex`, metrics lock-free).
 
+use std::collections::HashMap;
 use std::fmt::Display;
 use std::sync::atomic::Ordering::Relaxed;
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use secflow_analyze::AnalysisReport;
 use secflow_cert::{emit_certificate, show_linear_class, show_two_class, validate_certificate};
@@ -98,6 +99,110 @@ pub struct Service {
     /// Crash-safe journal/snapshot of the cache, when serving with
     /// `--cache-dir` (None = memory-only, the default).
     persist: Option<Mutex<DurableStore>>,
+    /// Single-flight table: cache fingerprint (canonical key text) →
+    /// the one in-progress computation for it. Concurrent identical
+    /// requests attach here as waiters instead of recomputing, so a
+    /// stampede of N identical `certify` requests costs one
+    /// exploration. See [`Flight`] for the lock-order rules.
+    inflight: Mutex<HashMap<String, Arc<Flight>>>,
+}
+
+/// One in-progress computation that concurrent identical requests wait
+/// on. The leader publishes `Some(result)` on success, or `None` when
+/// it has nothing shareable (its deadline expired — timeouts depend on
+/// the deadline, not the key — or it panicked); waiters seeing `None`
+/// retry, and one of them becomes the next leader.
+///
+/// Lock order: `Service::inflight` and `Flight::slot` are leaf locks —
+/// neither is ever held while computing, or while taking the cache or
+/// persist locks — so they extend the existing one-directional
+/// persist → cache order without cycles.
+struct Flight {
+    slot: Mutex<Option<Option<CachedResult>>>,
+    cv: Condvar,
+}
+
+/// What a waiter got out of [`Flight::wait`].
+enum FlightWait {
+    /// The leader published a shareable result.
+    Published(CachedResult),
+    /// The leader finished without a shareable result; retry (the next
+    /// attempt will find the cache filled or become the leader).
+    Retry,
+    /// The waiter's own deadline expired first.
+    Expired,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the leader publishes or `token` expires. Polls the
+    /// token at a coarse interval: cancellation is cooperative
+    /// everywhere else in the service too.
+    fn wait(&self, token: &CancelToken) -> FlightWait {
+        let Ok(mut slot) = self.slot.lock() else {
+            return FlightWait::Retry;
+        };
+        loop {
+            match slot.take() {
+                Some(published) => {
+                    // Put it back for the other waiters.
+                    *slot = Some(published.clone());
+                    self.cv.notify_all();
+                    return match published {
+                        Some(result) => FlightWait::Published(result),
+                        None => FlightWait::Retry,
+                    };
+                }
+                None => {
+                    if token.expired() {
+                        return FlightWait::Expired;
+                    }
+                    match self.cv.wait_timeout(slot, Duration::from_millis(20)) {
+                        Ok((guard, _)) => slot = guard,
+                        Err(_) => return FlightWait::Retry,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Removes the leader's entry from the in-flight table and publishes
+/// its outcome on drop — which runs during unwind too, so a panicking
+/// leader releases its waiters (as `Retry`) instead of stranding them.
+struct FlightGuard<'a> {
+    service: &'a Service,
+    canon: String,
+    flight: Arc<Flight>,
+    result: Option<CachedResult>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut inflight) = self.service.inflight.lock() {
+            inflight.remove(&self.canon);
+        }
+        if let Ok(mut slot) = self.flight.slot.lock() {
+            *slot = Some(self.result.take());
+        }
+        self.flight.cv.notify_all();
+    }
+}
+
+/// Who a request is in its single-flight group.
+enum FlightRole<'a> {
+    /// First in: computes, then publishes through the guard. `None`
+    /// when coalescing is unavailable (poisoned table lock) — compute
+    /// solo, exactly as before this mechanism existed.
+    Leader(Option<FlightGuard<'a>>),
+    /// Another identical request is already computing; wait on it.
+    Waiter(Arc<Flight>),
 }
 
 /// Either response fields to report, or a categorized failure.
@@ -111,6 +216,7 @@ impl Service {
             metrics: Metrics::new(),
             limits,
             persist: None,
+            inflight: Mutex::new(HashMap::new()),
         }
     }
 
@@ -130,6 +236,7 @@ impl Service {
             metrics: Metrics::new(),
             limits,
             persist: Some(Mutex::new(store)),
+            inflight: Mutex::new(HashMap::new()),
         }
     }
 
@@ -241,20 +348,62 @@ impl Service {
         // is excluded for the same reason — the parallel search merges
         // commutatively, so the answer is thread-count-independent.
         let key = cache_key(req, effective_fuel);
-        if let Ok(mut cache) = self.cache.lock() {
-            if let Some(hit) = cache.get(&key) {
-                Metrics::bump(&self.metrics.cache_hits);
-                if req.op == Op::Checkproof {
-                    // The key is dominated by the certificate text, so
-                    // this is a hit by content digest.
-                    Metrics::bump(&self.metrics.checkproof_cache_hits);
+        let mut guard = loop {
+            if let Ok(mut cache) = self.cache.lock() {
+                if let Some(hit) = cache.get(&key) {
+                    Metrics::bump(&self.metrics.cache_hits);
+                    if req.op == Op::Checkproof {
+                        // The key is dominated by the certificate text,
+                        // so this is a hit by content digest.
+                        Metrics::bump(&self.metrics.checkproof_cache_hits);
+                    }
+                    if !hit.ok {
+                        Metrics::bump(&self.metrics.errors);
+                    }
+                    return finish_line(req, &hit, true, start, &extra);
                 }
-                if !hit.ok {
-                    Metrics::bump(&self.metrics.errors);
-                }
-                return finish_line(req, &hit, true, start, &extra);
             }
-        }
+            // Single flight: if an identical computation is already in
+            // progress, wait for its result instead of recomputing.
+            match self.join_flight(&key) {
+                FlightRole::Leader(guard) => break guard,
+                FlightRole::Waiter(flight) => match flight.wait(token) {
+                    FlightWait::Published(result) => {
+                        Metrics::bump(&self.metrics.coalesced_hits);
+                        if req.op == Op::Checkproof {
+                            Metrics::bump(&self.metrics.checkproof_cache_hits);
+                        }
+                        if !result.ok {
+                            Metrics::bump(&self.metrics.errors);
+                        }
+                        // Reported as `cached`: from this request's
+                        // point of view the answer came from shared
+                        // state, not its own computation.
+                        return finish_line(req, &result, true, start, &extra);
+                    }
+                    // The leader had nothing shareable (timeout or
+                    // panic): go around again — the cache may have been
+                    // filled meanwhile, or this request leads.
+                    FlightWait::Retry => continue,
+                    FlightWait::Expired => {
+                        Metrics::bump(&self.metrics.errors);
+                        Metrics::bump(&self.metrics.timeouts);
+                        let (kind, message) = self.timeout_error(req);
+                        let result = CachedResult {
+                            ok: false,
+                            fields: vec![(
+                                "error".to_string(),
+                                Json::Obj(vec![
+                                    ("kind".to_string(), Json::Str(kind.name().to_string())),
+                                    ("message".to_string(), Json::Str(message)),
+                                ]),
+                            )],
+                        };
+                        return finish_line(req, &result, false, start, &extra);
+                    }
+                },
+            }
+        };
         Metrics::bump(&self.metrics.cache_misses);
 
         let outcome = self.compute(req, effective_fuel, threads, token);
@@ -307,14 +456,41 @@ impl Service {
         };
         // Parse/binding/fuel outcomes are deterministic in the key, so
         // both successes and failures are cacheable. Timeouts are NOT:
-        // they depend on the deadline, not the key.
+        // they depend on the deadline, not the key — and for the same
+        // reason a timeout is never published to the flight's waiters,
+        // whose own deadlines may still have room.
         if !timed_out {
             if let Ok(mut cache) = self.cache.lock() {
                 cache.put(&key, result.clone());
             }
             self.journal(&key, &result);
+            if let Some(guard) = guard.as_mut() {
+                guard.result = Some(result.clone());
+            }
         }
+        drop(guard);
         finish_line(req, &result, false, start, &extra)
+    }
+
+    /// Joins the single-flight group for `key`: the first request in
+    /// becomes the leader (and gets the publish-on-drop guard), every
+    /// later identical request becomes a waiter on the same flight. A
+    /// poisoned table lock degrades to solo computation.
+    fn join_flight(&self, key: &CacheKey) -> FlightRole<'_> {
+        let Ok(mut inflight) = self.inflight.lock() else {
+            return FlightRole::Leader(None);
+        };
+        if let Some(flight) = inflight.get(&key.canon) {
+            return FlightRole::Waiter(Arc::clone(flight));
+        }
+        let flight = Arc::new(Flight::new());
+        inflight.insert(key.canon.clone(), Arc::clone(&flight));
+        FlightRole::Leader(Some(FlightGuard {
+            service: self,
+            canon: key.canon.clone(),
+            flight,
+            result: None,
+        }))
     }
 
     /// Appends a freshly cached result to the durable journal, then
@@ -1362,5 +1538,273 @@ mod tests {
         let v2 = Json::parse(&s.handle_line(&check)).unwrap();
         assert_eq!(v2.get("valid").and_then(Json::as_bool), Some(true));
         assert_eq!(v2.get("lattice").and_then(Json::as_str), Some("linear:4"));
+    }
+
+    // ---- single-flight coalescing -------------------------------------
+
+    /// Drops the timing-dependent fields (`us`, and `cached`, which
+    /// says *where* the answer came from, not *what* it is) so replies
+    /// can be compared byte-for-byte.
+    fn strip_timing(line: &str) -> String {
+        let Ok(Json::Obj(fields)) = Json::parse(line) else {
+            panic!("reply is not a JSON object: {line}");
+        };
+        Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "us" && k != "cached")
+                .collect(),
+        )
+        .to_string()
+    }
+
+    /// An interleaving-heavy program: three independent processes, so a
+    /// full (`por:false`) search is exponential while the program stays
+    /// tiny — a computation reliably long enough that a stampede
+    /// arriving after the leader has registered its flight attaches to
+    /// it rather than finding the cache already filled.
+    fn heavy_explore_line(max_states: u64) -> String {
+        let proc_body = |var: &str| {
+            let steps: Vec<String> = (1..=6).map(|i| format!("{var} := {i}")).collect();
+            format!("begin {} end", steps.join("; "))
+        };
+        let source = format!(
+            "var a, b, c : integer; cobegin {} || {} || {} coend",
+            proc_body("a"),
+            proc_body("b"),
+            proc_body("c")
+        );
+        format!(
+            r#"{{"op":"explore","source":{},"max_states":{max_states},"por":false,"timeout_ms":0}}"#,
+            Json::Str(source)
+        )
+    }
+
+    /// Spawns a leader for `req`, waits (deterministically, by watching
+    /// the in-flight table) until it is computing, then looses `k - 1`
+    /// identical requests at it. Returns every reply line.
+    fn stampede(s: &Arc<Service>, req: &str, k: usize) -> Vec<String> {
+        let leader = {
+            let s = Arc::clone(s);
+            let req = req.to_string();
+            std::thread::spawn(move || s.handle_line(&req))
+        };
+        while s.inflight.lock().unwrap().is_empty() {
+            assert!(
+                !leader.is_finished(),
+                "leader finished before registering a flight"
+            );
+            std::thread::yield_now();
+        }
+        let waiters: Vec<_> = (1..k)
+            .map(|_| {
+                let s = Arc::clone(s);
+                let req = req.to_string();
+                std::thread::spawn(move || s.handle_line(&req))
+            })
+            .collect();
+        let mut lines = vec![leader.join().unwrap()];
+        for w in waiters {
+            lines.push(w.join().unwrap());
+        }
+        lines
+    }
+
+    #[test]
+    fn stampede_of_identical_explores_coalesces_to_one_computation() {
+        const K: usize = 6;
+        let s = Arc::new(svc());
+        let req = heavy_explore_line(60_000);
+        let lines = stampede(&s, &req, K);
+
+        // Exactly one exploration ran; everyone else attached to it.
+        assert_eq!(s.metrics.cache_misses.load(Relaxed), 1);
+        assert_eq!(s.metrics.coalesced_hits.load(Relaxed), (K - 1) as u64);
+        assert_eq!(s.metrics.cache_hits.load(Relaxed), 0);
+        // Op counters count requests (pinned elsewhere), so all K show.
+        assert_eq!(s.metrics.explore.load(Relaxed), K as u64);
+        let first = Json::parse(&lines[0]).unwrap();
+        assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true));
+        let states = first.get("states").and_then(Json::as_u64).unwrap();
+        assert_eq!(
+            s.metrics.explore_states.load(Relaxed),
+            states,
+            "the states metric carries one exploration's worth, not K's"
+        );
+
+        // Byte-identical replies modulo timing fields, and exactly one
+        // of them (the leader's) was computed rather than shared.
+        let stripped: Vec<String> = lines.iter().map(|l| strip_timing(l)).collect();
+        assert!(stripped.iter().all(|l| l == &stripped[0]));
+        let computed = lines
+            .iter()
+            .filter(|l| {
+                Json::parse(l)
+                    .unwrap()
+                    .get("cached")
+                    .and_then(Json::as_bool)
+                    == Some(false)
+            })
+            .count();
+        assert_eq!(computed, 1);
+    }
+
+    #[test]
+    fn coalesced_with_proof_serves_one_proof_to_every_waiter() {
+        const K: usize = 4;
+        let s = Arc::new(svc());
+        // A clean program large enough that proving it takes real time.
+        let steps: Vec<String> = (0..4000).map(|i| format!("x := {i}")).collect();
+        let source = format!("var x : integer; begin {} end", steps.join("; "));
+        let req = format!(
+            r#"{{"op":"certify","source":{},"with_proof":true,"timeout_ms":0}}"#,
+            Json::Str(source)
+        );
+        let lines = stampede(&s, &req, K);
+
+        // One proof was emitted, every reply carries it byte-identically.
+        assert_eq!(s.metrics.proofs_emitted.load(Relaxed), 1);
+        assert_eq!(s.metrics.cache_misses.load(Relaxed), 1);
+        assert!(s.metrics.coalesced_hits.load(Relaxed) >= 1);
+        assert_eq!(
+            s.metrics.coalesced_hits.load(Relaxed) + s.metrics.cache_hits.load(Relaxed),
+            (K - 1) as u64
+        );
+        let certs: Vec<String> = lines
+            .iter()
+            .map(|l| {
+                let v = Json::parse(l).unwrap();
+                assert_eq!(v.get("certified").and_then(Json::as_bool), Some(true));
+                v.get("certificate")
+                    .and_then(Json::as_str)
+                    .expect("every coalesced reply carries the certificate")
+                    .to_string()
+            })
+            .collect();
+        assert!(certs.iter().all(|c| c == &certs[0]));
+    }
+
+    /// The failure-result path: a published error is shared with every
+    /// waiter, counted as an error for each, and never poisons anyone
+    /// with a hang. Driven through a hand-planted flight so the test is
+    /// deterministic — the "leader" here is the test itself.
+    #[test]
+    fn waiters_share_a_published_failure_result() {
+        const K: usize = 4;
+        let s = Arc::new(svc());
+        let bad = line("var x integer; x := ", r#"{}"#);
+        let req = Request::parse(&bad).unwrap();
+        let fuel = req.fuel.unwrap_or(u64::MAX).min(s.limits.max_fuel);
+        let key = cache_key(&req, fuel);
+        let flight = Arc::new(Flight::new());
+        s.inflight
+            .lock()
+            .unwrap()
+            .insert(key.canon.clone(), Arc::clone(&flight));
+
+        let waiters: Vec<_> = (0..K)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let bad = bad.clone();
+                std::thread::spawn(move || s.handle_line(&bad))
+            })
+            .collect();
+        // Each waiter holds one clone of the flight while attached.
+        while Arc::strong_count(&flight) < K + 2 {
+            std::thread::yield_now();
+        }
+        // Publish a failure the way a leader's guard would.
+        s.inflight.lock().unwrap().remove(&key.canon);
+        let failure = CachedResult {
+            ok: false,
+            fields: vec![(
+                "error".to_string(),
+                Json::Obj(vec![
+                    ("kind".to_string(), Json::Str("parse".to_string())),
+                    ("message".to_string(), Json::Str("boom".to_string())),
+                ]),
+            )],
+        };
+        *flight.slot.lock().unwrap() = Some(Some(failure));
+        flight.cv.notify_all();
+
+        let lines: Vec<String> = waiters.into_iter().map(|w| w.join().unwrap()).collect();
+        assert_eq!(s.metrics.coalesced_hits.load(Relaxed), K as u64);
+        assert_eq!(s.metrics.errors.load(Relaxed), K as u64);
+        let stripped: Vec<String> = lines.iter().map(|l| strip_timing(l)).collect();
+        assert!(stripped.iter().all(|l| l == &stripped[0]));
+        let v = Json::parse(&lines[0]).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("parse")
+        );
+    }
+
+    /// A leader that vanishes without a shareable result (publishing
+    /// `None`, as a panicking or timed-out leader's guard does) releases
+    /// its waiters to recompute instead of stranding them.
+    #[test]
+    fn an_abandoned_flight_releases_waiters_to_recompute() {
+        let s = Arc::new(svc());
+        let bad = line("var x integer; x := ", r#"{}"#);
+        let req = Request::parse(&bad).unwrap();
+        let fuel = req.fuel.unwrap_or(u64::MAX).min(s.limits.max_fuel);
+        let key = cache_key(&req, fuel);
+        let flight = Arc::new(Flight::new());
+        s.inflight
+            .lock()
+            .unwrap()
+            .insert(key.canon.clone(), Arc::clone(&flight));
+
+        let waiter = {
+            let s = Arc::clone(&s);
+            let bad = bad.clone();
+            std::thread::spawn(move || s.handle_line(&bad))
+        };
+        while Arc::strong_count(&flight) < 3 {
+            std::thread::yield_now();
+        }
+        s.inflight.lock().unwrap().remove(&key.canon);
+        *flight.slot.lock().unwrap() = Some(None);
+        flight.cv.notify_all();
+
+        // The waiter retried, became the leader, and computed for real.
+        let v = Json::parse(&waiter.join().unwrap()).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("cached").and_then(Json::as_bool), Some(false));
+        assert_eq!(s.metrics.cache_misses.load(Relaxed), 1);
+        assert_eq!(s.metrics.coalesced_hits.load(Relaxed), 0);
+    }
+
+    /// A waiter whose own deadline expires while attached gets a
+    /// structured timeout promptly — it never inherits the leader's
+    /// (possibly longer) deadline, and never hangs.
+    #[test]
+    fn an_expired_waiter_gets_a_structured_timeout() {
+        let s = svc();
+        let req = Request::parse(&line(LEAKY, r#"{"x":"high"}"#)).unwrap();
+        let fuel = req.fuel.unwrap_or(u64::MAX).min(s.limits.max_fuel);
+        let key = cache_key(&req, fuel);
+        // A flight that will never publish, as from a wedged leader.
+        s.inflight
+            .lock()
+            .unwrap()
+            .insert(key.canon.clone(), Arc::new(Flight::new()));
+        let token = CancelToken::unbounded();
+        token.cancel();
+        s.note_request();
+        let v = Json::parse(&s.execute_with_cancel(&req, &token)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("timeout")
+        );
+        assert_eq!(s.metrics.timeouts.load(Relaxed), 1);
+        assert_eq!(s.metrics.coalesced_hits.load(Relaxed), 0);
     }
 }

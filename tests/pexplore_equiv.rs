@@ -200,10 +200,9 @@ fn philosophers_por_reduces_10x_with_identical_verdicts() {
 /// every thread count must agree with the full search's fault verdict.
 #[test]
 fn live_loop_cannot_starve_a_sibling_fault() {
-    let p = secflow::lang::parse(
-        "var y, z : integer; cobegin while 1 = 1 do skip || y := z / 0 coend",
-    )
-    .unwrap();
+    let p =
+        secflow::lang::parse("var y, z : integer; cobegin while 1 = 1 do skip || y := z / 0 coend")
+            .unwrap();
     let full = explore_with(&p, &[], FULL, &|| false);
     assert!(full.faults > 0, "the fault is reachable in the full graph");
     assert!(!full.truncated);
