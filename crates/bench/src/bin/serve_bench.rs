@@ -1,6 +1,8 @@
 //! `serve_bench` — E16: request latency through the two TCP front-ends
 //! (readiness-driven poll loop vs legacy thread-per-connection) at
-//! several concurrency levels, recorded as `BENCH_serve.json`.
+//! several concurrency levels, plus the sharded-cluster path (client →
+//! router → 3-node ring, one forward hop per uncached request),
+//! recorded as `BENCH_serve.json`.
 //!
 //! ```bash
 //! cargo run --release -p secflow-bench --bin serve_bench [-- --quick]
@@ -20,7 +22,9 @@ use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use secflow_lang::print_program;
-use secflow_server::{serve_tcp, FrontEnd, Op, Request, ServerConfig};
+use secflow_server::{
+    bind_ephemeral, serve_listener, serve_tcp, ClusterConfig, FrontEnd, Op, Request, ServerConfig,
+};
 use secflow_workload::sequential_chain;
 
 const CLIENTS: [usize; 3] = [1, 8, 64];
@@ -62,6 +66,21 @@ fn main() {
         rows.push((name, points));
     }
 
+    // The cluster column: same lockstep clients, but every request
+    // crosses the router and (when uncached) one forward hop to its
+    // ring owner — the price of sharding, next to the direct rows.
+    let mut points = Vec::new();
+    for &clients in &CLIENTS {
+        let point = run_level_router(clients, per_client, &sources);
+        println!(
+            "{:9} clients={clients:<3} {:>6} reqs  p50={:>5}us  p99={:>6}us  {:>8.0} req/s",
+            "router", point.requests, point.p50_us, point.p99_us, point.reqs_per_sec
+        );
+        points.push(point);
+    }
+    println!();
+    rows.push(("router", points));
+
     let json = render_json(cores, quick, per_client, &rows);
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json");
@@ -80,10 +99,65 @@ fn run_level(front_end: FrontEnd, clients: usize, per_client: usize, sources: &[
     let server = serve_tcp("127.0.0.1:0", cfg).expect("bind");
     let addr = server.local_addr().to_string();
 
+    let point = drive(&addr, clients, per_client, sources);
+
+    shutdown(&addr);
+    server.join().expect("server thread");
+    point
+}
+
+/// The cluster cell: 3 sharded nodes plus a router, all in-process,
+/// clients talking only to the router.
+fn run_level_router(clients: usize, per_client: usize, sources: &[String]) -> Point {
+    let listeners: Vec<_> = (0..3)
+        .map(|_| bind_ephemeral().expect("bind node"))
+        .collect();
+    let addrs: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect();
+    let node_cfg = || ServerConfig {
+        workers: 4,
+        queue_capacity: 512,
+        cache_capacity: 4096,
+        ..ServerConfig::default()
+    };
+    let mut servers = Vec::new();
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let mut cluster = ClusterConfig::new(&addrs);
+        cluster.self_addr = Some(addrs[i].clone());
+        let cfg = ServerConfig {
+            cluster: Some(cluster),
+            ..node_cfg()
+        };
+        servers.push(serve_listener(listener, cfg).expect("serve node"));
+    }
+    let listener = bind_ephemeral().expect("bind router");
+    let router_addr = listener.local_addr().unwrap().to_string();
+    let cfg = ServerConfig {
+        cluster: Some(ClusterConfig::new(&addrs)),
+        ..node_cfg()
+    };
+    let router = serve_listener(listener, cfg).expect("serve router");
+
+    let point = drive(&router_addr, clients, per_client, sources);
+
+    shutdown(&router_addr);
+    router.join().expect("router thread");
+    for (addr, server) in addrs.iter().zip(servers) {
+        shutdown(addr);
+        server.join().expect("node thread");
+    }
+    point
+}
+
+/// `clients` lockstep connections against `addr`, every per-request
+/// latency pooled for the percentiles.
+fn drive(addr: &str, clients: usize, per_client: usize, sources: &[String]) -> Point {
     let started = Instant::now();
     let mut handles = Vec::new();
     for c in 0..clients {
-        let addr = addr.clone();
+        let addr = addr.to_string();
         let lines: Vec<String> = (0..per_client)
             .map(|r| {
                 let req = Request::new(Op::Certify, sources[(c + r) % sources.len()].clone());
@@ -115,13 +189,6 @@ fn run_level(front_end: FrontEnd, clients: usize, per_client: usize, sources: &[
         .collect();
     let wall = started.elapsed().as_secs_f64();
 
-    let mut ctl = TcpStream::connect(&addr).expect("ctl connect");
-    writeln!(ctl, r#"{{"op":"shutdown"}}"#).expect("shutdown");
-    let mut ack = String::new();
-    BufReader::new(&ctl).read_line(&mut ack).expect("ack");
-    drop(ctl);
-    server.join().expect("server thread");
-
     latencies.sort_unstable();
     let requests = latencies.len();
     Point {
@@ -131,6 +198,13 @@ fn run_level(front_end: FrontEnd, clients: usize, per_client: usize, sources: &[
         p99_us: percentile(&latencies, 99),
         reqs_per_sec: requests as f64 / wall,
     }
+}
+
+fn shutdown(addr: &str) {
+    let mut ctl = TcpStream::connect(addr).expect("ctl connect");
+    writeln!(ctl, r#"{{"op":"shutdown"}}"#).expect("shutdown");
+    let mut ack = String::new();
+    BufReader::new(&ctl).read_line(&mut ack).expect("ack");
 }
 
 /// Nearest-rank percentile of an already-sorted sample.

@@ -62,6 +62,11 @@ USAGE:
                   [--front-end poll|threaded] [--pipeline-window N]
                   [--write-high-water BYTES] [--idle-timeout-ms N]
                   [--stall-timeout-ms N] (no --addr: serve stdin/stdout)
+                  [--sync-from HOST:PORT] [--peers a,b,c --advertise
+                  HOST:PORT [--max-hops N] [--peer-timeout-ms N]]
+  secflow router  --addr HOST:PORT --peers a,b,c [--max-hops N]
+                  [--peer-timeout-ms N] [serve tuning flags]
+  secflow cluster-status --peers a,b,c [--peer-timeout-ms N] [--json]
   secflow cache-inspect <dir> [--json]
   secflow batch   <dir> [--class name=CLASS]... [--default CLASS]
                   [--lattice two|linear:N] [--workers N]
@@ -94,6 +99,14 @@ offline (reporting which entries carry proof certificates) and exits 1
 if any frame is corrupt. `certify --emit-proof` writes a verifiable
 wire certificate (DESIGN.md §11); `checkproof` validates either a
 textual proof or a wire certificate, autodetected by content.
+`serve --peers` shards the cache across a static member list by
+consistent hashing on the request fingerprint (DESIGN.md §14): a node
+that does not own a request forwards it to the owner, so every distinct
+computation happens exactly once cluster-wide, and `--sync-from`
+warm-starts a cold node by shipping a peer's journal over `peer-sync`.
+`router` is a shard-aware stateless front door over the same ring;
+`cluster-status` polls each member's `stats` and tabulates the cluster
+counters.
 ";
 
 /// A CLI failure, split along the exit-code convention: `Usage` exits 2
@@ -151,6 +164,8 @@ fn dispatch(args: &[String]) -> Result<ExitCode, CliError> {
         "lint" => cmd_lint(rest),
         "fig3" => cmd_fig3(rest),
         "serve" => cmd_serve(rest),
+        "router" => cmd_router(rest),
+        "cluster-status" => cmd_cluster_status(rest),
         "cache-inspect" => cmd_cache_inspect(rest),
         "batch" => cmd_batch(rest),
         "gen" => cmd_gen(rest),
@@ -1070,7 +1085,51 @@ fn server_config(opts: &Opts) -> Result<secflow_server::ServerConfig, String> {
     } else if opts.has("journal-max-bytes") || opts.has("fsync") {
         return Err("--journal-max-bytes and --fsync require --cache-dir".to_string());
     }
+    // `--sync-from` alone (no --peers) is a standalone warm start: the
+    // node ships a peer's journal at boot but joins no ring.
+    let peers = peer_list(opts)?;
+    if peers.is_some() || opts.has("sync-from") {
+        let mut cluster = secflow_server::ClusterConfig::new(&peers.unwrap_or_default());
+        cluster.self_addr = opts.value("advertise").map(str::to_string);
+        if let Some(v) = opts.value("max-hops") {
+            cluster.max_hops = v.parse().map_err(|_| "bad --max-hops")?;
+        }
+        if let Some(v) = opts.value("peer-timeout-ms") {
+            let ms: u64 = v.parse().map_err(|_| "bad --peer-timeout-ms")?;
+            if ms == 0 {
+                return Err("bad --peer-timeout-ms (must be >= 1)".to_string());
+            }
+            cluster.peer_timeout_ms = ms;
+        }
+        cluster.sync_from = opts.value("sync-from").map(str::to_string);
+        cfg.cluster = Some(cluster);
+    } else if ["advertise", "max-hops", "peer-timeout-ms"]
+        .iter()
+        .any(|f| opts.has(f))
+    {
+        return Err("--advertise, --max-hops and --peer-timeout-ms require --peers".to_string());
+    }
     Ok(cfg)
+}
+
+/// Collects `--peers` (repeatable, comma-separated) into one address
+/// list; `Ok(None)` when the flag is absent.
+fn peer_list(opts: &Opts) -> Result<Option<Vec<String>>, String> {
+    if !opts.has("peers") {
+        return Ok(None);
+    }
+    let peers: Vec<String> = opts
+        .values("peers")
+        .iter()
+        .flat_map(|spec| spec.split(','))
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect();
+    if peers.is_empty() {
+        return Err("--peers needs at least one HOST:PORT".to_string());
+    }
+    Ok(Some(peers))
 }
 
 /// Validates a `--cache-dir` value up front: the directory must already
@@ -1095,14 +1154,39 @@ fn validated_cache_dir(dir: &str) -> Result<PathBuf, String> {
 fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
     let opts = parse_opts(args)?;
     let cfg = server_config(&opts)?;
+    if let Some(cluster) = cfg.cluster.as_ref().filter(|c| !c.peers.is_empty()) {
+        // A sharded node must know its own shard; a router (self_addr
+        // unset) has its own subcommand with clearer semantics.
+        let Some(me) = &cluster.self_addr else {
+            return Err(
+                "serve --peers needs --advertise HOST:PORT (or use `secflow router`)"
+                    .to_string()
+                    .into(),
+            );
+        };
+        if !cluster.peers.contains(me) {
+            return Err(format!("--advertise `{me}` is not in the --peers list").into());
+        }
+    }
     match opts.value("addr") {
         Some(addr) => {
             let (workers, queue, cache) = (cfg.workers, cfg.queue_capacity, cfg.cache_capacity);
             let chaos = cfg.chaos.is_some();
+            let shard = cfg
+                .cluster
+                .as_ref()
+                .map(|c| {
+                    format!(
+                        ", shard {} of {}",
+                        c.self_addr.as_deref().unwrap_or("?"),
+                        c.peers.len()
+                    )
+                })
+                .unwrap_or_default();
             let server =
                 secflow_server::serve_tcp(addr, cfg).map_err(|e| format!("cannot bind: {e}"))?;
             eprintln!(
-                "secflow-server listening on {} ({workers} workers, queue {queue}, cache {cache}{})",
+                "secflow-server listening on {} ({workers} workers, queue {queue}, cache {cache}{shard}{})",
                 server.local_addr(),
                 if chaos { ", CHAOS ON" } else { "" }
             );
@@ -1115,6 +1199,108 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
         }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `secflow router`: a stateless shard-aware front door. Reuses the
+/// whole serve stack (poll front-end, pool, cache) with a cluster
+/// config that owns no shard, so every request is forwarded to its
+/// ring owner — and re-routed to a successor when the owner is down.
+fn cmd_router(args: &[String]) -> Result<ExitCode, CliError> {
+    let opts = parse_opts(args)?;
+    if opts.has("advertise") || opts.has("sync-from") {
+        return Err("a router owns no shard; --advertise/--sync-from are for `serve`".into());
+    }
+    let cfg = server_config(&opts)?;
+    if cfg.cluster.is_none() {
+        return Err("router needs --peers HOST:PORT,HOST:PORT,...".into());
+    }
+    let addr = opts.value("addr").ok_or("router needs --addr HOST:PORT")?;
+    let peers = cfg.cluster.as_ref().map_or(0, |c| c.peers.len());
+    let server = secflow_server::serve_tcp(addr, cfg).map_err(|e| format!("cannot bind: {e}"))?;
+    eprintln!(
+        "secflow-router listening on {} (routing {peers} peers)",
+        server.local_addr()
+    );
+    server
+        .join()
+        .map_err(|_| "router thread panicked".to_string())?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `secflow cluster-status`: polls every `--peers` member's `stats`
+/// op and tabulates the cluster counters. Exit 0 when every member
+/// answered, 1 when any was unreachable (so health checks can gate on
+/// it), 2 on bad usage.
+fn cmd_cluster_status(args: &[String]) -> Result<ExitCode, CliError> {
+    use secflow_server::Json;
+    let opts = parse_opts(args)?;
+    let peers = peer_list(&opts)?.ok_or("cluster-status needs --peers HOST:PORT,...")?;
+    let timeout_ms: u64 = opts.value("peer-timeout-ms").map_or(Ok(2_000), |v| {
+        v.parse().map_err(|_| "bad --peer-timeout-ms")
+    })?;
+    let policy = secflow_server::RetryPolicy {
+        budget: 2,
+        io_timeout: Some(std::time::Duration::from_millis(timeout_ms.max(1))),
+        ..secflow_server::RetryPolicy::default()
+    };
+    let req = secflow_server::Request::new(secflow_server::Op::Stats, "");
+    let json = opts.has("json");
+    let mut down = 0usize;
+    if !json {
+        println!(
+            "{:<22} {:>8} {:>8} {:>9} {:>9} {:>10} {:>6}",
+            "NODE", "REQS", "HITS", "FORWARDS", "FWD_HITS", "PEER_SYNC", "RING"
+        );
+    }
+    for peer in &peers {
+        let reply = secflow_server::RemoteClient::new(peer, policy).call(&req);
+        match reply.ok().and_then(|line| Json::parse(&line).ok()) {
+            Some(stats) => {
+                let n = |v: &Json, field: &str| v.get(field).and_then(Json::as_u64).unwrap_or(0);
+                let cluster = stats.get("cluster").cloned().unwrap_or(Json::Obj(vec![]));
+                if json {
+                    println!(
+                        "{}",
+                        Json::Obj(vec![
+                            ("node".to_string(), Json::Str(peer.clone())),
+                            ("up".to_string(), Json::Bool(true)),
+                            ("stats".to_string(), stats),
+                        ])
+                    );
+                } else {
+                    println!(
+                        "{:<22} {:>8} {:>8} {:>9} {:>9} {:>10} {:>6}",
+                        peer,
+                        n(&stats, "requests"),
+                        n(&stats, "cache_hits"),
+                        n(&cluster, "forwards"),
+                        n(&cluster, "forward_hits"),
+                        n(&cluster, "peer_syncs"),
+                        n(&cluster, "hash_ring_size"),
+                    );
+                }
+            }
+            None => {
+                down += 1;
+                if json {
+                    println!(
+                        "{}",
+                        Json::Obj(vec![
+                            ("node".to_string(), Json::Str(peer.clone())),
+                            ("up".to_string(), Json::Bool(false)),
+                        ])
+                    );
+                } else {
+                    println!("{peer:<22} DOWN");
+                }
+            }
+        }
+    }
+    Ok(if down == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 /// `secflow cache-inspect <dir>`: scans a durable store offline (no

@@ -10,8 +10,10 @@
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::process::{Child, ChildStderr, ChildStdin, ChildStdout, Command, Stdio};
+use std::time::Duration;
 
 use secflow_server::Json;
 
@@ -82,6 +84,84 @@ impl Server {
     }
 
     /// SIGKILL — the process gets no chance to flush or unwind.
+    fn kill_dash_nine(mut self) {
+        self.child.kill().expect("kill");
+        self.child.wait().expect("reap");
+    }
+}
+
+/// A subprocess node serving TCP on an OS-assigned ephemeral port (the
+/// shared no-guessed-ports story: `--addr 127.0.0.1:0`, then the
+/// announced address is read back from the banner). This is what lets
+/// multi-node tests run under `--test-threads 4` without colliding.
+struct TcpNode {
+    child: Child,
+    addr: String,
+    // Held open so the child never sees a closed stderr pipe.
+    _stderr: BufReader<ChildStderr>,
+}
+
+impl TcpNode {
+    fn spawn(dir: &Path, extra: &[&str]) -> TcpNode {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_secflow"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--cache-dir",
+                dir.to_str().unwrap(),
+                "--fsync",
+                "always",
+            ])
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("node spawns");
+        let mut stderr = BufReader::new(child.stderr.take().unwrap());
+        let addr = loop {
+            let mut line = String::new();
+            let n = stderr.read_line(&mut line).expect("read banner");
+            assert!(n > 0, "node exited before announcing its address");
+            if let Some(rest) = line.split("listening on ").nth(1) {
+                break rest.split_whitespace().next().unwrap().to_string();
+            }
+        };
+        TcpNode {
+            child,
+            addr,
+            _stderr: stderr,
+        }
+    }
+
+    /// One connection, all lines in, one reply per line, keyed by id.
+    fn round_trip(&self, lines: &[String]) -> HashMap<u64, Json> {
+        let stream = TcpStream::connect(&self.addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+        let mut writer = stream.try_clone().unwrap();
+        for line in lines {
+            writeln!(writer, "{line}").expect("send");
+        }
+        writer.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut replies = HashMap::new();
+        for _ in lines {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("reply");
+            let v = Json::parse(reply.trim()).expect("reply parses");
+            let id = v.get("id").and_then(Json::as_u64).expect("reply has id");
+            replies.insert(id, v);
+        }
+        replies
+    }
+
+    fn stats(&self) -> Json {
+        self.round_trip(&[r#"{"id":9999,"op":"stats"}"#.to_string()])
+            .remove(&9999)
+            .expect("stats reply")
+    }
+
     fn kill_dash_nine(mut self) {
         self.child.kill().expect("kill");
         self.child.wait().expect("reap");
@@ -180,6 +260,58 @@ fn sigkilled_server_warm_starts_with_identical_replies() {
         "warm corpus must be served entirely from disk"
     );
     warm.kill_dash_nine();
+}
+
+/// The TCP variant of the kill-and-restart story, composed with peer
+/// warm start: node A (its own store) is SIGKILLed, restarted warm on a
+/// *new* ephemeral port, and then a cold node B — empty store —
+/// `--sync-from`s it at boot. After A dies for good, B alone answers
+/// A's whole corpus from its shipped journal: `cached:true`,
+/// byte-identical modulo `us`, zero re-exploration, zero misses.
+#[test]
+fn sigkilled_node_warm_starts_a_cold_peer_over_tcp() {
+    let dir_a = tmp_dir("peer-src");
+    let dir_b = tmp_dir("peer-dst");
+    let corpus = corpus();
+
+    let a = TcpNode::spawn(&dir_a, &[]);
+    a.round_trip(&corpus);
+    let baseline = a.round_trip(&corpus);
+    for (id, v) in &baseline {
+        assert_eq!(
+            v.get("cached").and_then(Json::as_bool),
+            Some(true),
+            "id {id} not cached on second pass"
+        );
+    }
+    a.kill_dash_nine();
+
+    // A warm restart on a fresh port — the store, not the socket, is
+    // the identity — then B ships its journal before serving.
+    let a2 = TcpNode::spawn(&dir_a, &[]);
+    let b = TcpNode::spawn(&dir_b, &["--sync-from", &a2.addr]);
+    a2.kill_dash_nine();
+
+    let synced = b.round_trip(&corpus);
+    for (id, v) in &baseline {
+        assert_eq!(
+            strip_us(&synced[id]).to_string(),
+            strip_us(v).to_string(),
+            "id {id} differs after peer sync"
+        );
+    }
+    let stats = b.stats();
+    assert_eq!(
+        stats.get("explore_states").and_then(Json::as_u64),
+        Some(0),
+        "peer-synced corpus must trigger zero re-exploration"
+    );
+    assert_eq!(
+        stats.get("cache_misses").and_then(Json::as_u64),
+        Some(0),
+        "peer-synced corpus must be served entirely from the shipped journal"
+    );
+    b.kill_dash_nine();
 }
 
 #[test]

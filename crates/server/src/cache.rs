@@ -50,6 +50,32 @@ impl CacheKey {
     }
 }
 
+/// Re-derives the fingerprint of a canonical key text by replaying the
+/// [`CacheKey::of`] construction over its length-prefixed parts.
+/// Returns `None` when `canon` is not well-formed canonical text — a
+/// truncated part, a missing separator, a bad length prefix.
+///
+/// This is the integrity check for entries that arrive over the wire
+/// (`peer-sync` journal shipping): a peer-supplied record whose claimed
+/// hash disagrees with `canon_hash(canon)` is forged or corrupt, and
+/// accepting it would poison the content-addressed cache.
+pub fn canon_hash(canon: &str) -> Option<u64> {
+    let bytes = canon.as_bytes();
+    let mut hash = FNV_OFFSET;
+    let mut at = 0;
+    while at < bytes.len() {
+        let colon = bytes[at..].iter().position(|&b| b == b':')? + at;
+        let len: usize = canon.get(at..colon)?.parse().ok()?;
+        let end = (colon + 1).checked_add(len)?;
+        if end >= bytes.len() || bytes[end] != 0x1f {
+            return None; // truncated part or missing separator
+        }
+        hash = fnv1a(hash, &bytes[at..end]);
+        at = end + 1;
+    }
+    Some(hash)
+}
+
 /// A cached response payload: the fields to splice into a `Response`,
 /// plus whether the original run succeeded.
 #[derive(Clone, Debug)]
@@ -187,6 +213,23 @@ mod tests {
         assert!(cache.get(&k1).is_some());
         assert!(cache.get(&k2).is_none());
         assert!(cache.get(&k3).is_some());
+    }
+
+    #[test]
+    fn canon_hash_replays_the_fingerprint() {
+        let key = CacheKey::of(&["certify", "two", "var x : integer; x := 0"]);
+        assert_eq!(canon_hash(&key.canon), Some(key.hash));
+        assert_eq!(canon_hash(""), Some(CacheKey::of(&[]).hash));
+
+        // Malformed canonical text never yields a fingerprint.
+        assert_eq!(canon_hash("no-prefix"), None);
+        assert_eq!(canon_hash("5:abc\x1f"), None); // length lies
+        assert_eq!(canon_hash(&key.canon[..key.canon.len() - 1]), None); // truncated
+        assert_eq!(canon_hash("3:abc"), None); // separator missing
+
+        // A doctored part changes the fingerprint (forgery detection).
+        let doctored = key.canon.replace("certify", "certifz");
+        assert_ne!(canon_hash(&doctored), Some(key.hash));
     }
 
     #[test]

@@ -358,6 +358,74 @@ impl PipelinedClient {
     }
 }
 
+/// A cluster-aware client: routes each request to the node owning its
+/// cache fingerprint (client-side consistent hashing — no router hop),
+/// falling over to the ring successors when the owner is unreachable.
+/// The fallback node forwards to (or computes for) the key itself, so
+/// a dead owner costs latency, not answers.
+///
+/// Routing uses [`route_fingerprint`](crate::service::route_fingerprint)
+/// — the same hash the servers shard on — so a healthy cluster serves
+/// every call from the shard that owns (or will own) its cache entry.
+pub struct ClusterClient {
+    ring: crate::ring::HashRing,
+    policy: RetryPolicy,
+    /// Per-call node attempts across all calls (for tests/telemetry).
+    attempts: u64,
+}
+
+impl ClusterClient {
+    /// A client over the cluster members `nodes` (`host:port` each).
+    pub fn new<S: AsRef<str>>(nodes: &[S], policy: RetryPolicy) -> ClusterClient {
+        ClusterClient {
+            ring: crate::ring::HashRing::new(nodes),
+            policy,
+            attempts: 0,
+        }
+    }
+
+    /// The ring this client routes on.
+    pub fn ring(&self) -> &crate::ring::HashRing {
+        &self.ring
+    }
+
+    /// Total node-level call attempts across all calls so far.
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Sends `req` to the owner of its fingerprint, walking the ring's
+    /// preference list (each node tried under the full retry policy)
+    /// until one answers or every node's budget is spent.
+    pub fn call(&mut self, req: &Request) -> Result<String, ClientError> {
+        let hash = crate::service::route_fingerprint(req);
+        let prefs: Vec<String> = self
+            .ring
+            .preference_list(hash)
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let mut last = "empty ring".to_string();
+        for addr in prefs {
+            self.attempts += 1;
+            let mut node = RemoteClient::new(&addr, self.policy);
+            match node.call(req) {
+                Ok(line) => return Ok(line),
+                Err(ClientError::Permanent { kind, message }) => {
+                    return Err(ClientError::Permanent { kind, message })
+                }
+                Err(ClientError::BudgetExhausted { last: why, .. }) => {
+                    last = format!("{addr}: {why}");
+                }
+            }
+        }
+        Err(ClientError::BudgetExhausted {
+            attempts: self.policy.budget.max(1),
+            last,
+        })
+    }
+}
+
 /// The request index a reply line answers, when it carries one.
 fn reply_index(line: &str, len: usize) -> Option<usize> {
     let v = Json::parse(line).ok()?;

@@ -33,6 +33,11 @@
 //!   atomically-published snapshot, with a recovery path that skips
 //!   torn, truncated or bit-flipped records instead of failing
 //!   (`serve --cache-dir`);
+//! - [`ring`] / [`peer`]: the sharded-cluster layer — a deterministic
+//!   consistent-hash ring over the cache fingerprint, a `forward` peer
+//!   op that makes any computation happen exactly once cluster-wide,
+//!   and `peer-sync` journal shipping so cold nodes warm-start from a
+//!   loaded peer (`secflow serve --peers`, `secflow router`);
 //! - [`metrics`]: request/cache/error counters and a fixed-bucket
 //!   latency histogram, reported by the `stats` request;
 //! - [`batch`]: bulk certification of `*.sf` directories through the
@@ -69,10 +74,12 @@ pub mod conn;
 pub mod deadline;
 pub mod fault;
 pub mod metrics;
+pub mod peer;
 pub mod persist;
 pub mod poller;
 pub mod pool;
 pub mod protocol;
+pub mod ring;
 pub mod serve;
 pub mod service;
 pub mod snapshot;
@@ -84,17 +91,21 @@ pub use secflow_cert::json;
 
 pub use batch::{render_summary, run_batch, run_batch_remote, BatchSummary, FileOutcome};
 pub use cache::{fnv1a, CacheKey, CachedResult, ResultCache};
-pub use client::{Backoff, ClientError, PipelinedClient, RemoteClient, RetryPolicy};
+pub use client::{Backoff, ClientError, ClusterClient, PipelinedClient, RemoteClient, RetryPolicy};
 pub use conn::{Conn, ConnToken, Decoded, LineDecoder};
 pub use deadline::{deadline_after_ms, CancelToken};
 pub use fault::{ChaosStream, FaultKind, FaultPlan, Faults, NoFaults};
 pub use json::{Json, JsonError};
 pub use metrics::{Metrics, LATENCY_BUCKETS_US};
+pub use peer::{sync_from_peer, ClusterConfig, SyncReport};
 pub use persist::{DurableStore, FsyncMode, PersistConfig, PersistStats, RecoveredEntry};
 pub use pool::{Pool, PoolHealth, SubmitError};
 pub use protocol::{ErrorKind, Op, Request, Response};
-pub use serve::{serve_stdio, serve_tcp, FrontEnd, ServerConfig, TcpServer};
-pub use service::{Limits, Service};
+pub use ring::HashRing;
+pub use serve::{
+    bind_ephemeral, serve_listener, serve_stdio, serve_tcp, FrontEnd, ServerConfig, TcpServer,
+};
+pub use service::{route_fingerprint, Limits, Service};
 pub use snapshot::{
     carries_certificate, inspect_store, publish_snapshot, render_report, StoreReport,
 };

@@ -84,6 +84,16 @@ pub struct Metrics {
     /// Requests that attached to another request's in-flight
     /// computation instead of recomputing (single-flight coalescing).
     pub coalesced_hits: AtomicU64,
+    /// Requests this node forwarded to the shard owner instead of
+    /// computing locally.
+    pub cluster_forwards: AtomicU64,
+    /// Forwarded requests whose relayed reply was already cached at the
+    /// owner (`"cached":true`) — cluster-wide dedup working.
+    pub cluster_forward_hits: AtomicU64,
+    /// `peer-sync` pages this node served to warm-starting peers.
+    pub cluster_peer_syncs: AtomicU64,
+    /// Nodes on this node's hash ring (gauge; 0 when not clustered).
+    pub cluster_hash_ring_size: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
     latency_total_us: AtomicU64,
     latency_count: AtomicU64,
@@ -209,6 +219,18 @@ impl Metrics {
                     ("coalesced_hits".to_string(), n(&self.coalesced_hits)),
                 ]),
             ),
+            (
+                "cluster".to_string(),
+                Json::Obj(vec![
+                    ("forwards".to_string(), n(&self.cluster_forwards)),
+                    ("forward_hits".to_string(), n(&self.cluster_forward_hits)),
+                    ("peer_syncs".to_string(), n(&self.cluster_peer_syncs)),
+                    (
+                        "hash_ring_size".to_string(),
+                        n(&self.cluster_hash_ring_size),
+                    ),
+                ]),
+            ),
             ("latency_mean_us".to_string(), Json::Num(mean_us)),
             ("latency_histogram".to_string(), Json::Arr(histogram)),
         ]
@@ -300,6 +322,20 @@ mod tests {
                 "pipelined_depth_max",
                 "coalesced_hits",
             ]
+        );
+        // The cluster object (PR 9) is additive in the same way.
+        let cluster = fields
+            .iter()
+            .find(|(k, _)| k == "cluster")
+            .map(|(_, v)| v)
+            .expect("stats carries a cluster object");
+        let Json::Obj(cluster_fields) = cluster else {
+            panic!("cluster must be an object");
+        };
+        let cluster_keys: Vec<&str> = cluster_fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            cluster_keys,
+            vec!["forwards", "forward_hits", "peer_syncs", "hash_ring_size"]
         );
     }
 }

@@ -13,6 +13,8 @@
 //! {"id":6,"op":"checkproof","source":"…","cert":"{…}"}
 //! {"id":7,"op":"stats"}
 //! {"id":8,"op":"shutdown"}
+//! {"id":9,"op":"forward","hops":1,"req":"{\"op\":\"certify\",…}"}
+//! {"id":10,"op":"peer-sync","cursor":0,"limit":256}
 //! ```
 //!
 //! `certify` additionally accepts `"with_proof":true`: when the program
@@ -21,6 +23,17 @@
 //! `proof_nodes`. `checkproof` validates such a certificate against
 //! `source`; `cert` may be the certificate string or the certificate
 //! object itself (re-serialized canonically on parse).
+//!
+//! The two peer ops are cluster plumbing. `forward` wraps a complete
+//! inner request line in `req` with a `hops` count; a node receiving
+//! one answers it exactly as it would the inner line (so forwarded
+//! replies are byte-compatible with direct ones) and the hop count
+//! guards against routing loops while nodes disagree about the ring.
+//! `peer-sync` pages a node's cached results to a warm-starting peer
+//! as journal record payloads (`entries`, each a string in the
+//! [`crate::persist::encode_record`] format), `cursor`/`limit`
+//! controlling the page and the reply's `next`/`done` fields telling
+//! the receiver how to continue.
 //!
 //! Every work-carrying request additionally accepts `"timeout_ms":N` —
 //! a per-request deadline. Work that overruns it is cancelled
@@ -69,6 +82,12 @@ pub enum Op {
     Stats,
     /// Stop the service, draining queued work first.
     Shutdown,
+    /// Peer op: answer the inner request in `req` on behalf of another
+    /// node (the sender's ring said this node owns the fingerprint).
+    Forward,
+    /// Peer op: page cached results to a warm-starting peer as journal
+    /// record payloads.
+    PeerSync,
 }
 
 impl Op {
@@ -83,6 +102,8 @@ impl Op {
             Op::Checkproof => "checkproof",
             Op::Stats => "stats",
             Op::Shutdown => "shutdown",
+            Op::Forward => "forward",
+            Op::PeerSync => "peer-sync",
         }
     }
 }
@@ -127,6 +148,15 @@ pub struct Request {
     /// Worker threads for `explore`/`lint` state-space search (clamped
     /// by the server; the reply reports the effective count).
     pub threads: Option<u64>,
+    /// How many times this request has been forwarded between nodes
+    /// (`forward` only; the anti-loop guard). Default 0.
+    pub hops: u64,
+    /// The wrapped inner request line (`forward` only; required there).
+    pub req: Option<String>,
+    /// Page start for `peer-sync`: skip this many entries. Default 0.
+    pub cursor: Option<u64>,
+    /// Page size cap for `peer-sync` (capped by the server).
+    pub limit: Option<u64>,
 }
 
 impl Request {
@@ -150,6 +180,8 @@ impl Request {
             Some("checkproof") => Op::Checkproof,
             Some("stats") => Op::Stats,
             Some("shutdown") => Op::Shutdown,
+            Some("forward") => Op::Forward,
+            Some("peer-sync") => Op::PeerSync,
             Some(other) => return Err(fail(format!("unknown op `{other}`"))),
             None => return Err(fail("missing string field `op`".into())),
         };
@@ -234,6 +266,17 @@ impl Request {
         let timeout_ms = uint("timeout_ms")?;
         let max_states = uint("max_states")?;
         let threads = uint("threads")?;
+        let hops = uint("hops")?.unwrap_or(0);
+        let req = match value.get("req") {
+            None => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => return Err(fail("`req` must be a string".into())),
+        };
+        if op == Op::Forward && req.is_none() {
+            return Err(fail("op `forward` needs `req`".into()));
+        }
+        let cursor = uint("cursor")?;
+        let limit = uint("limit")?;
         let por = match value.get("por") {
             None => true,
             Some(Json::Bool(b)) => *b,
@@ -274,6 +317,10 @@ impl Request {
             max_states,
             por,
             threads,
+            hops,
+            req,
+            cursor,
+            limit,
         })
     }
 
@@ -296,6 +343,10 @@ impl Request {
             max_states: None,
             por: true,
             threads: None,
+            hops: 0,
+            req: None,
+            cursor: None,
+            limit: None,
         }
     }
 
@@ -363,6 +414,18 @@ impl Request {
         }
         if let Some(n) = self.threads {
             fields.push(("threads".to_string(), Json::Num(n as f64)));
+        }
+        if self.hops != 0 {
+            fields.push(("hops".to_string(), Json::Num(self.hops as f64)));
+        }
+        if let Some(req) = &self.req {
+            fields.push(("req".to_string(), Json::Str(req.clone())));
+        }
+        if let Some(c) = self.cursor {
+            fields.push(("cursor".to_string(), Json::Num(c as f64)));
+        }
+        if let Some(l) = self.limit {
+            fields.push(("limit".to_string(), Json::Num(l as f64)));
         }
         Json::Obj(fields).to_string()
     }
@@ -580,6 +643,42 @@ mod tests {
         let r = Request::parse(r#"{"op":"certify","source":"x","with_proof":true}"#).unwrap();
         assert!(r.with_proof);
         assert!(Request::parse(r#"{"op":"certify","source":"x","with_proof":1}"#).is_err());
+    }
+
+    #[test]
+    fn peer_ops_parse_and_round_trip() {
+        // forward wraps a complete inner line and carries a hop count.
+        let inner = Request::new(Op::Certify, "var x : integer; x := 0");
+        let mut fwd = Request::new(Op::Forward, "");
+        fwd.req = Some(inner.to_line());
+        fwd.hops = 2;
+        let parsed = Request::parse(&fwd.to_line()).unwrap();
+        assert_eq!(parsed, fwd);
+        assert_eq!(
+            Request::parse(parsed.req.as_deref().unwrap()).unwrap(),
+            inner
+        );
+
+        // hops defaults to 0 and only serializes when nonzero.
+        fwd.hops = 0;
+        assert!(!fwd.to_line().contains("hops"));
+        assert_eq!(Request::parse(&fwd.to_line()).unwrap(), fwd);
+
+        // forward without a wrapped request is a protocol error.
+        let (_, msg) = Request::parse(r#"{"op":"forward"}"#).unwrap_err();
+        assert!(msg.contains("needs `req`"), "{msg}");
+        assert!(Request::parse(r#"{"op":"forward","req":7}"#).is_err());
+        assert!(Request::parse(r#"{"op":"forward","req":"x","hops":-1}"#).is_err());
+
+        // peer-sync needs no source; paging fields round-trip.
+        let mut sync = Request::new(Op::PeerSync, "");
+        sync.cursor = Some(128);
+        sync.limit = Some(64);
+        assert_eq!(Request::parse(&sync.to_line()).unwrap(), sync);
+        let bare = Request::parse(r#"{"op":"peer-sync"}"#).unwrap();
+        assert_eq!(bare.op, Op::PeerSync);
+        assert_eq!(bare.cursor, None);
+        assert!(Request::parse(r#"{"op":"peer-sync","cursor":"a"}"#).is_err());
     }
 
     #[test]

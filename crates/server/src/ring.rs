@@ -1,0 +1,331 @@
+//! Consistent-hash ring mapping cache fingerprints to cluster nodes.
+//!
+//! Every request is content-addressed by its cache fingerprint (the
+//! FNV-1a hash `CacheKey::of` computes over the canonical request
+//! parts), so sharding is just a stable map from that 64-bit hash to a
+//! node address. The ring places a fixed number of virtual points per
+//! node on the u64 circle — each point the FNV-1a hash of
+//! `"{addr}#{replica}"` — and assigns a key to the first point at or
+//! clockwise of the key's hash. The construction uses nothing but the
+//! node address strings and FNV, so every process that agrees on the
+//! member list agrees on every assignment, with no coordination.
+//!
+//! Virtual points keep the load spread even and, more importantly,
+//! bound churn: growing from N to N+1 nodes moves only the keys whose
+//! arc the new node's points claim — in expectation 1/(N+1) of the
+//! keyspace — which the property tests below check on sampled keys.
+//! Each point is finished with a SplitMix64 mix of the FNV hash:
+//! FNV-1a alone has weak trailing-byte diffusion, so the 64 replica
+//! points of one node would otherwise cluster into a handful of arcs.
+
+use crate::cache::fnv1a;
+use crate::fault::splitmix64;
+
+/// Virtual points placed on the ring per node. 64 keeps the per-node
+/// load within a few percent of even for small clusters while keeping
+/// ring construction and lookup (binary search over `n * 64` points)
+/// trivially cheap.
+pub const POINTS_PER_NODE: usize = 64;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// A consistent-hash ring over a fixed set of node addresses.
+///
+/// Deterministic by construction: two rings built from the same set of
+/// addresses (in any order) produce identical assignments in any
+/// process — there is no random seed and no insertion-order
+/// dependence.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, node-index)` sorted by point; ties broken by the
+    /// node's position in the sorted `nodes` list so duplicates of a
+    /// point (vanishingly rare but possible) still resolve identically
+    /// everywhere.
+    points: Vec<(u64, usize)>,
+    /// Sorted, deduplicated node addresses.
+    nodes: Vec<String>,
+}
+
+impl HashRing {
+    /// Builds a ring over `nodes` (addresses such as
+    /// `"127.0.0.1:4600"`). Duplicates are dropped; order is
+    /// irrelevant. An empty list yields an empty ring for which
+    /// [`HashRing::node_for`] returns `None`.
+    pub fn new<S: AsRef<str>>(nodes: &[S]) -> Self {
+        let mut sorted: Vec<String> = nodes.iter().map(|n| n.as_ref().to_string()).collect();
+        sorted.sort();
+        sorted.dedup();
+        let mut points = Vec::with_capacity(sorted.len() * POINTS_PER_NODE);
+        for (idx, node) in sorted.iter().enumerate() {
+            for replica in 0..POINTS_PER_NODE {
+                let mut h = fnv1a(FNV_OFFSET, node.as_bytes());
+                h = fnv1a(h, b"#");
+                h = fnv1a(h, replica.to_string().as_bytes());
+                // FNV-1a alone clusters points whose inputs differ only
+                // in the trailing replica digits (the final `*prime`
+                // spreads a last-byte difference across at most ~2^48 of
+                // the circle), which collapses the effective point count
+                // and wrecks the churn bound — finish with a full-width
+                // mixer so the 64 points land independently.
+                points.push((splitmix64(h), idx));
+            }
+        }
+        points.sort();
+        HashRing {
+            points,
+            nodes: sorted,
+        }
+    }
+
+    /// Number of distinct nodes on the ring.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node addresses on the ring, sorted.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// The node owning `key_hash`: the first virtual point at or
+    /// clockwise of the hash, wrapping at the top of the u64 circle.
+    /// `None` only for an empty ring. Total: every u64 maps to exactly
+    /// one node.
+    pub fn node_for(&self, key_hash: u64) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let idx = match self.points.binary_search(&(key_hash, 0)) {
+            Ok(i) => i,
+            Err(i) => {
+                if i == self.points.len() {
+                    0 // wrap: past the last point, the first point owns it
+                } else {
+                    i
+                }
+            }
+        };
+        Some(&self.nodes[self.points[idx].1])
+    }
+
+    /// The owner plus up-ring successors, deduplicated by node, in
+    /// ring order — the preference list a router walks when the owner
+    /// is down. Covers every node exactly once.
+    pub fn preference_list(&self, key_hash: u64) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::with_capacity(self.nodes.len());
+        if self.points.is_empty() {
+            return out;
+        }
+        let start = match self.points.binary_search(&(key_hash, 0)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0,
+            Err(i) => i,
+        };
+        for off in 0..self.points.len() {
+            let (_, node_idx) = self.points[(start + off) % self.points.len()];
+            let node = self.nodes[node_idx].as_str();
+            if !out.contains(&node) {
+                out.push(node);
+            }
+            if out.len() == self.nodes.len() {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::splitmix64;
+
+    fn sample_keys(n: u64) -> impl Iterator<Item = u64> {
+        (0..n).map(|i| splitmix64(0x5eed_0000 + i))
+    }
+
+    #[test]
+    fn empty_ring_maps_nothing() {
+        let ring = HashRing::new::<&str>(&[]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.node_for(42), None);
+        assert!(ring.preference_list(42).is_empty());
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let ring = HashRing::new(&["a:1"]);
+        for key in sample_keys(500) {
+            assert_eq!(ring.node_for(key), Some("a:1"));
+        }
+    }
+
+    /// Determinism across processes: the assignment depends only on
+    /// the member set, not on insertion order, duplicates, or any
+    /// per-process state. (Cross-*process* determinism follows because
+    /// the construction touches nothing but the address bytes, FNV-1a,
+    /// and the SplitMix64 finisher — all build-independent.)
+    #[test]
+    fn assignment_is_deterministic_and_order_independent() {
+        let forward = HashRing::new(&["a:1", "b:2", "c:3"]);
+        let shuffled = HashRing::new(&["c:3", "a:1", "b:2", "a:1"]);
+        assert_eq!(forward.len(), 3);
+        assert_eq!(shuffled.len(), 3);
+        for key in sample_keys(2000) {
+            assert_eq!(forward.node_for(key), shuffled.node_for(key));
+        }
+        // A clone is trivially identical too (the router and every
+        // node hold independently-built rings of the same members).
+        let rebuilt = HashRing::new(forward.nodes());
+        for key in sample_keys(500) {
+            assert_eq!(forward.node_for(key), rebuilt.node_for(key));
+        }
+    }
+
+    /// Totality: every sampled fingerprint (and the u64 extremes) maps
+    /// to exactly one node of the member set.
+    #[test]
+    fn every_fingerprint_maps_to_a_member() {
+        let ring = HashRing::new(&["a:1", "b:2", "c:3", "d:4", "e:5"]);
+        for key in sample_keys(5000).chain([0, 1, u64::MAX - 1, u64::MAX]) {
+            let node = ring.node_for(key).expect("total");
+            assert!(ring.nodes().iter().any(|n| n == node));
+        }
+    }
+
+    /// Churn bound: growing N → N+1 remaps ≤ ~1/(N+1) of sampled keys
+    /// (2x slack for virtual-point variance at these sample sizes),
+    /// and never remaps a key *between* surviving nodes — a moved key
+    /// always lands on the new node.
+    #[test]
+    fn adding_a_node_remaps_at_most_its_fair_share() {
+        for n in 2usize..=6 {
+            let before: Vec<String> = (0..n).map(|i| format!("node-{i}:470{i}")).collect();
+            let mut after = before.clone();
+            after.push(format!("node-{n}:470{n}"));
+            let old = HashRing::new(&before);
+            let new = HashRing::new(&after);
+            let samples = 4000u64;
+            let mut moved = 0u64;
+            for key in sample_keys(samples) {
+                let was = old.node_for(key).unwrap();
+                let now = new.node_for(key).unwrap();
+                if was != now {
+                    moved += 1;
+                    assert_eq!(
+                        now,
+                        format!("node-{n}:470{n}"),
+                        "a remapped key must move to the new node, never between survivors"
+                    );
+                }
+            }
+            let fair = samples as f64 / (n as f64 + 1.0);
+            assert!(
+                (moved as f64) <= 2.0 * fair,
+                "N={n}: moved {moved} of {samples}, fair share {fair:.0}"
+            );
+            assert!(moved > 0, "N={n}: the new node must take some keys");
+        }
+    }
+
+    /// The preference list starts at the owner, covers every node
+    /// exactly once, and is deterministic.
+    #[test]
+    fn preference_list_covers_all_nodes_starting_at_owner() {
+        let ring = HashRing::new(&["a:1", "b:2", "c:3", "d:4"]);
+        for key in sample_keys(200) {
+            let prefs = ring.preference_list(key);
+            assert_eq!(prefs.len(), 4);
+            assert_eq!(prefs[0], ring.node_for(key).unwrap());
+            let mut sorted = prefs.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "no duplicates");
+        }
+    }
+
+    // The same three invariants as properties over *arbitrary* member
+    // sets (size, addresses, and keys all generated), not the fixed
+    // corpora above.
+    use proptest::prelude::*;
+
+    /// `n` distinct addresses derived from `salt` — the address bytes
+    /// vary per case so no hash alignment is baked in.
+    fn members(n: usize, salt: u64) -> Vec<String> {
+        (0..n as u64)
+            .map(|i| {
+                format!(
+                    "10.{}.{}.{}:{}",
+                    salt % 200,
+                    splitmix64(salt ^ i) % 256,
+                    i,
+                    4600 + i
+                )
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// Totality, determinism, and order independence for any
+        /// member set: every key maps to a member, a reshuffled (and
+        /// duplicated) build produces the identical assignment, and
+        /// the preference list covers all nodes starting at the owner.
+        #[test]
+        fn any_member_set_is_total_and_order_independent(
+            n in 1usize..8,
+            salt in 0u64..(1 << 32),
+            key in 0u64..u64::MAX,
+        ) {
+            let nodes = members(n, salt);
+            let ring = HashRing::new(&nodes);
+            let owner = ring.node_for(key).expect("total").to_string();
+            prop_assert!(nodes.contains(&owner));
+            let mut shuffled: Vec<String> = nodes.iter().rev().cloned().collect();
+            shuffled.push(nodes[0].clone());
+            prop_assert_eq!(
+                HashRing::new(&shuffled).node_for(key),
+                Some(owner.as_str())
+            );
+            let prefs = ring.preference_list(key);
+            prop_assert_eq!(prefs.len(), n);
+            prop_assert_eq!(prefs[0], owner.as_str());
+        }
+
+        /// Churn bound for any membership: growing N → N+1 remaps at
+        /// most ~1/(N+1) of sampled keys (2.5x slack for virtual-point
+        /// variance), and every moved key lands on the newcomer.
+        #[test]
+        fn any_growth_step_remaps_at_most_a_fair_share(
+            n in 1usize..7,
+            salt in 0u64..(1 << 32),
+        ) {
+            let before = members(n, salt);
+            let newcomer = format!("joined-{}:9999", salt % 1000);
+            let mut after = before.clone();
+            after.push(newcomer.clone());
+            let old = HashRing::new(&before);
+            let new = HashRing::new(&after);
+            let samples = 2000u64;
+            let mut moved = 0u64;
+            for key in (0..samples).map(|i| splitmix64(salt.rotate_left(17) ^ i)) {
+                let was = old.node_for(key).unwrap();
+                let now = new.node_for(key).unwrap();
+                if was != now {
+                    moved += 1;
+                    prop_assert_eq!(now, newcomer.as_str(),
+                        "a moved key must land on the newcomer");
+                }
+            }
+            let fair = samples as f64 / (n as f64 + 1.0);
+            prop_assert!(
+                (moved as f64) <= 2.5 * fair,
+                "moved {} of {}, fair share {:.0}", moved, samples, fair
+            );
+        }
+    }
+}

@@ -46,6 +46,7 @@ use crate::conn::{Decoded, LineDecoder};
 use crate::fault::{ChaosStream, FaultPlan, Faults, NoFaults};
 use crate::json::Json;
 use crate::metrics::Metrics;
+use crate::peer::ClusterConfig;
 use crate::persist::{DurableStore, PersistConfig};
 use crate::pool::{Pool, PoolHealth, SubmitError};
 use crate::protocol::{ErrorKind, Op, Request, Response};
@@ -101,6 +102,12 @@ pub struct ServerConfig {
     /// Milliseconds a connection may stall mid-line before the poll
     /// loop closes it — the slowloris defense (0 disables).
     pub stall_timeout_ms: u64,
+    /// Cluster topology (`--peers`); `None` (the default) serves
+    /// standalone. With a topology, requests owned by other nodes are
+    /// forwarded there, `peer-sync` pages the cache to peers, and a
+    /// configured [`ClusterConfig::sync_from`] peer is drained before
+    /// serving (warm start by journal shipping).
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServerConfig {
@@ -118,6 +125,7 @@ impl Default for ServerConfig {
             write_high_water: 1 << 20,
             idle_timeout_ms: 120_000,
             stall_timeout_ms: 30_000,
+            cluster: None,
         }
     }
 }
@@ -128,13 +136,31 @@ impl Default for ServerConfig {
 /// thread. The chaos hooks are shared with the store for torn-write and
 /// short-fsync injection.
 fn build_service<F: Faults + Clone>(cfg: &ServerConfig, faults: &F) -> io::Result<Service> {
-    match &cfg.persist {
+    let mut service = match &cfg.persist {
         Some(pcfg) => {
             let store = DurableStore::open_with_faults(pcfg.clone(), Arc::new(faults.clone()))?;
-            Ok(Service::with_persist(cfg.cache_capacity, cfg.limits, store))
+            Service::with_persist(cfg.cache_capacity, cfg.limits, store)
         }
-        None => Ok(Service::new(cfg.cache_capacity, cfg.limits)),
+        None => Service::new(cfg.cache_capacity, cfg.limits),
+    };
+    if let Some(cluster) = &cfg.cluster {
+        service = service.with_cluster(cluster.clone());
+        if let Some(peer) = &cluster.sync_from {
+            // Warm start before serving: drain a loaded peer's cache so
+            // this node never re-explores work the cluster already paid
+            // for. Sync failure is not fatal — a node whose peer is
+            // down serves cold rather than not at all.
+            let timeout = Duration::from_millis(cluster.peer_timeout_ms.max(1));
+            match crate::peer::sync_from_peer(&service, peer, timeout) {
+                Ok(report) => eprintln!(
+                    "secflow-server: warm-started from {peer}: {} entries in {} pages ({} rejected)",
+                    report.entries_installed, report.pages, report.entries_rejected
+                ),
+                Err(e) => eprintln!("secflow-server: peer-sync from {peer} failed: {e}"),
+            }
+        }
     }
+    Ok(service)
 }
 
 /// How often blocked connection reads wake up to check for shutdown.
@@ -471,21 +497,40 @@ impl TcpServer {
     }
 }
 
+/// Binds an OS-assigned ephemeral loopback port and returns the
+/// listener. The shared race-free port helper for every test (and
+/// harness) that boots servers: the kernel hands out a free port and
+/// the listener *holds* it, so two tests running under
+/// `--test-threads 4` — or the three nodes of a cluster — can never
+/// collide the way "pick a number, bind later" schemes do. Pass the
+/// listener to [`serve_listener`] (or read its `local_addr()` first to
+/// build a topology, then serve).
+pub fn bind_ephemeral() -> io::Result<TcpListener> {
+    TcpListener::bind("127.0.0.1:0")
+}
+
 /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serves
 /// connections until a `shutdown` request arrives.
 pub fn serve_tcp(addr: &str, cfg: ServerConfig) -> io::Result<TcpServer> {
+    serve_listener(TcpListener::bind(addr)?, cfg)
+}
+
+/// Serves connections on an already-bound listener until a `shutdown`
+/// request arrives. This is what lets a cluster harness bind every
+/// node's port first (see [`bind_ephemeral`]), build the member list
+/// from the known addresses, and only then start the servers.
+pub fn serve_listener(listener: TcpListener, cfg: ServerConfig) -> io::Result<TcpServer> {
     match cfg.chaos.clone() {
-        Some(plan) => serve_tcp_with(addr, cfg, plan),
-        None => serve_tcp_with(addr, cfg, NoFaults),
+        Some(plan) => serve_listener_with(listener, cfg, plan),
+        None => serve_listener_with(listener, cfg, NoFaults),
     }
 }
 
-fn serve_tcp_with<F: Faults + Clone>(
-    addr: &str,
+fn serve_listener_with<F: Faults + Clone>(
+    listener: TcpListener,
     cfg: ServerConfig,
     faults: F,
 ) -> io::Result<TcpServer> {
-    let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     // Open the store (recovery included) before spawning, so a bad
     // cache dir fails the bind call instead of a detached thread.

@@ -24,7 +24,8 @@ use crate::cache::{CacheKey, CachedResult, ResultCache};
 use crate::deadline::CancelToken;
 use crate::json::Json;
 use crate::metrics::Metrics;
-use crate::persist::DurableStore;
+use crate::peer::{ClusterConfig, ClusterState, MAX_SYNC_PAGE};
+use crate::persist::{encode_record, DurableStore};
 use crate::protocol::{ErrorKind, Op, Request, Response};
 
 /// Work limits enforced per request.
@@ -105,6 +106,10 @@ pub struct Service {
     /// stampede of N identical `certify` requests costs one
     /// exploration. See [`Flight`] for the lock-order rules.
     inflight: Mutex<HashMap<String, Arc<Flight>>>,
+    /// Cluster topology, when this service is one shard of (or a
+    /// router over) an N-node cluster (None = standalone, the
+    /// default). See [`crate::peer`].
+    cluster: Option<ClusterState>,
 }
 
 /// One in-progress computation that concurrent identical requests wait
@@ -217,6 +222,7 @@ impl Service {
             limits,
             persist: None,
             inflight: Mutex::new(HashMap::new()),
+            cluster: None,
         }
     }
 
@@ -237,7 +243,22 @@ impl Service {
             limits,
             persist: Some(Mutex::new(store)),
             inflight: Mutex::new(HashMap::new()),
+            cluster: None,
         }
+    }
+
+    /// Makes this service one member of (or, with no
+    /// [`self_addr`](ClusterConfig::self_addr), a router over) a
+    /// cluster: requests whose fingerprint another node owns are
+    /// forwarded there instead of computed locally, and `peer-sync`
+    /// pages the cache to warm-starting peers.
+    pub fn with_cluster(mut self, config: ClusterConfig) -> Service {
+        let state = ClusterState::new(config);
+        self.metrics
+            .cluster_hash_ring_size
+            .store(state.ring().len() as u64, Relaxed);
+        self.cluster = Some(state);
+        self
     }
 
     /// A snapshot of the durable store's counters, when persistence is
@@ -304,8 +325,10 @@ impl Service {
                 resp.into_line()
             }
             Op::Shutdown => Response::ok(req.id.as_ref(), Op::Shutdown).into_line(),
+            Op::Forward => self.forward_op(req, start, token),
+            Op::PeerSync => self.peer_sync_op(req),
             Op::Certify | Op::Infer | Op::Flows | Op::Lint | Op::Explore | Op::Checkproof => {
-                self.compute_cached(req, start, token)
+                self.compute_cached(req, start, token, 0)
             }
         };
         self.metrics.record_latency(start.elapsed());
@@ -324,7 +347,92 @@ impl Service {
         }
     }
 
-    fn compute_cached(&self, req: &Request, start: Instant, token: &CancelToken) -> String {
+    /// The `forward` peer op: unwrap the inner request line and answer
+    /// it exactly as a direct request would be answered (so relayed
+    /// replies are byte-compatible), carrying the sender's hop count
+    /// into the routing decision as the anti-loop budget.
+    fn forward_op(&self, req: &Request, start: Instant, token: &CancelToken) -> String {
+        let inner_line = req.req.as_deref().unwrap_or_default();
+        let inner = match Request::parse(inner_line) {
+            Ok(inner) => inner,
+            Err((id, message)) => {
+                Metrics::bump(&self.metrics.errors);
+                return Response::error(
+                    id.as_ref(),
+                    ErrorKind::Protocol,
+                    &format!("bad forwarded request: {message}"),
+                )
+                .into_line();
+            }
+        };
+        match inner.op {
+            Op::Certify | Op::Infer | Op::Flows | Op::Lint | Op::Explore | Op::Checkproof => {
+                self.compute_cached(&inner, start, token, req.hops)
+            }
+            // Control ops must not ride inside `forward`: a wrapped
+            // `shutdown` would let any peer kill the node, and a
+            // wrapped `forward` would defeat the hop budget.
+            _ => {
+                Metrics::bump(&self.metrics.errors);
+                Response::error(
+                    inner.id.as_ref(),
+                    ErrorKind::Protocol,
+                    &format!("op `{}` cannot be forwarded", inner.op.name()),
+                )
+                .into_line()
+            }
+        }
+    }
+
+    /// The `peer-sync` op: one page of the cache as journal record
+    /// payloads, oldest (least recently used) first — the same order
+    /// and encoding compaction writes to disk, shipped over the wire.
+    fn peer_sync_op(&self, req: &Request) -> String {
+        Metrics::bump(&self.metrics.cluster_peer_syncs);
+        let cursor = req.cursor.unwrap_or(0).min(usize::MAX as u64) as usize;
+        let limit = req.limit.unwrap_or(256).clamp(1, MAX_SYNC_PAGE) as usize;
+        let all = match self.cache.lock() {
+            Ok(cache) => cache.entries(),
+            Err(_) => Vec::new(),
+        };
+        let total = all.len();
+        let page: Vec<Json> = all
+            .into_iter()
+            .skip(cursor)
+            .take(limit)
+            .map(|(hash, canon, value)| {
+                let payload = encode_record(hash, &canon, &value);
+                Json::Str(String::from_utf8_lossy(&payload).into_owned())
+            })
+            .collect();
+        let next = cursor.saturating_add(page.len());
+        Response::ok(req.id.as_ref(), Op::PeerSync)
+            .field("count", Json::Num(page.len() as f64))
+            .field("total", Json::Num(total as f64))
+            .field("next", Json::Num(next as f64))
+            .field("done", Json::Bool(next >= total))
+            .field("entries", Json::Arr(page))
+            .into_line()
+    }
+
+    /// Installs an entry that arrived via `peer-sync` (already verified
+    /// by the caller): into the cache and, when persistence is on, the
+    /// local journal — so a synced node is durable in its own right.
+    /// No compute-path metrics move; the work happened elsewhere.
+    pub(crate) fn install_synced(&self, key: &CacheKey, value: CachedResult) {
+        if let Ok(mut cache) = self.cache.lock() {
+            cache.put(key, value.clone());
+        }
+        self.journal(key, &value);
+    }
+
+    fn compute_cached(
+        &self,
+        req: &Request,
+        start: Instant,
+        token: &CancelToken,
+        hops: u64,
+    ) -> String {
         if let Some(counter) = self.op_counter(req.op) {
             Metrics::bump(counter);
         }
@@ -404,6 +512,15 @@ impl Service {
                 },
             }
         };
+        // Not cached and not in flight here: if another node owns this
+        // fingerprint, forward instead of computing — the owner's
+        // single-flight table then coalesces every node's copy of this
+        // request into one computation cluster-wide. Falls through to
+        // local computation when the cluster is unreachable, so a dead
+        // owner costs latency, never availability.
+        if let Some(line) = self.forward_to_owner(req, &key, hops, &mut guard) {
+            return line;
+        }
         Metrics::bump(&self.metrics.cache_misses);
 
         let outcome = self.compute(req, effective_fuel, threads, token);
@@ -491,6 +608,64 @@ impl Service {
             flight,
             result: None,
         }))
+    }
+
+    /// Tries to forward `req` to the node owning its fingerprint.
+    /// `Some(line)` is the relayed reply (byte-for-byte what the owner
+    /// answered); `None` means "compute locally" — this node owns the
+    /// key, there is no cluster, the hop budget is spent, or every
+    /// candidate peer was unreachable.
+    fn forward_to_owner(
+        &self,
+        req: &Request,
+        key: &CacheKey,
+        hops: u64,
+        guard: &mut Option<FlightGuard<'_>>,
+    ) -> Option<String> {
+        let cluster = self.cluster.as_ref()?;
+        if hops >= cluster.max_hops() {
+            return None;
+        }
+        let candidates = cluster.route(key.hash);
+        if candidates.is_empty() {
+            return None;
+        }
+        let mut outer = Request::new(Op::Forward, "");
+        outer.req = Some(req.to_line());
+        outer.hops = hops + 1;
+        let outer_line = outer.to_line();
+        for addr in candidates {
+            let Ok(reply) = crate::peer::call(&addr, &outer_line, cluster.peer_timeout()) else {
+                continue; // peer down: next candidate, else compute here
+            };
+            let Some((result, relayed_cached)) = relayed_result(&reply, req) else {
+                // Not an inner-shaped reply — the peer rejected the
+                // forward itself (overloaded, draining): next candidate.
+                continue;
+            };
+            Metrics::bump(&self.metrics.cluster_forwards);
+            if relayed_cached {
+                Metrics::bump(&self.metrics.cluster_forward_hits);
+            }
+            if !result.ok {
+                Metrics::bump(&self.metrics.errors);
+            }
+            // Deterministic outcomes are cacheable on this side of the
+            // wire too; timeouts depend on the deadline, not the key,
+            // so they are relayed but never stored or published (the
+            // same rule local computation follows).
+            if !is_timeout(&result) {
+                if let Ok(mut cache) = self.cache.lock() {
+                    cache.put(key, result.clone());
+                }
+                self.journal(key, &result);
+                if let Some(guard) = guard.as_mut() {
+                    guard.result = Some(result);
+                }
+            }
+            return Some(reply);
+        }
+        None
     }
 
     /// Appends a freshly cached result to the durable journal, then
@@ -710,6 +885,48 @@ fn parse_linear_class(scheme: &LinearScheme, s: &str) -> Result<secflow_lattice:
         .ok_or_else(|| format!("level {k} out of range (0..={top})"))
 }
 
+/// The cluster routing fingerprint of `req`: the same FNV-1a hash the
+/// result cache keys on, computed with the default limits' fuel cap so
+/// every router, client, and node — whatever its own serving limits —
+/// maps a given request to the same ring position.
+pub fn route_fingerprint(req: &Request) -> u64 {
+    let fuel = req.fuel.unwrap_or(u64::MAX).min(Limits::default().max_fuel);
+    cache_key(req, fuel).hash
+}
+
+/// Interprets a peer's reply to a `forward` as the inner request's
+/// result: `Some((payload, was_cached))` when the reply is an
+/// inner-shaped response (its `op` echoes the forwarded op), `None`
+/// when the peer answered about the forward itself (a rejection).
+/// The payload is the reply minus the per-response envelope
+/// (`id`/`ok`/`op`/`cached`/`us`/`threads`) — exactly what the local
+/// cache stores, so a later hit replays it byte-identically.
+fn relayed_result(reply: &str, req: &Request) -> Option<(CachedResult, bool)> {
+    let v = Json::parse(reply).ok()?;
+    if v.get("op").and_then(Json::as_str) != Some(req.op.name()) {
+        return None;
+    }
+    let ok = v.get("ok").and_then(Json::as_bool)?;
+    let cached = v.get("cached").and_then(Json::as_bool).unwrap_or(false);
+    let fields: Vec<(String, Json)> = v
+        .as_obj()?
+        .iter()
+        .filter(|(k, _)| !matches!(k.as_str(), "id" | "ok" | "op" | "cached" | "us" | "threads"))
+        .cloned()
+        .collect();
+    Some((CachedResult { ok, fields }, cached))
+}
+
+/// Whether a result is a `timeout` error (never cached or published —
+/// it reflects a deadline, not the request's identity).
+fn is_timeout(result: &CachedResult) -> bool {
+    !result.ok
+        && result
+            .fields
+            .iter()
+            .any(|(k, v)| k == "error" && v.get("kind").and_then(Json::as_str) == Some("timeout"))
+}
+
 fn cache_key(req: &Request, effective_fuel: u64) -> CacheKey {
     let classes: String = req
         .classes
@@ -909,7 +1126,13 @@ where
             };
             Ok(vec![("graph".to_string(), Json::Str(rendered))])
         }
-        Op::Lint | Op::Explore | Op::Checkproof | Op::Stats | Op::Shutdown => {
+        Op::Lint
+        | Op::Explore
+        | Op::Checkproof
+        | Op::Stats
+        | Op::Shutdown
+        | Op::Forward
+        | Op::PeerSync => {
             unreachable!("handled before dispatch")
         }
     }

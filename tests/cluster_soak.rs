@@ -1,0 +1,438 @@
+//! The cluster soak: a 3-node sharded cluster plus a router, driven
+//! differentially against a single-node fault-free oracle.
+//!
+//! Two stories, mirroring `tests/serve_soak.rs` one level up the
+//! topology:
+//!
+//! - **exactly-once** — every distinct source delivered to every node
+//!   *and* the router computes exactly once cluster-wide: the sum of
+//!   the nodes' `cache_misses` equals the number of distinct sources,
+//!   and the forward/single-flight counters in `stats` prove how;
+//! - **chaos convergence** — with nodes SIGKILLed and restarted and
+//!   inter-node connections dropped, stalled and erroring under a
+//!   seeded fault plan, every reply a client ever receives is
+//!   byte-identical (modulo the `us` and `cached` timing fields) with
+//!   a fault-free single-node run of the same request.
+//!
+//! The chaos test runs the real `secflow` binary (SIGKILL needs a
+//! process, not a thread) on OS-assigned ports; the exactly-once test
+//! is fully in-process on `bind_ephemeral` + `serve_listener`.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStderr, Command, Stdio};
+use std::sync::atomic::Ordering::Relaxed;
+use std::time::Duration;
+
+use secflow::lang::print_program;
+use secflow::server::{
+    bind_ephemeral, serve_listener, ClusterClient, ClusterConfig, Json, Limits, Op, RemoteClient,
+    Request, RetryPolicy, ServerConfig, Service,
+};
+use secflow::workload::sequential_chain;
+
+const LEAKY: &str = "var x, y : integer; sem : semaphore;
+    cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend";
+
+fn soak_source(slot: usize) -> String {
+    print_program(&sequential_chain(10 + slot, 6))
+}
+
+/// Drops `us` (elapsed time) and `cached` (where the answer came from,
+/// not what it is) so replies compare byte-for-byte.
+fn strip_timing(line: &str) -> String {
+    let Ok(Json::Obj(fields)) = Json::parse(line) else {
+        panic!("reply is not a JSON object: {line}");
+    };
+    Json::Obj(
+        fields
+            .into_iter()
+            .filter(|(k, _)| k != "us" && k != "cached")
+            .collect(),
+    )
+    .to_string()
+}
+
+fn stats_of(addr: &str) -> Json {
+    let mut client = RemoteClient::new(addr, RetryPolicy::default());
+    let line = client
+        .call(&Request::new(Op::Stats, ""))
+        .unwrap_or_else(|e| panic!("stats from {addr}: {e:?}"));
+    Json::parse(&line).expect("stats parses")
+}
+
+fn stat(stats: &Json, field: &str) -> u64 {
+    stats
+        .get(field)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats missing {field}: {stats}"))
+}
+
+fn cluster_stat(stats: &Json, field: &str) -> u64 {
+    stats
+        .get("cluster")
+        .and_then(|c| c.get(field))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats missing cluster.{field}: {stats}"))
+}
+
+fn shutdown(addr: &str) {
+    let stream = TcpStream::connect(addr).expect("shutdown connect");
+    let mut writer = stream.try_clone().unwrap();
+    writeln!(writer, r#"{{"op":"shutdown"}}"#).unwrap();
+    let mut ack = String::new();
+    BufReader::new(stream).read_line(&mut ack).unwrap();
+    assert!(ack.contains("shutdown"), "ack: {ack}");
+}
+
+/// Every distinct source, delivered redundantly to every node and the
+/// router, computes exactly once cluster-wide. The proof is in the
+/// counters: misses (= computations) sum to the distinct-source count,
+/// forwards carried the rest, and the explored state total across the
+/// whole cluster equals one fault-free run's.
+#[test]
+fn three_node_cluster_computes_each_distinct_source_exactly_once() {
+    let listeners: Vec<_> = (0..3).map(|_| bind_ephemeral().unwrap()).collect();
+    let addrs: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect();
+    let mut servers = Vec::new();
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let mut cluster = ClusterConfig::new(&addrs);
+        cluster.self_addr = Some(addrs[i].clone());
+        let cfg = ServerConfig {
+            workers: 2,
+            cache_capacity: 1024,
+            cluster: Some(cluster),
+            ..ServerConfig::default()
+        };
+        servers.push(serve_listener(listener, cfg).unwrap());
+    }
+    let listener = bind_ephemeral().unwrap();
+    let router_addr = listener.local_addr().unwrap().to_string();
+    let router_cfg = ServerConfig {
+        workers: 2,
+        cache_capacity: 1024,
+        cluster: Some(ClusterConfig::new(&addrs)),
+        ..ServerConfig::default()
+    };
+    let router = serve_listener(listener, router_cfg).unwrap();
+
+    // The single-node fault-free oracle.
+    let reference = Service::new(1024, Limits::default());
+    let policy = RetryPolicy::default();
+
+    let k = 24usize;
+    for slot in 0..k {
+        let req = Request::new(Op::Certify, soak_source(slot));
+        reference.note_request();
+        let expected = strip_timing(&reference.execute(&req));
+        // Four redundant deliveries: each node directly, then the
+        // router; then client-side routing straight to the owner.
+        for target in addrs.iter().chain(std::iter::once(&router_addr)) {
+            let reply = RemoteClient::new(target, policy)
+                .call(&req)
+                .expect("node replies");
+            assert_eq!(strip_timing(&reply), expected, "slot {slot} via {target}");
+        }
+        let reply = ClusterClient::new(&addrs, policy)
+            .call(&req)
+            .expect("cluster client replies");
+        assert_eq!(
+            strip_timing(&reply),
+            expected,
+            "slot {slot} via ring client"
+        );
+    }
+
+    // One expensive exploration, delivered everywhere: the state space
+    // is searched exactly once in the whole cluster.
+    let mut explore = Request::new(Op::Explore, LEAKY);
+    explore.inputs = vec![("x".to_string(), 1)];
+    reference.note_request();
+    let expected = strip_timing(&reference.execute(&explore));
+    for target in addrs.iter().chain(std::iter::once(&router_addr)) {
+        let reply = RemoteClient::new(target, policy)
+            .call(&explore)
+            .expect("explore replies");
+        assert_eq!(strip_timing(&reply), expected, "explore via {target}");
+    }
+
+    let node_stats: Vec<Json> = addrs.iter().map(|a| stats_of(a)).collect();
+    let misses: u64 = node_stats.iter().map(|s| stat(s, "cache_misses")).sum();
+    let forwards: u64 = node_stats.iter().map(|s| cluster_stat(s, "forwards")).sum();
+    let forward_hits: u64 = node_stats
+        .iter()
+        .map(|s| cluster_stat(s, "forward_hits"))
+        .sum();
+    let states: u64 = node_stats.iter().map(|s| stat(s, "explore_states")).sum();
+    assert_eq!(
+        misses,
+        k as u64 + 1,
+        "each distinct request computes exactly once cluster-wide: {node_stats:?}"
+    );
+    assert_eq!(
+        states,
+        reference.metrics.explore_states.load(Relaxed),
+        "the cluster explored the state space exactly once"
+    );
+    assert!(forwards > 0, "no request was ever forwarded");
+    assert!(
+        forward_hits > 0,
+        "redundant deliveries never hit a peer's cache through a forward"
+    );
+    for s in &node_stats {
+        assert_eq!(cluster_stat(s, "hash_ring_size"), 3);
+    }
+    let router_stats = stats_of(&router_addr);
+    assert_eq!(
+        stat(&router_stats, "cache_misses"),
+        0,
+        "a healthy router never computes: {router_stats}"
+    );
+    assert!(cluster_stat(&router_stats, "forwards") > 0);
+    eprintln!(
+        "exactly-once: {} distinct requests x5 deliveries -> {misses} computations, \
+         {forwards} node forwards (+{} router), {forward_hits} forward hits, \
+         {states} states explored (oracle: {})",
+        k + 1,
+        cluster_stat(&router_stats, "forwards"),
+        reference.metrics.explore_states.load(Relaxed),
+    );
+
+    shutdown(&router_addr);
+    router.join().expect("router thread");
+    for (addr, server) in addrs.iter().zip(servers) {
+        shutdown(addr);
+        server.join().expect("node thread");
+    }
+}
+
+// ---- chaos: subprocess nodes, SIGKILL, seeded fault plans ------------
+
+/// The built CLI binary, found relative to this test executable
+/// (`target/debug/deps/cluster_soak-*` → `target/debug/secflow`).
+fn secflow_bin() -> Option<PathBuf> {
+    let mut p = std::env::current_exe().ok()?;
+    p.pop(); // deps/
+    p.pop(); // debug/
+    let bin = p.join(format!("secflow{}", std::env::consts::EXE_SUFFIX));
+    bin.exists().then_some(bin)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("secflow-cluster-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct Node {
+    child: Child,
+    addr: String,
+    // Held open so the child never blocks on a full stderr pipe; the
+    // banner has already been consumed.
+    _stderr: BufReader<ChildStderr>,
+}
+
+impl Node {
+    /// Spawns `secflow <subcmd>` and reads the announced address back
+    /// from the banner (ephemeral or explicit, the flow is the same).
+    fn spawn(bin: &Path, subcmd: &str, args: &[&str]) -> Node {
+        let mut child = Command::new(bin)
+            .arg(subcmd)
+            .args(args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("node spawns");
+        let mut stderr = BufReader::new(child.stderr.take().unwrap());
+        let addr = loop {
+            let mut line = String::new();
+            let n = stderr.read_line(&mut line).expect("read banner");
+            assert!(n > 0, "node exited before announcing its address");
+            if let Some(rest) = line.split("listening on ").nth(1) {
+                break rest.split_whitespace().next().unwrap().to_string();
+            }
+        };
+        Node {
+            child,
+            addr,
+            _stderr: stderr,
+        }
+    }
+
+    fn kill_dash_nine(mut self) {
+        self.child.kill().expect("kill");
+        self.child.wait().expect("reap");
+    }
+}
+
+/// Reserves three distinct loopback ports the OS just handed out, so
+/// the cluster's member list can be fixed *before* any node starts
+/// (and a killed node can restart at its old identity).
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<_> = (0..n).map(|_| bind_ephemeral().unwrap()).collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect()
+}
+
+#[test]
+fn cluster_chaos_soak_converges_with_single_node_fault_free_run() {
+    let Some(bin) = secflow_bin() else {
+        // `cargo test --test cluster_soak` alone does not build the CLI
+        // binary; the full workspace test run does.
+        eprintln!("skipping: secflow binary not built");
+        return;
+    };
+    let addrs = reserve_addrs(3);
+    let peers = addrs.join(",");
+    let dirs: Vec<PathBuf> = (0..3).map(|i| tmp_dir(&format!("node{i}"))).collect();
+
+    // Deterministic per-node fault plans: worker panics, IO errors,
+    // short reads/writes, stalls and latency on every connection the
+    // node serves — which includes the `forward` and `peer-sync`
+    // traffic its peers send it. The fault fuse bounds the damage so
+    // every client converges.
+    let chaos = |seed: usize| {
+        format!(
+            "seed={seed},panic=10,io=20,short=20,stall=10,latency=30,latency_ms=2,drop_connects=2,max_faults=60"
+        )
+    };
+    let spawn_node = |i: usize, extra: &[&str]| -> Node {
+        let chaos = chaos(40 + i);
+        let mut args = vec![
+            "--addr",
+            &addrs[i],
+            "--advertise",
+            &addrs[i],
+            "--peers",
+            &peers,
+            "--cache-dir",
+            dirs[i].to_str().unwrap(),
+            "--fsync",
+            "always",
+            "--workers",
+            "2",
+            "--peer-timeout-ms",
+            "500",
+            // Reap chaos-stalled connections fast so clients see a
+            // clean close (one quick retry) instead of a 10s timeout.
+            "--stall-timeout-ms",
+            "1000",
+            "--chaos",
+            &chaos,
+        ];
+        args.extend_from_slice(extra);
+        Node::spawn(&bin, "serve", &args)
+    };
+    let mut nodes: Vec<Option<Node>> = (0..3).map(|i| Some(spawn_node(i, &[]))).collect();
+    let router = Node::spawn(
+        &bin,
+        "router",
+        &["--addr", "127.0.0.1:0", "--peers", &peers],
+    );
+
+    // The single-node fault-free oracle every reply must match.
+    let reference = Service::new(1024, Limits::default());
+    let expect = |req: &Request| -> String {
+        reference.note_request();
+        strip_timing(&reference.execute(req))
+    };
+    // Worst case: one client absorbs a node's whole 60-fault fuse plus
+    // the connect drops, one round each.
+    let policy = RetryPolicy {
+        budget: 80,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(20),
+        io_timeout: Some(Duration::from_secs(10)),
+        ..RetryPolicy::default()
+    };
+    let k = 12usize;
+    let requests: Vec<Request> = (0..k)
+        .map(|slot| Request::new(Op::Certify, soak_source(slot)))
+        .collect();
+
+    // Round 1: full cluster, through the router and directly.
+    for (slot, req) in requests.iter().enumerate() {
+        let expected = expect(req);
+        let reply = RemoteClient::new(&router.addr, policy)
+            .call(req)
+            .expect("router replies under chaos");
+        assert_eq!(strip_timing(&reply), expected, "round 1 slot {slot}");
+        let direct = RemoteClient::new(&addrs[slot % 3], policy)
+            .call(req)
+            .expect("node replies under chaos");
+        assert_eq!(strip_timing(&direct), expected, "round 1 direct {slot}");
+    }
+
+    // The first crash: node 0 dies mid-cluster, no warning, no flush.
+    nodes[0].take().unwrap().kill_dash_nine();
+
+    // Round 2: the survivors (and the router, re-routing around the
+    // corpse) still answer everything, byte-identically.
+    for (slot, req) in requests.iter().enumerate() {
+        let expected = expect(req);
+        let reply = RemoteClient::new(&router.addr, policy)
+            .call(req)
+            .expect("router replies with a dead node");
+        assert_eq!(strip_timing(&reply), expected, "round 2 slot {slot}");
+        let direct = RemoteClient::new(&addrs[1 + slot % 2], policy)
+            .call(req)
+            .expect("surviving node replies");
+        assert_eq!(strip_timing(&direct), expected, "round 2 direct {slot}");
+    }
+
+    // Restart node 0 at its old identity — same address, same store —
+    // and additionally warm-start it from a (chaos-ridden) peer.
+    nodes[0] = Some(spawn_node(0, &["--sync-from", &addrs[1]]));
+
+    // Round 3: the old corpus plus fresh sources across the healed
+    // cluster, again both paths.
+    let fresh: Vec<Request> = (k..k + 6)
+        .map(|slot| Request::new(Op::Certify, soak_source(slot)))
+        .collect();
+    for (slot, req) in requests.iter().chain(fresh.iter()).enumerate() {
+        let expected = expect(req);
+        let reply = RemoteClient::new(&router.addr, policy)
+            .call(req)
+            .expect("router replies after restart");
+        assert_eq!(strip_timing(&reply), expected, "round 3 slot {slot}");
+        let direct = RemoteClient::new(&addrs[slot % 3], policy)
+            .call(req)
+            .expect("restarted cluster replies");
+        assert_eq!(strip_timing(&direct), expected, "round 3 direct {slot}");
+    }
+
+    // The healed cluster is visible to the operator tooling: every
+    // member answers `cluster-status`, exit 0.
+    let status = Command::new(&bin)
+        .args(["cluster-status", "--peers", &peers])
+        .output()
+        .expect("cluster-status runs");
+    let table = String::from_utf8_lossy(&status.stdout);
+    assert!(
+        status.status.success(),
+        "cluster-status found a dead member:\n{table}"
+    );
+    for addr in &addrs {
+        assert!(table.contains(addr.as_str()), "missing {addr}:\n{table}");
+    }
+    eprintln!(
+        "chaos soak: {} replies matched the fault-free oracle across a SIGKILL, \
+         a --sync-from restart, and per-node fault plans; healed cluster:\n{table}",
+        2 * (2 * k + k + 6)
+    );
+
+    router.kill_dash_nine();
+    for node in nodes.into_iter().flatten() {
+        node.kill_dash_nine();
+    }
+}

@@ -10,7 +10,9 @@ use proptest::prelude::*;
 use secflow::analyze::analyze;
 use secflow::cert::validate_certificate;
 use secflow::lang::{parse, print_program};
-use secflow::server::{Json, Limits, Service};
+use secflow::server::cache::canon_hash;
+use secflow::server::persist::{decode_record, encode_record};
+use secflow::server::{CacheKey, CachedResult, Json, Limits, Service};
 use secflow::workload::{generate, GenConfig};
 
 /// Drives one input through the full front-end: parse, then (on
@@ -127,5 +129,88 @@ proptest! {
         } else {
             prop_assert!(reply.get("error").is_some());
         }
+    }
+
+    /// The `forward` peer op over byte soup as the wrapped request
+    /// line: always a well-formed reply — a relayed verdict or a
+    /// structured error with a non-empty kind — never a panic.
+    #[test]
+    fn server_forward_soup_never_panics(inner in ".{0,300}") {
+        let service = Service::new(16, Limits::default());
+        let req = format!(r#"{{"op":"forward","req":{}}}"#, Json::Str(inner));
+        let reply = Json::parse(&service.handle_line(&req)).expect("reply is well-formed JSON");
+        let ok = reply.get("ok").and_then(Json::as_bool).expect("ok field");
+        if !ok {
+            let kind = reply
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str)
+                .expect("structured error kind");
+            prop_assert!(!kind.is_empty());
+        }
+    }
+
+    /// A well-formed `forward` wrapping a certify of soup source: the
+    /// inner request computes exactly as if sent directly (the reply
+    /// carries the inner op), whatever the source bytes.
+    #[test]
+    fn server_forward_wrapped_soup_source_never_panics(source in ".{0,200}") {
+        let service = Service::new(16, Limits::default());
+        let inner = format!(r#"{{"op":"certify","source":{}}}"#, Json::Str(source));
+        let req = format!(r#"{{"op":"forward","req":{}}}"#, Json::Str(inner));
+        let reply = Json::parse(&service.handle_line(&req)).expect("reply is well-formed JSON");
+        let ok = reply.get("ok").and_then(Json::as_bool).expect("ok field");
+        if ok {
+            prop_assert_eq!(reply.get("op").and_then(Json::as_str), Some("certify"));
+        } else {
+            prop_assert!(reply.get("error").is_some());
+        }
+    }
+
+    /// `peer-sync` paging with arbitrary cursors and limits: the reply
+    /// is always ok, and every entry it ships decodes as a journal
+    /// record whose fingerprint replays from its canonical text — the
+    /// serving side can never be coaxed into shipping a poisoned entry.
+    #[test]
+    fn server_peer_sync_paging_never_panics(
+        cursor in 0u64..(1 << 53),
+        limit in 0u64..(1 << 20),
+    ) {
+        let service = Service::new(16, Limits::default());
+        service.handle_line(r#"{"op":"certify","source":"var x : integer; x := 1"}"#);
+        service.handle_line(r#"{"op":"certify","source":"var y : integer; y := 2"}"#);
+        let req = format!(r#"{{"op":"peer-sync","cursor":{cursor},"limit":{limit}}}"#);
+        let reply = Json::parse(&service.handle_line(&req)).expect("reply is well-formed JSON");
+        prop_assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        let entries = reply.get("entries").and_then(Json::as_arr).expect("entries array");
+        for entry in entries {
+            let payload = entry.as_str().expect("entries are record strings");
+            let rec = decode_record(payload.as_bytes()).expect("shipped records decode");
+            prop_assert_eq!(canon_hash(&rec.key.canon), Some(rec.key.hash));
+        }
+    }
+
+    /// The receiving side of journal shipping: truncating a genuine
+    /// record frame anywhere mid-ship makes it undecodable, and a
+    /// forged fingerprint over genuine canonical text always fails the
+    /// replay check — the two gates that make cache poisoning by a
+    /// lying peer impossible.
+    #[test]
+    fn truncated_or_forged_sync_records_never_install(
+        cut in 0usize..4096,
+        flip in 1u64..u64::MAX,
+    ) {
+        let key = CacheKey::of(&["certify", "two", "var x : integer; x := 1"]);
+        let value = CachedResult {
+            ok: true,
+            fields: vec![("certified".to_string(), Json::Bool(true))],
+        };
+        let payload = encode_record(key.hash, &key.canon, &value);
+        let cut = cut.min(payload.len() - 1);
+        prop_assert!(decode_record(&payload[..cut]).is_none(), "truncated frame decodes");
+
+        let forged = encode_record(key.hash ^ flip, &key.canon, &value);
+        let rec = decode_record(&forged).expect("forged frame still decodes");
+        prop_assert_ne!(canon_hash(&rec.key.canon), Some(rec.key.hash));
     }
 }

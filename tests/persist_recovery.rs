@@ -14,8 +14,11 @@
 //!   compaction drops them (the documented DESIGN §10 semantics);
 //! - a flipped byte costs exactly one frame, never the store.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering::Relaxed;
+use std::time::Duration;
 
 use secflow::server::{DurableStore, FsyncMode, Json, Limits, PersistConfig, Service};
 
@@ -199,6 +202,85 @@ fn warm_start_reserves_certificates_with_zero_reproving() {
     // The offline store inspection sees the certificate-bearing entry.
     let report = secflow::server::inspect_store(&dir).unwrap();
     assert_eq!(report.cert_entries(), 1);
+}
+
+/// Warm start *from a peer* instead of from local disk: a cold node
+/// with no store of its own drains a loaded peer's cache over
+/// `peer-sync` (journal shipping over TCP, DESIGN §14) and then
+/// answers the peer's whole corpus `cached:true`, byte-identically,
+/// without re-proving a certificate or re-exploring a state space.
+#[test]
+fn warm_start_from_peer_ships_the_journal_without_recompute() {
+    let dir_a = tmp_dir("peer-warm");
+    let mut corpus = corpus();
+    // Include a certificate-bearing entry so the zero-re-proving claim
+    // has something to bite on.
+    let provable = "var x, y : integer; cobegin y := x || x := 1 coend";
+    corpus.push(format!(
+        r#"{{"op":"certify","source":{},"with_proof":true}}"#,
+        Json::Str(provable.to_string())
+    ));
+
+    // Node A computes the corpus once; the second pass is the cached
+    // baseline the synced node must reproduce byte-for-byte.
+    let a = service_in(&dir_a, 64, 8 << 20);
+    for line in &corpus {
+        a.handle_line(line);
+    }
+    let baseline: Vec<String> = corpus
+        .iter()
+        .map(|l| normalized(&a.handle_line(l)))
+        .collect();
+    assert!(baseline.iter().all(|r| r.contains(r#""cached":true"#)));
+    drop(a);
+
+    // Serve A's store over TCP on an ephemeral port.
+    let cfg = secflow::server::ServerConfig {
+        persist: Some(PersistConfig {
+            fsync: FsyncMode::Always,
+            ..PersistConfig::new(&dir_a)
+        }),
+        ..Default::default()
+    };
+    let listener = secflow::server::bind_ephemeral().unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = secflow::server::serve_listener(listener, cfg).unwrap();
+
+    // Node B: fresh, diskless, empty. One sync drains the peer.
+    let b = Service::new(64, Limits::default());
+    let report = secflow::server::sync_from_peer(&b, &addr, Duration::from_secs(10))
+        .expect("peer sync succeeds");
+    assert_eq!(report.entries_rejected, 0, "genuine records all verify");
+    assert_eq!(report.entries_installed as usize, corpus.len());
+    assert!(report.pages >= 1);
+    assert_eq!(b.cache_len(), corpus.len());
+
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, r#"{{"op":"shutdown"}}"#).unwrap();
+    let mut ack = String::new();
+    reader.read_line(&mut ack).unwrap();
+    assert!(ack.contains("shutdown"), "ack: {ack}");
+    server.join().expect("server thread");
+
+    // B answers everything cached and byte-identical to the peer's own
+    // cached replies — and never computed anything to do it.
+    let synced: Vec<String> = corpus
+        .iter()
+        .map(|l| normalized(&b.handle_line(l)))
+        .collect();
+    assert_eq!(synced, baseline, "synced replies are byte-identical");
+    assert!(synced.iter().all(|r| r.contains(r#""cached":true"#)));
+    assert_eq!(b.metrics.proofs_emitted.load(Relaxed), 0, "no re-proving");
+    assert_eq!(b.metrics.explore_states.load(Relaxed), 0, "no re-exploring");
+    assert_eq!(b.metrics.cache_misses.load(Relaxed), 0);
+    assert_eq!(b.metrics.cache_hits.load(Relaxed), corpus.len() as u64);
+    assert_eq!(
+        b.metrics.cluster_peer_syncs.load(Relaxed),
+        0,
+        "the client side of a sync is not a served peer-sync op"
+    );
 }
 
 #[test]

@@ -25,8 +25,8 @@ use std::time::{Duration, Instant};
 
 use secflow::lang::print_program;
 use secflow::server::{
-    serve_tcp, FaultPlan, Json, Limits, Op, PipelinedClient, Request, RetryPolicy, ServerConfig,
-    Service,
+    bind_ephemeral, serve_listener, FaultPlan, Json, Limits, Op, PipelinedClient, Request,
+    RetryPolicy, ServerConfig, Service,
 };
 use secflow::workload::sequential_chain;
 
@@ -102,8 +102,12 @@ fn thousand_connection_chaos_soak_converges_with_fault_free_run() {
         idle_timeout_ms: 120_000,
         ..ServerConfig::default()
     };
-    let server = serve_tcp("127.0.0.1:0", cfg).unwrap();
-    let addr = server.local_addr().to_string();
+    // The shared ephemeral-port story (the same one the cluster tests
+    // lean on): bind first, read the address, then serve — no port is
+    // ever guessed, so parallel test binaries cannot collide.
+    let listener = bind_ephemeral().unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = serve_listener(listener, cfg).unwrap();
 
     // The fault-free reference: identical service logic, no chaos, no
     // network. Every soak reply must match it byte-for-byte modulo
@@ -299,8 +303,9 @@ fn stalled_client_cannot_block_other_connections() {
         stall_timeout_ms: 300,
         ..ServerConfig::default()
     };
-    let server = serve_tcp("127.0.0.1:0", cfg).unwrap();
-    let addr = server.local_addr().to_string();
+    let listener = bind_ephemeral().unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = serve_listener(listener, cfg).unwrap();
 
     // Connection A: half a line, then frozen.
     let mut stalled = TcpStream::connect(&addr).expect("stalled connect");
