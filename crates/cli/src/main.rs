@@ -63,10 +63,12 @@ USAGE:
                   [--write-high-water BYTES] [--idle-timeout-ms N]
                   [--stall-timeout-ms N] (no --addr: serve stdin/stdout)
                   [--sync-from HOST:PORT] [--peers a,b,c --advertise
-                  HOST:PORT [--max-hops N] [--peer-timeout-ms N]]
+                  HOST:PORT [--max-hops N] [--peer-timeout-ms N]
+                  [--replication N]]
   secflow router  --addr HOST:PORT --peers a,b,c [--max-hops N]
                   [--peer-timeout-ms N] [serve tuning flags]
   secflow cluster-status --peers a,b,c [--peer-timeout-ms N] [--json]
+  secflow repair  --peers a,b,c [--peer-timeout-ms N] [--json]
   secflow cache-inspect <dir> [--json]
   secflow batch   <dir> [--class name=CLASS]... [--default CLASS]
                   [--lattice two|linear:N] [--workers N]
@@ -106,7 +108,12 @@ computation happens exactly once cluster-wide, and `--sync-from`
 warm-starts a cold node by shipping a peer's journal over `peer-sync`.
 `router` is a shard-aware stateless front door over the same ring;
 `cluster-status` polls each member's `stats` and tabulates the cluster
-counters.
+counters, per-node health and shard digests. `serve --replication N`
+pushes every freshly computed result to the N-1 ring successors of its
+owner; writes owed to a DOWN replica queue in a bounded hint journal
+and are redelivered when it recovers. `repair` runs one round of
+pairwise anti-entropy (digest compare + journal pull) across the
+member list and exits 0 only when every shard digest converged.
 ";
 
 /// A CLI failure, split along the exit-code convention: `Usage` exits 2
@@ -166,6 +173,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, CliError> {
         "serve" => cmd_serve(rest),
         "router" => cmd_router(rest),
         "cluster-status" => cmd_cluster_status(rest),
+        "repair" => cmd_repair(rest),
         "cache-inspect" => cmd_cache_inspect(rest),
         "batch" => cmd_batch(rest),
         "gen" => cmd_gen(rest),
@@ -1101,13 +1109,23 @@ fn server_config(opts: &Opts) -> Result<secflow_server::ServerConfig, String> {
             }
             cluster.peer_timeout_ms = ms;
         }
+        if let Some(v) = opts.value("replication") {
+            let rf: u64 = v.parse().map_err(|_| "bad --replication")?;
+            if rf == 0 {
+                return Err("bad --replication (must be >= 1)".to_string());
+            }
+            cluster.replication = rf;
+        }
         cluster.sync_from = opts.value("sync-from").map(str::to_string);
         cfg.cluster = Some(cluster);
-    } else if ["advertise", "max-hops", "peer-timeout-ms"]
+    } else if ["advertise", "max-hops", "peer-timeout-ms", "replication"]
         .iter()
         .any(|f| opts.has(f))
     {
-        return Err("--advertise, --max-hops and --peer-timeout-ms require --peers".to_string());
+        return Err(
+            "--advertise, --max-hops, --peer-timeout-ms and --replication require --peers"
+                .to_string(),
+        );
     }
     Ok(cfg)
 }
@@ -1248,8 +1266,8 @@ fn cmd_cluster_status(args: &[String]) -> Result<ExitCode, CliError> {
     let mut down = 0usize;
     if !json {
         println!(
-            "{:<22} {:>8} {:>8} {:>9} {:>9} {:>10} {:>6}",
-            "NODE", "REQS", "HITS", "FORWARDS", "FWD_HITS", "PEER_SYNC", "RING"
+            "{:<22} {:>8} {:>8} {:>9} {:>9} {:>6} {:>6} {:>17}",
+            "NODE", "REQS", "HITS", "FORWARDS", "FWD_HITS", "RING", "HINTS", "DIGEST"
         );
     }
     for peer in &peers {
@@ -1259,24 +1277,49 @@ fn cmd_cluster_status(args: &[String]) -> Result<ExitCode, CliError> {
                 let n = |v: &Json, field: &str| v.get(field).and_then(Json::as_u64).unwrap_or(0);
                 let cluster = stats.get("cluster").cloned().unwrap_or(Json::Obj(vec![]));
                 if json {
+                    // Surface the healing fields at the top level so
+                    // harnesses can assert convergence without digging
+                    // through the whole stats object (still attached).
                     println!(
                         "{}",
                         Json::Obj(vec![
                             ("node".to_string(), Json::Str(peer.clone())),
                             ("up".to_string(), Json::Bool(true)),
+                            (
+                                "shard_digest".to_string(),
+                                cluster
+                                    .get("shard_digest")
+                                    .cloned()
+                                    .unwrap_or(Json::Str(String::new())),
+                            ),
+                            (
+                                "hints_pending".to_string(),
+                                cluster
+                                    .get("hints_pending")
+                                    .cloned()
+                                    .unwrap_or(Json::Num(0.0)),
+                            ),
+                            (
+                                "peers".to_string(),
+                                cluster.get("peers").cloned().unwrap_or(Json::Arr(vec![])),
+                            ),
                             ("stats".to_string(), stats),
                         ])
                     );
                 } else {
                     println!(
-                        "{:<22} {:>8} {:>8} {:>9} {:>9} {:>10} {:>6}",
+                        "{:<22} {:>8} {:>8} {:>9} {:>9} {:>6} {:>6} {:>17}",
                         peer,
                         n(&stats, "requests"),
                         n(&stats, "cache_hits"),
                         n(&cluster, "forwards"),
                         n(&cluster, "forward_hits"),
-                        n(&cluster, "peer_syncs"),
                         n(&cluster, "hash_ring_size"),
+                        n(&cluster, "hints_pending"),
+                        cluster
+                            .get("shard_digest")
+                            .and_then(Json::as_str)
+                            .unwrap_or("-"),
                     );
                 }
             }
@@ -1297,6 +1340,120 @@ fn cmd_cluster_status(args: &[String]) -> Result<ExitCode, CliError> {
         }
     }
     Ok(if down == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `secflow repair`: one round of pairwise anti-entropy across the
+/// member list. Every node is told to `repair` against every other
+/// node (digest compare, journal pull on mismatch); afterwards each
+/// node's shard digest is read back over `ping` and the command exits
+/// 0 only when every node answered and all digests converged. Because
+/// each pull installs the verified union of both caches, one
+/// sequential pass converges the whole cluster.
+fn cmd_repair(args: &[String]) -> Result<ExitCode, CliError> {
+    use secflow_server::Json;
+    let opts = parse_opts(args)?;
+    let peers = peer_list(&opts)?.ok_or("repair needs --peers HOST:PORT,...")?;
+    if peers.len() < 2 {
+        return Err("repair needs at least two --peers".into());
+    }
+    let timeout_ms: u64 = opts.value("peer-timeout-ms").map_or(Ok(5_000), |v| {
+        v.parse().map_err(|_| "bad --peer-timeout-ms")
+    })?;
+    let policy = secflow_server::RetryPolicy {
+        budget: 2,
+        io_timeout: Some(std::time::Duration::from_millis(timeout_ms.max(1))),
+        ..secflow_server::RetryPolicy::default()
+    };
+    let json = opts.has("json");
+    let mut failures = 0usize;
+    let mut installed_total = 0u64;
+    for node in &peers {
+        for peer in peers.iter().filter(|p| *p != node) {
+            let mut req = secflow_server::Request::new(secflow_server::Op::Repair, "");
+            req.peer = Some(peer.clone());
+            let reply = secflow_server::RemoteClient::new(node, policy).call(&req);
+            match reply.ok().and_then(|line| Json::parse(&line).ok()) {
+                Some(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => {
+                    let installed = v.get("installed").and_then(Json::as_u64).unwrap_or(0);
+                    installed_total += installed;
+                    if json {
+                        println!(
+                            "{}",
+                            Json::Obj(vec![
+                                ("node".to_string(), Json::Str(node.clone())),
+                                ("peer".to_string(), Json::Str(peer.clone())),
+                                ("ok".to_string(), Json::Bool(true)),
+                                ("installed".to_string(), Json::Num(installed as f64)),
+                            ])
+                        );
+                    } else if installed > 0 {
+                        println!("{node} <- {peer}: installed {installed}");
+                    }
+                }
+                _ => {
+                    failures += 1;
+                    if json {
+                        println!(
+                            "{}",
+                            Json::Obj(vec![
+                                ("node".to_string(), Json::Str(node.clone())),
+                                ("peer".to_string(), Json::Str(peer.clone())),
+                                ("ok".to_string(), Json::Bool(false)),
+                            ])
+                        );
+                    } else {
+                        println!("{node} <- {peer}: FAILED");
+                    }
+                }
+            }
+        }
+    }
+    // Read back every node's digest; convergence is the whole point.
+    let ping = secflow_server::Request::new(secflow_server::Op::Ping, "");
+    let mut digests: Vec<String> = Vec::new();
+    for node in &peers {
+        let reply = secflow_server::RemoteClient::new(node, policy).call(&ping);
+        match reply
+            .ok()
+            .and_then(|line| Json::parse(&line).ok())
+            .and_then(|v| v.get("digest").and_then(Json::as_str).map(str::to_string))
+        {
+            Some(digest) => {
+                if !json {
+                    println!("{node}: digest {digest}");
+                }
+                digests.push(digest);
+            }
+            None => {
+                failures += 1;
+                if !json {
+                    println!("{node}: UNREACHABLE");
+                }
+            }
+        }
+    }
+    let converged =
+        failures == 0 && digests.len() == peers.len() && digests.windows(2).all(|w| w[0] == w[1]);
+    if json {
+        println!(
+            "{}",
+            Json::Obj(vec![
+                ("converged".to_string(), Json::Bool(converged)),
+                ("nodes".to_string(), Json::Num(peers.len() as f64)),
+                ("failures".to_string(), Json::Num(failures as f64)),
+                ("installed".to_string(), Json::Num(installed_total as f64)),
+            ])
+        );
+    } else {
+        println!(
+            "repair: {installed_total} installed, {failures} failure(s), converged: {converged}"
+        );
+    }
+    Ok(if converged {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -134,6 +134,23 @@ impl ResultCache {
         Some(entry.value.clone())
     }
 
+    /// Whether `key` is present (exact canon match), without refreshing
+    /// recency — the idempotence check for replica installs, which must
+    /// not perturb LRU order or look like traffic.
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.map
+            .get(&key.hash)
+            .is_some_and(|e| e.canon == key.canon)
+    }
+
+    /// XOR of every live entry's fingerprint: an order-independent
+    /// shard digest. Two nodes with equal digests hold the same entry
+    /// set (up to the 64-bit collision odds the cache already accepts),
+    /// so anti-entropy can compare shards in O(1) wire bytes.
+    pub fn digest(&self) -> u64 {
+        self.map.keys().fold(0u64, |acc, h| acc ^ h)
+    }
+
     /// Every live entry as `(hash, canon, value)`, least recently used
     /// first — the order compaction writes them, so a bounded replay
     /// keeps the hottest entries (see [`crate::persist`]).
@@ -230,6 +247,35 @@ mod tests {
         // A doctored part changes the fingerprint (forgery detection).
         let doctored = key.canon.replace("certify", "certifz");
         assert_ne!(canon_hash(&doctored), Some(key.hash));
+    }
+
+    #[test]
+    fn digest_is_order_independent_and_contains_matches_canon() {
+        let mut a = ResultCache::new(8);
+        let mut b = ResultCache::new(8);
+        let keys = [
+            CacheKey::of(&["1"]),
+            CacheKey::of(&["2"]),
+            CacheKey::of(&["3"]),
+        ];
+        assert_eq!(a.digest(), 0);
+        for k in &keys {
+            a.put(k, result("x"));
+        }
+        for k in keys.iter().rev() {
+            b.put(k, result("x"));
+        }
+        assert_eq!(a.digest(), b.digest(), "digest ignores insertion order");
+        b.put(&CacheKey::of(&["4"]), result("y"));
+        assert_ne!(a.digest(), b.digest(), "digest sees the extra entry");
+
+        assert!(a.contains(&keys[0]));
+        let forged = CacheKey {
+            hash: keys[0].hash,
+            canon: "different".to_string(),
+        };
+        assert!(!a.contains(&forged), "contains checks the canon text");
+        assert!(!a.contains(&CacheKey::of(&["missing"])));
     }
 
     #[test]

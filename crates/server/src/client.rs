@@ -367,9 +367,19 @@ impl PipelinedClient {
 /// Routing uses [`route_fingerprint`](crate::service::route_fingerprint)
 /// — the same hash the servers shard on — so a healthy cluster serves
 /// every call from the shard that owns (or will own) its cache entry.
+///
+/// The client runs its own [`HealthTracker`]: nodes that exhaust their
+/// retry budget repeatedly are skipped at routing time (unless every
+/// node is DOWN, when the walk fails open to the full list — a client
+/// with a stale detector must still try *something*). Two permanent
+/// kinds get cluster-aware handling: `max_hops_exhausted` means "this
+/// node's view of the ring loops", so the walk advances to the next
+/// preference node instead of giving up — the answering node was
+/// healthy, only the route was bad.
 pub struct ClusterClient {
     ring: crate::ring::HashRing,
     policy: RetryPolicy,
+    health: crate::health::HealthTracker,
     /// Per-call node attempts across all calls (for tests/telemetry).
     attempts: u64,
 }
@@ -379,6 +389,7 @@ impl ClusterClient {
     pub fn new<S: AsRef<str>>(nodes: &[S], policy: RetryPolicy) -> ClusterClient {
         ClusterClient {
             ring: crate::ring::HashRing::new(nodes),
+            health: crate::health::HealthTracker::new(nodes, policy.seed ^ 0xC11E),
             policy,
             attempts: 0,
         }
@@ -389,6 +400,11 @@ impl ClusterClient {
         &self.ring
     }
 
+    /// The client's private failure detector (for tests/telemetry).
+    pub fn health(&self) -> &crate::health::HealthTracker {
+        &self.health
+    }
+
     /// Total node-level call attempts across all calls so far.
     pub fn attempts(&self) -> u64 {
         self.attempts
@@ -396,25 +412,47 @@ impl ClusterClient {
 
     /// Sends `req` to the owner of its fingerprint, walking the ring's
     /// preference list (each node tried under the full retry policy)
-    /// until one answers or every node's budget is spent.
+    /// until one answers or every node's budget is spent. DOWN nodes
+    /// are skipped unless the detector has lost everyone.
     pub fn call(&mut self, req: &Request) -> Result<String, ClientError> {
         let hash = crate::service::route_fingerprint(req);
-        let prefs: Vec<String> = self
+        let all: Vec<String> = self
             .ring
-            .preference_list(hash)
+            .preference_list(hash, self.ring.len())
             .into_iter()
             .map(str::to_string)
             .collect();
+        let up: Vec<String> = all
+            .iter()
+            .filter(|a| !self.health.is_down(a))
+            .cloned()
+            .collect();
+        let prefs = if up.is_empty() { all } else { up };
         let mut last = "empty ring".to_string();
         for addr in prefs {
             self.attempts += 1;
             let mut node = RemoteClient::new(&addr, self.policy);
             match node.call(req) {
-                Ok(line) => return Ok(line),
+                Ok(line) => {
+                    self.health.record_success(&addr);
+                    return Ok(line);
+                }
+                // The node answered (it is alive) but refused to route:
+                // its forward chain hit the hop budget. The next
+                // preference node may own the key outright.
+                Err(ClientError::Permanent {
+                    kind: ErrorKind::MaxHopsExhausted,
+                    message,
+                }) => {
+                    self.health.record_success(&addr);
+                    last = format!("{addr}: max hops exhausted ({message})");
+                }
                 Err(ClientError::Permanent { kind, message }) => {
-                    return Err(ClientError::Permanent { kind, message })
+                    self.health.record_success(&addr);
+                    return Err(ClientError::Permanent { kind, message });
                 }
                 Err(ClientError::BudgetExhausted { last: why, .. }) => {
+                    self.health.record_failure(&addr);
                     last = format!("{addr}: {why}");
                 }
             }
@@ -553,6 +591,33 @@ mod tests {
             other => panic!("expected budget exhaustion, got {other:?}"),
         }
         assert_eq!(client.attempts(), 2);
+    }
+
+    #[test]
+    fn cluster_client_opens_circuits_and_fails_open_when_all_down() {
+        let nodes = ["127.0.0.1:1", "127.0.0.1:2"];
+        let mut client = ClusterClient::new(
+            &nodes,
+            RetryPolicy {
+                budget: 1,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+                io_timeout: Some(Duration::from_millis(100)),
+                seed: 5,
+            },
+        );
+        let req = Request::new(crate::protocol::Op::Stats, "");
+        // Every call walks both (dead) nodes, charging each a failure.
+        for _ in 0..crate::health::DEFAULT_FAILURE_THRESHOLD {
+            assert!(client.call(&req).is_err());
+        }
+        assert!(client.health().is_down(nodes[0]));
+        assert!(client.health().is_down(nodes[1]));
+        // With everyone DOWN the walk fails open: both are still tried
+        // rather than the call failing without a single attempt.
+        let before = client.attempts();
+        assert!(client.call(&req).is_err());
+        assert_eq!(client.attempts() - before, nodes.len() as u64);
     }
 
     #[test]

@@ -43,6 +43,8 @@ pub enum FaultKind {
     TornWrite,
     /// Skip an fsync the configured durability mode required.
     ShortFsync,
+    /// Drop an outbound peer call before it leaves (network partition).
+    Partition,
 }
 
 /// Fault-injection hooks consulted by the serve path. Implementations
@@ -85,6 +87,15 @@ pub trait Faults: Send + Sync + 'static {
     fn stall_read(&self) -> bool {
         false
     }
+
+    /// Drop this outbound peer call to `addr` before it leaves, as an
+    /// asymmetric network partition would? Consulted by the cluster's
+    /// peer-call path (forwarding, replication, probes); defaulted
+    /// quiet for the same compatibility reason as
+    /// [`Faults::torn_write`].
+    fn drop_peer(&self, _addr: &str) -> bool {
+        false
+    }
 }
 
 impl<F: Faults> Faults for std::sync::Arc<F> {
@@ -122,6 +133,10 @@ impl<F: Faults> Faults for std::sync::Arc<F> {
 
     fn stall_read(&self) -> bool {
         (**self).stall_read()
+    }
+
+    fn drop_peer(&self, addr: &str) -> bool {
+        (**self).drop_peer(addr)
     }
 }
 
@@ -174,6 +189,11 @@ impl Faults for NoFaults {
     fn stall_read(&self) -> bool {
         false
     }
+
+    #[inline(always)]
+    fn drop_peer(&self, _addr: &str) -> bool {
+        false
+    }
 }
 
 /// Per-mille injection rates and limits for a seeded chaos run.
@@ -208,6 +228,11 @@ pub struct FaultPlan {
     /// not probabilistic — exercises the client's connect retry).
     pub drop_connects: u64,
     accepted: AtomicU64,
+    /// Per-peer partition rules: outbound calls to a matching address
+    /// are dropped with the given per-mille probability (charged
+    /// against the fuse, so partitions heal once it blows). Asymmetric
+    /// partitions fall out of giving different nodes different rules.
+    pub partitions: Vec<(String, u32)>,
 }
 
 impl FaultPlan {
@@ -229,20 +254,35 @@ impl FaultPlan {
             short_fsync_per_mille: 0,
             drop_connects: 0,
             accepted: AtomicU64::new(0),
+            partitions: Vec::new(),
         }
     }
 
     /// Parses a plan from a spec string of `key=value` pairs separated
     /// by commas, e.g. `seed=7,io=20,latency=50,panic=5,short=10,`
     /// `torn=5,short_fsync=5,drop_connects=3,max_faults=40,latency_ms=2`.
-    /// Unknown keys are rejected. The same format is accepted from
-    /// `SECFLOW_CHAOS` by the CLI.
+    /// `partition=addr~permille` adds a per-peer outbound drop rule and
+    /// may repeat (one rule per peer). Unknown keys are rejected. The
+    /// same format is accepted from `SECFLOW_CHAOS` by the CLI.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::new(0);
         for pair in spec.split(',').filter(|p| !p.trim().is_empty()) {
             let (key, value) = pair
                 .split_once('=')
                 .ok_or_else(|| format!("bad chaos spec entry `{pair}` (want key=value)"))?;
+            if key.trim() == "partition" {
+                // `partition=addr~permille` — repeatable; each entry
+                // adds one per-peer drop rule.
+                let (addr, rate) = value.trim().split_once('~').ok_or_else(|| {
+                    format!("bad chaos value `{value}` for `partition` (want addr~permille)")
+                })?;
+                let rate: u64 = rate
+                    .parse()
+                    .map_err(|_| format!("bad partition rate `{rate}`"))?;
+                plan.partitions
+                    .push((addr.to_string(), rate.min(1000) as u32));
+                continue;
+            }
             let parsed: u64 = value
                 .trim()
                 .parse()
@@ -334,6 +374,16 @@ impl Faults for FaultPlan {
         // Deterministic first-N drop, not charged against the fuse:
         // the retry client must outlast all N regardless of rates.
         self.accepted.fetch_add(1, Relaxed) < self.drop_connects
+    }
+
+    fn drop_peer(&self, addr: &str) -> bool {
+        let rate = self
+            .partitions
+            .iter()
+            .find(|(a, _)| a == addr)
+            .map(|(_, r)| *r)
+            .unwrap_or(0);
+        self.roll(rate)
     }
 }
 
@@ -451,6 +501,32 @@ mod tests {
         assert!(FaultPlan::parse("io=lots").is_err());
         assert!(FaultPlan::parse("warp=9").is_err());
         assert!(FaultPlan::parse("").is_ok(), "empty spec is a quiet plan");
+    }
+
+    #[test]
+    fn partition_rules_parse_and_drop_per_peer() {
+        let plan = FaultPlan::parse(
+            "seed=5,partition=127.0.0.1:4601~1000,partition=127.0.0.1:4602~0,max_faults=10",
+        )
+        .unwrap();
+        assert_eq!(
+            plan.partitions,
+            vec![
+                ("127.0.0.1:4601".to_string(), 1000),
+                ("127.0.0.1:4602".to_string(), 0),
+            ]
+        );
+        // The partitioned peer drops until the fuse blows; others never.
+        let drops = (0..100)
+            .filter(|_| plan.drop_peer("127.0.0.1:4601"))
+            .count();
+        assert_eq!(drops, 10, "partition rolls are charged to the fuse");
+        assert!(!plan.drop_peer("127.0.0.1:4602"));
+        assert!(!plan.drop_peer("127.0.0.1:4699"), "unlisted peers pass");
+
+        assert!(FaultPlan::parse("partition=nope").is_err());
+        assert!(FaultPlan::parse("partition=a~lots").is_err());
+        assert!(!NoFaults.drop_peer("anything"));
     }
 
     #[test]

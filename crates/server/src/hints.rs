@@ -1,0 +1,320 @@
+//! Hinted handoff: a bounded journal of replica writes owed to peers
+//! that were DOWN when the primary tried to push them.
+//!
+//! When replication (or a hint drain) cannot reach a replica, the
+//! record payload is queued here under the replica's address instead
+//! of being lost. The health probe loop drains a peer's hints the
+//! moment the failure detector readmits it, so a briefly-dead replica
+//! catches up from its peers' hint queues without any anti-entropy
+//! scan. Hints that outlive the budget are dropped oldest-first —
+//! `repair` (full digest comparison + `peer-sync` pull) is the
+//! backstop for anything handoff misses, so the queue can afford to be
+//! strictly bounded. See `DESIGN.md` §15.
+//!
+//! On disk (when the node runs with `--cache-dir`), hints live in
+//! `hints.log` next to the journal, framed with the same
+//! `len | crc | payload` codec ([`crate::persist::encode_frame`]); the
+//! payload is `{"p":"<peer addr>","e":"<journal record payload>"}`.
+//! Recovery reuses the lenient raw-frame scan, so a torn tail costs
+//! the torn hint only. The store is best-effort durable: a crash
+//! mid-rewrite loses queued hints, which `repair` again covers.
+
+use std::collections::VecDeque;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::json::Json;
+use crate::persist::{encode_frame, scan_raw_frames};
+
+/// Default byte budget for queued hints (payload + address bytes).
+pub const DEFAULT_HINT_BYTES: u64 = 4 << 20;
+
+/// Hint journal file name inside the cache directory.
+pub const HINTS_FILE: &str = "hints.log";
+
+/// Per-hint bookkeeping overhead charged against the budget, so a
+/// flood of tiny hints cannot hold unbounded queue slots.
+const HINT_OVERHEAD: u64 = 16;
+
+struct Inner {
+    /// Oldest first; drained front-to-back so replay order matches
+    /// write order (later records win in the receiver's cache).
+    hints: VecDeque<(String, String)>,
+    bytes: u64,
+    /// Backing file; `None` = memory-only (no `--cache-dir`).
+    path: Option<PathBuf>,
+}
+
+/// Bounded, optionally disk-backed hint queue. Thread-safe; lives in
+/// [`crate::service::Service`].
+pub struct HintStore {
+    inner: Mutex<Inner>,
+    max_bytes: u64,
+}
+
+fn cost(peer: &str, payload: &str) -> u64 {
+    peer.len() as u64 + payload.len() as u64 + HINT_OVERHEAD
+}
+
+fn encode_hint(peer: &str, payload: &str) -> Vec<u8> {
+    Json::Obj(vec![
+        ("p".to_string(), Json::Str(peer.to_string())),
+        ("e".to_string(), Json::Str(payload.to_string())),
+    ])
+    .to_string()
+    .into_bytes()
+}
+
+fn decode_hint(bytes: &[u8]) -> Option<(String, String)> {
+    let v = Json::parse(std::str::from_utf8(bytes).ok()?).ok()?;
+    Some((
+        v.get("p")?.as_str()?.to_string(),
+        v.get("e")?.as_str()?.to_string(),
+    ))
+}
+
+impl HintStore {
+    /// A memory-only store with the given byte budget.
+    pub fn new(max_bytes: u64) -> HintStore {
+        HintStore {
+            inner: Mutex::new(Inner {
+                hints: VecDeque::new(),
+                bytes: 0,
+                path: None,
+            }),
+            max_bytes,
+        }
+    }
+
+    /// A disk-backed store: recovers any hints in `dir/hints.log`
+    /// (leniently — corrupt frames skip) and appends new ones there.
+    pub fn open(dir: &Path, max_bytes: u64) -> HintStore {
+        let path = dir.join(HINTS_FILE);
+        let mut hints = VecDeque::new();
+        let mut bytes = 0u64;
+        if let Ok(file) = std::fs::read(&path) {
+            let (payloads, _skipped) = scan_raw_frames(&file);
+            for payload in payloads {
+                if let Some((peer, record)) = decode_hint(&payload) {
+                    bytes += cost(&peer, &record);
+                    hints.push_back((peer, record));
+                }
+            }
+        }
+        let store = HintStore {
+            inner: Mutex::new(Inner {
+                hints,
+                bytes,
+                path: Some(path),
+            }),
+            max_bytes,
+        };
+        {
+            // Enforce the budget over whatever recovery found, then
+            // rewrite so the file reflects the bounded queue.
+            let mut inner = store.inner.lock().unwrap();
+            store.enforce_budget(&mut inner);
+            store.rewrite(&inner);
+        }
+        store
+    }
+
+    /// Queues one record payload owed to `peer`. Returns how many older
+    /// hints were dropped to stay inside the budget (0 normally; the
+    /// caller meters drops). A hint larger than the whole budget is
+    /// itself dropped immediately (returns 1).
+    pub fn queue(&self, peer: &str, payload: &str) -> u64 {
+        let c = cost(peer, payload);
+        let mut inner = self.inner.lock().unwrap();
+        if c > self.max_bytes {
+            return 1;
+        }
+        inner
+            .hints
+            .push_back((peer.to_string(), payload.to_string()));
+        inner.bytes += c;
+        let dropped = self.enforce_budget(&mut inner);
+        if dropped == 0 {
+            if let (Some(path), false) = (&inner.path, inner.hints.is_empty()) {
+                let frame = encode_frame(&encode_hint(peer, payload));
+                if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(path) {
+                    let _ = f.write_all(&frame);
+                }
+            }
+        } else {
+            self.rewrite(&inner);
+        }
+        dropped
+    }
+
+    /// Removes and returns every hint owed to `peer`, oldest first. The
+    /// caller delivers them; any it cannot deliver should come back via
+    /// [`queue`](Self::queue) (undelivered hints re-queue at the back —
+    /// order across a failed drain is repaired by the receiver's
+    /// last-write-wins replay, not by the queue).
+    pub fn take_for(&self, peer: &str) -> Vec<String> {
+        let mut inner = self.inner.lock().unwrap();
+        let mut taken = Vec::new();
+        let mut kept = VecDeque::with_capacity(inner.hints.len());
+        for (p, payload) in inner.hints.drain(..) {
+            if p == peer {
+                taken.push(payload);
+            } else {
+                kept.push_back((p, payload));
+            }
+        }
+        inner.hints = kept;
+        if !taken.is_empty() {
+            inner.bytes = inner.hints.iter().map(|(p, e)| cost(p, e)).sum();
+            self.rewrite(&inner);
+        }
+        taken
+    }
+
+    /// Distinct peers currently owed hints, sorted.
+    pub fn peers_with_hints(&self) -> Vec<String> {
+        let inner = self.inner.lock().unwrap();
+        let mut peers: Vec<String> = inner.hints.iter().map(|(p, _)| p.clone()).collect();
+        peers.sort();
+        peers.dedup();
+        peers
+    }
+
+    /// Hints currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().hints.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().unwrap().bytes
+    }
+
+    /// Drops oldest hints until the budget holds; returns the count.
+    fn enforce_budget(&self, inner: &mut Inner) -> u64 {
+        let mut dropped = 0u64;
+        while inner.bytes > self.max_bytes {
+            match inner.hints.pop_front() {
+                Some((p, e)) => {
+                    inner.bytes -= cost(&p, &e);
+                    dropped += 1;
+                }
+                None => break,
+            }
+        }
+        dropped
+    }
+
+    /// Rewrites the backing file to match the in-memory queue
+    /// (best-effort: an IO error leaves the hints in memory only).
+    fn rewrite(&self, inner: &Inner) {
+        let Some(path) = &inner.path else { return };
+        let mut out = Vec::new();
+        for (peer, payload) in &inner.hints {
+            out.extend_from_slice(&encode_frame(&encode_hint(peer, payload)));
+        }
+        let _ = std::fs::write(path, &out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("secflow-hints-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn queue_and_take_preserve_per_peer_order() {
+        let store = HintStore::new(1 << 20);
+        assert!(store.is_empty());
+        assert_eq!(store.queue("b", "b1"), 0);
+        assert_eq!(store.queue("a", "a1"), 0);
+        assert_eq!(store.queue("b", "b2"), 0);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.peers_with_hints(), vec!["a", "b"]);
+        assert_eq!(store.take_for("b"), vec!["b1", "b2"]);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.take_for("b"), Vec::<String>::new());
+        assert_eq!(store.take_for("a"), vec!["a1"]);
+        assert!(store.is_empty());
+        assert_eq!(store.bytes(), 0);
+    }
+
+    #[test]
+    fn budget_drops_oldest_first() {
+        // Budget fits exactly two of these hints.
+        let one = cost("p", "xxxxxxxx");
+        let store = HintStore::new(2 * one);
+        assert_eq!(store.queue("p", "xxxxxxxx"), 0);
+        assert_eq!(store.queue("p", "yyyyyyyy"), 0);
+        assert_eq!(store.queue("p", "zzzzzzzz"), 1, "third hint evicts oldest");
+        assert_eq!(store.take_for("p"), vec!["yyyyyyyy", "zzzzzzzz"]);
+
+        // A hint bigger than the whole budget never enters the queue.
+        let tiny = HintStore::new(8);
+        assert_eq!(tiny.queue("p", "way too large for the budget"), 1);
+        assert!(tiny.is_empty());
+    }
+
+    #[test]
+    fn disk_backed_store_survives_reopen_and_tolerates_corruption() {
+        let dir = tmp_dir("reopen");
+        let store = HintStore::open(&dir, 1 << 20);
+        store.queue("127.0.0.1:4602", "{\"h\":\"aa\"}");
+        store.queue("127.0.0.1:4603", "{\"h\":\"bb\"}");
+        drop(store);
+
+        let reopened = HintStore::open(&dir, 1 << 20);
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(
+            reopened.peers_with_hints(),
+            vec!["127.0.0.1:4602", "127.0.0.1:4603"]
+        );
+        assert_eq!(reopened.take_for("127.0.0.1:4602"), vec!["{\"h\":\"aa\"}"]);
+        drop(reopened);
+
+        // The rewrite after take_for means a fresh open owes only one.
+        let again = HintStore::open(&dir, 1 << 20);
+        assert_eq!(again.len(), 1);
+        drop(again);
+
+        // Tear the file's tail: recovery keeps the valid prefix.
+        let path = dir.join(HINTS_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[9, 9, 9]);
+        std::fs::write(&path, &bytes).unwrap();
+        let torn = HintStore::open(&dir, 1 << 20);
+        assert_eq!(torn.len(), 1, "torn tail costs nothing already framed");
+
+        // A missing directory file is an empty store, not an error.
+        let empty = HintStore::open(&tmp_dir("fresh"), 1 << 20);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn reopen_enforces_the_budget() {
+        let dir = tmp_dir("budget");
+        let big = HintStore::open(&dir, 1 << 20);
+        for i in 0..10 {
+            big.queue("p", &format!("payload number {i}"));
+        }
+        drop(big);
+        // Reopen with a budget that fits only a few: oldest go first.
+        let small = HintStore::open(&dir, 3 * cost("p", "payload number 0"));
+        assert!(small.len() < 10);
+        let taken = small.take_for("p");
+        assert_eq!(taken.last().map(String::as_str), Some("payload number 9"));
+    }
+}

@@ -38,6 +38,11 @@
 //!   op that makes any computation happen exactly once cluster-wide,
 //!   and `peer-sync` journal shipping so cold nodes warm-start from a
 //!   loaded peer (`secflow serve --peers`, `secflow router`);
+//! - [`health`] / [`hints`]: the self-healing layer — a per-peer
+//!   consecutive-failure circuit breaker with jittered `ping` probes,
+//!   replica pushes (`serve --replication`), a bounded hinted-handoff
+//!   queue for writes owed to DOWN replicas, and digest-compared
+//!   anti-entropy `repair` as the backstop;
 //! - [`metrics`]: request/cache/error counters and a fixed-bucket
 //!   latency histogram, reported by the `stats` request;
 //! - [`batch`]: bulk certification of `*.sf` directories through the
@@ -73,6 +78,8 @@ pub mod client;
 pub mod conn;
 pub mod deadline;
 pub mod fault;
+pub mod health;
+pub mod hints;
 pub mod metrics;
 pub mod peer;
 pub mod persist;
@@ -95,6 +102,8 @@ pub use client::{Backoff, ClientError, ClusterClient, PipelinedClient, RemoteCli
 pub use conn::{Conn, ConnToken, Decoded, LineDecoder};
 pub use deadline::{deadline_after_ms, CancelToken};
 pub use fault::{ChaosStream, FaultKind, FaultPlan, Faults, NoFaults};
+pub use health::{HealthTracker, PeerHealth, PeerReport};
+pub use hints::HintStore;
 pub use json::{Json, JsonError};
 pub use metrics::{Metrics, LATENCY_BUCKETS_US};
 pub use peer::{sync_from_peer, ClusterConfig, SyncReport};

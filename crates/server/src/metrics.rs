@@ -94,6 +94,23 @@ pub struct Metrics {
     pub cluster_peer_syncs: AtomicU64,
     /// Nodes on this node's hash ring (gauge; 0 when not clustered).
     pub cluster_hash_ring_size: AtomicU64,
+    /// Forwards refused because the request's hop count reached the
+    /// budget (structured `max_hops_exhausted` — a routing loop guard).
+    pub cluster_forward_hop_exhausted: AtomicU64,
+    /// Replica pushes this node sent that the replica acknowledged.
+    pub cluster_replicas_sent: AtomicU64,
+    /// Verified replica entries this node installed via `replicate`.
+    pub cluster_replica_installs: AtomicU64,
+    /// Replica writes queued as hints because the replica was DOWN or
+    /// the push failed.
+    pub cluster_hints_queued: AtomicU64,
+    /// Queued hints later delivered to their recovered replica.
+    pub cluster_hints_delivered: AtomicU64,
+    /// Hints dropped to keep the hint journal inside its byte budget
+    /// (anti-entropy `repair` is the backstop for these).
+    pub cluster_hints_dropped: AtomicU64,
+    /// Anti-entropy `repair` rounds that actually pulled entries.
+    pub cluster_repairs: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
     latency_total_us: AtomicU64,
     latency_count: AtomicU64,
@@ -229,6 +246,22 @@ impl Metrics {
                         "hash_ring_size".to_string(),
                         n(&self.cluster_hash_ring_size),
                     ),
+                    (
+                        "forward_hop_exhausted".to_string(),
+                        n(&self.cluster_forward_hop_exhausted),
+                    ),
+                    ("replicas_sent".to_string(), n(&self.cluster_replicas_sent)),
+                    (
+                        "replica_installs".to_string(),
+                        n(&self.cluster_replica_installs),
+                    ),
+                    ("hints_queued".to_string(), n(&self.cluster_hints_queued)),
+                    (
+                        "hints_delivered".to_string(),
+                        n(&self.cluster_hints_delivered),
+                    ),
+                    ("hints_dropped".to_string(), n(&self.cluster_hints_dropped)),
+                    ("repairs".to_string(), n(&self.cluster_repairs)),
                 ]),
             ),
             ("latency_mean_us".to_string(), Json::Num(mean_us)),
@@ -335,7 +368,20 @@ mod tests {
         let cluster_keys: Vec<&str> = cluster_fields.iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(
             cluster_keys,
-            vec!["forwards", "forward_hits", "peer_syncs", "hash_ring_size"]
+            vec![
+                "forwards",
+                "forward_hits",
+                "peer_syncs",
+                "hash_ring_size",
+                "forward_hop_exhausted",
+                "replicas_sent",
+                "replica_installs",
+                "hints_queued",
+                "hints_delivered",
+                "hints_dropped",
+                "repairs",
+            ],
+            "PR 10 replication counters are additive at the tail"
         );
     }
 }

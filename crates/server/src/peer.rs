@@ -15,9 +15,12 @@
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::cache::{canon_hash, CacheKey};
+use crate::fault::Faults;
+use crate::health::HealthTracker;
 use crate::json::Json;
 use crate::persist::decode_record;
 use crate::protocol::{Op, Request};
@@ -57,6 +60,11 @@ pub struct ClusterConfig {
     /// Address of a loaded peer to `peer-sync` from at startup, before
     /// serving (journal shipping instead of re-exploring).
     pub sync_from: Option<String>,
+    /// Replication factor: each fingerprint lives on the first
+    /// `replication` distinct preference-list nodes. 1 = shard only
+    /// (PR 9 behaviour); the primary pushes fresh entries to the other
+    /// `replication - 1` replicas via the verified `replicate` path.
+    pub replication: u64,
 }
 
 impl ClusterConfig {
@@ -69,51 +77,147 @@ impl ClusterConfig {
             max_hops: DEFAULT_MAX_HOPS,
             peer_timeout_ms: DEFAULT_PEER_TIMEOUT_MS,
             sync_from: None,
+            replication: 1,
         }
     }
 }
 
-/// A node's live view of the cluster: the config plus the ring built
-/// from it.
+/// A node's live view of the cluster: the config, the ring built from
+/// it, the per-peer failure detector, and the chaos hooks for
+/// simulated partitions.
 pub(crate) struct ClusterState {
     config: ClusterConfig,
     ring: HashRing,
+    health: HealthTracker,
+    faults: Arc<dyn Faults>,
 }
 
 impl ClusterState {
+    /// Chaos-free construction (tests; the serve path threads its
+    /// fault plan through [`with_faults`](Self::with_faults)).
+    #[cfg(test)]
     pub(crate) fn new(config: ClusterConfig) -> ClusterState {
+        ClusterState::with_faults(config, Arc::new(crate::fault::NoFaults))
+    }
+
+    /// [`new`](Self::new) with chaos hooks wired into the outbound
+    /// peer-call path (per-peer `partition` drop rules).
+    pub(crate) fn with_faults(config: ClusterConfig, faults: Arc<dyn Faults>) -> ClusterState {
         let ring = HashRing::new(&config.peers);
-        ClusterState { config, ring }
+        let others: Vec<&String> = config
+            .peers
+            .iter()
+            .filter(|p| Some(p.as_str()) != config.self_addr.as_deref())
+            .collect();
+        let health = HealthTracker::new(&others, 0xC1A0);
+        ClusterState {
+            config,
+            ring,
+            health,
+            faults,
+        }
     }
 
     pub(crate) fn ring(&self) -> &HashRing {
         &self.ring
     }
 
+    pub(crate) fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
     pub(crate) fn max_hops(&self) -> u64 {
         self.config.max_hops
+    }
+
+    pub(crate) fn replication(&self) -> u64 {
+        self.config.replication.max(1)
     }
 
     pub(crate) fn peer_timeout(&self) -> Duration {
         Duration::from_millis(self.config.peer_timeout_ms.max(1))
     }
 
-    /// The peers to try for `key_hash`, in order. For a node: the
-    /// owner, unless this node *is* the owner (then nothing — compute
-    /// locally). For a router: the owner followed by its ring
-    /// successors, so a dead owner re-routes instead of failing.
+    /// The peers to try for `key_hash`, in order, with DOWN peers
+    /// skipped. For a node: the first `replication` preference-list
+    /// members, unless this node is one of them (then nothing —
+    /// compute/serve locally; as a replica it usually has the entry)
+    /// or every candidate is DOWN (then nothing — degrade to local
+    /// computation rather than burn the timeout budget). For a router:
+    /// the full preference walk, falling back to the unfiltered list
+    /// when the detector claims everyone is DOWN (a router cannot
+    /// compute, so it must try *something*).
     pub(crate) fn route(&self, key_hash: u64) -> Vec<String> {
         match &self.config.self_addr {
-            Some(me) => match self.ring.node_for(key_hash) {
-                Some(owner) if owner != me => vec![owner.to_string()],
-                _ => Vec::new(),
-            },
-            None => self
-                .ring
-                .preference_list(key_hash)
-                .into_iter()
-                .map(str::to_string)
-                .collect(),
+            Some(me) => {
+                let rf = self.replication() as usize;
+                let prefs = self.ring.preference_list(key_hash, rf);
+                if prefs.iter().any(|p| p == me) {
+                    return Vec::new();
+                }
+                prefs
+                    .into_iter()
+                    .filter(|p| !self.health.is_down(p))
+                    .map(str::to_string)
+                    .collect()
+            }
+            None => {
+                let all: Vec<String> = self
+                    .ring
+                    .preference_list(key_hash, self.ring.len())
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect();
+                let up: Vec<String> = all
+                    .iter()
+                    .filter(|p| !self.health.is_down(p))
+                    .cloned()
+                    .collect();
+                if up.is_empty() {
+                    all
+                } else {
+                    up
+                }
+            }
+        }
+    }
+
+    /// The peers (excluding self) that should hold a replica of
+    /// `key_hash` — the primary pushes fresh entries to these.
+    pub(crate) fn replica_targets(&self, key_hash: u64) -> Vec<String> {
+        let rf = self.replication() as usize;
+        if rf <= 1 {
+            return Vec::new();
+        }
+        let me = self.config.self_addr.as_deref();
+        self.ring
+            .preference_list(key_hash, rf)
+            .into_iter()
+            .filter(|p| Some(*p) != me)
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// One-shot call to `addr` through the chaos layer (a partitioned
+    /// peer fails as a connection would) with the outcome fed to the
+    /// failure detector.
+    pub(crate) fn call_peer(&self, addr: &str, line: &str) -> io::Result<String> {
+        if self.faults.drop_peer(addr) {
+            self.health.record_failure(addr);
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("chaos: partitioned from {addr}"),
+            ));
+        }
+        match call(addr, line, self.peer_timeout()) {
+            Ok(reply) => {
+                self.health.record_success(addr);
+                Ok(reply)
+            }
+            Err(e) => {
+                self.health.record_failure(addr);
+                Err(e)
+            }
         }
     }
 }
@@ -192,8 +296,9 @@ pub fn sync_from_peer(service: &Service, peer: &str, timeout: Duration) -> io::R
             };
             match verified_entry(payload) {
                 Some((key, value)) => {
-                    service.install_synced(&key, value);
-                    report.entries_installed += 1;
+                    if service.install_synced(&key, value) {
+                        report.entries_installed += 1;
+                    }
                 }
                 None => report.entries_rejected += 1,
             }
@@ -208,8 +313,11 @@ pub fn sync_from_peer(service: &Service, peer: &str, timeout: Duration) -> io::R
 }
 
 /// Decodes one shipped journal record payload and verifies its
-/// fingerprint against its canonical text. `None` = reject.
-fn verified_entry(payload: &str) -> Option<(CacheKey, crate::cache::CachedResult)> {
+/// fingerprint against its canonical text. `None` = reject. This is
+/// the single gate every remotely-sourced entry passes through —
+/// `peer-sync` pulls, `replicate` pushes, and hint drains all verify
+/// here before anything touches the cache.
+pub(crate) fn verified_entry(payload: &str) -> Option<(CacheKey, crate::cache::CachedResult)> {
     let entry = decode_record(payload.as_bytes())?;
     if canon_hash(&entry.key.canon) != Some(entry.key.hash) {
         return None; // forged or corrupt fingerprint
@@ -281,5 +389,81 @@ mod tests {
         let router = ClusterState::new(cfg);
         let route = router.route(crate::fault::splitmix64(7));
         assert_eq!(route.len(), peers.len());
+    }
+
+    #[test]
+    fn routing_skips_down_peers_and_replication_widens_routes() {
+        let peers = ["127.0.0.1:7201", "127.0.0.1:7202", "127.0.0.1:7203"];
+        let mut cfg = ClusterConfig::new(&peers);
+        cfg.replication = 2;
+        cfg.self_addr = Some(peers[0].to_string());
+        let node = ClusterState::new(cfg.clone());
+
+        // Find a key whose 2-node replica set excludes this node.
+        let hash = (0..5000u64)
+            .map(crate::fault::splitmix64)
+            .find(|&h| {
+                !node
+                    .ring()
+                    .preference_list(h, 2)
+                    .iter()
+                    .any(|p| *p == peers[0])
+            })
+            .expect("some key is owned elsewhere");
+        let full = node.route(hash);
+        assert_eq!(full.len(), 2, "rf=2 offers both replicas");
+
+        // Opening the owner's circuit drops it from the route.
+        for _ in 0..crate::health::DEFAULT_FAILURE_THRESHOLD {
+            node.health().record_failure(&full[0]);
+        }
+        let degraded = node.route(hash);
+        assert_eq!(degraded, full[1..].to_vec());
+
+        // All replicas down: degrade to local computation (empty).
+        for _ in 0..crate::health::DEFAULT_FAILURE_THRESHOLD {
+            node.health().record_failure(&full[1]);
+        }
+        assert!(node.route(hash).is_empty());
+
+        // A replica set containing self always computes locally.
+        let own = (0..5000u64)
+            .map(crate::fault::splitmix64)
+            .find(|&h| node.ring().node_for(h) == Some(peers[0]))
+            .unwrap();
+        assert!(node.route(own).is_empty());
+
+        // replica_targets: the other members of the replica set.
+        let targets = node.replica_targets(own);
+        assert_eq!(targets.len(), 1);
+        assert_ne!(targets[0], peers[0]);
+        let mut rf1 = ClusterConfig::new(&peers);
+        rf1.self_addr = Some(peers[0].to_string());
+        assert!(ClusterState::new(rf1).replica_targets(own).is_empty());
+
+        // A router whose detector lost everyone fails open.
+        cfg.self_addr = None;
+        let router = ClusterState::new(cfg);
+        for p in &peers {
+            for _ in 0..crate::health::DEFAULT_FAILURE_THRESHOLD {
+                router.health().record_failure(p);
+            }
+        }
+        assert_eq!(router.route(hash).len(), peers.len());
+    }
+
+    #[test]
+    fn partitioned_peer_calls_fail_fast_and_open_the_circuit() {
+        let peers = ["127.0.0.1:7301", "127.0.0.1:7302"];
+        let mut cfg = ClusterConfig::new(&peers);
+        cfg.self_addr = Some(peers[0].to_string());
+        let mut plan = crate::fault::FaultPlan::new(3);
+        plan.partitions = vec![(peers[1].to_string(), 1000)];
+        let node = ClusterState::with_faults(cfg, Arc::new(plan));
+        for _ in 0..crate::health::DEFAULT_FAILURE_THRESHOLD {
+            let err = node.call_peer(peers[1], "{\"op\":\"ping\"}").unwrap_err();
+            assert!(err.to_string().contains("partitioned"), "{err}");
+        }
+        assert!(node.health().is_down(peers[1]));
     }
 }

@@ -15,6 +15,9 @@
 //! {"id":8,"op":"shutdown"}
 //! {"id":9,"op":"forward","hops":1,"req":"{\"op\":\"certify\",…}"}
 //! {"id":10,"op":"peer-sync","cursor":0,"limit":256}
+//! {"id":11,"op":"ping"}
+//! {"id":12,"op":"replicate","payload":"{\"h\":…}"}
+//! {"id":13,"op":"repair","peer":"127.0.0.1:4601"}
 //! ```
 //!
 //! `certify` additionally accepts `"with_proof":true`: when the program
@@ -24,16 +27,25 @@
 //! `source`; `cert` may be the certificate string or the certificate
 //! object itself (re-serialized canonically on parse).
 //!
-//! The two peer ops are cluster plumbing. `forward` wraps a complete
+//! The peer ops are cluster plumbing. `forward` wraps a complete
 //! inner request line in `req` with a `hops` count; a node receiving
 //! one answers it exactly as it would the inner line (so forwarded
 //! replies are byte-compatible with direct ones) and the hop count
-//! guards against routing loops while nodes disagree about the ring.
-//! `peer-sync` pages a node's cached results to a warm-starting peer
-//! as journal record payloads (`entries`, each a string in the
+//! guards against routing loops while nodes disagree about the ring —
+//! a forward whose hop count exceeds the receiver's budget is refused
+//! with a structured `max_hops_exhausted` error. `peer-sync` pages a
+//! node's cached results to a warm-starting peer as journal record
+//! payloads (`entries`, each a string in the
 //! [`crate::persist::encode_record`] format), `cursor`/`limit`
 //! controlling the page and the reply's `next`/`done` fields telling
-//! the receiver how to continue.
+//! the receiver how to continue. `ping` is the failure detector's
+//! probe: answered inline (never queued), it carries the node's shard
+//! `digest` so health checks double as anti-entropy comparisons.
+//! `replicate` pushes one freshly computed cache entry (a single
+//! `encode_record` payload) to a replica, which verifies it exactly
+//! like a `peer-sync` page before installing. `repair` tells a node to
+//! anti-entropy against `peer`: compare shard digests and, when they
+//! differ, pull the peer's entries through `peer-sync`.
 //!
 //! Every work-carrying request additionally accepts `"timeout_ms":N` —
 //! a per-request deadline. Work that overruns it is cancelled
@@ -42,8 +54,9 @@
 //! Responses always carry `ok` and echo `id` (when one was given) and
 //! `op`. Failures carry an `error` object with a machine-readable
 //! `kind` (`protocol`, `parse`, `binding`, `fuel`, `timeout`,
-//! `overloaded`, `internal`) and a human-readable `message`. Responses
-//! to pipelined requests may arrive out of order; correlate by `id`.
+//! `overloaded`, `internal`, `max_hops_exhausted`) and a
+//! human-readable `message`. Responses to pipelined requests may
+//! arrive out of order; correlate by `id`.
 //!
 //! # Retryable vs. permanent failures
 //!
@@ -60,6 +73,13 @@
 //! | `parse`      | permanent | the program will never parse |
 //! | `binding`    | permanent | the class/lattice spec is invalid |
 //! | `fuel`       | permanent | a policy rejection; retrying cannot change it |
+//! | `max_hops_exhausted` | permanent | re-asking the *same* node re-enters the same loop |
+//!
+//! `max_hops_exhausted` is permanent against the node that answered it
+//! — the forward chain it refused is deterministic — but the
+//! cluster-aware client treats it as "advance to the next
+//! preference-list node", which breaks the loop instead of retrying
+//! into it.
 
 use crate::json::Json;
 
@@ -88,6 +108,15 @@ pub enum Op {
     /// Peer op: page cached results to a warm-starting peer as journal
     /// record payloads.
     PeerSync,
+    /// Liveness probe, answered inline; the reply carries the node's
+    /// shard digest for anti-entropy comparisons.
+    Ping,
+    /// Peer op: install one freshly computed cache entry pushed by the
+    /// primary (verified before installation, like `peer-sync`).
+    Replicate,
+    /// Anti-entropy: compare shard digests with `peer` and pull its
+    /// entries through `peer-sync` when they differ.
+    Repair,
 }
 
 impl Op {
@@ -104,6 +133,9 @@ impl Op {
             Op::Shutdown => "shutdown",
             Op::Forward => "forward",
             Op::PeerSync => "peer-sync",
+            Op::Ping => "ping",
+            Op::Replicate => "replicate",
+            Op::Repair => "repair",
         }
     }
 }
@@ -157,6 +189,12 @@ pub struct Request {
     pub cursor: Option<u64>,
     /// Page size cap for `peer-sync` (capped by the server).
     pub limit: Option<u64>,
+    /// One journal record payload to install (`replicate` only;
+    /// required there).
+    pub payload: Option<String>,
+    /// The peer address to anti-entropy against (`repair` only;
+    /// required there).
+    pub peer: Option<String>,
 }
 
 impl Request {
@@ -182,6 +220,9 @@ impl Request {
             Some("shutdown") => Op::Shutdown,
             Some("forward") => Op::Forward,
             Some("peer-sync") => Op::PeerSync,
+            Some("ping") => Op::Ping,
+            Some("replicate") => Op::Replicate,
+            Some("repair") => Op::Repair,
             Some(other) => return Err(fail(format!("unknown op `{other}`"))),
             None => return Err(fail("missing string field `op`".into())),
         };
@@ -277,6 +318,21 @@ impl Request {
         }
         let cursor = uint("cursor")?;
         let limit = uint("limit")?;
+        let string_field = |name: &str| -> Result<Option<String>, (Option<Json>, String)> {
+            match value.get(name) {
+                None => Ok(None),
+                Some(Json::Str(s)) => Ok(Some(s.clone())),
+                Some(_) => Err(fail(format!("`{name}` must be a string"))),
+            }
+        };
+        let payload = string_field("payload")?;
+        if op == Op::Replicate && payload.is_none() {
+            return Err(fail("op `replicate` needs `payload`".into()));
+        }
+        let peer = string_field("peer")?;
+        if op == Op::Repair && peer.is_none() {
+            return Err(fail("op `repair` needs `peer`".into()));
+        }
         let por = match value.get("por") {
             None => true,
             Some(Json::Bool(b)) => *b,
@@ -321,6 +377,8 @@ impl Request {
             req,
             cursor,
             limit,
+            payload,
+            peer,
         })
     }
 
@@ -347,6 +405,8 @@ impl Request {
             req: None,
             cursor: None,
             limit: None,
+            payload: None,
+            peer: None,
         }
     }
 
@@ -427,6 +487,12 @@ impl Request {
         if let Some(l) = self.limit {
             fields.push(("limit".to_string(), Json::Num(l as f64)));
         }
+        if let Some(p) = &self.payload {
+            fields.push(("payload".to_string(), Json::Str(p.clone())));
+        }
+        if let Some(p) = &self.peer {
+            fields.push(("peer".to_string(), Json::Str(p.clone())));
+        }
         Json::Obj(fields).to_string()
     }
 }
@@ -448,6 +514,11 @@ pub enum ErrorKind {
     Overloaded,
     /// A worker panicked or the service misbehaved.
     Internal,
+    /// A `forward` arrived with its hop budget already spent: the
+    /// cluster is looping this request between nodes. Permanent against
+    /// the answering node (the refused chain is deterministic); the
+    /// cluster-aware client advances to the next preference-list node.
+    MaxHopsExhausted,
 }
 
 impl ErrorKind {
@@ -461,6 +532,7 @@ impl ErrorKind {
             ErrorKind::Timeout => "timeout",
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::Internal => "internal",
+            ErrorKind::MaxHopsExhausted => "max_hops_exhausted",
         }
     }
 
@@ -470,7 +542,11 @@ impl ErrorKind {
     pub fn retryable(self) -> bool {
         match self {
             ErrorKind::Overloaded | ErrorKind::Timeout | ErrorKind::Internal => true,
-            ErrorKind::Protocol | ErrorKind::Parse | ErrorKind::Binding | ErrorKind::Fuel => false,
+            ErrorKind::Protocol
+            | ErrorKind::Parse
+            | ErrorKind::Binding
+            | ErrorKind::Fuel
+            | ErrorKind::MaxHopsExhausted => false,
         }
     }
 
@@ -484,6 +560,7 @@ impl ErrorKind {
             "timeout" => ErrorKind::Timeout,
             "overloaded" => ErrorKind::Overloaded,
             "internal" => ErrorKind::Internal,
+            "max_hops_exhausted" => ErrorKind::MaxHopsExhausted,
             _ => return None,
         })
     }
@@ -679,6 +756,27 @@ mod tests {
         assert_eq!(bare.op, Op::PeerSync);
         assert_eq!(bare.cursor, None);
         assert!(Request::parse(r#"{"op":"peer-sync","cursor":"a"}"#).is_err());
+
+        // ping needs nothing at all.
+        let ping = Request::new(Op::Ping, "");
+        assert_eq!(Request::parse(&ping.to_line()).unwrap(), ping);
+        assert_eq!(Request::parse(r#"{"op":"ping"}"#).unwrap().op, Op::Ping);
+
+        // replicate carries exactly one record payload.
+        let mut rep = Request::new(Op::Replicate, "");
+        rep.payload = Some(r#"{"h":"00","c":"x","ok":true,"f":{}}"#.to_string());
+        assert_eq!(Request::parse(&rep.to_line()).unwrap(), rep);
+        let (_, msg) = Request::parse(r#"{"op":"replicate"}"#).unwrap_err();
+        assert!(msg.contains("needs `payload`"), "{msg}");
+        assert!(Request::parse(r#"{"op":"replicate","payload":7}"#).is_err());
+
+        // repair names the peer to anti-entropy against.
+        let mut rpr = Request::new(Op::Repair, "");
+        rpr.peer = Some("127.0.0.1:4601".to_string());
+        assert_eq!(Request::parse(&rpr.to_line()).unwrap(), rpr);
+        let (_, msg) = Request::parse(r#"{"op":"repair"}"#).unwrap_err();
+        assert!(msg.contains("needs `peer`"), "{msg}");
+        assert!(Request::parse(r#"{"op":"repair","peer":[]}"#).is_err());
     }
 
     #[test]
@@ -696,6 +794,7 @@ mod tests {
             ErrorKind::Parse,
             ErrorKind::Binding,
             ErrorKind::Fuel,
+            ErrorKind::MaxHopsExhausted,
         ] {
             assert!(!kind.retryable(), "{}", kind.name());
             assert_eq!(ErrorKind::from_name(kind.name()), Some(kind));

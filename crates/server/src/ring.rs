@@ -113,12 +113,21 @@ impl HashRing {
         Some(&self.nodes[self.points[idx].1])
     }
 
-    /// The owner plus up-ring successors, deduplicated by node, in
-    /// ring order — the preference list a router walks when the owner
-    /// is down. Covers every node exactly once.
-    pub fn preference_list(&self, key_hash: u64) -> Vec<&str> {
-        let mut out: Vec<&str> = Vec::with_capacity(self.nodes.len());
-        if self.points.is_empty() {
+    /// The first `rf` *distinct* nodes at or clockwise of `key_hash`,
+    /// deduplicated by node, in ring order: the owner first, then its
+    /// up-ring successors. This is both the replica set for the key
+    /// (replication factor `rf`) and the preference list a router
+    /// walks when the owner is down. `rf` larger than the membership
+    /// yields every node exactly once; `rf = 0` yields nothing.
+    ///
+    /// Removing a node from the ring only deletes that node's virtual
+    /// points, so the relative order of the survivors' points — and
+    /// therefore every preference list over the survivors — is
+    /// unchanged (the churn property the tests below pin).
+    pub fn preference_list(&self, key_hash: u64, rf: usize) -> Vec<&str> {
+        let want = rf.min(self.nodes.len());
+        let mut out: Vec<&str> = Vec::with_capacity(want);
+        if self.points.is_empty() || want == 0 {
             return out;
         }
         let start = match self.points.binary_search(&(key_hash, 0)) {
@@ -132,7 +141,7 @@ impl HashRing {
             if !out.contains(&node) {
                 out.push(node);
             }
-            if out.len() == self.nodes.len() {
+            if out.len() == want {
                 break;
             }
         }
@@ -154,7 +163,7 @@ mod tests {
         let ring = HashRing::new::<&str>(&[]);
         assert!(ring.is_empty());
         assert_eq!(ring.node_for(42), None);
-        assert!(ring.preference_list(42).is_empty());
+        assert!(ring.preference_list(42, 3).is_empty());
     }
 
     #[test]
@@ -234,18 +243,35 @@ mod tests {
     }
 
     /// The preference list starts at the owner, covers every node
-    /// exactly once, and is deterministic.
+    /// exactly once when asked for all of them, and is deterministic.
     #[test]
     fn preference_list_covers_all_nodes_starting_at_owner() {
         let ring = HashRing::new(&["a:1", "b:2", "c:3", "d:4"]);
         for key in sample_keys(200) {
-            let prefs = ring.preference_list(key);
+            let prefs = ring.preference_list(key, ring.len());
             assert_eq!(prefs.len(), 4);
             assert_eq!(prefs[0], ring.node_for(key).unwrap());
             let mut sorted = prefs.clone();
             sorted.sort();
             sorted.dedup();
             assert_eq!(sorted.len(), 4, "no duplicates");
+        }
+    }
+
+    /// An `rf`-bounded preference list is exactly the first `rf`
+    /// entries of the full walk — the replica set for a key is a
+    /// prefix of the failover order, so the node a router falls over
+    /// to *is* the replica that holds the key.
+    #[test]
+    fn bounded_preference_list_is_a_prefix_of_the_full_walk() {
+        let ring = HashRing::new(&["a:1", "b:2", "c:3", "d:4", "e:5"]);
+        for key in sample_keys(200) {
+            let full = ring.preference_list(key, ring.len());
+            for rf in 0..=7 {
+                let bounded = ring.preference_list(key, rf);
+                assert_eq!(bounded.len(), rf.min(ring.len()));
+                assert_eq!(bounded[..], full[..rf.min(ring.len())]);
+            }
         }
     }
 
@@ -291,9 +317,66 @@ mod tests {
                 HashRing::new(&shuffled).node_for(key),
                 Some(owner.as_str())
             );
-            let prefs = ring.preference_list(key);
+            let prefs = ring.preference_list(key, n);
             prop_assert_eq!(prefs.len(), n);
             prop_assert_eq!(prefs[0], owner.as_str());
+        }
+
+        /// For any membership, key, and replication factor: the
+        /// preference list has exactly `min(rf, members)` *distinct*
+        /// entries, starts at the owner, and two independently built
+        /// rings (shuffled members) agree on it entry-for-entry —
+        /// every caller (node, router, client) derives the same
+        /// replica set with no coordination.
+        #[test]
+        fn any_preference_list_is_distinct_bounded_and_deterministic(
+            n in 1usize..8,
+            rf in 0usize..10,
+            salt in 0u64..(1 << 32),
+            key in 0u64..u64::MAX,
+        ) {
+            let nodes = members(n, salt);
+            let ring = HashRing::new(&nodes);
+            let prefs = ring.preference_list(key, rf);
+            prop_assert_eq!(prefs.len(), rf.min(n));
+            let mut distinct: Vec<&str> = prefs.clone();
+            distinct.sort();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), prefs.len(), "entries must be distinct");
+            if rf > 0 {
+                prop_assert_eq!(prefs[0], ring.node_for(key).unwrap());
+            }
+            let mut shuffled: Vec<String> = nodes.iter().rev().cloned().collect();
+            shuffled.push(nodes[0].clone());
+            let other = HashRing::new(&shuffled);
+            prop_assert_eq!(other.preference_list(key, rf), prefs);
+        }
+
+        /// Removal churn bound: deleting one node only deletes that
+        /// node's virtual points, so the survivors' preference order is
+        /// untouched — the shrunken ring's list equals the old full
+        /// walk with the removed node filtered out. Only slots the dead
+        /// node held are reassigned; no key moves *between* survivors.
+        #[test]
+        fn removing_a_node_only_reassigns_its_own_slots(
+            n in 2usize..8,
+            rf in 1usize..5,
+            salt in 0u64..(1 << 32),
+            key in 0u64..u64::MAX,
+        ) {
+            let nodes = members(n, salt);
+            let removed = nodes[(salt % n as u64) as usize].clone();
+            let survivors: Vec<String> =
+                nodes.iter().filter(|m| **m != removed).cloned().collect();
+            let old = HashRing::new(&nodes);
+            let new = HashRing::new(&survivors);
+            let expected: Vec<&str> = old
+                .preference_list(key, n)
+                .into_iter()
+                .filter(|m| *m != removed)
+                .take(rf.min(survivors.len()))
+                .collect();
+            prop_assert_eq!(new.preference_list(key, rf), expected);
         }
 
         /// Churn bound for any membership: growing N → N+1 remaps at

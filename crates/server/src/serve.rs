@@ -44,6 +44,7 @@ use std::time::Duration;
 
 use crate::conn::{Decoded, LineDecoder};
 use crate::fault::{ChaosStream, FaultPlan, Faults, NoFaults};
+use crate::hints::{HintStore, DEFAULT_HINT_BYTES};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::peer::ClusterConfig;
@@ -144,7 +145,12 @@ fn build_service<F: Faults + Clone>(cfg: &ServerConfig, faults: &F) -> io::Resul
         None => Service::new(cfg.cache_capacity, cfg.limits),
     };
     if let Some(cluster) = &cfg.cluster {
-        service = service.with_cluster(cluster.clone());
+        service = service.with_cluster_faults(cluster.clone(), Arc::new(faults.clone()));
+        if let Some(pcfg) = &cfg.persist {
+            // Hints owed to DOWN replicas survive a crash of *this* node
+            // too: they live next to the journal, restored on open.
+            service = service.with_hint_store(HintStore::open(&pcfg.dir, DEFAULT_HINT_BYTES));
+        }
         if let Some(peer) = &cluster.sync_from {
             // Warm start before serving: drain a loaded peer's cache so
             // this node never re-explores work the cluster already paid
@@ -280,6 +286,13 @@ pub(crate) fn dispatch<R: ReplySink, F: Faults>(
         // queue is saturated; pool health rides along.
         Op::Stats => {
             reply.send_line(with_pool_health(service.execute(&req), pool.health()));
+            Dispatched::Inline
+        }
+        // Ping answers inline too: it is the failure detector's probe,
+        // and a probe refused as `overloaded` would make a merely busy
+        // node look dead to every peer at once.
+        Op::Ping => {
+            reply.send_line(service.execute(&req));
             Dispatched::Inline
         }
         _ => {
@@ -526,6 +539,27 @@ pub fn serve_listener(listener: TcpListener, cfg: ServerConfig) -> io::Result<Tc
     }
 }
 
+/// How often the failure-detector beat runs on a clustered node.
+const HEALTH_TICK: Duration = Duration::from_millis(250);
+
+/// Spawns the detached failure-detector thread: every tick it probes
+/// peers whose probe timer is due and drains any hinted-handoff backlog
+/// owed to peers that came back UP. The thread holds only a [`Weak`] on
+/// the service, so it exits on its own once the front-end drops the
+/// last strong reference at shutdown — no flag to thread through.
+fn spawn_health_loop(service: &Arc<Service>) {
+    let weak = Arc::downgrade(service);
+    let _ = thread::Builder::new()
+        .name("secflow-health".to_string())
+        .spawn(move || loop {
+            thread::sleep(HEALTH_TICK);
+            match weak.upgrade() {
+                Some(service) => service.health_tick(),
+                None => break,
+            }
+        });
+}
+
 fn serve_listener_with<F: Faults + Clone>(
     listener: TcpListener,
     cfg: ServerConfig,
@@ -535,6 +569,9 @@ fn serve_listener_with<F: Faults + Clone>(
     // Open the store (recovery included) before spawning, so a bad
     // cache dir fails the bind call instead of a detached thread.
     let service = Arc::new(build_service(&cfg, &faults)?);
+    if cfg.cluster.is_some() {
+        spawn_health_loop(&service);
+    }
     if cfg.front_end == FrontEnd::Poll {
         let handle = thread::Builder::new()
             .name("secflow-poll".to_string())

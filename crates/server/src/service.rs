@@ -22,9 +22,13 @@ use secflow_runtime::{explore_with, pexplore_with, ExploreLimits};
 
 use crate::cache::{CacheKey, CachedResult, ResultCache};
 use crate::deadline::CancelToken;
+use crate::fault::{Faults, NoFaults};
+use crate::hints::{HintStore, DEFAULT_HINT_BYTES};
 use crate::json::Json;
 use crate::metrics::Metrics;
-use crate::peer::{ClusterConfig, ClusterState, MAX_SYNC_PAGE};
+use crate::peer::{
+    ClusterConfig, ClusterState, DEFAULT_MAX_HOPS, DEFAULT_PEER_TIMEOUT_MS, MAX_SYNC_PAGE,
+};
 use crate::persist::{encode_record, DurableStore};
 use crate::protocol::{ErrorKind, Op, Request, Response};
 
@@ -110,6 +114,10 @@ pub struct Service {
     /// router over) an N-node cluster (None = standalone, the
     /// default). See [`crate::peer`].
     cluster: Option<ClusterState>,
+    /// Hinted handoff queue: replica writes owed to peers that were
+    /// DOWN when the primary tried to push them. Drained by
+    /// [`health_tick`](Self::health_tick) once the peer recovers.
+    hints: HintStore,
 }
 
 /// One in-progress computation that concurrent identical requests wait
@@ -223,6 +231,7 @@ impl Service {
             persist: None,
             inflight: Mutex::new(HashMap::new()),
             cluster: None,
+            hints: HintStore::new(DEFAULT_HINT_BYTES),
         }
     }
 
@@ -244,6 +253,7 @@ impl Service {
             persist: Some(Mutex::new(store)),
             inflight: Mutex::new(HashMap::new()),
             cluster: None,
+            hints: HintStore::new(DEFAULT_HINT_BYTES),
         }
     }
 
@@ -252,12 +262,30 @@ impl Service {
     /// cluster: requests whose fingerprint another node owns are
     /// forwarded there instead of computed locally, and `peer-sync`
     /// pages the cache to warm-starting peers.
-    pub fn with_cluster(mut self, config: ClusterConfig) -> Service {
-        let state = ClusterState::new(config);
+    pub fn with_cluster(self, config: ClusterConfig) -> Service {
+        self.with_cluster_faults(config, Arc::new(NoFaults))
+    }
+
+    /// [`with_cluster`](Self::with_cluster) with chaos hooks wired into
+    /// the outbound peer-call path (per-peer `partition` drop rules from
+    /// a [`crate::fault::FaultPlan`]).
+    pub fn with_cluster_faults(
+        mut self,
+        config: ClusterConfig,
+        faults: Arc<dyn Faults>,
+    ) -> Service {
+        let state = ClusterState::with_faults(config, faults);
         self.metrics
             .cluster_hash_ring_size
             .store(state.ring().len() as u64, Relaxed);
         self.cluster = Some(state);
+        self
+    }
+
+    /// Replaces the hint queue (the serve loop passes a disk-backed
+    /// store when the node runs with both `--cache-dir` and a cluster).
+    pub fn with_hint_store(mut self, hints: HintStore) -> Service {
+        self.hints = hints;
         self
     }
 
@@ -316,8 +344,43 @@ impl Service {
         let start = Instant::now();
         let line = match req.op {
             Op::Stats => {
+                let mut fields = self.metrics.snapshot_fields();
+                // Splice the live cluster view (digest, hint backlog,
+                // per-peer health) into the counters' cluster object.
+                if let Some((_, Json::Obj(cluster))) =
+                    fields.iter_mut().find(|(k, _)| k == "cluster")
+                {
+                    cluster.push((
+                        "shard_digest".to_string(),
+                        Json::Str(self.shard_digest_hex()),
+                    ));
+                    cluster.push((
+                        "hints_pending".to_string(),
+                        Json::Num(self.hints.len() as f64),
+                    ));
+                    if let Some(state) = &self.cluster {
+                        let peers: Vec<Json> = state
+                            .health()
+                            .snapshot()
+                            .into_iter()
+                            .map(|r| {
+                                Json::Obj(vec![
+                                    ("addr".to_string(), Json::Str(r.addr)),
+                                    ("health".to_string(), Json::Str(r.health.name().to_string())),
+                                    (
+                                        "last_seen_ms".to_string(),
+                                        r.last_seen_ms
+                                            .map(|ms| Json::Num(ms as f64))
+                                            .unwrap_or(Json::Null),
+                                    ),
+                                ])
+                            })
+                            .collect();
+                        cluster.push(("peers".to_string(), Json::Arr(peers)));
+                    }
+                }
                 let mut resp = Response::ok(req.id.as_ref(), Op::Stats)
-                    .fields(&self.metrics.snapshot_fields())
+                    .fields(&fields)
                     .field("cache_entries", Json::Num(self.cache_len() as f64));
                 if let Some(stats) = self.persist_stats() {
                     resp = resp.field("persist", Json::Obj(stats.fields()));
@@ -327,6 +390,9 @@ impl Service {
             Op::Shutdown => Response::ok(req.id.as_ref(), Op::Shutdown).into_line(),
             Op::Forward => self.forward_op(req, start, token),
             Op::PeerSync => self.peer_sync_op(req),
+            Op::Ping => self.ping_op(req),
+            Op::Replicate => self.replicate_op(req),
+            Op::Repair => self.repair_op(req),
             Op::Certify | Op::Infer | Op::Flows | Op::Lint | Op::Explore | Op::Checkproof => {
                 self.compute_cached(req, start, token, 0)
             }
@@ -367,6 +433,28 @@ impl Service {
         };
         match inner.op {
             Op::Certify | Op::Infer | Op::Flows | Op::Lint | Op::Explore | Op::Checkproof => {
+                // Loop guard: a sender following the protocol stops
+                // forwarding at the hop budget, so a count past it means
+                // a routing loop or a non-conforming peer. Refuse with a
+                // structured (permanent) error instead of computing — the
+                // sender's relay path treats the refusal as "try the next
+                // candidate, else compute locally", so availability is
+                // preserved while the loop is broken.
+                let budget = self
+                    .cluster
+                    .as_ref()
+                    .map(|c| c.max_hops())
+                    .unwrap_or(DEFAULT_MAX_HOPS);
+                if req.hops > budget {
+                    Metrics::bump(&self.metrics.cluster_forward_hop_exhausted);
+                    Metrics::bump(&self.metrics.errors);
+                    return Response::error(
+                        inner.id.as_ref(),
+                        ErrorKind::MaxHopsExhausted,
+                        &format!("forward chain exceeded the hop budget of {budget}"),
+                    )
+                    .into_line();
+                }
                 self.compute_cached(&inner, start, token, req.hops)
             }
             // Control ops must not ride inside `forward`: a wrapped
@@ -415,15 +503,248 @@ impl Service {
             .into_line()
     }
 
-    /// Installs an entry that arrived via `peer-sync` (already verified
-    /// by the caller): into the cache and, when persistence is on, the
-    /// local journal — so a synced node is durable in its own right.
+    /// Installs an entry that arrived over the verified peer-sync path
+    /// (`peer-sync` pull, `replicate` push, or a drained hint — the
+    /// caller verified it): into the cache and, when persistence is on,
+    /// the local journal — so a synced node is durable in its own
+    /// right. Idempotent: an entry already present (exact canon match)
+    /// is left untouched and returns `false`, so repeated repairs and
+    /// replayed hints never grow the journal or perturb LRU order.
     /// No compute-path metrics move; the work happened elsewhere.
-    pub(crate) fn install_synced(&self, key: &CacheKey, value: CachedResult) {
-        if let Ok(mut cache) = self.cache.lock() {
-            cache.put(key, value.clone());
+    pub(crate) fn install_synced(&self, key: &CacheKey, value: CachedResult) -> bool {
+        match self.cache.lock() {
+            Ok(mut cache) => {
+                if cache.contains(key) {
+                    return false;
+                }
+                cache.put(key, value.clone());
+            }
+            Err(_) => return false,
         }
         self.journal(key, &value);
+        true
+    }
+
+    /// XOR of every cached entry's fingerprint: the order-independent
+    /// shard digest anti-entropy compares across nodes (see
+    /// [`crate::cache::ResultCache::digest`]).
+    pub fn shard_digest(&self) -> u64 {
+        self.cache.lock().map(|c| c.digest()).unwrap_or(0)
+    }
+
+    fn shard_digest_hex(&self) -> String {
+        format!("{:016x}", self.shard_digest())
+    }
+
+    /// Hints currently queued for unreachable replicas.
+    pub fn hints_pending(&self) -> usize {
+        self.hints.len()
+    }
+
+    /// The `ping` op: liveness plus the shard digest, so one round trip
+    /// both feeds the failure detector and lets `repair` compare shards.
+    fn ping_op(&self, req: &Request) -> String {
+        Response::ok(req.id.as_ref(), Op::Ping)
+            .field("digest", Json::Str(self.shard_digest_hex()))
+            .field("entries", Json::Num(self.cache_len() as f64))
+            .into_line()
+    }
+
+    /// The `replicate` op: install one pushed journal record, verified
+    /// exactly like a `peer-sync` entry (same gate, same forgery
+    /// rejection). Replies `installed:false` for an entry already held
+    /// — the push was redundant, not wrong.
+    fn replicate_op(&self, req: &Request) -> String {
+        let payload = req.payload.as_deref().unwrap_or_default();
+        match crate::peer::verified_entry(payload) {
+            Some((key, value)) => {
+                let installed = self.install_synced(&key, value);
+                if installed {
+                    Metrics::bump(&self.metrics.cluster_replica_installs);
+                }
+                Response::ok(req.id.as_ref(), Op::Replicate)
+                    .field("installed", Json::Bool(installed))
+                    .into_line()
+            }
+            None => {
+                Metrics::bump(&self.metrics.errors);
+                Response::error(
+                    req.id.as_ref(),
+                    ErrorKind::Protocol,
+                    "replicate payload failed verification",
+                )
+                .into_line()
+            }
+        }
+    }
+
+    /// The `repair` op: anti-entropy against one peer. Compares shard
+    /// digests first (one `ping` round trip); only a mismatch pays for
+    /// a full `peer-sync` pull, so repeated repair of a converged pair
+    /// is O(1) and idempotent. Pull-based: this node ends up holding a
+    /// superset of the peer's entries — run from both sides (as the
+    /// `secflow repair` subcommand does) to converge a pair.
+    fn repair_op(&self, req: &Request) -> String {
+        let peer = req.peer.as_deref().unwrap_or_default();
+        let timeout = self
+            .cluster
+            .as_ref()
+            .map(|c| c.peer_timeout())
+            .unwrap_or(Duration::from_millis(DEFAULT_PEER_TIMEOUT_MS));
+        let ping_line = Request::new(Op::Ping, "").to_line();
+        let reply = match &self.cluster {
+            Some(cluster) => cluster.call_peer(peer, &ping_line),
+            None => crate::peer::call(peer, &ping_line, timeout),
+        };
+        let reply = match reply {
+            Ok(reply) => reply,
+            Err(e) => {
+                Metrics::bump(&self.metrics.errors);
+                return Response::error(
+                    req.id.as_ref(),
+                    ErrorKind::Internal,
+                    &format!("repair: peer {peer} unreachable: {e}"),
+                )
+                .into_line();
+            }
+        };
+        let peer_digest = Json::parse(&reply)
+            .ok()
+            .and_then(|v| v.get("digest").and_then(Json::as_str).map(str::to_string));
+        let local = self.shard_digest_hex();
+        if peer_digest.as_deref() == Some(local.as_str()) {
+            return Response::ok(req.id.as_ref(), Op::Repair)
+                .field("synced", Json::Bool(false))
+                .field("pages", Json::Num(0.0))
+                .field("installed", Json::Num(0.0))
+                .field("digest", Json::Str(local))
+                .field("digest_match", Json::Bool(true))
+                .into_line();
+        }
+        match crate::peer::sync_from_peer(self, peer, timeout) {
+            Ok(report) => {
+                if report.entries_installed > 0 {
+                    Metrics::bump(&self.metrics.cluster_repairs);
+                }
+                let after = self.shard_digest_hex();
+                let matched = peer_digest.as_deref() == Some(after.as_str());
+                Response::ok(req.id.as_ref(), Op::Repair)
+                    .field("synced", Json::Bool(true))
+                    .field("pages", Json::Num(report.pages as f64))
+                    .field("installed", Json::Num(report.entries_installed as f64))
+                    .field("rejected", Json::Num(report.entries_rejected as f64))
+                    .field("digest", Json::Str(after))
+                    .field("digest_match", Json::Bool(matched))
+                    .into_line()
+            }
+            Err(e) => {
+                Metrics::bump(&self.metrics.errors);
+                Response::error(
+                    req.id.as_ref(),
+                    ErrorKind::Internal,
+                    &format!("repair: sync from {peer} failed: {e}"),
+                )
+                .into_line()
+            }
+        }
+    }
+
+    /// One beat of the background health loop: probe every non-UP peer
+    /// whose jittered deadline has passed (the call outcome feeds the
+    /// failure detector, so a healed peer flips back to UP here), then
+    /// drain queued hints to any peer the detector now trusts.
+    pub fn health_tick(&self) {
+        let Some(cluster) = &self.cluster else { return };
+        let ping_line = Request::new(Op::Ping, "").to_line();
+        for addr in cluster.health().due_probes() {
+            let _ = cluster.call_peer(&addr, &ping_line);
+        }
+        for addr in self.hints.peers_with_hints() {
+            if cluster.health().is_down(&addr) {
+                continue;
+            }
+            let mut failed = false;
+            for payload in self.hints.take_for(&addr) {
+                if failed {
+                    let dropped = self.hints.queue(&addr, &payload);
+                    self.metrics
+                        .cluster_hints_dropped
+                        .fetch_add(dropped, Relaxed);
+                    continue;
+                }
+                let mut push = Request::new(Op::Replicate, "");
+                push.payload = Some(payload.clone());
+                match cluster.call_peer(&addr, &push.to_line()) {
+                    Ok(reply) => {
+                        let ok = Json::parse(&reply)
+                            .ok()
+                            .and_then(|v| v.get("ok").and_then(Json::as_bool))
+                            == Some(true);
+                        if ok {
+                            Metrics::bump(&self.metrics.cluster_hints_delivered);
+                        } else {
+                            // The peer refused the payload (permanent):
+                            // re-queueing would loop forever. Count it
+                            // dropped; `repair` is the backstop.
+                            self.metrics.cluster_hints_dropped.fetch_add(1, Relaxed);
+                        }
+                    }
+                    Err(_) => {
+                        // Peer gone again mid-drain: keep the remainder
+                        // queued (without re-counting them as queued).
+                        failed = true;
+                        let dropped = self.hints.queue(&addr, &payload);
+                        self.metrics
+                            .cluster_hints_dropped
+                            .fetch_add(dropped, Relaxed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pushes a freshly cached entry to its other replicas
+    /// (synchronous, best-effort). A DOWN replica — or one that fails
+    /// the push — gets a hint instead, so the write is owed rather than
+    /// lost. No-op at `replication` 1 or standalone.
+    fn replicate_out(&self, key: &CacheKey, value: &CachedResult) {
+        let Some(cluster) = &self.cluster else { return };
+        let targets = cluster.replica_targets(key.hash);
+        if targets.is_empty() {
+            return;
+        }
+        let payload =
+            String::from_utf8_lossy(&encode_record(key.hash, &key.canon, value)).into_owned();
+        for addr in targets {
+            if cluster.health().is_down(&addr) {
+                self.queue_hint(&addr, &payload);
+                continue;
+            }
+            let mut push = Request::new(Op::Replicate, "");
+            push.payload = Some(payload.clone());
+            let delivered = match cluster.call_peer(&addr, &push.to_line()) {
+                Ok(reply) => {
+                    Json::parse(&reply)
+                        .ok()
+                        .and_then(|v| v.get("ok").and_then(Json::as_bool))
+                        == Some(true)
+                }
+                Err(_) => false,
+            };
+            if delivered {
+                Metrics::bump(&self.metrics.cluster_replicas_sent);
+            } else {
+                self.queue_hint(&addr, &payload);
+            }
+        }
+    }
+
+    fn queue_hint(&self, addr: &str, payload: &str) {
+        Metrics::bump(&self.metrics.cluster_hints_queued);
+        let dropped = self.hints.queue(addr, payload);
+        self.metrics
+            .cluster_hints_dropped
+            .fetch_add(dropped, Relaxed);
     }
 
     fn compute_cached(
@@ -584,6 +905,10 @@ impl Service {
             if let Some(guard) = guard.as_mut() {
                 guard.result = Some(result.clone());
             }
+            // Push the fresh entry to its other replicas (no-op unless
+            // `replication` ≥ 2). Deliberately after publishing to the
+            // flight — local waiters never block on replica sockets.
+            self.replicate_out(&key, &result);
         }
         drop(guard);
         finish_line(req, &result, false, start, &extra)
@@ -635,7 +960,7 @@ impl Service {
         outer.hops = hops + 1;
         let outer_line = outer.to_line();
         for addr in candidates {
-            let Ok(reply) = crate::peer::call(&addr, &outer_line, cluster.peer_timeout()) else {
+            let Ok(reply) = cluster.call_peer(&addr, &outer_line) else {
                 continue; // peer down: next candidate, else compute here
             };
             let Some((result, relayed_cached)) = relayed_result(&reply, req) else {
@@ -1132,7 +1457,10 @@ where
         | Op::Stats
         | Op::Shutdown
         | Op::Forward
-        | Op::PeerSync => {
+        | Op::PeerSync
+        | Op::Ping
+        | Op::Replicate
+        | Op::Repair => {
             unreachable!("handled before dispatch")
         }
     }
@@ -2029,5 +2357,186 @@ mod tests {
         );
         assert_eq!(s.metrics.timeouts.load(Relaxed), 1);
         assert_eq!(s.metrics.coalesced_hits.load(Relaxed), 0);
+    }
+
+    // ---- self-healing cluster ops -------------------------------------
+
+    #[test]
+    fn ping_reports_the_shard_digest() {
+        let s = svc();
+        let v = Json::parse(&s.handle_line(r#"{"op":"ping"}"#)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("ping"));
+        assert_eq!(v.get("entries").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            v.get("digest").and_then(Json::as_str),
+            Some("0000000000000000"),
+            "an empty shard digests to zero"
+        );
+
+        s.handle_line(&line(LEAKY, r#"{}"#));
+        let v2 = Json::parse(&s.handle_line(r#"{"op":"ping"}"#)).unwrap();
+        assert_eq!(v2.get("entries").and_then(Json::as_u64), Some(1));
+        let digest = v2.get("digest").and_then(Json::as_str).unwrap();
+        assert_ne!(digest, "0000000000000000");
+        assert_eq!(digest, format!("{:016x}", s.shard_digest()));
+    }
+
+    #[test]
+    fn replicate_installs_verified_entries_idempotently() {
+        let s = svc();
+        // Derive the key exactly as the serving path would, so the
+        // pushed entry later answers the genuine request below.
+        let genuine = r#"{"op":"certify","lattice":"two","source":"var x : integer; x := 0"}"#;
+        let req = Request::parse(genuine).unwrap();
+        let key = cache_key(&req, Limits::default().max_fuel);
+        let value = CachedResult {
+            ok: true,
+            fields: vec![("certified".to_string(), Json::Bool(true))],
+        };
+        let payload = String::from_utf8(encode_record(key.hash, &key.canon, &value)).unwrap();
+        let push = format!(
+            r#"{{"op":"replicate","payload":{}}}"#,
+            Json::Str(payload.clone())
+        );
+        let v = Json::parse(&s.handle_line(&push)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("installed").and_then(Json::as_bool), Some(true));
+        assert_eq!(s.metrics.cluster_replica_installs.load(Relaxed), 1);
+        assert_eq!(s.cache_len(), 1);
+
+        // The same push again is acknowledged but installs nothing —
+        // no journal growth, no metric movement (repair idempotence).
+        let v2 = Json::parse(&s.handle_line(&push)).unwrap();
+        assert_eq!(v2.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v2.get("installed").and_then(Json::as_bool), Some(false));
+        assert_eq!(s.metrics.cluster_replica_installs.load(Relaxed), 1);
+        assert_eq!(s.cache_len(), 1);
+
+        // A forged fingerprint is refused at the verification gate.
+        let forged = String::from_utf8(encode_record(key.hash ^ 1, &key.canon, &value)).unwrap();
+        let bad = format!(r#"{{"op":"replicate","payload":{}}}"#, Json::Str(forged));
+        let v3 = Json::parse(&s.handle_line(&bad)).unwrap();
+        assert_eq!(v3.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            v3.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("protocol")
+        );
+        assert_eq!(s.cache_len(), 1, "forgeries never touch the cache");
+
+        // The installed entry now serves a genuine request as cached.
+        let v4 = Json::parse(&s.handle_line(genuine)).unwrap();
+        assert_eq!(v4.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(v4.get("certified").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn over_budget_forwards_are_refused_with_a_structured_error() {
+        let s = svc();
+        let inner = line(LEAKY, r#"{}"#);
+        let outer = format!(
+            r#"{{"op":"forward","req":{},"hops":99}}"#,
+            Json::Str(inner.clone())
+        );
+        let v = Json::parse(&s.handle_line(&outer)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("max_hops_exhausted")
+        );
+        // The refusal is about the forward, not the inner op — it must
+        // not look like an inner-shaped reply, so the sender's relay
+        // path advances to its next candidate instead of caching it.
+        assert!(v.get("op").is_none());
+        assert_eq!(s.metrics.cluster_forward_hop_exhausted.load(Relaxed), 1);
+        assert_eq!(s.cache_len(), 0, "nothing was computed or cached");
+
+        // At the budget (the legitimate maximum a conforming sender
+        // emits), the request still computes.
+        let at_budget = format!(
+            r#"{{"op":"forward","req":{},"hops":{}}}"#,
+            Json::Str(inner),
+            DEFAULT_MAX_HOPS
+        );
+        let v2 = Json::parse(&s.handle_line(&at_budget)).unwrap();
+        assert_eq!(v2.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v2.get("certified").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn stats_cluster_object_reports_digest_and_hint_backlog() {
+        let s = svc();
+        s.handle_line(&line(LEAKY, r#"{}"#));
+        let stats = Json::parse(&s.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        let cluster = stats.get("cluster").expect("stats carries cluster");
+        assert_eq!(
+            cluster.get("shard_digest").and_then(Json::as_str),
+            Some(format!("{:016x}", s.shard_digest()).as_str())
+        );
+        assert_eq!(cluster.get("hints_pending").and_then(Json::as_u64), Some(0));
+        // Standalone: no peers array (there is no failure detector).
+        assert!(cluster.get("peers").is_none());
+
+        // Clustered: every peer shows with a health state.
+        let peers = ["127.0.0.1:7401", "127.0.0.1:7402"];
+        let mut cfg = ClusterConfig::new(&peers);
+        cfg.self_addr = Some(peers[0].to_string());
+        let c = Service::new(16, Limits::default()).with_cluster(cfg);
+        let stats = Json::parse(&c.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        let reported = stats
+            .get("cluster")
+            .and_then(|v| v.get("peers"))
+            .and_then(Json::as_arr)
+            .expect("clustered stats carry a peers array");
+        assert_eq!(reported.len(), 1, "self is not its own peer");
+        assert_eq!(
+            reported[0].get("addr").and_then(Json::as_str),
+            Some(peers[1])
+        );
+        assert_eq!(reported[0].get("health").and_then(Json::as_str), Some("up"));
+        assert_eq!(reported[0].get("last_seen_ms"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn down_replicas_get_hints_instead_of_sockets() {
+        // rf=2 over two nodes: every key's replica set is both nodes,
+        // so every fresh computation owes the other node a push. With
+        // the peer marked DOWN the push becomes a hint — no socket is
+        // ever opened (the addresses are unroutable; a connect attempt
+        // would eat seconds of timeout).
+        let peers = ["127.0.0.1:7501", "127.0.0.1:7502"];
+        let mut cfg = ClusterConfig::new(&peers);
+        cfg.self_addr = Some(peers[0].to_string());
+        cfg.replication = 2;
+        let s = Service::new(16, Limits::default()).with_cluster(cfg);
+        for _ in 0..crate::health::DEFAULT_FAILURE_THRESHOLD {
+            s.cluster
+                .as_ref()
+                .unwrap()
+                .health()
+                .record_failure(peers[1]);
+        }
+        let started = Instant::now();
+        let v = Json::parse(&s.handle_line(&line(LEAKY, r#"{}"#))).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "a DOWN replica must not cost a connect timeout"
+        );
+        assert_eq!(s.hints_pending(), 1);
+        assert_eq!(s.metrics.cluster_hints_queued.load(Relaxed), 1);
+        assert_eq!(s.metrics.cluster_replicas_sent.load(Relaxed), 0);
+        let stats = Json::parse(&s.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        assert_eq!(
+            stats
+                .get("cluster")
+                .and_then(|c| c.get("hints_pending"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
     }
 }

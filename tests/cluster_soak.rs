@@ -29,8 +29,8 @@ use std::time::Duration;
 
 use secflow::lang::print_program;
 use secflow::server::{
-    bind_ephemeral, serve_listener, ClusterClient, ClusterConfig, Json, Limits, Op, RemoteClient,
-    Request, RetryPolicy, ServerConfig, Service,
+    bind_ephemeral, serve_listener, ClientError, ClusterClient, ClusterConfig, ErrorKind, Json,
+    Limits, Op, RemoteClient, Request, RetryPolicy, ServerConfig, Service,
 };
 use secflow::workload::sequential_chain;
 
@@ -210,6 +210,128 @@ fn three_node_cluster_computes_each_distinct_source_exactly_once() {
         shutdown(addr);
         server.join().expect("node thread");
     }
+}
+
+/// Hinted handoff end-to-end, in-process: a 2-node rf=2 cluster where
+/// the replica arrives *late*. Writes served while it is down queue as
+/// hints; once it binds its reserved identity, the primary's failure
+/// detector flips it UP, the backlog drains through the verified
+/// `replicate` path, and a `repair` round confirms the digests already
+/// converged. Along the way, an over-budget `forward` is refused with
+/// the structured `max_hops_exhausted` error (never an inner-shaped
+/// reply) over real sockets.
+#[test]
+fn hinted_handoff_redelivers_to_a_late_replica_and_repair_converges() {
+    let addrs = reserve_addrs(2);
+    let make_cfg = |i: usize| {
+        let mut cluster = ClusterConfig::new(&addrs);
+        cluster.self_addr = Some(addrs[i].clone());
+        cluster.replication = 2;
+        cluster.peer_timeout_ms = 300;
+        ServerConfig {
+            workers: 2,
+            cache_capacity: 256,
+            cluster: Some(cluster),
+            ..ServerConfig::default()
+        }
+    };
+    // Only node A comes up; B's port stays reserved-but-dead, so every
+    // replica push owed to B fails fast (connection refused).
+    let server_a =
+        serve_listener(std::net::TcpListener::bind(&addrs[0]).unwrap(), make_cfg(0)).unwrap();
+
+    let policy = RetryPolicy::default();
+    let k = 6usize;
+    let mut replies = Vec::new();
+    for slot in 0..k {
+        let req = Request::new(Op::Certify, soak_source(slot));
+        let reply = RemoteClient::new(&addrs[0], policy)
+            .call(&req)
+            .expect("the primary serves writes while its replica is down");
+        replies.push(strip_timing(&reply));
+    }
+    let stats = stats_of(&addrs[0]);
+    assert_eq!(
+        cluster_stat(&stats, "hints_queued"),
+        k as u64,
+        "every replica push owed to the dead peer queued a hint: {stats}"
+    );
+    assert_eq!(cluster_stat(&stats, "hints_pending"), k as u64);
+    assert_eq!(cluster_stat(&stats, "replicas_sent"), 0);
+
+    // A hop-exhausted forward is a structured refusal, not an answer.
+    let mut fwd = Request::new(Op::Forward, "");
+    fwd.req = Some(Request::new(Op::Certify, soak_source(0)).to_line());
+    fwd.hops = 99;
+    match RemoteClient::new(&addrs[0], policy).call(&fwd) {
+        Err(ClientError::Permanent { kind, .. }) => {
+            assert_eq!(kind, ErrorKind::MaxHopsExhausted)
+        }
+        other => panic!("expected a max_hops_exhausted refusal, got {other:?}"),
+    }
+
+    // B finally arrives at its reserved identity. A's probes flip it
+    // UP and the hint backlog drains — no repair needed for these.
+    let server_b =
+        serve_listener(std::net::TcpListener::bind(&addrs[1]).unwrap(), make_cfg(1)).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let s = stats_of(&addrs[0]);
+        if cluster_stat(&s, "hints_pending") == 0 && cluster_stat(&s, "hints_delivered") == k as u64
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "hints never drained to the recovered replica: {s}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // The drained replica answers the same requests byte-identically
+    // from cache — zero recomputation on B.
+    for (slot, expected) in replies.iter().enumerate() {
+        let req = Request::new(Op::Certify, soak_source(slot));
+        let reply = RemoteClient::new(&addrs[1], policy)
+            .call(&req)
+            .expect("the recovered replica answers");
+        assert_eq!(&strip_timing(&reply), expected, "slot {slot} via replica");
+    }
+    let stats_b = stats_of(&addrs[1]);
+    assert_eq!(
+        stat(&stats_b, "cache_misses"),
+        0,
+        "the replica recomputed something it was handed: {stats_b}"
+    );
+
+    // Anti-entropy confirms what the handoff already achieved: both
+    // shard digests are equal, so repair is a digest-compare no-op.
+    let mut repair = Request::new(Op::Repair, "");
+    repair.peer = Some(addrs[0].clone());
+    let line = RemoteClient::new(&addrs[1], policy)
+        .call(&repair)
+        .expect("repair runs");
+    let v = Json::parse(&line).unwrap();
+    assert_eq!(v.get("digest_match").and_then(Json::as_bool), Some(true));
+    assert_eq!(v.get("installed").and_then(Json::as_u64), Some(0));
+    let digest_a = stats_of(&addrs[0])
+        .get("cluster")
+        .and_then(|c| c.get("shard_digest"))
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .expect("digest in stats");
+    let digest_b = stats_of(&addrs[1])
+        .get("cluster")
+        .and_then(|c| c.get("shard_digest"))
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .expect("digest in stats");
+    assert_eq!(digest_a, digest_b, "shard digests converged");
+
+    shutdown(&addrs[0]);
+    server_a.join().expect("node A thread");
+    shutdown(&addrs[1]);
+    server_b.join().expect("node B thread");
 }
 
 // ---- chaos: subprocess nodes, SIGKILL, seeded fault plans ------------
@@ -432,6 +554,222 @@ fn cluster_chaos_soak_converges_with_single_node_fault_free_run() {
     );
 
     router.kill_dash_nine();
+    for node in nodes.into_iter().flatten() {
+        node.kill_dash_nine();
+    }
+}
+
+/// The self-healing soak (EXPERIMENTS E18): a 3-node rf=2 replicated
+/// cluster under seeded network partitions — symmetric between nodes 0
+/// and 2, asymmetric from node 1 towards node 0 — plus a SIGKILL with
+/// *no* restart. Every reply during and after the faults must be
+/// byte-identical with the fault-free single-node oracle; partition
+/// drops charge the chaos fuse, so the links heal under probe traffic,
+/// after which `secflow repair` converges the survivors' shard digests
+/// and one `explore` is searched exactly once across them.
+#[test]
+fn self_healing_soak_partitions_sigkill_and_repair_converge_digests() {
+    let Some(bin) = secflow_bin() else {
+        eprintln!("skipping: secflow binary not built");
+        return;
+    };
+    let addrs = reserve_addrs(3);
+    let peers = addrs.join(",");
+    let dirs: Vec<PathBuf> = (0..3).map(|i| tmp_dir(&format!("heal{i}"))).collect();
+
+    // Node 0 <-> node 2: symmetric total partition (both directions
+    // dropped); node 1 -> node 0: asymmetric, most calls dropped. Each
+    // drop burns one fault from that node's fuse, so the partitions
+    // heal on their own once the fuses blow — mostly under the failure
+    // detector's probe traffic.
+    let chaos = [
+        format!("seed=21,partition={}~1000,max_faults=24", addrs[2]),
+        format!("seed=22,partition={}~800,max_faults=12", addrs[0]),
+        format!("seed=23,partition={}~1000,max_faults=24", addrs[0]),
+    ];
+    let spawn_node = |i: usize| -> Node {
+        Node::spawn(
+            &bin,
+            "serve",
+            &[
+                "--addr",
+                &addrs[i],
+                "--advertise",
+                &addrs[i],
+                "--peers",
+                &peers,
+                "--replication",
+                "2",
+                "--cache-dir",
+                dirs[i].to_str().unwrap(),
+                "--workers",
+                "2",
+                "--peer-timeout-ms",
+                "400",
+                "--stall-timeout-ms",
+                "1000",
+                "--chaos",
+                &chaos[i],
+            ],
+        )
+    };
+    let mut nodes: Vec<Option<Node>> = (0..3).map(|i| Some(spawn_node(i))).collect();
+
+    let reference = Service::new(1024, Limits::default());
+    let expect = |req: &Request| -> String {
+        reference.note_request();
+        strip_timing(&reference.execute(req))
+    };
+    let policy = RetryPolicy {
+        budget: 40,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(20),
+        io_timeout: Some(Duration::from_secs(10)),
+        ..RetryPolicy::default()
+    };
+
+    // Round 1: the partitions are live. Every node still answers every
+    // request byte-identically — replica pushes across dead links turn
+    // into hints, and forwards re-route or fall back to local compute;
+    // availability never hinges on the partitioned link.
+    let k = 10usize;
+    let requests: Vec<Request> = (0..k)
+        .map(|slot| Request::new(Op::Certify, soak_source(slot)))
+        .collect();
+    for (slot, req) in requests.iter().enumerate() {
+        let expected = expect(req);
+        for addr in &addrs {
+            let reply = RemoteClient::new(addr, policy)
+                .call(req)
+                .expect("node replies under partition");
+            assert_eq!(
+                strip_timing(&reply),
+                expected,
+                "round 1 slot {slot} via {addr}"
+            );
+        }
+    }
+
+    // Node 1 dies mid-cluster and never comes back.
+    nodes[1].take().unwrap().kill_dash_nine();
+
+    // Round 2: the survivors answer the old corpus plus fresh sources.
+    let fresh: Vec<Request> = (k..k + 6)
+        .map(|slot| Request::new(Op::Certify, soak_source(slot)))
+        .collect();
+    for (slot, req) in requests.iter().chain(fresh.iter()).enumerate() {
+        let expected = expect(req);
+        for addr in [&addrs[0], &addrs[2]] {
+            let reply = RemoteClient::new(addr, policy)
+                .call(req)
+                .expect("survivor replies after SIGKILL");
+            assert_eq!(
+                strip_timing(&reply),
+                expected,
+                "round 2 slot {slot} via {addr}"
+            );
+        }
+    }
+
+    // The handoff path engaged while the 0<->2 link was down: node 0
+    // owed replica pushes to node 2 and queued them as hints.
+    let s0 = stats_of(&addrs[0]);
+    assert!(
+        cluster_stat(&s0, "hints_queued") > 0,
+        "the partition never queued a hint on node 0: {s0}"
+    );
+
+    // Heal + repair: retry `secflow repair` across the survivors until
+    // the fuses have blown, the probes have closed the circuits, and
+    // one pairwise round converges both shard digests (exit 0).
+    let survivors = format!("{},{}", addrs[0], addrs[2]);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let repair_out = loop {
+        let out = Command::new(&bin)
+            .args(["repair", "--peers", &survivors, "--json"])
+            .output()
+            .expect("repair runs");
+        if out.status.success() {
+            break out;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "repair never converged the survivors:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        std::thread::sleep(Duration::from_millis(300));
+    };
+    let summary = String::from_utf8_lossy(&repair_out.stdout);
+    assert!(
+        summary.contains(r#""converged":true"#),
+        "repair summary: {summary}"
+    );
+
+    // Zero re-exploration: one expensive search, delivered to both
+    // survivors (with a repair round between, so the second delivery is
+    // a cache hit either way), is explored exactly once between them.
+    let mut explore = Request::new(Op::Explore, LEAKY);
+    explore.inputs = vec![("x".to_string(), 1)];
+    let expected = expect(&explore);
+    let reply = RemoteClient::new(&addrs[0], policy)
+        .call(&explore)
+        .expect("survivor explores");
+    assert_eq!(strip_timing(&reply), expected, "explore via node 0");
+    let status = Command::new(&bin)
+        .args(["repair", "--peers", &survivors])
+        .status()
+        .expect("second repair runs");
+    assert!(status.success(), "post-explore repair converges");
+    let reply = RemoteClient::new(&addrs[2], policy)
+        .call(&explore)
+        .expect("other survivor replies");
+    assert_eq!(strip_timing(&reply), expected, "explore via node 2");
+    let states: u64 = [&addrs[0], &addrs[2]]
+        .iter()
+        .map(|a| stat(&stats_of(a), "explore_states"))
+        .sum();
+    assert_eq!(
+        states,
+        reference.metrics.explore_states.load(Relaxed),
+        "the survivors explored the state space exactly once between them"
+    );
+
+    // Operator view: the survivors agree on their shard digest in
+    // `cluster-status --json`, and the full member list (which still
+    // names the corpse) exits nonzero.
+    let status = Command::new(&bin)
+        .args(["cluster-status", "--peers", &survivors, "--json"])
+        .output()
+        .expect("cluster-status runs");
+    assert!(status.status.success());
+    let digests: Vec<String> = String::from_utf8_lossy(&status.stdout)
+        .lines()
+        .map(|line| {
+            let v = Json::parse(line).expect("status line parses");
+            assert_eq!(v.get("up").and_then(Json::as_bool), Some(true));
+            v.get("shard_digest")
+                .and_then(Json::as_str)
+                .expect("digest present")
+                .to_string()
+        })
+        .collect();
+    assert_eq!(digests.len(), 2);
+    assert_eq!(digests[0], digests[1], "survivors agree on the digest");
+    let full = Command::new(&bin)
+        .args(["cluster-status", "--peers", &peers])
+        .status()
+        .expect("cluster-status runs");
+    assert!(
+        !full.success(),
+        "cluster-status must flag the SIGKILLed member"
+    );
+    eprintln!(
+        "healing soak: {} oracle-identical replies across partitions and a SIGKILL; \
+         survivors converged on digest {}",
+        3 * k + 2 * (k + 6) + 2,
+        digests[0]
+    );
+
     for node in nodes.into_iter().flatten() {
         node.kill_dash_nine();
     }
